@@ -1,0 +1,238 @@
+//! Analog-to-digital converters: SAR and ramp.
+//!
+//! Section 2.2.1 and §7.3 of the paper: SAR ADCs binary-search one bitline
+//! at a time (1-cycle conversions in Table 2, multiplexed across bitlines),
+//! while a ramp ADC sweeps a shared reference over all `2^bits` levels and
+//! digitizes *every* bitline in parallel (256 cycles at 8 bits), with the
+//! option to terminate early when only a few levels matter — the AES
+//! MixColumns trick of §5.3.
+
+use crate::{Error, Result};
+use darth_reram::{Cycles, PicoJoules};
+use serde::{Deserialize, Serialize};
+
+/// The converter architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdcKind {
+    /// Successive-approximation register: `1` cycle per conversion,
+    /// multiplexed across bitlines, 1.5 mW (Tables 2 and 3).
+    Sar,
+    /// Ramp: `2^bits` cycles per full conversion, all bitlines in
+    /// parallel, 1.2 mW, early-terminable.
+    Ramp,
+}
+
+impl AdcKind {
+    /// ADC units provisioned per analog compute element (Table 2).
+    pub fn units_per_ace(self) -> usize {
+        match self {
+            AdcKind::Sar => 2,
+            AdcKind::Ramp => 1,
+        }
+    }
+
+    /// Power draw of one ADC unit in mW (Table 3).
+    pub fn power_mw(self) -> f64 {
+        match self {
+            AdcKind::Sar => 1.5,
+            AdcKind::Ramp => 1.2,
+        }
+    }
+}
+
+/// A quantizer with the latency/energy behaviour of its [`AdcKind`].
+///
+/// Codes are signed (differential-pair bitlines produce signed net
+/// currents); the LSB is expressed in *weight units* — the current of one
+/// fully-on device under a full input — so a `lsb_units` of 1.0 digitizes
+/// exact dot-product integers as long as analog error stays below half a
+/// unit, which is precisely the §4.3 compensation target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    kind: AdcKind,
+    bits: u8,
+    lsb_units: f64,
+}
+
+impl Adc {
+    /// Creates an ADC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero resolution, a resolution
+    /// above 16 bits, or a non-positive LSB.
+    pub fn new(kind: AdcKind, bits: u8, lsb_units: f64) -> Result<Self> {
+        if bits == 0 || bits > 16 {
+            return Err(Error::InvalidConfig("ADC resolution must be in 1..=16"));
+        }
+        if lsb_units <= 0.0 {
+            return Err(Error::InvalidConfig("ADC LSB must be positive"));
+        }
+        Ok(Adc {
+            kind,
+            bits,
+            lsb_units,
+        })
+    }
+
+    /// The converter architecture.
+    pub fn kind(&self) -> AdcKind {
+        self.kind
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// LSB size in weight units.
+    pub fn lsb_units(&self) -> f64 {
+        self.lsb_units
+    }
+
+    /// Largest positive code.
+    pub fn code_max(&self) -> i64 {
+        (1i64 << (self.bits - 1)) - 1
+    }
+
+    /// Most negative code.
+    pub fn code_min(&self) -> i64 {
+        -(1i64 << (self.bits - 1))
+    }
+
+    /// Quantizes a bitline value (in weight units) to the nearest code,
+    /// saturating at the rails.
+    pub fn quantize_units(&self, units: f64) -> i64 {
+        let code = (units / self.lsb_units).round() as i64;
+        code.clamp(self.code_min(), self.code_max())
+    }
+
+    /// Converts a code back to weight units.
+    pub fn code_to_units(&self, code: i64) -> f64 {
+        code as f64 * self.lsb_units
+    }
+
+    /// Cycles to digitize `bitlines` outputs.
+    ///
+    /// * SAR: `ceil(bitlines / units)` one-cycle conversions through the
+    ///   analog multiplexer.
+    /// * Ramp: one shared sweep covers every bitline; `early_levels` caps
+    ///   the sweep when the application needs only the first few levels
+    ///   (AES terminates after 4 of 256).
+    pub fn readout_cycles(&self, bitlines: usize, early_levels: Option<u16>) -> Cycles {
+        match self.kind {
+            AdcKind::Sar => {
+                let units = self.kind.units_per_ace();
+                Cycles::new(bitlines.div_ceil(units) as u64)
+            }
+            AdcKind::Ramp => {
+                let full = 1u64 << self.bits;
+                let levels = early_levels.map_or(full, |l| u64::from(l).min(full));
+                Cycles::new(levels.max(1))
+            }
+        }
+    }
+
+    /// Energy to digitize `bitlines` outputs over the given readout.
+    ///
+    /// SAR units burn power only while converting; the ramp converter's
+    /// shared reference generator burns power for the whole sweep.
+    pub fn readout_energy(&self, bitlines: usize, cycles: Cycles) -> PicoJoules {
+        match self.kind {
+            AdcKind::Sar => {
+                // one pJ-scale conversion per bitline
+                PicoJoules::new(self.kind.power_mw() * bitlines as f64)
+            }
+            AdcKind::Ramp => PicoJoules::from_power(self.kind.power_mw(), cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sar() -> Adc {
+        Adc::new(AdcKind::Sar, 8, 1.0).expect("valid")
+    }
+
+    fn ramp() -> Adc {
+        Adc::new(AdcKind::Ramp, 8, 1.0).expect("valid")
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Adc::new(AdcKind::Sar, 0, 1.0).is_err());
+        assert!(Adc::new(AdcKind::Sar, 17, 1.0).is_err());
+        assert!(Adc::new(AdcKind::Sar, 8, 0.0).is_err());
+        assert!(Adc::new(AdcKind::Sar, 8, -1.0).is_err());
+    }
+
+    #[test]
+    fn quantization_rounds_and_saturates() {
+        let adc = sar();
+        assert_eq!(adc.quantize_units(3.2), 3);
+        assert_eq!(adc.quantize_units(3.6), 4);
+        assert_eq!(adc.quantize_units(-3.6), -4);
+        assert_eq!(adc.quantize_units(0.49), 0);
+        assert_eq!(adc.quantize_units(1e9), 127);
+        assert_eq!(adc.quantize_units(-1e9), -128);
+    }
+
+    #[test]
+    fn sub_unit_lsb() {
+        let adc = Adc::new(AdcKind::Sar, 8, 0.5).expect("valid");
+        assert_eq!(adc.quantize_units(3.2), 6);
+        assert!((adc.code_to_units(6) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sar_readout_is_muxed() {
+        let adc = sar();
+        // 64 bitlines through 2 SAR units at 1 cycle each = 32 cycles
+        assert_eq!(adc.readout_cycles(64, None).get(), 32);
+        assert_eq!(adc.readout_cycles(1, None).get(), 1);
+        // early termination does not apply to SAR
+        assert_eq!(adc.readout_cycles(64, Some(4)).get(), 32);
+    }
+
+    #[test]
+    fn ramp_readout_is_parallel_but_slow() {
+        let adc = ramp();
+        assert_eq!(adc.readout_cycles(64, None).get(), 256);
+        assert_eq!(adc.readout_cycles(1, None).get(), 256);
+    }
+
+    #[test]
+    fn ramp_early_termination() {
+        let adc = ramp();
+        // AES MixColumns: 4 levels suffice (§7.3), 256 -> 4 cycles
+        assert_eq!(adc.readout_cycles(64, Some(4)).get(), 4);
+        // cannot exceed the full sweep
+        assert_eq!(adc.readout_cycles(64, Some(10_000)).get(), 256);
+    }
+
+    #[test]
+    fn energy_sar_scales_with_bitlines() {
+        let adc = sar();
+        let e64 = adc.readout_energy(64, adc.readout_cycles(64, None));
+        let e8 = adc.readout_energy(8, adc.readout_cycles(8, None));
+        assert!((e64.get() - 1.5 * 64.0).abs() < 1e-9);
+        assert!(e8 < e64);
+    }
+
+    #[test]
+    fn energy_ramp_scales_with_sweep() {
+        let adc = ramp();
+        let full = adc.readout_energy(64, adc.readout_cycles(64, None));
+        let early = adc.readout_energy(64, adc.readout_cycles(64, Some(4)));
+        assert!((full.get() - 1.2 * 256.0).abs() < 1e-9);
+        assert!(early.get() < full.get() / 10.0);
+    }
+
+    #[test]
+    fn units_per_ace_match_table2() {
+        assert_eq!(AdcKind::Sar.units_per_ace(), 2);
+        assert_eq!(AdcKind::Ramp.units_per_ace(), 1);
+    }
+}

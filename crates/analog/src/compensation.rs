@@ -1,0 +1,257 @@
+//! The §4.3 parasitic compensation scheme.
+//!
+//! Accuracy-critical kernels (AES above all) cannot tolerate a single bit
+//! of analog error. DARTH-PUM's compensation scheme combines:
+//!
+//! 1. **±1 remapping** — a strictly positive 0/1 matrix stored in
+//!    differential pairs leaves every negative device at 0, concentrating
+//!    current in the positive bitline and maximising IR drop. Remapping
+//!    bits to −1/+1 splits the current between the pair's two lines, and
+//!    the droop largely cancels in the analog subtraction.
+//! 2. **Range scaling** — shrinking the conductance range to half scales
+//!    every error source down with the signal.
+//! 3. **A compensation factor** — both transforms are affine in the true
+//!    dot product, so the digital side recovers the exact result with one
+//!    vector addition (and, without range scaling, a halving shift), using
+//!    the known number of active input bits.
+//!
+//! Derivation: with `k` active inputs and 0/1 weights, the true dot product
+//! `r` becomes `r' = 2r − k` after ±1 remapping. Halving the range gives
+//! the measured `m = r − k/2`, so `r = m + k/2` — for AES (`k = 4`) the
+//! factor is 2, matching §4.3.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the compensation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompensationScheme {
+    /// Remap 0/1 weights to −1/+1 in differential pairs.
+    pub remap: bool,
+    /// Scale the conductance range from `[-1, 1]` to `[-0.5, +0.5]`.
+    pub scale_half: bool,
+    /// Calibrated IR-drop coefficient of the target crossbar (§4.3:
+    /// "the parasitic compensation factor can be extrapolated by knowing
+    /// the relative sparsity of the input vector"). With `k` active
+    /// inputs on a ±1 SLC matrix, every pair conducts on exactly one
+    /// line, so the quadratic wire droop attenuates the *net* bitline
+    /// value by `(1 − α·k)`; [`CompensationScheme::correct_ir`] divides
+    /// it back out digitally.
+    pub ir_drop_alpha: f64,
+}
+
+impl CompensationScheme {
+    /// The full scheme as used for AES MixColumns.
+    pub fn aes() -> Self {
+        CompensationScheme {
+            remap: true,
+            scale_half: true,
+            ir_drop_alpha: 0.0,
+        }
+    }
+
+    /// No compensation (the naive mapping).
+    pub fn disabled() -> Self {
+        CompensationScheme {
+            remap: false,
+            scale_half: false,
+            ir_drop_alpha: 0.0,
+        }
+    }
+
+    /// Calibrates the IR-drop correction for a crossbar with the given
+    /// parasitic coefficient (builder style).
+    pub fn with_ir_alpha(mut self, alpha: f64) -> Self {
+        self.ir_drop_alpha = alpha.max(0.0);
+        self
+    }
+
+    /// Undoes the first-order IR-drop attenuation on a measured net
+    /// bitline value, given the number of active inputs `k`.
+    pub fn correct_ir(&self, measured: f64, active_inputs: i64) -> f64 {
+        let attenuation = 1.0 - self.ir_drop_alpha * active_inputs as f64;
+        if attenuation <= 0.1 {
+            return measured; // out of the correction's validity range
+        }
+        measured / attenuation
+    }
+
+    /// Transforms a strictly 0/1 matrix according to the remapping.
+    ///
+    /// Non-binary matrices pass through unchanged when remapping is off;
+    /// with remapping on, every 0 becomes −1 and every 1 stays +1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if remapping is enabled and the matrix contains values other
+    /// than 0 and 1 — the scheme is defined only for binary matrices.
+    pub fn remap_matrix(&self, matrix: &[Vec<i64>]) -> Vec<Vec<i64>> {
+        if !self.remap {
+            return matrix.to_vec();
+        }
+        matrix
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&w| {
+                        assert!(
+                            w == 0 || w == 1,
+                            "±1 remapping requires a binary matrix, found {w}"
+                        );
+                        if w == 0 {
+                            -1
+                        } else {
+                            1
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The conductance range scale to configure on the crossbar.
+    pub fn range_scale(&self) -> f64 {
+        if self.scale_half {
+            0.5
+        } else {
+            1.0
+        }
+    }
+
+    /// Recovers the true 0/1-matrix dot product from the measured analog
+    /// value, given the number of active inputs `k`.
+    ///
+    /// `measured` is in weight units as read from the ADC (possibly already
+    /// scaled by the crossbar's range setting).
+    pub fn decode(&self, measured: f64, active_inputs: i64) -> i64 {
+        let k = active_inputs as f64;
+        let value = match (self.remap, self.scale_half) {
+            (false, false) => measured,
+            (false, true) => measured * 2.0,
+            (true, false) => (measured + k) / 2.0,
+            // measured = (2r - k)/2 = r - k/2  =>  r = measured + k/2
+            (true, true) => measured + k / 2.0,
+        };
+        value.round() as i64
+    }
+
+    /// The additive compensation factor the DCE applies after the MVM
+    /// (§4.3: "a scale factor of 2 is applied as an addition" for AES).
+    ///
+    /// Only defined for the fully enabled scheme, where decoding is a pure
+    /// addition; other configurations need the multiply in
+    /// [`CompensationScheme::decode`].
+    pub fn additive_factor(&self, active_inputs: i64) -> Option<f64> {
+        if self.remap && self.scale_half {
+            Some(active_inputs as f64 / 2.0)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for CompensationScheme {
+    fn default() -> Self {
+        CompensationScheme::aes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_scheme_is_fully_enabled() {
+        let s = CompensationScheme::aes();
+        assert!(s.remap && s.scale_half);
+        assert_eq!(s.range_scale(), 0.5);
+        assert_eq!(s.ir_drop_alpha, 0.0);
+    }
+
+    #[test]
+    fn ir_correction_inverts_the_droop_model() {
+        let s = CompensationScheme::aes().with_ir_alpha(0.0008);
+        for k in [0i64, 4, 16, 32] {
+            for true_value in [-20.0f64, -3.0, 0.0, 7.0, 20.0] {
+                let measured = true_value * (1.0 - 0.0008 * k as f64);
+                let corrected = s.correct_ir(measured, k);
+                assert!(
+                    (corrected - true_value).abs() < 1e-9,
+                    "k={k} v={true_value}: {corrected}"
+                );
+            }
+        }
+        // disabled scheme is the identity
+        assert_eq!(CompensationScheme::disabled().correct_ir(5.0, 32), 5.0);
+    }
+
+    #[test]
+    fn remap_binary_matrix() {
+        let s = CompensationScheme::aes();
+        let m = vec![vec![0, 1], vec![1, 0]];
+        assert_eq!(s.remap_matrix(&m), vec![vec![-1, 1], vec![1, -1]]);
+    }
+
+    #[test]
+    fn disabled_scheme_passes_through() {
+        let s = CompensationScheme::disabled();
+        let m = vec![vec![0, 5], vec![1, -3]];
+        assert_eq!(s.remap_matrix(&m), m);
+        assert_eq!(s.range_scale(), 1.0);
+        assert_eq!(s.decode(7.0, 4), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary matrix")]
+    fn remap_rejects_non_binary() {
+        CompensationScheme::aes().remap_matrix(&[vec![2]]);
+    }
+
+    #[test]
+    fn decode_round_trips_all_small_cases() {
+        // every (r, k) with 0 <= r <= k <= 8: r ones among k active inputs
+        for k in 0..=8i64 {
+            for r in 0..=k {
+                // forward model: remap makes r' = 2r - k; halving gives m
+                let s = CompensationScheme::aes();
+                let measured = (2 * r - k) as f64 / 2.0;
+                assert_eq!(s.decode(measured, k), r, "r={r} k={k}");
+
+                let s_remap_only = CompensationScheme {
+                    remap: true,
+                    scale_half: false,
+                    ir_drop_alpha: 0.0,
+                };
+                let measured = (2 * r - k) as f64;
+                assert_eq!(s_remap_only.decode(measured, k), r);
+
+                let s_scale_only = CompensationScheme {
+                    remap: false,
+                    scale_half: true,
+                    ir_drop_alpha: 0.0,
+                };
+                let measured = r as f64 / 2.0;
+                assert_eq!(s_scale_only.decode(measured, k), r);
+            }
+        }
+    }
+
+    #[test]
+    fn aes_factor_is_two_for_four_inputs() {
+        // §4.3: AES has four 1s in the input vector, factor 4 x 0.5 = 2.
+        let s = CompensationScheme::aes();
+        assert_eq!(s.additive_factor(4), Some(2.0));
+        assert_eq!(s.additive_factor(2), Some(1.0)); // Figure 11's factor 1
+        assert_eq!(CompensationScheme::disabled().additive_factor(4), None);
+    }
+
+    #[test]
+    fn decode_tolerates_sub_half_unit_noise() {
+        // the whole point: analog error below half an LSB decodes exactly
+        let s = CompensationScheme::aes();
+        for noise in [-0.33, -0.1, 0.0, 0.2, 0.4] {
+            let (r, k) = (3i64, 4i64);
+            let measured = (2 * r - k) as f64 / 2.0 + noise;
+            assert_eq!(s.decode(measured, k), r, "noise {noise}");
+        }
+    }
+}

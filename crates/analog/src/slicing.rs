@@ -1,0 +1,316 @@
+//! Weight bit-slicing and shift-and-add recombination plans.
+//!
+//! Figure 2 of the paper: an `N`-bit matrix value is split into `N/M`-bit
+//! slices stored in separate arrays (`M` = bits per cell); each array's
+//! partial product is shifted by its slice's bit position and summed. The
+//! same long-multiplication structure applies to input bit-slicing, so a
+//! full MVM produces a `slices × input_bits` grid of partial products whose
+//! reduction sequence (Figure 9c) DARTH-PUM's instruction injection unit
+//! replays in the digital compute element.
+//!
+//! Signed weights slice *by magnitude*: `w = sign(w) · Σ_s m_s · 2^(s·M)`,
+//! and each slice stores the signed value `sign(w) · m_s`, which
+//! differential pairs represent natively. Signed inputs are two's
+//! complement, with the top input bit carrying negative weight.
+
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Splits signed weight matrices into per-array slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightSlicer {
+    total_bits: u8,
+    bits_per_cell: u8,
+}
+
+impl WeightSlicer {
+    /// Creates a slicer for `total_bits`-bit weight magnitudes stored in
+    /// `bits_per_cell`-bit devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero widths or a cell width
+    /// above the total.
+    pub fn new(total_bits: u8, bits_per_cell: u8) -> Result<Self> {
+        if total_bits == 0 || total_bits > 32 {
+            return Err(Error::InvalidConfig("weight bits must be in 1..=32"));
+        }
+        if bits_per_cell == 0 || bits_per_cell > total_bits {
+            return Err(Error::InvalidConfig(
+                "bits per cell must be in 1..=total_bits",
+            ));
+        }
+        Ok(WeightSlicer {
+            total_bits,
+            bits_per_cell,
+        })
+    }
+
+    /// Number of slices (arrays) needed: `ceil(total / per_cell)`.
+    pub fn slice_count(&self) -> usize {
+        usize::from(self.total_bits).div_ceil(usize::from(self.bits_per_cell))
+    }
+
+    /// Weight magnitude capacity.
+    pub fn max_magnitude(&self) -> i64 {
+        (1i64 << self.total_bits) - 1
+    }
+
+    /// Bit shift applied to slice `s` during recombination.
+    pub fn slice_shift(&self, slice: usize) -> u32 {
+        (slice * usize::from(self.bits_per_cell)) as u32
+    }
+
+    /// Slices a signed matrix into [`WeightSlicer::slice_count`] signed
+    /// sub-matrices, least-significant slice first. Slice `s` of weight `w`
+    /// is `sign(w) · ((|w| >> s·M) & (2^M − 1))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WeightOutOfRange`] when `|w|` exceeds the capacity.
+    pub fn slice(&self, matrix: &[Vec<i64>]) -> Result<Vec<Vec<Vec<i64>>>> {
+        let cell_mask = (1i64 << self.bits_per_cell) - 1;
+        let max = self.max_magnitude();
+        for row in matrix {
+            for &w in row {
+                if w.abs() > max {
+                    return Err(Error::WeightOutOfRange {
+                        weight: w,
+                        max_magnitude: max,
+                    });
+                }
+            }
+        }
+        let slices = (0..self.slice_count())
+            .map(|s| {
+                let shift = self.slice_shift(s);
+                matrix
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|&w| {
+                                let magnitude = (w.abs() >> shift) & cell_mask;
+                                if w < 0 {
+                                    -magnitude
+                                } else {
+                                    magnitude
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(slices)
+    }
+
+    /// Software recombination of per-slice results (the check oracle for
+    /// the DCE's shift-and-add): `Σ_s part_s << (s·M)`.
+    pub fn recombine(&self, per_slice: &[Vec<i64>]) -> Vec<i64> {
+        if per_slice.is_empty() {
+            return Vec::new();
+        }
+        let cols = per_slice[0].len();
+        let mut out = vec![0i64; cols];
+        for (s, part) in per_slice.iter().enumerate() {
+            let shift = self.slice_shift(s);
+            for (c, &v) in part.iter().enumerate() {
+                out[c] += v << shift;
+            }
+        }
+        out
+    }
+}
+
+/// The full shift-and-add recombination plan for a bit-sliced MVM —
+/// the program the instruction injection unit replays (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecombinationPlan {
+    /// Input bit width (input slices applied LSB-first).
+    pub input_bits: u8,
+    /// Whether inputs are two's complement (top bit weighs `-2^(n-1)`).
+    pub input_signed: bool,
+    /// Number of weight slices.
+    pub weight_slices: u8,
+    /// Bits per cell (weight slice stride).
+    pub bits_per_cell: u8,
+}
+
+impl RecombinationPlan {
+    /// Shift for input bit `b`.
+    pub fn input_shift(&self, bit: usize) -> u32 {
+        bit as u32
+    }
+
+    /// Whether input bit `b`'s partial product is subtracted.
+    pub fn input_negative(&self, bit: usize) -> bool {
+        self.input_signed && bit as u8 == self.input_bits - 1
+    }
+
+    /// Shift for weight slice `s`.
+    pub fn weight_shift(&self, slice: usize) -> u32 {
+        slice as u32 * u32::from(self.bits_per_cell)
+    }
+
+    /// Total number of partial-product terms (`slices × input_bits`).
+    pub fn term_count(&self) -> usize {
+        usize::from(self.weight_slices) * usize::from(self.input_bits)
+    }
+
+    /// Number of shift+add µop pairs in the reduction sequence of
+    /// Figure 9c: one per term after the first.
+    pub fn reduction_steps(&self) -> usize {
+        self.term_count().saturating_sub(1)
+    }
+
+    /// Software recombination: `parts[s][b][col]` are the ADC outputs of
+    /// weight slice `s` under input bit `b`. Returns the recombined output
+    /// vector — the oracle for the DCE reduction.
+    pub fn recombine(&self, parts: &[Vec<Vec<i64>>]) -> Vec<i64> {
+        let cols = parts
+            .first()
+            .and_then(|s| s.first())
+            .map_or(0, |bits| bits.len());
+        let mut out = vec![0i64; cols];
+        for (s, per_bit) in parts.iter().enumerate() {
+            let wshift = self.weight_shift(s);
+            for (b, part) in per_bit.iter().enumerate() {
+                let shift = wshift + self.input_shift(b);
+                let negative = self.input_negative(b);
+                for (c, &v) in part.iter().enumerate() {
+                    let term = v << shift;
+                    if negative {
+                        out[c] -= term;
+                    } else {
+                        out[c] += term;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(WeightSlicer::new(0, 1).is_err());
+        assert!(WeightSlicer::new(8, 0).is_err());
+        assert!(WeightSlicer::new(4, 8).is_err());
+        assert!(WeightSlicer::new(8, 2).is_ok());
+    }
+
+    #[test]
+    fn figure2_example() {
+        // Figure 2: 4-bit values sliced into two 2-bit arrays.
+        // Matrix [[5, 9], [8, 7]]: array 1 holds bits [3:2], array 0 bits [1:0].
+        let slicer = WeightSlicer::new(4, 2).expect("valid");
+        assert_eq!(slicer.slice_count(), 2);
+        let m = vec![vec![5, 9], vec![8, 7]];
+        let slices = slicer.slice(&m).expect("in range");
+        assert_eq!(slices[0], vec![vec![1, 1], vec![0, 3]]); // low bits
+        assert_eq!(slices[1], vec![vec![1, 2], vec![2, 1]]); // high bits
+    }
+
+    #[test]
+    fn slice_then_recombine_identity() {
+        let slicer = WeightSlicer::new(8, 3).expect("valid");
+        assert_eq!(slicer.slice_count(), 3);
+        let m = vec![vec![255, -255, 0], vec![1, -1, 100]];
+        let slices = slicer.slice(&m).expect("in range");
+        // recombining per-element slices (1x identity "MVM": input = e_r)
+        for r in 0..2 {
+            for c in 0..3 {
+                let parts: Vec<Vec<i64>> =
+                    slices.iter().map(|s| vec![s[r][c]]).collect();
+                let rec = slicer.recombine(&parts);
+                assert_eq!(rec[0], m[r][c], "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_weight_rejected() {
+        let slicer = WeightSlicer::new(4, 2).expect("valid");
+        assert!(matches!(
+            slicer.slice(&[vec![16]]),
+            Err(Error::WeightOutOfRange { .. })
+        ));
+        assert!(slicer.slice(&[vec![15], vec![-15]]).is_ok());
+    }
+
+    #[test]
+    fn plan_shifts_and_signs() {
+        let plan = RecombinationPlan {
+            input_bits: 8,
+            input_signed: true,
+            weight_slices: 2,
+            bits_per_cell: 4,
+        };
+        assert_eq!(plan.input_shift(3), 3);
+        assert_eq!(plan.weight_shift(1), 4);
+        assert!(plan.input_negative(7));
+        assert!(!plan.input_negative(6));
+        assert_eq!(plan.term_count(), 16);
+        assert_eq!(plan.reduction_steps(), 15);
+    }
+
+    #[test]
+    fn full_recombination_matches_direct_mvm() {
+        // Exhaustive small case: 3-bit signed inputs, 4-bit weights in
+        // 2-bit cells, 2x2 matrix.
+        let slicer = WeightSlicer::new(4, 2).expect("valid");
+        let matrix = vec![vec![5, -9], vec![-8, 7]];
+        let slices = slicer.slice(&matrix).expect("in range");
+        let plan = RecombinationPlan {
+            input_bits: 3,
+            input_signed: true,
+            weight_slices: 2,
+            bits_per_cell: 2,
+        };
+        let driver = crate::dac::InputDriver::new(3, true).expect("valid");
+        for x0 in -4..4i64 {
+            for x1 in -4..4i64 {
+                let input = vec![x0, x1];
+                let bit_slices = driver.slice(&input).expect("in range");
+                // parts[s][b][col]: exact per-slice per-bit dot products
+                let parts: Vec<Vec<Vec<i64>>> = slices
+                    .iter()
+                    .map(|sm| {
+                        bit_slices
+                            .iter()
+                            .map(|bits| {
+                                (0..2)
+                                    .map(|c| {
+                                        (0..2)
+                                            .map(|r| if bits[r] { sm[r][c] } else { 0 })
+                                            .sum()
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let recombined = plan.recombine(&parts);
+                let expected: Vec<i64> = (0..2)
+                    .map(|c| (0..2).map(|r| input[r] * matrix[r][c]).sum())
+                    .collect();
+                assert_eq!(recombined, expected, "input {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_parts_recombine_to_empty() {
+        let plan = RecombinationPlan {
+            input_bits: 1,
+            input_signed: false,
+            weight_slices: 1,
+            bits_per_cell: 1,
+        };
+        assert!(plan.recombine(&[]).is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! GF(2) linearization of MixColumns.
+//!
+//! Over GF(2), MixColumns is a linear map on the 32 bits of one state
+//! column: every output bit is the XOR (parity) of a fixed subset of input
+//! bits. That is exactly what DARTH-PUM exploits (§5.3): the 32×32 binary
+//! matrix is stored in 1-bit cells, the column's bits drive the wordlines,
+//! each bitline integrates the *count* of matching ones, and only the
+//! count's least-significant bit — the parity — matters thanks to the
+//! subsequent XOR structure. The ADC can therefore terminate after a few
+//! levels (§7.3's 256→4-cycle ramp trick).
+
+use super::golden::gf_mul;
+
+/// Builds the 32×32 GF(2) matrix `T` with `out = T · in (mod 2)` for one
+/// MixColumns column. Input bit index is `8·byte + bit` (byte 0 is the
+/// column's first byte, bit 0 its LSB); `matrix[r][c] = 1` when input bit
+/// `r` feeds output bit `c` — i.e. rows are wordlines and columns are
+/// bitlines, matching the crossbar orientation.
+pub fn mixcolumns_matrix() -> Vec<Vec<i64>> {
+    let mut matrix = vec![vec![0i64; 32]; 32];
+    // Probe the linear map with basis vectors: set one input bit, record
+    // which output bits light up.
+    for in_byte in 0..4 {
+        for in_bit in 0..8 {
+            let mut col = [0u8; 4];
+            col[in_byte] = 1 << in_bit;
+            let out = mix_single_column(&col);
+            for (out_byte, &ob) in out.iter().enumerate() {
+                for out_bit in 0..8 {
+                    if (ob >> out_bit) & 1 == 1 {
+                        matrix[8 * in_byte + in_bit][8 * out_byte + out_bit] = 1;
+                    }
+                }
+            }
+        }
+    }
+    matrix
+}
+
+/// Reference MixColumns on a single column.
+pub fn mix_single_column(col: &[u8; 4]) -> [u8; 4] {
+    [
+        gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3],
+        col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3],
+        col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3),
+        gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2),
+    ]
+}
+
+/// Unpacks a column's 4 bytes into 32 bits (LSB-first per byte).
+pub fn column_to_bits(col: &[u8; 4]) -> Vec<i64> {
+    let mut bits = Vec::with_capacity(32);
+    for &byte in col {
+        for bit in 0..8 {
+            bits.push(i64::from((byte >> bit) & 1));
+        }
+    }
+    bits
+}
+
+/// Packs 32 bits back into a column.
+///
+/// # Panics
+///
+/// Panics if `bits` is not exactly 32 entries of 0/1.
+pub fn bits_to_column(bits: &[i64]) -> [u8; 4] {
+    assert_eq!(bits.len(), 32, "a column is exactly 32 bits");
+    let mut col = [0u8; 4];
+    for (i, &b) in bits.iter().enumerate() {
+        assert!(b == 0 || b == 1, "bit values must be 0 or 1");
+        col[i / 8] |= (b as u8) << (i % 8);
+    }
+    col
+}
+
+/// The largest parity fan-in of any bitline — bounds the bitline count and
+/// therefore the ADC levels needed.
+pub fn max_fan_in(matrix: &[Vec<i64>]) -> usize {
+    let cols = matrix.first().map_or(0, Vec::len);
+    (0..cols)
+        .map(|c| matrix.iter().filter(|row| row[c] != 0).count())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_reproduces_mixcolumns_exhaustively_per_byte() {
+        let t = mixcolumns_matrix();
+        // all single-byte inputs in each byte position, plus mixed cases
+        for byte_pos in 0..4 {
+            for v in 0..=255u8 {
+                let mut col = [0u8; 4];
+                col[byte_pos] = v;
+                check_column(&t, &col);
+            }
+        }
+        for seed in 0..64u32 {
+            let col = [
+                (seed * 7) as u8,
+                (seed * 31 + 5) as u8,
+                (seed * 101 + 17) as u8,
+                (seed * 13 + 200) as u8,
+            ];
+            check_column(&t, &col);
+        }
+    }
+
+    fn check_column(t: &[Vec<i64>], col: &[u8; 4]) {
+        let bits = column_to_bits(col);
+        // integer MVM then parity
+        let out_bits: Vec<i64> = (0..32)
+            .map(|c| {
+                let count: i64 = (0..32).map(|r| bits[r] * t[r][c]).sum();
+                count & 1
+            })
+            .collect();
+        let packed = bits_to_column(&out_bits);
+        assert_eq!(packed, mix_single_column(col), "column {col:?}");
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        let col = [0xDE, 0xAD, 0xBE, 0xEF];
+        assert_eq!(bits_to_column(&column_to_bits(&col)), col);
+    }
+
+    #[test]
+    fn fan_in_is_small() {
+        // §4.3/§7.3: the parity fan-in stays small, so counts fit a few
+        // ADC levels.
+        let t = mixcolumns_matrix();
+        let fan_in = max_fan_in(&t);
+        assert!(fan_in <= 7, "fan-in {fan_in}");
+        assert!(fan_in >= 4, "fan-in {fan_in} suspiciously small");
+    }
+
+    #[test]
+    fn matrix_is_binary_and_32x32() {
+        let t = mixcolumns_matrix();
+        assert_eq!(t.len(), 32);
+        for row in &t {
+            assert_eq!(row.len(), 32);
+            assert!(row.iter().all(|&v| v == 0 || v == 1));
+        }
+    }
+}

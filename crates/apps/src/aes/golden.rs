@@ -1,0 +1,425 @@
+//! A plain-Rust AES reference (FIPS-197): AES-128/192/256 encrypt and
+//! decrypt, plus the standalone round steps the DARTH-PUM mapping reuses
+//! (key schedule, S-box, per-step transforms).
+//!
+//! This is the correctness oracle for the hybrid mapping and the workload
+//! descriptor for the CPU baseline. It is a straightforward table-free
+//! byte-level implementation (no T-tables) so each of the four round steps
+//! stays visible for Figure 14's per-kernel breakdown.
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = build_sbox();
+/// The inverse S-box.
+pub const INV_SBOX: [u8; 256] = build_inv_sbox();
+
+/// Multiplies two elements of GF(2^8) modulo `x^8 + x^4 + x^3 + x + 1`.
+pub const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+const fn gf_inverse(a: u8) -> u8 {
+    // a^254 in GF(2^8) by square-and-multiply (a^-1 = a^(2^8 - 2)).
+    if a == 0 {
+        return 0;
+    }
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let inv = gf_inverse(i as u8);
+        // affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        let mut b = inv;
+        let mut x = inv;
+        let mut r = 0;
+        while r < 4 {
+            x = x.rotate_left(1);
+            b ^= x;
+            r += 1;
+        }
+        sbox[i] = b ^ 0x63;
+        i += 1;
+    }
+    sbox
+}
+
+const fn build_inv_sbox() -> [u8; 256] {
+    let sbox = build_sbox();
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+/// AES key sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 192-bit key, 12 rounds.
+    Aes192,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    /// Number of rounds (§5.3).
+    pub fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes192 => 12,
+            KeySize::Aes256 => 14,
+        }
+    }
+
+    /// Key length in 32-bit words.
+    pub fn nk(self) -> usize {
+        match self {
+            KeySize::Aes128 => 4,
+            KeySize::Aes192 => 6,
+            KeySize::Aes256 => 8,
+        }
+    }
+}
+
+/// Expands a key into `rounds + 1` round keys of 16 bytes.
+///
+/// # Panics
+///
+/// Panics if `key` does not match `size`'s byte length.
+pub fn key_schedule(key: &[u8], size: KeySize) -> Vec<[u8; 16]> {
+    let nk = size.nk();
+    assert_eq!(key.len(), nk * 4, "key length must match the key size");
+    let rounds = size.rounds();
+    let nw = 4 * (rounds + 1);
+    let mut w = vec![[0u8; 4]; nw];
+    for (i, word) in w.iter_mut().take(nk).enumerate() {
+        word.copy_from_slice(&key[4 * i..4 * i + 4]);
+    }
+    let mut rcon = 1u8;
+    for i in nk..nw {
+        let mut temp = w[i - 1];
+        if i % nk == 0 {
+            temp.rotate_left(1);
+            for b in &mut temp {
+                *b = SBOX[*b as usize];
+            }
+            temp[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+        } else if nk > 6 && i % nk == 4 {
+            for b in &mut temp {
+                *b = SBOX[*b as usize];
+            }
+        }
+        for j in 0..4 {
+            temp[j] ^= w[i - nk][j];
+        }
+        w[i] = temp;
+    }
+    (0..=rounds)
+        .map(|r| {
+            let mut rk = [0u8; 16];
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+            rk
+        })
+        .collect()
+}
+
+/// State bytes are kept in FIPS order: byte `i` of the block is state
+/// column `i / 4`, row `i % 4`.
+pub type State = [u8; 16];
+
+/// SubBytes: S-box substitution of every byte.
+pub fn sub_bytes(state: &mut State) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// Inverse SubBytes.
+pub fn inv_sub_bytes(state: &mut State) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+/// ShiftRows: row `r` rotates left by `r` bytes.
+pub fn shift_rows(state: &mut State) {
+    let old = *state;
+    for r in 0..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = old[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+/// Inverse ShiftRows.
+pub fn inv_shift_rows(state: &mut State) {
+    let old = *state;
+    for r in 0..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = old[r + 4 * c];
+        }
+    }
+}
+
+/// MixColumns: each column is multiplied by the fixed circulant matrix
+/// `{02 03 01 01}`.
+pub fn mix_columns(state: &mut State) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+/// Inverse MixColumns (`{0e 0b 0d 09}`).
+pub fn inv_mix_columns(state: &mut State) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 0x0e) ^ gf_mul(col[1], 0x0b) ^ gf_mul(col[2], 0x0d) ^ gf_mul(col[3], 0x09);
+        state[4 * c + 1] =
+            gf_mul(col[0], 0x09) ^ gf_mul(col[1], 0x0e) ^ gf_mul(col[2], 0x0b) ^ gf_mul(col[3], 0x0d);
+        state[4 * c + 2] =
+            gf_mul(col[0], 0x0d) ^ gf_mul(col[1], 0x09) ^ gf_mul(col[2], 0x0e) ^ gf_mul(col[3], 0x0b);
+        state[4 * c + 3] =
+            gf_mul(col[0], 0x0b) ^ gf_mul(col[1], 0x0d) ^ gf_mul(col[2], 0x09) ^ gf_mul(col[3], 0x0e);
+    }
+}
+
+/// AddRoundKey: XOR with the round key.
+pub fn add_round_key(state: &mut State, round_key: &[u8; 16]) {
+    for (b, k) in state.iter_mut().zip(round_key) {
+        *b ^= k;
+    }
+}
+
+/// A keyed AES context.
+#[derive(Debug, Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+}
+
+impl Aes {
+    /// Creates an AES-128 context.
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Aes {
+            round_keys: key_schedule(key, KeySize::Aes128),
+        }
+    }
+
+    /// Creates an AES-192 context.
+    pub fn new_192(key: &[u8; 24]) -> Self {
+        Aes {
+            round_keys: key_schedule(key, KeySize::Aes192),
+        }
+    }
+
+    /// Creates an AES-256 context.
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Aes {
+            round_keys: key_schedule(key, KeySize::Aes256),
+        }
+    }
+
+    /// The expanded round keys.
+    pub fn round_keys(&self) -> &[[u8; 16]] {
+        &self.round_keys
+    }
+
+    /// Number of rounds.
+    pub fn rounds(&self) -> usize {
+        self.round_keys.len() - 1
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state: State = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..self.rounds() {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[self.rounds()]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state: State = *block;
+        add_round_key(&mut state, &self.round_keys[self.rounds()]);
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        for round in (1..self.rounds()).rev() {
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+        }
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_spot_checks() {
+        // FIPS-197 Figure 7 values.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0xed], 0x53);
+    }
+
+    #[test]
+    fn gf_mul_known_values() {
+        // FIPS-197 §4.2: {57} x {83} = {c1}
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(1, 0xAB), 0xAB);
+        assert_eq!(gf_mul(0, 0xAB), 0x00);
+    }
+
+    #[test]
+    fn fips197_appendix_b_aes128() {
+        // FIPS-197 Appendix B worked example.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plaintext = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes::new_128(&key);
+        assert_eq!(aes.encrypt_block(&plaintext), expected);
+        assert_eq!(aes.decrypt_block(&expected), plaintext);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vectors() {
+        // FIPS-197 Appendix C: key 000102...0f, plaintext 00112233...ff.
+        let plaintext: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let key128: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let expected128 = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(Aes::new_128(&key128).encrypt_block(&plaintext), expected128);
+
+        let key192: [u8; 24] = core::array::from_fn(|i| i as u8);
+        let expected192 = [
+            0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0, 0x6e, 0xaf, 0x70, 0xa0, 0xec, 0x0d,
+            0x71, 0x91,
+        ];
+        assert_eq!(Aes::new_192(&key192).encrypt_block(&plaintext), expected192);
+
+        let key256: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let expected256 = [
+            0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+            0x60, 0x89,
+        ];
+        assert_eq!(Aes::new_256(&key256).encrypt_block(&plaintext), expected256);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let key = *b"A 16-byte secret";
+        let aes = Aes::new_128(&key);
+        for seed in 0u8..16 {
+            let block: [u8; 16] = core::array::from_fn(|i| seed.wrapping_mul(31).wrapping_add(i as u8));
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(KeySize::Aes128.rounds(), 10);
+        assert_eq!(KeySize::Aes192.rounds(), 12);
+        assert_eq!(KeySize::Aes256.rounds(), 14);
+        assert_eq!(Aes::new_128(&[0; 16]).rounds(), 10);
+        assert_eq!(Aes::new_192(&[0; 24]).rounds(), 12);
+        assert_eq!(Aes::new_256(&[0; 32]).rounds(), 14);
+    }
+
+    #[test]
+    fn key_schedule_first_round_key_is_the_key() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let rks = key_schedule(&key, KeySize::Aes128);
+        assert_eq!(rks.len(), 11);
+        assert_eq!(rks[0], key);
+    }
+
+    #[test]
+    fn step_inverses() {
+        let mut state: State = core::array::from_fn(|i| (i as u8).wrapping_mul(17));
+        let original = state;
+        sub_bytes(&mut state);
+        inv_sub_bytes(&mut state);
+        assert_eq!(state, original);
+        shift_rows(&mut state);
+        inv_shift_rows(&mut state);
+        assert_eq!(state, original);
+        mix_columns(&mut state);
+        inv_mix_columns(&mut state);
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn shift_rows_moves_expected_bytes() {
+        // state bytes 0..16 column-major; row 1 rotates by 1 column.
+        let mut state: State = core::array::from_fn(|i| i as u8);
+        shift_rows(&mut state);
+        assert_eq!(state[0], 0); // row 0 unmoved
+        assert_eq!(state[1], 5); // row 1: col 0 takes col 1's byte
+        assert_eq!(state[2], 10); // row 2 shifts by 2
+        assert_eq!(state[3], 15); // row 3 shifts by 3
+    }
+}

@@ -1,0 +1,10 @@
+//! AES encryption (§5.3): golden model, GF(2) linear algebra, DARTH-PUM
+//! mapping and workload trace.
+
+pub mod gf2;
+pub mod golden;
+pub mod mapping;
+pub mod workload;
+
+pub use golden::Aes;
+pub use mapping::AesDarth;

@@ -1,0 +1,175 @@
+//! The AES workload trace (one 16-byte block encryption).
+//!
+//! Kernel names match Figure 14's breakdown categories: `DataMovement`,
+//! `SubBytes`, `ShiftRows`, `MixColumns`, `AddRoundKey`. The per-round op
+//! counts follow the §5.3 mapping: 16 S-box gathers, a staged 16-element
+//! permutation gather, four 32×32 binary MVMs, and one 16-lane XOR.
+
+use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
+
+/// Rounds for each AES variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesVariant {
+    /// AES-128 (10 rounds).
+    Aes128,
+    /// AES-192 (12 rounds).
+    Aes192,
+    /// AES-256 (14 rounds).
+    Aes256,
+}
+
+impl AesVariant {
+    /// Number of rounds.
+    pub fn rounds(self) -> u64 {
+        match self {
+            AesVariant::Aes128 => 10,
+            AesVariant::Aes192 => 12,
+            AesVariant::Aes256 => 14,
+        }
+    }
+}
+
+fn sub_bytes_ops() -> Vec<KernelOp> {
+    vec![KernelOp::TableLookup {
+        elements: 16,
+        table_size: 256,
+        bits: 8,
+    }]
+}
+
+fn shift_rows_ops() -> Vec<KernelOp> {
+    vec![
+        KernelOp::Vector {
+            kind: VectorKind::Copy,
+            elements: 16,
+            bits: 8,
+            count: 1,
+        },
+        KernelOp::TableLookup {
+            elements: 16,
+            table_size: 64,
+            bits: 8,
+        },
+    ]
+}
+
+fn mix_columns_ops() -> Vec<KernelOp> {
+    vec![
+        // Four column transforms through the 32x32 binary matrix; the
+        // 1-bit inputs need no input slicing.
+        KernelOp::Mvm {
+            rows: 32,
+            cols: 32,
+            input_bits: 1,
+            weight_bits: 1,
+            batch: 4,
+        },
+        // Bit unpack/pack around the crossbar.
+        KernelOp::Vector {
+            kind: VectorKind::Shift,
+            elements: 16,
+            bits: 8,
+            count: 16,
+        },
+    ]
+}
+
+fn add_round_key_ops() -> Vec<KernelOp> {
+    vec![
+        KernelOp::Vector {
+            kind: VectorKind::Copy,
+            elements: 16,
+            bits: 8,
+            count: 1,
+        },
+        KernelOp::Vector {
+            kind: VectorKind::Bool,
+            elements: 16,
+            bits: 8,
+            count: 1,
+        },
+    ]
+}
+
+/// Builds the trace for one block encryption.
+///
+/// Kernels aggregate over all rounds so Figure 14's percentages read
+/// directly from the per-kernel breakdown.
+pub fn block_trace(variant: AesVariant) -> Trace {
+    let rounds = variant.rounds();
+    let mut sub_bytes = Vec::new();
+    let mut shift_rows = Vec::new();
+    let mut mix_columns = Vec::new();
+    let mut add_round_key = add_round_key_ops(); // initial whitening
+    for _ in 1..rounds {
+        sub_bytes.extend(sub_bytes_ops());
+        shift_rows.extend(shift_rows_ops());
+        mix_columns.extend(mix_columns_ops());
+        add_round_key.extend(add_round_key_ops());
+    }
+    // Final round: no MixColumns.
+    sub_bytes.extend(sub_bytes_ops());
+    shift_rows.extend(shift_rows_ops());
+    add_round_key.extend(add_round_key_ops());
+
+    let name = match variant {
+        AesVariant::Aes128 => "aes-128",
+        AesVariant::Aes192 => "aes-192",
+        AesVariant::Aes256 => "aes-256",
+    };
+    Trace::new(
+        name,
+        vec![
+            Kernel::new("DataMovement", vec![KernelOp::HostMove { bytes: 32 }]),
+            Kernel::new("SubBytes", sub_bytes),
+            Kernel::new("ShiftRows", shift_rows),
+            Kernel::new("MixColumns", mix_columns),
+            Kernel::new("AddRoundKey", add_round_key),
+        ],
+    )
+    // One block occupies the state/table/landing pipeline trio.
+    .with_pipelines_per_item(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_figure14_kernels() {
+        let t = block_trace(AesVariant::Aes128);
+        for name in [
+            "DataMovement",
+            "SubBytes",
+            "ShiftRows",
+            "MixColumns",
+            "AddRoundKey",
+        ] {
+            assert!(t.kernel(name).is_some(), "missing kernel {name}");
+        }
+    }
+
+    #[test]
+    fn round_scaling() {
+        let aes128 = block_trace(AesVariant::Aes128);
+        let aes256 = block_trace(AesVariant::Aes256);
+        assert!(aes256.macs() > aes128.macs());
+        // MixColumns runs rounds-1 times with 4 column MVMs each.
+        assert_eq!(aes128.kernel("MixColumns").map(|k| k.macs()), Some(9 * 4 * 32 * 32));
+    }
+
+    #[test]
+    fn aes_is_not_mvm_dominated_by_op_count() {
+        // §3's central observation: three of four steps are non-MVM.
+        // (Raw MAC counts still dominate because the 32x32 binary matrix
+        // is dense; the *time* split is what Figure 14 shows.)
+        let t = block_trace(AesVariant::Aes128);
+        assert!(t.element_ops() > 0);
+        assert!(t.mvm_fraction() < 0.95);
+    }
+
+    #[test]
+    fn pipelines_per_item_reflects_mapping() {
+        assert_eq!(block_trace(AesVariant::Aes128).pipelines_per_item, 3);
+    }
+}

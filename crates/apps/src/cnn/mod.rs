@@ -1,0 +1,10 @@
+//! ResNet-20 CNN inference (§5.1): fixed-point tensor substrate, the
+//! parameterizable network with Figure 15 layer naming, synthetic
+//! data/training, and the workload trace.
+
+pub mod data;
+pub mod resnet;
+pub mod tensor;
+pub mod workload;
+
+pub use resnet::{AnalogNoise, ResNet};

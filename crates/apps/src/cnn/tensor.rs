@@ -1,0 +1,468 @@
+//! A small fixed-point tensor library for quantized CNN inference.
+//!
+//! Everything is integer: activations and weights are 8-bit quantities in
+//! `i32` storage, convolution accumulates in `i64`, and a per-layer
+//! right-shift requantizes back into the 8-bit activation range — the same
+//! arithmetic a DARTH-PUM deployment performs (analog MVM accumulators
+//! reduced in the DCE, shifts and clamps as digital macros).
+//!
+//! Convolutions lower to matrix–vector products by Toeplitz (im2col)
+//! expansion (§5.1), which is also how layer shapes translate into
+//! [`darth_pum::trace::KernelOp::Mvm`] entries.
+
+use crate::{Error, Result};
+
+/// Activation clamp range (signed 8-bit).
+pub const ACT_MIN: i32 = -128;
+/// Activation clamp range (signed 8-bit).
+pub const ACT_MAX: i32 = 127;
+
+/// A channels × height × width integer tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor3 {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<i32>,
+}
+
+impl Tensor3 {
+    /// Creates a zero tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero dimensions.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Result<Self> {
+        if channels == 0 || height == 0 || width == 0 {
+            return Err(Error::Mapping("tensor dimensions must be nonzero".into()));
+        }
+        Ok(Tensor3 {
+            channels,
+            height,
+            width,
+            data: vec![0; channels * height * width],
+        })
+    }
+
+    /// Creates a tensor from raw data in CHW order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `data` does not match the shape.
+    pub fn from_data(channels: usize, height: usize, width: usize, data: Vec<i32>) -> Result<Self> {
+        if data.len() != channels * height * width {
+            return Err(Error::Mapping(format!(
+                "data length {} does not match {channels}x{height}x{width}",
+                data.len()
+            )));
+        }
+        Ok(Tensor3 {
+            channels,
+            height,
+            width,
+            data,
+        })
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Raw data in CHW order.
+    pub fn data(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Element access.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> i32 {
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Element mutation.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: i32) {
+        self.data[(c * self.height + y) * self.width + x] = v;
+    }
+
+    /// In-place ReLU.
+    pub fn relu(&mut self) {
+        for v in &mut self.data {
+            *v = (*v).max(0);
+        }
+    }
+
+    /// In-place clamp into the 8-bit activation range.
+    pub fn clamp_activation(&mut self) {
+        for v in &mut self.data {
+            *v = (*v).clamp(ACT_MIN, ACT_MAX);
+        }
+    }
+
+    /// Element-wise addition (residual shortcut).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when shapes differ.
+    pub fn add(&mut self, other: &Tensor3) -> Result<()> {
+        if self.channels != other.channels
+            || self.height != other.height
+            || self.width != other.width
+        {
+            return Err(Error::Mapping("residual add shape mismatch".into()));
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+        Ok(())
+    }
+}
+
+/// Convolution weights: `[out_ch][in_ch][k][k]` flattened, with one bias
+/// per output channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvWeights {
+    out_channels: usize,
+    in_channels: usize,
+    kernel: usize,
+    weights: Vec<i32>,
+    bias: Vec<i32>,
+}
+
+impl ConvWeights {
+    /// Creates convolution weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when lengths do not match the declared shape.
+    pub fn new(
+        out_channels: usize,
+        in_channels: usize,
+        kernel: usize,
+        weights: Vec<i32>,
+        bias: Vec<i32>,
+    ) -> Result<Self> {
+        if weights.len() != out_channels * in_channels * kernel * kernel {
+            return Err(Error::Mapping("weight length mismatch".into()));
+        }
+        if bias.len() != out_channels {
+            return Err(Error::Mapping("bias length mismatch".into()));
+        }
+        Ok(ConvWeights {
+            out_channels,
+            in_channels,
+            kernel,
+            weights,
+            bias,
+        })
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// One bias value.
+    pub fn bias(&self, co: usize) -> i32 {
+        self.bias[co]
+    }
+
+    /// One weight value.
+    pub fn weight(&self, co: usize, ci: usize, ky: usize, kx: usize) -> i32 {
+        self.weights[((co * self.in_channels + ci) * self.kernel + ky) * self.kernel + kx]
+    }
+
+    /// The Toeplitz (im2col) MVM shape of this convolution: `(rows, cols)`
+    /// = `(in_ch·k·k, out_ch)`.
+    pub fn mvm_shape(&self) -> (usize, usize) {
+        (
+            self.in_channels * self.kernel * self.kernel,
+            self.out_channels,
+        )
+    }
+}
+
+/// 2-D convolution with zero padding `pad`, stride `stride`, and
+/// requantization by `shift` (arithmetic right shift after bias), clamped
+/// to the 8-bit activation range.
+///
+/// # Errors
+///
+/// Returns an error on channel mismatch or a zero stride.
+pub fn conv2d(
+    input: &Tensor3,
+    w: &ConvWeights,
+    stride: usize,
+    pad: usize,
+    shift: u32,
+) -> Result<Tensor3> {
+    if input.channels() != w.in_channels() {
+        return Err(Error::Mapping(format!(
+            "conv input has {} channels, weights expect {}",
+            input.channels(),
+            w.in_channels()
+        )));
+    }
+    if stride == 0 {
+        return Err(Error::Mapping("stride must be nonzero".into()));
+    }
+    let out_h = (input.height() + 2 * pad - w.kernel()) / stride + 1;
+    let out_w = (input.width() + 2 * pad - w.kernel()) / stride + 1;
+    let mut out = Tensor3::zeros(w.out_channels(), out_h, out_w)?;
+    for co in 0..w.out_channels() {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut acc: i64 = i64::from(w.bias(co));
+                for ci in 0..input.channels() {
+                    for ky in 0..w.kernel() {
+                        for kx in 0..w.kernel() {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if iy < 0
+                                || ix < 0
+                                || iy >= input.height() as isize
+                                || ix >= input.width() as isize
+                            {
+                                continue;
+                            }
+                            acc += i64::from(input.get(ci, iy as usize, ix as usize))
+                                * i64::from(w.weight(co, ci, ky, kx));
+                        }
+                    }
+                }
+                let v = (acc >> shift) as i32;
+                out.set(co, oy, ox, v.clamp(ACT_MIN, ACT_MAX));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: one value per channel.
+pub fn global_avg_pool(input: &Tensor3) -> Vec<i32> {
+    let area = (input.height() * input.width()) as i64;
+    (0..input.channels())
+        .map(|c| {
+            let sum: i64 = (0..input.height())
+                .flat_map(|y| (0..input.width()).map(move |x| (y, x)))
+                .map(|(y, x)| i64::from(input.get(c, y, x)))
+                .sum();
+            (sum / area) as i32
+        })
+        .collect()
+}
+
+/// Fully connected layer: `logits = W·x + b` (no requantization — logits
+/// feed an argmax or the trainer).
+///
+/// # Errors
+///
+/// Returns an error for mismatched lengths.
+pub fn fully_connected(input: &[i32], weights: &[Vec<i32>], bias: &[i32]) -> Result<Vec<i64>> {
+    if weights.len() != bias.len() {
+        return Err(Error::Mapping("fc weight/bias mismatch".into()));
+    }
+    weights
+        .iter()
+        .zip(bias)
+        .map(|(row, &b)| {
+            if row.len() != input.len() {
+                return Err(Error::Mapping(format!(
+                    "fc row length {} does not match input {}",
+                    row.len(),
+                    input.len()
+                )));
+            }
+            Ok(row
+                .iter()
+                .zip(input)
+                .map(|(&w, &x)| i64::from(w) * i64::from(x))
+                .sum::<i64>()
+                + i64::from(b))
+        })
+        .collect()
+}
+
+/// The im2col row for one output position — the Toeplitz expansion the
+/// paper maps onto crossbar wordlines.
+pub fn im2col_row(
+    input: &Tensor3,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    oy: usize,
+    ox: usize,
+) -> Vec<i32> {
+    let mut row = Vec::with_capacity(input.channels() * kernel * kernel);
+    for ci in 0..input.channels() {
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                let ix = (ox * stride + kx) as isize - pad as isize;
+                if iy < 0
+                    || ix < 0
+                    || iy >= input.height() as isize
+                    || ix >= input.width() as isize
+                {
+                    row.push(0);
+                } else {
+                    row.push(input.get(ci, iy as usize, ix as usize));
+                }
+            }
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_tensor(c: usize, h: usize, w: usize) -> Tensor3 {
+        Tensor3::from_data(c, h, w, (0..(c * h * w) as i32).collect()).expect("valid")
+    }
+
+    #[test]
+    fn tensor_shape_validation() {
+        assert!(Tensor3::zeros(0, 1, 1).is_err());
+        assert!(Tensor3::from_data(1, 2, 2, vec![1, 2, 3]).is_err());
+        assert!(Tensor3::from_data(1, 2, 2, vec![1, 2, 3, 4]).is_ok());
+    }
+
+    #[test]
+    fn identity_convolution() {
+        let input = ramp_tensor(1, 3, 3);
+        let w = ConvWeights::new(1, 1, 1, vec![1], vec![0]).expect("valid");
+        let out = conv2d(&input, &w, 1, 0, 0).expect("runs");
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_known_3x3_sum() {
+        // all-ones 3x3 kernel on an all-ones image with pad 1: interior
+        // sums 9, corners 4, edges 6.
+        let input = Tensor3::from_data(1, 3, 3, vec![1; 9]).expect("valid");
+        let w = ConvWeights::new(1, 1, 3, vec![1; 9], vec![0]).expect("valid");
+        let out = conv2d(&input, &w, 1, 1, 0).expect("runs");
+        assert_eq!(out.get(0, 1, 1), 9);
+        assert_eq!(out.get(0, 0, 0), 4);
+        assert_eq!(out.get(0, 0, 1), 6);
+    }
+
+    #[test]
+    fn stride_halves_output() {
+        let input = ramp_tensor(1, 8, 8);
+        let w = ConvWeights::new(1, 1, 1, vec![1], vec![0]).expect("valid");
+        let out = conv2d(&input, &w, 2, 0, 0).expect("runs");
+        assert_eq!(out.height(), 4);
+        assert_eq!(out.width(), 4);
+        assert_eq!(out.get(0, 1, 1), input.get(0, 2, 2));
+    }
+
+    #[test]
+    fn shift_requantizes_and_clamps() {
+        let input = Tensor3::from_data(1, 1, 1, vec![64]).expect("valid");
+        let w = ConvWeights::new(1, 1, 1, vec![64], vec![0]).expect("valid");
+        let out = conv2d(&input, &w, 1, 0, 6).expect("runs");
+        assert_eq!(out.get(0, 0, 0), 64); // 64*64 >> 6
+        let out2 = conv2d(&input, &w, 1, 0, 0).expect("runs");
+        assert_eq!(out2.get(0, 0, 0), ACT_MAX);
+    }
+
+    #[test]
+    fn bias_applies_before_shift() {
+        let input = Tensor3::from_data(1, 1, 1, vec![0]).expect("valid");
+        let w = ConvWeights::new(1, 1, 1, vec![0], vec![32]).expect("valid");
+        let out = conv2d(&input, &w, 1, 0, 5).expect("runs");
+        assert_eq!(out.get(0, 0, 0), 1);
+    }
+
+    #[test]
+    fn relu_and_clamp() {
+        let mut t = Tensor3::from_data(1, 1, 4, vec![-5, 3, 200, -300]).expect("valid");
+        t.clamp_activation();
+        assert_eq!(t.data(), &[-5, 3, 127, -128]);
+        t.relu();
+        assert_eq!(t.data(), &[0, 3, 127, 0]);
+    }
+
+    #[test]
+    fn residual_add_checks_shape() {
+        let mut a = ramp_tensor(1, 2, 2);
+        let b = ramp_tensor(1, 2, 2);
+        a.add(&b).expect("same shape");
+        assert_eq!(a.get(0, 1, 1), 6);
+        let c = ramp_tensor(2, 2, 2);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn global_pool_averages() {
+        let t = Tensor3::from_data(2, 2, 2, vec![1, 2, 3, 4, 10, 10, 10, 10]).expect("valid");
+        assert_eq!(global_avg_pool(&t), vec![2, 10]);
+    }
+
+    #[test]
+    fn fully_connected_matches_dot() {
+        let logits =
+            fully_connected(&[1, 2, 3], &[vec![1, 0, 0], vec![1, 1, 1]], &[5, 0]).expect("runs");
+        assert_eq!(logits, vec![6, 6]);
+        assert!(fully_connected(&[1], &[vec![1, 2]], &[0]).is_err());
+    }
+
+    #[test]
+    fn im2col_matches_direct_convolution() {
+        let input = ramp_tensor(2, 4, 4);
+        let w = ConvWeights::new(
+            3,
+            2,
+            3,
+            (0..3 * 2 * 3 * 3).map(|i| (i % 5) as i32 - 2).collect(),
+            vec![0, 1, -1],
+        )
+        .expect("valid");
+        let direct = conv2d(&input, &w, 1, 1, 0).expect("runs");
+        for oy in 0..4 {
+            for ox in 0..4 {
+                let row = im2col_row(&input, 3, 1, 1, oy, ox);
+                for co in 0..3 {
+                    let mut acc = 0i64;
+                    for (idx, &x) in row.iter().enumerate() {
+                        let ci = idx / 9;
+                        let ky = (idx % 9) / 3;
+                        let kx = idx % 3;
+                        acc += i64::from(x) * i64::from(w.weight(co, ci, ky, kx));
+                    }
+                    acc += i64::from(w.bias(co));
+                    let expected = (acc as i32).clamp(ACT_MIN, ACT_MAX);
+                    assert_eq!(direct.get(co, oy, ox), expected, "({co},{oy},{ox})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mvm_shape_is_toeplitz() {
+        let w = ConvWeights::new(16, 3, 3, vec![0; 16 * 3 * 9], vec![0; 16]).expect("valid");
+        assert_eq!(w.mvm_shape(), (27, 16));
+    }
+}

@@ -1,0 +1,134 @@
+//! The ResNet-20 workload trace (one inference).
+//!
+//! Each conv layer becomes one kernel named after its Figure 15 row: a
+//! Toeplitz MVM (`rows = in_ch·k²`, `cols = out_ch`, one batch entry per
+//! output position) plus the auxiliary vector work (bias, ReLU, residual
+//! adds) the DCE absorbs. The classifier contributes the final
+//! `Seq-b4-Seq` kernel.
+
+use super::resnet::ResNet;
+use crate::Result;
+use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
+
+/// Builds the per-layer inference trace for a network.
+///
+/// # Errors
+///
+/// Propagates plan construction errors (none for a valid network).
+pub fn inference_trace(net: &ResNet) -> Result<Trace> {
+    let mut kernels = Vec::new();
+    for (layer, in_size) in net.conv_plan() {
+        let (rows, cols) = layer.weights.mvm_shape();
+        let out_size = layer.out_size(in_size);
+        let positions = (out_size * out_size) as u64;
+        let ops = vec![
+            KernelOp::Mvm {
+                rows: rows as u64,
+                cols: cols as u64,
+                input_bits: 8,
+                weight_bits: 8,
+                batch: positions,
+            },
+            // bias add + requantizing shift + ReLU per output element
+            KernelOp::Vector {
+                kind: VectorKind::Add,
+                elements: cols as u64 * positions,
+                bits: 8,
+                count: 1,
+            },
+            KernelOp::Vector {
+                kind: VectorKind::Shift,
+                elements: cols as u64 * positions,
+                bits: 8,
+                count: 1,
+            },
+            KernelOp::Vector {
+                kind: VectorKind::Compare,
+                elements: cols as u64 * positions,
+                bits: 8,
+                count: 1,
+            },
+        ];
+        kernels.push(Kernel::new(layer.name.clone(), ops));
+    }
+    // Global average pool + classifier.
+    let feat = net.feature_dim() as u64;
+    kernels.push(Kernel::new(
+        "Seq-b4-Seq",
+        vec![
+            KernelOp::Vector {
+                kind: VectorKind::Add,
+                elements: feat * 64,
+                bits: 8,
+                count: 1,
+            },
+            KernelOp::Mvm {
+                rows: feat,
+                cols: net.classes() as u64,
+                input_bits: 8,
+                weight_bits: 8,
+                batch: 1,
+            },
+        ],
+    ));
+    Ok(Trace::new("resnet-20", kernels)
+        // one inference is one item; batching replicates the whole model
+        .with_pipelines_per_item(8)
+        .with_parallel_items(1 << 20))
+}
+
+/// The Figure 15 layer-name row order for the full ResNet-20.
+pub fn figure15_layer_order(net: &ResNet) -> Vec<String> {
+    net.layer_names()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnn::resnet::ResNet;
+
+    #[test]
+    fn trace_covers_every_figure15_layer() {
+        let net = ResNet::resnet20(1).expect("builds");
+        let trace = inference_trace(&net).expect("builds");
+        for name in figure15_layer_order(&net) {
+            assert!(trace.kernel(&name).is_some(), "missing layer {name}");
+        }
+        assert_eq!(trace.kernels.len(), 22);
+    }
+
+    #[test]
+    fn resnet20_mac_count_is_roughly_40m() {
+        // The CIFAR-10 ResNet-20 is ~40.5M MACs per inference.
+        let net = ResNet::resnet20(1).expect("builds");
+        let trace = inference_trace(&net).expect("builds");
+        let macs = trace.macs();
+        assert!(
+            (30_000_000..60_000_000).contains(&macs),
+            "MACs {macs} out of ResNet-20 range"
+        );
+    }
+
+    #[test]
+    fn trace_is_mvm_dominated() {
+        // §7.2: ResNet is the MVM-heavy workload.
+        let net = ResNet::resnet20(1).expect("builds");
+        let trace = inference_trace(&net).expect("builds");
+        assert!(trace.mvm_fraction() > 0.9, "{}", trace.mvm_fraction());
+    }
+
+    #[test]
+    fn stem_layer_shape() {
+        let net = ResNet::resnet20(1).expect("builds");
+        let trace = inference_trace(&net).expect("builds");
+        let stem = trace.kernel("c1-Conv1").expect("exists");
+        match stem.ops[0] {
+            KernelOp::Mvm { rows, cols, batch, .. } => {
+                assert_eq!(rows, 27); // 3 channels x 3x3
+                assert_eq!(cols, 16);
+                assert_eq!(batch, 32 * 32);
+            }
+            ref other => panic!("stem op 0 should be an MVM, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! An integer transformer encoder layer (§5.2).
+//!
+//! Multi-head self-attention plus a feed-forward network, entirely in
+//! Q16.16 integer arithmetic via [`super::intops`]. The DARTH-PUM
+//! placement (reflected in the workload trace): the *attention mechanism*
+//! — QKᵀ, softmax, attn·V — runs in the DCE because its matrices change
+//! every token (reprogramming analog arrays would dominate, §5.2), while
+//! the weight-static projections and the FFN run in the ACE.
+
+use super::intops::{int_gelu, int_layernorm, int_softmax, qmul};
+use crate::{Error, Result};
+use darth_reram::NoiseRng;
+
+/// Encoder dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderConfig {
+    /// Model (hidden) dimension.
+    pub d_model: usize,
+    /// Attention heads (must divide `d_model`).
+    pub heads: usize,
+    /// Feed-forward inner dimension.
+    pub d_ff: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Encoder layers.
+    pub layers: usize,
+}
+
+impl EncoderConfig {
+    /// A BERT-base-like configuration (the paper's LLMEnc scale).
+    pub fn bert_base() -> Self {
+        EncoderConfig {
+            d_model: 768,
+            heads: 12,
+            d_ff: 3072,
+            seq_len: 128,
+            layers: 12,
+        }
+    }
+
+    /// A miniature configuration for functional tests.
+    pub fn tiny() -> Self {
+        EncoderConfig {
+            d_model: 16,
+            heads: 4,
+            d_ff: 32,
+            seq_len: 8,
+            layers: 2,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `heads` does not divide `d_model` or any
+    /// dimension is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.d_model == 0 || self.heads == 0 || self.d_ff == 0 || self.seq_len == 0 {
+            return Err(Error::Mapping("encoder dimensions must be nonzero".into()));
+        }
+        if self.d_model % self.heads != 0 {
+            return Err(Error::Mapping(format!(
+                "heads {} must divide d_model {}",
+                self.heads, self.d_model
+            )));
+        }
+        Ok(())
+    }
+
+    /// Per-head dimension.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.heads
+    }
+}
+
+/// Weight matrices of one layer, as small integers (Q0 weights; the
+/// matmuls rescale back into Q16.16).
+#[derive(Debug, Clone)]
+struct LayerWeights {
+    wq: Vec<Vec<i64>>,
+    wk: Vec<Vec<i64>>,
+    wv: Vec<Vec<i64>>,
+    wo: Vec<Vec<i64>>,
+    w1: Vec<Vec<i64>>,
+    w2: Vec<Vec<i64>>,
+}
+
+fn synth_matrix(rng: &mut NoiseRng, rows: usize, cols: usize) -> Vec<Vec<i64>> {
+    // fan-in scaled small integers: keep matmul outputs near unit scale
+    let sigma = 16.0 / (rows as f64).sqrt();
+    (0..rows)
+        .map(|_| {
+            (0..cols)
+                .map(|_| (rng.gaussian(0.0, sigma).round() as i64).clamp(-31, 31))
+                .collect()
+        })
+        .collect()
+}
+
+/// `out[s][j] = Σ_i x[s][i] · w[i][j] / 16` — integer matmul with the
+/// weight scale (16) divided back out to stay in Q16.16.
+fn matmul_q(x: &[Vec<i64>], w: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    let cols = w.first().map_or(0, Vec::len);
+    x.iter()
+        .map(|row| {
+            (0..cols)
+                .map(|j| {
+                    let acc: i64 = row.iter().zip(w).map(|(&xi, wrow)| xi * wrow[j]).sum();
+                    acc / 16
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// An integer multi-layer transformer encoder.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    config: EncoderConfig,
+    weights: Vec<LayerWeights>,
+}
+
+impl Encoder {
+    /// Builds an encoder with deterministic synthetic weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn new(config: EncoderConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        let mut rng = NoiseRng::seed_from(seed);
+        let weights = (0..config.layers)
+            .map(|_| LayerWeights {
+                wq: synth_matrix(&mut rng, config.d_model, config.d_model),
+                wk: synth_matrix(&mut rng, config.d_model, config.d_model),
+                wv: synth_matrix(&mut rng, config.d_model, config.d_model),
+                wo: synth_matrix(&mut rng, config.d_model, config.d_model),
+                w1: synth_matrix(&mut rng, config.d_model, config.d_ff),
+                w2: synth_matrix(&mut rng, config.d_ff, config.d_model),
+            })
+            .collect();
+        Ok(Encoder { config, weights })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Runs the full encoder stack over `input` (`seq_len × d_model`,
+    /// Q16.16).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a wrong-shaped input.
+    pub fn forward(&self, input: &[Vec<i64>]) -> Result<Vec<Vec<i64>>> {
+        if input.len() != self.config.seq_len
+            || input.iter().any(|row| row.len() != self.config.d_model)
+        {
+            return Err(Error::Mapping(format!(
+                "input must be {}x{}",
+                self.config.seq_len, self.config.d_model
+            )));
+        }
+        let mut x = input.to_vec();
+        for layer in &self.weights {
+            x = self.layer_forward(&x, layer);
+        }
+        Ok(x)
+    }
+
+    fn layer_forward(&self, x: &[Vec<i64>], w: &LayerWeights) -> Vec<Vec<i64>> {
+        let cfg = &self.config;
+        // --- attention (projections are ACE work; QK^T / softmax / attn.V
+        // are DCE work — the placement only matters for the trace)
+        let q = matmul_q(x, &w.wq);
+        let k = matmul_q(x, &w.wk);
+        let v = matmul_q(x, &w.wv);
+        let d_head = cfg.d_head();
+        let mut attn_out = vec![vec![0i64; cfg.d_model]; cfg.seq_len];
+        for h in 0..cfg.heads {
+            let lo = h * d_head;
+            for s in 0..cfg.seq_len {
+                // scores over the sequence for this query position
+                let scores: Vec<i64> = (0..cfg.seq_len)
+                    .map(|t| {
+                        let dot: i64 = (lo..lo + d_head)
+                            .map(|i| qmul(q[s][i], k[t][i]))
+                            .sum();
+                        // scale by 1/sqrt(d_head)
+                        dot / (d_head as f64).sqrt() as i64
+                    })
+                    .collect();
+                let probs = int_softmax(&scores);
+                for i in lo..lo + d_head {
+                    let acc: i64 = (0..cfg.seq_len).map(|t| qmul(probs[t], v[t][i])).sum();
+                    attn_out[s][i] = acc;
+                }
+            }
+        }
+        let projected = matmul_q(&attn_out, &w.wo);
+        // residual + layernorm
+        let mut after_attn = Vec::with_capacity(cfg.seq_len);
+        for (row, xrow) in projected.iter().zip(x) {
+            let summed: Vec<i64> = row.iter().zip(xrow).map(|(&a, &b)| a + b).collect();
+            after_attn.push(int_layernorm(&summed));
+        }
+        // --- FFN (ACE work)
+        let hidden = matmul_q(&after_attn, &w.w1);
+        let activated: Vec<Vec<i64>> = hidden
+            .iter()
+            .map(|row| row.iter().map(|&v| int_gelu(v)).collect())
+            .collect();
+        let ffn_out = matmul_q(&activated, &w.w2);
+        let mut out = Vec::with_capacity(cfg.seq_len);
+        for (row, xrow) in ffn_out.iter().zip(&after_attn) {
+            let summed: Vec<i64> = row.iter().zip(xrow).map(|(&a, &b)| a + b).collect();
+            out.push(int_layernorm(&summed));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::llm::intops::to_q;
+
+    fn input(cfg: &EncoderConfig, seed: u64) -> Vec<Vec<i64>> {
+        let mut rng = NoiseRng::seed_from(seed);
+        (0..cfg.seq_len)
+            .map(|_| {
+                (0..cfg.d_model)
+                    .map(|_| to_q(rng.gaussian(0.0, 1.0)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(EncoderConfig::bert_base().validate().is_ok());
+        assert!(EncoderConfig {
+            heads: 5,
+            ..EncoderConfig::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(EncoderConfig {
+            d_model: 0,
+            ..EncoderConfig::tiny()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_shaped() {
+        let cfg = EncoderConfig::tiny();
+        let enc = Encoder::new(cfg, 5).expect("builds");
+        let x = input(&cfg, 1);
+        let a = enc.forward(&x).expect("runs");
+        let b = enc.forward(&x).expect("runs");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.seq_len);
+        assert_eq!(a[0].len(), cfg.d_model);
+    }
+
+    #[test]
+    fn output_rows_are_normalized() {
+        let cfg = EncoderConfig::tiny();
+        let enc = Encoder::new(cfg, 5).expect("builds");
+        let out = enc.forward(&input(&cfg, 2)).expect("runs");
+        for row in &out {
+            let n = row.len() as f64;
+            let mean: f64 = row.iter().map(|&v| super::super::intops::from_q(v)).sum::<f64>() / n;
+            assert!(mean.abs() < 0.05, "row mean {mean}");
+        }
+    }
+
+    #[test]
+    fn different_inputs_give_different_outputs() {
+        let cfg = EncoderConfig::tiny();
+        let enc = Encoder::new(cfg, 5).expect("builds");
+        let a = enc.forward(&input(&cfg, 1)).expect("runs");
+        let b = enc.forward(&input(&cfg, 99)).expect("runs");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wrong_shape_is_rejected() {
+        let cfg = EncoderConfig::tiny();
+        let enc = Encoder::new(cfg, 5).expect("builds");
+        assert!(enc.forward(&[]).is_err());
+        let short = vec![vec![0i64; cfg.d_model - 1]; cfg.seq_len];
+        assert!(enc.forward(&short).is_err());
+    }
+}

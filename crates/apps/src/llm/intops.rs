@@ -1,0 +1,228 @@
+//! Integer-only transformer kernels, after I-BERT (Kim et al., 2021).
+//!
+//! The paper's LLM encoder runs its non-MVM operations — softmax, GELU,
+//! layer normalization, square root — on the DCE using I-BERT's
+//! integer-only algorithms (§5.2). This module implements those kernels in
+//! Q16.16 fixed point with pure integer arithmetic (shifts, adds,
+//! multiplies), exactly the macro classes the digital pipelines provide.
+
+/// Fixed-point scale (Q16.16).
+pub const SCALE: i64 = 1 << 16;
+/// `ln 2` in Q16.16.
+const LN2_Q: i64 = 45_426; // round(ln(2) * 65536)
+
+/// Converts a float to Q16.16 (test/support helper).
+pub fn to_q(x: f64) -> i64 {
+    (x * SCALE as f64).round() as i64
+}
+
+/// Converts Q16.16 back to float.
+pub fn from_q(q: i64) -> f64 {
+    q as f64 / SCALE as f64
+}
+
+/// Multiplies two Q16.16 numbers.
+pub fn qmul(a: i64, b: i64) -> i64 {
+    (a * b) >> 16
+}
+
+/// Integer square root of a non-negative integer (Newton's method) — the
+/// I-BERT `int-sqrt` used by layer normalization.
+///
+/// # Panics
+///
+/// Panics on negative input.
+pub fn int_sqrt(n: i64) -> i64 {
+    assert!(n >= 0, "int_sqrt requires a non-negative input");
+    if n < 2 {
+        return n;
+    }
+    let mut x = 1i64 << ((64 - i64::from(n.leading_zeros())) / 2 + 1);
+    loop {
+        let next = (x + n / x) / 2;
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// I-BERT integer exponential for non-positive Q16.16 inputs:
+/// `exp(x) = 2^(-z) · poly(r)` with `x = -z·ln2 + r`, `r ∈ (-ln2, 0]`, and
+/// the second-order polynomial `0.3585·(r + 1.353)² + 0.344`.
+///
+/// Inputs above zero are clamped to zero (softmax always shifts by the
+/// maximum first).
+pub fn int_exp(x: i64) -> i64 {
+    let x = x.min(0);
+    let z = (-x) / LN2_Q;
+    let r = x + z * LN2_Q; // in (-LN2_Q, 0]
+    // poly(r) = a(r+b)^2 + c in Q16.16
+    let a = to_q(0.3585);
+    let b = to_q(1.353);
+    let c = to_q(0.344);
+    let t = r + b;
+    let poly = qmul(a, qmul(t, t)) + c;
+    if z >= 63 {
+        0
+    } else {
+        poly >> z
+    }
+}
+
+/// Integer softmax over Q16.16 logits: returns Q16.16 probabilities that
+/// sum to ≈ [`SCALE`].
+pub fn int_softmax(logits: &[i64]) -> Vec<i64> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = *logits.iter().max().expect("nonempty");
+    let exps: Vec<i64> = logits.iter().map(|&l| int_exp(l - max)).collect();
+    let sum: i64 = exps.iter().sum::<i64>().max(1);
+    exps.iter().map(|&e| e * SCALE / sum).collect()
+}
+
+/// I-BERT integer GELU: `x · 0.5 · (1 + erf(x/√2))` with the sign-split
+/// polynomial erf approximation `sign(x)·[a·(min(|x|, -b) + b)² + 1]`,
+/// `a = -0.2888`, `b = -1.769` (all Q16.16).
+pub fn int_gelu(x: i64) -> i64 {
+    let a = to_q(-0.2888);
+    let b = to_q(-1.769);
+    let inv_sqrt2 = to_q(1.0 / std::f64::consts::SQRT_2);
+    let xs = qmul(x, inv_sqrt2);
+    let sign = if xs < 0 { -1 } else { 1 };
+    let clipped = xs.abs().min(-b);
+    let t = clipped + b;
+    let erf = sign * (qmul(a, qmul(t, t)) + SCALE);
+    let half = to_q(0.5);
+    qmul(x, qmul(half, SCALE + erf))
+}
+
+/// Integer layer normalization over Q16.16 values: zero mean, unit
+/// variance (times [`SCALE`]), using [`int_sqrt`].
+pub fn int_layernorm(values: &[i64]) -> Vec<i64> {
+    let n = values.len() as i64;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean = values.iter().sum::<i64>() / n;
+    let var: i64 = values
+        .iter()
+        .map(|&v| {
+            let d = v - mean;
+            // keep the variance in Q16.16: d is Q16.16, d*d is Q32.32
+            (d * d) >> 16
+        })
+        .sum::<i64>()
+        / n;
+    // std in Q16.16: sqrt(var_q16 << 16)
+    let std = int_sqrt(var << 16).max(1);
+    values.iter().map(|&v| (v - mean) * SCALE / std).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_round_trip() {
+        for x in [-3.5, -1.0, 0.0, 0.25, 2.75] {
+            assert!((from_q(to_q(x)) - x).abs() < 1e-4);
+        }
+        assert_eq!(qmul(to_q(2.0), to_q(3.0)), to_q(6.0));
+    }
+
+    #[test]
+    fn int_sqrt_exact_squares() {
+        for v in [0i64, 1, 4, 9, 144, 1 << 20, 99_980_001] {
+            let r = int_sqrt(v);
+            assert!(r * r <= v && (r + 1) * (r + 1) > v, "sqrt({v}) = {r}");
+        }
+    }
+
+    #[test]
+    fn int_exp_tracks_float_exp() {
+        for x in [-8.0, -4.0, -2.0, -1.0, -0.5, -0.1, 0.0] {
+            let got = from_q(int_exp(to_q(x)));
+            let want = x.exp();
+            assert!(
+                (got - want).abs() < 0.02,
+                "exp({x}): got {got}, want {want}"
+            );
+        }
+        // positive inputs clamp to exp(0)
+        assert_eq!(int_exp(to_q(3.0)), int_exp(0));
+        // very negative underflows to zero
+        assert_eq!(int_exp(to_q(-50.0)), 0);
+    }
+
+    #[test]
+    fn softmax_sums_to_scale() {
+        let logits: Vec<i64> = [-1.0, 0.5, 2.0, 0.0].iter().map(|&x| to_q(x)).collect();
+        let probs = int_softmax(&logits);
+        let sum: i64 = probs.iter().sum();
+        assert!((sum - SCALE).abs() < 64, "sum {sum}");
+        // monotone in the logits
+        assert!(probs[2] > probs[1] && probs[1] > probs[3] && probs[3] > probs[0]);
+        assert!(int_softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a: Vec<i64> = [1.0, 2.0, 3.0].iter().map(|&x| to_q(x)).collect();
+        let b: Vec<i64> = a.iter().map(|&x| x + to_q(10.0)).collect();
+        let pa = int_softmax(&a);
+        let pb = int_softmax(&b);
+        for (x, y) in pa.iter().zip(&pb) {
+            assert!((x - y).abs() <= 2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gelu_tracks_float_gelu() {
+        let gelu = |x: f64| 0.5 * x * (1.0 + erf_approx(x / std::f64::consts::SQRT_2));
+        for x in [-3.0, -1.5, -0.5, 0.0, 0.5, 1.5, 3.0] {
+            let got = from_q(int_gelu(to_q(x)));
+            let want = gelu(x);
+            assert!(
+                (got - want).abs() < 0.05,
+                "gelu({x}): got {got}, want {want}"
+            );
+        }
+    }
+
+    // Abramowitz–Stegun erf approximation for the test oracle only.
+    fn erf_approx(x: f64) -> f64 {
+        let sign = if x < 0.0 { -1.0 } else { 1.0 };
+        let x = x.abs();
+        let t = 1.0 / (1.0 + 0.3275911 * x);
+        let y = 1.0
+            - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+                + 0.254829592)
+                * t
+                * (-x * x).exp();
+        sign * y
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_variance() {
+        let values: Vec<i64> = [3.0, -1.0, 4.0, 1.0, -5.0, 9.0, -2.0, 6.0]
+            .iter()
+            .map(|&x| to_q(x))
+            .collect();
+        let normed = int_layernorm(&values);
+        let n = normed.len() as f64;
+        let mean: f64 = normed.iter().map(|&v| from_q(v)).sum::<f64>() / n;
+        let var: f64 = normed.iter().map(|&v| from_q(v).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+        assert!(int_layernorm(&[]).is_empty());
+    }
+
+    #[test]
+    fn layernorm_handles_constant_input() {
+        let values = vec![to_q(2.0); 8];
+        let normed = int_layernorm(&values);
+        assert!(normed.iter().all(|&v| v == 0));
+    }
+}

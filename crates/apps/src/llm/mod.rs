@@ -1,0 +1,8 @@
+//! LLM encoder (§5.2): I-BERT integer kernels, an integer transformer
+//! encoder with the DCE-attention / ACE-FFN split, and workload traces.
+
+pub mod encoder;
+pub mod intops;
+pub mod workload;
+
+pub use encoder::{Encoder, EncoderConfig};

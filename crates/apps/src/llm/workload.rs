@@ -1,0 +1,219 @@
+//! The LLM encoder workload trace (one sequence through the stack).
+//!
+//! Placement per §5.2: weight-static projections (QKV, output, FFN) are
+//! ACE MVMs; the attention mechanism's activation–activation products and
+//! the I-BERT non-linearities are DCE vector work. This split is why the
+//! paper finds 71% of LLMEnc time in non-MVM operations on DARTH-PUM.
+
+use super::encoder::EncoderConfig;
+use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
+
+/// Ops per scalar I-BERT softmax element (exp poly + normalize).
+const SOFTMAX_OPS_PER_ELEM: u64 = 8;
+/// Ops per scalar I-BERT GELU element.
+const GELU_OPS_PER_ELEM: u64 = 6;
+/// Ops per scalar layernorm element (mean/var/sqrt amortised).
+const LAYERNORM_OPS_PER_ELEM: u64 = 6;
+
+/// Builds the trace for one forward pass of the encoder stack.
+pub fn encoder_trace(cfg: &EncoderConfig) -> Trace {
+    let d = cfg.d_model as u64;
+    let dff = cfg.d_ff as u64;
+    let seq = cfg.seq_len as u64;
+    let heads = cfg.heads as u64;
+    let d_head = cfg.d_head() as u64;
+    let layers = cfg.layers as u64;
+
+    let mut kernels = Vec::new();
+    // --- ACE side: the weight-static projections.
+    kernels.push(Kernel::new(
+        "QKV-Proj",
+        vec![KernelOp::Mvm {
+            rows: d,
+            cols: 3 * d,
+            input_bits: 8,
+            weight_bits: 8,
+            batch: seq * layers,
+        }],
+    ));
+    // --- DCE side: the attention mechanism (dynamic matrices).
+    kernels.push(Kernel::new(
+        "Attention",
+        vec![
+            // QK^T: seq x seq dots of length d_head per head
+            KernelOp::Vector {
+                kind: VectorKind::Mul,
+                elements: heads * seq * seq * d_head,
+                bits: 8,
+                count: layers,
+            },
+            // attn . V
+            KernelOp::Vector {
+                kind: VectorKind::Mul,
+                elements: heads * seq * seq * d_head,
+                bits: 8,
+                count: layers,
+            },
+        ],
+    ));
+    kernels.push(Kernel::new(
+        "Softmax",
+        vec![KernelOp::Vector {
+            kind: VectorKind::Mul,
+            elements: heads * seq * seq * SOFTMAX_OPS_PER_ELEM,
+            bits: 16,
+            count: layers,
+        }],
+    ));
+    kernels.push(Kernel::new(
+        "Out-Proj",
+        vec![KernelOp::Mvm {
+            rows: d,
+            cols: d,
+            input_bits: 8,
+            weight_bits: 8,
+            batch: seq * layers,
+        }],
+    ));
+    kernels.push(Kernel::new(
+        "LayerNorm",
+        vec![KernelOp::Vector {
+            kind: VectorKind::Mul,
+            elements: 2 * seq * d * LAYERNORM_OPS_PER_ELEM,
+            bits: 16,
+            count: layers,
+        }],
+    ));
+    // --- ACE side: the FFN (the paper's headline placement).
+    kernels.push(Kernel::new(
+        "FFN",
+        vec![
+            KernelOp::Mvm {
+                rows: d,
+                cols: dff,
+                input_bits: 8,
+                weight_bits: 8,
+                batch: seq * layers,
+            },
+            KernelOp::Vector {
+                kind: VectorKind::Mul,
+                elements: seq * dff * GELU_OPS_PER_ELEM,
+                bits: 16,
+                count: layers,
+            },
+            KernelOp::Mvm {
+                rows: dff,
+                cols: d,
+                input_bits: 8,
+                weight_bits: 8,
+                batch: seq * layers,
+            },
+        ],
+    ));
+    Trace::new("llm-encoder", kernels)
+        .with_pipelines_per_item(16)
+        .with_parallel_items(1 << 20)
+}
+
+/// A variant trace that *does* run attention on the ACE, paying the §5.2
+/// reprogramming penalty — the ablation showing why the paper avoids it.
+pub fn encoder_trace_attention_on_ace(cfg: &EncoderConfig) -> Trace {
+    let d = cfg.d_model as u64;
+    let seq = cfg.seq_len as u64;
+    let heads = cfg.heads as u64;
+    let d_head = cfg.d_head() as u64;
+    let layers = cfg.layers as u64;
+    let mut base = encoder_trace(cfg);
+    // Replace the DCE attention kernel with ACE MVMs plus weight updates
+    // (K and V must be reprogrammed every sequence).
+    let attention = Kernel::new(
+        "Attention",
+        vec![
+            KernelOp::WeightUpdate {
+                rows: seq,
+                cols: d,
+                weight_bits: 8,
+            },
+            KernelOp::Mvm {
+                rows: d_head,
+                cols: seq,
+                input_bits: 8,
+                weight_bits: 8,
+                batch: seq * heads * layers,
+            },
+            KernelOp::WeightUpdate {
+                rows: seq,
+                cols: d,
+                weight_bits: 8,
+            },
+            KernelOp::Mvm {
+                rows: seq,
+                cols: d_head,
+                input_bits: 8,
+                weight_bits: 8,
+                batch: seq * heads * layers,
+            },
+        ],
+    );
+    for kernel in &mut base.kernels {
+        if kernel.name == "Attention" {
+            *kernel = attention;
+            break;
+        }
+    }
+    base.name = "llm-encoder-attn-on-ace".to_owned();
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_covers_both_domains() {
+        let t = encoder_trace(&EncoderConfig::bert_base());
+        assert!(t.kernel("FFN").is_some());
+        assert!(t.kernel("Attention").is_some());
+        assert!(t.kernel("Softmax").is_some());
+        assert!(t.macs() > 0, "ACE work present");
+        assert!(t.element_ops() > 0, "DCE work present");
+    }
+
+    #[test]
+    fn attention_dominates_element_ops() {
+        // §7.1: 71% of LLMEnc time is non-MVM; at the op level the
+        // seq^2-scaled attention work dwarfs the pointwise kernels.
+        let t = encoder_trace(&EncoderConfig::bert_base());
+        let attn = t.kernel("Attention").expect("exists").element_ops();
+        let ln = t.kernel("LayerNorm").expect("exists").element_ops();
+        assert!(attn > ln);
+    }
+
+    #[test]
+    fn ffn_is_the_mvm_heavyweight() {
+        let t = encoder_trace(&EncoderConfig::bert_base());
+        let ffn = t.kernel("FFN").expect("exists").macs();
+        let qkv = t.kernel("QKV-Proj").expect("exists").macs();
+        assert!(ffn > qkv);
+    }
+
+    #[test]
+    fn ace_attention_variant_pays_reprogramming() {
+        let cfg = EncoderConfig::bert_base();
+        let dce = encoder_trace(&cfg);
+        let ace = encoder_trace_attention_on_ace(&cfg);
+        let has_update = ace
+            .kernel("Attention")
+            .expect("exists")
+            .ops
+            .iter()
+            .any(|op| matches!(op, KernelOp::WeightUpdate { .. }));
+        assert!(has_update);
+        assert!(dce
+            .kernel("Attention")
+            .expect("exists")
+            .ops
+            .iter()
+            .all(|op| !matches!(op, KernelOp::WeightUpdate { .. })));
+    }
+}

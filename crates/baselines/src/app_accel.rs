@@ -1,0 +1,278 @@
+//! AppAccel: the per-application accelerators of §6.
+//!
+//! * **AES**: Intel AES-NI — one round per instruction, fully pipelined
+//!   across the host's cores.
+//! * **ResNet-20**: a ReRAM CNN accelerator in the style of Xiao et al. —
+//!   ramp ADCs with current-integrator shift-and-add and peripheral ALUs.
+//!   Fast per inference, but the SFU area cuts iso-area parallelism
+//!   (§7.1's explanation for DARTH-PUM closing to within 26.2%).
+//! * **LLM encoder**: an ISAAC-style accelerator with SAR ADCs and a
+//!   transformer SFU (shift, add, sqrt, ReLU, layernorm).
+
+use darth_analog::adc::{Adc, AdcKind};
+use darth_pum::params::{area, ISO_AREA_CM2};
+use darth_pum::trace::{CostReport, KernelOp, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Which accelerator to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppAccelKind {
+    /// AES-NI on the host CPU.
+    AesNi,
+    /// Ramp-ADC CNN accelerator with current integrators.
+    CnnAccelerator,
+    /// ISAAC-style transformer accelerator with SFUs.
+    LlmAccelerator,
+}
+
+/// An application-specific accelerator model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppAccelModel {
+    /// The accelerator flavour.
+    pub kind: AppAccelKind,
+    /// ADC used by the analog variants.
+    pub adc_kind: AdcKind,
+}
+
+impl AppAccelModel {
+    /// AES-NI.
+    pub fn aes_ni() -> Self {
+        AppAccelModel {
+            kind: AppAccelKind::AesNi,
+            adc_kind: AdcKind::Sar,
+        }
+    }
+
+    /// The CNN accelerator (ramp ADC per the paper).
+    pub fn cnn(adc_kind: AdcKind) -> Self {
+        AppAccelModel {
+            kind: AppAccelKind::CnnAccelerator,
+            adc_kind,
+        }
+    }
+
+    /// The LLM accelerator (SAR ADC per the paper).
+    pub fn llm(adc_kind: AdcKind) -> Self {
+        AppAccelModel {
+            kind: AppAccelKind::LlmAccelerator,
+            adc_kind,
+        }
+    }
+
+    /// Analog tile area including the dedicated SFU/shift-add periphery
+    /// that DARTH-PUM's HCT avoids (§7.1).
+    fn tile_area_um2(&self) -> f64 {
+        let adc = match self.adc_kind {
+            AdcKind::Sar => area::SAR_ADC * 2.0,
+            AdcKind::Ramp => area::RAMP_ADC,
+        };
+        // input buffers + row periphery + ADC + integrator/shift-add
+        // network + application SFUs (activation / softmax / layernorm)
+        let sfu = match self.kind {
+            AppAccelKind::AesNi => 0.0,
+            AppAccelKind::CnnAccelerator => 180_000.0,
+            AppAccelKind::LlmAccelerator => 160_000.0,
+        };
+        area::ACE_INPUT_BUFFERS + area::ACE_ROW_PERIPHERY + adc + area::SAMPLE_HOLD + sfu
+    }
+
+    /// Iso-area tile count.
+    pub fn tile_count(&self) -> usize {
+        (ISO_AREA_CM2 * 1e8 / self.tile_area_um2()) as usize
+    }
+
+    fn price_op(&self, op: &KernelOp) -> (f64, f64) {
+        const FREQ: f64 = 1.0e9;
+        match *op {
+            KernelOp::Mvm {
+                rows,
+                cols,
+                input_bits,
+                weight_bits,
+                batch,
+            } => {
+                let adc = Adc::new(self.adc_kind, 8, 1.0).expect("valid");
+                let bpc = if weight_bits <= 1 { 1 } else { 2u8 };
+                let slices = u64::from(weight_bits.div_ceil(bpc));
+                let tiles = rows.div_ceil(64) * cols.div_ceil(64);
+                let bits = u64::from(input_bits.max(1));
+                let readout = adc.readout_cycles((64 * slices) as usize, None).get();
+                // current integrators accumulate all input bits in analog,
+                // so the ADC converts once per input vector — not once per
+                // bit (the Xiao-style design the paper cites)
+                let per_input = bits + readout;
+                let cycles = per_input + (batch.saturating_sub(1)) * per_input;
+                let conversions = (64 * slices * bits * tiles) as f64 * batch as f64;
+                let adc_energy = match self.adc_kind {
+                    AdcKind::Sar => 1.5e-12 * conversions,
+                    AdcKind::Ramp => 1.2e-12 * 256.0 * (bits * tiles * batch) as f64,
+                };
+                (cycles as f64 / FREQ, adc_energy)
+            }
+            KernelOp::Vector {
+                elements, count, ..
+            } => {
+                // dedicated SFU datapaths; the transformer accelerator's
+                // softmax/layernorm SFUs are much wider (its whole point)
+                let lanes = match self.kind {
+                    AppAccelKind::CnnAccelerator => 256.0,
+                    AppAccelKind::LlmAccelerator => 2048.0,
+                    AppAccelKind::AesNi => 64.0,
+                };
+                let ops = (elements * count) as f64;
+                let time = ops / lanes / FREQ;
+                // SFU ALU energy ~0.5 pJ/op
+                (time, 0.5e-12 * ops)
+            }
+            KernelOp::TableLookup { elements, .. } => {
+                let time = elements as f64 / 16.0 / FREQ;
+                (time, 1e-12 * elements as f64)
+            }
+            KernelOp::HostMove { bytes } | KernelOp::OnChipMove { bytes } => {
+                let time = bytes as f64 / 32.0e9;
+                (time, 10e-12 * bytes as f64)
+            }
+            KernelOp::WeightUpdate { rows, .. } => {
+                let cycles = rows * 1000;
+                (cycles as f64 / FREQ, 0.7e-12 * cycles as f64)
+            }
+        }
+    }
+
+    /// Prices one trace.
+    pub fn price(&self, trace: &Trace) -> CostReport {
+        match self.kind {
+            AppAccelKind::AesNi => self.price_aes_ni(trace),
+            _ => self.price_analog(trace),
+        }
+    }
+
+    fn price_aes_ni(&self, trace: &Trace) -> CostReport {
+        // Single-stream AES-NI through a library interface (the paper
+        // measures OpenSSL): AESENC has a 4-cycle latency with
+        // round-to-round dependence, plus per-call overhead (load, key
+        // whitening, store, EVP dispatch). Modelled as one accelerator
+        // unit, matching the paper's AppAccel framing.
+        let rounds = if trace.name.contains("256") {
+            14.0
+        } else if trace.name.contains("192") {
+            12.0
+        } else {
+            10.0
+        };
+        let freq = 4.0e9;
+        let units = 1.0;
+        let overhead_cycles = 236.0;
+        let latency = (rounds * 4.0 + overhead_cycles) / freq;
+        let throughput = units / latency;
+        let energy = 2.0e-9; // ~2 nJ/block at ~15 W across the AES units
+        CostReport {
+            architecture: "AppAccel (AES-NI)".to_owned(),
+            workload: trace.name.clone(),
+            latency_s: latency,
+            throughput_items_per_s: throughput,
+            energy_per_item_j: energy,
+            kernel_latency_s: vec![("AES-NI".to_owned(), latency)],
+        }
+    }
+
+    fn price_analog(&self, trace: &Trace) -> CostReport {
+        let mut latency = 0.0;
+        let mut energy = 0.0;
+        let mut breakdown = Vec::new();
+        let mut peak_arrays: f64 = 1.0;
+        for kernel in &trace.kernels {
+            let mut t_k = 0.0;
+            for op in &kernel.ops {
+                let (t, e) = self.price_op(op);
+                t_k += t;
+                energy += e;
+                if let KernelOp::Mvm {
+                    rows,
+                    cols,
+                    weight_bits,
+                    ..
+                } = *op
+                {
+                    let slices = f64::from(weight_bits.div_ceil(2).max(1));
+                    peak_arrays = peak_arrays
+                        .max((rows.div_ceil(64) * cols.div_ceil(64)) as f64 * slices);
+                }
+            }
+            breakdown.push((kernel.name.clone(), t_k));
+            latency += t_k;
+        }
+        // Iso-area parallelism: tiles hold 64 arrays each, like an ACE.
+        let tiles_per_item = (peak_arrays / 64.0).ceil().max(1.0);
+        let parallel = ((self.tile_count() as f64) / tiles_per_item)
+            .max(1.0)
+            .min(trace.parallel_items as f64);
+        let label = match self.kind {
+            AppAccelKind::CnnAccelerator => "AppAccel (CNN)",
+            AppAccelKind::LlmAccelerator => "AppAccel (LLM)",
+            AppAccelKind::AesNi => unreachable!(),
+        };
+        CostReport {
+            architecture: label.to_owned(),
+            workload: trace.name.clone(),
+            latency_s: latency,
+            throughput_items_per_s: parallel / latency.max(1e-15),
+            energy_per_item_j: energy,
+            kernel_latency_s: breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darth_apps::aes::workload::{block_trace, AesVariant};
+    use darth_apps::cnn::{resnet::ResNet, workload::inference_trace};
+    use darth_apps::llm::encoder::EncoderConfig;
+    use darth_apps::llm::workload::encoder_trace;
+
+    #[test]
+    fn aes_ni_is_very_fast_per_block() {
+        let accel = AppAccelModel::aes_ni();
+        let report = accel.price(&block_trace(AesVariant::Aes128));
+        assert!(report.latency_s < 100e-9);
+        assert!(report.throughput_items_per_s > 1e7);
+    }
+
+    #[test]
+    fn sfu_area_reduces_tile_count() {
+        let cnn = AppAccelModel::cnn(AdcKind::Ramp);
+        let llm = AppAccelModel::llm(AdcKind::Sar);
+        assert!(llm.tile_count() < cnn.tile_count() * 2);
+        // both fit far fewer analog tiles than DARTH fits HCTs... per
+        // analog area; the point is the SFU overhead exists.
+        let no_sfu = AppAccelModel {
+            kind: AppAccelKind::CnnAccelerator,
+            adc_kind: AdcKind::Ramp,
+        }
+        .tile_area_um2()
+            - 180_000.0;
+        assert!(cnn.tile_area_um2() > 2.0 * no_sfu);
+    }
+
+    #[test]
+    fn cnn_accel_latency_beats_darth_latency() {
+        // §7.1: AppAccel's dedicated SFUs give better per-inference
+        // latency; DARTH-PUM recovers on iso-area throughput.
+        let accel = AppAccelModel::cnn(AdcKind::Ramp);
+        let darth = darth_pum::model::DarthModel::paper(AdcKind::Sar);
+        let net = ResNet::resnet20(1).expect("builds");
+        let trace = inference_trace(&net).expect("builds");
+        let a = accel.price(&trace);
+        let d = darth.price(&trace);
+        assert!(a.latency_s < d.latency_s);
+    }
+
+    #[test]
+    fn llm_accel_prices_encoder() {
+        let accel = AppAccelModel::llm(AdcKind::Sar);
+        let report = accel.price(&encoder_trace(&EncoderConfig::bert_base()));
+        assert!(report.latency_s > 0.0 && report.latency_s.is_finite());
+        assert!(report.energy_per_item_j > 0.0);
+    }
+}

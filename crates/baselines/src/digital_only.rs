@@ -1,0 +1,218 @@
+//! DigitalPUM: an iso-area RACER chip (§6).
+//!
+//! 5.3 GB of OSCAR-family digital PUM with one front end per eight
+//! clusters, limited to two active pipelines per cluster by thermals.
+//! Everything — including matrix multiplies — runs as bit-serial Boolean
+//! macros, which is precisely the gap hybrid PUM closes on MVM kernels
+//! (11.5× on MixColumns, §7.1).
+
+use darth_digital::logic::LogicFamily;
+use darth_digital::macros::MacroOp;
+use darth_digital::BoolOp;
+use darth_pum::params::{area, power, HCTS_PER_FRONT_END, ISO_AREA_CM2};
+use darth_pum::trace::{CostReport, KernelOp, Trace, VectorKind};
+use darth_reram::units::CLOCK_HZ;
+use serde::{Deserialize, Serialize};
+
+/// The RACER chip model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DigitalPumModel {
+    /// Logic family (OSCAR for the evaluation; Ideal for Figure 7).
+    pub family: LogicFamily,
+    /// Pipelines per cluster.
+    pub pipelines_per_cluster: usize,
+    /// Active pipelines per cluster (thermal limit, §6).
+    pub active_pipelines_per_cluster: usize,
+    /// Pipeline depth (bit width).
+    pub depth: u64,
+    /// Elements per vector register.
+    pub elements: u64,
+}
+
+impl DigitalPumModel {
+    /// The §6 configuration.
+    pub fn paper(family: LogicFamily) -> Self {
+        DigitalPumModel {
+            family,
+            pipelines_per_cluster: 64,
+            active_pipelines_per_cluster: 2,
+            depth: 64,
+            elements: 64,
+        }
+    }
+
+    /// Iso-area cluster count: a cluster is a DCE-only tile plus its
+    /// front-end share.
+    pub fn cluster_count(&self) -> usize {
+        let cluster_area = area::DCE_PIPELINE_CONTROL
+            + area::DCE_IO_CTRL
+            + area::DCE_DECODE_DRIVE
+            + area::DCE_PIPELINE_SELECT
+            + area::FRONT_END / HCTS_PER_FRONT_END as f64;
+        (ISO_AREA_CM2 * 1e8 / cluster_area) as usize
+    }
+
+    /// Seconds, joules for one kernel op on one active pipeline.
+    fn price_op(&self, op: &KernelOp) -> (f64, f64) {
+        let energy_per_prim = self.family.energy_per_primitive_pj() * 1e-12;
+        match *op {
+            KernelOp::Mvm {
+                rows,
+                cols,
+                input_bits,
+                weight_bits,
+                batch,
+            } => {
+                // Bit-serial multiply-accumulate: one Mul + one Add macro
+                // per matrix row, per 64-wide column group, per input.
+                let width = input_bits.max(weight_bits).max(1);
+                let mul = MacroOp::Mul(width).cost(self.family, self.depth, self.elements);
+                let add = MacroOp::Add.cost(self.family, self.depth, self.elements);
+                let col_groups = cols.div_ceil(self.elements);
+                let macro_count = rows * col_groups * batch;
+                let cycles = mul.pipelined_batch(macro_count).get()
+                    + add.pipelined_batch(macro_count).get();
+                let prims = (mul.primitives + add.primitives) * macro_count;
+                (
+                    cycles as f64 / CLOCK_HZ,
+                    prims as f64 * energy_per_prim,
+                )
+            }
+            KernelOp::Vector {
+                kind,
+                elements,
+                bits,
+                count,
+            } => {
+                let macro_op = match kind {
+                    VectorKind::Bool => MacroOp::Bool(BoolOp::Xor),
+                    VectorKind::Add => MacroOp::Add,
+                    VectorKind::Mul => MacroOp::Mul(bits),
+                    VectorKind::Shift => MacroOp::ShiftBits(1),
+                    VectorKind::Compare => MacroOp::CmpLt,
+                    VectorKind::Copy => MacroOp::CopyVr,
+                };
+                let cost = macro_op.cost(self.family, u64::from(bits).max(1), self.elements);
+                let instances = elements.div_ceil(self.elements) * count;
+                let cycles = if cost.barrier {
+                    cost.latency().get() * instances
+                } else {
+                    cost.pipelined_batch(instances).get()
+                };
+                (
+                    cycles as f64 / CLOCK_HZ,
+                    (cost.primitives * instances) as f64 * energy_per_prim,
+                )
+            }
+            KernelOp::TableLookup { elements, .. } => {
+                let cost = MacroOp::ElementLoad.cost(self.family, self.depth, self.elements);
+                let instances = elements.div_ceil(self.elements);
+                let cycles = cost.latency().get() * instances;
+                (
+                    cycles as f64 / CLOCK_HZ,
+                    power::PIPELINE_CTRL * 1e-3 * cycles as f64 / CLOCK_HZ,
+                )
+            }
+            KernelOp::HostMove { bytes } | KernelOp::OnChipMove { bytes } => {
+                let cycles = bytes.div_ceil(8);
+                (cycles as f64 / CLOCK_HZ, 1e-12 * bytes as f64)
+            }
+            KernelOp::WeightUpdate { rows, cols, .. } => {
+                // digital arrays rewrite at SLC speed: a row per cycle
+                let cycles = rows * cols.div_ceil(self.elements);
+                (cycles as f64 / CLOCK_HZ, 1e-12 * (rows * cols) as f64)
+            }
+        }
+    }
+
+    /// Prices a trace.
+    pub fn price(&self, trace: &Trace) -> CostReport {
+        let mut latency = 0.0;
+        let mut energy = 0.0;
+        let mut breakdown = Vec::new();
+        // an item's work spreads across the pipelines it occupies, up to
+        // the thermal active limit
+        let spread = (trace.pipelines_per_item.max(1) as f64)
+            .min(self.active_pipelines_per_cluster as f64);
+        for kernel in &trace.kernels {
+            let (t, e) = kernel
+                .ops
+                .iter()
+                .map(|op| self.price_op(op))
+                .fold((0.0, 0.0), |(t, e), (dt, de)| (t + dt, e + de));
+            let t = t / spread;
+            breakdown.push((kernel.name.clone(), t));
+            latency += t;
+            energy += e;
+        }
+        let active = (self.cluster_count() * self.active_pipelines_per_cluster) as f64;
+        let parallel = (active / trace.pipelines_per_item as f64)
+            .max(1.0)
+            .min(trace.parallel_items as f64);
+        CostReport {
+            architecture: format!("DigitalPUM ({})", self.family),
+            workload: trace.name.clone(),
+            latency_s: latency,
+            throughput_items_per_s: parallel / latency.max(1e-15),
+            energy_per_item_j: energy,
+            kernel_latency_s: breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darth_apps::aes::workload::{block_trace, AesVariant};
+    use darth_apps::cnn::{resnet::ResNet, workload::inference_trace};
+    use darth_pum::model::DarthModel;
+
+    #[test]
+    fn cluster_count_is_iso_area() {
+        let model = DigitalPumModel::paper(LogicFamily::Oscar);
+        let clusters = model.cluster_count();
+        assert!(
+            (1500..4000).contains(&clusters),
+            "cluster count {clusters}"
+        );
+    }
+
+    #[test]
+    fn ideal_family_is_faster() {
+        let oscar = DigitalPumModel::paper(LogicFamily::Oscar);
+        let ideal = DigitalPumModel::paper(LogicFamily::Ideal);
+        let t = block_trace(AesVariant::Aes128);
+        assert!(ideal.price(&t).latency_s < oscar.price(&t).latency_s);
+    }
+
+    #[test]
+    fn darth_crushes_digital_on_mvm_heavy_work() {
+        // §7.1: DARTH-PUM improves MixColumns 11.5x over DigitalPUM and
+        // dominates on ResNet.
+        let digital = DigitalPumModel::paper(LogicFamily::Oscar);
+        let darth = DarthModel::paper(darth_analog::adc::AdcKind::Sar);
+        let net = ResNet::resnet20(1).expect("builds");
+        let trace = inference_trace(&net).expect("builds");
+        let d = digital.price(&trace);
+        let h = darth.price(&trace);
+        assert!(
+            h.latency_s * 3.0 < d.latency_s,
+            "darth {} vs digital {}",
+            h.latency_s,
+            d.latency_s
+        );
+    }
+
+    #[test]
+    fn mvm_dominates_digital_aes_time() {
+        let digital = DigitalPumModel::paper(LogicFamily::Oscar);
+        let report = digital.price(&block_trace(AesVariant::Aes128));
+        let mix = report
+            .kernel_latency_s
+            .iter()
+            .find(|(n, _)| n == "MixColumns")
+            .map(|(_, t)| *t)
+            .expect("present");
+        assert!(mix / report.latency_s > 0.5, "{}", mix / report.latency_s);
+    }
+}

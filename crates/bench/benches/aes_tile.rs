@@ -1,0 +1,28 @@
+//! Criterion bench: AES-128 block encryption on the functional hybrid
+//! compute tile (cell-accurate OSCAR pulses + analog MixColumns), plus the
+//! golden software implementation for reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darth_apps::aes::golden::Aes;
+use darth_apps::aes::mapping::AesDarth;
+use std::hint::black_box;
+
+fn bench_aes(c: &mut Criterion) {
+    let key = *b"benchmark-key-16";
+    let block = *b"benchmark-block!";
+    let golden = Aes::new_128(&key);
+    c.bench_function("aes_golden_block", |b| {
+        b.iter(|| black_box(golden.encrypt_block(black_box(&block))))
+    });
+    let mut engine = AesDarth::new_128(&key).expect("engine builds");
+    c.bench_function("aes_hybrid_tile_block", |b| {
+        b.iter(|| black_box(engine.encrypt_block(black_box(&block)).expect("encrypts")))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_aes
+}
+criterion_main!(benches);

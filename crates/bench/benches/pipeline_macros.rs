@@ -1,0 +1,45 @@
+//! Criterion bench: RACER pipeline macro operations (cell-accurate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darth_digital::logic::LogicFamily;
+use darth_digital::pipeline::{Pipeline, PipelineConfig};
+use darth_digital::BoolOp;
+use std::hint::black_box;
+
+fn pipeline() -> Pipeline {
+    let mut p = Pipeline::new(PipelineConfig {
+        depth: 32,
+        elements: 64,
+        vr_count: 16,
+        scratch_cols: 12,
+        family: LogicFamily::Oscar,
+    })
+    .expect("valid");
+    p.write_vector(0, &vec![0xDEAD; 64]).expect("fits");
+    p.write_vector(1, &vec![0xBEEF; 64]).expect("fits");
+    p
+}
+
+fn bench_macros(c: &mut Criterion) {
+    let mut p = pipeline();
+    c.bench_function("pipeline_xor_64x32b", |b| {
+        b.iter(|| p.bool_op(BoolOp::Xor, 2, 0, 1).expect("runs"))
+    });
+    c.bench_function("pipeline_add_64x32b", |b| {
+        b.iter(|| p.add(3, 0, 1).expect("runs"))
+    });
+    c.bench_function("pipeline_shl_64x32b", |b| {
+        b.iter(|| p.shl(4, 0, 3).expect("runs"))
+    });
+    c.bench_function("pipeline_relu_64x32b", |b| {
+        b.iter(|| p.relu(5, 0).expect("runs"))
+    });
+    let _ = black_box(&p);
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_macros
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 13: iso-area throughput normalised to Baseline, plus the
+//! abstract's headline speedups (59.4× / 14.8× / 40.8×).
+
+use darth_analog::adc::AdcKind;
+use darth_bench::{all_reports, geomean_of, print_table};
+
+fn main() {
+    let reports = all_reports(AdcKind::Sar);
+    let mut rows: Vec<(String, Vec<f64>)> = reports
+        .iter()
+        .map(|r| {
+            let (d, h, a) = r.fig13_row();
+            (r.workload.label().to_owned(), vec![d, h, a])
+        })
+        .collect();
+    rows.push((
+        "GeoMean".to_owned(),
+        vec![
+            geomean_of(&reports, |r| r.fig13_row().0),
+            geomean_of(&reports, |r| r.fig13_row().1),
+            geomean_of(&reports, |r| r.fig13_row().2),
+        ],
+    ));
+    print_table(
+        "Figure 13: throughput normalised to Baseline",
+        &["DigitalPUM", "DARTH-PUM", "AppAccel"],
+        &rows,
+    );
+    println!("\nPaper reference (DARTH-PUM column): AES 59.4, ResNet-20 14.8, LLMEnc 40.8, GeoMean 31.4");
+    println!("Paper reference (AppAccel): AES-NI = DARTH/36.9, ResNet within 26.2% above DARTH, LLM above DARTH");
+}

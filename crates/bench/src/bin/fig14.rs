@@ -1,0 +1,51 @@
+//! Figure 14: AES kernel latency breakdown, normalised to Baseline's total.
+//!
+//! Three architectures (Baseline, DigitalPUM, DARTH-PUM), five kernels
+//! (DataMovement, SubBytes, ShiftRows, MixColumns, AddRoundKey).
+
+use darth_analog::adc::AdcKind;
+use darth_apps::aes::workload::{block_trace, AesVariant};
+use darth_baselines::analog_only::BaselineModel;
+use darth_baselines::digital_only::DigitalPumModel;
+use darth_digital::logic::LogicFamily;
+use darth_pum::model::DarthModel;
+
+fn main() {
+    let trace = block_trace(AesVariant::Aes128);
+    let baseline = BaselineModel::paper(AdcKind::Sar).price(&trace);
+    let digital = DigitalPumModel::paper(LogicFamily::Oscar).price(&trace);
+    let darth = DarthModel::paper(AdcKind::Sar).price(&trace);
+    let base_total = baseline.latency_s;
+
+    println!("\n=== Figure 14: AES kernel latency breakdown (% of Baseline total) ===");
+    print!("{:<14}", "kernel");
+    for arch in ["Baseline", "DigitalPUM", "DARTH-PUM"] {
+        print!("{arch:>14}");
+    }
+    println!();
+    let kernels = ["DataMovement", "SubBytes", "ShiftRows", "MixColumns", "AddRoundKey"];
+    for kernel in kernels {
+        print!("{kernel:<14}");
+        for report in [&baseline, &digital, &darth] {
+            let t = report
+                .kernel_latency_s
+                .iter()
+                .find(|(n, _)| n == kernel)
+                .map(|(_, t)| *t)
+                .unwrap_or(0.0);
+            print!("{:>13.1}%", 100.0 * t / base_total);
+        }
+        println!();
+    }
+    print!("{:<14}", "TOTAL");
+    for report in [&baseline, &digital, &darth] {
+        print!("{:>13.1}%", 100.0 * report.latency_s / base_total);
+    }
+    println!();
+    println!("\nPaper reference: DARTH-PUM single-encryption latency improves 53.7% over");
+    println!("Baseline; MixColumns on DARTH-PUM is 11.5x faster than on DigitalPUM;");
+    println!("DigitalPUM total is several times Baseline (MixColumns-dominated).");
+    let mix_digital = digital.kernel_latency_s.iter().find(|(n, _)| n == "MixColumns").map(|(_, t)| *t).unwrap_or(0.0);
+    let mix_darth = darth.kernel_latency_s.iter().find(|(n, _)| n == "MixColumns").map(|(_, t)| *t).unwrap_or(1.0);
+    println!("Measured MixColumns DigitalPUM/DARTH-PUM ratio: {:.1}x", mix_digital / mix_darth);
+}

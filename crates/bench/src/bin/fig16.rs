@@ -1,0 +1,31 @@
+//! Figure 16: energy savings normalised to Baseline (log-scale bars in the
+//! paper), plus the abstract's 39.6x / 51.2x / 110.7x headline.
+
+use darth_analog::adc::AdcKind;
+use darth_bench::{all_reports, geomean_of, print_table};
+
+fn main() {
+    let reports = all_reports(AdcKind::Sar);
+    let mut rows: Vec<(String, Vec<f64>)> = reports
+        .iter()
+        .map(|r| {
+            let (d, h, a) = r.fig16_row();
+            (r.workload.label().to_owned(), vec![d, h, a])
+        })
+        .collect();
+    rows.push((
+        "GeoMean".to_owned(),
+        vec![
+            geomean_of(&reports, |r| r.fig16_row().0),
+            geomean_of(&reports, |r| r.fig16_row().1),
+            geomean_of(&reports, |r| r.fig16_row().2),
+        ],
+    ));
+    print_table(
+        "Figure 16: energy savings normalised to Baseline",
+        &["DigitalPUM", "DARTH-PUM", "AppAccel"],
+        &rows,
+    );
+    println!("\nPaper reference (DARTH-PUM column): AES 39.6, ResNet-20 51.2, LLMEnc 110.7, GeoMean 66.8");
+    println!("Paper reference: DARTH-PUM ~2x DigitalPUM savings; AppAccel competitive, DARTH shortfall largest on ResNet-20");
+}

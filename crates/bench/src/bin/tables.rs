@@ -1,0 +1,53 @@
+//! Tables 2 and 3: the HCT configuration and area/power breakdown, printed
+//! from the same constants the simulator computes with, plus the derived
+//! iso-area chip sizing of §6.
+
+use darth_analog::adc::AdcKind;
+use darth_pum::params::{area, power, ChipParams, HctParams};
+
+fn main() {
+    let sar = HctParams::paper(AdcKind::Sar);
+    println!("\n=== Table 2: hybrid compute tile configuration ===");
+    println!("DCE pipelines            {}", sar.dce_pipelines);
+    println!("DCE pipeline depth       {} arrays", sar.dce_pipeline_depth);
+    println!("ReRAM array size         {0}x{0}", sar.array_dim);
+    println!("ACE arrays               {}", sar.ace_arrays);
+    println!("ADCs                     SAR: 2; Ramp: 1");
+    println!("ADC latency              SAR: 1 cycle; Ramp: 256 cycles");
+
+    println!("\n=== Table 3: area (um^2) and power (mW) ===");
+    println!("{:<26}{:>12}", "DCE ReRAM array", area::DCE_ARRAY);
+    println!("{:<26}{:>12}", "Pipeline control", area::DCE_PIPELINE_CONTROL);
+    println!("{:<26}{:>12}", "IO ctrl", area::DCE_IO_CTRL);
+    println!("{:<26}{:>12}", "Decode & drive", area::DCE_DECODE_DRIVE);
+    println!("{:<26}{:>12}", "Pipeline select", area::DCE_PIPELINE_SELECT);
+    println!("{:<26}{:>12}", "ACE input buffers", area::ACE_INPUT_BUFFERS);
+    println!("{:<26}{:>12}", "Row periphery", area::ACE_ROW_PERIPHERY);
+    println!("{:<26}{:>12}", "SAR ADC", area::SAR_ADC);
+    println!("{:<26}{:>12}", "Ramp ADC", area::RAMP_ADC);
+    println!("{:<26}{:>12}", "Sample & hold", area::SAMPLE_HOLD);
+    println!("{:<26}{:>12}", "Shift unit", area::SHIFT_UNIT);
+    println!("{:<26}{:>12}", "A/D arbiter", area::AD_ARBITER);
+    println!("{:<26}{:>12}", "Transpose unit", area::TRANSPOSE_UNIT);
+    println!("{:<26}{:>12}", "Instr. injection unit", area::INSTR_INJECTION_UNIT);
+    println!("{:<26}{:>12}", "Front end (8 HCTs)", area::FRONT_END);
+    println!();
+    println!("{:<26}{:>12}", "Array (bool ops) mW", power::ARRAY_BOOL_OPS);
+    println!("{:<26}{:>12}", "Pipeline ctrl mW", power::PIPELINE_CTRL);
+    println!("{:<26}{:>12}", "Row periphery mW", power::ROW_PERIPHERY);
+    println!("{:<26}{:>12}", "SAR ADC mW", power::SAR_ADC);
+    println!("{:<26}{:>12}", "Ramp ADC mW", power::RAMP_ADC);
+    println!("{:<26}{:>12}", "S&H mW", power::SAMPLE_HOLD);
+    println!("{:<26}{:>12}", "Front end mW", power::FRONT_END);
+
+    println!("\n=== Derived iso-area sizing (Section 6) ===");
+    for adc in [AdcKind::Sar, AdcKind::Ramp] {
+        let chip = ChipParams::paper(adc);
+        println!(
+            "{:?}: {} HCTs, {:.1} GB capacity (paper: SAR 1860 / 4.1 GB, ramp 1660 / 3.7 GB)",
+            adc,
+            chip.hct_count(),
+            chip.capacity_bytes() as f64 / 1e9
+        );
+    }
+}

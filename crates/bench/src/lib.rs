@@ -1,0 +1,204 @@
+//! Shared harness code for regenerating every table and figure of the
+//! DARTH-PUM paper.
+//!
+//! Each `fig*`/`tables` binary in `src/bin/` builds the three workload
+//! traces, prices them on every architecture model, and prints the
+//! paper-vs-measured comparison that `EXPERIMENTS.md` records. The
+//! Criterion benches in `benches/` exercise the functional simulators
+//! (AES on the tile, pipeline macros, crossbar MVMs).
+
+use darth_analog::adc::AdcKind;
+use darth_apps::aes::workload::{block_trace, AesVariant};
+use darth_apps::cnn::resnet::ResNet;
+use darth_apps::cnn::workload::inference_trace;
+use darth_apps::llm::encoder::EncoderConfig;
+use darth_apps::llm::workload::encoder_trace;
+use darth_baselines::analog_only::BaselineModel;
+use darth_baselines::app_accel::AppAccelModel;
+use darth_baselines::digital_only::DigitalPumModel;
+use darth_baselines::gpu::GpuModel;
+use darth_digital::logic::LogicFamily;
+use darth_pum::model::DarthModel;
+use darth_pum::trace::{geomean, CostReport, Trace};
+
+/// The three evaluation workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// AES-128 encryption.
+    Aes,
+    /// ResNet-20 inference.
+    ResNet20,
+    /// LLM encoder pass.
+    LlmEnc,
+}
+
+impl Workload {
+    /// All workloads in figure order.
+    pub const ALL: [Workload; 3] = [Workload::Aes, Workload::ResNet20, Workload::LlmEnc];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Aes => "AES",
+            Workload::ResNet20 => "ResNet-20",
+            Workload::LlmEnc => "LLMEnc",
+        }
+    }
+
+    /// Builds the workload trace.
+    pub fn trace(self) -> Trace {
+        match self {
+            Workload::Aes => block_trace(AesVariant::Aes128),
+            Workload::ResNet20 => {
+                let net = ResNet::resnet20(1).expect("ResNet-20 builds");
+                inference_trace(&net).expect("trace builds")
+            }
+            Workload::LlmEnc => encoder_trace(&EncoderConfig::bert_base()),
+        }
+    }
+}
+
+/// All architecture reports for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadReports {
+    /// The workload.
+    pub workload: Workload,
+    /// CPU + analog accelerator (the normalisation baseline).
+    pub baseline: CostReport,
+    /// Iso-area RACER chip.
+    pub digital: CostReport,
+    /// DARTH-PUM.
+    pub darth: CostReport,
+    /// The per-application accelerator.
+    pub app_accel: CostReport,
+    /// The RTX-4090 model.
+    pub gpu: CostReport,
+}
+
+impl WorkloadReports {
+    /// Prices one workload on every architecture with the given ADC for
+    /// the analog-bearing chips.
+    pub fn build(workload: Workload, adc: AdcKind) -> Self {
+        let trace = workload.trace();
+        let baseline = BaselineModel::paper(adc).price(&trace);
+        let digital = DigitalPumModel::paper(LogicFamily::Oscar).price(&trace);
+        let mut darth_model = DarthModel::paper(adc);
+        if workload == Workload::Aes && adc == AdcKind::Ramp {
+            // §7.3: MixColumns terminates the ramp sweep after 4 levels.
+            darth_model.early_levels = Some(4);
+        }
+        let darth = darth_model.price(&trace);
+        let app_accel = match workload {
+            Workload::Aes => AppAccelModel::aes_ni(),
+            Workload::ResNet20 => AppAccelModel::cnn(AdcKind::Ramp),
+            Workload::LlmEnc => AppAccelModel::llm(AdcKind::Sar),
+        }
+        .price(&trace);
+        let gpu = GpuModel::rtx_4090().price(&trace);
+        WorkloadReports {
+            workload,
+            baseline,
+            digital,
+            darth,
+            app_accel,
+            gpu,
+        }
+    }
+
+    /// Throughput of each architecture normalised to the Baseline
+    /// (Figure 13's bars): `(digital, darth, app_accel)`.
+    pub fn fig13_row(&self) -> (f64, f64, f64) {
+        (
+            self.digital.speedup_over(&self.baseline),
+            self.darth.speedup_over(&self.baseline),
+            self.app_accel.speedup_over(&self.baseline),
+        )
+    }
+
+    /// Energy savings vs Baseline (Figure 16's bars).
+    pub fn fig16_row(&self) -> (f64, f64, f64) {
+        (
+            self.digital.energy_savings_over(&self.baseline),
+            self.darth.energy_savings_over(&self.baseline),
+            self.app_accel.energy_savings_over(&self.baseline),
+        )
+    }
+
+    /// GPU comparison (Figure 18): `(digital/gpu, darth/gpu)` for
+    /// throughput and energy savings.
+    pub fn fig18_row(&self) -> ((f64, f64), (f64, f64)) {
+        (
+            (
+                self.digital.speedup_over(&self.gpu),
+                self.darth.speedup_over(&self.gpu),
+            ),
+            (
+                self.digital.energy_savings_over(&self.gpu),
+                self.darth.energy_savings_over(&self.gpu),
+            ),
+        )
+    }
+}
+
+/// Builds reports for all three workloads.
+pub fn all_reports(adc: AdcKind) -> Vec<WorkloadReports> {
+    Workload::ALL
+        .iter()
+        .map(|&w| WorkloadReports::build(w, adc))
+        .collect()
+}
+
+/// Geometric mean across workloads of a per-workload ratio.
+pub fn geomean_of<F: Fn(&WorkloadReports) -> f64>(reports: &[WorkloadReports], f: F) -> f64 {
+    let ratios: Vec<f64> = reports.iter().map(f).collect();
+    geomean(&ratios)
+}
+
+/// Pretty-prints an aligned table: header plus rows of labelled values.
+pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!("\n=== {title} ===");
+    print!("{:<14}", "");
+    for h in header {
+        print!("{h:>14}");
+    }
+    println!();
+    for (label, values) in rows {
+        print!("{label:<14}");
+        for v in values {
+            if *v >= 100.0 {
+                print!("{v:>14.1}");
+            } else {
+                print!("{v:>14.2}");
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_build_for_all_workloads() {
+        for reports in all_reports(AdcKind::Sar) {
+            assert!(reports.baseline.latency_s > 0.0);
+            assert!(reports.darth.latency_s > 0.0);
+            let (d, h, a) = reports.fig13_row();
+            assert!(d.is_finite() && h.is_finite() && a.is_finite());
+            assert!(h > 0.0);
+        }
+    }
+
+    #[test]
+    fn darth_beats_baseline_everywhere() {
+        // The headline claim's direction: DARTH-PUM > Baseline on all
+        // three workloads, in both throughput and energy.
+        for reports in all_reports(AdcKind::Sar) {
+            let (_, speedup, _) = reports.fig13_row();
+            let (_, savings, _) = reports.fig16_row();
+            assert!(speedup > 1.0, "{}: speedup {speedup}", reports.workload.label());
+            assert!(savings > 1.0, "{}: savings {savings}", reports.workload.label());
+        }
+    }
+}

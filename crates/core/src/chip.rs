@@ -1,0 +1,643 @@
+//! Whole-chip assembly and ISA interpretation.
+//!
+//! A [`DarthPumChip`] couples the iso-area sizing of [`ChipParams`] with
+//! one or more *functional* hybrid compute tiles and a front-end model. It
+//! executes [`darth_isa`] programs instruction by instruction: digital ops
+//! dispatch to pipelines, analog ops route through vACores and the
+//! arbiter, and coordination ops manage allocation — exactly the §4.2
+//! flow. Bulk data (matrices, immediates) is supplied through a
+//! [`SideChannel`], mirroring how a host would stage data into the chip's
+//! memory before launching a kernel.
+
+use crate::front_end::FrontEnd;
+use crate::hct::{HctConfig, HybridComputeTile};
+use crate::params::ChipParams;
+use crate::{Error, Result};
+use darth_digital::BoolOp;
+use darth_isa::instruction::{Instruction, IsaBoolOp, Program};
+use darth_isa::iiu::ReductionRegs;
+use darth_isa::VaCoreId;
+use darth_reram::{Cycles, EnergyMeter};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Host-staged bulk data referenced by instruction handles.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SideChannel {
+    /// Matrices for `ProgMatrix`, keyed by handle.
+    pub matrices: BTreeMap<u16, Vec<Vec<i64>>>,
+    /// Row/column vectors for `UpdateRow`/`UpdateCol`, keyed by handle.
+    pub vectors: BTreeMap<u16, Vec<i64>>,
+}
+
+impl SideChannel {
+    /// Creates an empty side channel.
+    pub fn new() -> Self {
+        SideChannel::default()
+    }
+
+    /// Stages a matrix, returning its handle.
+    pub fn stage_matrix(&mut self, matrix: Vec<Vec<i64>>) -> u16 {
+        let handle = self.matrices.keys().next_back().map_or(0, |k| k + 1);
+        self.matrices.insert(handle, matrix);
+        handle
+    }
+
+    /// Stages a vector, returning its handle.
+    pub fn stage_vector(&mut self, vector: Vec<i64>) -> u16 {
+        let handle = self.vectors.keys().next_back().map_or(0, |k| k + 1);
+        self.vectors.insert(handle, vector);
+        handle
+    }
+}
+
+/// Execution statistics of one program run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Instructions executed (including the halting instruction).
+    pub instructions: u64,
+    /// Analog instructions among them.
+    pub analog_instructions: u64,
+    /// Front-end issue cycles consumed.
+    pub issue_cycles: u64,
+}
+
+/// The DARTH-PUM chip.
+#[derive(Debug, Clone)]
+pub struct DarthPumChip {
+    params: ChipParams,
+    tile: HybridComputeTile,
+    front_end: FrontEnd,
+    analog_enabled: bool,
+    digital_enabled: bool,
+}
+
+impl DarthPumChip {
+    /// Builds a chip with one functional tile (the architecture replicates
+    /// it; throughput scaling is the model layer's job).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tile construction errors.
+    pub fn new(params: ChipParams, tile_config: HctConfig) -> Result<Self> {
+        let tile = HybridComputeTile::new(tile_config)?;
+        Ok(DarthPumChip {
+            params,
+            tile,
+            front_end: FrontEnd::new(),
+            analog_enabled: true,
+            digital_enabled: true,
+        })
+    }
+
+    /// Chip-level parameters (iso-area sizing).
+    pub fn params(&self) -> &ChipParams {
+        &self.params
+    }
+
+    /// The functional tile.
+    pub fn tile(&self) -> &HybridComputeTile {
+        &self.tile
+    }
+
+    /// Mutable access to the functional tile (application mappings drive
+    /// pipelines directly for digital-only kernels).
+    pub fn tile_mut(&mut self) -> &mut HybridComputeTile {
+        &mut self.tile
+    }
+
+    /// The front-end model.
+    pub fn front_end(&self) -> &FrontEnd {
+        &self.front_end
+    }
+
+    /// Merged energy meter.
+    pub fn energy_meter(&self) -> EnergyMeter {
+        let mut meter = self.tile.energy_meter();
+        meter.add(
+            "front_end",
+            self.front_end.energy(Cycles::new(self.front_end.issued())),
+        );
+        meter
+    }
+
+    /// Executes a program against the functional tile.
+    ///
+    /// Returns statistics; results live in the tile's pipelines and can be
+    /// read back through [`DarthPumChip::tile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first execution error (bad operands, arbiter conflicts,
+    /// missing side-channel data).
+    pub fn execute(&mut self, program: &Program, data: &SideChannel) -> Result<RunStats> {
+        let mut stats = RunStats::default();
+        for inst in program.iter() {
+            stats.instructions += 1;
+            if inst.is_analog() {
+                stats.analog_instructions += 1;
+            }
+            stats.issue_cycles += self.front_end.issue(1).get();
+            match *inst {
+                Instruction::Halt => break,
+                other => self.execute_one(&other, data)?,
+            }
+        }
+        Ok(stats)
+    }
+
+    fn require_digital(&self) -> Result<()> {
+        if !self.digital_enabled {
+            return Err(Error::DomainDisabled("digital"));
+        }
+        Ok(())
+    }
+
+    fn execute_one(&mut self, inst: &Instruction, data: &SideChannel) -> Result<()> {
+        match *inst {
+            Instruction::Nop | Instruction::FenceAd | Instruction::Halt => Ok(()),
+            Instruction::Bool { op, pipe, dst, a, b } => {
+                self.require_digital()?;
+                let bool_op = match op {
+                    IsaBoolOp::Nor => BoolOp::Nor,
+                    IsaBoolOp::Or => BoolOp::Or,
+                    IsaBoolOp::And => BoolOp::And,
+                    IsaBoolOp::Nand => BoolOp::Nand,
+                    IsaBoolOp::Xor => BoolOp::Xor,
+                    IsaBoolOp::Xnor => BoolOp::Xnor,
+                };
+                self.tile
+                    .pipeline_mut(pipe.0 as usize)?
+                    .bool_op(bool_op, dst.0 as usize, a.0 as usize, b.0 as usize)?;
+                Ok(())
+            }
+            Instruction::Not { pipe, dst, a } => {
+                self.require_digital()?;
+                self.tile
+                    .pipeline_mut(pipe.0 as usize)?
+                    .not(dst.0 as usize, a.0 as usize)?;
+                Ok(())
+            }
+            Instruction::Add { pipe, dst, a, b } => {
+                self.require_digital()?;
+                self.tile
+                    .pipeline_mut(pipe.0 as usize)?
+                    .add(dst.0 as usize, a.0 as usize, b.0 as usize)?;
+                Ok(())
+            }
+            Instruction::Sub { pipe, dst, a, b } => {
+                self.require_digital()?;
+                self.tile
+                    .pipeline_mut(pipe.0 as usize)?
+                    .sub(dst.0 as usize, a.0 as usize, b.0 as usize)?;
+                Ok(())
+            }
+            Instruction::Mul {
+                pipe,
+                dst,
+                a,
+                b,
+                width,
+            } => {
+                self.require_digital()?;
+                self.tile.pipeline_mut(pipe.0 as usize)?.mul(
+                    dst.0 as usize,
+                    a.0 as usize,
+                    b.0 as usize,
+                    width,
+                )?;
+                Ok(())
+            }
+            Instruction::CmpLt { pipe, dst, a, b } => {
+                self.require_digital()?;
+                self.tile.pipeline_mut(pipe.0 as usize)?.cmp_lt(
+                    dst.0 as usize,
+                    a.0 as usize,
+                    b.0 as usize,
+                )?;
+                Ok(())
+            }
+            Instruction::Select {
+                pipe,
+                dst,
+                cond,
+                a,
+                b,
+            } => {
+                self.require_digital()?;
+                self.tile.pipeline_mut(pipe.0 as usize)?.select(
+                    dst.0 as usize,
+                    cond.0 as usize,
+                    a.0 as usize,
+                    b.0 as usize,
+                )?;
+                Ok(())
+            }
+            Instruction::Relu { pipe, dst, a } => {
+                self.require_digital()?;
+                self.tile
+                    .pipeline_mut(pipe.0 as usize)?
+                    .relu(dst.0 as usize, a.0 as usize)?;
+                Ok(())
+            }
+            Instruction::ShiftLeft {
+                pipe,
+                dst,
+                src,
+                amount,
+            } => {
+                self.require_digital()?;
+                self.tile.pipeline_mut(pipe.0 as usize)?.shl(
+                    dst.0 as usize,
+                    src.0 as usize,
+                    amount as usize,
+                )?;
+                Ok(())
+            }
+            Instruction::ShiftRight {
+                pipe,
+                dst,
+                src,
+                amount,
+            } => {
+                self.require_digital()?;
+                self.tile.pipeline_mut(pipe.0 as usize)?.shr(
+                    dst.0 as usize,
+                    src.0 as usize,
+                    amount as usize,
+                )?;
+                Ok(())
+            }
+            Instruction::RotateLeft {
+                pipe,
+                dst,
+                src,
+                tmp,
+                amount,
+                width,
+            } => {
+                self.require_digital()?;
+                self.tile.pipeline_mut(pipe.0 as usize)?.rotate_left(
+                    dst.0 as usize,
+                    src.0 as usize,
+                    tmp.0 as usize,
+                    amount as usize,
+                    width as usize,
+                )?;
+                Ok(())
+            }
+            Instruction::CopyVr { pipe, dst, src } => {
+                self.require_digital()?;
+                self.tile
+                    .pipeline_mut(pipe.0 as usize)?
+                    .copy_vr(dst.0 as usize, src.0 as usize)?;
+                Ok(())
+            }
+            Instruction::CopyAcross {
+                src_pipe,
+                src,
+                dst_pipe,
+                dst,
+            } => {
+                self.require_digital()?;
+                let (dst_p, src_p) = self
+                    .tile
+                    .pipeline_pair(dst_pipe.0 as usize, src_pipe.0 as usize)?;
+                dst_p.copy_from(src_p, src.0 as usize, dst.0 as usize)?;
+                Ok(())
+            }
+            Instruction::ElementLoad {
+                pipe,
+                addr,
+                table_pipe,
+                dst,
+            } => {
+                self.require_digital()?;
+                let (p, table) = self
+                    .tile
+                    .pipeline_pair(pipe.0 as usize, table_pipe.0 as usize)?;
+                p.elementwise_load(addr.0 as usize, table, dst.0 as usize)?;
+                Ok(())
+            }
+            Instruction::PipeReverse { pipe } => {
+                self.require_digital()?;
+                self.tile.pipeline_mut(pipe.0 as usize)?.reverse();
+                Ok(())
+            }
+            Instruction::WriteImm {
+                pipe,
+                vr,
+                element,
+                value,
+            } => {
+                self.tile.pipeline_mut(pipe.0 as usize)?.write_value(
+                    vr.0 as usize,
+                    element as usize,
+                    value,
+                )?;
+                Ok(())
+            }
+            Instruction::PipeReserve { pipe } => {
+                // Marks the pipeline's registers dead for MVM landing; the
+                // functional model needs no action beyond arbiter intent.
+                let _ = pipe;
+                Ok(())
+            }
+            Instruction::AllocVaCore {
+                vacore,
+                element_bits,
+                bits_per_cell,
+                input_bits,
+                input_signed,
+            } => {
+                if !self.analog_enabled {
+                    return Err(Error::DomainDisabled("analog"));
+                }
+                let allocated = self.tile.alloc_vacore(
+                    element_bits,
+                    bits_per_cell,
+                    input_bits,
+                    input_signed,
+                )?;
+                if allocated != vacore {
+                    return Err(Error::VaCore(format!(
+                        "program expected vACore {vacore}, firmware allocated {allocated}"
+                    )));
+                }
+                Ok(())
+            }
+            Instruction::FreeVaCore { vacore } => self.tile.free_vacore(vacore),
+            Instruction::ProgMatrix {
+                vacore,
+                matrix_handle,
+            } => {
+                if !self.analog_enabled {
+                    return Err(Error::DomainDisabled("analog"));
+                }
+                let matrix = data
+                    .matrices
+                    .get(&matrix_handle)
+                    .ok_or(Error::UnknownMatrix(matrix_handle as usize))?;
+                self.tile.set_matrix(vacore, matrix)?;
+                Ok(())
+            }
+            Instruction::UpdateRow {
+                vacore,
+                row,
+                data_handle,
+            } => {
+                let values = data
+                    .vectors
+                    .get(&data_handle)
+                    .ok_or(Error::UnknownMatrix(data_handle as usize))?;
+                self.tile.update_row(vacore, row as usize, values)?;
+                Ok(())
+            }
+            Instruction::UpdateCol {
+                vacore,
+                col,
+                data_handle,
+            } => {
+                // Column updates reprogram one device column per slice.
+                let values = data
+                    .vectors
+                    .get(&data_handle)
+                    .ok_or(Error::UnknownMatrix(data_handle as usize))?;
+                self.update_col(vacore, col as usize, values)
+            }
+            Instruction::Mvm {
+                vacore,
+                input_pipe,
+                input_vr,
+                dst_pipe,
+                dst_vr,
+                early_levels,
+            } => {
+                if !self.analog_enabled {
+                    return Err(Error::DomainDisabled("analog"));
+                }
+                self.exec_mvm_instruction(
+                    vacore,
+                    input_pipe.0 as usize,
+                    input_vr.0 as usize,
+                    dst_pipe.0 as usize,
+                    dst_vr.0 as usize,
+                    early_levels,
+                )
+            }
+            Instruction::SetAnalogMode { enabled } => {
+                self.analog_enabled = enabled;
+                Ok(())
+            }
+            Instruction::SetDigitalMode { enabled } => {
+                self.digital_enabled = enabled;
+                Ok(())
+            }
+            // `Instruction` is non-exhaustive; future opcodes must fail
+            // loudly rather than silently no-op.
+            _ => Err(Error::InvalidConfig(format!(
+                "instruction `{}` is not implemented by this chip model",
+                inst.mnemonic()
+            ))),
+        }
+    }
+
+    fn update_col(&mut self, vacore: VaCoreId, col: usize, values: &[i64]) -> Result<()> {
+        // Reuses update_row per affected row (a column touches one device
+        // per row; write–verify granularity is per row here).
+        let core_rows = self.tile.vacores().get(vacore)?.rows;
+        let core_cols = self.tile.vacores().get(vacore)?.cols;
+        if col >= core_cols || values.len() != core_rows {
+            return Err(Error::Shape(format!(
+                "column {col} of length {} does not fit matrix {core_rows}x{core_cols}",
+                values.len()
+            )));
+        }
+        for (row, &v) in values.iter().enumerate() {
+            // Read-modify-write of the stored row, reconstructing the
+            // full-precision values from the per-array weight slices.
+            let mut stored: Vec<i64> = {
+                let core = self.tile.vacores().get(vacore)?;
+                let mut row_vals = vec![0i64; core_cols];
+                for (s, &array) in core.arrays.iter().enumerate() {
+                    let shift = core.plan().weight_shift(s);
+                    let w = self
+                        .tile
+                        .ace()
+                        .crossbar(array)
+                        .map_err(Error::Analog)?
+                        .weights();
+                    for (c, val) in row_vals.iter_mut().enumerate() {
+                        *val += w[row][c] << shift;
+                    }
+                }
+                row_vals
+            };
+            stored[col] = v;
+            self.tile.update_row(vacore, row, &stored)?;
+        }
+        Ok(())
+    }
+
+    fn exec_mvm_instruction(
+        &mut self,
+        vacore: VaCoreId,
+        input_pipe: usize,
+        input_vr: usize,
+        dst_pipe: usize,
+        dst_vr: usize,
+        early_levels: u16,
+    ) -> Result<()> {
+        let (rows, terms) = {
+            let core = self.tile.vacores().get(vacore)?;
+            (core.rows, core.term_count())
+        };
+        // Read the input vector out of the DCE.
+        let input: Vec<i64> = {
+            let pipe = self.tile.pipeline_mut(input_pipe)?;
+            (0..rows)
+                .map(|e| pipe.read_value_signed(input_vr, e))
+                .collect::<std::result::Result<_, _>>()?
+        };
+        // Landing convention: parts occupy dst_vr+1.., tmp above them, the
+        // accumulator is dst_vr itself.
+        let pipe_vrs = self.tile.pipeline(dst_pipe)?.vr_count();
+        let needed = dst_vr + terms + 2;
+        if needed > pipe_vrs - 1 {
+            return Err(Error::Shape(format!(
+                "MVM needs registers v{dst_vr}..v{needed} but pipeline has {pipe_vrs} \
+                 (last is the zero register)"
+            )));
+        }
+        let regs = ReductionRegs {
+            parts: (0..terms)
+                .map(|i| darth_isa::Vr((dst_vr + 1 + i) as u8))
+                .collect(),
+            tmp: darth_isa::Vr((dst_vr + 1 + terms) as u8),
+            acc: darth_isa::Vr(dst_vr as u8),
+        };
+        let early = if early_levels == 0 {
+            None
+        } else {
+            Some(early_levels)
+        };
+        self.tile.exec_mvm(vacore, &input, dst_pipe, &regs, early)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darth_isa::asm::assemble;
+
+    fn chip() -> DarthPumChip {
+        DarthPumChip::new(ChipParams::default(), HctConfig::small_test()).expect("valid")
+    }
+
+    #[test]
+    fn execute_digital_program() {
+        let mut c = chip();
+        let program = assemble(
+            "wimm p0 v0 0 25\n\
+             wimm p0 v1 0 17\n\
+             add p0 v2 v0 v1\n\
+             xor p0 v3 v0 v1\n\
+             halt\n",
+        )
+        .expect("parses");
+        let stats = c.execute(&program, &SideChannel::new()).expect("runs");
+        assert_eq!(stats.instructions, 5);
+        assert_eq!(stats.analog_instructions, 0);
+        let pipe = c.tile_mut().pipeline_mut(0).expect("exists");
+        assert_eq!(pipe.read_value(2, 0).expect("in range"), 42);
+        assert_eq!(pipe.read_value(3, 0).expect("in range"), 25 ^ 17);
+    }
+
+    #[test]
+    fn execute_hybrid_mvm_program() {
+        let mut c = chip();
+        let mut data = SideChannel::new();
+        let handle = data.stage_matrix(vec![vec![5, 9], vec![8, 7]]);
+        let program = assemble(&format!(
+            "valloc ac0 4 4 3 0\n\
+             progm ac0 {handle}\n\
+             wimm p0 v0 0 2\n\
+             wimm p0 v0 1 7\n\
+             mvm ac0 p0 v0 p1 v4 0\n\
+             halt\n"
+        ))
+        .expect("parses");
+        let stats = c.execute(&program, &data).expect("runs");
+        assert_eq!(stats.analog_instructions, 2); // progm + mvm
+        let pipe = c.tile_mut().pipeline_mut(1).expect("exists");
+        assert_eq!(pipe.read_value(4, 0).expect("in range"), 66);
+        assert_eq!(pipe.read_value(4, 1).expect("in range"), 67);
+    }
+
+    #[test]
+    fn halt_stops_execution() {
+        let mut c = chip();
+        let program = assemble("halt\nwimm p0 v0 0 9\n").expect("parses");
+        c.execute(&program, &SideChannel::new()).expect("runs");
+        let pipe = c.tile_mut().pipeline_mut(0).expect("exists");
+        assert_eq!(pipe.read_value(0, 0).expect("in range"), 0);
+    }
+
+    #[test]
+    fn disabled_analog_mode_rejects_mvm() {
+        let mut c = chip();
+        let program = assemble("amode 0\nvalloc ac0 4 2 3 0\n").expect("parses");
+        let err = c.execute(&program, &SideChannel::new()).unwrap_err();
+        assert!(matches!(err, Error::DomainDisabled("analog")));
+    }
+
+    #[test]
+    fn disabled_digital_mode_rejects_vector_ops() {
+        let mut c = chip();
+        let program = assemble("dmode 0\nadd p0 v2 v0 v1\n").expect("parses");
+        let err = c.execute(&program, &SideChannel::new()).unwrap_err();
+        assert!(matches!(err, Error::DomainDisabled("digital")));
+    }
+
+    #[test]
+    fn missing_matrix_handle_errors() {
+        let mut c = chip();
+        let program = assemble("valloc ac0 4 2 3 0\nprogm ac0 99\n").expect("parses");
+        let err = c.execute(&program, &SideChannel::new()).unwrap_err();
+        assert!(matches!(err, Error::UnknownMatrix(99)));
+    }
+
+    #[test]
+    fn update_col_through_isa() {
+        let mut c = chip();
+        let mut data = SideChannel::new();
+        let mh = data.stage_matrix(vec![vec![1, 2], vec![3, 4]]);
+        let vh = data.stage_vector(vec![9, 9]);
+        let program = assemble(&format!(
+            "valloc ac0 4 4 2 0\n\
+             progm ac0 {mh}\n\
+             updcol ac0 1 {vh}\n\
+             wimm p0 v0 0 1\n\
+             wimm p0 v0 1 1\n\
+             mvm ac0 p0 v0 p1 v4 0\n\
+             halt\n"
+        ))
+        .expect("parses");
+        c.execute(&program, &data).expect("runs");
+        let pipe = c.tile_mut().pipeline_mut(1).expect("exists");
+        assert_eq!(pipe.read_value(4, 0).expect("in range"), 4); // 1 + 3
+        assert_eq!(pipe.read_value(4, 1).expect("in range"), 18); // 9 + 9
+    }
+
+    #[test]
+    fn side_channel_handles_increment() {
+        let mut data = SideChannel::new();
+        let a = data.stage_matrix(vec![vec![1]]);
+        let b = data.stage_matrix(vec![vec![2]]);
+        assert_ne!(a, b);
+        let v1 = data.stage_vector(vec![1]);
+        let v2 = data.stage_vector(vec![2]);
+        assert_ne!(v1, v2);
+    }
+}

@@ -1,0 +1,162 @@
+//! The hardware instruction injection unit (§4.2).
+//!
+//! A small table plus counter that replays the shift-and-add reduction
+//! directly into the digital µop queues, freeing the front end to serve
+//! other HCTs. This module executes an [`darth_isa::iiu::InjectionProgram`]
+//! against a real [`darth_digital::Pipeline`], tracking how many macro
+//! operations were injected (versus front-end issued) for the IIU ablation.
+
+use crate::{Error, Result};
+use darth_digital::Pipeline;
+use darth_isa::iiu::{InjectionProgram, InjectionStep};
+use serde::{Deserialize, Serialize};
+
+/// Replay engine for injection programs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareIiu {
+    injected_ops: u64,
+    replays: u64,
+}
+
+impl HardwareIiu {
+    /// Creates an idle IIU.
+    pub fn new() -> Self {
+        HardwareIiu::default()
+    }
+
+    /// Macro operations injected so far.
+    pub fn injected_ops(&self) -> u64 {
+        self.injected_ops
+    }
+
+    /// Programs replayed so far.
+    pub fn replays(&self) -> u64 {
+        self.replays
+    }
+
+    /// Replays `program` on `pipeline`.
+    ///
+    /// `zero_vr` names a vector register the tile keeps at zero, used to
+    /// realise negation (`Neg` = `0 - src`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline execution errors (bad registers, shift range).
+    pub fn replay(
+        &mut self,
+        program: &InjectionProgram,
+        pipeline: &mut Pipeline,
+        zero_vr: usize,
+    ) -> Result<()> {
+        for step in program.steps() {
+            match *step {
+                InjectionStep::Shift { dst, src, amount } => {
+                    pipeline
+                        .shl(dst.0 as usize, src.0 as usize, amount as usize)
+                        .map_err(Error::Digital)?;
+                }
+                InjectionStep::Add { dst, a, b } => {
+                    pipeline
+                        .add(dst.0 as usize, a.0 as usize, b.0 as usize)
+                        .map_err(Error::Digital)?;
+                }
+                InjectionStep::Sub { dst, a, b } => {
+                    pipeline
+                        .sub(dst.0 as usize, a.0 as usize, b.0 as usize)
+                        .map_err(Error::Digital)?;
+                }
+                InjectionStep::Copy { dst, src } => {
+                    pipeline
+                        .copy_vr(dst.0 as usize, src.0 as usize)
+                        .map_err(Error::Digital)?;
+                }
+                InjectionStep::Neg { dst, src } => {
+                    pipeline
+                        .sub(dst.0 as usize, zero_vr, src.0 as usize)
+                        .map_err(Error::Digital)?;
+                }
+            }
+            self.injected_ops += 1;
+        }
+        self.replays += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darth_digital::pipeline::PipelineConfig;
+    use darth_isa::iiu::ReductionRegs;
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(PipelineConfig {
+            depth: 16,
+            elements: 4,
+            vr_count: 12,
+            scratch_cols: 8,
+            ..PipelineConfig::default()
+        })
+        .expect("valid")
+    }
+
+    #[test]
+    fn replay_reduces_partial_products() {
+        // 2-bit unsigned inputs, single weight slice: terms land in v0, v1
+        // pre-shifted (in-flight mode), result accumulates in v3.
+        let mut pipe = pipeline();
+        let zero_vr = 11;
+        // partial products for input bits 0 and 1, already shifted:
+        // term0 = [3, 5, 0, 1], term1 = [2 << 1, 0, 4 << 1, 2 << 1]
+        pipe.write_vector(0, &[3, 5, 0, 1]).expect("fits");
+        pipe.write_vector(1, &[4, 0, 8, 4]).expect("fits");
+        let regs = ReductionRegs::dense(2); // parts v0, v1; tmp v2; acc v3
+        let program = InjectionProgram::shift_and_add(2, false, 1, 2, &regs, true);
+        let mut iiu = HardwareIiu::new();
+        iiu.replay(&program, &mut pipe, zero_vr).expect("replays");
+        assert_eq!(pipe.read_vector(3).expect("in range"), vec![7, 5, 8, 5]);
+        assert_eq!(iiu.replays(), 1);
+        assert_eq!(iiu.injected_ops() as usize, program.len());
+    }
+
+    #[test]
+    fn replay_with_shifts_in_table() {
+        // unoptimized mode: raw partial products, shifts in the program
+        let mut pipe = pipeline();
+        pipe.write_vector(0, &[3, 5, 0, 1]).expect("fits");
+        pipe.write_vector(1, &[2, 0, 4, 2]).expect("fits");
+        let regs = ReductionRegs::dense(2);
+        let program = InjectionProgram::shift_and_add(2, false, 1, 2, &regs, false);
+        let mut iiu = HardwareIiu::new();
+        iiu.replay(&program, &mut pipe, 11).expect("replays");
+        assert_eq!(pipe.read_vector(3).expect("in range"), vec![7, 5, 8, 5]);
+    }
+
+    #[test]
+    fn neg_uses_zero_register() {
+        // 1-bit signed input: single all-negative term
+        let mut pipe = pipeline();
+        pipe.write_vector(0, &[1, 2, 3, 4]).expect("fits");
+        let regs = ReductionRegs::dense(1);
+        let program = InjectionProgram::shift_and_add(1, true, 1, 1, &regs, true);
+        let mut iiu = HardwareIiu::new();
+        iiu.replay(&program, &mut pipe, 11).expect("replays");
+        let signed: Vec<i64> = (0..4)
+            .map(|e| pipe.read_value_signed(2, e).expect("in range"))
+            .collect();
+        assert_eq!(signed, vec![-1, -2, -3, -4]);
+    }
+
+    #[test]
+    fn bad_register_surfaces_error() {
+        let mut pipe = pipeline();
+        let regs = ReductionRegs {
+            parts: vec![darth_isa::Vr(50)],
+            tmp: darth_isa::Vr(51),
+            acc: darth_isa::Vr(52),
+        };
+        let program = InjectionProgram::shift_and_add(1, false, 1, 1, &regs, true);
+        let mut iiu = HardwareIiu::new();
+        assert!(iiu.replay(&program, &mut pipe, 11).is_err());
+    }
+}

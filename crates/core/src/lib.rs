@@ -1,0 +1,154 @@
+//! DARTH-PUM: a hybrid analog/digital processing-using-memory architecture.
+//!
+//! This crate is the paper's primary contribution: the hybrid compute tile
+//! (HCT) that pairs an analog compute element (ACE, matrix–vector multiply
+//! in crossbars) with a digital compute element (DCE, RACER bit-pipelines),
+//! the auxiliary hardware that makes the pairing practical, and the
+//! software stack above it.
+//!
+//! Architecture (Figure 8):
+//!
+//! ```text
+//!  Front end (fetch/decode/issue, shared by 8 HCTs)
+//!    └── Hybrid Compute Tile × N
+//!         ├── ACE: 64 analog arrays + DAC/S&H/ADC
+//!         ├── DCE: 64 digital pipelines + µop queues
+//!         ├── Shift units      (in-flight shift-and-place, §4.1)
+//!         ├── A/D arbiter      (analog/digital mutual exclusion, §4.2)
+//!         ├── Transpose unit   (row-vector ↔ column-register, §4.2)
+//!         └── Instruction injection unit (IIU, §4.2)
+//! ```
+//!
+//! Modules:
+//!
+//! * [`params`] — Table 2 (HCT configuration) and Table 3 (area/power),
+//!   plus iso-area chip sizing.
+//! * [`vacore`] — virtual analog cores: firmware-tracked array groups
+//!   supporting flexible operand widths (§4.2).
+//! * [`shift_unit`] / [`transpose`] / [`arbiter`] / [`iiu`] — the four
+//!   auxiliary component models.
+//! * [`hct`] — the hybrid compute tile: functional hybrid MVM with the
+//!   optimized (Figure 10b) or unoptimized (Figure 10a) schedule.
+//! * [`front_end`] — fetch/decode/issue with and without IIU assistance.
+//! * [`chip`] — whole-chip assembly, ISA interpretation and accounting.
+//! * [`runtime`] — the application-agnostic half of Table 1's library.
+//! * [`trace`] — architecture-neutral kernel traces that every
+//!   architecture model (this chip and all baselines) consumes.
+//! * [`model`] — the analytical DARTH-PUM cost model used for the
+//!   throughput/energy sweeps of Figures 13–18.
+//!
+//! # Example: hybrid MVM through the runtime
+//!
+//! ```
+//! use darth_pum::runtime::{Runtime, RuntimeConfig};
+//!
+//! # fn main() -> Result<(), darth_pum::Error> {
+//! let mut rt = Runtime::new(RuntimeConfig::small_test())?;
+//! let matrix = vec![vec![2, -1], vec![3, 4]];
+//! let handle = rt.set_matrix(&matrix, 4, 1)?;
+//! let result = rt.exec_mvm(handle, &[1, 2])?;
+//! assert_eq!(result, vec![2 * 1 + 3 * 2, -1 + 4 * 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arbiter;
+pub mod chip;
+pub mod front_end;
+pub mod hct;
+pub mod iiu;
+pub mod model;
+pub mod params;
+pub mod runtime;
+pub mod shift_unit;
+pub mod trace;
+pub mod transpose;
+pub mod vacore;
+
+pub use chip::DarthPumChip;
+pub use hct::HybridComputeTile;
+pub use params::{ChipParams, HctParams};
+pub use runtime::Runtime;
+pub use trace::{Kernel, KernelOp, Trace};
+
+use std::fmt;
+
+/// Errors produced by the DARTH-PUM simulator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An invalid configuration value.
+    InvalidConfig(String),
+    /// A vACore id is unknown or already in use.
+    VaCore(String),
+    /// A pipeline is owned by the other domain (arbiter violation).
+    ArbiterConflict {
+        /// The contested pipeline index.
+        pipeline: usize,
+    },
+    /// A matrix or vector did not match the expected shape.
+    Shape(String),
+    /// A matrix handle is unknown.
+    UnknownMatrix(usize),
+    /// The chip ran out of a resource (HCTs, pipelines, vACores).
+    ResourceExhausted(&'static str),
+    /// The requested operation needs a domain that is disabled.
+    DomainDisabled(&'static str),
+    /// An error from the digital PUM substrate.
+    Digital(darth_digital::Error),
+    /// An error from the analog PUM substrate.
+    Analog(darth_analog::Error),
+    /// An error from the ISA layer.
+    Isa(darth_isa::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::VaCore(msg) => write!(f, "vACore error: {msg}"),
+            Error::ArbiterConflict { pipeline } => {
+                write!(f, "pipeline {pipeline} is reserved by the other domain")
+            }
+            Error::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            Error::UnknownMatrix(handle) => write!(f, "unknown matrix handle {handle}"),
+            Error::ResourceExhausted(what) => write!(f, "out of {what}"),
+            Error::DomainDisabled(which) => write!(f, "{which} domain is disabled"),
+            Error::Digital(e) => write!(f, "digital PUM: {e}"),
+            Error::Analog(e) => write!(f, "analog PUM: {e}"),
+            Error::Isa(e) => write!(f, "ISA: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Digital(e) => Some(e),
+            Error::Analog(e) => Some(e),
+            Error::Isa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<darth_digital::Error> for Error {
+    fn from(e: darth_digital::Error) -> Self {
+        Error::Digital(e)
+    }
+}
+
+impl From<darth_analog::Error> for Error {
+    fn from(e: darth_analog::Error) -> Self {
+        Error::Analog(e)
+    }
+}
+
+impl From<darth_isa::Error> for Error {
+    fn from(e: darth_isa::Error) -> Self {
+        Error::Isa(e)
+    }
+}
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,455 @@
+//! The analytical DARTH-PUM cost model.
+//!
+//! Prices a [`Trace`] on the iso-area chip: every kernel op maps to the
+//! same latency/energy rules the functional tile uses (ACE bit-sliced MVM
+//! with rate-matched transfer, DCE macro costs, IIU-injected reductions),
+//! then throughput scales across the chip's HCTs. Figures 13–18 divide
+//! these reports against the baseline models in `darth-baselines`.
+//!
+//! Modelling notes (also recorded in `EXPERIMENTS.md`):
+//!
+//! * Dynamic energy only; ReRAM leakage is negligible and CMOS idle power
+//!   is excluded on all architectures alike.
+//! * An MVM's matrix is assumed resident (programmed once, reused) except
+//!   for explicit [`KernelOp::WeightUpdate`] ops — matching §5.2's
+//!   treatment of attention versus FFN weights.
+//! * Batched MVMs double-buffer across landing pipelines, so consecutive
+//!   inputs overlap at `max(analog, reduce)` (§4.1's rate matching).
+
+use crate::params::{power, ChipParams, HCTS_PER_FRONT_END};
+use crate::trace::{CostReport, KernelOp, Trace, VectorKind};
+use darth_analog::adc::{Adc, AdcKind};
+use darth_digital::logic::LogicFamily;
+use darth_digital::macros::MacroOp;
+use darth_reram::units::CLOCK_HZ;
+use serde::{Deserialize, Serialize};
+
+/// Analog-array programming cost per matrix row (write–verify dominated).
+const PROGRAM_CYCLES_PER_ROW: u64 = 1000;
+
+/// The analytical chip model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DarthModel {
+    /// Chip geometry and iso-area sizing.
+    pub chip: ChipParams,
+    /// Digital logic family.
+    pub family: LogicFamily,
+    /// Reductions injected by the IIU (`false`: front-end issued, which
+    /// adds issue contention across the 8 tiles sharing a front end).
+    pub use_iiu: bool,
+    /// Figure 10b overlap (`false`: serialized Figure 10a).
+    pub optimized_schedule: bool,
+    /// Ramp-ADC early-termination levels (AES's 4-level trick); ignored
+    /// for SAR.
+    pub early_levels: Option<u16>,
+    /// Device bits per cell for multi-bit weights (1 forced for 1-bit
+    /// matrices).
+    pub bits_per_cell: u8,
+}
+
+impl DarthModel {
+    /// The paper's configuration with the chosen ADC.
+    pub fn paper(adc_kind: AdcKind) -> Self {
+        DarthModel {
+            chip: ChipParams::paper(adc_kind),
+            family: LogicFamily::Oscar,
+            use_iiu: true,
+            optimized_schedule: true,
+            early_levels: None,
+            // vACores flex operand width (§4.2); 4-bit cells halve the
+            // slice count for the 8-bit evaluation workloads.
+            bits_per_cell: 4,
+        }
+    }
+
+    fn adc(&self) -> Adc {
+        Adc::new(self.chip.hct.adc_kind, 8, 1.0).expect("paper ADC parameters are valid")
+    }
+
+    /// Latency (cycles), energy (pJ), HCT-arrays occupied, and serial ACE
+    /// occupancy (cycles) of one op on one HCT.
+    fn price_op(&self, op: &KernelOp) -> (f64, f64, f64, f64) {
+        let dim = self.chip.hct.array_dim as u64;
+        let pipe_depth = self.chip.hct.dce_pipeline_depth as u64;
+        let adc = self.adc();
+        match *op {
+            KernelOp::Mvm {
+                rows,
+                cols,
+                input_bits,
+                weight_bits,
+                batch,
+            } => {
+                let bpc = if weight_bits <= 1 {
+                    1
+                } else {
+                    self.bits_per_cell.min(weight_bits)
+                };
+                let slices = u64::from(weight_bits.div_ceil(bpc));
+                let row_tiles = rows.div_ceil(dim);
+                let col_tiles = cols.div_ceil(dim);
+                let arrays = row_tiles * col_tiles * slices;
+
+                // Analog phase per input bit on one (row, col) tile group:
+                // the ADC group digitizes the tile's 64×slices bitlines.
+                let bitlines = (dim * slices) as usize;
+                let readout = adc.readout_cycles(bitlines, self.early_levels).get();
+                let per_bit_ace = 1 + readout;
+                // Transfer: one row of data per cycle per landing
+                // pipeline; each weight slice lands in its own pipeline,
+                // so the transfer is one array's columns wide (the 8 B/cyc
+                // network moves 8 codes per cycle, which is faster still).
+                let per_bit_transfer = dim;
+                let bits = u64::from(input_bits.max(1));
+                let analog_phase = if self.optimized_schedule {
+                    per_bit_ace
+                        + per_bit_ace.max(per_bit_transfer) * bits.saturating_sub(1)
+                        + per_bit_transfer
+                } else {
+                    (per_bit_ace + per_bit_transfer) * bits
+                };
+
+                // Reduction: terms-1 adds, pipelined; plus row-tile merge.
+                let terms = slices * bits;
+                let add = MacroOp::Add.cost(self.family, pipe_depth, dim);
+                let arith = terms.saturating_sub(1) + row_tiles.saturating_sub(1);
+                let reduce = if self.optimized_schedule {
+                    add.pipelined_batch(arith).get()
+                } else {
+                    let shift = MacroOp::ShiftBits(1).cost(self.family, pipe_depth, dim);
+                    add.latency().get() * arith + shift.latency().get() * terms
+                };
+                // Front-end contention when the IIU is absent: reduction
+                // µops are issued for all 8 tiles through one port.
+                let issue_penalty = if self.use_iiu {
+                    0
+                } else {
+                    arith * add.stage_cycles * (HCTS_PER_FRONT_END as u64 - 1) / 2
+                };
+                // Column tiles run on parallel arrays/ADC groups in other
+                // tiles; row tiles' analog phases share the input buffers
+                // and run concurrently too (their merges are in `reduce`).
+                let per_input = analog_phase + reduce + issue_penalty;
+                let pipelined = per_input
+                    + (batch.saturating_sub(1)) * per_input.max(analog_phase.max(reduce));
+
+                // Energy.
+                let conversions = (bitlines as u64) * bits * row_tiles * col_tiles * batch;
+                let adc_energy = match self.chip.hct.adc_kind {
+                    AdcKind::Sar => power::SAR_ADC * conversions as f64,
+                    AdcKind::Ramp => {
+                        power::RAMP_ADC * (readout * bits * row_tiles * col_tiles * batch) as f64
+                    }
+                };
+                let row_periphery =
+                    power::ROW_PERIPHERY * (bits * row_tiles * col_tiles * batch) as f64;
+                // Each column tile runs its own reduction; row-tile merges
+                // are already inside `arith`.
+                let reduce_energy = add.primitives as f64
+                    * self.family.energy_per_primitive_pj()
+                    * (arith * col_tiles * batch) as f64;
+                let ctrl = power::PIPELINE_CTRL * (reduce * batch) as f64;
+                (
+                    pipelined as f64,
+                    adc_energy + row_periphery + reduce_energy + ctrl,
+                    arrays as f64,
+                    (analog_phase * batch) as f64,
+                )
+            }
+            KernelOp::Vector {
+                kind,
+                elements,
+                bits,
+                count,
+            } => {
+                let lanes = dim; // 64 elements per pipeline op
+                let instances = elements.div_ceil(lanes) * count;
+                let macro_op = match kind {
+                    VectorKind::Bool => MacroOp::Bool(darth_digital::BoolOp::Xor),
+                    VectorKind::Add => MacroOp::Add,
+                    VectorKind::Mul => MacroOp::Mul(bits),
+                    VectorKind::Shift => MacroOp::ShiftBits(1),
+                    VectorKind::Compare => MacroOp::CmpLt,
+                    VectorKind::Copy => MacroOp::CopyVr,
+                };
+                let cost = macro_op.cost(self.family, u64::from(bits).max(1), lanes);
+                let latency = if cost.barrier {
+                    cost.latency().get() * instances
+                } else {
+                    cost.pipelined_batch(instances).get()
+                };
+                let energy =
+                    cost.primitives as f64 * instances as f64 * self.family.energy_per_primitive_pj();
+                (latency as f64, energy, 0.0, 0.0)
+            }
+            KernelOp::TableLookup { elements, .. } => {
+                let cost = MacroOp::ElementLoad.cost(self.family, pipe_depth, dim);
+                let instances = elements.div_ceil(dim);
+                let latency = cost.latency().get() * instances;
+                // element-wise load is peripheral I/O: charge pipeline ctrl
+                let energy = power::PIPELINE_CTRL * latency as f64;
+                (latency as f64, energy, 0.0, 0.0)
+            }
+            KernelOp::HostMove { bytes } | KernelOp::OnChipMove { bytes } => {
+                // On DARTH-PUM all movement stays on chip at 8 B/cycle.
+                let cycles = bytes.div_ceil(crate::params::ACE_DCE_BYTES_PER_CYCLE);
+                (cycles as f64, power::PIPELINE_CTRL * cycles as f64, 0.0, 0.0)
+            }
+            KernelOp::WeightUpdate {
+                rows, weight_bits, ..
+            } => {
+                let bpc = if weight_bits <= 1 { 1 } else { self.bits_per_cell };
+                let slices = u64::from(weight_bits.div_ceil(bpc));
+                let cycles = rows * PROGRAM_CYCLES_PER_ROW * slices;
+                (
+                    cycles as f64,
+                    power::ROW_PERIPHERY * cycles as f64,
+                    slices as f64,
+                    cycles as f64,
+                )
+            }
+        }
+    }
+
+    /// Prices a whole trace into a [`CostReport`].
+    ///
+    /// An item's digital (non-MVM) work spreads across the
+    /// `pipelines_per_item` pipelines its mapping occupies; MVM chains are
+    /// serial per vACore.
+    pub fn price(&self, trace: &Trace) -> CostReport {
+        let mut item_cycles = 0.0;
+        let mut item_energy_pj = 0.0;
+        let mut max_arrays: f64 = 0.0;
+        let mut kernel_latency = Vec::with_capacity(trace.kernels.len());
+        let spread = trace.pipelines_per_item.max(1) as f64;
+        let mut ace_serial_cycles = 0.0;
+        for kernel in &trace.kernels {
+            let mut l = 0.0;
+            let mut e = 0.0;
+            let mut a: f64 = 0.0;
+            for op in &kernel.ops {
+                let (ol, oe, oa, oace) = self.price_op(op);
+                let ol = if matches!(
+                    op,
+                    KernelOp::Vector { .. } | KernelOp::TableLookup { .. }
+                ) {
+                    ol / spread
+                } else {
+                    ol
+                };
+                l += ol;
+                e += oe;
+                a = a.max(oa);
+                ace_serial_cycles += oace;
+            }
+            kernel_latency.push((kernel.name.clone(), l / CLOCK_HZ));
+            item_cycles += l;
+            item_energy_pj += e;
+            max_arrays = max_arrays.max(a);
+        }
+        // Front-end share: one front end per 8 HCTs, amortised per item.
+        item_energy_pj +=
+            power::FRONT_END * item_cycles / HCTS_PER_FRONT_END as f64;
+
+        // Placement: arrays bound the analog footprint; DCE pipelines
+        // bound digital batching.
+        let arrays_per_hct = self.chip.hct.ace_arrays as f64;
+        let hcts_for_arrays = (max_arrays / arrays_per_hct).ceil().max(1.0);
+        let pipes_per_hct = self.chip.hct.dce_pipelines as f64;
+        let items_per_hct_group =
+            (pipes_per_hct * hcts_for_arrays / trace.pipelines_per_item as f64).max(1.0);
+        let hct_count = self.chip.hct_count() as f64;
+        let groups = (hct_count / hcts_for_arrays).max(1.0);
+        let chip_parallel = (groups * items_per_hct_group)
+            .min(trace.parallel_items as f64)
+            .max(1.0);
+
+        let latency_s = item_cycles / CLOCK_HZ;
+        let pipeline_bound = chip_parallel / latency_s.max(1e-12);
+        // Items sharing a tile group also share its ACEs: the group's
+        // analog throughput caps the item rate regardless of how many
+        // pipeline contexts are free.
+        let ace_bound = if ace_serial_cycles > 0.0 {
+            groups * CLOCK_HZ / ace_serial_cycles
+        } else {
+            f64::INFINITY
+        };
+        CostReport {
+            architecture: format!(
+                "DARTH-PUM ({:?} ADC)",
+                self.chip.hct.adc_kind
+            ),
+            workload: trace.name.clone(),
+            latency_s,
+            throughput_items_per_s: pipeline_bound.min(ace_bound),
+            energy_per_item_j: item_energy_pj * 1e-12,
+            kernel_latency_s: kernel_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Kernel;
+
+    fn mvm_trace(input_bits: u8, weight_bits: u8) -> Trace {
+        Trace::new(
+            "t",
+            vec![Kernel::new(
+                "mvm",
+                vec![KernelOp::Mvm {
+                    rows: 64,
+                    cols: 64,
+                    input_bits,
+                    weight_bits,
+                    batch: 1,
+                }],
+            )],
+        )
+    }
+
+    #[test]
+    fn price_is_positive_and_finite() {
+        let model = DarthModel::paper(AdcKind::Sar);
+        let report = model.price(&mvm_trace(8, 8));
+        assert!(report.latency_s > 0.0 && report.latency_s.is_finite());
+        assert!(report.energy_per_item_j > 0.0);
+        assert!(report.throughput_items_per_s > 0.0);
+    }
+
+    #[test]
+    fn more_input_bits_cost_more() {
+        let model = DarthModel::paper(AdcKind::Sar);
+        let narrow = model.price(&mvm_trace(1, 1));
+        let wide = model.price(&mvm_trace(8, 8));
+        assert!(wide.latency_s > narrow.latency_s);
+        assert!(wide.energy_per_item_j > narrow.energy_per_item_j);
+    }
+
+    #[test]
+    fn optimized_schedule_is_faster() {
+        let mut opt = DarthModel::paper(AdcKind::Sar);
+        opt.optimized_schedule = true;
+        let mut unopt = opt;
+        unopt.optimized_schedule = false;
+        let t = mvm_trace(8, 8);
+        assert!(opt.price(&t).latency_s < unopt.price(&t).latency_s);
+    }
+
+    #[test]
+    fn iiu_saves_latency() {
+        let with = DarthModel::paper(AdcKind::Sar);
+        let mut without = with;
+        without.use_iiu = false;
+        let t = mvm_trace(8, 8);
+        assert!(with.price(&t).latency_s < without.price(&t).latency_s);
+    }
+
+    #[test]
+    fn ramp_early_termination_helps_aes_style_mvm() {
+        let mut ramp = DarthModel::paper(AdcKind::Ramp);
+        let full = ramp.price(&mvm_trace(1, 1));
+        ramp.early_levels = Some(4);
+        let early = ramp.price(&mvm_trace(1, 1));
+        assert!(early.latency_s < full.latency_s);
+    }
+
+    #[test]
+    fn vector_ops_price_by_macro_cost() {
+        let model = DarthModel::paper(AdcKind::Sar);
+        let bool_trace = Trace::new(
+            "b",
+            vec![Kernel::new(
+                "xor",
+                vec![KernelOp::Vector {
+                    kind: VectorKind::Bool,
+                    elements: 64,
+                    bits: 8,
+                    count: 100,
+                }],
+            )],
+        );
+        let mul_trace = Trace::new(
+            "m",
+            vec![Kernel::new(
+                "mul",
+                vec![KernelOp::Vector {
+                    kind: VectorKind::Mul,
+                    elements: 64,
+                    bits: 8,
+                    count: 100,
+                }],
+            )],
+        );
+        let b = model.price(&bool_trace);
+        let m = model.price(&mul_trace);
+        assert!(m.latency_s > b.latency_s, "mul is costlier than xor");
+    }
+
+    #[test]
+    fn parallelism_caps_apply() {
+        let model = DarthModel::paper(AdcKind::Sar);
+        let free = model.price(&mvm_trace(8, 8));
+        let capped_trace = mvm_trace(8, 8).with_parallel_items(1);
+        let capped = model.price(&capped_trace);
+        assert!(capped.throughput_items_per_s < free.throughput_items_per_s);
+        let fat_trace = mvm_trace(8, 8).with_pipelines_per_item(64);
+        let fat = model.price(&fat_trace);
+        assert!(fat.throughput_items_per_s < free.throughput_items_per_s);
+    }
+
+    #[test]
+    fn kernel_breakdown_sums_to_latency() {
+        let model = DarthModel::paper(AdcKind::Sar);
+        let trace = Trace::new(
+            "multi",
+            vec![
+                Kernel::new(
+                    "a",
+                    vec![KernelOp::Vector {
+                        kind: VectorKind::Add,
+                        elements: 64,
+                        bits: 8,
+                        count: 10,
+                    }],
+                ),
+                Kernel::new(
+                    "b",
+                    vec![KernelOp::TableLookup {
+                        elements: 64,
+                        table_size: 256,
+                        bits: 8,
+                    }],
+                ),
+            ],
+        );
+        let report = model.price(&trace);
+        let sum: f64 = report.kernel_latency_s.iter().map(|(_, s)| s).sum();
+        assert!((sum - report.latency_s).abs() / report.latency_s < 1e-9);
+    }
+
+    #[test]
+    fn weight_update_is_expensive() {
+        let model = DarthModel::paper(AdcKind::Sar);
+        let update = Trace::new(
+            "u",
+            vec![Kernel::new(
+                "prog",
+                vec![KernelOp::WeightUpdate {
+                    rows: 64,
+                    cols: 64,
+                    weight_bits: 8,
+                }],
+            )],
+        );
+        let mvm = model.price(&mvm_trace(8, 8));
+        let upd = model.price(&update);
+        assert!(
+            upd.latency_s > 10.0 * mvm.latency_s,
+            "programming dwarfs compute: {} vs {}",
+            upd.latency_s,
+            mvm.latency_s
+        );
+    }
+}

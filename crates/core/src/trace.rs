@@ -1,0 +1,350 @@
+//! Architecture-neutral kernel traces.
+//!
+//! Each application (`darth-apps`) lowers one *work item* — an AES block
+//! encryption, a ResNet-20 inference, an LLM encoder pass — into a
+//! [`Trace`]: a sequence of named [`Kernel`]s made of coarse-grained
+//! [`KernelOp`]s. Every architecture model prices the *same* trace: the
+//! DARTH-PUM model in [`crate::model`], and the CPU / GPU / analog-only /
+//! RACER / AppAccel models in `darth-baselines`. Figures 13–18 are all
+//! ratios of these priced traces.
+
+use serde::{Deserialize, Serialize};
+
+/// The element-wise vector operation classes a kernel can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VectorKind {
+    /// Bitwise Boolean operation (XOR/AND/OR/NOT).
+    Bool,
+    /// Integer addition or subtraction.
+    Add,
+    /// Integer multiplication.
+    Mul,
+    /// Constant shift or rotate.
+    Shift,
+    /// Comparison / max / min (ReLU, pooling).
+    Compare,
+    /// Data copy between registers or buffers.
+    Copy,
+}
+
+/// One coarse-grained operation inside a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KernelOp {
+    /// A dense matrix–vector multiply (`batch` independent input vectors
+    /// against the same `rows × cols` matrix).
+    Mvm {
+        /// Matrix rows (input length).
+        rows: u64,
+        /// Matrix columns (output length).
+        cols: u64,
+        /// Input operand width in bits.
+        input_bits: u8,
+        /// Weight element width in bits.
+        weight_bits: u8,
+        /// Independent input vectors.
+        batch: u64,
+    },
+    /// `count` element-wise vector operations over `elements` lanes of
+    /// `bits`-bit values.
+    Vector {
+        /// Operation class.
+        kind: VectorKind,
+        /// Lanes per operation.
+        elements: u64,
+        /// Lane width in bits.
+        bits: u8,
+        /// Number of such operations.
+        count: u64,
+    },
+    /// A gather through a lookup table (AES S-box, quantized LUTs).
+    TableLookup {
+        /// Elements gathered.
+        elements: u64,
+        /// Table entries.
+        table_size: u64,
+        /// Entry width in bits.
+        bits: u8,
+    },
+    /// Bytes moved between the host and the accelerator (Baseline's
+    /// CPU↔PUM traffic; zero-cost inside a single chip).
+    HostMove {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// Bytes moved on-chip between tiles or pipelines.
+    OnChipMove {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// Reprogramming of analog weights (attention matrices, §5.2).
+    WeightUpdate {
+        /// Matrix rows rewritten.
+        rows: u64,
+        /// Matrix columns rewritten.
+        cols: u64,
+        /// Weight element width in bits.
+        weight_bits: u8,
+    },
+}
+
+impl KernelOp {
+    /// Whether the op is a matrix multiply (the analog-accelerable class).
+    pub fn is_mvm(&self) -> bool {
+        matches!(self, KernelOp::Mvm { .. })
+    }
+
+    /// Total multiply–accumulate count represented by this op (zero for
+    /// non-MVM ops) — used for roofline-style CPU/GPU pricing.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            KernelOp::Mvm {
+                rows, cols, batch, ..
+            } => rows * cols * batch,
+            _ => 0,
+        }
+    }
+
+    /// Total element-operations (lanes × count) for vector work.
+    pub fn element_ops(&self) -> u64 {
+        match *self {
+            KernelOp::Vector {
+                elements, count, ..
+            } => elements * count,
+            KernelOp::TableLookup { elements, .. } => elements,
+            _ => 0,
+        }
+    }
+}
+
+/// A named phase of a work item (one AES round step, one CNN layer, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Display name (drives Figure 14/15 per-kernel breakdowns).
+    pub name: String,
+    /// The operations, assumed dependent in order.
+    pub ops: Vec<KernelOp>,
+}
+
+impl Kernel {
+    /// Creates a kernel.
+    pub fn new(name: impl Into<String>, ops: Vec<KernelOp>) -> Self {
+        Kernel {
+            name: name.into(),
+            ops,
+        }
+    }
+
+    /// Total MACs in this kernel.
+    pub fn macs(&self) -> u64 {
+        self.ops.iter().map(KernelOp::macs).sum()
+    }
+
+    /// Total element-ops in this kernel.
+    pub fn element_ops(&self) -> u64 {
+        self.ops.iter().map(KernelOp::element_ops).sum()
+    }
+
+    /// Total host-move bytes in this kernel.
+    pub fn host_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                KernelOp::HostMove { bytes } => bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// A full work item: the unit whose latency and energy the figures report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Work item name (`"aes-128"`, `"resnet-20"`, `"llm-encoder"`).
+    pub name: String,
+    /// The kernels, executed in order.
+    pub kernels: Vec<Kernel>,
+    /// How many independent copies of this item a chip may run in parallel
+    /// given unlimited area (caps iso-area batching; e.g. AES is
+    /// embarrassingly parallel, one CNN inference is one item).
+    pub parallel_items: u64,
+    /// DCE pipelines one in-flight item occupies (placement hint from the
+    /// application mapping; bounds per-tile batching).
+    pub pipelines_per_item: u64,
+}
+
+impl Trace {
+    /// Creates a trace.
+    pub fn new(name: impl Into<String>, kernels: Vec<Kernel>) -> Self {
+        Trace {
+            name: name.into(),
+            kernels,
+            parallel_items: u64::MAX,
+            pipelines_per_item: 1,
+        }
+    }
+
+    /// Sets the per-item pipeline footprint (builder style).
+    pub fn with_pipelines_per_item(mut self, pipelines: u64) -> Self {
+        self.pipelines_per_item = pipelines.max(1);
+        self
+    }
+
+    /// Caps the exploitable parallelism (builder style).
+    pub fn with_parallel_items(mut self, items: u64) -> Self {
+        self.parallel_items = items.max(1);
+        self
+    }
+
+    /// Total MACs across kernels.
+    pub fn macs(&self) -> u64 {
+        self.kernels.iter().map(Kernel::macs).sum()
+    }
+
+    /// Total element-ops across kernels.
+    pub fn element_ops(&self) -> u64 {
+        self.kernels.iter().map(Kernel::element_ops).sum()
+    }
+
+    /// Fraction of MACs among (MACs + element ops) — a rough measure of
+    /// how MVM-heavy the workload is.
+    pub fn mvm_fraction(&self) -> f64 {
+        let macs = self.macs() as f64;
+        let eops = self.element_ops() as f64;
+        if macs + eops == 0.0 {
+            return 0.0;
+        }
+        macs / (macs + eops)
+    }
+
+    /// Looks up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&Kernel> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+/// A priced trace: one architecture's cost for one work item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Architecture label.
+    pub architecture: String,
+    /// Work item name.
+    pub workload: String,
+    /// Latency of one item in seconds.
+    pub latency_s: f64,
+    /// Items completed per second at full chip utilisation.
+    pub throughput_items_per_s: f64,
+    /// Energy per item in joules.
+    pub energy_per_item_j: f64,
+    /// Per-kernel latency breakdown in seconds, in kernel order.
+    pub kernel_latency_s: Vec<(String, f64)>,
+}
+
+impl CostReport {
+    /// Throughput ratio vs another report (`self / other`).
+    pub fn speedup_over(&self, other: &CostReport) -> f64 {
+        self.throughput_items_per_s / other.throughput_items_per_s
+    }
+
+    /// Energy-savings ratio vs another report (`other / self`).
+    pub fn energy_savings_over(&self, other: &CostReport) -> f64 {
+        other.energy_per_item_j / self.energy_per_item_j
+    }
+}
+
+/// Geometric mean of a set of ratios (used for the GeoMean columns).
+pub fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::new(
+            "sample",
+            vec![
+                Kernel::new(
+                    "mix",
+                    vec![KernelOp::Mvm {
+                        rows: 16,
+                        cols: 4,
+                        input_bits: 1,
+                        weight_bits: 1,
+                        batch: 2,
+                    }],
+                ),
+                Kernel::new(
+                    "xor",
+                    vec![KernelOp::Vector {
+                        kind: VectorKind::Bool,
+                        elements: 16,
+                        bits: 8,
+                        count: 3,
+                    }],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn mac_and_element_counts() {
+        let t = sample_trace();
+        assert_eq!(t.macs(), 16 * 4 * 2);
+        assert_eq!(t.element_ops(), 48);
+        assert!(t.mvm_fraction() > 0.5);
+    }
+
+    #[test]
+    fn kernel_lookup() {
+        let t = sample_trace();
+        assert!(t.kernel("mix").is_some());
+        assert!(t.kernel("nope").is_none());
+    }
+
+    #[test]
+    fn host_bytes() {
+        let k = Kernel::new("move", vec![KernelOp::HostMove { bytes: 1024 }]);
+        assert_eq!(k.host_bytes(), 1024);
+        assert_eq!(k.macs(), 0);
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[8.0]) - 8.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn cost_report_ratios() {
+        let fast = CostReport {
+            architecture: "a".into(),
+            workload: "w".into(),
+            latency_s: 1e-6,
+            throughput_items_per_s: 1e6,
+            energy_per_item_j: 1e-9,
+            kernel_latency_s: vec![],
+        };
+        let slow = CostReport {
+            architecture: "b".into(),
+            workload: "w".into(),
+            latency_s: 1e-3,
+            throughput_items_per_s: 1e3,
+            energy_per_item_j: 1e-6,
+            kernel_latency_s: vec![],
+        };
+        assert!((fast.speedup_over(&slow) - 1000.0).abs() < 1e-9);
+        assert!((fast.energy_savings_over(&slow) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mvm_fraction_empty_trace() {
+        let t = Trace::new("empty", vec![]);
+        assert_eq!(t.mvm_fraction(), 0.0);
+    }
+}

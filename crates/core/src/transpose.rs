@@ -1,0 +1,94 @@
+//! The transposition unit (§4.2).
+//!
+//! Analog and digital PUM operate on different axes: analog applies inputs
+//! along wordlines and accumulates along bitlines, while digital stripes
+//! operands column-wise and computes row-wise. Any data crossing between
+//! domains — partial-product row vectors landing in column-oriented vector
+//! registers, or matrices migrating between array types — therefore passes
+//! through this unit.
+
+use darth_reram::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// The HCT's transposition engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TransposeUnit {
+    transposes: u64,
+}
+
+impl TransposeUnit {
+    /// Creates an idle unit.
+    pub fn new() -> Self {
+        TransposeUnit::default()
+    }
+
+    /// Number of transposes performed (for stats).
+    pub fn transposes(&self) -> u64 {
+        self.transposes
+    }
+
+    /// Transposes a matrix, streaming one element per cycle.
+    ///
+    /// Returns the transposed matrix and the cycle cost.
+    pub fn transpose<T: Copy>(&mut self, matrix: &[Vec<T>]) -> (Vec<Vec<T>>, Cycles) {
+        self.transposes += 1;
+        let rows = matrix.len();
+        let cols = matrix.first().map_or(0, Vec::len);
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(cols);
+        for c in 0..cols {
+            out.push((0..rows).map(|r| matrix[r][c]).collect());
+        }
+        (out, Cycles::new((rows * cols) as u64))
+    }
+
+    /// Cost of transposing a partial-product row vector into a column
+    /// register: the unit retimes the stream as it passes, adding a
+    /// one-cycle pipeline stage rather than a full matrix pass.
+    pub fn vector_retime_cycles(&self) -> Cycles {
+        Cycles::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_square() {
+        let mut tu = TransposeUnit::new();
+        let (t, cycles) = tu.transpose(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(t, vec![vec![1, 3], vec![2, 4]]);
+        assert_eq!(cycles.get(), 4);
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let mut tu = TransposeUnit::new();
+        let (t, cycles) = tu.transpose(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(t, vec![vec![1, 4], vec![2, 5], vec![3, 6]]);
+        assert_eq!(cycles.get(), 6);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let mut tu = TransposeUnit::new();
+        let m = vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]];
+        let (t, _) = tu.transpose(&m);
+        let (tt, _) = tu.transpose(&t);
+        assert_eq!(tt, m);
+        assert_eq!(tu.transposes(), 2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let mut tu = TransposeUnit::new();
+        let (t, cycles) = tu.transpose::<i64>(&[]);
+        assert!(t.is_empty());
+        assert_eq!(cycles, Cycles::ZERO);
+    }
+
+    #[test]
+    fn vector_retime_is_one_stage() {
+        assert_eq!(TransposeUnit::new().vector_retime_cycles().get(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! A digital PUM array: column-parallel Boolean execution in SLC ReRAM.
+//!
+//! Digital primitives operate on *columns* (bitlines): the OSCAR NOR of
+//! Figure 4 drives two input bitlines and one output bitline, and every
+//! floated wordline (row) computes independently. A [`DigitalArray`]
+//! therefore exposes gate execution between columns, applied to all rows in
+//! parallel, plus the row-granularity reads/writes the peripheral I/O
+//! circuitry performs when data enters or leaves the array.
+
+use crate::logic::{BoolOp, LogicFamily};
+use crate::{Error, Result};
+use darth_reram::{DeviceParams, ReramArray};
+use serde::{Deserialize, Serialize};
+
+/// One array of a RACER pipeline, holding a single bit position of every
+/// value striped across the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigitalArray {
+    cells: ReramArray,
+    /// Primitive operations executed so far (for energy accounting).
+    primitives_executed: u64,
+}
+
+impl DigitalArray {
+    /// Creates an erased `rows`×`cols` digital array (SLC devices).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension validation from the ReRAM substrate.
+    pub fn new(rows: usize, cols: usize) -> Result<Self> {
+        let cells = ReramArray::new(rows, cols, DeviceParams::slc())?;
+        Ok(DigitalArray {
+            cells,
+            primitives_executed: 0,
+        })
+    }
+
+    /// Number of rows (vector elements).
+    pub fn rows(&self) -> usize {
+        self.cells.rows()
+    }
+
+    /// Number of columns (vector registers + scratch).
+    pub fn cols(&self) -> usize {
+        self.cells.cols()
+    }
+
+    /// Total primitives executed by this array since creation.
+    pub fn primitives_executed(&self) -> u64 {
+        self.primitives_executed
+    }
+
+    /// Reads one bit.
+    pub fn bit(&self, row: usize, col: usize) -> bool {
+        self.cells.get_bool(row, col)
+    }
+
+    /// Writes one bit (peripheral write, not a Boolean primitive).
+    pub fn set_bit(&mut self, row: usize, col: usize, value: bool) {
+        self.cells.set_bool(row, col, value);
+    }
+
+    /// Reads a whole column (one vector register's bit position).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `col` is out of range.
+    pub fn col(&self, col: usize) -> Result<Vec<bool>> {
+        Ok(self.cells.col_bools(col)?)
+    }
+
+    /// Overwrites a whole column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `col` is out of range or `values` has the wrong
+    /// length.
+    pub fn set_col(&mut self, col: usize, values: &[bool]) -> Result<()> {
+        Ok(self.cells.set_col_bools(col, values)?)
+    }
+
+    /// Reads a whole row (used by element-wise load/store and pipeline I/O).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `row` is out of range.
+    pub fn row(&self, row: usize) -> Result<Vec<bool>> {
+        Ok(self.cells.row_bools(row)?)
+    }
+
+    /// Presets a column to all ones — the first half of an OSCAR primitive.
+    fn preset_col(&mut self, col: usize) {
+        for row in 0..self.rows() {
+            self.cells.set_bool(row, col, true);
+        }
+    }
+
+    /// Executes a *native* primitive `out := op(a, b)` across all rows.
+    ///
+    /// For OSCAR this models the preset-then-pulse sequence: the output
+    /// column is first set to '1', then each output device conditionally
+    /// switches to '0' based on the input cell states and the bitline
+    /// voltages (Figure 4). The input states are sensed by the pulse, not
+    /// re-read after the preset, so an output column that aliases an input
+    /// still computes from the original input values.
+    fn exec_native(&mut self, op: BoolOp, a: usize, b: usize, out: usize) {
+        let rows = self.rows();
+        let va: Vec<bool> = (0..rows).map(|r| self.cells.get_bool(r, a)).collect();
+        let vb: Vec<bool> = (0..rows).map(|r| self.cells.get_bool(r, b)).collect();
+        self.preset_col(out);
+        for row in 0..rows {
+            self.cells.set_bool(row, out, op.eval(va[row], vb[row]));
+        }
+        self.primitives_executed += 1;
+    }
+
+    /// Executes `out := op(a, b)` across all rows, decomposing non-native
+    /// gates into the family's primitives using `scratch` columns.
+    ///
+    /// Returns the number of native primitives executed, which the caller
+    /// converts to cycles and energy via
+    /// [`LogicFamily::cycles_per_primitive`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfScratch`] when the decomposition needs more
+    /// scratch columns than provided. The required count is
+    /// [`LogicFamily::scratch_for`].
+    pub fn exec_gate(
+        &mut self,
+        family: LogicFamily,
+        op: BoolOp,
+        a: usize,
+        b: usize,
+        out: usize,
+        scratch: &[usize],
+    ) -> Result<u64> {
+        if family.is_native(op) {
+            self.exec_native(op, a, b, out);
+            return Ok(1);
+        }
+        debug_assert_eq!(family, LogicFamily::Oscar);
+        if scratch.len() < family.scratch_for(op) {
+            return Err(Error::OutOfScratch);
+        }
+        match op {
+            BoolOp::And => {
+                // AND(a,b) = NOR(!a, !b)
+                let (s0, s1) = (scratch[0], scratch[1]);
+                self.exec_native(BoolOp::Nor, a, a, s0); // !a
+                self.exec_native(BoolOp::Nor, b, b, s1); // !b
+                self.exec_native(BoolOp::Nor, s0, s1, out);
+                Ok(3)
+            }
+            BoolOp::Nand => {
+                // NAND(a,b) = OR(!a, !b)
+                let (s0, s1) = (scratch[0], scratch[1]);
+                self.exec_native(BoolOp::Nor, a, a, s0);
+                self.exec_native(BoolOp::Nor, b, b, s1);
+                self.exec_native(BoolOp::Or, s0, s1, out);
+                Ok(3)
+            }
+            BoolOp::Xor => {
+                // XOR(a,b) = NOR(NOR(a,b), AND(a,b))
+                let (s0, s1, s2) = (scratch[0], scratch[1], scratch[2]);
+                self.exec_native(BoolOp::Nor, a, b, s0); // !(a|b)
+                self.exec_native(BoolOp::Nor, a, a, s1); // !a
+                self.exec_native(BoolOp::Nor, b, b, s2); // !b
+                self.exec_native(BoolOp::Nor, s1, s2, s1); // a&b
+                self.exec_native(BoolOp::Nor, s0, s1, out);
+                Ok(5)
+            }
+            BoolOp::Xnor => {
+                // XNOR(a,b) = OR(NOR(a,b), AND(a,b))
+                let (s0, s1, s2) = (scratch[0], scratch[1], scratch[2]);
+                self.exec_native(BoolOp::Nor, a, b, s0);
+                self.exec_native(BoolOp::Nor, a, a, s1);
+                self.exec_native(BoolOp::Nor, b, b, s2);
+                self.exec_native(BoolOp::Nor, s1, s2, s1);
+                self.exec_native(BoolOp::Or, s0, s1, out);
+                Ok(5)
+            }
+            BoolOp::Nor | BoolOp::Or => unreachable!("native ops handled above"),
+        }
+    }
+
+    /// Copies column `from` into column `to` via a Boolean identity
+    /// (`OR(from, from)` for OSCAR, one primitive either way).
+    pub fn copy_col(&mut self, from: usize, to: usize) -> u64 {
+        self.exec_native(BoolOp::Or, from, from, to);
+        1
+    }
+
+    /// Clears a column to zero. The peripheral drivers can reset a bitline
+    /// directly; modelled as one primitive-equivalent event.
+    pub fn clear_col(&mut self, col: usize) -> u64 {
+        for row in 0..self.rows() {
+            self.cells.set_bool(row, col, false);
+        }
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> DigitalArray {
+        DigitalArray::new(4, 8).expect("valid dims")
+    }
+
+    fn set_inputs(a: &mut DigitalArray, col_a: usize, col_b: usize) {
+        // rows encode the four input combinations (00, 01, 10, 11)
+        let avals = [false, false, true, true];
+        let bvals = [false, true, false, true];
+        a.set_col(col_a, &avals).expect("fits");
+        a.set_col(col_b, &bvals).expect("fits");
+    }
+
+    #[test]
+    fn native_nor_truth_table() {
+        let mut arr = array();
+        set_inputs(&mut arr, 0, 1);
+        arr.exec_gate(LogicFamily::Oscar, BoolOp::Nor, 0, 1, 2, &[])
+            .expect("native");
+        assert_eq!(
+            arr.col(2).expect("in range"),
+            vec![true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn all_gates_all_families_match_truth_tables() {
+        for family in [LogicFamily::Oscar, LogicFamily::Ideal] {
+            for op in BoolOp::ALL {
+                let mut arr = array();
+                set_inputs(&mut arr, 0, 1);
+                let scratch = [4, 5, 6];
+                let prims = arr
+                    .exec_gate(family, op, 0, 1, 2, &scratch)
+                    .expect("executes");
+                assert_eq!(prims, family.primitives_for(op), "{family} {op}");
+                let expected: Vec<bool> = [(false, false), (false, true), (true, false), (true, true)]
+                    .iter()
+                    .map(|&(a, b)| op.eval(a, b))
+                    .collect();
+                assert_eq!(arr.col(2).expect("in range"), expected, "{family} {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_does_not_clobber_inputs() {
+        let mut arr = array();
+        set_inputs(&mut arr, 0, 1);
+        arr.exec_gate(LogicFamily::Oscar, BoolOp::Xor, 0, 1, 2, &[4, 5, 6])
+            .expect("executes");
+        assert_eq!(
+            arr.col(0).expect("in range"),
+            vec![false, false, true, true]
+        );
+        assert_eq!(
+            arr.col(1).expect("in range"),
+            vec![false, true, false, true]
+        );
+    }
+
+    #[test]
+    fn out_of_scratch_is_an_error() {
+        let mut arr = array();
+        set_inputs(&mut arr, 0, 1);
+        let err = arr
+            .exec_gate(LogicFamily::Oscar, BoolOp::Xor, 0, 1, 2, &[4])
+            .unwrap_err();
+        assert_eq!(err, Error::OutOfScratch);
+    }
+
+    #[test]
+    fn primitive_counter_accumulates() {
+        let mut arr = array();
+        set_inputs(&mut arr, 0, 1);
+        arr.exec_gate(LogicFamily::Oscar, BoolOp::Nor, 0, 1, 2, &[])
+            .expect("executes");
+        arr.exec_gate(LogicFamily::Oscar, BoolOp::Xor, 0, 1, 3, &[4, 5, 6])
+            .expect("executes");
+        assert_eq!(arr.primitives_executed(), 6); // 1 + 5
+    }
+
+    #[test]
+    fn copy_col_duplicates() {
+        let mut arr = array();
+        arr.set_col(0, &[true, false, true, false]).expect("fits");
+        arr.copy_col(0, 3);
+        assert_eq!(arr.col(3).expect("in range"), arr.col(0).expect("in range"));
+    }
+
+    #[test]
+    fn clear_col_zeroes() {
+        let mut arr = array();
+        arr.set_col(2, &[true, true, true, true]).expect("fits");
+        arr.clear_col(2);
+        assert_eq!(
+            arr.col(2).expect("in range"),
+            vec![false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn in_place_output_aliasing_input_is_defined() {
+        // The pulse senses input device states before the output switches,
+        // so `NOR(a, b) -> a` computes from the original `a` values.
+        let mut arr = array();
+        set_inputs(&mut arr, 0, 1);
+        arr.exec_gate(LogicFamily::Oscar, BoolOp::Nor, 0, 1, 0, &[])
+            .expect("executes");
+        assert_eq!(
+            arr.col(0).expect("in range"),
+            vec![true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn row_reads_cross_columns() {
+        let mut arr = array();
+        arr.set_bit(1, 0, true);
+        arr.set_bit(1, 3, true);
+        let row = arr.row(1).expect("in range");
+        assert_eq!(
+            row,
+            vec![true, false, false, true, false, false, false, false]
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Logic families for digital PUM.
+//!
+//! A *logic family* (Section 2.2.2) fixes which Boolean primitives the
+//! memory arrays can execute natively and what each costs. DARTH-PUM's
+//! evaluation uses [`LogicFamily::Oscar`] — NOR and OR in ReRAM with an
+//! output-preset step — plus an [`LogicFamily::Ideal`] family for the
+//! Figure 7 ablation, where any two-input Boolean operator completes in a
+//! single cycle.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A two-input Boolean operator (NOT is modelled as `Nor(a, a)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoolOp {
+    /// `!(a | b)` — OSCAR's native primitive.
+    Nor,
+    /// `a | b` — OSCAR's second native primitive.
+    Or,
+    /// `a & b`.
+    And,
+    /// `!(a & b)`.
+    Nand,
+    /// `a ^ b`.
+    Xor,
+    /// `!(a ^ b)`.
+    Xnor,
+}
+
+impl BoolOp {
+    /// Evaluates the operator on two bits.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            BoolOp::Nor => !(a | b),
+            BoolOp::Or => a | b,
+            BoolOp::And => a & b,
+            BoolOp::Nand => !(a & b),
+            BoolOp::Xor => a ^ b,
+            BoolOp::Xnor => !(a ^ b),
+        }
+    }
+
+    /// All operators, for exhaustive property tests.
+    pub const ALL: [BoolOp; 6] = [
+        BoolOp::Nor,
+        BoolOp::Or,
+        BoolOp::And,
+        BoolOp::Nand,
+        BoolOp::Xor,
+        BoolOp::Xnor,
+    ];
+}
+
+impl fmt::Display for BoolOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BoolOp::Nor => "NOR",
+            BoolOp::Or => "OR",
+            BoolOp::And => "AND",
+            BoolOp::Nand => "NAND",
+            BoolOp::Xor => "XOR",
+            BoolOp::Xnor => "XNOR",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The set of primitives an array can execute natively, with their costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicFamily {
+    /// OSCAR (Truong et al., JETCAS'22): NOR and OR primitives in ReRAM.
+    ///
+    /// Executing a primitive takes two cycles: one to preset the output
+    /// devices to '1' and one to apply the `V_NOR` / `V_NOR+Δ` pulse that
+    /// conditionally switches them (Figure 4 of the paper).
+    Oscar,
+    /// The Figure 7 ablation: any two-input Boolean operator in one cycle
+    /// with no preset, as an upper bound on richer families such as FELIX.
+    Ideal,
+}
+
+impl LogicFamily {
+    /// Whether `op` is a native single-primitive operation in this family.
+    pub fn is_native(self, op: BoolOp) -> bool {
+        match self {
+            LogicFamily::Oscar => matches!(op, BoolOp::Nor | BoolOp::Or),
+            LogicFamily::Ideal => true,
+        }
+    }
+
+    /// Cycles to execute one native primitive across a whole array column
+    /// set (all rows in parallel).
+    pub fn cycles_per_primitive(self) -> u64 {
+        match self {
+            // preset + pulse
+            LogicFamily::Oscar => 2,
+            LogicFamily::Ideal => 1,
+        }
+    }
+
+    /// Number of native primitives needed to realise `op` once, counting
+    /// the scratch sub-operations of the NOR-only decomposition.
+    ///
+    /// The OSCAR decompositions used by [`crate::array::DigitalArray`]:
+    ///
+    /// | gate | expansion | primitives |
+    /// |------|-----------|------------|
+    /// | NOR  | native | 1 |
+    /// | OR   | native | 1 |
+    /// | AND  | `NOR(NOR(a,a), NOR(b,b))` | 3 |
+    /// | NAND | `OR(NOR(a,a), NOR(b,b))` | 3 |
+    /// | XOR  | `NOR(NOR(a,b), NOR(NOR(a,a), NOR(b,b)))` | 5 |
+    /// | XNOR | `OR(NOR(a,b), AND(a,b))` | 5 |
+    pub fn primitives_for(self, op: BoolOp) -> u64 {
+        match self {
+            LogicFamily::Ideal => 1,
+            LogicFamily::Oscar => match op {
+                BoolOp::Nor | BoolOp::Or => 1,
+                BoolOp::And | BoolOp::Nand => 3,
+                BoolOp::Xor | BoolOp::Xnor => 5,
+            },
+        }
+    }
+
+    /// Cycles to realise `op` once: primitives × cycles-per-primitive.
+    pub fn cycles_for(self, op: BoolOp) -> u64 {
+        self.primitives_for(op) * self.cycles_per_primitive()
+    }
+
+    /// Scratch columns the decomposition of `op` needs (peak simultaneous).
+    pub fn scratch_for(self, op: BoolOp) -> usize {
+        match self {
+            LogicFamily::Ideal => 0,
+            LogicFamily::Oscar => match op {
+                BoolOp::Nor | BoolOp::Or => 0,
+                BoolOp::And | BoolOp::Nand => 2,
+                BoolOp::Xor | BoolOp::Xnor => 3,
+            },
+        }
+    }
+
+    /// Dynamic energy of one native primitive over one array, in pJ.
+    ///
+    /// Table 3: Boolean operation power is 8 mW for an active pipeline of
+    /// 64 arrays (the table's DCE rows are per-unit totals, as with the
+    /// area entries), i.e. 0.125 mW per array. At 1 GHz an OSCAR primitive
+    /// (preset + pulse, 2 cycles) therefore costs 0.25 pJ and an ideal
+    /// single-cycle primitive 0.125 pJ.
+    pub fn energy_per_primitive_pj(self) -> f64 {
+        const PIPELINE_BOOL_POWER_MW: f64 = 8.0;
+        const ARRAYS_PER_PIPELINE: f64 = 64.0;
+        PIPELINE_BOOL_POWER_MW / ARRAYS_PER_PIPELINE * self.cycles_per_primitive() as f64
+    }
+}
+
+impl fmt::Display for LogicFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicFamily::Oscar => f.write_str("OSCAR"),
+            LogicFamily::Ideal => f.write_str("Ideal"),
+        }
+    }
+}
+
+impl Default for LogicFamily {
+    fn default() -> Self {
+        LogicFamily::Oscar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_op_truth_tables() {
+        let cases = [(false, false), (false, true), (true, false), (true, true)];
+        for (a, b) in cases {
+            assert_eq!(BoolOp::Nor.eval(a, b), !(a | b));
+            assert_eq!(BoolOp::Or.eval(a, b), a | b);
+            assert_eq!(BoolOp::And.eval(a, b), a & b);
+            assert_eq!(BoolOp::Nand.eval(a, b), !(a & b));
+            assert_eq!(BoolOp::Xor.eval(a, b), a ^ b);
+            assert_eq!(BoolOp::Xnor.eval(a, b), !(a ^ b));
+        }
+    }
+
+    #[test]
+    fn oscar_native_ops() {
+        assert!(LogicFamily::Oscar.is_native(BoolOp::Nor));
+        assert!(LogicFamily::Oscar.is_native(BoolOp::Or));
+        assert!(!LogicFamily::Oscar.is_native(BoolOp::And));
+        assert!(!LogicFamily::Oscar.is_native(BoolOp::Xor));
+    }
+
+    #[test]
+    fn ideal_everything_is_one_primitive() {
+        for op in BoolOp::ALL {
+            assert!(LogicFamily::Ideal.is_native(op));
+            assert_eq!(LogicFamily::Ideal.primitives_for(op), 1);
+            assert_eq!(LogicFamily::Ideal.cycles_for(op), 1);
+            assert_eq!(LogicFamily::Ideal.scratch_for(op), 0);
+        }
+    }
+
+    #[test]
+    fn oscar_costs_are_monotone_in_complexity() {
+        let f = LogicFamily::Oscar;
+        assert_eq!(f.primitives_for(BoolOp::Nor), 1);
+        assert_eq!(f.primitives_for(BoolOp::And), 3);
+        assert_eq!(f.primitives_for(BoolOp::Xor), 5);
+        assert_eq!(f.cycles_for(BoolOp::Xor), 10); // 5 primitives x 2 cycles
+    }
+
+    #[test]
+    fn oscar_primitive_energy_matches_table3() {
+        // 8 mW / 64 arrays x 2 cycles at 1 GHz = 0.25 pJ
+        assert!((LogicFamily::Oscar.energy_per_primitive_pj() - 0.25).abs() < 1e-12);
+        assert!((LogicFamily::Ideal.energy_per_primitive_pj() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(format!("{}", LogicFamily::Oscar), "OSCAR");
+        assert_eq!(format!("{}", BoolOp::Xor), "XOR");
+    }
+
+    #[test]
+    fn default_family_is_oscar() {
+        assert_eq!(LogicFamily::default(), LogicFamily::Oscar);
+    }
+}

@@ -1,0 +1,220 @@
+//! The digital PUM macro library and its cost model.
+//!
+//! Every arithmetic operation a RACER pipeline performs decomposes into the
+//! logic family's primitives. This module centralises those decompositions
+//! as [`MacroOp`] descriptors: [`MacroOp::cost`] yields the stage/primitive
+//! counts used both by the functional simulator
+//! ([`crate::pipeline::Pipeline`]) and by the analytical chip-level model,
+//! so the two can never drift apart.
+//!
+//! ## Gate-count table (per bit position)
+//!
+//! | macro | OSCAR primitives | ideal primitives | notes |
+//! |-------|-----------------|------------------|-------|
+//! | Bool(NOR/OR) | 1 | 1 | native |
+//! | Bool(AND/NAND) | 3 | 1 | `NOR(!a,!b)` / `OR(!a,!b)` |
+//! | Bool(XOR/XNOR) | 5 | 1 | `NOR(NOR(a,b), AND(a,b))` |
+//! | Not | 1 | 1 | `NOR(a,a)` |
+//! | Add | 17 | 5 | two XORs, two ANDs, one OR + carry |
+//! | Sub | 18 | 6 | `a + !b + 1` |
+//! | CmpLt | 18 | 6 | borrow chain of SUB |
+//! | Select | 8 | 3 | `OR(AND(c,a), AND(!c,b))` |
+//! | Relu | 4 | 2 | sign-bit broadcast + AND mask |
+//! | CopyVr | 1 | 1 | `OR(a,a)` identity |
+//! | ShiftBits(k) | 2 (barrier) | 2 (barrier) | inter-array column moves |
+//! | Reverse | 2 (barrier) | 2 (barrier) | drain + reversed propagation |
+//! | Mul(w) | w·20 | w·6 | shift-add long multiplication |
+//! | ElementLoad | 3 cycles/element (barrier) | same | peripheral row I/O |
+//! | WriteElement / ReadElement | 1 cycle | same | one row of data per cycle (§4.1) |
+
+use crate::logic::{BoolOp, LogicFamily};
+use crate::timing::MacroCost;
+use serde::{Deserialize, Serialize};
+
+/// Primitive counts for the software-visible macro operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MacroOp {
+    /// An element-wise Boolean operation between two vector registers.
+    Bool(BoolOp),
+    /// Element-wise NOT of a vector register.
+    Not,
+    /// Ripple-carry addition of two vector registers.
+    Add,
+    /// Ripple-borrow subtraction.
+    Sub,
+    /// Unsigned less-than comparison producing a 0/1 mask.
+    CmpLt,
+    /// Bitwise select: `out = cond ? a : b` with a 0/1 mask register.
+    Select,
+    /// Rectified linear unit on two's-complement values.
+    Relu,
+    /// Copy one vector register to another within a pipeline.
+    CopyVr,
+    /// Copy a vector register to another pipeline (peripheral transfer).
+    CopyAcross,
+    /// Shift every element left/right by a constant number of bits.
+    ShiftBits(u8),
+    /// Reverse the pipeline's bit order (used to emulate left shifts).
+    Reverse,
+    /// Long multiplication of two `width`-bit operands.
+    Mul(u8),
+    /// Element-wise indexed load from an adjacent pipeline (§4.2).
+    ElementLoad,
+    /// Peripheral write of one element (one row of data per cycle, §4.1).
+    WriteElement,
+    /// Peripheral read of one element.
+    ReadElement,
+}
+
+impl MacroOp {
+    /// Native primitives per bit position for this macro.
+    pub fn primitives_per_stage(self, family: LogicFamily) -> u64 {
+        match self {
+            MacroOp::Bool(op) => family.primitives_for(op),
+            MacroOp::Not => 1,
+            MacroOp::Add => match family {
+                // x1 = XOR(a,b): 5; sum = XOR(x1,c): 5; c1 = AND(a,b): 3;
+                // c2 = AND(x1,c): 3; cout = OR(c1,c2): 1
+                LogicFamily::Oscar => 17,
+                LogicFamily::Ideal => 5,
+            },
+            MacroOp::Sub | MacroOp::CmpLt => match family {
+                LogicFamily::Oscar => 18, // NOT b + full adder
+                LogicFamily::Ideal => 6,
+            },
+            MacroOp::Select => match family {
+                // t0 = AND(c,a): 3; nc = NOT c: 1; t1 = AND(nc,b): 3; out = OR: 1
+                LogicFamily::Oscar => 8,
+                LogicFamily::Ideal => 3,
+            },
+            MacroOp::Relu => match family {
+                // mask = NOT sign (broadcast along pipeline): 1; AND: 3
+                LogicFamily::Oscar => 4,
+                LogicFamily::Ideal => 2,
+            },
+            MacroOp::CopyVr => 1,
+            MacroOp::CopyAcross => 1,
+            MacroOp::ShiftBits(_) | MacroOp::Reverse => 2,
+            MacroOp::Mul(width) => {
+                let per_bit = match family {
+                    // mask AND (3) + full adder (17)
+                    LogicFamily::Oscar => 20,
+                    LogicFamily::Ideal => 6,
+                };
+                per_bit * width as u64
+            }
+            MacroOp::ElementLoad => 3,
+            MacroOp::WriteElement | MacroOp::ReadElement => 1,
+        }
+    }
+
+    /// Whether the macro breaks bit-pipelining (forces a drain).
+    pub fn is_barrier(self) -> bool {
+        matches!(
+            self,
+            MacroOp::ShiftBits(_) | MacroOp::Reverse | MacroOp::ElementLoad
+        )
+    }
+
+    /// Full cost of one instance of this macro on a pipeline with `depth`
+    /// arrays and `elements` rows.
+    ///
+    /// Peripheral I/O macros (`ElementLoad`, `WriteElement`, `ReadElement`)
+    /// cost cycles per *element* rather than per bit position; everything
+    /// else flows through the bit pipeline.
+    pub fn cost(self, family: LogicFamily, depth: u64, elements: u64) -> MacroCost {
+        match self {
+            MacroOp::ElementLoad => MacroCost {
+                // read address row + read table row + write back, per element
+                stage_cycles: 3,
+                stages: elements,
+                primitives: 0,
+                barrier: true,
+            },
+            MacroOp::WriteElement | MacroOp::ReadElement => MacroCost {
+                stage_cycles: 1,
+                stages: 1,
+                primitives: 0,
+                barrier: false,
+            },
+            _ => {
+                let prims = self.primitives_per_stage(family);
+                MacroCost {
+                    stage_cycles: prims * family.cycles_per_primitive(),
+                    stages: depth,
+                    primitives: prims * depth,
+                    barrier: self.is_barrier(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_stage_cost_oscar() {
+        let c = MacroOp::Add.cost(LogicFamily::Oscar, 64, 64);
+        assert_eq!(c.stage_cycles, 34); // 17 primitives x 2 cycles
+        assert_eq!(c.stages, 64);
+        assert_eq!(c.primitives, 17 * 64);
+        assert!(!c.barrier);
+    }
+
+    #[test]
+    fn ideal_is_cheaper_everywhere() {
+        for op in [
+            MacroOp::Bool(BoolOp::Xor),
+            MacroOp::Add,
+            MacroOp::Sub,
+            MacroOp::Select,
+            MacroOp::Mul(8),
+        ] {
+            let oscar = op.primitives_per_stage(LogicFamily::Oscar);
+            let ideal = op.primitives_per_stage(LogicFamily::Ideal);
+            assert!(ideal < oscar, "{op:?}: {ideal} !< {oscar}");
+        }
+    }
+
+    #[test]
+    fn shifts_are_barriers() {
+        assert!(MacroOp::ShiftBits(1).is_barrier());
+        assert!(MacroOp::Reverse.is_barrier());
+        assert!(MacroOp::ElementLoad.is_barrier());
+        assert!(!MacroOp::Add.is_barrier());
+        assert!(!MacroOp::CopyVr.is_barrier());
+    }
+
+    #[test]
+    fn element_load_scales_with_elements() {
+        let c = MacroOp::ElementLoad.cost(LogicFamily::Oscar, 64, 64);
+        assert_eq!(c.latency().get(), 3 * 64);
+        let c16 = MacroOp::ElementLoad.cost(LogicFamily::Oscar, 64, 16);
+        assert_eq!(c16.latency().get(), 3 * 16);
+    }
+
+    #[test]
+    fn element_io_is_one_cycle() {
+        let c = MacroOp::WriteElement.cost(LogicFamily::Oscar, 64, 64);
+        assert_eq!(c.latency().get(), 1);
+    }
+
+    #[test]
+    fn mul_scales_with_width() {
+        let m8 = MacroOp::Mul(8).primitives_per_stage(LogicFamily::Oscar);
+        let m16 = MacroOp::Mul(16).primitives_per_stage(LogicFamily::Oscar);
+        assert_eq!(m16, 2 * m8);
+    }
+
+    #[test]
+    fn bool_macro_follows_family_table() {
+        for op in BoolOp::ALL {
+            assert_eq!(
+                MacroOp::Bool(op).primitives_per_stage(LogicFamily::Oscar),
+                LogicFamily::Oscar.primitives_for(op)
+            );
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! A line-oriented assembler and disassembler.
+//!
+//! One instruction per line, positional operands, `#` comments:
+//!
+//! ```text
+//! # reduce two partial products
+//! shl   p0 v3 v1 1
+//! add   p0 v5 v0 v3
+//! mvm   ac0 p1 v2 p3 v4 4
+//! halt
+//! ```
+//!
+//! Pipelines are written `pN`, vector registers `vN`, vACores `acN`;
+//! numeric operands are plain decimal (or `0x…` hex for immediates).
+
+use crate::instruction::{Instruction, IsaBoolOp, PipelineId, Program, VaCoreId, Vr};
+use crate::{Error, Result};
+use std::fmt::Write as _;
+
+/// Formats one instruction in assembly syntax.
+pub fn disassemble(inst: &Instruction) -> String {
+    let mut s = String::new();
+    let m = inst.mnemonic();
+    match *inst {
+        Instruction::Nop | Instruction::FenceAd | Instruction::Halt => s.push_str(m),
+        Instruction::Bool { pipe, dst, a, b, .. }
+        | Instruction::Add { pipe, dst, a, b }
+        | Instruction::Sub { pipe, dst, a, b }
+        | Instruction::CmpLt { pipe, dst, a, b } => {
+            let _ = write!(s, "{m} {pipe} {dst} {a} {b}");
+        }
+        Instruction::Not { pipe, dst, a } | Instruction::Relu { pipe, dst, a } => {
+            let _ = write!(s, "{m} {pipe} {dst} {a}");
+        }
+        Instruction::Mul {
+            pipe,
+            dst,
+            a,
+            b,
+            width,
+        } => {
+            let _ = write!(s, "{m} {pipe} {dst} {a} {b} {width}");
+        }
+        Instruction::Select {
+            pipe,
+            dst,
+            cond,
+            a,
+            b,
+        } => {
+            let _ = write!(s, "{m} {pipe} {dst} {cond} {a} {b}");
+        }
+        Instruction::ShiftLeft {
+            pipe,
+            dst,
+            src,
+            amount,
+        }
+        | Instruction::ShiftRight {
+            pipe,
+            dst,
+            src,
+            amount,
+        } => {
+            let _ = write!(s, "{m} {pipe} {dst} {src} {amount}");
+        }
+        Instruction::RotateLeft {
+            pipe,
+            dst,
+            src,
+            tmp,
+            amount,
+            width,
+        } => {
+            let _ = write!(s, "{m} {pipe} {dst} {src} {tmp} {amount} {width}");
+        }
+        Instruction::CopyVr { pipe, dst, src } => {
+            let _ = write!(s, "{m} {pipe} {dst} {src}");
+        }
+        Instruction::CopyAcross {
+            src_pipe,
+            src,
+            dst_pipe,
+            dst,
+        } => {
+            let _ = write!(s, "{m} {src_pipe} {src} {dst_pipe} {dst}");
+        }
+        Instruction::ElementLoad {
+            pipe,
+            addr,
+            table_pipe,
+            dst,
+        } => {
+            let _ = write!(s, "{m} {pipe} {addr} {table_pipe} {dst}");
+        }
+        Instruction::PipeReverse { pipe } | Instruction::PipeReserve { pipe } => {
+            let _ = write!(s, "{m} {pipe}");
+        }
+        Instruction::WriteImm {
+            pipe,
+            vr,
+            element,
+            value,
+        } => {
+            let _ = write!(s, "{m} {pipe} {vr} {element} {value:#x}");
+        }
+        Instruction::Mvm {
+            vacore,
+            input_pipe,
+            input_vr,
+            dst_pipe,
+            dst_vr,
+            early_levels,
+        } => {
+            let _ = write!(
+                s,
+                "{m} {vacore} {input_pipe} {input_vr} {dst_pipe} {dst_vr} {early_levels}"
+            );
+        }
+        Instruction::ProgMatrix {
+            vacore,
+            matrix_handle,
+        } => {
+            let _ = write!(s, "{m} {vacore} {matrix_handle}");
+        }
+        Instruction::UpdateRow {
+            vacore,
+            row,
+            data_handle,
+        } => {
+            let _ = write!(s, "{m} {vacore} {row} {data_handle}");
+        }
+        Instruction::UpdateCol {
+            vacore,
+            col,
+            data_handle,
+        } => {
+            let _ = write!(s, "{m} {vacore} {col} {data_handle}");
+        }
+        Instruction::AllocVaCore {
+            vacore,
+            element_bits,
+            bits_per_cell,
+            input_bits,
+            input_signed,
+        } => {
+            let _ = write!(
+                s,
+                "{m} {vacore} {element_bits} {bits_per_cell} {input_bits} {}",
+                u8::from(input_signed)
+            );
+        }
+        Instruction::FreeVaCore { vacore } => {
+            let _ = write!(s, "{m} {vacore}");
+        }
+        Instruction::SetAnalogMode { enabled } | Instruction::SetDigitalMode { enabled } => {
+            let _ = write!(s, "{m} {}", u8::from(enabled));
+        }
+    }
+    s
+}
+
+/// Formats a whole program, one instruction per line.
+pub fn disassemble_program(program: &Program) -> String {
+    let mut out = String::new();
+    for inst in program.iter() {
+        out.push_str(&disassemble(inst));
+        out.push('\n');
+    }
+    out
+}
+
+struct Cursor<'a> {
+    tokens: std::str::SplitWhitespace<'a>,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn token(&mut self, what: &str) -> Result<&'a str> {
+        self.tokens.next().ok_or_else(|| Error::Parse {
+            line: self.line,
+            reason: format!("missing {what} operand"),
+        })
+    }
+
+    fn prefixed(&mut self, prefix: &str, what: &str) -> Result<u64> {
+        let tok = self.token(what)?;
+        let digits = tok.strip_prefix(prefix).ok_or_else(|| Error::Parse {
+            line: self.line,
+            reason: format!("expected {what} like `{prefix}0`, found `{tok}`"),
+        })?;
+        digits.parse().map_err(|_| Error::Parse {
+            line: self.line,
+            reason: format!("invalid {what} `{tok}`"),
+        })
+    }
+
+    fn pipe(&mut self) -> Result<PipelineId> {
+        Ok(PipelineId(self.prefixed("p", "pipeline")? as u16))
+    }
+
+    fn vr(&mut self) -> Result<Vr> {
+        Ok(Vr(self.prefixed("v", "register")? as u8))
+    }
+
+    fn vacore(&mut self) -> Result<VaCoreId> {
+        Ok(VaCoreId(self.prefixed("ac", "vACore")? as u8))
+    }
+
+    fn number(&mut self, what: &str) -> Result<u64> {
+        let tok = self.token(what)?;
+        let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            tok.parse()
+        };
+        parsed.map_err(|_| Error::Parse {
+            line: self.line,
+            reason: format!("invalid {what} `{tok}`"),
+        })
+    }
+
+    fn finish(mut self, mnemonic: &str) -> Result<()> {
+        if let Some(extra) = self.tokens.next() {
+            return Err(Error::Parse {
+                line: self.line,
+                reason: format!("unexpected operand `{extra}` after {mnemonic}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Parses one line of assembly (comments and blank lines return `None`).
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] with the given line number on malformed input.
+pub fn parse_line(text: &str, line: usize) -> Result<Option<Instruction>> {
+    let text = text.split('#').next().unwrap_or("").trim();
+    if text.is_empty() {
+        return Ok(None);
+    }
+    let mut cur = Cursor {
+        tokens: text.split_whitespace(),
+        line,
+    };
+    let mnemonic = cur.token("mnemonic")?;
+    let bool_op = IsaBoolOp::ALL
+        .iter()
+        .find(|op| op.mnemonic() == mnemonic)
+        .copied();
+    let inst = if let Some(op) = bool_op {
+        Instruction::Bool {
+            op,
+            pipe: cur.pipe()?,
+            dst: cur.vr()?,
+            a: cur.vr()?,
+            b: cur.vr()?,
+        }
+    } else {
+        match mnemonic {
+            "nop" => Instruction::Nop,
+            "fence" => Instruction::FenceAd,
+            "halt" => Instruction::Halt,
+            "not" => Instruction::Not {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                a: cur.vr()?,
+            },
+            "add" => Instruction::Add {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                a: cur.vr()?,
+                b: cur.vr()?,
+            },
+            "sub" => Instruction::Sub {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                a: cur.vr()?,
+                b: cur.vr()?,
+            },
+            "mul" => Instruction::Mul {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                a: cur.vr()?,
+                b: cur.vr()?,
+                width: cur.number("width")? as u8,
+            },
+            "cmplt" => Instruction::CmpLt {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                a: cur.vr()?,
+                b: cur.vr()?,
+            },
+            "select" => Instruction::Select {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                cond: cur.vr()?,
+                a: cur.vr()?,
+                b: cur.vr()?,
+            },
+            "relu" => Instruction::Relu {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                a: cur.vr()?,
+            },
+            "shl" => Instruction::ShiftLeft {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                src: cur.vr()?,
+                amount: cur.number("amount")? as u8,
+            },
+            "shr" => Instruction::ShiftRight {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                src: cur.vr()?,
+                amount: cur.number("amount")? as u8,
+            },
+            "rotl" => Instruction::RotateLeft {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                src: cur.vr()?,
+                tmp: cur.vr()?,
+                amount: cur.number("amount")? as u8,
+                width: cur.number("width")? as u8,
+            },
+            "copy" => Instruction::CopyVr {
+                pipe: cur.pipe()?,
+                dst: cur.vr()?,
+                src: cur.vr()?,
+            },
+            "copyx" => Instruction::CopyAcross {
+                src_pipe: cur.pipe()?,
+                src: cur.vr()?,
+                dst_pipe: cur.pipe()?,
+                dst: cur.vr()?,
+            },
+            "eload" => Instruction::ElementLoad {
+                pipe: cur.pipe()?,
+                addr: cur.vr()?,
+                table_pipe: cur.pipe()?,
+                dst: cur.vr()?,
+            },
+            "prev" => Instruction::PipeReverse { pipe: cur.pipe()? },
+            "presv" => Instruction::PipeReserve { pipe: cur.pipe()? },
+            "wimm" => Instruction::WriteImm {
+                pipe: cur.pipe()?,
+                vr: cur.vr()?,
+                element: cur.number("element")? as u8,
+                value: cur.number("value")?,
+            },
+            "mvm" => Instruction::Mvm {
+                vacore: cur.vacore()?,
+                input_pipe: cur.pipe()?,
+                input_vr: cur.vr()?,
+                dst_pipe: cur.pipe()?,
+                dst_vr: cur.vr()?,
+                early_levels: cur.number("early_levels")? as u16,
+            },
+            "progm" => Instruction::ProgMatrix {
+                vacore: cur.vacore()?,
+                matrix_handle: cur.number("matrix handle")? as u16,
+            },
+            "updrow" => Instruction::UpdateRow {
+                vacore: cur.vacore()?,
+                row: cur.number("row")? as u8,
+                data_handle: cur.number("data handle")? as u16,
+            },
+            "updcol" => Instruction::UpdateCol {
+                vacore: cur.vacore()?,
+                col: cur.number("col")? as u8,
+                data_handle: cur.number("data handle")? as u16,
+            },
+            "valloc" => Instruction::AllocVaCore {
+                vacore: cur.vacore()?,
+                element_bits: cur.number("element bits")? as u8,
+                bits_per_cell: cur.number("bits per cell")? as u8,
+                input_bits: cur.number("input bits")? as u8,
+                input_signed: cur.number("signed flag")? != 0,
+            },
+            "vfree" => Instruction::FreeVaCore {
+                vacore: cur.vacore()?,
+            },
+            "amode" => Instruction::SetAnalogMode {
+                enabled: cur.number("enabled flag")? != 0,
+            },
+            "dmode" => Instruction::SetDigitalMode {
+                enabled: cur.number("enabled flag")? != 0,
+            },
+            other => {
+                return Err(Error::Parse {
+                    line,
+                    reason: format!("unknown mnemonic `{other}`"),
+                })
+            }
+        }
+    };
+    cur.finish(mnemonic)?;
+    Ok(Some(inst))
+}
+
+/// Assembles a multi-line program.
+///
+/// # Errors
+///
+/// Returns the first [`Error::Parse`] encountered.
+pub fn assemble(source: &str) -> Result<Program> {
+    let mut program = Program::new();
+    for (i, line) in source.lines().enumerate() {
+        if let Some(inst) = parse_line(line, i + 1)? {
+            program.push(inst);
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_basic_program() {
+        let src = "\
+            # compute a xor, then halt\n\
+            xor p0 v2 v0 v1\n\
+            \n\
+            add p0 v3 v2 v2   # doubled\n\
+            halt\n";
+        let program = assemble(src).expect("parses");
+        assert_eq!(program.len(), 3);
+        assert_eq!(program.instructions[2], Instruction::Halt);
+    }
+
+    #[test]
+    fn disassemble_then_reassemble_round_trips() {
+        let src = "\
+            nor p1 v1 v2 v3\n\
+            not p1 v4 v1\n\
+            mul p2 v0 v1 v2 8\n\
+            select p0 v4 v3 v1 v2\n\
+            rotl p0 v1 v2 v9 8 32\n\
+            copyx p3 v1 p4 v2\n\
+            eload p0 v1 p63 v2\n\
+            wimm p0 v1 42 0xdeadbeef\n\
+            mvm ac0 p1 v2 p3 v4 4\n\
+            valloc ac2 8 2 8 1\n\
+            fence\n\
+            amode 0\n\
+            halt\n";
+        let program = assemble(src).expect("parses");
+        let text = disassemble_program(&program);
+        let again = assemble(&text).expect("reparses");
+        assert_eq!(program, again);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus p0\n").unwrap_err();
+        match err {
+            Error::Parse { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("bogus"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_operand_is_reported() {
+        let err = assemble("add p0 v1 v2").unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn extra_operand_is_reported() {
+        let err = assemble("halt v1").unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn wrong_prefix_is_reported() {
+        let err = assemble("add v0 v1 v2 v3").unwrap_err();
+        match err {
+            Error::Parse { reason, .. } => assert!(reason.contains("pipeline")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_and_decimal_immediates() {
+        let p1 = assemble("wimm p0 v0 0 255").expect("parses");
+        let p2 = assemble("wimm p0 v0 0 0xff").expect("parses");
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,403 @@
+//! Instruction injection unit programs.
+//!
+//! Section 4.2: recombining a bit-sliced MVM's partial products consumes
+//! hundreds of µops — the same `Shift`/`Add` pair repeated with rotating
+//! register arguments (Figure 9c). Relying on the front end to issue them
+//! would stall it on every MVM, so DARTH-PUM's per-HCT *instruction
+//! injection unit* (IIU) holds a small table-plus-counter program and feeds
+//! the digital pipelines directly.
+//!
+//! [`InjectionProgram::shift_and_add`] compiles the reduction for a given
+//! input/weight slicing; the HCT model replays it after each MVM, and the
+//! front-end model uses [`InjectionProgram::len`] to quantify the issue
+//! bandwidth saved (the IIU-ablation bench).
+
+use crate::instruction::Vr;
+use serde::{Deserialize, Serialize};
+
+/// One entry of the IIU table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InjectionStep {
+    /// `dst := src << amount` (the in-flight variant is performed by the
+    /// shift units during transfer; the IIU emits it only in unoptimized
+    /// mode).
+    Shift {
+        /// Destination register.
+        dst: Vr,
+        /// Source register.
+        src: Vr,
+        /// Shift amount in bits.
+        amount: u8,
+    },
+    /// `dst := a + b`.
+    Add {
+        /// Destination register.
+        dst: Vr,
+        /// First operand.
+        a: Vr,
+        /// Second operand.
+        b: Vr,
+    },
+    /// `dst := a - b` (used for the negative-weight top bit of signed
+    /// inputs).
+    Sub {
+        /// Destination register.
+        dst: Vr,
+        /// Minuend.
+        a: Vr,
+        /// Subtrahend.
+        b: Vr,
+    },
+    /// `dst := src`.
+    Copy {
+        /// Destination register.
+        dst: Vr,
+        /// Source register.
+        src: Vr,
+    },
+    /// `dst := -src` (two's complement negation).
+    Neg {
+        /// Destination register.
+        dst: Vr,
+        /// Source register.
+        src: Vr,
+    },
+}
+
+/// Register assignment for a reduction: where partial products land and
+/// which registers serve as accumulator and shift temporary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionRegs {
+    /// One landing register per partial-product term, in arrival order
+    /// (weight slice outer, input bit inner).
+    pub parts: Vec<Vr>,
+    /// Scratch register for shifted terms.
+    pub tmp: Vr,
+    /// Accumulator and final result register.
+    pub acc: Vr,
+}
+
+impl ReductionRegs {
+    /// A dense default assignment: parts in `v0..v(terms-1)`, `tmp` and
+    /// `acc` directly above.
+    pub fn dense(terms: usize) -> Self {
+        ReductionRegs {
+            parts: (0..terms).map(|i| Vr(i as u8)).collect(),
+            tmp: Vr(terms as u8),
+            acc: Vr(terms as u8 + 1),
+        }
+    }
+}
+
+/// A compiled IIU program.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InjectionProgram {
+    steps: Vec<InjectionStep>,
+}
+
+impl InjectionProgram {
+    /// Compiles the Figure 9c shift-and-add reduction.
+    ///
+    /// Partial products arrive in `regs.parts` ordered weight-slice-major
+    /// (slice `s`, then input bit `b`); term `(s, b)` carries bit shift
+    /// `s·bits_per_cell + b`, and — for two's-complement inputs — the top
+    /// input bit is subtracted rather than added.
+    ///
+    /// With `shifts_in_flight` (DARTH-PUM's shift units, §4.1) the shift
+    /// steps are omitted: data already lands pre-shifted, and only the adds
+    /// remain, which is exactly the Figure 10(b) optimization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs.parts` does not provide one register per term.
+    pub fn shift_and_add(
+        input_bits: u8,
+        input_signed: bool,
+        weight_slices: u8,
+        bits_per_cell: u8,
+        regs: &ReductionRegs,
+        shifts_in_flight: bool,
+    ) -> Self {
+        let terms = usize::from(input_bits) * usize::from(weight_slices);
+        assert_eq!(
+            regs.parts.len(),
+            terms,
+            "need one landing register per partial-product term"
+        );
+        let mut steps = Vec::new();
+        let mut first = true;
+        for s in 0..weight_slices {
+            for b in 0..input_bits {
+                let idx = usize::from(s) * usize::from(input_bits) + usize::from(b);
+                let part = regs.parts[idx];
+                let shift = s * bits_per_cell + b;
+                let negative = input_signed && b == input_bits - 1;
+                // Place the (shifted) term in `tmp` (or straight into acc
+                // for the first positive term).
+                let shifted_src = if shifts_in_flight || shift == 0 {
+                    part
+                } else {
+                    steps.push(InjectionStep::Shift {
+                        dst: regs.tmp,
+                        src: part,
+                        amount: shift,
+                    });
+                    regs.tmp
+                };
+                if first {
+                    if negative {
+                        steps.push(InjectionStep::Neg {
+                            dst: regs.acc,
+                            src: shifted_src,
+                        });
+                    } else if shifted_src != regs.acc {
+                        steps.push(InjectionStep::Copy {
+                            dst: regs.acc,
+                            src: shifted_src,
+                        });
+                    }
+                    first = false;
+                } else if negative {
+                    steps.push(InjectionStep::Sub {
+                        dst: regs.acc,
+                        a: regs.acc,
+                        b: shifted_src,
+                    });
+                } else {
+                    steps.push(InjectionStep::Add {
+                        dst: regs.acc,
+                        a: regs.acc,
+                        b: shifted_src,
+                    });
+                }
+            }
+        }
+        InjectionProgram { steps }
+    }
+
+    /// The program's steps in execution order.
+    pub fn steps(&self) -> &[InjectionStep] {
+        &self.steps
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of arithmetic (add/sub/neg) steps — the work that remains
+    /// even with in-flight shifting.
+    pub fn arithmetic_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    InjectionStep::Add { .. } | InjectionStep::Sub { .. } | InjectionStep::Neg { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Number of shift steps (zero when shifts happen in flight).
+    pub fn shift_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, InjectionStep::Shift { .. }))
+            .count()
+    }
+}
+
+/// Software oracle: applies the reduction to exact per-term partial
+/// products (`parts[term][col]`), returning the recombined vector. Used to
+/// verify both the program generator and the hardware model that replays
+/// it.
+pub fn evaluate_reduction(
+    program: &InjectionProgram,
+    regs: &ReductionRegs,
+    parts: &[Vec<i64>],
+    shifts_in_flight: bool,
+    plan_shifts: &[u8],
+) -> Vec<i64> {
+    let cols = parts.first().map_or(0, Vec::len);
+    let mut file: std::collections::HashMap<Vr, Vec<i64>> = std::collections::HashMap::new();
+    for (i, part) in parts.iter().enumerate() {
+        let mut v = part.clone();
+        if shifts_in_flight {
+            for x in &mut v {
+                *x <<= plan_shifts[i];
+            }
+        }
+        file.insert(regs.parts[i], v);
+    }
+    let zero = vec![0i64; cols];
+    for step in program.steps() {
+        match *step {
+            InjectionStep::Shift { dst, src, amount } => {
+                let v: Vec<i64> = file
+                    .get(&src)
+                    .unwrap_or(&zero)
+                    .iter()
+                    .map(|&x| x << amount)
+                    .collect();
+                file.insert(dst, v);
+            }
+            InjectionStep::Add { dst, a, b } => {
+                let va = file.get(&a).unwrap_or(&zero).clone();
+                let vb = file.get(&b).unwrap_or(&zero);
+                file.insert(dst, va.iter().zip(vb).map(|(x, y)| x + y).collect());
+            }
+            InjectionStep::Sub { dst, a, b } => {
+                let va = file.get(&a).unwrap_or(&zero).clone();
+                let vb = file.get(&b).unwrap_or(&zero);
+                file.insert(dst, va.iter().zip(vb).map(|(x, y)| x - y).collect());
+            }
+            InjectionStep::Copy { dst, src } => {
+                let v = file.get(&src).unwrap_or(&zero).clone();
+                file.insert(dst, v);
+            }
+            InjectionStep::Neg { dst, src } => {
+                let v: Vec<i64> = file
+                    .get(&src)
+                    .unwrap_or(&zero)
+                    .iter()
+                    .map(|&x| -x)
+                    .collect();
+                file.insert(dst, v);
+            }
+        }
+    }
+    file.get(&regs.acc).cloned().unwrap_or(zero)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact partial products for input bits against a weight-slice
+    /// matrix: `parts[(s,b)][col] = Σ_r input_bit_b[r] · slice_s[r][col]`.
+    fn make_parts(
+        input: &[i64],
+        input_bits: u8,
+        matrix: &[Vec<i64>],
+        weight_slices: u8,
+        bits_per_cell: u8,
+    ) -> Vec<Vec<i64>> {
+        let cols = matrix[0].len();
+        let mut parts = Vec::new();
+        for s in 0..weight_slices {
+            for b in 0..input_bits {
+                let mut v = vec![0i64; cols];
+                for (r, &x) in input.iter().enumerate() {
+                    let xb = (x as u64 >> b) & 1;
+                    if xb == 1 {
+                        for c in 0..cols {
+                            let w = matrix[r][c];
+                            let mag = (w.abs() >> (s * bits_per_cell))
+                                & ((1 << bits_per_cell) - 1);
+                            v[c] += if w < 0 { -mag } else { mag };
+                        }
+                    }
+                }
+                parts.push(v);
+            }
+        }
+        parts
+    }
+
+    fn plan_shifts(input_bits: u8, weight_slices: u8, bits_per_cell: u8) -> Vec<u8> {
+        let mut shifts = Vec::new();
+        for s in 0..weight_slices {
+            for b in 0..input_bits {
+                shifts.push(s * bits_per_cell + b);
+            }
+        }
+        shifts
+    }
+
+    #[test]
+    fn figure9_three_bit_input_single_slice() {
+        // Figure 9: 3-bit inputs, 4-bit matrix in one slice, reduction is
+        // Shift R3<-R1,1; Add R5<-R0,R3; Shift R4<-R2,2; Add R6<-R5,R4.
+        let regs = ReductionRegs::dense(3);
+        let prog = InjectionProgram::shift_and_add(3, false, 1, 4, &regs, false);
+        assert_eq!(prog.shift_steps(), 2); // bits 1 and 2
+        assert_eq!(prog.arithmetic_steps(), 2); // two adds
+
+        // the paper's example: matrix [[5,9],[8,7]], input [2,7]
+        let matrix = vec![vec![5, 9], vec![8, 7]];
+        let input = vec![2, 7];
+        let parts = make_parts(&input, 3, &matrix, 1, 4);
+        let result = evaluate_reduction(&prog, &regs, &parts, false, &plan_shifts(3, 1, 4));
+        assert_eq!(result, vec![2 * 5 + 7 * 8, 2 * 9 + 7 * 7]); // [66, 67]
+    }
+
+    #[test]
+    fn in_flight_shifting_removes_shift_steps() {
+        let regs = ReductionRegs::dense(8);
+        let unopt = InjectionProgram::shift_and_add(8, false, 1, 4, &regs, false);
+        let opt = InjectionProgram::shift_and_add(8, false, 1, 4, &regs, true);
+        assert_eq!(unopt.shift_steps(), 7);
+        assert_eq!(opt.shift_steps(), 0);
+        assert_eq!(unopt.arithmetic_steps(), opt.arithmetic_steps());
+        assert!(opt.len() < unopt.len());
+    }
+
+    #[test]
+    fn both_modes_compute_the_same_result() {
+        let matrix = vec![vec![3, -5, 7], vec![-2, 4, -6], vec![1, 1, 1]];
+        let input = vec![5, 3, 6];
+        let shifts = plan_shifts(3, 2, 2);
+        for in_flight in [false, true] {
+            let regs = ReductionRegs::dense(6);
+            let prog = InjectionProgram::shift_and_add(3, false, 2, 2, &regs, in_flight);
+            let parts = make_parts(&input, 3, &matrix, 2, 2);
+            let result = evaluate_reduction(&prog, &regs, &parts, in_flight, &shifts);
+            let expected: Vec<i64> = (0..3)
+                .map(|c| (0..3).map(|r| input[r] * matrix[r][c]).sum())
+                .collect();
+            assert_eq!(result, expected, "in_flight={in_flight}");
+        }
+    }
+
+    #[test]
+    fn signed_inputs_subtract_the_top_bit() {
+        // 4-bit two's complement inputs, 1 slice of 3-bit weights
+        let matrix = vec![vec![2], vec![5]];
+        let shifts = plan_shifts(4, 1, 3);
+        for input in [vec![-8i64, 7], vec![-1, -1], vec![3, -4]] {
+            let regs = ReductionRegs::dense(4);
+            let prog = InjectionProgram::shift_and_add(4, true, 1, 3, &regs, true);
+            // compute parts on the two's-complement bit pattern
+            let unsigned: Vec<i64> = input.iter().map(|&x| x & 0xF).collect();
+            let parts = make_parts(&unsigned, 4, &matrix, 1, 3);
+            let result = evaluate_reduction(&prog, &regs, &parts, true, &shifts);
+            let expected: i64 = input.iter().zip(&matrix).map(|(&x, row)| x * row[0]).sum();
+            assert_eq!(result, vec![expected], "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn single_term_program_is_a_copy() {
+        let regs = ReductionRegs::dense(1);
+        let prog = InjectionProgram::shift_and_add(1, false, 1, 1, &regs, true);
+        assert_eq!(prog.len(), 1);
+        assert!(matches!(prog.steps()[0], InjectionStep::Copy { .. }));
+    }
+
+    #[test]
+    fn program_length_matches_figure9c_budget() {
+        // §4.2: an 8-bit MVM with 2 weight slices = 16 terms; unoptimized
+        // reduction is ~one shift + one add per term.
+        let regs = ReductionRegs::dense(16);
+        let prog = InjectionProgram::shift_and_add(8, false, 2, 4, &regs, false);
+        assert_eq!(prog.arithmetic_steps(), 15);
+        // every term shifts except (slice 0, bit 0); slice 1 bit 0 shifts by 4
+        assert_eq!(prog.shift_steps(), 15);
+    }
+}

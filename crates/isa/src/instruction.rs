@@ -1,0 +1,546 @@
+//! Instruction and operand definitions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A digital pipeline within a hybrid compute tile (0..64 per HCT; the
+/// field is wide enough for chip-global pipeline naming too).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PipelineId(pub u16);
+
+/// A vector register within a pipeline.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Vr(pub u8);
+
+/// A virtual analog core (§4.2): a firmware-tracked group of analog arrays
+/// presenting one wide-operand matrix unit.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VaCoreId(pub u8);
+
+impl fmt::Display for PipelineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Vr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VaCoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ac{}", self.0)
+    }
+}
+
+/// Boolean operators at the ISA level (mapped to the logic family's
+/// primitives by the back end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IsaBoolOp {
+    /// `!(a | b)`.
+    Nor,
+    /// `a | b`.
+    Or,
+    /// `a & b`.
+    And,
+    /// `!(a & b)`.
+    Nand,
+    /// `a ^ b`.
+    Xor,
+    /// `!(a ^ b)`.
+    Xnor,
+}
+
+impl IsaBoolOp {
+    /// All operators, in encoding order.
+    pub const ALL: [IsaBoolOp; 6] = [
+        IsaBoolOp::Nor,
+        IsaBoolOp::Or,
+        IsaBoolOp::And,
+        IsaBoolOp::Nand,
+        IsaBoolOp::Xor,
+        IsaBoolOp::Xnor,
+    ];
+
+    /// Encoding index.
+    pub fn code(self) -> u8 {
+        match self {
+            IsaBoolOp::Nor => 0,
+            IsaBoolOp::Or => 1,
+            IsaBoolOp::And => 2,
+            IsaBoolOp::Nand => 3,
+            IsaBoolOp::Xor => 4,
+            IsaBoolOp::Xnor => 5,
+        }
+    }
+
+    /// Decodes an encoding index.
+    pub fn from_code(code: u8) -> Option<Self> {
+        IsaBoolOp::ALL.get(code as usize).copied()
+    }
+
+    /// Mnemonic suffix.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IsaBoolOp::Nor => "nor",
+            IsaBoolOp::Or => "or",
+            IsaBoolOp::And => "and",
+            IsaBoolOp::Nand => "nand",
+            IsaBoolOp::Xor => "xor",
+            IsaBoolOp::Xnor => "xnor",
+        }
+    }
+}
+
+/// One DARTH-PUM instruction.
+///
+/// The set divides into digital compute, analog/hybrid compute, and
+/// coordination, mirroring §4.2. Bulk data (matrices for `ProgMatrix`,
+/// immediate vectors) travels through a runtime side channel — matrices are
+/// far too large for instruction operands — referenced by handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Instruction {
+    /// No operation.
+    Nop,
+    /// Element-wise Boolean operation.
+    Bool {
+        /// Operator.
+        op: IsaBoolOp,
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// First operand.
+        a: Vr,
+        /// Second operand.
+        b: Vr,
+    },
+    /// Element-wise NOT.
+    Not {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// Operand.
+        a: Vr,
+    },
+    /// Vector addition.
+    Add {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// First operand.
+        a: Vr,
+        /// Second operand.
+        b: Vr,
+    },
+    /// Vector subtraction.
+    Sub {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// Minuend.
+        a: Vr,
+        /// Subtrahend.
+        b: Vr,
+    },
+    /// Vector multiplication over `width`-bit operands.
+    Mul {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// First operand.
+        a: Vr,
+        /// Second operand.
+        b: Vr,
+        /// Operand width in bits.
+        width: u8,
+    },
+    /// Unsigned less-than producing a 0/all-ones mask.
+    CmpLt {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// Left operand.
+        a: Vr,
+        /// Right operand.
+        b: Vr,
+    },
+    /// Masked select `dst = cond ? a : b`.
+    Select {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// Mask register.
+        cond: Vr,
+        /// Taken when mask bits are 1.
+        a: Vr,
+        /// Taken when mask bits are 0.
+        b: Vr,
+    },
+    /// Rectified linear unit.
+    Relu {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// Operand.
+        a: Vr,
+    },
+    /// Constant left shift.
+    ShiftLeft {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// Source register.
+        src: Vr,
+        /// Shift amount in bits.
+        amount: u8,
+    },
+    /// Constant logical right shift.
+    ShiftRight {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// Source register.
+        src: Vr,
+        /// Shift amount in bits.
+        amount: u8,
+    },
+    /// Left rotation within the low `width` bits (ShiftRows building
+    /// block).
+    RotateLeft {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// Source register.
+        src: Vr,
+        /// Scratch register.
+        tmp: Vr,
+        /// Rotation amount in bits.
+        amount: u8,
+        /// Rotation width in bits.
+        width: u8,
+    },
+    /// Register copy within a pipeline.
+    CopyVr {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+        /// Source register.
+        src: Vr,
+    },
+    /// Vector copy between pipelines of the same tile.
+    CopyAcross {
+        /// Source pipeline.
+        src_pipe: PipelineId,
+        /// Source register.
+        src: Vr,
+        /// Destination pipeline.
+        dst_pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+    },
+    /// Element-wise indexed load from an adjacent pipeline (§4.2).
+    ElementLoad {
+        /// Pipeline holding the addresses (and receiving the data).
+        pipe: PipelineId,
+        /// Address register.
+        addr: Vr,
+        /// Pipeline holding the table (same tile).
+        table_pipe: PipelineId,
+        /// Destination register.
+        dst: Vr,
+    },
+    /// Pipeline reversal (drains, then flips bit order).
+    PipeReverse {
+        /// Target pipeline.
+        pipe: PipelineId,
+    },
+    /// Writes an immediate into one element of a register.
+    WriteImm {
+        /// Target pipeline.
+        pipe: PipelineId,
+        /// Destination register.
+        vr: Vr,
+        /// Element index.
+        element: u8,
+        /// The value (must fit the pipeline depth).
+        value: u64,
+    },
+    /// Analog MVM through a vACore: input vector read from
+    /// `input_pipe.input_vr`, reduced result written to `dst_pipe.dst_vr`.
+    Mvm {
+        /// The virtual analog core holding the matrix.
+        vacore: VaCoreId,
+        /// Pipeline holding the input vector.
+        input_pipe: PipelineId,
+        /// Input register.
+        input_vr: Vr,
+        /// Pipeline receiving the reduced output.
+        dst_pipe: PipelineId,
+        /// Output register.
+        dst_vr: Vr,
+        /// Ramp-ADC early-termination level count (0 = full sweep).
+        early_levels: u16,
+    },
+    /// Programs a matrix (by side-channel handle) into a vACore.
+    ProgMatrix {
+        /// Target vACore.
+        vacore: VaCoreId,
+        /// Runtime handle of the matrix data.
+        matrix_handle: u16,
+    },
+    /// Reprograms one matrix row from a side-channel handle.
+    UpdateRow {
+        /// Target vACore.
+        vacore: VaCoreId,
+        /// Row index.
+        row: u8,
+        /// Runtime handle of the row data.
+        data_handle: u16,
+    },
+    /// Reprograms one matrix column from a side-channel handle.
+    UpdateCol {
+        /// Target vACore.
+        vacore: VaCoreId,
+        /// Column index.
+        col: u8,
+        /// Runtime handle of the column data.
+        data_handle: u16,
+    },
+    /// Reserves a pipeline for MVM partial products, marking its contents
+    /// dead (§4.2's corruption-avoidance mechanism).
+    PipeReserve {
+        /// The pipeline to reserve.
+        pipe: PipelineId,
+    },
+    /// Allocates a vACore spanning `arrays` analog arrays with the given
+    /// element width and device precision, and installs its shift-and-add
+    /// program into the instruction injection unit.
+    AllocVaCore {
+        /// New vACore id.
+        vacore: VaCoreId,
+        /// Matrix element width in bits.
+        element_bits: u8,
+        /// Device bits per cell.
+        bits_per_cell: u8,
+        /// Input width in bits.
+        input_bits: u8,
+        /// Whether inputs are two's complement.
+        input_signed: bool,
+    },
+    /// Frees a vACore.
+    FreeVaCore {
+        /// The vACore to free.
+        vacore: VaCoreId,
+    },
+    /// Orders all younger instructions after all older analog/digital
+    /// operations on this tile (the arbiter's serialization point).
+    FenceAd,
+    /// Enables or disables the tile's analog compute element
+    /// (`disableAnalogMode` copies matrices to digital arrays first at the
+    /// runtime level).
+    SetAnalogMode {
+        /// Whether the ACE is active.
+        enabled: bool,
+    },
+    /// Enables or disables DCE post-processing.
+    SetDigitalMode {
+        /// Whether the DCE is active.
+        enabled: bool,
+    },
+    /// Terminates the program.
+    Halt,
+}
+
+impl Instruction {
+    /// The instruction's mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::Nop => "nop",
+            Instruction::Bool { op, .. } => op.mnemonic(),
+            Instruction::Not { .. } => "not",
+            Instruction::Add { .. } => "add",
+            Instruction::Sub { .. } => "sub",
+            Instruction::Mul { .. } => "mul",
+            Instruction::CmpLt { .. } => "cmplt",
+            Instruction::Select { .. } => "select",
+            Instruction::Relu { .. } => "relu",
+            Instruction::ShiftLeft { .. } => "shl",
+            Instruction::ShiftRight { .. } => "shr",
+            Instruction::RotateLeft { .. } => "rotl",
+            Instruction::CopyVr { .. } => "copy",
+            Instruction::CopyAcross { .. } => "copyx",
+            Instruction::ElementLoad { .. } => "eload",
+            Instruction::PipeReverse { .. } => "prev",
+            Instruction::WriteImm { .. } => "wimm",
+            Instruction::Mvm { .. } => "mvm",
+            Instruction::ProgMatrix { .. } => "progm",
+            Instruction::UpdateRow { .. } => "updrow",
+            Instruction::UpdateCol { .. } => "updcol",
+            Instruction::PipeReserve { .. } => "presv",
+            Instruction::AllocVaCore { .. } => "valloc",
+            Instruction::FreeVaCore { .. } => "vfree",
+            Instruction::FenceAd => "fence",
+            Instruction::SetAnalogMode { .. } => "amode",
+            Instruction::SetDigitalMode { .. } => "dmode",
+            Instruction::Halt => "halt",
+        }
+    }
+
+    /// Whether this instruction touches the analog domain (and therefore
+    /// passes through the A/D arbiter).
+    pub fn is_analog(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Mvm { .. }
+                | Instruction::ProgMatrix { .. }
+                | Instruction::UpdateRow { .. }
+                | Instruction::UpdateCol { .. }
+        )
+    }
+
+    /// Whether this is a coordination (non-compute) instruction.
+    pub fn is_coordination(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Nop
+                | Instruction::PipeReserve { .. }
+                | Instruction::AllocVaCore { .. }
+                | Instruction::FreeVaCore { .. }
+                | Instruction::FenceAd
+                | Instruction::SetAnalogMode { .. }
+                | Instruction::SetDigitalMode { .. }
+                | Instruction::Halt
+        )
+    }
+}
+
+/// A sequence of instructions.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// The instructions in program order.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Instruction) -> &mut Self {
+        self.instructions.push(inst);
+        self
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Iterates the instructions in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program {
+            instructions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_op_codes_round_trip() {
+        for op in IsaBoolOp::ALL {
+            assert_eq!(IsaBoolOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(IsaBoolOp::from_code(6), None);
+    }
+
+    #[test]
+    fn analog_classification() {
+        assert!(Instruction::Mvm {
+            vacore: VaCoreId(0),
+            input_pipe: PipelineId(0),
+            input_vr: Vr(0),
+            dst_pipe: PipelineId(1),
+            dst_vr: Vr(0),
+            early_levels: 0,
+        }
+        .is_analog());
+        assert!(!Instruction::Add {
+            pipe: PipelineId(0),
+            dst: Vr(0),
+            a: Vr(1),
+            b: Vr(2),
+        }
+        .is_analog());
+    }
+
+    #[test]
+    fn coordination_classification() {
+        assert!(Instruction::FenceAd.is_coordination());
+        assert!(Instruction::Halt.is_coordination());
+        assert!(!Instruction::Not {
+            pipe: PipelineId(0),
+            dst: Vr(0),
+            a: Vr(1),
+        }
+        .is_coordination());
+    }
+
+    #[test]
+    fn program_collects() {
+        let p: Program = [Instruction::Nop, Instruction::Halt].into_iter().collect();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        let mnems: Vec<&str> = p.iter().map(|i| i.mnemonic()).collect();
+        assert_eq!(mnems, vec!["nop", "halt"]);
+    }
+
+    #[test]
+    fn display_newtypes() {
+        assert_eq!(format!("{}", PipelineId(3)), "p3");
+        assert_eq!(format!("{}", Vr(7)), "v7");
+        assert_eq!(format!("{}", VaCoreId(1)), "ac1");
+    }
+}

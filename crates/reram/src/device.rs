@@ -1,0 +1,435 @@
+//! A single ReRAM cell: conductance state and its non-idealities.
+//!
+//! Section 2.2 of the paper: analog PUM stores multiple bits per device as a
+//! conductance in `[g_off, g_on]`; digital PUM uses the same devices in SLC
+//! mode where only the fully-on / fully-off states matter. Programming uses
+//! a write–verify loop whose residual error we model, following the
+//! MILO-calibrated CrossSim setup of Section 6, as a multiplicative
+//! lognormal factor on the target conductance. Reads add Gaussian noise;
+//! devices can drift over time or become stuck at a fixed state (§7.5).
+
+use crate::noise::NoiseRng;
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Physical and statistical parameters of a ReRAM device population.
+///
+/// # Example
+///
+/// ```
+/// use darth_reram::device::DeviceParams;
+///
+/// let slc = DeviceParams::slc();
+/// assert_eq!(slc.levels(), 2);
+/// let mlc = DeviceParams::mlc(4).expect("4 bits per cell is supported");
+/// assert_eq!(mlc.levels(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceParams {
+    /// Bits stored per cell (1 for SLC digital PUM, up to 8 for analog).
+    bits_per_cell: u8,
+    /// Fully-on conductance in siemens (low-resistance state).
+    pub g_on: f64,
+    /// Fully-off conductance in siemens (high-resistance state).
+    pub g_off: f64,
+    /// Sigma of the lognormal multiplicative programming error.
+    pub program_sigma: f64,
+    /// Sigma of the additive Gaussian read noise, as a fraction of `g_on`.
+    pub read_sigma: f64,
+    /// Per-decade drift coefficient applied by [`Cell::drift`].
+    pub drift_nu: f64,
+    /// Probability that a freshly fabricated cell is stuck.
+    pub stuck_at_rate: f64,
+    /// Write–verify tolerance as a fraction of one level spacing.
+    pub verify_tolerance: f64,
+    /// Maximum write–verify iterations before giving up.
+    pub max_program_attempts: u32,
+}
+
+impl DeviceParams {
+    /// Single-level-cell parameters used by digital PUM and by the AES
+    /// MixColumns matrix (§4.3 stores the AES matrix with 1-bit cells).
+    pub fn slc() -> Self {
+        DeviceParams {
+            bits_per_cell: 1,
+            g_on: 100e-6,
+            g_off: 1e-6,
+            program_sigma: 0.02,
+            read_sigma: 0.01,
+            drift_nu: 0.0,
+            stuck_at_rate: 0.0,
+            verify_tolerance: 0.25,
+            max_program_attempts: 16,
+        }
+    }
+
+    /// Multi-level-cell parameters with `bits` bits per cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDeviceParams`] when `bits` is zero or above 8
+    /// (the paper cites 6–12 effective bits as the practical ceiling; the
+    /// evaluation never exceeds 8).
+    pub fn mlc(bits: u8) -> Result<Self> {
+        if bits == 0 || bits > 8 {
+            return Err(Error::InvalidDeviceParams(
+                "bits per cell must be between 1 and 8",
+            ));
+        }
+        Ok(DeviceParams {
+            bits_per_cell: bits,
+            ..DeviceParams::slc()
+        })
+    }
+
+    /// Ideal (noise-free) variant, handy for functional verification.
+    pub fn ideal(bits: u8) -> Result<Self> {
+        let mut p = DeviceParams::mlc(bits)?;
+        p.program_sigma = 0.0;
+        p.read_sigma = 0.0;
+        p.drift_nu = 0.0;
+        p.stuck_at_rate = 0.0;
+        Ok(p)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDeviceParams`] if the conductance window is
+    /// empty or any sigma is negative.
+    pub fn validate(&self) -> Result<()> {
+        if self.g_off >= self.g_on {
+            return Err(Error::InvalidDeviceParams("g_off must be below g_on"));
+        }
+        if self.g_off < 0.0 {
+            return Err(Error::InvalidDeviceParams("g_off must be non-negative"));
+        }
+        if self.program_sigma < 0.0 || self.read_sigma < 0.0 {
+            return Err(Error::InvalidDeviceParams("sigmas must be non-negative"));
+        }
+        if self.bits_per_cell == 0 || self.bits_per_cell > 8 {
+            return Err(Error::InvalidDeviceParams(
+                "bits per cell must be between 1 and 8",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bits stored per cell.
+    pub fn bits_per_cell(&self) -> u8 {
+        self.bits_per_cell
+    }
+
+    /// Number of distinct programmable levels (`2^bits_per_cell`).
+    pub fn levels(&self) -> u16 {
+        1u16 << self.bits_per_cell
+    }
+
+    /// The ideal conductance for a level.
+    ///
+    /// Level 0 maps to `g_off`, the top level to `g_on`, with levels spaced
+    /// uniformly in conductance (the convention used by ISAAC-style
+    /// accelerators and CrossSim).
+    pub fn level_conductance(&self, level: u16) -> f64 {
+        let top = (self.levels() - 1) as f64;
+        if top == 0.0 {
+            return self.g_on;
+        }
+        self.g_off + (self.g_on - self.g_off) * (level as f64 / top)
+    }
+
+    /// Spacing between adjacent levels in siemens.
+    pub fn level_spacing(&self) -> f64 {
+        (self.g_on - self.g_off) / ((self.levels() - 1) as f64).max(1.0)
+    }
+
+    /// Returns a copy with all noise sources disabled.
+    pub fn without_noise(&self) -> Self {
+        DeviceParams {
+            program_sigma: 0.0,
+            read_sigma: 0.0,
+            drift_nu: 0.0,
+            stuck_at_rate: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
+/// A stuck-at fault (§7.5): the device no longer responds to programming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StuckAt {
+    /// Stuck in the high-resistance (off) state.
+    Off,
+    /// Stuck in the low-resistance (on) state.
+    On,
+}
+
+/// One ReRAM cell.
+///
+/// The cell remembers both the *target* level it was asked to store and the
+/// *actual* conductance realised by the noisy write–verify loop, so digital
+/// PUM can operate on exact bits while analog PUM sees the imperfect
+/// conductance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    level: u16,
+    conductance: f64,
+    stuck: Option<StuckAt>,
+    levels: u16,
+}
+
+impl Cell {
+    /// A fresh cell in the erased (level-0) state.
+    pub fn erased(params: &DeviceParams) -> Cell {
+        Cell {
+            level: 0,
+            conductance: params.g_off,
+            stuck: None,
+            levels: params.levels(),
+        }
+    }
+
+    /// The digitally intended level of this cell.
+    pub fn level(&self) -> u16 {
+        self.level
+    }
+
+    /// The realised analog conductance in siemens.
+    pub fn conductance(&self) -> f64 {
+        self.conductance
+    }
+
+    /// Whether the cell is stuck, and at which state.
+    pub fn stuck(&self) -> Option<StuckAt> {
+        self.stuck
+    }
+
+    /// Interprets the cell as a Boolean (digital SLC view): any nonzero
+    /// level reads as `true`.
+    pub fn as_bool(&self) -> bool {
+        self.level != 0
+    }
+
+    /// Marks the cell stuck at the given state, forcing its level and
+    /// conductance to the corresponding extreme.
+    pub fn set_stuck(&mut self, stuck: StuckAt, params: &DeviceParams) {
+        self.stuck = Some(stuck);
+        match stuck {
+            StuckAt::Off => {
+                self.level = 0;
+                self.conductance = params.g_off;
+            }
+            StuckAt::On => {
+                self.level = params.levels() - 1;
+                self.conductance = params.g_on;
+            }
+        }
+    }
+
+    /// Programs the cell to `level` with a write–verify loop.
+    ///
+    /// Each attempt perturbs the target conductance by a lognormal factor
+    /// (`program_sigma`); the loop accepts the write once the realised
+    /// conductance is within `verify_tolerance` of one level spacing, which
+    /// mirrors a verify read against the two adjacent references.
+    ///
+    /// Stuck cells silently ignore programming (that *is* the fault model);
+    /// the caller can detect the condition via [`Cell::stuck`].
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::LevelOutOfRange`] if `level` exceeds the cell's levels.
+    /// * [`Error::WriteVerifyFailed`] if the loop does not converge. With
+    ///   default parameters this is vanishingly rare; it exists so callers
+    ///   can surface pathological parameter choices instead of looping
+    ///   forever.
+    pub fn program(&mut self, level: u16, params: &DeviceParams, rng: &mut NoiseRng) -> Result<()> {
+        if level >= params.levels() {
+            return Err(Error::LevelOutOfRange {
+                level,
+                levels: params.levels(),
+            });
+        }
+        if self.stuck.is_some() {
+            return Ok(());
+        }
+        let target = params.level_conductance(level);
+        let tolerance = params.verify_tolerance * params.level_spacing();
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let realised = target * rng.lognormal(0.0, params.program_sigma);
+            let realised = realised.clamp(params.g_off, params.g_on);
+            if (realised - target).abs() <= tolerance || params.program_sigma == 0.0 {
+                self.level = level;
+                self.conductance = realised;
+                return Ok(());
+            }
+            if attempts >= params.max_program_attempts {
+                return Err(Error::WriteVerifyFailed { level, attempts });
+            }
+        }
+    }
+
+    /// Digital-PUM state flip: sets the Boolean state exactly.
+    ///
+    /// OSCAR primitives switch devices fully on or off; the paper treats
+    /// digital PUM as error-free (§2.2.2, "minimal errors"), so this is an
+    /// ideal write. Stuck cells ignore it.
+    pub fn set_bool(&mut self, value: bool, params: &DeviceParams) {
+        if self.stuck.is_some() {
+            return;
+        }
+        if value {
+            self.level = params.levels() - 1;
+            self.conductance = params.g_on;
+        } else {
+            self.level = 0;
+            self.conductance = params.g_off;
+        }
+    }
+
+    /// Reads the conductance with additive Gaussian read noise.
+    pub fn read_conductance(&self, params: &DeviceParams, rng: &mut NoiseRng) -> f64 {
+        let noisy = self.conductance + rng.gaussian(0.0, params.read_sigma * params.g_on);
+        noisy.max(0.0)
+    }
+
+    /// Applies conductance drift toward `g_off` over `decades` decades of
+    /// time (a standard `G(t) = G0 * t^-nu` retention model).
+    pub fn drift(&mut self, decades: f64, params: &DeviceParams) {
+        if params.drift_nu <= 0.0 || decades <= 0.0 || self.stuck.is_some() {
+            return;
+        }
+        let factor = 10f64.powf(-params.drift_nu * decades);
+        self.conductance = (self.conductance * factor).max(params.g_off);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> NoiseRng {
+        NoiseRng::seed_from(1234)
+    }
+
+    #[test]
+    fn slc_has_two_levels() {
+        let p = DeviceParams::slc();
+        assert_eq!(p.levels(), 2);
+        assert_eq!(p.bits_per_cell(), 1);
+        p.validate().expect("slc params are valid");
+    }
+
+    #[test]
+    fn mlc_rejects_bad_bit_counts() {
+        assert!(DeviceParams::mlc(0).is_err());
+        assert!(DeviceParams::mlc(9).is_err());
+        assert!(DeviceParams::mlc(8).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_window() {
+        let mut p = DeviceParams::slc();
+        p.g_off = p.g_on * 2.0;
+        assert!(matches!(p.validate(), Err(Error::InvalidDeviceParams(_))));
+    }
+
+    #[test]
+    fn level_conductance_endpoints() {
+        let p = DeviceParams::mlc(2).expect("valid");
+        assert!((p.level_conductance(0) - p.g_off).abs() < 1e-15);
+        assert!((p.level_conductance(3) - p.g_on).abs() < 1e-15);
+        let mid = p.level_conductance(1);
+        assert!(mid > p.g_off && mid < p.g_on);
+    }
+
+    #[test]
+    fn program_and_read_back_level() {
+        let p = DeviceParams::mlc(4).expect("valid");
+        let mut rng = rng();
+        let mut cell = Cell::erased(&p);
+        for level in 0..p.levels() {
+            cell.program(level, &p, &mut rng).expect("programs");
+            assert_eq!(cell.level(), level);
+            let g = cell.conductance();
+            // within one full level spacing of the target
+            assert!((g - p.level_conductance(level)).abs() <= p.level_spacing());
+        }
+    }
+
+    #[test]
+    fn program_rejects_out_of_range_level() {
+        let p = DeviceParams::slc();
+        let mut cell = Cell::erased(&p);
+        let err = cell.program(2, &p, &mut rng()).unwrap_err();
+        assert!(matches!(err, Error::LevelOutOfRange { level: 2, .. }));
+    }
+
+    #[test]
+    fn ideal_params_program_exactly() {
+        let p = DeviceParams::ideal(3).expect("valid");
+        let mut cell = Cell::erased(&p);
+        cell.program(5, &p, &mut rng()).expect("programs");
+        assert!((cell.conductance() - p.level_conductance(5)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn stuck_cells_ignore_programming() {
+        let p = DeviceParams::slc();
+        let mut cell = Cell::erased(&p);
+        cell.set_stuck(StuckAt::On, &p);
+        cell.program(0, &p, &mut rng()).expect("no-op succeeds");
+        assert!(cell.as_bool());
+        cell.set_bool(false, &p);
+        assert!(cell.as_bool());
+    }
+
+    #[test]
+    fn set_bool_round_trips() {
+        let p = DeviceParams::slc();
+        let mut cell = Cell::erased(&p);
+        cell.set_bool(true, &p);
+        assert!(cell.as_bool());
+        assert!((cell.conductance() - p.g_on).abs() < 1e-15);
+        cell.set_bool(false, &p);
+        assert!(!cell.as_bool());
+        assert!((cell.conductance() - p.g_off).abs() < 1e-15);
+    }
+
+    #[test]
+    fn read_noise_is_zero_mean() {
+        let p = DeviceParams::slc();
+        let mut r = rng();
+        let mut cell = Cell::erased(&p);
+        cell.set_bool(true, &p);
+        let n = 5000;
+        let mean: f64 = (0..n)
+            .map(|_| cell.read_conductance(&p, &mut r))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - p.g_on).abs() < 0.05 * p.g_on);
+    }
+
+    #[test]
+    fn drift_decays_conductance() {
+        let mut p = DeviceParams::slc();
+        p.drift_nu = 0.1;
+        let mut cell = Cell::erased(&p);
+        cell.set_bool(true, &p);
+        let before = cell.conductance();
+        cell.drift(1.0, &p);
+        assert!(cell.conductance() < before);
+        assert!(cell.conductance() >= p.g_off);
+    }
+
+    #[test]
+    fn without_noise_strips_all_sigmas() {
+        let p = DeviceParams::mlc(4).expect("valid").without_noise();
+        assert_eq!(p.program_sigma, 0.0);
+        assert_eq!(p.read_sigma, 0.0);
+        assert_eq!(p.stuck_at_rate, 0.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Unit newtypes used across the workspace.
+//!
+//! The DARTH-PUM chip runs at 1 GHz (Section 6), so one [`Cycles`] tick is
+//! one nanosecond of wall time. Energy is tracked in [`PicoJoules`] and area
+//! in [`SquareMicrons`], matching the units of Table 3. The newtypes exist so
+//! that latency, energy and area can never be accidentally mixed
+//! (`C-NEWTYPE`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Sub, SubAssign};
+
+/// Clock frequency of the modelled DARTH-PUM chip, in Hz (Section 6: 1 GHz).
+pub const CLOCK_HZ: f64 = 1.0e9;
+
+/// A count of chip clock cycles at 1 GHz.
+///
+/// # Example
+///
+/// ```
+/// use darth_reram::units::Cycles;
+///
+/// let adc = Cycles::new(256);
+/// let io = Cycles::new(64);
+/// assert_eq!((adc + io).get(), 320);
+/// assert!(adc.to_seconds() > io.to_seconds());
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(count: u64) -> Self {
+        Cycles(count)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Converts the count to wall-clock seconds at [`CLOCK_HZ`].
+    pub fn to_seconds(self) -> f64 {
+        self.0 as f64 / CLOCK_HZ
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two cycle counts (useful when overlapping pipelines).
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// Energy in picojoules.
+///
+/// # Example
+///
+/// ```
+/// use darth_reram::units::PicoJoules;
+///
+/// let adc = PicoJoules::new(1.5);
+/// let total = adc * 64.0;
+/// assert!((total.get() - 96.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct PicoJoules(f64);
+
+impl PicoJoules {
+    /// Zero energy.
+    pub const ZERO: PicoJoules = PicoJoules(0.0);
+
+    /// Creates an energy amount in pJ.
+    pub const fn new(pj: f64) -> Self {
+        PicoJoules(pj)
+    }
+
+    /// Energy from a power draw (mW) sustained for a number of cycles.
+    ///
+    /// 1 mW × 1 ns = 1 pJ, so at the 1 GHz clock this is simply
+    /// `milliwatts × cycles`.
+    pub fn from_power(milliwatts: f64, cycles: Cycles) -> Self {
+        PicoJoules(milliwatts * cycles.get() as f64)
+    }
+
+    /// Returns the raw pJ value.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to joules.
+    pub fn to_joules(self) -> f64 {
+        self.0 * 1e-12
+    }
+}
+
+impl Add for PicoJoules {
+    type Output = PicoJoules;
+    fn add(self, rhs: PicoJoules) -> PicoJoules {
+        PicoJoules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for PicoJoules {
+    fn add_assign(&mut self, rhs: PicoJoules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for PicoJoules {
+    type Output = PicoJoules;
+    fn sub(self, rhs: PicoJoules) -> PicoJoules {
+        PicoJoules(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for PicoJoules {
+    type Output = PicoJoules;
+    fn mul(self, rhs: f64) -> PicoJoules {
+        PicoJoules(self.0 * rhs)
+    }
+}
+
+impl MulAssign<f64> for PicoJoules {
+    fn mul_assign(&mut self, rhs: f64) {
+        self.0 *= rhs;
+    }
+}
+
+impl Div for PicoJoules {
+    type Output = f64;
+    fn div(self, rhs: PicoJoules) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for PicoJoules {
+    fn sum<I: Iterator<Item = PicoJoules>>(iter: I) -> PicoJoules {
+        PicoJoules(iter.map(|e| e.0).sum())
+    }
+}
+
+impl fmt::Display for PicoJoules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} pJ", self.0)
+    }
+}
+
+/// Silicon area in square microns, matching Table 3's units.
+///
+/// # Example
+///
+/// ```
+/// use darth_reram::units::SquareMicrons;
+///
+/// let dce_array = SquareMicrons::new(240.0);
+/// let pipeline = dce_array * 64.0;
+/// assert!((pipeline.get() - 15_360.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct SquareMicrons(f64);
+
+impl SquareMicrons {
+    /// Zero area.
+    pub const ZERO: SquareMicrons = SquareMicrons(0.0);
+
+    /// Creates an area in µm².
+    pub const fn new(um2: f64) -> Self {
+        SquareMicrons(um2)
+    }
+
+    /// Returns the raw µm² value.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to cm² (1 cm² = 1e8 µm²).
+    pub fn to_cm2(self) -> f64 {
+        self.0 / 1e8
+    }
+
+    /// Creates an area from cm².
+    pub fn from_cm2(cm2: f64) -> Self {
+        SquareMicrons(cm2 * 1e8)
+    }
+}
+
+impl Add for SquareMicrons {
+    type Output = SquareMicrons;
+    fn add(self, rhs: SquareMicrons) -> SquareMicrons {
+        SquareMicrons(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SquareMicrons {
+    fn add_assign(&mut self, rhs: SquareMicrons) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SquareMicrons {
+    type Output = SquareMicrons;
+    fn sub(self, rhs: SquareMicrons) -> SquareMicrons {
+        SquareMicrons(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SquareMicrons {
+    type Output = SquareMicrons;
+    fn mul(self, rhs: f64) -> SquareMicrons {
+        SquareMicrons(self.0 * rhs)
+    }
+}
+
+impl Div for SquareMicrons {
+    type Output = f64;
+    fn div(self, rhs: SquareMicrons) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SquareMicrons {
+    fn sum<I: Iterator<Item = SquareMicrons>>(iter: I) -> SquareMicrons {
+        SquareMicrons(iter.map(|a| a.0).sum())
+    }
+}
+
+impl fmt::Display for SquareMicrons {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} um^2", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(30);
+        assert_eq!((a + b).get(), 130);
+        assert_eq!((a - b).get(), 70);
+        assert_eq!((a * 3).get(), 300);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_1ghz() {
+        assert!((Cycles::new(1_000_000_000).to_seconds() - 1.0).abs() < 1e-12);
+        assert!((Cycles::new(1).to_seconds() - 1e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn cycles_sum() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total.get(), 10);
+    }
+
+    #[test]
+    fn picojoules_from_power() {
+        // 8 mW for 10 cycles at 1 GHz = 80 pJ.
+        let e = PicoJoules::from_power(8.0, Cycles::new(10));
+        assert!((e.get() - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn picojoules_arithmetic() {
+        let a = PicoJoules::new(2.0);
+        let b = PicoJoules::new(0.5);
+        assert!(((a + b).get() - 2.5).abs() < 1e-12);
+        assert!(((a - b).get() - 1.5).abs() < 1e-12);
+        assert!(((a * 4.0).get() - 8.0).abs() < 1e-12);
+        assert!((a / b - 4.0).abs() < 1e-12);
+        assert!((a.to_joules() - 2.0e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn area_round_trips_cm2() {
+        let a = SquareMicrons::from_cm2(2.57);
+        assert!((a.to_cm2() - 2.57).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Cycles::ZERO).is_empty());
+        assert!(!format!("{}", PicoJoules::ZERO).is_empty());
+        assert!(!format!("{}", SquareMicrons::ZERO).is_empty());
+    }
+}

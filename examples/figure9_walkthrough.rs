@@ -1,0 +1,47 @@
+//! The paper's Figure 9 walkthrough, step by step: a 2x2 matrix [[5,9],[8,7]]
+//! times the 3-bit input [2,7], with the per-bit partial products printed as
+//! they cross from the ACE to the DCE.
+//!
+//! Run with: `cargo run --release --example figure9_walkthrough`
+
+use darth_analog::ace::{AceConfig, AnalogComputeElement};
+use darth_analog::dac::InputDriver;
+use darth_isa::iiu::{InjectionProgram, ReductionRegs};
+use darth_pum::hct::{HctConfig, HybridComputeTile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Step 1-2: the ACE alone, to see the raw per-bit partial products.
+    let mut ace = AnalogComputeElement::new(AceConfig::ideal(1, 2, 2), 1)?;
+    ace.program_matrix(0, &[vec![5, 9], vec![8, 7]])?;
+    let driver = InputDriver::new(3, false)?;
+    let out = ace.mvm(0, &[2, 7], driver, None)?;
+    println!("input [2, 7] bit-sliced LSB-first:");
+    for (bit, products) in out.partial_products.iter().enumerate() {
+        println!("  bit {bit}: partial products {products:?} (shift by {bit})");
+    }
+
+    // --- Step 3-8: the same MVM through a full hybrid compute tile, with
+    // the shift units and instruction injection unit doing the reduction.
+    let mut tile = HybridComputeTile::new(HctConfig::small_test())?;
+    let vacore = tile.alloc_vacore(4, 4, 3, false)?;
+    tile.set_matrix(vacore, &[vec![5, 9], vec![8, 7]])?;
+    let regs = ReductionRegs::dense(3);
+    let program = InjectionProgram::shift_and_add(3, false, 1, 4, &regs, true);
+    println!(
+        "\nIIU program: {} steps ({} adds, {} shifts — shifts happen in flight)",
+        program.len(),
+        program.arithmetic_steps(),
+        program.shift_steps()
+    );
+    let report = tile.exec_mvm(vacore, &[2, 7], 0, &regs, None)?;
+    println!(
+        "result: {:?} (Figure 9 expects [66, 67])",
+        &report.result[..2]
+    );
+    println!(
+        "cycles: {} total = {} analog + {} transfer + {} reduce",
+        report.cycles, report.analog_cycles, report.transfer_cycles, report.reduce_cycles
+    );
+    assert_eq!(&report.result[..2], &[66, 67]);
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: store a matrix in DARTH-PUM's analog arrays and run a
+//! hybrid MVM through the Table 1 runtime API.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use darth_pum::runtime::{Runtime, RuntimeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A functional chip with one hybrid compute tile.
+    let mut rt = Runtime::new(RuntimeConfig::small_test())?;
+
+    // setMatrix(): 4-bit elements at precision scale 1 (2 bits per cell,
+    // so the vACore spans two weight-slice arrays).
+    let matrix = vec![
+        vec![5, 9, -3],
+        vec![8, 7, 2],
+        vec![-1, 0, 15],
+    ];
+    let handle = rt.set_matrix(&matrix, 4, 1)?;
+
+    // execMVM(): the input is bit-sliced, the ACE produces partial
+    // products, the shift units land them pre-shifted in the DCE, and the
+    // instruction injection unit replays the pipelined ADD reduction.
+    let input = vec![2, 7, 1];
+    let result = rt.exec_mvm(handle, &input)?;
+    println!("matrix^T . {input:?} = {result:?}");
+    assert_eq!(result, vec![2 * 5 + 7 * 8 + 1 * -1, 2 * 9 + 7 * 7, -6 + 14 + 15]);
+
+    // updateRow() reprograms one wordline's devices.
+    rt.update_row(handle, 0, &[1, 1, 1])?;
+    let result = rt.exec_mvm(handle, &input)?;
+    println!("after updateRow(0, [1,1,1]): {result:?}");
+
+    let stats = rt.stats();
+    println!(
+        "MVMs: {}, analog+reduce cycles: {}, energy: {}",
+        stats.mvm_count, stats.mvm_cycles, stats.mvm_energy
+    );
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the DARTH-PUM reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! and the cross-crate integration tests. The actual library surface lives in
+//! the member crates:
+//!
+//! * [`darth_reram`] — ReRAM device and array substrate
+//! * [`darth_digital`] — bit-pipelined digital PUM (RACER/OSCAR)
+//! * [`darth_analog`] — analog crossbar PUM (MVM, ADC/DAC, noise)
+//! * [`darth_isa`] — the hybrid instruction set
+//! * [`darth_pum`] — the DARTH-PUM chip: hybrid compute tiles, runtime
+//! * [`darth_apps`] — AES, ResNet-20 and LLM-encoder workloads
+//! * [`darth_baselines`] — CPU/GPU/accelerator comparison models
+
+pub use darth_analog as analog;
+pub use darth_apps as apps;
+pub use darth_baselines as baselines;
+pub use darth_digital as digital;
+pub use darth_isa as isa;
+pub use darth_pum as pum;
+pub use darth_reram as reram;

@@ -1,0 +1,121 @@
+//! Property-based tests over the core substrates (proptest).
+
+use darth_digital::logic::LogicFamily;
+use darth_digital::pipeline::{Pipeline, PipelineConfig};
+use darth_digital::BoolOp;
+use darth_isa::encode::{decode, encode};
+use darth_isa::instruction::{Instruction, IsaBoolOp, PipelineId, Vr};
+use proptest::prelude::*;
+
+fn pipeline(family: LogicFamily) -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        depth: 16,
+        elements: 4,
+        vr_count: 10,
+        scratch_cols: 8,
+        family,
+    })
+    .expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pipeline_add_matches_u64(a in 0u64..0x10000, b in 0u64..0x10000) {
+        let mut p = pipeline(LogicFamily::Oscar);
+        p.write_value(0, 0, a).expect("fits");
+        p.write_value(1, 0, b).expect("fits");
+        p.add(2, 0, 1).expect("runs");
+        prop_assert_eq!(p.read_value(2, 0).expect("reads"), (a + b) & 0xFFFF);
+    }
+
+    #[test]
+    fn pipeline_sub_matches_wrapping(a in 0u64..0x10000, b in 0u64..0x10000) {
+        let mut p = pipeline(LogicFamily::Oscar);
+        p.write_value(0, 0, a).expect("fits");
+        p.write_value(1, 0, b).expect("fits");
+        p.sub(2, 0, 1).expect("runs");
+        prop_assert_eq!(p.read_value(2, 0).expect("reads"), a.wrapping_sub(b) & 0xFFFF);
+    }
+
+    #[test]
+    fn pipeline_bool_ops_match(a in 0u64..0x10000, b in 0u64..0x10000, op_idx in 0usize..6) {
+        let op = BoolOp::ALL[op_idx];
+        let mut p = pipeline(LogicFamily::Oscar);
+        p.write_value(0, 0, a).expect("fits");
+        p.write_value(1, 0, b).expect("fits");
+        p.bool_op(op, 2, 0, 1).expect("runs");
+        let expected = match op {
+            BoolOp::Nor => !(a | b),
+            BoolOp::Or => a | b,
+            BoolOp::And => a & b,
+            BoolOp::Nand => !(a & b),
+            BoolOp::Xor => a ^ b,
+            BoolOp::Xnor => !(a ^ b),
+        } & 0xFFFF;
+        prop_assert_eq!(p.read_value(2, 0).expect("reads"), expected);
+    }
+
+    #[test]
+    fn shifts_match_u64(a in 0u64..0x10000, k in 0usize..16) {
+        let mut p = pipeline(LogicFamily::Oscar);
+        p.write_value(0, 0, a).expect("fits");
+        p.shl(1, 0, k).expect("runs");
+        p.shr(2, 0, k).expect("runs");
+        prop_assert_eq!(p.read_value(1, 0).expect("reads"), (a << k) & 0xFFFF);
+        prop_assert_eq!(p.read_value(2, 0).expect("reads"), (a & 0xFFFF) >> k);
+    }
+
+    #[test]
+    fn ideal_and_oscar_agree(a in 0u64..0x10000, b in 0u64..0x10000) {
+        let mut po = pipeline(LogicFamily::Oscar);
+        let mut pi = pipeline(LogicFamily::Ideal);
+        for p in [&mut po, &mut pi] {
+            p.write_value(0, 0, a).expect("fits");
+            p.write_value(1, 0, b).expect("fits");
+            p.add(2, 0, 1).expect("runs");
+            p.bool_op(BoolOp::Xor, 3, 0, 1).expect("runs");
+        }
+        prop_assert_eq!(po.read_value(2, 0).expect("r"), pi.read_value(2, 0).expect("r"));
+        prop_assert_eq!(po.read_value(3, 0).expect("r"), pi.read_value(3, 0).expect("r"));
+    }
+
+    #[test]
+    fn isa_round_trips(pipe in 0u16..512, dst in 0u8..64, a in 0u8..64, b in 0u8..64, op_idx in 0usize..6) {
+        let inst = Instruction::Bool {
+            op: IsaBoolOp::ALL[op_idx],
+            pipe: PipelineId(pipe),
+            dst: Vr(dst),
+            a: Vr(a),
+            b: Vr(b),
+        };
+        prop_assert_eq!(decode(&encode(&inst)).expect("decodes"), inst);
+        let add = Instruction::Add { pipe: PipelineId(pipe), dst: Vr(dst), a: Vr(a), b: Vr(b) };
+        prop_assert_eq!(decode(&encode(&add)).expect("decodes"), add);
+    }
+
+    #[test]
+    fn crossbar_exact_mvm_is_linear(seed in 0u64..1000) {
+        use darth_analog::crossbar::{Crossbar, CrossbarConfig};
+        use darth_reram::NoiseRng;
+        let mut rng = NoiseRng::seed_from(seed);
+        let mut xbar = Crossbar::new(CrossbarConfig::ideal(8, 4)).expect("valid");
+        let matrix: Vec<Vec<i64>> = (0..8)
+            .map(|_| (0..4).map(|_| (rng.index(15) as i64) - 7).collect())
+            .collect();
+        xbar.program(&matrix, &mut rng).expect("programs");
+        let x: Vec<bool> = (0..8).map(|_| rng.chance(0.5)).collect();
+        let y: Vec<bool> = (0..8).map(|_| rng.chance(0.5)).collect();
+        // superposition: M(x or y) + M(x and y) == M(x) + M(y)
+        let or_vec: Vec<bool> = x.iter().zip(&y).map(|(&p, &q)| p | q).collect();
+        let and_vec: Vec<bool> = x.iter().zip(&y).map(|(&p, &q)| p & q).collect();
+        let mx = xbar.mvm_exact(&x).expect("runs");
+        let my = xbar.mvm_exact(&y).expect("runs");
+        let mor = xbar.mvm_exact(&or_vec).expect("runs");
+        let mand = xbar.mvm_exact(&and_vec).expect("runs");
+        for c in 0..4 {
+            prop_assert_eq!(mor[c] + mand[c], mx[c] + my[c]);
+        }
+    }
+}
