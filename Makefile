@@ -1,0 +1,50 @@
+# DARTH-PUM reproduction — one-command recipes for the tier-1 gate and the
+# supporting checks. `make verify` is the whole tier-1 recipe.
+
+CARGO ?= cargo
+
+.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures clean
+
+all: verify
+
+## Tier-1 gate: release build + full test suite.
+verify: build test
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+## Rustdoc for every workspace crate; warnings are errors.
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps
+
+## Clippy across all targets; warnings are errors.
+lint:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	$(CARGO) fmt
+
+fmt-check:
+	$(CARGO) fmt --check
+
+## Criterion benches (offline vendor harness; see vendor/criterion).
+bench:
+	$(CARGO) bench -p darth_bench
+
+## Compile benches + examples without running them.
+bench-check:
+	$(CARGO) bench -p darth_bench --no-run
+	$(CARGO) build --examples
+
+## Regenerate every paper figure/table binary (prints to stdout).
+figures:
+	@for bin in fig7 fig13 fig14 fig15 fig16 fig17 fig18 tables noise_accuracy; do \
+		echo "==== $$bin ===="; \
+		$(CARGO) run -q --release -p darth_bench --bin $$bin; \
+	done
+
+clean:
+	$(CARGO) clean

@@ -165,12 +165,10 @@ impl AnalogComputeElement {
 
     fn crossbar_mut(&mut self, array: usize) -> Result<&mut Crossbar> {
         let count = self.crossbars.len();
-        self.crossbars
-            .get_mut(array)
-            .ok_or(Error::InvalidArray {
-                index: array,
-                count,
-            })
+        self.crossbars.get_mut(array).ok_or(Error::InvalidArray {
+            index: array,
+            count,
+        })
     }
 
     /// Programs a signed matrix into one array, returning the programming
@@ -200,7 +198,8 @@ impl AnalogComputeElement {
     pub fn update_row(&mut self, array: usize, row: usize, values: &[i64]) -> Result<Cycles> {
         let cycles = Cycles::new(self.config.program_cycles_per_row);
         let mut rng = self.rng.fork();
-        self.crossbar_mut(array)?.update_row(row, values, &mut rng)?;
+        self.crossbar_mut(array)?
+            .update_row(row, values, &mut rng)?;
         self.meter.add(
             "ace.program",
             PicoJoules::from_power(ROW_PERIPHERY_POWER_MW, cycles),
@@ -256,10 +255,8 @@ impl AnalogComputeElement {
             // 1. Drive the wordlines (all active arrays share the input).
             let apply = Cycles::new(self.config.dac_apply_cycles);
             cycles += apply;
-            let row_energy = PicoJoules::from_power(
-                ROW_PERIPHERY_POWER_MW * arrays.len() as f64,
-                apply,
-            );
+            let row_energy =
+                PicoJoules::from_power(ROW_PERIPHERY_POWER_MW * arrays.len() as f64, apply);
             energy += row_energy;
             self.meter.add("ace.row_periphery", row_energy);
 
@@ -463,7 +460,11 @@ mod tests {
         config.crossbar.range_scale = 0.5;
         let mut ace = AnalogComputeElement::new(config, 13).expect("valid");
         let matrix: Vec<Vec<i64>> = (0..16)
-            .map(|r| (0..8).map(|c| if (r + c) % 2 == 0 { 1 } else { -1 }).collect())
+            .map(|r| {
+                (0..8)
+                    .map(|c| if (r + c) % 2 == 0 { 1 } else { -1 })
+                    .collect()
+            })
             .collect();
         ace.program_matrix(0, &matrix).expect("programs");
         let driver = InputDriver::new(1, false).expect("valid");
@@ -484,7 +485,8 @@ mod tests {
     #[test]
     fn energy_meter_components() {
         let mut ace = ideal_ace();
-        ace.program_matrix(0, &vec![vec![1; 4]; 4]).expect("programs");
+        ace.program_matrix(0, &vec![vec![1; 4]; 4])
+            .expect("programs");
         let driver = InputDriver::new(2, false).expect("valid");
         ace.mvm(0, &[1, 2, 3, 0], driver, None).expect("runs");
         let meter = ace.energy_meter();

@@ -213,9 +213,7 @@ impl Crossbar {
     /// * [`Error::ShapeMismatch`] for wrong matrix dimensions.
     /// * [`Error::WeightOutOfRange`] for unrepresentable weights.
     pub fn program(&mut self, matrix: &[Vec<i64>], rng: &mut NoiseRng) -> Result<()> {
-        if matrix.len() != self.config.rows
-            || matrix.iter().any(|r| r.len() != self.config.cols)
-        {
+        if matrix.len() != self.config.rows || matrix.iter().any(|r| r.len() != self.config.cols) {
             return Err(Error::ShapeMismatch {
                 expected_rows: self.config.rows,
                 expected_cols: self.config.cols,
@@ -238,7 +236,11 @@ impl Crossbar {
             for (c, &w) in row.iter().enumerate() {
                 match self.config.representation {
                     Representation::DifferentialPair => {
-                        let (pos, neg) = if w >= 0 { (w as u16, 0) } else { (0, (-w) as u16) };
+                        let (pos, neg) = if w >= 0 {
+                            (w as u16, 0)
+                        } else {
+                            (0, (-w) as u16)
+                        };
                         self.positive
                             .program_level(r, c, pos, rng)
                             .map_err(Error::Reram)?;
@@ -293,7 +295,11 @@ impl Crossbar {
             }
             match self.config.representation {
                 Representation::DifferentialPair => {
-                    let (pos, neg) = if w >= 0 { (w as u16, 0) } else { (0, (-w) as u16) };
+                    let (pos, neg) = if w >= 0 {
+                        (w as u16, 0)
+                    } else {
+                        (0, (-w) as u16)
+                    };
                     self.positive
                         .program_level(row, c, pos, rng)
                         .map_err(Error::Reram)?;
@@ -440,14 +446,22 @@ mod tests {
             device: DeviceParams::ideal(bits).expect("valid"),
             ..CrossbarConfig::ideal(rows, cols)
         };
-        Crossbar::new(CrossbarConfig { rows, cols, ..config }).expect("valid config")
+        Crossbar::new(CrossbarConfig {
+            rows,
+            cols,
+            ..config
+        })
+        .expect("valid config")
     }
 
     #[test]
     fn config_validation() {
-        assert!(CrossbarConfig { rows: 0, ..CrossbarConfig::ideal(2, 2) }
-            .validate()
-            .is_err());
+        assert!(CrossbarConfig {
+            rows: 0,
+            ..CrossbarConfig::ideal(2, 2)
+        }
+        .validate()
+        .is_err());
         assert!(CrossbarConfig {
             bits_per_cell: 0,
             ..CrossbarConfig::ideal(2, 2)
@@ -468,7 +482,8 @@ mod tests {
         // Figure 1: [[2,9],[7,5]]^T style 2x2 with input [2,7] — here we
         // check the per-bit building block: binary inputs, exact weights.
         let mut xbar = ideal_xbar(2, 2, 4);
-        xbar.program(&[vec![5, 9], vec![8, 7]], &mut rng()).expect("programs");
+        xbar.program(&[vec![5, 9], vec![8, 7]], &mut rng())
+            .expect("programs");
         let exact = xbar.mvm_exact(&[true, true]).expect("shape ok");
         assert_eq!(exact, vec![13, 16]);
         let one_row = xbar.mvm_exact(&[false, true]).expect("shape ok");
@@ -494,10 +509,7 @@ mod tests {
             let currents = xbar.mvm_currents(&input, &mut rng()).expect("shape ok");
             for (c, &e) in exact.iter().enumerate() {
                 let units = currents[c] / xbar.unit_current();
-                assert!(
-                    (units - e as f64).abs() < 1e-9,
-                    "col {c}: {units} vs {e}"
-                );
+                assert!((units - e as f64).abs() < 1e-9, "col {c}: {units} vs {e}");
             }
         }
     }
@@ -508,7 +520,13 @@ mod tests {
         let err = xbar
             .program(&[vec![4, 0], vec![0, 0]], &mut rng())
             .unwrap_err();
-        assert!(matches!(err, Error::WeightOutOfRange { max_magnitude: 3, .. }));
+        assert!(matches!(
+            err,
+            Error::WeightOutOfRange {
+                max_magnitude: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -534,9 +552,12 @@ mod tests {
         assert_eq!(config.max_magnitude(), 7);
         assert_eq!(config.offset(), 7);
         let mut xbar = Crossbar::new(config).expect("valid");
-        xbar.program(&[vec![-7, 7], vec![0, 1]], &mut rng()).expect("programs");
+        xbar.program(&[vec![-7, 7], vec![0, 1]], &mut rng())
+            .expect("programs");
         // net current includes the offset: col0 = (-7+7) + (0+7) = 7 offsets
-        let currents = xbar.mvm_currents(&[true, true], &mut rng()).expect("shape ok");
+        let currents = xbar
+            .mvm_currents(&[true, true], &mut rng())
+            .expect("shape ok");
         let units0 = currents[0] / xbar.unit_current();
         // raw = (0) + (7)  [levels] = weights + 2*offset = -7+0 + 14
         assert!((units0 - 7.0).abs() < 1e-9, "units0 = {units0}");
@@ -628,10 +649,7 @@ mod tests {
         let currents = xbar.mvm_currents(&input, &mut rng()).expect("ok");
         for (c, &e) in exact.iter().enumerate() {
             let units = currents[c] / xbar.unit_current();
-            assert!(
-                (units - e as f64).abs() < 1.5,
-                "col {c}: {units} vs {e}"
-            );
+            assert!((units - e as f64).abs() < 1.5, "col {c}: {units} vs {e}");
         }
     }
 

@@ -224,8 +224,7 @@ mod tests {
         // recombining per-element slices (1x identity "MVM": input = e_r)
         for r in 0..2 {
             for c in 0..3 {
-                let parts: Vec<Vec<i64>> =
-                    slices.iter().map(|s| vec![s[r][c]]).collect();
+                let parts: Vec<Vec<i64>> = slices.iter().map(|s| vec![s[r][c]]).collect();
                 let rec = slicer.recombine(&parts);
                 assert_eq!(rec[0], m[r][c], "({r},{c})");
             }
@@ -285,9 +284,7 @@ mod tests {
                             .map(|bits| {
                                 (0..2)
                                     .map(|c| {
-                                        (0..2)
-                                            .map(|r| if bits[r] { sm[r][c] } else { 0 })
-                                            .sum()
+                                        (0..2).map(|r| if bits[r] { sm[r][c] } else { 0 }).sum()
                                     })
                                     .collect()
                             })

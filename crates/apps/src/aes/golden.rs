@@ -198,7 +198,12 @@ pub fn inv_shift_rows(state: &mut State) {
 /// `{02 03 01 01}`.
 pub fn mix_columns(state: &mut State) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
         state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
         state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
@@ -209,15 +214,28 @@ pub fn mix_columns(state: &mut State) {
 /// Inverse MixColumns (`{0e 0b 0d 09}`).
 pub fn inv_mix_columns(state: &mut State) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] =
-            gf_mul(col[0], 0x0e) ^ gf_mul(col[1], 0x0b) ^ gf_mul(col[2], 0x0d) ^ gf_mul(col[3], 0x09);
-        state[4 * c + 1] =
-            gf_mul(col[0], 0x09) ^ gf_mul(col[1], 0x0e) ^ gf_mul(col[2], 0x0b) ^ gf_mul(col[3], 0x0d);
-        state[4 * c + 2] =
-            gf_mul(col[0], 0x0d) ^ gf_mul(col[1], 0x09) ^ gf_mul(col[2], 0x0e) ^ gf_mul(col[3], 0x0b);
-        state[4 * c + 3] =
-            gf_mul(col[0], 0x0b) ^ gf_mul(col[1], 0x0d) ^ gf_mul(col[2], 0x09) ^ gf_mul(col[3], 0x0e);
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gf_mul(col[0], 0x0e)
+            ^ gf_mul(col[1], 0x0b)
+            ^ gf_mul(col[2], 0x0d)
+            ^ gf_mul(col[3], 0x09);
+        state[4 * c + 1] = gf_mul(col[0], 0x09)
+            ^ gf_mul(col[1], 0x0e)
+            ^ gf_mul(col[2], 0x0b)
+            ^ gf_mul(col[3], 0x0d);
+        state[4 * c + 2] = gf_mul(col[0], 0x0d)
+            ^ gf_mul(col[1], 0x09)
+            ^ gf_mul(col[2], 0x0e)
+            ^ gf_mul(col[3], 0x0b);
+        state[4 * c + 3] = gf_mul(col[0], 0x0b)
+            ^ gf_mul(col[1], 0x0d)
+            ^ gf_mul(col[2], 0x09)
+            ^ gf_mul(col[3], 0x0e);
     }
 }
 
@@ -374,7 +392,8 @@ mod tests {
         let key = *b"A 16-byte secret";
         let aes = Aes::new_128(&key);
         for seed in 0u8..16 {
-            let block: [u8; 16] = core::array::from_fn(|i| seed.wrapping_mul(31).wrapping_add(i as u8));
+            let block: [u8; 16] =
+                core::array::from_fn(|i| seed.wrapping_mul(31).wrapping_add(i as u8));
             assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
         }
     }

@@ -144,13 +144,15 @@ impl AesDarth {
             let values: Vec<u64> = (0..64)
                 .map(|e| u64::from(golden::SBOX[vr * 64 + e]))
                 .collect();
-            tile.pipeline_mut(TABLE_PIPE)?.write_vector(SBOX_BASE_VR + vr, &values)?;
+            tile.pipeline_mut(TABLE_PIPE)?
+                .write_vector(SBOX_BASE_VR + vr, &values)?;
         }
 
         // Load the round keys, one register each.
         for (r, rk) in golden.round_keys().iter().enumerate() {
             let values: Vec<u64> = rk.iter().map(|&b| u64::from(b)).collect();
-            tile.pipeline_mut(TABLE_PIPE)?.write_vector(ROUND_KEY_BASE_VR + r, &values)?;
+            tile.pipeline_mut(TABLE_PIPE)?
+                .write_vector(ROUND_KEY_BASE_VR + r, &values)?;
         }
 
         // ShiftRows gather addresses: shifted[e] = staged[perm[e]], where
@@ -164,7 +166,8 @@ impl AesDarth {
                 addresses[dst] = STAGING_VR as u64 * elements + src as u64;
             }
         }
-        tile.pipeline_mut(STATE_PIPE)?.write_vector(SHIFT_ADDR_VR, &addresses)?;
+        tile.pipeline_mut(STATE_PIPE)?
+            .write_vector(SHIFT_ADDR_VR, &addresses)?;
 
         Ok(AesDarth {
             tile,
@@ -224,7 +227,9 @@ impl AesDarth {
         // Load the plaintext into the state register (16 peripheral
         // writes: one row of data per cycle).
         let values: Vec<u64> = block.iter().map(|&b| u64::from(b)).collect();
-        self.tile.pipeline_mut(STATE_PIPE)?.write_vector(STATE_VR, &values)?;
+        self.tile
+            .pipeline_mut(STATE_PIPE)?
+            .write_vector(STATE_VR, &values)?;
         self.charge("DataMovement", Cycles::new(16));
 
         let rounds = self.golden.rounds();
@@ -342,8 +347,14 @@ pub fn digital_only_block_cycles(family: LogicFamily) -> u64 {
     // MixColumns as ~36 XOR macros over the GF(2) map + AddRoundKey (XOR).
     let depth = 64u64;
     let elements = 64u64;
-    let eload = MacroOp::ElementLoad.cost(family, depth, elements).latency().get();
-    let copy = MacroOp::CopyAcross.cost(family, depth, elements).latency().get();
+    let eload = MacroOp::ElementLoad
+        .cost(family, depth, elements)
+        .latency()
+        .get();
+    let copy = MacroOp::CopyAcross
+        .cost(family, depth, elements)
+        .latency()
+        .get();
     let xor_cost = MacroOp::Bool(BoolOp::Xor).cost(family, depth, elements);
     // The GF(2) MixColumns XOR network pipelines (bit-aligned deps).
     let xors = xor_cost.pipelined_batch(36).get();
@@ -370,8 +381,8 @@ mod tests {
         assert_eq!(
             ct,
             [
-                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
-                0x6a, 0x0b, 0x32
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+                0x0b, 0x32
             ]
         );
     }

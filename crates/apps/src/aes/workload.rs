@@ -155,7 +155,10 @@ mod tests {
         let aes256 = block_trace(AesVariant::Aes256);
         assert!(aes256.macs() > aes128.macs());
         // MixColumns runs rounds-1 times with 4 column MVMs each.
-        assert_eq!(aes128.kernel("MixColumns").map(|k| k.macs()), Some(9 * 4 * 32 * 32));
+        assert_eq!(
+            aes128.kernel("MixColumns").map(|k| k.macs()),
+            Some(9 * 4 * 32 * 32)
+        );
     }
 
     #[test]

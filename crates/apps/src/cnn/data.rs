@@ -46,8 +46,7 @@ impl Dataset {
                             + phase
                             + c as f64)
                             .sin()
-                            + (y as f64 * fy / size as f64 * std::f64::consts::TAU + phase)
-                                .cos())
+                            + (y as f64 * fy / size as f64 * std::f64::consts::TAU + phase).cos())
                             * 40.0;
                         v as i32
                     })
@@ -153,9 +152,7 @@ pub fn train_classifier(
             let logits: Vec<f64> = w
                 .iter()
                 .zip(&b)
-                .map(|(row, &bias)| {
-                    row.iter().zip(&xf).map(|(wi, xi)| wi * xi).sum::<f64>() + bias
-                })
+                .map(|(row, &bias)| row.iter().zip(&xf).map(|(wi, xi)| wi * xi).sum::<f64>() + bias)
                 .collect();
             let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
@@ -179,7 +176,10 @@ pub fn train_classifier(
         .iter()
         .map(|row| row.iter().map(|&v| (v * scale).round() as i32).collect())
         .collect();
-    let bq: Vec<i32> = b.iter().map(|&v| (v * scale * 128.0).round() as i32).collect();
+    let bq: Vec<i32> = b
+        .iter()
+        .map(|&v| (v * scale * 128.0).round() as i32)
+        .collect();
     net.set_classifier(wq, bq)?;
 
     evaluate(net, train, &AnalogNoise::none(), seed)

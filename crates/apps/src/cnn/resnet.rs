@@ -448,8 +448,12 @@ mod tests {
         let img = image(8, 3);
         let mut rng1 = NoiseRng::seed_from(0);
         let mut rng2 = NoiseRng::seed_from(0);
-        let a = net.logits(&img, &AnalogNoise::none(), &mut rng1).expect("runs");
-        let b = net.logits(&img, &AnalogNoise::none(), &mut rng2).expect("runs");
+        let a = net
+            .logits(&img, &AnalogNoise::none(), &mut rng1)
+            .expect("runs");
+        let b = net
+            .logits(&img, &AnalogNoise::none(), &mut rng2)
+            .expect("runs");
         assert_eq!(a, b);
         assert_eq!(a.len(), 10);
     }
@@ -502,7 +506,9 @@ mod tests {
         assert!(net
             .set_classifier(vec![vec![0; feat]; 10], vec![0; 10])
             .is_ok());
-        assert!(net.set_classifier(vec![vec![0; feat]; 9], vec![0; 9]).is_err());
+        assert!(net
+            .set_classifier(vec![vec![0; feat]; 9], vec![0; 9])
+            .is_err());
         assert!(net
             .set_classifier(vec![vec![0; feat + 1]; 10], vec![0; 10])
             .is_err());

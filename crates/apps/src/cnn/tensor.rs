@@ -318,10 +318,7 @@ pub fn im2col_row(
             for kx in 0..kernel {
                 let iy = (oy * stride + ky) as isize - pad as isize;
                 let ix = (ox * stride + kx) as isize - pad as isize;
-                if iy < 0
-                    || ix < 0
-                    || iy >= input.height() as isize
-                    || ix >= input.width() as isize
+                if iy < 0 || ix < 0 || iy >= input.height() as isize || ix >= input.width() as isize
                 {
                     row.push(0);
                 } else {
@@ -436,7 +433,7 @@ mod tests {
             3,
             2,
             3,
-            (0..3 * 2 * 3 * 3).map(|i| (i % 5) as i32 - 2).collect(),
+            (0..3 * 2 * 3 * 3).map(|i| (i % 5) - 2).collect(),
             vec![0, 1, -1],
         )
         .expect("valid");

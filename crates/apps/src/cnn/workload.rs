@@ -123,7 +123,9 @@ mod tests {
         let trace = inference_trace(&net).expect("builds");
         let stem = trace.kernel("c1-Conv1").expect("exists");
         match stem.ops[0] {
-            KernelOp::Mvm { rows, cols, batch, .. } => {
+            KernelOp::Mvm {
+                rows, cols, batch, ..
+            } => {
                 assert_eq!(rows, 27); // 3 channels x 3x3
                 assert_eq!(cols, 16);
                 assert_eq!(batch, 32 * 32);

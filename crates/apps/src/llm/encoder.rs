@@ -59,7 +59,7 @@ impl EncoderConfig {
         if self.d_model == 0 || self.heads == 0 || self.d_ff == 0 || self.seq_len == 0 {
             return Err(Error::Mapping("encoder dimensions must be nonzero".into()));
         }
-        if self.d_model % self.heads != 0 {
+        if !self.d_model.is_multiple_of(self.heads) {
             return Err(Error::Mapping(format!(
                 "heads {} must divide d_model {}",
                 self.heads, self.d_model
@@ -185,9 +185,7 @@ impl Encoder {
                 // scores over the sequence for this query position
                 let scores: Vec<i64> = (0..cfg.seq_len)
                     .map(|t| {
-                        let dot: i64 = (lo..lo + d_head)
-                            .map(|i| qmul(q[s][i], k[t][i]))
-                            .sum();
+                        let dot: i64 = (lo..lo + d_head).map(|i| qmul(q[s][i], k[t][i])).sum();
                         // scale by 1/sqrt(d_head)
                         dot / (d_head as f64).sqrt() as i64
                     })
@@ -274,7 +272,11 @@ mod tests {
         let out = enc.forward(&input(&cfg, 2)).expect("runs");
         for row in &out {
             let n = row.len() as f64;
-            let mean: f64 = row.iter().map(|&v| super::super::intops::from_q(v)).sum::<f64>() / n;
+            let mean: f64 = row
+                .iter()
+                .map(|&v| super::super::intops::from_q(v))
+                .sum::<f64>()
+                / n;
             assert!(mean.abs() < 0.05, "row mean {mean}");
         }
     }

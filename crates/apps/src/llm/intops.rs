@@ -56,8 +56,8 @@ pub fn int_sqrt(n: i64) -> i64 {
 pub fn int_exp(x: i64) -> i64 {
     let x = x.min(0);
     let z = (-x) / LN2_Q;
-    let r = x + z * LN2_Q; // in (-LN2_Q, 0]
-    // poly(r) = a(r+b)^2 + c in Q16.16
+    // r in (-LN2_Q, 0]; poly(r) = a(r+b)^2 + c in Q16.16
+    let r = x + z * LN2_Q;
     let a = to_q(0.3585);
     let b = to_q(1.353);
     let c = to_q(0.344);

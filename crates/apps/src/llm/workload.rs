@@ -24,92 +24,93 @@ pub fn encoder_trace(cfg: &EncoderConfig) -> Trace {
     let d_head = cfg.d_head() as u64;
     let layers = cfg.layers as u64;
 
-    let mut kernels = Vec::new();
-    // --- ACE side: the weight-static projections.
-    kernels.push(Kernel::new(
-        "QKV-Proj",
-        vec![KernelOp::Mvm {
-            rows: d,
-            cols: 3 * d,
-            input_bits: 8,
-            weight_bits: 8,
-            batch: seq * layers,
-        }],
-    ));
-    // --- DCE side: the attention mechanism (dynamic matrices).
-    kernels.push(Kernel::new(
-        "Attention",
-        vec![
-            // QK^T: seq x seq dots of length d_head per head
-            KernelOp::Vector {
-                kind: VectorKind::Mul,
-                elements: heads * seq * seq * d_head,
-                bits: 8,
-                count: layers,
-            },
-            // attn . V
-            KernelOp::Vector {
-                kind: VectorKind::Mul,
-                elements: heads * seq * seq * d_head,
-                bits: 8,
-                count: layers,
-            },
-        ],
-    ));
-    kernels.push(Kernel::new(
-        "Softmax",
-        vec![KernelOp::Vector {
-            kind: VectorKind::Mul,
-            elements: heads * seq * seq * SOFTMAX_OPS_PER_ELEM,
-            bits: 16,
-            count: layers,
-        }],
-    ));
-    kernels.push(Kernel::new(
-        "Out-Proj",
-        vec![KernelOp::Mvm {
-            rows: d,
-            cols: d,
-            input_bits: 8,
-            weight_bits: 8,
-            batch: seq * layers,
-        }],
-    ));
-    kernels.push(Kernel::new(
-        "LayerNorm",
-        vec![KernelOp::Vector {
-            kind: VectorKind::Mul,
-            elements: 2 * seq * d * LAYERNORM_OPS_PER_ELEM,
-            bits: 16,
-            count: layers,
-        }],
-    ));
-    // --- ACE side: the FFN (the paper's headline placement).
-    kernels.push(Kernel::new(
-        "FFN",
-        vec![
-            KernelOp::Mvm {
+    let kernels = vec![
+        // --- ACE side: the weight-static projections.
+        Kernel::new(
+            "QKV-Proj",
+            vec![KernelOp::Mvm {
                 rows: d,
-                cols: dff,
+                cols: 3 * d,
                 input_bits: 8,
                 weight_bits: 8,
                 batch: seq * layers,
-            },
-            KernelOp::Vector {
+            }],
+        ),
+        // --- DCE side: the attention mechanism (dynamic matrices).
+        Kernel::new(
+            "Attention",
+            vec![
+                // QK^T: seq x seq dots of length d_head per head
+                KernelOp::Vector {
+                    kind: VectorKind::Mul,
+                    elements: heads * seq * seq * d_head,
+                    bits: 8,
+                    count: layers,
+                },
+                // attn . V
+                KernelOp::Vector {
+                    kind: VectorKind::Mul,
+                    elements: heads * seq * seq * d_head,
+                    bits: 8,
+                    count: layers,
+                },
+            ],
+        ),
+        Kernel::new(
+            "Softmax",
+            vec![KernelOp::Vector {
                 kind: VectorKind::Mul,
-                elements: seq * dff * GELU_OPS_PER_ELEM,
+                elements: heads * seq * seq * SOFTMAX_OPS_PER_ELEM,
                 bits: 16,
                 count: layers,
-            },
-            KernelOp::Mvm {
-                rows: dff,
+            }],
+        ),
+        Kernel::new(
+            "Out-Proj",
+            vec![KernelOp::Mvm {
+                rows: d,
                 cols: d,
                 input_bits: 8,
                 weight_bits: 8,
                 batch: seq * layers,
-            },
-        ],
-    ));
+            }],
+        ),
+        Kernel::new(
+            "LayerNorm",
+            vec![KernelOp::Vector {
+                kind: VectorKind::Mul,
+                elements: 2 * seq * d * LAYERNORM_OPS_PER_ELEM,
+                bits: 16,
+                count: layers,
+            }],
+        ),
+        // --- ACE side: the FFN (the paper's headline placement).
+        Kernel::new(
+            "FFN",
+            vec![
+                KernelOp::Mvm {
+                    rows: d,
+                    cols: dff,
+                    input_bits: 8,
+                    weight_bits: 8,
+                    batch: seq * layers,
+                },
+                KernelOp::Vector {
+                    kind: VectorKind::Mul,
+                    elements: seq * dff * GELU_OPS_PER_ELEM,
+                    bits: 16,
+                    count: layers,
+                },
+                KernelOp::Mvm {
+                    rows: dff,
+                    cols: d,
+                    input_bits: 8,
+                    weight_bits: 8,
+                    batch: seq * layers,
+                },
+            ],
+        ),
+    ];
     Trace::new("llm-encoder", kernels)
         .with_pipelines_per_item(16)
         .with_parallel_items(1 << 20)

@@ -87,17 +87,15 @@ impl BaselineModel {
             .readout_cycles((self.array_dim * slices) as usize, None)
             .get();
         let per_input = bits * (1 + readout) + bits; // + shift-add pipeline
-        let cycles =
-            per_input + effective_batch.saturating_sub(1) * (bits * readout).max(1);
+        let cycles = per_input + effective_batch.saturating_sub(1) * (bits * readout).max(1);
         let time = cycles as f64 / self.accel_freq_hz;
         // Host crossings: inputs down, outputs back, plus one offload
         // round trip per kernel-level MVM call.
-        let bytes =
-            (rows * u64::from(input_bits.div_ceil(8)) + cols * 4) as f64 * batch as f64;
+        let bytes = (rows * u64::from(input_bits.div_ceil(8)) + cols * 4) as f64 * batch as f64;
         let link_time = bytes / self.link_bw + 2.0 * self.link_latency_s / self.offload_batch;
         // ADC energy dominates the accelerator side.
-        let conversions = (self.array_dim * slices * bits * row_tiles * col_tiles) as f64
-            * batch as f64;
+        let conversions =
+            (self.array_dim * slices * bits * row_tiles * col_tiles) as f64 * batch as f64;
         let adc_energy = match self.adc_kind {
             AdcKind::Sar => 1.5e-12 * conversions,
             AdcKind::Ramp => 1.2e-12 * 256.0 * (bits * row_tiles * col_tiles * batch) as f64,
@@ -160,7 +158,6 @@ impl BaselineModel {
 mod tests {
     use super::*;
     use darth_apps::aes::workload::{block_trace, AesVariant};
-    use darth_apps::cnn::{resnet::ResNet, workload::inference_trace};
 
     #[test]
     fn accelerator_beats_cpu_on_the_mvm_kernels() {

@@ -195,8 +195,8 @@ impl AppAccelModel {
                 } = *op
                 {
                     let slices = f64::from(weight_bits.div_ceil(2).max(1));
-                    peak_arrays = peak_arrays
-                        .max((rows.div_ceil(64) * cols.div_ceil(64)) as f64 * slices);
+                    peak_arrays =
+                        peak_arrays.max((rows.div_ceil(64) * cols.div_ceil(64)) as f64 * slices);
                 }
             }
             breakdown.push((kernel.name.clone(), t_k));

@@ -124,8 +124,7 @@ impl CpuModel {
                 let time = compute.max(memory);
                 (
                     time,
-                    self.package_watts / self.cores * time
-                        + self.dram_energy_per_byte * dram_bytes,
+                    self.package_watts / self.cores * time + self.dram_energy_per_byte * dram_bytes,
                 )
             }
             KernelOp::TableLookup { elements, .. } => {
@@ -232,7 +231,9 @@ mod tests {
     #[test]
     fn memory_bound_ops_hit_bandwidth() {
         let cpu = CpuModel::i7_13700();
-        let (t, _) = cpu.price_op(&KernelOp::HostMove { bytes: 70_000_000_000 });
+        let (t, _) = cpu.price_op(&KernelOp::HostMove {
+            bytes: 70_000_000_000,
+        });
         assert!((t - 1.0).abs() < 0.05, "70 GB at 70 GB/s should be ~1 s");
     }
 }

@@ -70,13 +70,10 @@ impl DigitalPumModel {
                 let add = MacroOp::Add.cost(self.family, self.depth, self.elements);
                 let col_groups = cols.div_ceil(self.elements);
                 let macro_count = rows * col_groups * batch;
-                let cycles = mul.pipelined_batch(macro_count).get()
-                    + add.pipelined_batch(macro_count).get();
+                let cycles =
+                    mul.pipelined_batch(macro_count).get() + add.pipelined_batch(macro_count).get();
                 let prims = (mul.primitives + add.primitives) * macro_count;
-                (
-                    cycles as f64 / CLOCK_HZ,
-                    prims as f64 * energy_per_prim,
-                )
+                (cycles as f64 / CLOCK_HZ, prims as f64 * energy_per_prim)
             }
             KernelOp::Vector {
                 kind,
@@ -132,8 +129,8 @@ impl DigitalPumModel {
         let mut breakdown = Vec::new();
         // an item's work spreads across the pipelines it occupies, up to
         // the thermal active limit
-        let spread = (trace.pipelines_per_item.max(1) as f64)
-            .min(self.active_pipelines_per_cluster as f64);
+        let spread =
+            (trace.pipelines_per_item.max(1) as f64).min(self.active_pipelines_per_cluster as f64);
         for kernel in &trace.kernels {
             let (t, e) = kernel
                 .ops
@@ -171,10 +168,7 @@ mod tests {
     fn cluster_count_is_iso_area() {
         let model = DigitalPumModel::paper(LogicFamily::Oscar);
         let clusters = model.cluster_count();
-        assert!(
-            (1500..4000).contains(&clusters),
-            "cluster count {clusters}"
-        );
+        assert!((1500..4000).contains(&clusters), "cluster count {clusters}");
     }
 
     #[test]

@@ -119,8 +119,7 @@ impl NaiveHybridConfig {
         };
         let pipelines = self.digital_arrays as f64 / ARRAYS_PER_PIPELINE;
         if self.analog_arrays == 0 {
-            let work =
-                DIGITAL_WORK_OSCAR * digital_factor + MIX_DIGITAL_WORK_OSCAR * mix_factor;
+            let work = DIGITAL_WORK_OSCAR * digital_factor + MIX_DIGITAL_WORK_OSCAR * mix_factor;
             return pipelines * FREQ / work;
         }
         let digital_rate = pipelines * FREQ / (DIGITAL_WORK_OSCAR * digital_factor);

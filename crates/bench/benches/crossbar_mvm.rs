@@ -15,14 +15,19 @@ fn bench_mvm(c: &mut Criterion) {
     xbar.program(&matrix, &mut rng).expect("programs");
     let input: Vec<bool> = (0..64).map(|i| i % 3 != 0).collect();
     c.bench_function("crossbar_mvm_64x64_noisy", |b| {
-        b.iter(|| black_box(xbar.mvm_currents(black_box(&input), &mut rng).expect("runs")))
+        b.iter(|| {
+            black_box(
+                xbar.mvm_currents(black_box(&input), &mut rng)
+                    .expect("runs"),
+            )
+        })
     });
     c.bench_function("crossbar_mvm_64x64_exact", |b| {
         b.iter(|| black_box(xbar.mvm_exact(black_box(&input)).expect("runs")))
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_mvm

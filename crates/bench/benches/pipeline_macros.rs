@@ -37,7 +37,7 @@ fn bench_macros(c: &mut Criterion) {
     let _ = black_box(&p);
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_macros

@@ -26,6 +26,8 @@ fn main() {
         &["DigitalPUM", "DARTH-PUM", "AppAccel"],
         &rows,
     );
-    println!("\nPaper reference (DARTH-PUM column): AES 59.4, ResNet-20 14.8, LLMEnc 40.8, GeoMean 31.4");
+    println!(
+        "\nPaper reference (DARTH-PUM column): AES 59.4, ResNet-20 14.8, LLMEnc 40.8, GeoMean 31.4"
+    );
     println!("Paper reference (AppAccel): AES-NI = DARTH/36.9, ResNet within 26.2% above DARTH, LLM above DARTH");
 }

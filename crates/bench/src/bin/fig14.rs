@@ -23,7 +23,13 @@ fn main() {
         print!("{arch:>14}");
     }
     println!();
-    let kernels = ["DataMovement", "SubBytes", "ShiftRows", "MixColumns", "AddRoundKey"];
+    let kernels = [
+        "DataMovement",
+        "SubBytes",
+        "ShiftRows",
+        "MixColumns",
+        "AddRoundKey",
+    ];
     for kernel in kernels {
         print!("{kernel:<14}");
         for report in [&baseline, &digital, &darth] {
@@ -45,7 +51,20 @@ fn main() {
     println!("\nPaper reference: DARTH-PUM single-encryption latency improves 53.7% over");
     println!("Baseline; MixColumns on DARTH-PUM is 11.5x faster than on DigitalPUM;");
     println!("DigitalPUM total is several times Baseline (MixColumns-dominated).");
-    let mix_digital = digital.kernel_latency_s.iter().find(|(n, _)| n == "MixColumns").map(|(_, t)| *t).unwrap_or(0.0);
-    let mix_darth = darth.kernel_latency_s.iter().find(|(n, _)| n == "MixColumns").map(|(_, t)| *t).unwrap_or(1.0);
-    println!("Measured MixColumns DigitalPUM/DARTH-PUM ratio: {:.1}x", mix_digital / mix_darth);
+    let mix_digital = digital
+        .kernel_latency_s
+        .iter()
+        .find(|(n, _)| n == "MixColumns")
+        .map(|(_, t)| *t)
+        .unwrap_or(0.0);
+    let mix_darth = darth
+        .kernel_latency_s
+        .iter()
+        .find(|(n, _)| n == "MixColumns")
+        .map(|(_, t)| *t)
+        .unwrap_or(1.0);
+    println!(
+        "Measured MixColumns DigitalPUM/DARTH-PUM ratio: {:.1}x",
+        mix_digital / mix_darth
+    );
 }

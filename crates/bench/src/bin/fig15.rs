@@ -21,9 +21,8 @@ fn main() {
 
     // Per-layer *throughput* ratio: each architecture's chip-level item
     // parallelism (throughput x latency) applies uniformly to its layers.
-    let parallelism = |report: &darth_pum::trace::CostReport| {
-        report.throughput_items_per_s * report.latency_s
-    };
+    let parallelism =
+        |report: &darth_pum::trace::CostReport| report.throughput_items_per_s * report.latency_s;
     let lookup = |report: &darth_pum::trace::CostReport, name: &str| {
         report
             .kernel_latency_s
@@ -50,7 +49,10 @@ fn main() {
     let movement_share = movement / layer_count.max(1.0);
 
     println!("\n=== Figure 15: per-layer ResNet-20 speedup over Baseline ===");
-    println!("{:<16}{:>12}{:>12}{:>12}", "layer", "DigitalPUM", "DARTH-PUM", "AppAccel");
+    println!(
+        "{:<16}{:>12}{:>12}{:>12}",
+        "layer", "DigitalPUM", "DARTH-PUM", "AppAccel"
+    );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
     for (kernel_name, _) in &baseline.kernel_latency_s {
         if kernel_name == "DataMovement" {

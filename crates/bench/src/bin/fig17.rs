@@ -39,8 +39,14 @@ fn main() {
         &eng_rows,
     );
     // AES early-termination: the one case where ramp wins (§7.3)
-    let aes_sar = sar.iter().find(|r| r.workload == Workload::Aes).expect("aes");
-    let aes_ramp = ramp.iter().find(|r| r.workload == Workload::Aes).expect("aes");
+    let aes_sar = sar
+        .iter()
+        .find(|r| r.workload == Workload::Aes)
+        .expect("aes");
+    let aes_ramp = ramp
+        .iter()
+        .find(|r| r.workload == Workload::Aes)
+        .expect("aes");
     println!(
         "\nAES DARTH ramp/SAR throughput ratio: {:.2} (paper: ramp wins AES via 256->4-cycle early termination)",
         aes_ramp.darth.throughput_items_per_s / aes_sar.darth.throughput_items_per_s

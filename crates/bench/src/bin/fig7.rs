@@ -9,7 +9,10 @@ fn main() {
     let sweep = NaiveHybridConfig::figure7_sweep();
     let d_oscar = sweep[0].aes_throughput(LogicFamily::Oscar);
     println!("\n=== Figure 7: naive hybrid AES-128 throughput (normalised to D/OSCAR) ===");
-    println!("{:<8}{:>10}{:>10}{:>12}", "config", "OSCAR", "Ideal", "D/A arrays");
+    println!(
+        "{:<8}{:>10}{:>10}{:>12}",
+        "config", "OSCAR", "Ideal", "D/A arrays"
+    );
     for config in &sweep {
         let oscar = config.aes_throughput(LogicFamily::Oscar) / d_oscar;
         let ideal = config.aes_throughput(LogicFamily::Ideal) / d_oscar;

@@ -14,7 +14,10 @@ fn main() {
     let noisy = evaluate(&net, &test, &AnalogNoise::evaluation(), 13).expect("evaluates");
     let raw = evaluate(&net, &test, &AnalogNoise::uncompensated(), 13).expect("evaluates");
     println!("\n=== Section 7.5: accuracy under analog noise ===");
-    println!("train accuracy (digital):           {:.1}%", train_acc * 100.0);
+    println!(
+        "train accuracy (digital):           {:.1}%",
+        train_acc * 100.0
+    );
     println!("test accuracy, digital-exact:       {:.1}%", clean * 100.0);
     println!("test accuracy, compensated analog:  {:.1}%", noisy * 100.0);
     println!("test accuracy, uncompensated:       {:.1}%", raw * 100.0);

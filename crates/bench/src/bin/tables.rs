@@ -17,7 +17,11 @@ fn main() {
 
     println!("\n=== Table 3: area (um^2) and power (mW) ===");
     println!("{:<26}{:>12}", "DCE ReRAM array", area::DCE_ARRAY);
-    println!("{:<26}{:>12}", "Pipeline control", area::DCE_PIPELINE_CONTROL);
+    println!(
+        "{:<26}{:>12}",
+        "Pipeline control",
+        area::DCE_PIPELINE_CONTROL
+    );
     println!("{:<26}{:>12}", "IO ctrl", area::DCE_IO_CTRL);
     println!("{:<26}{:>12}", "Decode & drive", area::DCE_DECODE_DRIVE);
     println!("{:<26}{:>12}", "Pipeline select", area::DCE_PIPELINE_SELECT);
@@ -29,7 +33,11 @@ fn main() {
     println!("{:<26}{:>12}", "Shift unit", area::SHIFT_UNIT);
     println!("{:<26}{:>12}", "A/D arbiter", area::AD_ARBITER);
     println!("{:<26}{:>12}", "Transpose unit", area::TRANSPOSE_UNIT);
-    println!("{:<26}{:>12}", "Instr. injection unit", area::INSTR_INJECTION_UNIT);
+    println!(
+        "{:<26}{:>12}",
+        "Instr. injection unit",
+        area::INSTR_INJECTION_UNIT
+    );
     println!("{:<26}{:>12}", "Front end (8 HCTs)", area::FRONT_END);
     println!();
     println!("{:<26}{:>12}", "Array (bool ops) mW", power::ARRAY_BOOL_OPS);

@@ -197,8 +197,16 @@ mod tests {
         for reports in all_reports(AdcKind::Sar) {
             let (_, speedup, _) = reports.fig13_row();
             let (_, savings, _) = reports.fig16_row();
-            assert!(speedup > 1.0, "{}: speedup {speedup}", reports.workload.label());
-            assert!(savings > 1.0, "{}: savings {savings}", reports.workload.label());
+            assert!(
+                speedup > 1.0,
+                "{}: speedup {speedup}",
+                reports.workload.label()
+            );
+            assert!(
+                savings > 1.0,
+                "{}: savings {savings}",
+                reports.workload.label()
+            );
         }
     }
 }

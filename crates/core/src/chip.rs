@@ -14,8 +14,8 @@ use crate::hct::{HctConfig, HybridComputeTile};
 use crate::params::ChipParams;
 use crate::{Error, Result};
 use darth_digital::BoolOp;
-use darth_isa::instruction::{Instruction, IsaBoolOp, Program};
 use darth_isa::iiu::ReductionRegs;
+use darth_isa::instruction::{Instruction, IsaBoolOp, Program};
 use darth_isa::VaCoreId;
 use darth_reram::{Cycles, EnergyMeter};
 use serde::{Deserialize, Serialize};
@@ -156,7 +156,13 @@ impl DarthPumChip {
     fn execute_one(&mut self, inst: &Instruction, data: &SideChannel) -> Result<()> {
         match *inst {
             Instruction::Nop | Instruction::FenceAd | Instruction::Halt => Ok(()),
-            Instruction::Bool { op, pipe, dst, a, b } => {
+            Instruction::Bool {
+                op,
+                pipe,
+                dst,
+                a,
+                b,
+            } => {
                 self.require_digital()?;
                 let bool_op = match op {
                     IsaBoolOp::Nor => BoolOp::Nor,
@@ -166,9 +172,12 @@ impl DarthPumChip {
                     IsaBoolOp::Xor => BoolOp::Xor,
                     IsaBoolOp::Xnor => BoolOp::Xnor,
                 };
-                self.tile
-                    .pipeline_mut(pipe.0 as usize)?
-                    .bool_op(bool_op, dst.0 as usize, a.0 as usize, b.0 as usize)?;
+                self.tile.pipeline_mut(pipe.0 as usize)?.bool_op(
+                    bool_op,
+                    dst.0 as usize,
+                    a.0 as usize,
+                    b.0 as usize,
+                )?;
                 Ok(())
             }
             Instruction::Not { pipe, dst, a } => {
@@ -180,16 +189,20 @@ impl DarthPumChip {
             }
             Instruction::Add { pipe, dst, a, b } => {
                 self.require_digital()?;
-                self.tile
-                    .pipeline_mut(pipe.0 as usize)?
-                    .add(dst.0 as usize, a.0 as usize, b.0 as usize)?;
+                self.tile.pipeline_mut(pipe.0 as usize)?.add(
+                    dst.0 as usize,
+                    a.0 as usize,
+                    b.0 as usize,
+                )?;
                 Ok(())
             }
             Instruction::Sub { pipe, dst, a, b } => {
                 self.require_digital()?;
-                self.tile
-                    .pipeline_mut(pipe.0 as usize)?
-                    .sub(dst.0 as usize, a.0 as usize, b.0 as usize)?;
+                self.tile.pipeline_mut(pipe.0 as usize)?.sub(
+                    dst.0 as usize,
+                    a.0 as usize,
+                    b.0 as usize,
+                )?;
                 Ok(())
             }
             Instruction::Mul {

@@ -344,10 +344,7 @@ impl HybridComputeTile {
             padded[r][..cols].copy_from_slice(row);
         }
         let core = self.vacores.get(id)?.clone();
-        let slices = core
-            .slicer()
-            .slice(&padded)
-            .map_err(Error::Analog)?;
+        let slices = core.slicer().slice(&padded).map_err(Error::Analog)?;
         let mut total = Cycles::ZERO;
         for (slice, &array) in slices.iter().zip(&core.arrays) {
             total += self.ace.program_matrix(array, slice)?;
@@ -380,10 +377,7 @@ impl HybridComputeTile {
         let mut padded_row = vec![0i64; dim];
         padded_row[..values.len()].copy_from_slice(values);
         let row_matrix = vec![padded_row];
-        let slices = core
-            .slicer()
-            .slice(&row_matrix)
-            .map_err(Error::Analog)?;
+        let slices = core.slicer().slice(&row_matrix).map_err(Error::Analog)?;
         let mut total = Cycles::ZERO;
         for (slice, &array) in slices.iter().zip(&core.arrays) {
             total += self.ace.update_row(array, row, &slice[0])?;
@@ -437,8 +431,7 @@ impl HybridComputeTile {
         early_levels: Option<u16>,
     ) -> Result<MvmReport> {
         let dim = self.config.params.array_dim;
-        let driver =
-            InputDriver::new(core.input_bits, core.input_signed).map_err(Error::Analog)?;
+        let driver = InputDriver::new(core.input_bits, core.input_signed).map_err(Error::Analog)?;
         let mut padded_input = vec![0i64; dim];
         padded_input[..input.len()].copy_from_slice(input);
 
@@ -490,9 +483,7 @@ impl HybridComputeTile {
                 let field = (v as u64) & field_mask;
                 pipe.write_value(regs.parts[t].0 as usize, e, field)?;
             }
-            transfer_total += self
-                .shift_unit
-                .transfer_cycles(core.cols as u64, 8)
+            transfer_total += self.shift_unit.transfer_cycles(core.cols as u64, 8)
                 + self.transpose.vector_retime_cycles();
         }
 
@@ -515,9 +506,7 @@ impl HybridComputeTile {
         let family = self.config.family;
         let pipe_depth = self.config.params.dce_pipeline_depth as u64;
         let elements = core.cols as u64;
-        let per_bit_ace = Cycles::new(
-            out.cycles.get() / u64::from(core.input_bits).max(1),
-        );
+        let per_bit_ace = Cycles::new(out.cycles.get() / u64::from(core.input_bits).max(1));
         let per_bit_transfer =
             Cycles::new(transfer_total.get() / u64::from(core.input_bits).max(1));
         let add_cost = MacroOp::Add.cost(family, pipe_depth, elements);
@@ -531,7 +520,11 @@ impl HybridComputeTile {
                         * (u64::from(core.input_bits).saturating_sub(1)),
                 )
                 + per_bit_transfer;
-            (out.cycles, overlapped - out.cycles.min(overlapped), add_cost.pipelined_batch(arith))
+            (
+                out.cycles,
+                overlapped - out.cycles.min(overlapped),
+                add_cost.pipelined_batch(arith),
+            )
         } else {
             // Figure 10a: write, shift, add fully serialize per term.
             let shifts = program.shift_steps() as u64;
@@ -585,11 +578,7 @@ impl HybridComputeTile {
         // Reconstruct from the programmed slices for full fidelity.
         let mut out = vec![0i64; core.cols];
         for (s, &array) in core.arrays.iter().enumerate() {
-            let weights = self
-                .ace
-                .crossbar(array)
-                .map_err(Error::Analog)?
-                .weights();
+            let weights = self.ace.crossbar(array).map_err(Error::Analog)?.weights();
             let shift = core.plan().weight_shift(s);
             for (r, &x) in input.iter().enumerate() {
                 if x == 0 {
@@ -630,12 +619,13 @@ mod tests {
         t.set_matrix(id, &matrix).expect("programs");
         let input = vec![2, 7, 1];
         let regs = ReductionRegs::dense(t.vacores().get(id).expect("exists").term_count());
-        let report = t
-            .exec_mvm(id, &input, 0, &regs, None)
-            .expect("executes");
+        let report = t.exec_mvm(id, &input, 0, &regs, None).expect("executes");
         let oracle = t.mvm_oracle(id, &input).expect("oracle");
         assert_eq!(report.result, oracle);
-        assert_eq!(report.result, vec![2 * 5 + 7 * 8 + 3, 2 * 9 + 7 * 7, 2 + 14 + 15]);
+        assert_eq!(
+            report.result,
+            vec![2 * 5 + 7 * 8 + 3, 2 * 9 + 7 * 7, 2 + 14 + 15]
+        );
         assert!(report.cycles > Cycles::ZERO);
         assert!(report.energy > PicoJoules::ZERO);
     }
@@ -647,11 +637,8 @@ mod tests {
         let matrix = vec![vec![-5, 9], vec![8, -7]];
         t.set_matrix(id, &matrix).expect("programs");
         for input in [vec![-8i64, 7], vec![3, -4], vec![-1, -1]] {
-            let regs =
-                ReductionRegs::dense(t.vacores().get(id).expect("exists").term_count());
-            let report = t
-                .exec_mvm(id, &input, 1, &regs, None)
-                .expect("executes");
+            let regs = ReductionRegs::dense(t.vacores().get(id).expect("exists").term_count());
+            let report = t.exec_mvm(id, &input, 1, &regs, None).expect("executes");
             let expected: Vec<i64> = (0..2)
                 .map(|c| (0..2).map(|r| input[r] * matrix[r][c]).sum())
                 .collect();
@@ -665,7 +652,8 @@ mod tests {
         // elements — result [66, 67].
         let mut t = tile();
         let id = t.alloc_vacore(4, 4, 3, false).expect("allocates");
-        t.set_matrix(id, &[vec![5, 9], vec![8, 7]]).expect("programs");
+        t.set_matrix(id, &[vec![5, 9], vec![8, 7]])
+            .expect("programs");
         let regs = ReductionRegs::dense(3);
         let report = t.exec_mvm(id, &[2, 7], 0, &regs, None).expect("executes");
         assert_eq!(report.result, vec![66, 67]);
@@ -678,13 +666,14 @@ mod tests {
             config.optimized_schedule = optimized;
             let mut t = HybridComputeTile::new(config).expect("valid");
             let id = t.alloc_vacore(8, 2, 8, false).expect("allocates");
-            let matrix: Vec<Vec<i64>> =
-                (0..8).map(|r| (0..8).map(|c| ((r * c) % 16) as i64).collect()).collect();
+            let matrix: Vec<Vec<i64>> = (0..8)
+                .map(|r| (0..8).map(|c| ((r * c) % 16) as i64).collect())
+                .collect();
             t.set_matrix(id, &matrix).expect("programs");
             let regs = ReductionRegs::dense(32); // 4 slices x 8 bits
             let input: Vec<i64> = (0..8).map(|i| (i * 31) % 256).collect();
-            let report = t.exec_mvm(id, &input, 0, &regs, None).expect("executes");
-            report
+
+            t.exec_mvm(id, &input, 0, &regs, None).expect("executes")
         };
         let opt = run(true);
         let unopt = run(false);
@@ -706,7 +695,8 @@ mod tests {
             t.exec_mvm(id, &[1], 0, &regs, None),
             Err(Error::VaCore(_))
         ));
-        t.set_matrix(id, &[vec![1, 2], vec![3, 4]]).expect("programs");
+        t.set_matrix(id, &[vec![1, 2], vec![3, 4]])
+            .expect("programs");
         assert!(matches!(
             t.exec_mvm(id, &[1], 0, &regs, None),
             Err(Error::Shape(_))
@@ -728,7 +718,8 @@ mod tests {
     fn update_row_changes_results() {
         let mut t = tile();
         let id = t.alloc_vacore(4, 2, 2, false).expect("allocates");
-        t.set_matrix(id, &[vec![1, 1], vec![1, 1]]).expect("programs");
+        t.set_matrix(id, &[vec![1, 1], vec![1, 1]])
+            .expect("programs");
         t.update_row(id, 0, &[3, -3]).expect("updates");
         let regs = ReductionRegs::dense(4);
         let report = t.exec_mvm(id, &[1, 1], 0, &regs, None).expect("executes");
@@ -741,7 +732,8 @@ mod tests {
         config.use_iiu = false;
         let mut t = HybridComputeTile::new(config).expect("valid");
         let id = t.alloc_vacore(4, 2, 3, false).expect("allocates");
-        t.set_matrix(id, &[vec![1, 2], vec![3, 4]]).expect("programs");
+        t.set_matrix(id, &[vec![1, 2], vec![3, 4]])
+            .expect("programs");
         let regs = ReductionRegs::dense(6);
         t.exec_mvm(id, &[1, 2], 0, &regs, None).expect("executes");
         assert!(t.front_end_ops() > 0);
@@ -752,7 +744,8 @@ mod tests {
     fn energy_meter_has_both_domains() {
         let mut t = tile();
         let id = t.alloc_vacore(4, 2, 3, false).expect("allocates");
-        t.set_matrix(id, &[vec![5, 9], vec![8, 7]]).expect("programs");
+        t.set_matrix(id, &[vec![5, 9], vec![8, 7]])
+            .expect("programs");
         let regs = ReductionRegs::dense(6);
         t.exec_mvm(id, &[2, 7], 0, &regs, None).expect("executes");
         let meter = t.energy_meter();

@@ -130,8 +130,8 @@ impl DarthModel {
                 // tiles; row tiles' analog phases share the input buffers
                 // and run concurrently too (their merges are in `reduce`).
                 let per_input = analog_phase + reduce + issue_penalty;
-                let pipelined = per_input
-                    + (batch.saturating_sub(1)) * per_input.max(analog_phase.max(reduce));
+                let pipelined =
+                    per_input + (batch.saturating_sub(1)) * per_input.max(analog_phase.max(reduce));
 
                 // Energy.
                 let conversions = (bitlines as u64) * bits * row_tiles * col_tiles * batch;
@@ -178,8 +178,9 @@ impl DarthModel {
                 } else {
                     cost.pipelined_batch(instances).get()
                 };
-                let energy =
-                    cost.primitives as f64 * instances as f64 * self.family.energy_per_primitive_pj();
+                let energy = cost.primitives as f64
+                    * instances as f64
+                    * self.family.energy_per_primitive_pj();
                 (latency as f64, energy, 0.0, 0.0)
             }
             KernelOp::TableLookup { elements, .. } => {
@@ -193,12 +194,21 @@ impl DarthModel {
             KernelOp::HostMove { bytes } | KernelOp::OnChipMove { bytes } => {
                 // On DARTH-PUM all movement stays on chip at 8 B/cycle.
                 let cycles = bytes.div_ceil(crate::params::ACE_DCE_BYTES_PER_CYCLE);
-                (cycles as f64, power::PIPELINE_CTRL * cycles as f64, 0.0, 0.0)
+                (
+                    cycles as f64,
+                    power::PIPELINE_CTRL * cycles as f64,
+                    0.0,
+                    0.0,
+                )
             }
             KernelOp::WeightUpdate {
                 rows, weight_bits, ..
             } => {
-                let bpc = if weight_bits <= 1 { 1 } else { self.bits_per_cell };
+                let bpc = if weight_bits <= 1 {
+                    1
+                } else {
+                    self.bits_per_cell
+                };
                 let slices = u64::from(weight_bits.div_ceil(bpc));
                 let cycles = rows * PROGRAM_CYCLES_PER_ROW * slices;
                 (
@@ -229,10 +239,7 @@ impl DarthModel {
             let mut a: f64 = 0.0;
             for op in &kernel.ops {
                 let (ol, oe, oa, oace) = self.price_op(op);
-                let ol = if matches!(
-                    op,
-                    KernelOp::Vector { .. } | KernelOp::TableLookup { .. }
-                ) {
+                let ol = if matches!(op, KernelOp::Vector { .. } | KernelOp::TableLookup { .. }) {
                     ol / spread
                 } else {
                     ol
@@ -248,8 +255,7 @@ impl DarthModel {
             max_arrays = max_arrays.max(a);
         }
         // Front-end share: one front end per 8 HCTs, amortised per item.
-        item_energy_pj +=
-            power::FRONT_END * item_cycles / HCTS_PER_FRONT_END as f64;
+        item_energy_pj += power::FRONT_END * item_cycles / HCTS_PER_FRONT_END as f64;
 
         // Placement: arrays bound the analog footprint; DCE pipelines
         // bound digital batching.
@@ -275,10 +281,7 @@ impl DarthModel {
             f64::INFINITY
         };
         CostReport {
-            architecture: format!(
-                "DARTH-PUM ({:?} ADC)",
-                self.chip.hct.adc_kind
-            ),
+            architecture: format!("DARTH-PUM ({:?} ADC)", self.chip.hct.adc_kind),
             workload: trace.name.clone(),
             latency_s,
             throughput_items_per_s: pipeline_bound.min(ace_bound),

@@ -143,8 +143,7 @@ impl HctParams {
     /// Auxiliary-unit area (shift units, arbiter, transpose, IIU).
     pub fn auxiliary_area(&self) -> SquareMicrons {
         SquareMicrons::new(
-            area::SHIFT_UNIT + area::AD_ARBITER + area::TRANSPOSE_UNIT
-                + area::INSTR_INJECTION_UNIT,
+            area::SHIFT_UNIT + area::AD_ARBITER + area::TRANSPOSE_UNIT + area::INSTR_INJECTION_UNIT,
         )
     }
 
@@ -160,8 +159,7 @@ impl HctParams {
     /// per device).
     pub fn capacity_bytes(&self) -> u64 {
         let dce_bits =
-            (self.dce_pipelines * self.dce_pipeline_depth * self.array_dim * self.array_dim)
-                as u64;
+            (self.dce_pipelines * self.dce_pipeline_depth * self.array_dim * self.array_dim) as u64;
         let ace_bits = (self.ace_arrays * self.array_dim * self.array_dim) as u64;
         (dce_bits + ace_bits) / 8
     }

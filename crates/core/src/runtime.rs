@@ -169,8 +169,8 @@ impl Runtime {
         if matrix.iter().any(|r| r.len() != cols) {
             return Err(Error::Shape("ragged matrix".into()));
         }
-        let bits_per_cell = RuntimeConfig::precision_to_bits_per_cell(precision)
-            .min(element_size.max(1));
+        let bits_per_cell =
+            RuntimeConfig::precision_to_bits_per_cell(precision).min(element_size.max(1));
         let dim = self.config.hct.params.array_dim;
         let row_tiles = rows.div_ceil(dim);
         let col_tiles = cols.div_ceil(dim);
@@ -273,12 +273,7 @@ impl Runtime {
     }
 
     /// Fallback MVM on the digital side (disableAnalogMode semantics).
-    fn digital_mvm(
-        &mut self,
-        tile_idx: usize,
-        id: VaCoreId,
-        input: &[i64],
-    ) -> Result<MvmReport> {
+    fn digital_mvm(&mut self, tile_idx: usize, id: VaCoreId, input: &[i64]) -> Result<MvmReport> {
         let tile = &mut self.tiles[tile_idx];
         let result = tile.mvm_oracle(id, input)?;
         // Cost: one 8-bit multiply + add per matrix row per column on the
@@ -287,8 +282,8 @@ impl Runtime {
         let family = tile.config().family;
         let depth = tile.config().params.dce_pipeline_depth as u64;
         let elements = core.cols as u64;
-        let mul = darth_digital::macros::MacroOp::Mul(core.element_bits)
-            .cost(family, depth, elements);
+        let mul =
+            darth_digital::macros::MacroOp::Mul(core.element_bits).cost(family, depth, elements);
         let cycles = mul.pipelined_batch(core.rows as u64)
             + darth_digital::macros::MacroOp::Add
                 .cost(family, depth, elements)
@@ -329,8 +324,7 @@ impl Runtime {
             let (tile_idx, id) = alloc.cores[rt][ct];
             let c0 = ct * dim;
             let width = (c0 + dim).min(alloc.cols) - c0;
-            let cycles =
-                self.tiles[tile_idx].update_row(id, local_row, &values[c0..c0 + width])?;
+            let cycles = self.tiles[tile_idx].update_row(id, local_row, &values[c0..c0 + width])?;
             self.stats.program_cycles += cycles;
         }
         Ok(())
@@ -353,9 +347,9 @@ impl Runtime {
         }
         // Column updates decompose into per-row updates of the stored
         // weights (write–verify reprograms whole wordlines).
-        for row in 0..alloc.rows {
+        for (row, &value) in values.iter().enumerate() {
             let mut stored = self.read_row(handle, row)?;
-            stored[col] = values[row];
+            stored[col] = value;
             self.update_row(handle, row, &stored)?;
         }
         Ok(())
@@ -387,11 +381,7 @@ impl Runtime {
             let width = (c0 + dim).min(alloc.cols) - c0;
             for (s, &array) in core.arrays.iter().enumerate() {
                 let shift = core.plan().weight_shift(s);
-                let weights = tile
-                    .ace()
-                    .crossbar(array)
-                    .map_err(Error::Analog)?
-                    .weights();
+                let weights = tile.ace().crossbar(array).map_err(Error::Analog)?.weights();
                 for c in 0..width {
                     out[c0 + c] += weights[local_row][c] << shift;
                 }
@@ -486,7 +476,9 @@ mod tests {
     #[test]
     fn wrong_input_length_is_rejected() {
         let mut rt = runtime();
-        let h = rt.set_matrix(&[vec![1, 2], vec![3, 4]], 4, 1).expect("stores");
+        let h = rt
+            .set_matrix(&[vec![1, 2], vec![3, 4]], 4, 1)
+            .expect("stores");
         assert!(matches!(rt.exec_mvm(h, &[1]), Err(Error::Shape(_))));
     }
 

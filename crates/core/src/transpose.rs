@@ -34,10 +34,9 @@ impl TransposeUnit {
         self.transposes += 1;
         let rows = matrix.len();
         let cols = matrix.first().map_or(0, Vec::len);
-        let mut out: Vec<Vec<T>> = Vec::with_capacity(cols);
-        for c in 0..cols {
-            out.push((0..rows).map(|r| matrix[r][c]).collect());
-        }
+        let out: Vec<Vec<T>> = (0..cols)
+            .map(|c| (0..rows).map(|r| matrix[r][c]).collect())
+            .collect();
         (out, Cycles::new((rows * cols) as u64))
     }
 

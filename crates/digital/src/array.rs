@@ -240,10 +240,11 @@ mod tests {
                     .exec_gate(family, op, 0, 1, 2, &scratch)
                     .expect("executes");
                 assert_eq!(prims, family.primitives_for(op), "{family} {op}");
-                let expected: Vec<bool> = [(false, false), (false, true), (true, false), (true, true)]
-                    .iter()
-                    .map(|&(a, b)| op.eval(a, b))
-                    .collect();
+                let expected: Vec<bool> =
+                    [(false, false), (false, true), (true, false), (true, true)]
+                        .iter()
+                        .map(|&(a, b)| op.eval(a, b))
+                        .collect();
                 assert_eq!(arr.col(2).expect("in range"), expected, "{family} {op}");
             }
         }

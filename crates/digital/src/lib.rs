@@ -15,7 +15,7 @@
 //!   primitives with output-preset semantics) and
 //!   [`logic::LogicFamily::Ideal`] (any two-input Boolean op in one cycle;
 //!   the Figure 7 ablation).
-//! * [`array`] — a digital PUM array: column-parallel gate execution over a
+//! * [`mod@array`] — a digital PUM array: column-parallel gate execution over a
 //!   [`darth_reram::ReramArray`] in SLC mode.
 //! * [`pipeline`] — a RACER pipeline: `depth` arrays, bit-striped vector
 //!   registers, inter-array carry movement, element-wise load/store, and

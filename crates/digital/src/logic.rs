@@ -66,13 +66,14 @@ impl fmt::Display for BoolOp {
 }
 
 /// The set of primitives an array can execute natively, with their costs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum LogicFamily {
     /// OSCAR (Truong et al., JETCAS'22): NOR and OR primitives in ReRAM.
     ///
     /// Executing a primitive takes two cycles: one to preset the output
     /// devices to '1' and one to apply the `V_NOR` / `V_NOR+Δ` pulse that
     /// conditionally switches them (Figure 4 of the paper).
+    #[default]
     Oscar,
     /// The Figure 7 ablation: any two-input Boolean operator in one cycle
     /// with no preset, as an upper bound on richer families such as FELIX.
@@ -159,12 +160,6 @@ impl fmt::Display for LogicFamily {
             LogicFamily::Oscar => f.write_str("OSCAR"),
             LogicFamily::Ideal => f.write_str("Ideal"),
         }
-    }
-}
-
-impl Default for LogicFamily {
-    fn default() -> Self {
-        LogicFamily::Oscar
     }
 }
 

@@ -525,8 +525,7 @@ impl Pipeline {
     /// Returns [`Error::GeometryMismatch`] when the pipelines differ in
     /// depth or element count, or an index error.
     pub fn copy_from(&mut self, other: &Pipeline, src_vr: usize, dst_vr: usize) -> Result<()> {
-        if other.config.depth != self.config.depth
-            || other.config.elements != self.config.elements
+        if other.config.depth != self.config.depth || other.config.elements != self.config.elements
         {
             return Err(Error::GeometryMismatch(
                 "inter-pipeline copy requires identical depth and elements",
@@ -871,7 +870,8 @@ mod tests {
     #[test]
     fn cmp_lt_and_select() {
         let mut p = pipe(8);
-        p.write_vector(0, &[5, 9, 3, 3, 0, 255, 7, 8]).expect("fits");
+        p.write_vector(0, &[5, 9, 3, 3, 0, 255, 7, 8])
+            .expect("fits");
         p.write_vector(1, &[9, 5, 3, 4, 1, 0, 7, 7]).expect("fits");
         p.cmp_lt(2, 0, 1).expect("executes");
         assert_eq!(p.read_value(2, 0).expect("in range"), 0xFF);
@@ -898,8 +898,10 @@ mod tests {
     #[test]
     fn mul_matches_integer_semantics() {
         let mut p = pipe(16);
-        p.write_vector(0, &[3, 255, 0, 1000, 7, 2, 9, 10]).expect("fits");
-        p.write_vector(1, &[4, 255, 9, 100, 7, 2, 9, 10]).expect("fits");
+        p.write_vector(0, &[3, 255, 0, 1000, 7, 2, 9, 10])
+            .expect("fits");
+        p.write_vector(1, &[4, 255, 9, 100, 7, 2, 9, 10])
+            .expect("fits");
         p.mul(2, 0, 1, 8).expect("executes");
         assert_eq!(p.read_value(2, 0).expect("in range"), 12);
         assert_eq!(p.read_value(2, 1).expect("in range"), (255 * 255) & 0xFFFF);
@@ -986,7 +988,8 @@ mod tests {
             table.write_vector(vr, &vals).expect("fits");
         }
         let mut p = pipe(8);
-        p.write_vector(0, &[0, 9, 17, 31, 2, 3, 4, 5]).expect("fits");
+        p.write_vector(0, &[0, 9, 17, 31, 2, 3, 4, 5])
+            .expect("fits");
         p.elementwise_load(0, &table, 1).expect("in range");
         assert_eq!(p.read_value(1, 0).expect("in range"), 100);
         assert_eq!(p.read_value(1, 1).expect("in range"), 109);

@@ -23,7 +23,9 @@ pub fn disassemble(inst: &Instruction) -> String {
     let m = inst.mnemonic();
     match *inst {
         Instruction::Nop | Instruction::FenceAd | Instruction::Halt => s.push_str(m),
-        Instruction::Bool { pipe, dst, a, b, .. }
+        Instruction::Bool {
+            pipe, dst, a, b, ..
+        }
         | Instruction::Add { pipe, dst, a, b }
         | Instruction::Sub { pipe, dst, a, b }
         | Instruction::CmpLt { pipe, dst, a, b } => {

@@ -50,7 +50,13 @@ pub fn encode(inst: &Instruction) -> [u8; RECORD_SIZE] {
         let mut buf = &mut record[..];
         match *inst {
             Instruction::Nop => buf.put_u8(opcode::NOP),
-            Instruction::Bool { op, pipe, dst, a, b } => {
+            Instruction::Bool {
+                op,
+                pipe,
+                dst,
+                a,
+                b,
+            } => {
                 buf.put_u8(opcode::BOOL);
                 buf.put_u8(op.code());
                 buf.put_u16_le(pipe.0);
@@ -560,7 +566,7 @@ pub fn encode_program(program: &Program) -> Vec<u8> {
 /// Returns the first decoding failure; the byte length must be a multiple
 /// of [`RECORD_SIZE`].
 pub fn decode_program(bytes: &[u8]) -> Result<Program> {
-    if bytes.len() % RECORD_SIZE != 0 {
+    if !bytes.len().is_multiple_of(RECORD_SIZE) {
         return Err(Error::Truncated {
             got: bytes.len() % RECORD_SIZE,
         });

@@ -198,7 +198,9 @@ impl InjectionProgram {
             .filter(|s| {
                 matches!(
                     s,
-                    InjectionStep::Add { .. } | InjectionStep::Sub { .. } | InjectionStep::Neg { .. }
+                    InjectionStep::Add { .. }
+                        | InjectionStep::Sub { .. }
+                        | InjectionStep::Neg { .. }
                 )
             })
             .count()
@@ -298,8 +300,7 @@ mod tests {
                     if xb == 1 {
                         for c in 0..cols {
                             let w = matrix[r][c];
-                            let mag = (w.abs() >> (s * bits_per_cell))
-                                & ((1 << bits_per_cell) - 1);
+                            let mag = (w.abs() >> (s * bits_per_cell)) & ((1 << bits_per_cell) - 1);
                             v[c] += if w < 0 { -mag } else { mag };
                         }
                     }

@@ -232,9 +232,7 @@ impl ReramArray {
     pub fn col_conductances(&self, col: usize, rng: &mut NoiseRng) -> Result<Vec<f64>> {
         self.idx(0, col)?;
         Ok((0..self.rows)
-            .map(|r| {
-                self.cells[r * self.cols + col].read_conductance(&self.params, rng)
-            })
+            .map(|r| self.cells[r * self.cols + col].read_conductance(&self.params, rng))
             .collect())
     }
 
@@ -332,7 +330,7 @@ mod tests {
         a.set_col_bools(0, &[true, true, false]).expect("fits");
         assert_eq!(a.col_bools(0).expect("in range"), vec![true, true, false]);
         // row write must not disturb other rows beyond the shared (1,0) cell
-        assert_eq!(a.get_bool(2, 0), false);
+        assert!(!a.get_bool(2, 0));
     }
 
     #[test]
@@ -372,7 +370,9 @@ mod tests {
     fn erase_preserves_stuck_cells() {
         let p = DeviceParams::slc();
         let mut a = ReramArray::new(2, 2, p.clone()).expect("valid");
-        a.cell_mut(0, 0).expect("in range").set_stuck(StuckAt::On, &p);
+        a.cell_mut(0, 0)
+            .expect("in range")
+            .set_stuck(StuckAt::On, &p);
         a.set_bool(1, 1, true);
         a.erase();
         assert!(a.get_bool(0, 0), "stuck-on survives erase");

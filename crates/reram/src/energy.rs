@@ -53,7 +53,10 @@ impl EnergyMeter {
 
     /// Energy charged to a single component (zero if never charged).
     pub fn component(&self, name: &str) -> PicoJoules {
-        self.components.get(name).copied().unwrap_or(PicoJoules::ZERO)
+        self.components
+            .get(name)
+            .copied()
+            .unwrap_or(PicoJoules::ZERO)
     }
 
     /// Iterates `(component, energy)` pairs in name order.

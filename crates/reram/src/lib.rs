@@ -9,7 +9,7 @@
 //! * [`device`] — a single ReRAM cell: conductance state, multi-level
 //!   programming with write–verify, programming noise, read noise, drift and
 //!   stuck-at faults.
-//! * [`array`] — a wordline × bitline array of cells with row/column views.
+//! * [`mod@array`] — a wordline × bitline array of cells with row/column views.
 //! * [`noise`] — seeded, reproducible noise sources (Gaussian / lognormal).
 //! * [`energy`] — a per-component energy meter used across the workspace.
 //! * [`units`] — `Cycles`, `PicoJoules`, `SquareMicrons` newtypes so that

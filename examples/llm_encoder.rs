@@ -13,7 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let encoder = Encoder::new(cfg, 5)?;
     let mut rng = NoiseRng::seed_from(1);
     let input: Vec<Vec<i64>> = (0..cfg.seq_len)
-        .map(|_| (0..cfg.d_model).map(|_| to_q(rng.gaussian(0.0, 1.0))).collect())
+        .map(|_| {
+            (0..cfg.d_model)
+                .map(|_| to_q(rng.gaussian(0.0, 1.0)))
+                .collect()
+        })
         .collect();
     let output = encoder.forward(&input)?;
     println!(

@@ -11,11 +11,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // setMatrix(): 4-bit elements at precision scale 1 (2 bits per cell,
     // so the vACore spans two weight-slice arrays).
-    let matrix = vec![
-        vec![5, 9, -3],
-        vec![8, 7, 2],
-        vec![-1, 0, 15],
-    ];
+    let matrix = vec![vec![5, 9, -3], vec![8, 7, 2], vec![-1, 0, 15]];
     let handle = rt.set_matrix(&matrix, 4, 1)?;
 
     // execMVM(): the input is bit-sliced, the ACE produces partial
@@ -24,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = vec![2, 7, 1];
     let result = rt.exec_mvm(handle, &input)?;
     println!("matrix^T . {input:?} = {result:?}");
-    assert_eq!(result, vec![2 * 5 + 7 * 8 + 1 * -1, 2 * 9 + 7 * 7, -6 + 14 + 15]);
+    assert_eq!(
+        result,
+        vec![2 * 5 + 7 * 8 + -1, 2 * 9 + 7 * 7, -6 + 14 + 15]
+    );
 
     // updateRow() reprograms one wordline's devices.
     rt.update_row(handle, 0, &[1, 1, 1])?;

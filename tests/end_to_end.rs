@@ -80,7 +80,8 @@ fn tile_energy_flows_into_chip_meter() {
          halt\n",
     )
     .expect("assembles");
-    chip.execute(&program, &SideChannel::new()).expect("executes");
+    chip.execute(&program, &SideChannel::new())
+        .expect("executes");
     let meter = chip.energy_meter();
     assert!(meter.component("dce.array").get() > 0.0);
     assert!(meter.component("front_end").get() > 0.0);

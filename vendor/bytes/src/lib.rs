@@ -1,0 +1,167 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides exactly the cursor-style [`Buf`] / [`BufMut`] surface the
+//! DARTH-PUM ISA codec (`darth_isa::encode`) uses: little-endian integer
+//! reads/writes that advance a slice in place. Semantics match the real
+//! crate for these methods, including the panic-on-overrun contract, so the
+//! codec can move to upstream `bytes` without source changes.
+
+/// Read side of a byte cursor.
+///
+/// Implemented for `&[u8]`: every read consumes from the front of the
+/// slice, shrinking it in place.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies `dst.len()` bytes out and advances past them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write side of a byte cursor.
+///
+/// Implemented for `&mut [u8]` (writes consume the slice from the front,
+/// panicking on overflow — the fixed-record codec relies on this) and for
+/// `Vec<u8>` (writes append).
+pub trait BufMut {
+    /// Writes all of `src`.
+    ///
+    /// # Panics
+    ///
+    /// For `&mut [u8]`, panics if `src` does not fit in the remaining space.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Writes a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(src.len() <= self.len(), "write past end of buffer");
+        let (head, tail) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_slice_cursors() {
+        let mut record = [0u8; 16];
+        {
+            let mut w = &mut record[..];
+            w.put_u8(0xAB);
+            w.put_u16_le(0x1234);
+            w.put_u32_le(0xDEAD_BEEF);
+            w.put_u64_le(0x0102_0304_0506_0708);
+            assert_eq!(w.len(), 1);
+        }
+        let mut r = &record[..];
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(r.remaining(), 1);
+        r.advance(1);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn vec_writes_append() {
+        let mut v = Vec::new();
+        v.put_u16_le(7);
+        v.put_u8(9);
+        assert_eq!(v, vec![7, 0, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "write past end")]
+    fn slice_overflow_panics() {
+        let mut buf = [0u8; 1];
+        let mut w = &mut buf[..];
+        w.put_u16_le(1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The DARTH-PUM workspace builds without registry access, so this crate
+//! re-implements the small slice of criterion the `darth_bench` benches
+//! use — [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`criterion_group!`] (both the positional and the
+//! `name/config/targets` forms) and [`criterion_main!`] — on top of
+//! `std::time::Instant`.
+//!
+//! Measurement model: each benchmark runs `sample_size` samples after one
+//! warm-up sample; a sample times a batch of iterations sized so one batch
+//! takes roughly [`Criterion::target_sample_time`]. The harness reports the
+//! median, minimum and maximum per-iteration time. This is deliberately
+//! simpler than criterion (no outlier rejection, no regression tracking)
+//! but is honest wall-clock data and keeps `cargo bench` functional
+//! offline. Swap back to upstream criterion via `[workspace.dependencies]`
+//! when the environment allows; the bench sources need no changes.
+//!
+//! The harness understands the arguments `cargo bench`/`cargo test` pass to
+//! `harness = false` targets: `--test` (and `--list`) run each benchmark
+//! once without timing, `--bench` is accepted and ignored, and the first
+//! free-standing argument filters benchmarks by substring.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver: collects samples and prints a summary per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(50),
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long one sample batch should roughly take.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_sample_time = t;
+        self
+    }
+
+    /// Target duration of one sample batch.
+    pub fn target_sample_time(&self) -> Duration {
+        self.target_sample_time
+    }
+
+    /// Applies the CLI arguments cargo passes to `harness = false` targets.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" | "--list" => self.test_mode = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline" => {
+                    // Flags taking a value we do not use.
+                    if arg != "--bench" {
+                        let _ = args.next();
+                    }
+                }
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Runs (or, under `--test`, smoke-runs) one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                max_iters: Some(1),
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            println!("{id}: ok (test mode)");
+            return self;
+        }
+
+        // Warm-up sample sizes the batch used for the timed samples.
+        let mut b = Bencher {
+            max_iters: None,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let warm = b
+            .samples
+            .last()
+            .copied()
+            .unwrap_or((1, Duration::from_nanos(1)));
+        let per_iter = warm.1.as_secs_f64() / warm.0 as f64;
+        let batch = ((self.target_sample_time.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000);
+
+        let mut times: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                max_iters: Some(batch),
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            let (iters, elapsed) = b.samples.last().copied().unwrap_or((1, Duration::ZERO));
+            times.push(elapsed.as_secs_f64() / iters as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        let (lo, hi) = (times[0], times[times.len() - 1]);
+        println!(
+            "{id:<40} median {:>12} / iter   [min {}, max {}]  ({} samples × {batch} iters)",
+            fmt_secs(median),
+            fmt_secs(lo),
+            fmt_secs(hi),
+            self.sample_size,
+        );
+        self
+    }
+
+    /// Criterion calls this at the end of `criterion_main!`; a no-op here.
+    pub fn final_summary(&self) {}
+}
+
+/// Times the routine passed to [`Bencher::iter`].
+pub struct Bencher {
+    max_iters: Option<u64>,
+    samples: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one `(iterations, elapsed)` sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let iters = self.max_iters.unwrap_or(10);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.samples.push((iters, start.elapsed()));
+    }
+}
+
+/// Re-export so benches may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+///
+/// Both upstream forms are supported:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(10);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = "Benchmark group entry point generated by `criterion_group!`."]
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_filters() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_micros(50));
+        let mut runs = 0;
+        c.bench_function("touched", |b| {
+            b.iter(|| 1 + 1);
+            runs += 1;
+        });
+        assert!(runs >= 3, "warm-up plus two samples");
+
+        c.filter = Some("nomatch".into());
+        let mut skipped_runs = 0;
+        c.bench_function("other", |b| {
+            b.iter(|| ());
+            skipped_runs += 1;
+        });
+        assert_eq!(skipped_runs, 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut iters_seen = 0;
+        c.bench_function("smoke", |b| {
+            b.iter(|| iters_seen += 1);
+        });
+        assert_eq!(iters_seen, 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace builds without registry access, so this crate provides the
+//! subset of proptest the DARTH-PUM property tests use:
+//!
+//! * the [`proptest!`] macro (with the optional
+//!   `#![proptest_config(...)]` header) generating one `#[test]` per
+//!   property,
+//! * integer-range strategies (`0u64..0x10000`-style expressions),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Sampling is a deterministic splitmix64 stream seeded from the property's
+//! name, so failures reproduce exactly across runs and machines. There is
+//! no shrinking: a failing case reports its case index and sampled-seed so
+//! it can be replayed under a debugger. Swap back to upstream proptest via
+//! `[workspace.dependencies]` when the environment allows; test sources
+//! need no changes.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Everything the `proptest!` tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestRng, TestRunner,
+    };
+}
+
+/// Runner configuration; only `cases` is meaningful in this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property assertion (carried out of the test body by
+/// [`prop_assert!`] and friends).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic splitmix64 generator used to sample strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream; equal seeds give equal streams.
+    pub fn seed_from(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Samples values for a property argument. Implemented for the integer
+/// `Range` types the tests use (`0u64..0x10000`, `0usize..6`, …).
+pub trait Strategy {
+    /// Sampled value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    // i128 arithmetic covers the full span of every
+                    // supported integer type without overflow.
+                    let span = (self.end as i128) - (self.start as i128);
+                    let offset = (rng.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + offset) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Drives one property: samples `config.cases` cases and panics on the
+/// first failure with enough context to replay it.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Builds a runner for the named property.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner { config, name }
+    }
+
+    /// Runs the property once per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first case whose body returns an error, reporting the
+    /// property name, case index and case seed.
+    pub fn run<F>(&mut self, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        // fnv-1a over the name: deterministic per property, independent of
+        // declaration order.
+        let mut seed = 0xCBF2_9CE4_8422_2325u64;
+        for byte in self.name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for case in 0..self.config.cases {
+            let case_seed = seed.wrapping_add(u64::from(case));
+            let mut rng = TestRng::seed_from(case_seed);
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "property `{}` failed at case {case}/{} (case seed {case_seed:#x}): {e}",
+                    self.name, self.config.cases,
+                );
+            }
+        }
+    }
+}
+
+/// Property-style assertion; fails the current case instead of panicking
+/// directly so the runner can report case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} at {}:{}",
+                format_args!($($fmt)*),
+                file!(),
+                line!(),
+            )));
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+        );
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+        );
+    }};
+}
+
+/// Declares property tests. Mirrors upstream proptest's macro for the
+/// `arg in strategy` form, including the optional config header:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     // In a test module, add #[test] above each property.
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the config expression is hoisted
+/// to repetition depth zero so it can expand inside each generated test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut runner = $crate::TestRunner::new(config, stringify!($name));
+                runner.run(|rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), rng);)*
+                    let _ = &rng;
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds_and_deterministically() {
+        let mut a = TestRng::seed_from(7);
+        let mut b = TestRng::seed_from(7);
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(3u8..9), &mut a);
+            assert!((3..9).contains(&x));
+            assert_eq!(x, Strategy::sample(&(3u8..9), &mut b));
+        }
+        let mut rng = TestRng::seed_from(1);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn sampled_args_respect_strategies(x in 0u64..16, y in 0usize..3) {
+            prop_assert!(x < 16);
+            prop_assert!(y < 3);
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed at case 0")]
+    fn failures_report_case_context() {
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds with no registry access, so this crate supplies the
+//! two names the DARTH-PUM crates import — [`Serialize`] and
+//! [`Deserialize`] — as marker traits with blanket impls, plus the no-op
+//! derive macros from `vendor/serde_derive` under the same names (mirroring
+//! real serde's `derive` feature). Nothing in the simulator serializes data
+//! yet; the derives exist on config and report structs as forward-looking
+//! API surface.
+//!
+//! To upgrade to real serde, point `[workspace.dependencies] serde` in the
+//! root `Cargo.toml` back at the registry; no source changes are needed
+//! because the import shape (`use serde::{Deserialize, Serialize};`) is
+//! identical.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
