@@ -3,12 +3,13 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures clean
+.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval clean
 
 all: verify
 
-## Tier-1 gate: release build + full test suite.
-verify: build test
+## Tier-1 gate (release build + full test suite) plus the PR-1 lint
+## gates: clippy and rustfmt, both warnings-as-errors.
+verify: build test lint fmt-check
 
 build:
 	$(CARGO) build --release
@@ -39,12 +40,18 @@ bench-check:
 	$(CARGO) bench -p darth_bench --no-run
 	$(CARGO) build --examples
 
-## Regenerate every paper figure/table binary (prints to stdout).
+## Regenerate every paper figure/table binary (prints to stdout; each
+## also drops a BENCH_<figure>.json report).
 figures:
 	@for bin in fig7 fig13 fig14 fig15 fig16 fig17 fig18 tables noise_accuracy; do \
 		echo "==== $$bin ===="; \
 		$(CARGO) run -q --release -p darth_bench --bin $$bin; \
 	done
+
+## Price the full extended workload x architecture matrix through the
+## evaluation engine (serial vs parallel timing) and write BENCH_eval.json.
+eval:
+	$(CARGO) run -q --release -p darth_bench --bin eval
 
 clean:
 	$(CARGO) clean

@@ -23,6 +23,15 @@ pub enum AdcKind {
 }
 
 impl AdcKind {
+    /// Registry slug fragment (`"sar"` / `"ramp"`) — the single source
+    /// for the `-sar`/`-ramp` suffixes in evaluation model names.
+    pub fn slug(self) -> &'static str {
+        match self {
+            AdcKind::Sar => "sar",
+            AdcKind::Ramp => "ramp",
+        }
+    }
+
     /// ADC units provisioned per analog compute element (Table 2).
     pub fn units_per_ace(self) -> usize {
         match self {

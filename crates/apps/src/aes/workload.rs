@@ -5,6 +5,7 @@
 //! counts follow the §5.3 mapping: 16 S-box gathers, a staged 16-element
 //! permutation gather, four 32×32 binary MVMs, and one 16-lane XOR.
 
+use darth_pum::eval::Workload;
 use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
 
 /// Rounds for each AES variant.
@@ -131,9 +132,72 @@ pub fn block_trace(variant: AesVariant) -> Trace {
     .with_pipelines_per_item(3)
 }
 
+/// The AES scenario as a pluggable [`Workload`]: one block encryption of
+/// the chosen key-size variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AesWorkload {
+    /// Key-size variant (round count).
+    pub variant: AesVariant,
+}
+
+impl AesWorkload {
+    /// The paper's evaluation scenario (AES-128).
+    pub fn paper() -> Self {
+        AesWorkload {
+            variant: AesVariant::Aes128,
+        }
+    }
+
+    /// All three key-size variants, smallest first.
+    pub fn sweep() -> Vec<AesWorkload> {
+        [AesVariant::Aes128, AesVariant::Aes192, AesVariant::Aes256]
+            .into_iter()
+            .map(|variant| AesWorkload { variant })
+            .collect()
+    }
+}
+
+impl Workload for AesWorkload {
+    fn name(&self) -> String {
+        match self.variant {
+            AesVariant::Aes128 => "aes-128",
+            AesVariant::Aes192 => "aes-192",
+            AesVariant::Aes256 => "aes-256",
+        }
+        .into()
+    }
+
+    fn label(&self) -> String {
+        match self.variant {
+            AesVariant::Aes128 => "AES".into(),
+            AesVariant::Aes192 => "AES-192".into(),
+            AesVariant::Aes256 => "AES-256".into(),
+        }
+    }
+
+    fn params(&self) -> Vec<(String, String)> {
+        vec![("rounds".into(), self.variant.rounds().to_string())]
+    }
+
+    fn build_trace(&self) -> Trace {
+        block_trace(self.variant)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn aes_workload_names_follow_variant() {
+        assert_eq!(AesWorkload::paper().name(), "aes-128");
+        assert_eq!(AesWorkload::paper().label(), "AES");
+        let names: Vec<String> = AesWorkload::sweep().iter().map(Workload::name).collect();
+        assert_eq!(names, ["aes-128", "aes-192", "aes-256"]);
+        for w in AesWorkload::sweep() {
+            assert_eq!(w.build_trace().name, w.name());
+        }
+    }
 
     #[test]
     fn trace_has_figure14_kernels() {

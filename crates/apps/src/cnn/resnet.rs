@@ -147,6 +147,17 @@ impl ResNet {
         ResNet::new(32, 16, 3, 10, seed)
     }
 
+    /// Builds a CIFAR-style ResNet of depth `6·blocks_per_stage + 2` for
+    /// 32×32×3 inputs (`blocks_per_stage` = 3 → ResNet-20, 5 → ResNet-32,
+    /// 9 → ResNet-56, …) — the classic depth sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `blocks_per_stage` is zero.
+    pub fn cifar(blocks_per_stage: usize, seed: u64) -> Result<Self> {
+        ResNet::with_depth(32, 16, 3, 10, blocks_per_stage, seed)
+    }
+
     /// A miniature variant for fast tests: 8×8 inputs, 4/8/16 channels.
     ///
     /// # Errors
@@ -171,9 +182,31 @@ impl ResNet {
         classes: usize,
         seed: u64,
     ) -> Result<Self> {
+        ResNet::with_depth(input_size, base_width, in_channels, classes, 3, seed)
+    }
+
+    /// Like [`ResNet::new`] with an explicit residual-block count per
+    /// stage (depth `6·blocks_per_stage + 2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate parameters.
+    pub fn with_depth(
+        input_size: usize,
+        base_width: usize,
+        in_channels: usize,
+        classes: usize,
+        blocks_per_stage: usize,
+        seed: u64,
+    ) -> Result<Self> {
         if input_size < 8 || base_width == 0 || classes == 0 {
             return Err(Error::Mapping(
                 "input size must be >= 8 with nonzero width/classes".into(),
+            ));
+        }
+        if blocks_per_stage == 0 {
+            return Err(Error::Mapping(
+                "a residual stage needs at least one block".into(),
             ));
         }
         let mut rng = NoiseRng::seed_from(seed);
@@ -187,7 +220,7 @@ impl ResNet {
         let widths = [base_width, base_width * 2, base_width * 4];
         let mut in_ch = base_width;
         for (stage, &width) in widths.iter().enumerate() {
-            for b in 0..3 {
+            for b in 0..blocks_per_stage {
                 let first_of_stage = b == 0;
                 let stride = if stage > 0 && first_of_stage { 2 } else { 1 };
                 let conv1 = ConvLayer {
@@ -242,6 +275,13 @@ impl ResNet {
     /// Expected input spatial size.
     pub fn input_size(&self) -> usize {
         self.input_size
+    }
+
+    /// Canonical network depth: stem + two convs per residual block + the
+    /// classifier (downsample convs are not counted, per the ResNet
+    /// naming convention) — 20 for [`ResNet::resnet20`].
+    pub fn depth(&self) -> usize {
+        2 + 2 * self.blocks.len()
     }
 
     /// Number of classes.

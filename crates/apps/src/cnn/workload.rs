@@ -8,6 +8,7 @@
 
 use super::resnet::ResNet;
 use crate::Result;
+use darth_pum::eval::Workload;
 use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
 
 /// Builds the per-layer inference trace for a network.
@@ -71,10 +72,80 @@ pub fn inference_trace(net: &ResNet) -> Result<Trace> {
             },
         ],
     ));
-    Ok(Trace::new("resnet-20", kernels)
+    Ok(Trace::new(format!("resnet-{}", net.depth()), kernels)
         // one inference is one item; batching replicates the whole model
         .with_pipelines_per_item(8)
         .with_parallel_items(1 << 20))
+}
+
+/// A CIFAR-style ResNet inference as a pluggable [`Workload`]: the depth
+/// sweep axis of the evaluation matrix (ResNet-20/32/44/56/…, plus a
+/// `base_width` knob for wide variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResNetWorkload {
+    /// Residual blocks per stage (depth `6·blocks_per_stage + 2`).
+    pub blocks_per_stage: usize,
+    /// Stage-1 channel count (doubles per stage; 16 for the paper's
+    /// ResNet-20).
+    pub base_width: usize,
+    /// Weight-synthesis seed.
+    pub seed: u64,
+}
+
+impl ResNetWorkload {
+    /// The paper's evaluation scenario: ResNet-20, 16 base channels.
+    pub fn paper() -> Self {
+        ResNetWorkload {
+            blocks_per_stage: 3,
+            base_width: 16,
+            seed: 1,
+        }
+    }
+
+    /// The classic CIFAR depth sweep at paper width: ResNet-20/32/44/56.
+    pub fn depth_sweep() -> Vec<ResNetWorkload> {
+        [3, 5, 7, 9]
+            .into_iter()
+            .map(|blocks_per_stage| ResNetWorkload {
+                blocks_per_stage,
+                ..ResNetWorkload::paper()
+            })
+            .collect()
+    }
+
+    fn depth(&self) -> usize {
+        6 * self.blocks_per_stage + 2
+    }
+}
+
+impl Workload for ResNetWorkload {
+    fn name(&self) -> String {
+        if self.base_width == 16 {
+            format!("resnet-{}", self.depth())
+        } else {
+            format!("resnet-{}-w{}", self.depth(), self.base_width)
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("ResNet-{}", self.depth())
+    }
+
+    fn params(&self) -> Vec<(String, String)> {
+        vec![
+            ("blocks_per_stage".into(), self.blocks_per_stage.to_string()),
+            ("base_width".into(), self.base_width.to_string()),
+            ("seed".into(), self.seed.to_string()),
+        ]
+    }
+
+    fn build_trace(&self) -> Trace {
+        let net = ResNet::with_depth(32, self.base_width, 3, 10, self.blocks_per_stage, self.seed)
+            .expect("CIFAR ResNet parameters are valid by construction");
+        let mut trace = inference_trace(&net).expect("trace builds for a valid network");
+        trace.name = self.name();
+        trace
+    }
 }
 
 /// The Figure 15 layer-name row order for the full ResNet-20.
@@ -115,6 +186,23 @@ mod tests {
         let net = ResNet::resnet20(1).expect("builds");
         let trace = inference_trace(&net).expect("builds");
         assert!(trace.mvm_fraction() > 0.9, "{}", trace.mvm_fraction());
+    }
+
+    #[test]
+    fn depth_sweep_scales_layer_count_and_names() {
+        let sweep = ResNetWorkload::depth_sweep();
+        let names: Vec<String> = sweep.iter().map(Workload::name).collect();
+        assert_eq!(names, ["resnet-20", "resnet-32", "resnet-44", "resnet-56"]);
+        let t20 = sweep[0].build_trace();
+        let t32 = sweep[1].build_trace();
+        assert_eq!(t20.name, "resnet-20");
+        assert_eq!(t32.name, "resnet-32");
+        // 6 extra residual blocks = 12 extra conv kernels.
+        assert_eq!(t32.kernels.len(), t20.kernels.len() + 12);
+        assert!(t32.macs() > t20.macs());
+        // The paper workload is bit-identical to the legacy builder.
+        let legacy = inference_trace(&ResNet::resnet20(1).expect("builds")).expect("builds");
+        assert_eq!(ResNetWorkload::paper().build_trace(), legacy);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! A standalone dense GEMM workload.
+//!
+//! The three paper applications exercise the chip through fixed kernel
+//! mixes; this scenario isolates the analog substrate's bread-and-butter
+//! operation — a dense `m×k · k×n` matrix multiply with a vector epilogue
+//! (bias + requantize) — so the evaluation matrix can sweep arbitrary
+//! shapes and operand widths without inventing an application around
+//! them. The MVM convention matches [`darth_pum::trace::KernelOp::Mvm`]:
+//! `rows = k` (input length), `cols = n` (output length), one batch entry
+//! per left-hand-side row.
+
+use darth_pum::eval::Workload;
+use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
+
+/// A dense GEMM scenario: `C[m×n] = A[m×k] · B[k×n]`, plus a bias-add and
+/// requantizing shift over the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmWorkload {
+    /// Left-hand-side rows (output rows; the MVM batch).
+    pub m: u64,
+    /// Inner (contraction) dimension.
+    pub k: u64,
+    /// Right-hand-side columns (output columns).
+    pub n: u64,
+    /// Activation width in bits.
+    pub input_bits: u8,
+    /// Weight width in bits.
+    pub weight_bits: u8,
+}
+
+impl GemmWorkload {
+    /// A square 8-bit GEMM.
+    pub fn square(dim: u64) -> Self {
+        GemmWorkload {
+            m: dim,
+            k: dim,
+            n: dim,
+            input_bits: 8,
+            weight_bits: 8,
+        }
+    }
+
+    /// A size sweep of square 8-bit GEMMs (transformer-layer scale).
+    pub fn sweep() -> Vec<GemmWorkload> {
+        [256, 1024, 4096].into_iter().map(Self::square).collect()
+    }
+
+    /// Builds the trace (also available through the [`Workload`] impl).
+    pub fn trace(&self) -> Trace {
+        let outputs = self.m * self.n;
+        Trace::new(
+            Workload::name(self),
+            vec![
+                Kernel::new(
+                    "GEMM",
+                    vec![KernelOp::Mvm {
+                        rows: self.k,
+                        cols: self.n,
+                        input_bits: self.input_bits,
+                        weight_bits: self.weight_bits,
+                        batch: self.m,
+                    }],
+                ),
+                Kernel::new(
+                    "Epilogue",
+                    vec![
+                        KernelOp::Vector {
+                            kind: VectorKind::Add,
+                            elements: outputs,
+                            bits: self.input_bits,
+                            count: 1,
+                        },
+                        KernelOp::Vector {
+                            kind: VectorKind::Shift,
+                            elements: outputs,
+                            bits: self.input_bits,
+                            count: 1,
+                        },
+                    ],
+                ),
+            ],
+        )
+        // One GEMM occupies a landing pipeline per weight slice plus the
+        // epilogue pipeline; items beyond the batch are independent.
+        .with_pipelines_per_item(4)
+        .with_parallel_items(1 << 20)
+    }
+}
+
+impl Workload for GemmWorkload {
+    fn name(&self) -> String {
+        if self.input_bits == 8 && self.weight_bits == 8 {
+            format!("gemm-{}x{}x{}", self.m, self.k, self.n)
+        } else {
+            format!(
+                "gemm-{}x{}x{}-i{}w{}",
+                self.m, self.k, self.n, self.input_bits, self.weight_bits
+            )
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("GEMM {}×{}×{}", self.m, self.k, self.n)
+    }
+
+    fn params(&self) -> Vec<(String, String)> {
+        vec![
+            ("m".into(), self.m.to_string()),
+            ("k".into(), self.k.to_string()),
+            ("n".into(), self.n.to_string()),
+            ("input_bits".into(), self.input_bits.to_string()),
+            ("weight_bits".into(), self.weight_bits.to_string()),
+        ]
+    }
+
+    fn build_trace(&self) -> Trace {
+        self.trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_trace_counts_macs() {
+        let g = GemmWorkload::square(64);
+        let t = g.build_trace();
+        assert_eq!(t.name, "gemm-64x64x64");
+        assert_eq!(t.macs(), 64 * 64 * 64);
+        assert_eq!(t.element_ops(), 2 * 64 * 64);
+        assert!(t.mvm_fraction() > 0.9);
+    }
+
+    #[test]
+    fn narrow_operands_get_their_own_name() {
+        let mut g = GemmWorkload::square(32);
+        g.input_bits = 1;
+        g.weight_bits = 1;
+        assert_eq!(Workload::name(&g), "gemm-32x32x32-i1w1");
+    }
+
+    #[test]
+    fn sweep_scales_work() {
+        let sweep = GemmWorkload::sweep();
+        assert_eq!(sweep.len(), 3);
+        let macs: Vec<u64> = sweep.iter().map(|g| g.trace().macs()).collect();
+        assert!(macs.windows(2).all(|w| w[0] < w[1]));
+    }
+}

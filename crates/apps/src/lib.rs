@@ -14,6 +14,13 @@
 //!    [`darth_pum::trace::Trace`] every cost model prices for
 //!    Figures 13–18.
 //!
+//! Every trace builder is also exposed as a pluggable
+//! [`darth_pum::eval::Workload`] scenario ([`aes::workload::AesWorkload`],
+//! [`cnn::workload::ResNetWorkload`], [`llm::workload::EncoderWorkload`],
+//! and the application-free [`gemm::GemmWorkload`]), each with parameter
+//! sweeps beyond the paper's three fixed points; the `darth_eval` engine
+//! prices any set of them against any set of architecture models.
+//!
 //! # Example: AES through the hybrid tile
 //!
 //! ```
@@ -32,6 +39,7 @@
 
 pub mod aes;
 pub mod cnn;
+pub mod gemm;
 pub mod llm;
 
 use std::fmt;

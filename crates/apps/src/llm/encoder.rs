@@ -38,6 +38,25 @@ impl EncoderConfig {
         }
     }
 
+    /// A BERT-large-like configuration (the big end of the shape sweep).
+    pub fn bert_large() -> Self {
+        EncoderConfig {
+            d_model: 1024,
+            heads: 16,
+            d_ff: 4096,
+            seq_len: 128,
+            layers: 24,
+        }
+    }
+
+    /// A DistilBERT-like configuration (half the layers of BERT-base).
+    pub fn distilbert() -> Self {
+        EncoderConfig {
+            layers: 6,
+            ..EncoderConfig::bert_base()
+        }
+    }
+
     /// A miniature configuration for functional tests.
     pub fn tiny() -> Self {
         EncoderConfig {

@@ -6,6 +6,7 @@
 //! paper finds 71% of LLMEnc time in non-MVM operations on DARTH-PUM.
 
 use super::encoder::EncoderConfig;
+use darth_pum::eval::Workload;
 use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
 
 /// Ops per scalar I-BERT softmax element (exp poly + normalize).
@@ -166,9 +167,100 @@ pub fn encoder_trace_attention_on_ace(cfg: &EncoderConfig) -> Trace {
     base
 }
 
+/// An encoder forward pass as a pluggable [`Workload`], parameterized by
+/// the full [`EncoderConfig`] — the model-shape sweep axis of the
+/// evaluation matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncoderWorkload {
+    /// Encoder dimensions.
+    pub config: EncoderConfig,
+    name: String,
+    label: String,
+}
+
+impl EncoderWorkload {
+    /// The paper's evaluation scenario (BERT-base shape), keeping the
+    /// legacy `"llm-encoder"` trace name the figures key on.
+    pub fn paper() -> Self {
+        EncoderWorkload {
+            config: EncoderConfig::bert_base(),
+            name: "llm-encoder".into(),
+            label: "LLMEnc".into(),
+        }
+    }
+
+    /// A named scenario over an arbitrary configuration.
+    pub fn named(name: impl Into<String>, label: impl Into<String>, config: EncoderConfig) -> Self {
+        EncoderWorkload {
+            config,
+            name: name.into(),
+            label: label.into(),
+        }
+    }
+
+    /// The encoder shape sweep: the paper scenario plus a distilled
+    /// 6-layer stack, a BERT-large stack, and a long-sequence variant
+    /// (attention work scales with `seq²`, so this shifts the MVM/vector
+    /// balance the §7.1 discussion hinges on).
+    pub fn sweep() -> Vec<EncoderWorkload> {
+        let long = EncoderConfig {
+            seq_len: 512,
+            ..EncoderConfig::bert_base()
+        };
+        vec![
+            EncoderWorkload::paper(),
+            EncoderWorkload::named("llm-distil", "LLMEnc-distil", EncoderConfig::distilbert()),
+            EncoderWorkload::named("llm-large", "LLMEnc-large", EncoderConfig::bert_large()),
+            EncoderWorkload::named("llm-seq512", "LLMEnc-s512", long),
+        ]
+    }
+}
+
+impl Workload for EncoderWorkload {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn params(&self) -> Vec<(String, String)> {
+        vec![
+            ("d_model".into(), self.config.d_model.to_string()),
+            ("heads".into(), self.config.heads.to_string()),
+            ("d_ff".into(), self.config.d_ff.to_string()),
+            ("seq_len".into(), self.config.seq_len.to_string()),
+            ("layers".into(), self.config.layers.to_string()),
+        ]
+    }
+
+    fn build_trace(&self) -> Trace {
+        let mut trace = encoder_trace(&self.config);
+        trace.name = self.name.clone();
+        trace
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn encoder_workload_sweep_varies_shape() {
+        let sweep = EncoderWorkload::sweep();
+        assert_eq!(
+            sweep[0].build_trace(),
+            encoder_trace(&EncoderConfig::bert_base())
+        );
+        let base = sweep[0].build_trace();
+        let distil = sweep[1].build_trace();
+        let long = sweep[3].build_trace();
+        assert_eq!(distil.name, "llm-distil");
+        assert!(distil.macs() < base.macs(), "6 layers < 12 layers");
+        // seq² attention scaling: the long variant is vector-heavier.
+        assert!(long.mvm_fraction() < base.mvm_fraction());
+    }
 
     #[test]
     fn trace_covers_both_domains() {

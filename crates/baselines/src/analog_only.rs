@@ -154,6 +154,21 @@ impl BaselineModel {
     }
 }
 
+impl darth_pum::eval::ArchModel for BaselineModel {
+    /// `"baseline-sar"` / `"baseline-ramp"`.
+    fn name(&self) -> String {
+        format!("baseline-{}", self.adc_kind.slug())
+    }
+
+    fn label(&self) -> String {
+        "Baseline".into()
+    }
+
+    fn price(&self, trace: &Trace) -> CostReport {
+        BaselineModel::price(self, trace)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

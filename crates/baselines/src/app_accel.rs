@@ -223,6 +223,26 @@ impl AppAccelModel {
     }
 }
 
+impl darth_pum::eval::ArchModel for AppAccelModel {
+    /// `"appaccel-aesni"` / `"appaccel-cnn-ramp"` / `"appaccel-llm-sar"`.
+    fn name(&self) -> String {
+        let adc = self.adc_kind.slug();
+        match self.kind {
+            AppAccelKind::AesNi => "appaccel-aesni".into(),
+            AppAccelKind::CnnAccelerator => format!("appaccel-cnn-{adc}"),
+            AppAccelKind::LlmAccelerator => format!("appaccel-llm-{adc}"),
+        }
+    }
+
+    fn label(&self) -> String {
+        "AppAccel".into()
+    }
+
+    fn price(&self, trace: &Trace) -> CostReport {
+        AppAccelModel::price(self, trace)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

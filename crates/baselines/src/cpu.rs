@@ -185,6 +185,21 @@ impl CpuModel {
     }
 }
 
+impl darth_pum::eval::ArchModel for CpuModel {
+    /// `"cpu-i7-13700"` / `"cpu-arm-8core"`.
+    fn name(&self) -> String {
+        format!("cpu-{}", self.name.to_lowercase())
+    }
+
+    fn label(&self) -> String {
+        format!("CPU ({})", self.name)
+    }
+
+    fn price(&self, trace: &Trace) -> CostReport {
+        CpuModel::price(self, trace)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -157,6 +157,21 @@ impl DigitalPumModel {
     }
 }
 
+impl darth_pum::eval::ArchModel for DigitalPumModel {
+    /// `"digitalpum-oscar"` / `"digitalpum-ideal"`.
+    fn name(&self) -> String {
+        format!("digitalpum-{}", format!("{}", self.family).to_lowercase())
+    }
+
+    fn label(&self) -> String {
+        "DigitalPUM".into()
+    }
+
+    fn price(&self, trace: &Trace) -> CostReport {
+        DigitalPumModel::price(self, trace)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -133,6 +133,21 @@ impl GpuModel {
     }
 }
 
+impl darth_pum::eval::ArchModel for GpuModel {
+    /// `"gpu-rtx-4090"` (the marketing name, slugged).
+    fn name(&self) -> String {
+        format!("gpu-{}", self.name.to_lowercase().replace(' ', "-"))
+    }
+
+    fn label(&self) -> String {
+        format!("GPU ({})", self.name)
+    }
+
+    fn price(&self, trace: &Trace) -> CostReport {
+        GpuModel::price(self, trace)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,48 @@
+//! Criterion bench: the evaluation engine pricing the paper's workload ×
+//! architecture matrix, serial vs parallel scheduling (bit-identical
+//! results; the gap is the thread-scope win on multi-core hosts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darth_eval::registry::{all_models, paper_workloads};
+use darth_eval::{Engine, Threading};
+use std::hint::black_box;
+
+fn engine(threading: Threading) -> Engine {
+    let mut e = Engine::new();
+    for workload in paper_workloads() {
+        e.register_workload(workload);
+    }
+    for model in all_models() {
+        e.register_model(model);
+    }
+    e.set_threading(threading);
+    e
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("eval_matrix_serial", |b| {
+        b.iter(|| {
+            let mut e = engine(Threading::Serial);
+            black_box(e.run())
+        })
+    });
+    c.bench_function("eval_matrix_parallel", |b| {
+        b.iter(|| {
+            let mut e = engine(Threading::Parallel);
+            black_box(e.run())
+        })
+    });
+    c.bench_function("eval_matrix_trace_memoized", |b| {
+        // Reuse one engine: traces are built once, reruns only price.
+        let mut e = engine(Threading::Parallel);
+        e.run();
+        b.iter(|| black_box(e.run()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! abstract's headline speedups (59.4× / 14.8× / 40.8×).
 
 use darth_analog::adc::AdcKind;
-use darth_bench::{all_reports, geomean_of, print_table};
+use darth_bench::{all_reports, emit_json, figure_json, geomean_of, print_table, table_json};
 
 fn main() {
     let reports = all_reports(AdcKind::Sar);
@@ -10,7 +10,7 @@ fn main() {
         .iter()
         .map(|r| {
             let (d, h, a) = r.fig13_row();
-            (r.workload.label().to_owned(), vec![d, h, a])
+            (r.label.clone(), vec![d, h, a])
         })
         .collect();
     rows.push((
@@ -21,13 +21,15 @@ fn main() {
             geomean_of(&reports, |r| r.fig13_row().2),
         ],
     ));
-    print_table(
-        "Figure 13: throughput normalised to Baseline",
-        &["DigitalPUM", "DARTH-PUM", "AppAccel"],
-        &rows,
-    );
+    let title = "Figure 13: throughput normalised to Baseline";
+    let header = ["DigitalPUM", "DARTH-PUM", "AppAccel"];
+    print_table(title, &header, &rows);
     println!(
         "\nPaper reference (DARTH-PUM column): AES 59.4, ResNet-20 14.8, LLMEnc 40.8, GeoMean 31.4"
     );
     println!("Paper reference (AppAccel): AES-NI = DARTH/36.9, ResNet within 26.2% above DARTH, LLM above DARTH");
+    emit_json(
+        "fig13",
+        &figure_json("fig13", vec![table_json(title, &header, &rows)]),
+    );
 }

@@ -1,21 +1,28 @@
 //! Figure 14: AES kernel latency breakdown, normalised to Baseline's total.
 //!
 //! Three architectures (Baseline, DigitalPUM, DARTH-PUM), five kernels
-//! (DataMovement, SubBytes, ShiftRows, MixColumns, AddRoundKey).
+//! (DataMovement, SubBytes, ShiftRows, MixColumns, AddRoundKey) — all
+//! read from the engine's AES row.
 
 use darth_analog::adc::AdcKind;
-use darth_apps::aes::workload::{block_trace, AesVariant};
-use darth_baselines::analog_only::BaselineModel;
-use darth_baselines::digital_only::DigitalPumModel;
-use darth_digital::logic::LogicFamily;
-use darth_pum::model::DarthModel;
+use darth_bench::{emit_json, figure_json, paper_matrix, table_json};
+use darth_pum::trace::CostReport;
 
 fn main() {
-    let trace = block_trace(AesVariant::Aes128);
-    let baseline = BaselineModel::paper(AdcKind::Sar).price(&trace);
-    let digital = DigitalPumModel::paper(LogicFamily::Oscar).price(&trace);
-    let darth = DarthModel::paper(AdcKind::Sar).price(&trace);
+    let matrix = paper_matrix(AdcKind::Sar);
+    let baseline = matrix.cell("aes-128", "baseline-sar").expect("priced");
+    let digital = matrix.cell("aes-128", "digitalpum-oscar").expect("priced");
+    let darth = matrix.cell("aes-128", "darth-sar").expect("priced");
     let base_total = baseline.latency_s;
+
+    let lookup = |report: &CostReport, kernel: &str| {
+        report
+            .kernel_latency_s
+            .iter()
+            .find(|(n, _)| n == kernel)
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0)
+    };
 
     println!("\n=== Figure 14: AES kernel latency breakdown (% of Baseline total) ===");
     print!("{:<14}", "kernel");
@@ -30,41 +37,42 @@ fn main() {
         "MixColumns",
         "AddRoundKey",
     ];
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     for kernel in kernels {
         print!("{kernel:<14}");
-        for report in [&baseline, &digital, &darth] {
-            let t = report
-                .kernel_latency_s
-                .iter()
-                .find(|(n, _)| n == kernel)
-                .map(|(_, t)| *t)
-                .unwrap_or(0.0);
-            print!("{:>13.1}%", 100.0 * t / base_total);
+        let mut values = Vec::new();
+        for report in [baseline, digital, darth] {
+            let pct = 100.0 * lookup(report, kernel) / base_total;
+            print!("{pct:>13.1}%");
+            values.push(pct);
         }
         println!();
+        rows.push((kernel.to_owned(), values));
     }
     print!("{:<14}", "TOTAL");
-    for report in [&baseline, &digital, &darth] {
-        print!("{:>13.1}%", 100.0 * report.latency_s / base_total);
+    let mut totals = Vec::new();
+    for report in [baseline, digital, darth] {
+        let pct = 100.0 * report.latency_s / base_total;
+        print!("{pct:>13.1}%");
+        totals.push(pct);
     }
     println!();
+    rows.push(("TOTAL".to_owned(), totals));
     println!("\nPaper reference: DARTH-PUM single-encryption latency improves 53.7% over");
     println!("Baseline; MixColumns on DARTH-PUM is 11.5x faster than on DigitalPUM;");
     println!("DigitalPUM total is several times Baseline (MixColumns-dominated).");
-    let mix_digital = digital
-        .kernel_latency_s
-        .iter()
-        .find(|(n, _)| n == "MixColumns")
-        .map(|(_, t)| *t)
-        .unwrap_or(0.0);
-    let mix_darth = darth
-        .kernel_latency_s
-        .iter()
-        .find(|(n, _)| n == "MixColumns")
-        .map(|(_, t)| *t)
-        .unwrap_or(1.0);
-    println!(
-        "Measured MixColumns DigitalPUM/DARTH-PUM ratio: {:.1}x",
-        mix_digital / mix_darth
+    let mix_ratio =
+        lookup(digital, "MixColumns") / lookup(darth, "MixColumns").max(f64::MIN_POSITIVE);
+    println!("Measured MixColumns DigitalPUM/DARTH-PUM ratio: {mix_ratio:.1}x");
+    emit_json(
+        "fig14",
+        &figure_json(
+            "fig14",
+            vec![table_json(
+                "Figure 14: AES kernel latency breakdown (% of Baseline total)",
+                &["Baseline", "DigitalPUM", "DARTH-PUM"],
+                &rows,
+            )],
+        ),
     );
 }

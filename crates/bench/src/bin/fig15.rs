@@ -1,23 +1,19 @@
 //! Figure 15: per-layer ResNet-20 speedup over Baseline for DigitalPUM,
-//! DARTH-PUM and AppAccel (22 layers plus GeoMean).
+//! DARTH-PUM and AppAccel (22 layers plus GeoMean) — read from the
+//! engine's ResNet row.
 
 use darth_analog::adc::AdcKind;
-use darth_apps::cnn::resnet::ResNet;
-use darth_apps::cnn::workload::inference_trace;
-use darth_baselines::analog_only::BaselineModel;
-use darth_baselines::app_accel::AppAccelModel;
-use darth_baselines::digital_only::DigitalPumModel;
-use darth_digital::logic::LogicFamily;
-use darth_pum::model::DarthModel;
+use darth_bench::{emit_json, figure_json, paper_matrix, table_json};
 use darth_pum::trace::geomean;
 
 fn main() {
-    let net = ResNet::resnet20(1).expect("ResNet-20 builds");
-    let trace = inference_trace(&net).expect("trace builds");
-    let baseline = BaselineModel::paper(AdcKind::Sar).price(&trace);
-    let digital = DigitalPumModel::paper(LogicFamily::Oscar).price(&trace);
-    let darth = DarthModel::paper(AdcKind::Sar).price(&trace);
-    let accel = AppAccelModel::cnn(AdcKind::Ramp).price(&trace);
+    let matrix = paper_matrix(AdcKind::Sar);
+    let baseline = matrix.cell("resnet-20", "baseline-sar").expect("priced");
+    let digital = matrix
+        .cell("resnet-20", "digitalpum-oscar")
+        .expect("priced");
+    let darth = matrix.cell("resnet-20", "darth-sar").expect("priced");
+    let accel = matrix.cell("resnet-20", "appaccel").expect("priced");
 
     // Per-layer *throughput* ratio: each architecture's chip-level item
     // parallelism (throughput x latency) applies uniformly to its layers.
@@ -32,10 +28,10 @@ fn main() {
             .unwrap_or(f64::NAN)
     };
     let (pb, pd, ph, pa) = (
-        parallelism(&baseline),
-        parallelism(&digital),
-        parallelism(&darth),
-        parallelism(&accel),
+        parallelism(baseline),
+        parallelism(digital),
+        parallelism(darth),
+        parallelism(accel),
     );
     // The Baseline's host-link movement belongs to the layers that caused
     // it (the paper's per-layer bars include each layer's transfers).
@@ -54,15 +50,16 @@ fn main() {
         "layer", "DigitalPUM", "DARTH-PUM", "AppAccel"
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     for (kernel_name, _) in &baseline.kernel_latency_s {
         if kernel_name == "DataMovement" {
             continue;
         }
-        let base = (lookup(&baseline, kernel_name) + movement_share) / pb;
+        let base = (lookup(baseline, kernel_name) + movement_share) / pb;
         let row = [
-            base / (lookup(&digital, kernel_name) / pd),
-            base / (lookup(&darth, kernel_name) / ph),
-            base / (lookup(&accel, kernel_name) / pa),
+            base / (lookup(digital, kernel_name) / pd),
+            base / (lookup(darth, kernel_name) / ph),
+            base / (lookup(accel, kernel_name) / pa),
         ];
         println!(
             "{kernel_name:<16}{:>12.2}{:>12.2}{:>12.2}",
@@ -71,15 +68,26 @@ fn main() {
         for (c, v) in cols.iter_mut().zip(row) {
             c.push(v);
         }
+        rows.push((kernel_name.clone(), row.to_vec()));
     }
+    let geomeans = [geomean(&cols[0]), geomean(&cols[1]), geomean(&cols[2])];
     println!(
         "{:<16}{:>12.2}{:>12.2}{:>12.2}",
-        "GeoMean",
-        geomean(&cols[0]),
-        geomean(&cols[1]),
-        geomean(&cols[2])
+        "GeoMean", geomeans[0], geomeans[1], geomeans[2]
     );
+    rows.push(("GeoMean".to_owned(), geomeans.to_vec()));
     println!("\nPaper reference: DARTH-PUM per-layer speedups cluster in the single digits");
     println!("(inference latency -40.0% vs Baseline); AppAccel's dedicated SFUs win per layer,");
     println!("DigitalPUM loses everywhere (bit-serial MVMs).");
+    emit_json(
+        "fig15",
+        &figure_json(
+            "fig15",
+            vec![table_json(
+                "Figure 15: per-layer ResNet-20 speedup over Baseline",
+                &["DigitalPUM", "DARTH-PUM", "AppAccel"],
+                &rows,
+            )],
+        ),
+    );
 }

@@ -2,7 +2,7 @@
 //! paper), plus the abstract's 39.6x / 51.2x / 110.7x headline.
 
 use darth_analog::adc::AdcKind;
-use darth_bench::{all_reports, geomean_of, print_table};
+use darth_bench::{all_reports, emit_json, figure_json, geomean_of, print_table, table_json};
 
 fn main() {
     let reports = all_reports(AdcKind::Sar);
@@ -10,7 +10,7 @@ fn main() {
         .iter()
         .map(|r| {
             let (d, h, a) = r.fig16_row();
-            (r.workload.label().to_owned(), vec![d, h, a])
+            (r.label.clone(), vec![d, h, a])
         })
         .collect();
     rows.push((
@@ -21,11 +21,13 @@ fn main() {
             geomean_of(&reports, |r| r.fig16_row().2),
         ],
     ));
-    print_table(
-        "Figure 16: energy savings normalised to Baseline",
-        &["DigitalPUM", "DARTH-PUM", "AppAccel"],
-        &rows,
-    );
+    let title = "Figure 16: energy savings normalised to Baseline";
+    let header = ["DigitalPUM", "DARTH-PUM", "AppAccel"];
+    print_table(title, &header, &rows);
     println!("\nPaper reference (DARTH-PUM column): AES 39.6, ResNet-20 51.2, LLMEnc 110.7, GeoMean 66.8");
     println!("Paper reference: DARTH-PUM ~2x DigitalPUM savings; AppAccel competitive, DARTH shortfall largest on ResNet-20");
+    emit_json(
+        "fig16",
+        &figure_json("fig16", vec![table_json(title, &header, &rows)]),
+    );
 }

@@ -2,7 +2,7 @@
 //! Baseline, DARTH-PUM and AppAccel, normalised to Baseline with SAR.
 
 use darth_analog::adc::AdcKind;
-use darth_bench::{all_reports, print_table, Workload};
+use darth_bench::{all_reports, emit_json, figure_json, print_table, table_json};
 
 fn main() {
     let sar = all_reports(AdcKind::Sar);
@@ -12,7 +12,7 @@ fn main() {
     for (s, r) in sar.iter().zip(&ramp) {
         let base = &s.baseline; // Baseline: SAR is the normalisation
         thr_rows.push((
-            s.workload.label().to_owned(),
+            s.label.clone(),
             vec![
                 r.baseline.speedup_over(base),
                 r.darth.speedup_over(base),
@@ -20,7 +20,7 @@ fn main() {
             ],
         ));
         eng_rows.push((
-            s.workload.label().to_owned(),
+            s.label.clone(),
             vec![
                 r.baseline.energy_savings_over(base),
                 r.darth.energy_savings_over(base),
@@ -28,29 +28,28 @@ fn main() {
             ],
         ));
     }
-    print_table(
-        "Figure 17a: throughput vs Baseline(SAR)",
-        &["Base:Ramp", "DARTH:Ramp", "DARTH:SAR"],
-        &thr_rows,
-    );
-    print_table(
-        "Figure 17b: energy savings vs Baseline(SAR)",
-        &["Base:Ramp", "DARTH:Ramp", "DARTH:SAR"],
-        &eng_rows,
-    );
+    let header = ["Base:Ramp", "DARTH:Ramp", "DARTH:SAR"];
+    let thr_title = "Figure 17a: throughput vs Baseline(SAR)";
+    let eng_title = "Figure 17b: energy savings vs Baseline(SAR)";
+    print_table(thr_title, &header, &thr_rows);
+    print_table(eng_title, &header, &eng_rows);
     // AES early-termination: the one case where ramp wins (§7.3)
-    let aes_sar = sar
-        .iter()
-        .find(|r| r.workload == Workload::Aes)
-        .expect("aes");
-    let aes_ramp = ramp
-        .iter()
-        .find(|r| r.workload == Workload::Aes)
-        .expect("aes");
+    let aes_sar = sar.iter().find(|r| r.name == "aes-128").expect("aes");
+    let aes_ramp = ramp.iter().find(|r| r.name == "aes-128").expect("aes");
     println!(
         "\nAES DARTH ramp/SAR throughput ratio: {:.2} (paper: ramp wins AES via 256->4-cycle early termination)",
         aes_ramp.darth.throughput_items_per_s / aes_sar.darth.throughput_items_per_s
     );
     println!("Paper reference: SAR outperforms ramp by 1.5x overall at 99% of the energy savings;");
     println!("Boolean PUM ops are >88% of DARTH-PUM energy, so ADC choice barely moves energy.");
+    emit_json(
+        "fig17",
+        &figure_json(
+            "fig17",
+            vec![
+                table_json(thr_title, &header, &thr_rows),
+                table_json(eng_title, &header, &eng_rows),
+            ],
+        ),
+    );
 }

@@ -1,52 +1,64 @@
 //! Figure 18: iso-area comparison with an RTX-4090-class GPU.
 //!
 //! The GPU die (6.08 cm²) is larger than the 2.57 cm² DARTH-PUM chip, so
-//! the chip models are rebuilt with the GPU's area budget.
+//! the DARTH model is rebuilt with the GPU's area budget (a custom
+//! column registered alongside the paper models — no early termination:
+//! this figure is SAR end to end).
 
 use darth_analog::adc::AdcKind;
 use darth_baselines::digital_only::DigitalPumModel;
 use darth_baselines::gpu::GpuModel;
-use darth_bench::{print_table, Workload};
+use darth_bench::{emit_json, figure_json, print_table, table_json, Engine};
 use darth_digital::logic::LogicFamily;
+use darth_eval::registry::paper_workloads;
 use darth_pum::model::DarthModel;
 use darth_pum::trace::geomean;
 use darth_reram::SquareMicrons;
 
 fn main() {
     let gpu = GpuModel::rtx_4090();
+    let mut darth_model = DarthModel::paper(AdcKind::Sar);
+    darth_model.chip.area_budget = SquareMicrons::from_cm2(gpu.die_area_cm2);
+    let area_scale = gpu.die_area_cm2 / 2.57;
+
+    let mut engine = Engine::new();
+    for workload in paper_workloads() {
+        engine.register_workload(workload);
+    }
+    engine
+        .register_model(Box::new(DigitalPumModel::paper(LogicFamily::Oscar)))
+        .register_model(Box::new(darth_model))
+        .register_model(Box::new(gpu));
+    let matrix = engine.run();
+
     let mut thr_rows = Vec::new();
     let mut eng_rows = Vec::new();
     let mut speedups = Vec::new();
     let mut savings = Vec::new();
-    for workload in Workload::ALL {
-        let trace = workload.trace();
-        let gpu_report = gpu.price(&trace);
-        let mut darth_model = DarthModel::paper(AdcKind::Sar);
-        darth_model.chip.area_budget = SquareMicrons::from_cm2(gpu.die_area_cm2);
-        if workload == Workload::Aes {
-            darth_model.early_levels = None;
-        }
-        let darth = darth_model.price(&trace);
+    for workload in matrix.workloads.clone() {
+        let gpu_report = matrix.cell(&workload.name, "gpu-rtx-4090").expect("priced");
+        let darth = matrix.cell(&workload.name, "darth-sar").expect("priced");
+        let digital = matrix
+            .cell(&workload.name, "digitalpum-oscar")
+            .expect("priced");
         // the digital chip scales with area linearly through cluster count
-        let digital = DigitalPumModel::paper(LogicFamily::Oscar).price(&trace);
-        let area_scale = gpu.die_area_cm2 / 2.57;
         let digital_thr = digital.throughput_items_per_s * area_scale;
         thr_rows.push((
-            workload.label().to_owned(),
+            workload.label.clone(),
             vec![
                 digital_thr / gpu_report.throughput_items_per_s,
-                darth.speedup_over(&gpu_report),
+                darth.speedup_over(gpu_report),
             ],
         ));
         eng_rows.push((
-            workload.label().to_owned(),
+            workload.label.clone(),
             vec![
                 gpu_report.energy_per_item_j / digital.energy_per_item_j,
-                darth.energy_savings_over(&gpu_report),
+                darth.energy_savings_over(gpu_report),
             ],
         ));
-        speedups.push(darth.speedup_over(&gpu_report));
-        savings.push(darth.energy_savings_over(&gpu_report));
+        speedups.push(darth.speedup_over(gpu_report));
+        savings.push(darth.energy_savings_over(gpu_report));
     }
     thr_rows.push((
         "GeoMean".to_owned(),
@@ -62,16 +74,21 @@ fn main() {
             geomean(&savings),
         ],
     ));
-    print_table(
-        "Figure 18a: iso-area speedup vs RTX 4090",
-        &["DigitalPUM", "DARTH-PUM"],
-        &thr_rows,
-    );
-    print_table(
-        "Figure 18b: iso-area energy savings vs RTX 4090",
-        &["DigitalPUM", "DARTH-PUM"],
-        &eng_rows,
-    );
+    let header = ["DigitalPUM", "DARTH-PUM"];
+    let thr_title = "Figure 18a: iso-area speedup vs RTX 4090";
+    let eng_title = "Figure 18b: iso-area energy savings vs RTX 4090";
+    print_table(thr_title, &header, &thr_rows);
+    print_table(eng_title, &header, &eng_rows);
     println!("\nPaper reference: DARTH-PUM averages 11.8x throughput and 7.5x energy vs the GPU;");
     println!("AES gains are the smallest (cache-resident lookup tables favour the GPU).");
+    emit_json(
+        "fig18",
+        &figure_json(
+            "fig18",
+            vec![
+                table_json(thr_title, &header, &thr_rows),
+                table_json(eng_title, &header, &eng_rows),
+            ],
+        ),
+    );
 }

@@ -4,6 +4,7 @@
 
 use darth_apps::cnn::data::{evaluate, train_classifier, Dataset};
 use darth_apps::cnn::resnet::{AnalogNoise, ResNet};
+use darth_bench::{emit_json, JsonValue};
 
 fn main() {
     let mut net = ResNet::new(16, 8, 3, 10, 42).expect("network builds");
@@ -24,4 +25,15 @@ fn main() {
     println!("\nPaper reference: 75.4% end-to-end accuracy with noise, matching Baseline");
     println!("and AppAccel (no accuracy loss from analog execution).");
     println!("Reproduction criterion: noisy accuracy within a few points of digital.");
+    emit_json(
+        "noise_accuracy",
+        &JsonValue::object(vec![
+            ("schema", JsonValue::from("darth-bench-figure/v1")),
+            ("figure", JsonValue::from("noise_accuracy")),
+            ("train_accuracy", JsonValue::from(train_acc)),
+            ("test_accuracy_digital", JsonValue::from(clean)),
+            ("test_accuracy_compensated", JsonValue::from(noisy)),
+            ("test_accuracy_uncompensated", JsonValue::from(raw)),
+        ]),
+    );
 }

@@ -3,6 +3,7 @@
 //! iso-area chip sizing of §6.
 
 use darth_analog::adc::AdcKind;
+use darth_bench::{emit_json, JsonValue};
 use darth_pum::params::{area, power, ChipParams, HctParams};
 
 fn main() {
@@ -15,40 +16,43 @@ fn main() {
     println!("ADCs                     SAR: 2; Ramp: 1");
     println!("ADC latency              SAR: 1 cycle; Ramp: 256 cycles");
 
+    let areas: Vec<(&str, f64)> = vec![
+        ("DCE ReRAM array", area::DCE_ARRAY),
+        ("Pipeline control", area::DCE_PIPELINE_CONTROL),
+        ("IO ctrl", area::DCE_IO_CTRL),
+        ("Decode & drive", area::DCE_DECODE_DRIVE),
+        ("Pipeline select", area::DCE_PIPELINE_SELECT),
+        ("ACE input buffers", area::ACE_INPUT_BUFFERS),
+        ("Row periphery", area::ACE_ROW_PERIPHERY),
+        ("SAR ADC", area::SAR_ADC),
+        ("Ramp ADC", area::RAMP_ADC),
+        ("Sample & hold", area::SAMPLE_HOLD),
+        ("Shift unit", area::SHIFT_UNIT),
+        ("A/D arbiter", area::AD_ARBITER),
+        ("Transpose unit", area::TRANSPOSE_UNIT),
+        ("Instr. injection unit", area::INSTR_INJECTION_UNIT),
+        ("Front end (8 HCTs)", area::FRONT_END),
+    ];
+    let powers: Vec<(&str, f64)> = vec![
+        ("Array (bool ops) mW", power::ARRAY_BOOL_OPS),
+        ("Pipeline ctrl mW", power::PIPELINE_CTRL),
+        ("Row periphery mW", power::ROW_PERIPHERY),
+        ("SAR ADC mW", power::SAR_ADC),
+        ("Ramp ADC mW", power::RAMP_ADC),
+        ("S&H mW", power::SAMPLE_HOLD),
+        ("Front end mW", power::FRONT_END),
+    ];
     println!("\n=== Table 3: area (um^2) and power (mW) ===");
-    println!("{:<26}{:>12}", "DCE ReRAM array", area::DCE_ARRAY);
-    println!(
-        "{:<26}{:>12}",
-        "Pipeline control",
-        area::DCE_PIPELINE_CONTROL
-    );
-    println!("{:<26}{:>12}", "IO ctrl", area::DCE_IO_CTRL);
-    println!("{:<26}{:>12}", "Decode & drive", area::DCE_DECODE_DRIVE);
-    println!("{:<26}{:>12}", "Pipeline select", area::DCE_PIPELINE_SELECT);
-    println!("{:<26}{:>12}", "ACE input buffers", area::ACE_INPUT_BUFFERS);
-    println!("{:<26}{:>12}", "Row periphery", area::ACE_ROW_PERIPHERY);
-    println!("{:<26}{:>12}", "SAR ADC", area::SAR_ADC);
-    println!("{:<26}{:>12}", "Ramp ADC", area::RAMP_ADC);
-    println!("{:<26}{:>12}", "Sample & hold", area::SAMPLE_HOLD);
-    println!("{:<26}{:>12}", "Shift unit", area::SHIFT_UNIT);
-    println!("{:<26}{:>12}", "A/D arbiter", area::AD_ARBITER);
-    println!("{:<26}{:>12}", "Transpose unit", area::TRANSPOSE_UNIT);
-    println!(
-        "{:<26}{:>12}",
-        "Instr. injection unit",
-        area::INSTR_INJECTION_UNIT
-    );
-    println!("{:<26}{:>12}", "Front end (8 HCTs)", area::FRONT_END);
+    for (label, value) in &areas {
+        println!("{label:<26}{value:>12}");
+    }
     println!();
-    println!("{:<26}{:>12}", "Array (bool ops) mW", power::ARRAY_BOOL_OPS);
-    println!("{:<26}{:>12}", "Pipeline ctrl mW", power::PIPELINE_CTRL);
-    println!("{:<26}{:>12}", "Row periphery mW", power::ROW_PERIPHERY);
-    println!("{:<26}{:>12}", "SAR ADC mW", power::SAR_ADC);
-    println!("{:<26}{:>12}", "Ramp ADC mW", power::RAMP_ADC);
-    println!("{:<26}{:>12}", "S&H mW", power::SAMPLE_HOLD);
-    println!("{:<26}{:>12}", "Front end mW", power::FRONT_END);
+    for (label, value) in &powers {
+        println!("{label:<26}{value:>12}");
+    }
 
     println!("\n=== Derived iso-area sizing (Section 6) ===");
+    let mut sizing = Vec::new();
     for adc in [AdcKind::Sar, AdcKind::Ramp] {
         let chip = ChipParams::paper(adc);
         println!(
@@ -57,5 +61,41 @@ fn main() {
             chip.hct_count(),
             chip.capacity_bytes() as f64 / 1e9
         );
+        sizing.push(JsonValue::object(vec![
+            ("adc", JsonValue::from(format!("{adc:?}"))),
+            ("hcts", JsonValue::from(chip.hct_count() as u64)),
+            ("capacity_bytes", JsonValue::from(chip.capacity_bytes())),
+        ]));
     }
+
+    let pairs = |items: &[(&str, f64)]| {
+        JsonValue::Object(
+            items
+                .iter()
+                .map(|&(k, v)| (k.to_owned(), JsonValue::from(v)))
+                .collect(),
+        )
+    };
+    emit_json(
+        "tables",
+        &JsonValue::object(vec![
+            ("schema", JsonValue::from("darth-bench-figure/v1")),
+            ("figure", JsonValue::from("tables")),
+            (
+                "table2",
+                JsonValue::object(vec![
+                    ("dce_pipelines", JsonValue::from(sar.dce_pipelines)),
+                    (
+                        "dce_pipeline_depth",
+                        JsonValue::from(sar.dce_pipeline_depth),
+                    ),
+                    ("array_dim", JsonValue::from(sar.array_dim)),
+                    ("ace_arrays", JsonValue::from(sar.ace_arrays)),
+                ]),
+            ),
+            ("table3_area_um2", pairs(&areas)),
+            ("table3_power_mw", pairs(&powers)),
+            ("iso_area_sizing", JsonValue::array(sizing)),
+        ]),
+    );
 }

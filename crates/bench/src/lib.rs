@@ -1,68 +1,51 @@
 //! Shared harness code for regenerating every table and figure of the
 //! DARTH-PUM paper.
 //!
-//! Each `fig*`/`tables` binary in `src/bin/` builds the three workload
-//! traces, prices them on every architecture model, and prints the
-//! paper-vs-measured comparison that `EXPERIMENTS.md` records. The
+//! Since the trait-based evaluation engine landed, this crate is a *view*
+//! layer: every `fig*`/`tables` binary in `src/bin/` asks `darth_eval`
+//! for a priced workload × architecture [`EvalMatrix`] (traces built
+//! once, cells priced in parallel) and renders one paper figure from its
+//! cells, next to the paper's reference numbers. Each binary also drops a
+//! machine-readable `BENCH_<figure>.json` via [`emit_json`]; the `eval`
+//! binary prices the full extended matrix (`BENCH_eval.json`). The
 //! Criterion benches in `benches/` exercise the functional simulators
-//! (AES on the tile, pipeline macros, crossbar MVMs).
+//! (AES on the tile, pipeline macros, crossbar MVMs) and the engine
+//! itself.
 
 use darth_analog::adc::AdcKind;
-use darth_apps::aes::workload::{block_trace, AesVariant};
-use darth_apps::cnn::resnet::ResNet;
-use darth_apps::cnn::workload::inference_trace;
-use darth_apps::llm::encoder::EncoderConfig;
-use darth_apps::llm::workload::encoder_trace;
-use darth_baselines::analog_only::BaselineModel;
-use darth_baselines::app_accel::AppAccelModel;
-use darth_baselines::digital_only::DigitalPumModel;
-use darth_baselines::gpu::GpuModel;
-use darth_digital::logic::LogicFamily;
-use darth_pum::model::DarthModel;
-use darth_pum::trace::{geomean, CostReport, Trace};
+use darth_eval::registry::{paper_models, paper_workloads};
+use darth_pum::trace::{geomean, CostReport};
+use std::path::PathBuf;
 
-/// The three evaluation workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Workload {
-    /// AES-128 encryption.
-    Aes,
-    /// ResNet-20 inference.
-    ResNet20,
-    /// LLM encoder pass.
-    LlmEnc,
+pub use darth_eval::{Engine, EvalMatrix, JsonValue, Threading};
+
+/// The registry slug fragment for an ADC choice (`"sar"` / `"ramp"`).
+pub fn adc_slug(adc: AdcKind) -> &'static str {
+    adc.slug()
 }
 
-impl Workload {
-    /// All workloads in figure order.
-    pub const ALL: [Workload; 3] = [Workload::Aes, Workload::ResNet20, Workload::LlmEnc];
-
-    /// Figure label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Workload::Aes => "AES",
-            Workload::ResNet20 => "ResNet-20",
-            Workload::LlmEnc => "LLMEnc",
-        }
+/// Prices the paper's three workloads on the five figure columns
+/// (Baseline, DigitalPUM, DARTH-PUM, AppAccel, GPU) with the chosen ADC
+/// for the analog-bearing chips.
+pub fn paper_matrix(adc: AdcKind) -> EvalMatrix {
+    let mut engine = Engine::new();
+    for workload in paper_workloads() {
+        engine.register_workload(workload);
     }
-
-    /// Builds the workload trace.
-    pub fn trace(self) -> Trace {
-        match self {
-            Workload::Aes => block_trace(AesVariant::Aes128),
-            Workload::ResNet20 => {
-                let net = ResNet::resnet20(1).expect("ResNet-20 builds");
-                inference_trace(&net).expect("trace builds")
-            }
-            Workload::LlmEnc => encoder_trace(&EncoderConfig::bert_base()),
-        }
+    for model in paper_models(adc) {
+        engine.register_model(model);
     }
+    engine.run()
 }
 
-/// All architecture reports for one workload.
+/// All architecture reports for one workload — one row of the paper
+/// matrix, named the way the figure code reads.
 #[derive(Debug, Clone)]
 pub struct WorkloadReports {
-    /// The workload.
-    pub workload: Workload,
+    /// Workload registry name (`"aes-128"`, …).
+    pub name: String,
+    /// Figure label (`"AES"`, `"ResNet-20"`, `"LLMEnc"`).
+    pub label: String,
     /// CPU + analog accelerator (the normalisation baseline).
     pub baseline: CostReport,
     /// Iso-area RACER chip.
@@ -76,33 +59,22 @@ pub struct WorkloadReports {
 }
 
 impl WorkloadReports {
-    /// Prices one workload on every architecture with the given ADC for
-    /// the analog-bearing chips.
-    pub fn build(workload: Workload, adc: AdcKind) -> Self {
-        let trace = workload.trace();
-        let baseline = BaselineModel::paper(adc).price(&trace);
-        let digital = DigitalPumModel::paper(LogicFamily::Oscar).price(&trace);
-        let mut darth_model = DarthModel::paper(adc);
-        if workload == Workload::Aes && adc == AdcKind::Ramp {
-            // §7.3: MixColumns terminates the ramp sweep after 4 levels.
-            darth_model.early_levels = Some(4);
-        }
-        let darth = darth_model.price(&trace);
-        let app_accel = match workload {
-            Workload::Aes => AppAccelModel::aes_ni(),
-            Workload::ResNet20 => AppAccelModel::cnn(AdcKind::Ramp),
-            Workload::LlmEnc => AppAccelModel::llm(AdcKind::Sar),
-        }
-        .price(&trace);
-        let gpu = GpuModel::rtx_4090().price(&trace);
-        WorkloadReports {
-            workload,
-            baseline,
-            digital,
-            darth,
-            app_accel,
-            gpu,
-        }
+    /// Extracts one workload's row from a [`paper_matrix`] run.
+    ///
+    /// Returns `None` when the workload or any of the five paper columns
+    /// is missing from the matrix.
+    pub fn from_matrix(matrix: &EvalMatrix, workload: &str, adc: AdcKind) -> Option<Self> {
+        let slug = adc_slug(adc);
+        let w = matrix.workload_index(workload)?;
+        Some(WorkloadReports {
+            name: matrix.workloads[w].name.clone(),
+            label: matrix.workloads[w].label.clone(),
+            baseline: matrix.cell(workload, &format!("baseline-{slug}"))?.clone(),
+            digital: matrix.cell(workload, "digitalpum-oscar")?.clone(),
+            darth: matrix.cell(workload, &format!("darth-{slug}"))?.clone(),
+            app_accel: matrix.cell(workload, "appaccel")?.clone(),
+            gpu: matrix.cell(workload, "gpu-rtx-4090")?.clone(),
+        })
     }
 
     /// Throughput of each architecture normalised to the Baseline
@@ -140,11 +112,16 @@ impl WorkloadReports {
     }
 }
 
-/// Builds reports for all three workloads.
+/// Builds reports for the paper's three workloads through the engine.
 pub fn all_reports(adc: AdcKind) -> Vec<WorkloadReports> {
-    Workload::ALL
+    let matrix = paper_matrix(adc);
+    matrix
+        .workloads
         .iter()
-        .map(|&w| WorkloadReports::build(w, adc))
+        .map(|w| {
+            WorkloadReports::from_matrix(&matrix, &w.name, adc)
+                .expect("paper matrix has all five columns")
+        })
         .collect()
 }
 
@@ -175,9 +152,83 @@ pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
     }
 }
 
+/// A printed table as JSON: `{title, columns, rows: [{label, values}]}`.
+pub fn table_json(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) -> JsonValue {
+    JsonValue::object(vec![
+        ("title", JsonValue::from(title)),
+        (
+            "columns",
+            JsonValue::array(header.iter().map(|&h| JsonValue::from(h)).collect()),
+        ),
+        (
+            "rows",
+            JsonValue::array(
+                rows.iter()
+                    .map(|(label, values)| {
+                        JsonValue::object(vec![
+                            ("label", JsonValue::from(label.clone())),
+                            (
+                                "values",
+                                JsonValue::array(
+                                    values.iter().map(|&v| JsonValue::from(v)).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Wraps a figure's tables in the `darth-bench-figure/v1` envelope.
+pub fn figure_json(figure: &str, tables: Vec<JsonValue>) -> JsonValue {
+    JsonValue::object(vec![
+        ("schema", JsonValue::from("darth-bench-figure/v1")),
+        ("figure", JsonValue::from(figure)),
+        ("tables", JsonValue::array(tables)),
+    ])
+}
+
+/// Writes `BENCH_<name>.json` into `$DARTH_BENCH_DIR` (default: the
+/// current directory), returning the path written.
+///
+/// # Errors
+///
+/// Propagates the filesystem error when the directory is not writable.
+pub fn write_json(name: &str, value: &JsonValue) -> std::io::Result<PathBuf> {
+    let dir = std::env::var_os("DARTH_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, value.pretty())?;
+    Ok(path)
+}
+
+/// [`write_json`], reporting the outcome on stdout/stderr instead of
+/// failing — figure binaries should still print their tables on a
+/// read-only filesystem.
+pub fn emit_json(name: &str, value: &JsonValue) {
+    match write_json(name, value) {
+        Ok(path) => println!("\n[machine-readable report: {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_{name}.json: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use darth_apps::aes::workload::{block_trace, AesVariant};
+    use darth_apps::cnn::resnet::ResNet;
+    use darth_apps::cnn::workload::inference_trace;
+    use darth_apps::llm::encoder::EncoderConfig;
+    use darth_apps::llm::workload::encoder_trace;
+    use darth_baselines::analog_only::BaselineModel;
+    use darth_baselines::app_accel::AppAccelModel;
+    use darth_baselines::digital_only::DigitalPumModel;
+    use darth_baselines::gpu::GpuModel;
+    use darth_digital::logic::LogicFamily;
+    use darth_pum::model::DarthModel;
 
     #[test]
     fn reports_build_for_all_workloads() {
@@ -197,16 +248,53 @@ mod tests {
         for reports in all_reports(AdcKind::Sar) {
             let (_, speedup, _) = reports.fig13_row();
             let (_, savings, _) = reports.fig16_row();
-            assert!(
-                speedup > 1.0,
-                "{}: speedup {speedup}",
-                reports.workload.label()
-            );
-            assert!(
-                savings > 1.0,
-                "{}: savings {savings}",
-                reports.workload.label()
-            );
+            assert!(speedup > 1.0, "{}: speedup {speedup}", reports.label);
+            assert!(savings > 1.0, "{}: savings {savings}", reports.label);
         }
+    }
+
+    /// The engine path reproduces the pre-engine figure numbers: price
+    /// each trace by direct model calls exactly the way the old
+    /// `WorkloadReports::build` did, and compare cell by cell.
+    #[test]
+    fn engine_reports_match_direct_model_pricing() {
+        for adc in [AdcKind::Sar, AdcKind::Ramp] {
+            let reports = all_reports(adc);
+            assert_eq!(reports.len(), 3);
+            let traces = [
+                block_trace(AesVariant::Aes128),
+                inference_trace(&ResNet::resnet20(1).expect("builds")).expect("builds"),
+                encoder_trace(&EncoderConfig::bert_base()),
+            ];
+            for (report, trace) in reports.iter().zip(&traces) {
+                assert_eq!(report.name, trace.name);
+                assert_eq!(report.baseline, BaselineModel::paper(adc).price(trace));
+                assert_eq!(
+                    report.digital,
+                    DigitalPumModel::paper(LogicFamily::Oscar).price(trace)
+                );
+                let mut darth_model = DarthModel::paper(adc);
+                if trace.name == "aes-128" && adc == AdcKind::Ramp {
+                    darth_model.early_levels = Some(4);
+                }
+                assert_eq!(report.darth, darth_model.price(trace));
+                let accel = match trace.name.as_str() {
+                    "aes-128" => AppAccelModel::aes_ni(),
+                    "llm-encoder" => AppAccelModel::llm(AdcKind::Sar),
+                    _ => AppAccelModel::cnn(AdcKind::Ramp),
+                };
+                assert_eq!(report.app_accel, accel.price(trace));
+                assert_eq!(report.gpu, GpuModel::rtx_4090().price(trace));
+            }
+        }
+    }
+
+    #[test]
+    fn table_json_round_trip_shape() {
+        let rows = vec![("AES".to_owned(), vec![1.0, 2.0])];
+        let json = table_json("t", &["a", "b"], &rows);
+        let text = json.pretty();
+        assert!(text.contains("\"label\": \"AES\""));
+        assert!(text.contains("\"columns\""));
     }
 }

@@ -37,17 +37,37 @@ impl SideChannel {
     }
 
     /// Stages a matrix, returning its handle.
-    pub fn stage_matrix(&mut self, matrix: Vec<Vec<i64>>) -> u16 {
-        let handle = self.matrices.keys().next_back().map_or(0, |k| k + 1);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ResourceExhausted`] once handle `u16::MAX` is in
+    /// use — the next allocation would wrap the `u16` handle space that
+    /// instructions encode.
+    pub fn stage_matrix(&mut self, matrix: Vec<Vec<i64>>) -> Result<u16> {
+        let handle = Self::next_handle(&self.matrices, "matrix handles")?;
         self.matrices.insert(handle, matrix);
-        handle
+        Ok(handle)
     }
 
     /// Stages a vector, returning its handle.
-    pub fn stage_vector(&mut self, vector: Vec<i64>) -> u16 {
-        let handle = self.vectors.keys().next_back().map_or(0, |k| k + 1);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ResourceExhausted`] once handle `u16::MAX` is in
+    /// use (see [`SideChannel::stage_matrix`]).
+    pub fn stage_vector(&mut self, vector: Vec<i64>) -> Result<u16> {
+        let handle = Self::next_handle(&self.vectors, "vector handles")?;
         self.vectors.insert(handle, vector);
-        handle
+        Ok(handle)
+    }
+
+    /// One past the highest staged handle, or an error when the `u16`
+    /// handle space is exhausted.
+    fn next_handle<T>(staged: &BTreeMap<u16, T>, what: &'static str) -> Result<u16> {
+        match staged.keys().next_back() {
+            None => Ok(0),
+            Some(&k) => k.checked_add(1).ok_or(Error::ResourceExhausted(what)),
+        }
     }
 }
 
@@ -571,7 +591,9 @@ mod tests {
     fn execute_hybrid_mvm_program() {
         let mut c = chip();
         let mut data = SideChannel::new();
-        let handle = data.stage_matrix(vec![vec![5, 9], vec![8, 7]]);
+        let handle = data
+            .stage_matrix(vec![vec![5, 9], vec![8, 7]])
+            .expect("stages");
         let program = assemble(&format!(
             "valloc ac0 4 4 3 0\n\
              progm ac0 {handle}\n\
@@ -625,8 +647,10 @@ mod tests {
     fn update_col_through_isa() {
         let mut c = chip();
         let mut data = SideChannel::new();
-        let mh = data.stage_matrix(vec![vec![1, 2], vec![3, 4]]);
-        let vh = data.stage_vector(vec![9, 9]);
+        let mh = data
+            .stage_matrix(vec![vec![1, 2], vec![3, 4]])
+            .expect("stages");
+        let vh = data.stage_vector(vec![9, 9]).expect("stages");
         let program = assemble(&format!(
             "valloc ac0 4 4 2 0\n\
              progm ac0 {mh}\n\
@@ -646,11 +670,28 @@ mod tests {
     #[test]
     fn side_channel_handles_increment() {
         let mut data = SideChannel::new();
-        let a = data.stage_matrix(vec![vec![1]]);
-        let b = data.stage_matrix(vec![vec![2]]);
+        let a = data.stage_matrix(vec![vec![1]]).expect("stages");
+        let b = data.stage_matrix(vec![vec![2]]).expect("stages");
         assert_ne!(a, b);
-        let v1 = data.stage_vector(vec![1]);
-        let v2 = data.stage_vector(vec![2]);
+        let v1 = data.stage_vector(vec![1]).expect("stages");
+        let v2 = data.stage_vector(vec![2]).expect("stages");
         assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn side_channel_handle_exhaustion_is_an_error() {
+        let mut data = SideChannel::new();
+        // Occupy the top of the u16 handle space directly; the next
+        // allocation has nowhere to go and must not wrap to 0.
+        data.matrices.insert(u16::MAX, vec![vec![1]]);
+        let err = data.stage_matrix(vec![vec![2]]).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted("matrix handles")));
+        data.vectors.insert(u16::MAX, vec![1]);
+        let err = data.stage_vector(vec![2]).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted("vector handles")));
+        // Allocation below the ceiling still works (no off-by-one).
+        let mut low = SideChannel::new();
+        low.matrices.insert(u16::MAX - 1, vec![vec![1]]);
+        assert_eq!(low.stage_matrix(vec![vec![2]]).expect("stages"), u16::MAX);
     }
 }

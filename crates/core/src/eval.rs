@@ -1,0 +1,117 @@
+//! The open evaluation contract: pluggable workloads × architecture models.
+//!
+//! The paper's evaluation is a matrix — every workload priced on every
+//! architecture — and this module defines the two axes as object-safe
+//! traits so the matrix is *open* on both sides:
+//!
+//! * a [`Workload`] lowers one work item into an architecture-neutral
+//!   [`Trace`] (the AES/ResNet/LLM scenarios in `darth_apps`, plus any
+//!   user-defined scenario);
+//! * an [`ArchModel`] prices a trace into a [`CostReport`] (the DARTH-PUM
+//!   model in [`crate::model`] and every comparison model in
+//!   `darth_baselines`).
+//!
+//! The `darth_eval` crate provides the engine that crosses registries of
+//! `Box<dyn Workload>` and `Box<dyn ArchModel>` in parallel; the traits
+//! live here, next to [`Trace`] and [`CostReport`], so each crate can
+//! implement them for its own types.
+
+use crate::trace::{CostReport, Trace};
+
+/// A workload scenario: anything that can lower itself into a [`Trace`].
+///
+/// Implementations are registered with the `darth_eval` engine, which
+/// builds each trace once (memoized) and prices it on every registered
+/// [`ArchModel`]. Trace construction may be expensive (synthesizing
+/// network weights, walking layer plans), which is why the engine
+/// parallelizes it — implementations must therefore be `Send + Sync` and
+/// `build_trace` must be deterministic for a given configuration.
+pub trait Workload: Send + Sync {
+    /// Stable identifier, unique within a registry (`"aes-128"`,
+    /// `"resnet-56"`, `"gemm-512x512x512"`); also the name of the trace
+    /// `build_trace` returns.
+    fn name(&self) -> String;
+
+    /// Human-readable figure label (`"AES"`, `"ResNet-20"`). Defaults to
+    /// [`Workload::name`].
+    fn label(&self) -> String {
+        self.name()
+    }
+
+    /// The scenario's parameters as `(key, value)` pairs, for the JSON
+    /// report. Defaults to none.
+    fn params(&self) -> Vec<(String, String)> {
+        Vec::new()
+    }
+
+    /// Lowers the work item into its kernel trace.
+    fn build_trace(&self) -> Trace;
+}
+
+/// An architecture model: anything that can price a [`Trace`].
+///
+/// `price` must be a pure function of `(self, trace)` — the engine calls
+/// it concurrently from multiple threads against the same shared trace.
+pub trait ArchModel: Send + Sync {
+    /// Stable identifier, unique within a registry (`"darth-sar"`,
+    /// `"baseline-sar"`, `"gpu-rtx-4090"`).
+    fn name(&self) -> String;
+
+    /// Human-readable figure label (`"DARTH-PUM"`, `"DigitalPUM"`).
+    /// Defaults to [`ArchModel::name`].
+    fn label(&self) -> String {
+        self.name()
+    }
+
+    /// Prices one work item on this architecture.
+    fn price(&self, trace: &Trace) -> CostReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Kernel, KernelOp};
+
+    struct OneMove;
+
+    impl Workload for OneMove {
+        fn name(&self) -> String {
+            "one-move".into()
+        }
+        fn build_trace(&self) -> Trace {
+            Trace::new(
+                self.name(),
+                vec![Kernel::new("mv", vec![KernelOp::HostMove { bytes: 64 }])],
+            )
+        }
+    }
+
+    struct FreeLunch;
+
+    impl ArchModel for FreeLunch {
+        fn name(&self) -> String {
+            "free-lunch".into()
+        }
+        fn price(&self, trace: &Trace) -> CostReport {
+            CostReport {
+                architecture: self.name(),
+                workload: trace.name.clone(),
+                latency_s: 1.0,
+                throughput_items_per_s: 1.0,
+                energy_per_item_j: 1.0,
+                kernel_latency_s: vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn traits_are_object_safe() {
+        let w: Box<dyn Workload> = Box::new(OneMove);
+        let m: Box<dyn ArchModel> = Box::new(FreeLunch);
+        assert_eq!(w.label(), "one-move");
+        assert!(w.params().is_empty());
+        let report = m.price(&w.build_trace());
+        assert_eq!(report.workload, "one-move");
+        assert_eq!(m.label(), "free-lunch");
+    }
+}

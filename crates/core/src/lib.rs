@@ -36,6 +36,9 @@
 //!   architecture model (this chip and all baselines) consumes.
 //! * [`model`] — the analytical DARTH-PUM cost model used for the
 //!   throughput/energy sweeps of Figures 13–18.
+//! * [`eval`] — the open evaluation contract: the [`eval::Workload`] and
+//!   [`eval::ArchModel`] traits that the `darth_eval` engine crosses into
+//!   a workload × architecture matrix.
 //!
 //! # Example: hybrid MVM through the runtime
 //!
@@ -54,6 +57,7 @@
 
 pub mod arbiter;
 pub mod chip;
+pub mod eval;
 pub mod front_end;
 pub mod hct;
 pub mod iiu;
@@ -66,6 +70,7 @@ pub mod transpose;
 pub mod vacore;
 
 pub use chip::DarthPumChip;
+pub use eval::{ArchModel, Workload};
 pub use hct::HybridComputeTile;
 pub use params::{ChipParams, HctParams};
 pub use runtime::Runtime;

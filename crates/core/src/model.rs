@@ -291,6 +291,29 @@ impl DarthModel {
     }
 }
 
+impl crate::eval::ArchModel for DarthModel {
+    /// `"darth-sar"` / `"darth-ramp"`, with the Figure-10a/ablation knobs
+    /// appended when they differ from the paper configuration.
+    fn name(&self) -> String {
+        let mut name = format!("darth-{}", self.chip.hct.adc_kind.slug());
+        if !self.use_iiu {
+            name.push_str("-noiiu");
+        }
+        if !self.optimized_schedule {
+            name.push_str("-serialized");
+        }
+        name
+    }
+
+    fn label(&self) -> String {
+        "DARTH-PUM".into()
+    }
+
+    fn price(&self, trace: &Trace) -> CostReport {
+        DarthModel::price(self, trace)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -251,13 +251,27 @@ impl CostReport {
     }
 }
 
-/// Geometric mean of a set of ratios (used for the GeoMean columns).
+/// Geometric mean of a set of ratios (used for the GeoMean columns and
+/// the evaluation engine's summary rows).
+///
+/// A geometric mean is only defined over positive values, so zero,
+/// negative, NaN and infinite entries (a workload with no measurable
+/// throughput, a failed cell) are skipped rather than poisoning the whole
+/// summary. Returns `0.0` when no valid ratio remains (including the
+/// empty slice).
 pub fn geomean(ratios: &[f64]) -> f64 {
-    if ratios.is_empty() {
+    let mut log_sum = 0.0;
+    let mut count = 0u32;
+    for &r in ratios {
+        if r.is_finite() && r > 0.0 {
+            log_sum += r.ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
         return 0.0;
     }
-    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
-    (log_sum / ratios.len() as f64).exp()
+    (log_sum / f64::from(count)).exp()
 }
 
 #[cfg(test)]
@@ -318,6 +332,16 @@ mod tests {
         assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
         assert!((geomean(&[8.0]) - 8.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_skips_degenerate_ratios() {
+        // Zero, negative and non-finite entries are excluded, not fatal.
+        assert!((geomean(&[4.0, 0.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[4.0, -3.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[4.0, f64::NAN, 1.0, f64::INFINITY]) - 2.0).abs() < 1e-12);
+        // Nothing valid left: fall back to 0.0 rather than NaN.
+        assert_eq!(geomean(&[0.0, -1.0, f64::NAN]), 0.0);
     }
 
     #[test]

@@ -1,0 +1,509 @@
+//! The evaluation engine: registries crossed into a priced matrix.
+//!
+//! An [`Engine`] owns two registries — `Box<dyn Workload>` scenarios and
+//! `Box<dyn ArchModel>` architectures — and prices the full cross product
+//! into an [`EvalMatrix`]. Work is split in two phases, both parallelized
+//! with `std::thread::scope` over disjoint output slices (no locks, no
+//! shared mutable state, and therefore bit-identical results in serial
+//! and parallel mode):
+//!
+//! 1. **Trace construction**, once per workload. Traces are memoized in
+//!    the engine, so repeated `run()` calls (e.g. after registering more
+//!    models) only build the scenarios they have not seen.
+//! 2. **Pricing**, once per `(workload, model)` cell against the shared
+//!    trace.
+
+use crate::json::JsonValue;
+use darth_pum::eval::{ArchModel, Workload};
+use darth_pum::trace::{geomean, CostReport, Trace};
+use std::collections::HashMap;
+use std::thread;
+
+/// How [`Engine::run`] schedules its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threading {
+    /// Everything on the calling thread (reference mode).
+    Serial,
+    /// One `std::thread::scope` worker per available core (capped by the
+    /// number of work items).
+    #[default]
+    Parallel,
+    /// A fixed worker count, independent of the host's core count
+    /// (`Workers(0)` behaves like `Workers(1)`).
+    Workers(usize),
+}
+
+impl Threading {
+    fn worker_count(self) -> usize {
+        match self {
+            Threading::Serial => 1,
+            Threading::Parallel => thread::available_parallelism().map_or(1, usize::from),
+            Threading::Workers(n) => n.max(1),
+        }
+    }
+}
+
+/// One workload row of the matrix: identity plus trace statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSummary {
+    /// Registry name (`Workload::name`).
+    pub name: String,
+    /// Figure label (`Workload::label`).
+    pub label: String,
+    /// Scenario parameters (`Workload::params`).
+    pub params: Vec<(String, String)>,
+    /// Total multiply–accumulates in the trace.
+    pub macs: u64,
+    /// Total element-ops in the trace.
+    pub element_ops: u64,
+    /// MVM share of the work (see [`Trace::mvm_fraction`]).
+    pub mvm_fraction: f64,
+}
+
+/// One model column of the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSummary {
+    /// Registry name (`ArchModel::name`).
+    pub name: String,
+    /// Figure label (`ArchModel::label`).
+    pub label: String,
+}
+
+/// The priced workload × architecture matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalMatrix {
+    /// Row descriptors, in registration order.
+    pub workloads: Vec<WorkloadSummary>,
+    /// Column descriptors, in registration order.
+    pub models: Vec<ModelSummary>,
+    /// Priced cells, row-major (`cells[w * models.len() + m]`).
+    pub cells: Vec<CostReport>,
+}
+
+impl EvalMatrix {
+    /// Index of a workload row by registry name.
+    pub fn workload_index(&self, workload: &str) -> Option<usize> {
+        self.workloads.iter().position(|w| w.name == workload)
+    }
+
+    /// Index of a model column by registry name.
+    pub fn model_index(&self, model: &str) -> Option<usize> {
+        self.models.iter().position(|m| m.name == model)
+    }
+
+    /// The cell at `(row, column)` indices.
+    pub fn cell_at(&self, workload: usize, model: usize) -> &CostReport {
+        &self.cells[workload * self.models.len() + model]
+    }
+
+    /// The cell for `(workload, model)` registry names.
+    pub fn cell(&self, workload: &str, model: &str) -> Option<&CostReport> {
+        let w = self.workload_index(workload)?;
+        let m = self.model_index(model)?;
+        Some(self.cell_at(w, m))
+    }
+
+    /// All cells of one workload row, in model order.
+    pub fn row(&self, workload: &str) -> Option<&[CostReport]> {
+        let w = self.workload_index(workload)?;
+        let m = self.models.len();
+        Some(&self.cells[w * m..(w + 1) * m])
+    }
+
+    /// Per-workload throughput ratios `model / baseline`, in row order.
+    pub fn speedups(&self, model: &str, baseline: &str) -> Vec<f64> {
+        self.ratios(model, baseline, CostReport::speedup_over)
+    }
+
+    /// Per-workload energy-savings ratios `baseline energy / model
+    /// energy`, in row order.
+    pub fn energy_savings(&self, model: &str, baseline: &str) -> Vec<f64> {
+        self.ratios(model, baseline, CostReport::energy_savings_over)
+    }
+
+    /// Geometric mean of [`EvalMatrix::speedups`] — the summary row under
+    /// the figures.
+    pub fn geomean_speedup(&self, model: &str, baseline: &str) -> f64 {
+        geomean(&self.speedups(model, baseline))
+    }
+
+    /// Geometric mean of [`EvalMatrix::energy_savings`].
+    pub fn geomean_energy_savings(&self, model: &str, baseline: &str) -> f64 {
+        geomean(&self.energy_savings(model, baseline))
+    }
+
+    fn ratios(
+        &self,
+        model: &str,
+        baseline: &str,
+        ratio: impl Fn(&CostReport, &CostReport) -> f64,
+    ) -> Vec<f64> {
+        let (Some(m), Some(b)) = (self.model_index(model), self.model_index(baseline)) else {
+            return Vec::new();
+        };
+        (0..self.workloads.len())
+            .map(|w| ratio(self.cell_at(w, m), self.cell_at(w, b)))
+            .collect()
+    }
+
+    /// The whole matrix as a JSON document (`darth-eval-matrix/v1`).
+    pub fn to_json(&self) -> JsonValue {
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|w| {
+                JsonValue::object(vec![
+                    ("name", JsonValue::from(w.name.clone())),
+                    ("label", JsonValue::from(w.label.clone())),
+                    (
+                        "params",
+                        JsonValue::Object(
+                            w.params
+                                .iter()
+                                .map(|(k, v)| (k.clone(), JsonValue::from(v.clone())))
+                                .collect(),
+                        ),
+                    ),
+                    ("macs", JsonValue::from(w.macs)),
+                    ("element_ops", JsonValue::from(w.element_ops)),
+                    ("mvm_fraction", JsonValue::from(w.mvm_fraction)),
+                ])
+            })
+            .collect();
+        let models = self
+            .models
+            .iter()
+            .map(|m| {
+                JsonValue::object(vec![
+                    ("name", JsonValue::from(m.name.clone())),
+                    ("label", JsonValue::from(m.label.clone())),
+                ])
+            })
+            .collect();
+        let cells = self
+            .workloads
+            .iter()
+            .enumerate()
+            .flat_map(|(w, workload)| {
+                self.models.iter().enumerate().map(move |(m, model)| {
+                    let report = self.cell_at(w, m);
+                    JsonValue::object(vec![
+                        ("workload", JsonValue::from(workload.name.clone())),
+                        ("model", JsonValue::from(model.name.clone())),
+                        ("architecture", JsonValue::from(report.architecture.clone())),
+                        ("latency_s", JsonValue::from(report.latency_s)),
+                        (
+                            "throughput_items_per_s",
+                            JsonValue::from(report.throughput_items_per_s),
+                        ),
+                        (
+                            "energy_per_item_j",
+                            JsonValue::from(report.energy_per_item_j),
+                        ),
+                        (
+                            "kernels",
+                            JsonValue::array(
+                                report
+                                    .kernel_latency_s
+                                    .iter()
+                                    .map(|(name, latency)| {
+                                        JsonValue::object(vec![
+                                            ("name", JsonValue::from(name.clone())),
+                                            ("latency_s", JsonValue::from(*latency)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("schema", JsonValue::from("darth-eval-matrix/v1")),
+            ("workloads", JsonValue::Array(workloads)),
+            ("models", JsonValue::Array(models)),
+            ("cells", JsonValue::Array(cells)),
+        ])
+    }
+}
+
+/// The evaluation engine. See the [module docs](self) for the phases.
+#[derive(Default)]
+pub struct Engine {
+    workloads: Vec<Box<dyn Workload>>,
+    models: Vec<Box<dyn ArchModel>>,
+    threading: Threading,
+    trace_cache: HashMap<String, Trace>,
+}
+
+impl Engine {
+    /// An empty engine (parallel by default).
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Sets the scheduling mode for subsequent [`Engine::run`] calls.
+    pub fn set_threading(&mut self, threading: Threading) {
+        self.threading = threading;
+    }
+
+    /// Registers a workload scenario (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a workload with the same [`Workload::name`] is already
+    /// registered — every row of the matrix must be addressable by name.
+    pub fn register_workload(&mut self, workload: Box<dyn Workload>) -> &mut Self {
+        let name = workload.name();
+        assert!(
+            !self.workloads.iter().any(|w| w.name() == name),
+            "duplicate workload '{name}'"
+        );
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Registers an architecture model (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a model with the same [`ArchModel::name`] is already
+    /// registered.
+    pub fn register_model(&mut self, model: Box<dyn ArchModel>) -> &mut Self {
+        let name = model.name();
+        assert!(
+            !self.models.iter().any(|m| m.name() == name),
+            "duplicate model '{name}'"
+        );
+        self.models.push(model);
+        self
+    }
+
+    /// Registered workload count.
+    pub fn workload_count(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Registered model count.
+    pub fn model_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Prices the full workload × model matrix.
+    ///
+    /// Traces built by earlier runs are reused (memoized by workload
+    /// name); rows and columns appear in registration order.
+    pub fn run(&mut self) -> EvalMatrix {
+        let threads = self.threading.worker_count();
+        self.build_missing_traces(threads);
+        let traces: Vec<&Trace> = self
+            .workloads
+            .iter()
+            .map(|w| &self.trace_cache[&w.name()])
+            .collect();
+
+        let cells = price_cells(&self.models, &traces, threads);
+        let workloads = self
+            .workloads
+            .iter()
+            .zip(&traces)
+            .map(|(w, trace)| WorkloadSummary {
+                name: w.name(),
+                label: w.label(),
+                params: w.params(),
+                macs: trace.macs(),
+                element_ops: trace.element_ops(),
+                mvm_fraction: trace.mvm_fraction(),
+            })
+            .collect();
+        let models = self
+            .models
+            .iter()
+            .map(|m| ModelSummary {
+                name: m.name(),
+                label: m.label(),
+            })
+            .collect();
+        EvalMatrix {
+            workloads,
+            models,
+            cells,
+        }
+    }
+
+    /// Builds (in parallel) every registered trace not yet in the cache.
+    fn build_missing_traces(&mut self, threads: usize) {
+        let missing: Vec<&dyn Workload> = self
+            .workloads
+            .iter()
+            .map(AsRef::as_ref)
+            .filter(|w| !self.trace_cache.contains_key(&w.name()))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let mut built: Vec<Option<Trace>> = missing.iter().map(|_| None).collect();
+        let chunk = missing.len().div_ceil(threads.max(1));
+        thread::scope(|scope| {
+            for (out_chunk, work_chunk) in built.chunks_mut(chunk).zip(missing.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, workload) in out_chunk.iter_mut().zip(work_chunk) {
+                        *slot = Some(workload.build_trace());
+                    }
+                });
+            }
+        });
+        for (workload, trace) in missing.iter().zip(built) {
+            let trace = trace.expect("every spawned chunk fills its slots");
+            self.trace_cache.insert(workload.name(), trace);
+        }
+    }
+}
+
+/// Prices every `(workload, model)` cell, row-major, splitting the cell
+/// range across `threads` scoped workers over disjoint output chunks.
+fn price_cells(
+    models: &[Box<dyn ArchModel>],
+    traces: &[&Trace],
+    threads: usize,
+) -> Vec<CostReport> {
+    let total = traces.len() * models.len();
+    let mut cells: Vec<Option<CostReport>> = (0..total).map(|_| None).collect();
+    if total == 0 {
+        return Vec::new();
+    }
+    let chunk = total.div_ceil(threads.max(1));
+    thread::scope(|scope| {
+        for (chunk_index, out_chunk) in cells.chunks_mut(chunk).enumerate() {
+            let start = chunk_index * chunk;
+            scope.spawn(move || {
+                for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                    let index = start + offset;
+                    let (w, m) = (index / models.len(), index % models.len());
+                    *slot = Some(models[m].price(traces[w]));
+                }
+            });
+        }
+    });
+    cells
+        .into_iter()
+        .map(|cell| cell.expect("every cell chunk was priced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darth_pum::trace::{Kernel, KernelOp};
+
+    struct Moves(u64);
+
+    impl Workload for Moves {
+        fn name(&self) -> String {
+            format!("moves-{}", self.0)
+        }
+        fn build_trace(&self) -> Trace {
+            Trace::new(
+                self.name(),
+                vec![Kernel::new(
+                    "mv",
+                    vec![KernelOp::HostMove { bytes: self.0 }],
+                )],
+            )
+        }
+    }
+
+    struct PerByte(f64);
+
+    impl ArchModel for PerByte {
+        fn name(&self) -> String {
+            format!("per-byte-{}", self.0)
+        }
+        fn price(&self, trace: &Trace) -> CostReport {
+            let bytes: u64 = trace.kernels.iter().map(Kernel::host_bytes).sum();
+            let latency_s = self.0 * bytes as f64;
+            CostReport {
+                architecture: self.name(),
+                workload: trace.name.clone(),
+                latency_s,
+                throughput_items_per_s: 1.0 / latency_s,
+                energy_per_item_j: latency_s,
+                kernel_latency_s: vec![("mv".into(), latency_s)],
+            }
+        }
+    }
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        e.register_workload(Box::new(Moves(8)))
+            .register_workload(Box::new(Moves(64)))
+            .register_model(Box::new(PerByte(1.0)))
+            .register_model(Box::new(PerByte(4.0)));
+        e
+    }
+
+    #[test]
+    fn matrix_is_row_major_and_addressable() {
+        let matrix = engine().run();
+        assert_eq!(matrix.workloads.len(), 2);
+        assert_eq!(matrix.models.len(), 2);
+        assert_eq!(matrix.cells.len(), 4);
+        let cell = matrix.cell("moves-64", "per-byte-4").expect("exists");
+        assert_eq!(cell.latency_s, 256.0);
+        assert_eq!(matrix.cell("moves-64", "nope"), None);
+        let row = matrix.row("moves-8").expect("exists");
+        assert_eq!(row.len(), 2);
+        assert_eq!(row[1].latency_s, 32.0);
+    }
+
+    #[test]
+    fn ratios_and_geomeans() {
+        let matrix = engine().run();
+        let speedups = matrix.speedups("per-byte-1", "per-byte-4");
+        assert_eq!(speedups, vec![4.0, 4.0]);
+        assert!((matrix.geomean_speedup("per-byte-1", "per-byte-4") - 4.0).abs() < 1e-12);
+        assert!((matrix.geomean_energy_savings("per-byte-1", "per-byte-4") - 4.0).abs() < 1e-12);
+        assert!(matrix.speedups("per-byte-1", "nope").is_empty());
+    }
+
+    #[test]
+    fn trace_cache_survives_reruns() {
+        let mut e = engine();
+        let first = e.run();
+        e.register_model(Box::new(PerByte(2.0)));
+        let second = e.run();
+        assert_eq!(second.models.len(), 3);
+        // The first two columns are unchanged by the wider rerun.
+        for w in ["moves-8", "moves-64"] {
+            for m in ["per-byte-1", "per-byte-4"] {
+                assert_eq!(first.cell(w, m), second.cell(w, m));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate workload")]
+    fn duplicate_workload_names_are_rejected() {
+        let mut e = Engine::new();
+        e.register_workload(Box::new(Moves(8)))
+            .register_workload(Box::new(Moves(8)));
+    }
+
+    #[test]
+    fn json_report_names_every_cell() {
+        let matrix = engine().run();
+        let text = matrix.to_json().pretty();
+        assert!(text.contains("darth-eval-matrix/v1"));
+        for name in ["moves-8", "moves-64", "per-byte-1", "per-byte-4"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn empty_engine_prices_an_empty_matrix() {
+        let matrix = Engine::new().run();
+        assert!(matrix.cells.is_empty());
+        assert!(matrix.workloads.is_empty());
+    }
+}

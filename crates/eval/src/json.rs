@@ -1,0 +1,202 @@
+//! A minimal JSON value and writer.
+//!
+//! The workspace builds offline against a stub `serde` (see
+//! `vendor/serde`), so machine-readable reports are emitted through this
+//! small tree-builder instead of a serialization framework. It covers
+//! exactly what the evaluation reports need: objects with ordered keys,
+//! arrays, strings with escaping, and numbers (non-finite floats become
+//! `null`, which keeps the output valid JSON).
+
+use std::fmt;
+
+/// A JSON document fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: Vec<(K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn array(items: Vec<JsonValue>) -> JsonValue {
+        JsonValue::Array(items)
+    }
+
+    /// Renders with two-space indentation and a trailing newline, ready
+    /// to write to a `BENCH_*.json` file.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.is_finite() {
+                    // `{}` on f64 is the shortest round-tripping decimal.
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Num(n)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let v = JsonValue::object(vec![
+            ("name", JsonValue::from("aes-128")),
+            ("speedup", JsonValue::from(59.4)),
+            ("tags", JsonValue::array(vec![JsonValue::from("crypto")])),
+            ("empty", JsonValue::array(vec![])),
+        ]);
+        let text = v.pretty();
+        assert!(text.contains("\"name\": \"aes-128\""));
+        assert!(text.contains("\"speedup\": 59.4"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn escapes_strings_and_maps_nonfinite_to_null() {
+        let v = JsonValue::object(vec![
+            ("q", JsonValue::from("say \"hi\"\n\\end\u{1}")),
+            ("nan", JsonValue::Num(f64::NAN)),
+            ("inf", JsonValue::Num(f64::INFINITY)),
+        ]);
+        let text = v.pretty();
+        assert!(text.contains("\"say \\\"hi\\\"\\n\\\\end\\u0001\""));
+        assert!(text.contains("\"nan\": null"));
+        assert!(text.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn numbers_round_trip_shortest() {
+        assert_eq!(JsonValue::Num(0.1).pretty(), "0.1\n");
+        assert_eq!(JsonValue::from(42u64).pretty(), "42\n");
+    }
+}

@@ -1,0 +1,61 @@
+//! The DARTH-PUM evaluation engine: pluggable workloads × architecture
+//! models, priced in parallel.
+//!
+//! The paper's evaluation (Figures 13–18) is a cross product: every
+//! workload priced on every architecture. This crate makes that matrix
+//! *open* and *fast*:
+//!
+//! * [`engine::Engine`] holds registries of `Box<dyn Workload>` and
+//!   `Box<dyn ArchModel>` (the traits live in [`darth_pum::eval`], next
+//!   to [`darth_pum::trace::Trace`]), memoizes trace construction, and
+//!   prices the full matrix with `std::thread::scope` workers over
+//!   disjoint output slices — serial and parallel runs are bit-identical.
+//! * [`engine::EvalMatrix`] is the structured result: addressable cells,
+//!   ratio/geomean helpers for the figure summaries, and a JSON report
+//!   ([`engine::EvalMatrix::to_json`]) so every run can drop a
+//!   machine-readable `BENCH_*.json`.
+//! * [`registry`] provides the standard registries — the paper's three
+//!   workloads and five architecture columns, the extended scenario
+//!   sweeps (AES key sizes, ResNet depths, encoder shapes, GEMM sizes) —
+//!   plus the two paper-policy wrappers ([`registry::PaperDarthModel`],
+//!   [`registry::PaperAppAccel`]).
+//! * [`json`] is the tiny offline JSON writer behind the reports.
+//!
+//! # Example: price a custom workload on the paper's architectures
+//!
+//! ```
+//! use darth_eval::{Engine, registry};
+//! use darth_pum::eval::Workload;
+//! use darth_pum::trace::{Kernel, KernelOp, Trace};
+//!
+//! struct MemCopy;
+//!
+//! impl Workload for MemCopy {
+//!     fn name(&self) -> String {
+//!         "memcopy-1k".into()
+//!     }
+//!     fn build_trace(&self) -> Trace {
+//!         Trace::new(
+//!             self.name(),
+//!             vec![Kernel::new("copy", vec![KernelOp::OnChipMove { bytes: 1024 }])],
+//!         )
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! engine.register_workload(Box::new(MemCopy));
+//! for model in registry::all_models() {
+//!     engine.register_model(model);
+//! }
+//! let matrix = engine.run();
+//! let cell = matrix.cell("memcopy-1k", "darth-sar").expect("priced");
+//! assert!(cell.latency_s > 0.0);
+//! ```
+
+pub mod engine;
+pub mod json;
+pub mod registry;
+
+pub use engine::{Engine, EvalMatrix, ModelSummary, Threading, WorkloadSummary};
+pub use json::JsonValue;
+pub use registry::{PaperAppAccel, PaperDarthModel};

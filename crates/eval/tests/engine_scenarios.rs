@@ -1,0 +1,120 @@
+//! Integration tests for the evaluation engine over the real registries:
+//! determinism across scheduling modes, and matrix openness (registering
+//! new workloads/models without touching any harness internals).
+
+use darth_eval::registry::{all_models, paper_models, paper_workloads};
+use darth_eval::{Engine, Threading};
+use darth_pum::eval::{ArchModel, Workload};
+use darth_pum::trace::{CostReport, KernelOp, Trace};
+
+fn paper_engine() -> Engine {
+    let mut engine = Engine::new();
+    for workload in paper_workloads() {
+        engine.register_workload(workload);
+    }
+    for model in all_models() {
+        engine.register_model(model);
+    }
+    engine
+}
+
+/// Same registries ⇒ identical `EvalMatrix`, whether the cells are priced
+/// serially, with the host's core count, or with a forced worker count
+/// larger than the cell chunks.
+#[test]
+fn matrix_is_deterministic_across_scheduling_modes() {
+    let serial = {
+        let mut e = paper_engine();
+        e.set_threading(Threading::Serial);
+        e.run()
+    };
+    for threading in [
+        Threading::Parallel,
+        Threading::Workers(2),
+        Threading::Workers(7),
+    ] {
+        let mut e = paper_engine();
+        e.set_threading(threading);
+        assert_eq!(serial, e.run(), "{threading:?} diverged from serial");
+    }
+}
+
+struct DoubledAes;
+
+impl Workload for DoubledAes {
+    fn name(&self) -> String {
+        "aes-128-x2".into()
+    }
+    fn build_trace(&self) -> Trace {
+        // Two back-to-back block encryptions as one work item.
+        let one =
+            darth_apps::aes::workload::block_trace(darth_apps::aes::workload::AesVariant::Aes128);
+        let mut kernels = one.kernels.clone();
+        kernels.extend(one.kernels.clone());
+        Trace::new(self.name(), kernels).with_pipelines_per_item(3)
+    }
+}
+
+struct FlatRate;
+
+impl ArchModel for FlatRate {
+    fn name(&self) -> String {
+        "flat-rate".into()
+    }
+    fn price(&self, trace: &Trace) -> CostReport {
+        let cycles: u64 = trace
+            .kernels
+            .iter()
+            .flat_map(|k| &k.ops)
+            .map(|op| match *op {
+                KernelOp::HostMove { bytes } | KernelOp::OnChipMove { bytes } => bytes,
+                _ => op.macs() + op.element_ops(),
+            })
+            .sum::<u64>()
+            .max(1);
+        let latency_s = cycles as f64 * 1e-9;
+        CostReport {
+            architecture: "flat rate (1 op/ns)".into(),
+            workload: trace.name.clone(),
+            latency_s,
+            throughput_items_per_s: 1.0 / latency_s,
+            energy_per_item_j: cycles as f64 * 1e-12,
+            kernel_latency_s: trace
+                .kernels
+                .iter()
+                .map(|k| (k.name.clone(), (k.macs() + k.element_ops()) as f64 * 1e-9))
+                .collect(),
+        }
+    }
+}
+
+/// The matrix is open: a user-defined workload and a user-defined model
+/// registered next to the paper registries show up as a full row and a
+/// full column, priced against everything else — no harness changes.
+#[test]
+fn custom_workload_and_model_extend_the_matrix() {
+    let mut engine = Engine::new();
+    for workload in paper_workloads() {
+        engine.register_workload(workload);
+    }
+    engine.register_workload(Box::new(DoubledAes));
+    for model in paper_models(darth_analog::adc::AdcKind::Sar) {
+        engine.register_model(model);
+    }
+    engine.register_model(Box::new(FlatRate));
+    let matrix = engine.run();
+
+    assert_eq!(matrix.workloads.len(), 4);
+    assert_eq!(matrix.models.len(), 6);
+    assert_eq!(matrix.cells.len(), 24);
+    // The custom row is priced on a paper model…
+    let custom_row = matrix.cell("aes-128-x2", "darth-sar").expect("priced");
+    let paper_row = matrix.cell("aes-128", "darth-sar").expect("priced");
+    assert!(custom_row.latency_s > paper_row.latency_s);
+    // …and the custom column prices a paper workload.
+    let custom_cell = matrix.cell("resnet-20", "flat-rate").expect("priced");
+    assert!(custom_cell.throughput_items_per_s > 0.0);
+    // Kernel structure flows through untouched.
+    let kernel_sum: f64 = custom_row.kernel_latency_s.iter().map(|(_, t)| t).sum();
+    assert!(kernel_sum > 0.0);
+}

@@ -12,7 +12,7 @@ use darth_pum::params::ChipParams;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut chip = DarthPumChip::new(ChipParams::default(), HctConfig::small_test())?;
     let mut data = SideChannel::new();
-    let matrix_handle = data.stage_matrix(vec![vec![5, 9], vec![8, 7]]);
+    let matrix_handle = data.stage_matrix(vec![vec![5, 9], vec![8, 7]])?;
 
     let source = format!(
         "# Figure 9's walkthrough as an ISA program\n\

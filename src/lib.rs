@@ -11,11 +11,13 @@
 //! * [`darth_pum`] — the DARTH-PUM chip: hybrid compute tiles, runtime
 //! * [`darth_apps`] — AES, ResNet-20 and LLM-encoder workloads
 //! * [`darth_baselines`] — CPU/GPU/accelerator comparison models
+//! * [`darth_eval`] — the workload × architecture evaluation engine
 
 pub use darth_analog as analog;
 pub use darth_apps as apps;
 pub use darth_baselines as baselines;
 pub use darth_digital as digital;
+pub use darth_eval as eval;
 pub use darth_isa as isa;
 pub use darth_pum as pum;
 pub use darth_reram as reram;

@@ -14,7 +14,9 @@ fn isa_program_drives_hybrid_mvm() {
     let mut chip =
         DarthPumChip::new(ChipParams::default(), HctConfig::small_test()).expect("chip builds");
     let mut data = SideChannel::new();
-    let handle = data.stage_matrix(vec![vec![3, -4], vec![5, 6]]);
+    let handle = data
+        .stage_matrix(vec![vec![3, -4], vec![5, 6]])
+        .expect("stages");
     let program = assemble(&format!(
         "valloc ac0 4 2 4 1\n\
          progm ac0 {handle}\n\
