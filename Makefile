@@ -3,13 +3,26 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval clean
+## Virtual-memory ceiling (KB) for `make eval-large`: 2 GiB. The
+## streaming pipeline prices a ≥1M-block AES stream well under it; the
+## materialized path needs ~3 GB of KernelOps and dies, by design.
+EVAL_LARGE_CAP_KB ?= 2097152
+
+.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence clean
 
 all: verify
 
 ## Tier-1 gate (release build + full test suite) plus the PR-1 lint
-## gates: clippy and rustfmt, both warnings-as-errors.
-verify: build test lint fmt-check
+## gates: clippy and rustfmt, both warnings-as-errors — and the
+## streaming/materialized equivalence regression, explicitly.
+verify: build test lint fmt-check equivalence
+
+## The registry-wide bit-identity regression: price(stream) ==
+## price(&Trace) == engine replay for every (workload, model) cell,
+## serial and parallel. Also part of `make test`; kept addressable so
+## the guarantee is auditable on its own.
+equivalence:
+	$(CARGO) test -q -p darth_eval --test streaming_equivalence
 
 build:
 	$(CARGO) build --release
@@ -52,6 +65,22 @@ figures:
 ## evaluation engine (serial vs parallel timing) and write BENCH_eval.json.
 eval:
 	$(CARGO) run -q --release -p darth_bench --bin eval
+
+## Price the bulk scenarios (>=1M-block AES, seq-4096 + GPT-2-XL
+## encoders, ResNet-110) under a hard memory ceiling, writing
+## BENCH_eval_large.json — then demonstrate that the materialized path
+## cannot fit under the same ceiling (its OOM abort is the expected
+## outcome of the second step).
+eval-large: build
+	@echo "== streaming pipeline under ulimit -v $(EVAL_LARGE_CAP_KB) KB =="
+	@bash -c 'ulimit -v $(EVAL_LARGE_CAP_KB); exec ./target/release/eval_large'
+	@echo "== materialized path under the same ceiling (expected to fail) =="
+	@if bash -c 'ulimit -v $(EVAL_LARGE_CAP_KB); exec ./target/release/eval_large --materialized' 2>/dev/null; then \
+		echo "ERROR: the materialized path fit under the cap — the demonstration is broken"; \
+		exit 1; \
+	else \
+		echo "materialized path exceeded the $(EVAL_LARGE_CAP_KB) KB cap, as expected"; \
+	fi
 
 clean:
 	$(CARGO) clean

@@ -1,12 +1,23 @@
-//! The AES workload trace (one 16-byte block encryption).
+//! The AES workload stream (block encryptions as op events).
 //!
 //! Kernel names match Figure 14's breakdown categories: `DataMovement`,
 //! `SubBytes`, `ShiftRows`, `MixColumns`, `AddRoundKey`. The per-round op
 //! counts follow the §5.3 mapping: 16 S-box gathers, a staged 16-element
 //! permutation gather, four 32×32 binary MVMs, and one 16-lane XOR.
+//!
+//! Two emitters live here:
+//!
+//! * [`emit_block`] streams *one* block encryption — the paper's
+//!   evaluation point, collected into the legacy [`Trace`] by
+//!   [`block_trace`];
+//! * [`BulkAesWorkload`] streams an arbitrary number of blocks with
+//!   run-length op batches ([`TraceSink::op_run`]), so a million-block
+//!   scenario emits a few dozen events and prices in O(1) memory —
+//!   materializing the same stream costs gigabytes (that contrast is the
+//!   `make eval-large` demonstration).
 
 use darth_pum::eval::Workload;
-use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
+use darth_pum::trace::{KernelOp, Trace, TraceMeta, TraceSink, VectorKind};
 
 /// Rounds for each AES variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,108 +39,112 @@ impl AesVariant {
             AesVariant::Aes256 => 14,
         }
     }
+
+    /// The registry slug (`"aes-128"`, …).
+    pub fn slug(self) -> &'static str {
+        match self {
+            AesVariant::Aes128 => "aes-128",
+            AesVariant::Aes192 => "aes-192",
+            AesVariant::Aes256 => "aes-256",
+        }
+    }
 }
 
-fn sub_bytes_ops() -> Vec<KernelOp> {
-    vec![KernelOp::TableLookup {
-        elements: 16,
-        table_size: 256,
-        bits: 8,
-    }]
-}
+/// One S-box gather: 16 byte lookups through the 256-entry table.
+const SUB_BYTES_LOOKUP: KernelOp = KernelOp::TableLookup {
+    elements: 16,
+    table_size: 256,
+    bits: 8,
+};
 
-fn shift_rows_ops() -> Vec<KernelOp> {
-    vec![
-        KernelOp::Vector {
-            kind: VectorKind::Copy,
-            elements: 16,
-            bits: 8,
-            count: 1,
-        },
-        KernelOp::TableLookup {
-            elements: 16,
-            table_size: 64,
-            bits: 8,
-        },
-    ]
-}
+/// The staged ShiftRows permutation gather.
+const SHIFT_ROWS_LOOKUP: KernelOp = KernelOp::TableLookup {
+    elements: 16,
+    table_size: 64,
+    bits: 8,
+};
 
-fn mix_columns_ops() -> Vec<KernelOp> {
-    vec![
-        // Four column transforms through the 32x32 binary matrix; the
-        // 1-bit inputs need no input slicing.
-        KernelOp::Mvm {
-            rows: 32,
-            cols: 32,
-            input_bits: 1,
-            weight_bits: 1,
-            batch: 4,
-        },
-        // Bit unpack/pack around the crossbar.
-        KernelOp::Vector {
-            kind: VectorKind::Shift,
-            elements: 16,
-            bits: 8,
-            count: 16,
-        },
-    ]
-}
+/// A 16-byte state copy between pipeline registers.
+const STATE_COPY: KernelOp = KernelOp::Vector {
+    kind: VectorKind::Copy,
+    elements: 16,
+    bits: 8,
+    count: 1,
+};
 
-fn add_round_key_ops() -> Vec<KernelOp> {
-    vec![
-        KernelOp::Vector {
-            kind: VectorKind::Copy,
-            elements: 16,
-            bits: 8,
-            count: 1,
-        },
-        KernelOp::Vector {
-            kind: VectorKind::Bool,
-            elements: 16,
-            bits: 8,
-            count: 1,
-        },
-    ]
-}
+/// The 16-lane round-key XOR.
+const ROUND_KEY_XOR: KernelOp = KernelOp::Vector {
+    kind: VectorKind::Bool,
+    elements: 16,
+    bits: 8,
+    count: 1,
+};
 
-/// Builds the trace for one block encryption.
+/// Four column transforms through the 32×32 binary matrix; the 1-bit
+/// inputs need no input slicing.
+const MIX_COLUMNS_MVM: KernelOp = KernelOp::Mvm {
+    rows: 32,
+    cols: 32,
+    input_bits: 1,
+    weight_bits: 1,
+    batch: 4,
+};
+
+/// Bit unpack/pack around the crossbar.
+const MIX_COLUMNS_PACK: KernelOp = KernelOp::Vector {
+    kind: VectorKind::Shift,
+    elements: 16,
+    bits: 8,
+    count: 16,
+};
+
+/// Streams one block encryption into `sink` (metadata plus the five
+/// Figure 14 kernels, ops in the §5.3 per-round order).
 ///
 /// Kernels aggregate over all rounds so Figure 14's percentages read
 /// directly from the per-kernel breakdown.
-pub fn block_trace(variant: AesVariant) -> Trace {
-    let rounds = variant.rounds();
-    let mut sub_bytes = Vec::new();
-    let mut shift_rows = Vec::new();
-    let mut mix_columns = Vec::new();
-    let mut add_round_key = add_round_key_ops(); // initial whitening
-    for _ in 1..rounds {
-        sub_bytes.extend(sub_bytes_ops());
-        shift_rows.extend(shift_rows_ops());
-        mix_columns.extend(mix_columns_ops());
-        add_round_key.extend(add_round_key_ops());
-    }
-    // Final round: no MixColumns.
-    sub_bytes.extend(sub_bytes_ops());
-    shift_rows.extend(shift_rows_ops());
-    add_round_key.extend(add_round_key_ops());
+pub fn emit_block(variant: AesVariant, sink: &mut dyn TraceSink) {
+    sink.begin_trace(
+        // One block occupies the state/table/landing pipeline trio.
+        &TraceMeta::new(variant.slug()).with_pipelines_per_item(3),
+    );
+    emit_block_kernels(variant, sink);
+}
 
-    let name = match variant {
-        AesVariant::Aes128 => "aes-128",
-        AesVariant::Aes192 => "aes-192",
-        AesVariant::Aes256 => "aes-256",
-    };
-    Trace::new(
-        name,
-        vec![
-            Kernel::new("DataMovement", vec![KernelOp::HostMove { bytes: 32 }]),
-            Kernel::new("SubBytes", sub_bytes),
-            Kernel::new("ShiftRows", shift_rows),
-            Kernel::new("MixColumns", mix_columns),
-            Kernel::new("AddRoundKey", add_round_key),
-        ],
-    )
-    // One block occupies the state/table/landing pipeline trio.
-    .with_pipelines_per_item(3)
+/// Streams the five kernels of one block encryption (no
+/// [`TraceSink::begin_trace`]), so callers can compose multi-block work
+/// items.
+pub fn emit_block_kernels(variant: AesVariant, sink: &mut dyn TraceSink) {
+    let rounds = variant.rounds();
+    sink.begin_kernel("DataMovement");
+    sink.op(&KernelOp::HostMove { bytes: 32 });
+    // Every round runs SubBytes/ShiftRows/AddRoundKey; MixColumns skips
+    // the final round; AddRoundKey adds the initial whitening.
+    sink.begin_kernel("SubBytes");
+    sink.op_run(&SUB_BYTES_LOOKUP, rounds);
+    sink.begin_kernel("ShiftRows");
+    for _ in 0..rounds {
+        sink.op(&STATE_COPY);
+        sink.op(&SHIFT_ROWS_LOOKUP);
+    }
+    sink.begin_kernel("MixColumns");
+    for _ in 1..rounds {
+        sink.op(&MIX_COLUMNS_MVM);
+        sink.op(&MIX_COLUMNS_PACK);
+    }
+    sink.begin_kernel("AddRoundKey");
+    for _ in 0..=rounds {
+        sink.op(&STATE_COPY);
+        sink.op(&ROUND_KEY_XOR);
+    }
+}
+
+/// Builds the materialized trace for one block encryption by collecting
+/// [`emit_block`].
+pub fn block_trace(variant: AesVariant) -> Trace {
+    let mut collector = darth_pum::trace::TraceCollector::new();
+    emit_block(variant, &mut collector);
+    collector.finish()
 }
 
 /// The AES scenario as a pluggable [`Workload`]: one block encryption of
@@ -159,12 +174,7 @@ impl AesWorkload {
 
 impl Workload for AesWorkload {
     fn name(&self) -> String {
-        match self.variant {
-            AesVariant::Aes128 => "aes-128",
-            AesVariant::Aes192 => "aes-192",
-            AesVariant::Aes256 => "aes-256",
-        }
-        .into()
+        self.variant.slug().into()
     }
 
     fn label(&self) -> String {
@@ -179,14 +189,81 @@ impl Workload for AesWorkload {
         vec![("rounds".into(), self.variant.rounds().to_string())]
     }
 
-    fn build_trace(&self) -> Trace {
-        block_trace(self.variant)
+    fn emit(&self, sink: &mut dyn TraceSink) {
+        emit_block(self.variant, sink);
+    }
+}
+
+/// A bulk-encryption scenario: `blocks` independent block encryptions
+/// streamed as one work item — the PrIM-style large memory-bound regime
+/// the materialized pipeline could never reach.
+///
+/// Ops are grouped per kernel into run-length batches (all S-box gathers
+/// of all blocks in one [`TraceSink::op_run`], and so on), so the
+/// emission is O(1) events regardless of `blocks` and run-length sinks
+/// (accumulators, the engine's summary recorder) stay O(1) memory. The
+/// blocks are modelled as a dependent stream through one pipeline trio;
+/// chip-level parallelism across streams comes from `parallel_items` as
+/// usual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkAesWorkload {
+    /// Key-size variant (round count).
+    pub variant: AesVariant,
+    /// Independent blocks encrypted by one work item.
+    pub blocks: u64,
+}
+
+impl BulkAesWorkload {
+    /// The `make eval-large` headline scenario: 2²⁰ (≈1M) AES-128 blocks,
+    /// a 16 MiB plaintext.
+    pub fn million_blocks() -> Self {
+        BulkAesWorkload {
+            variant: AesVariant::Aes128,
+            blocks: 1 << 20,
+        }
+    }
+}
+
+impl Workload for BulkAesWorkload {
+    fn name(&self) -> String {
+        format!("{}-bulk{}", self.variant.slug(), self.blocks)
+    }
+
+    fn label(&self) -> String {
+        format!("AES×{}", self.blocks)
+    }
+
+    fn params(&self) -> Vec<(String, String)> {
+        vec![
+            ("rounds".into(), self.variant.rounds().to_string()),
+            ("blocks".into(), self.blocks.to_string()),
+        ]
+    }
+
+    fn emit(&self, sink: &mut dyn TraceSink) {
+        let rounds = self.variant.rounds();
+        let blocks = self.blocks.max(1);
+        sink.begin_trace(&TraceMeta::new(self.name()).with_pipelines_per_item(3));
+        sink.begin_kernel("DataMovement");
+        sink.op_run(&KernelOp::HostMove { bytes: 32 }, blocks);
+        sink.begin_kernel("SubBytes");
+        sink.op_run(&SUB_BYTES_LOOKUP, rounds.saturating_mul(blocks));
+        sink.begin_kernel("ShiftRows");
+        sink.op_run(&STATE_COPY, rounds.saturating_mul(blocks));
+        sink.op_run(&SHIFT_ROWS_LOOKUP, rounds.saturating_mul(blocks));
+        sink.begin_kernel("MixColumns");
+        sink.op_run(&MIX_COLUMNS_MVM, (rounds - 1).saturating_mul(blocks));
+        sink.op_run(&MIX_COLUMNS_PACK, (rounds - 1).saturating_mul(blocks));
+        sink.begin_kernel("AddRoundKey");
+        sink.op_run(&STATE_COPY, (rounds + 1).saturating_mul(blocks));
+        sink.op_run(&ROUND_KEY_XOR, (rounds + 1).saturating_mul(blocks));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use darth_pum::trace::SummaryRecorder;
 
     #[test]
     fn aes_workload_names_follow_variant() {
@@ -226,6 +303,21 @@ mod tests {
     }
 
     #[test]
+    fn per_round_op_structure_is_preserved() {
+        // The emitter must reproduce the legacy builder's exact op
+        // sequence (the figure-pricing byte-identity depends on it).
+        let t = block_trace(AesVariant::Aes128);
+        let shift_rows = t.kernel("ShiftRows").expect("present");
+        assert_eq!(shift_rows.ops.len(), 20);
+        assert_eq!(shift_rows.ops[0], STATE_COPY);
+        assert_eq!(shift_rows.ops[1], SHIFT_ROWS_LOOKUP);
+        let sub_bytes = t.kernel("SubBytes").expect("present");
+        assert_eq!(sub_bytes.ops, vec![SUB_BYTES_LOOKUP; 10]);
+        let ark = t.kernel("AddRoundKey").expect("present");
+        assert_eq!(ark.ops.len(), 22, "initial whitening + 10 rounds + final");
+    }
+
+    #[test]
     fn aes_is_not_mvm_dominated_by_op_count() {
         // §3's central observation: three of four steps are non-MVM.
         // (Raw MAC counts still dominate because the 32x32 binary matrix
@@ -238,5 +330,47 @@ mod tests {
     #[test]
     fn pipelines_per_item_reflects_mapping() {
         assert_eq!(block_trace(AesVariant::Aes128).pipelines_per_item, 3);
+    }
+
+    #[test]
+    fn bulk_emission_is_compact_and_scales_counts() {
+        let bulk = BulkAesWorkload {
+            variant: AesVariant::Aes128,
+            blocks: 1 << 20,
+        };
+        assert_eq!(bulk.name(), "aes-128-bulk1048576");
+        let mut recorder = SummaryRecorder::new();
+        bulk.emit(&mut recorder);
+        let summary = recorder.finish();
+        // O(1) summary for a million blocks: 5 kernels, ≤ 2 runs each.
+        assert_eq!(summary.kernels.len(), 5);
+        assert!(summary.kernels.iter().all(|k| k.runs.len() <= 2));
+        // Totals scale with the block count.
+        let one = BulkAesWorkload { blocks: 1, ..bulk };
+        let mut one_rec = SummaryRecorder::new();
+        one.emit(&mut one_rec);
+        let one_summary = one_rec.finish();
+        assert_eq!(summary.macs(), one_summary.macs() * (1 << 20));
+        assert_eq!(summary.op_count(), one_summary.op_count() * (1 << 20));
+        // A million blocks would cost gigabytes to materialize.
+        assert!(summary.materialized_bytes_estimate() > 2_000_000_000);
+    }
+
+    #[test]
+    fn bulk_single_block_matches_per_block_op_totals() {
+        // Grouped emission reorders within kernels but must conserve the
+        // per-kernel op counts of the per-round emitter.
+        let bulk = BulkAesWorkload {
+            variant: AesVariant::Aes256,
+            blocks: 1,
+        };
+        let bulk_trace = bulk.build_trace();
+        let single = block_trace(AesVariant::Aes256);
+        for kernel in &single.kernels {
+            let bulk_kernel = bulk_trace.kernel(&kernel.name).expect("same kernels");
+            assert_eq!(bulk_kernel.ops.len(), kernel.ops.len(), "{}", kernel.name);
+            assert_eq!(bulk_kernel.macs(), kernel.macs());
+            assert_eq!(bulk_kernel.element_ops(), kernel.element_ops());
+        }
     }
 }

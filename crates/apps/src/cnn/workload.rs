@@ -9,73 +9,68 @@
 use super::resnet::ResNet;
 use crate::Result;
 use darth_pum::eval::Workload;
-use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
+use darth_pum::trace::{KernelOp, Trace, TraceCollector, TraceMeta, TraceSink, VectorKind};
 
-/// Builds the per-layer inference trace for a network.
+/// Streams one inference — one kernel per conv layer plus the
+/// classifier — into `sink`, layer by layer as the conv plan is walked,
+/// under the given work-item name.
+pub fn emit_inference(net: &ResNet, name: &str, sink: &mut dyn TraceSink) {
+    sink.begin_trace(
+        // one inference is one item; batching replicates the whole model
+        &TraceMeta::new(name)
+            .with_pipelines_per_item(8)
+            .with_parallel_items(1 << 20),
+    );
+    for (layer, in_size) in net.conv_plan() {
+        let (rows, cols) = layer.weights.mvm_shape();
+        let out_size = layer.out_size(in_size);
+        let positions = (out_size * out_size) as u64;
+        sink.begin_kernel(&layer.name);
+        sink.op(&KernelOp::Mvm {
+            rows: rows as u64,
+            cols: cols as u64,
+            input_bits: 8,
+            weight_bits: 8,
+            batch: positions,
+        });
+        // bias add + requantizing shift + ReLU per output element
+        for kind in [VectorKind::Add, VectorKind::Shift, VectorKind::Compare] {
+            sink.op(&KernelOp::Vector {
+                kind,
+                elements: cols as u64 * positions,
+                bits: 8,
+                count: 1,
+            });
+        }
+    }
+    // Global average pool + classifier.
+    let feat = net.feature_dim() as u64;
+    sink.begin_kernel("Seq-b4-Seq");
+    sink.op(&KernelOp::Vector {
+        kind: VectorKind::Add,
+        elements: feat * 64,
+        bits: 8,
+        count: 1,
+    });
+    sink.op(&KernelOp::Mvm {
+        rows: feat,
+        cols: net.classes() as u64,
+        input_bits: 8,
+        weight_bits: 8,
+        batch: 1,
+    });
+}
+
+/// Builds the materialized per-layer inference trace for a network by
+/// collecting [`emit_inference`].
 ///
 /// # Errors
 ///
 /// Propagates plan construction errors (none for a valid network).
 pub fn inference_trace(net: &ResNet) -> Result<Trace> {
-    let mut kernels = Vec::new();
-    for (layer, in_size) in net.conv_plan() {
-        let (rows, cols) = layer.weights.mvm_shape();
-        let out_size = layer.out_size(in_size);
-        let positions = (out_size * out_size) as u64;
-        let ops = vec![
-            KernelOp::Mvm {
-                rows: rows as u64,
-                cols: cols as u64,
-                input_bits: 8,
-                weight_bits: 8,
-                batch: positions,
-            },
-            // bias add + requantizing shift + ReLU per output element
-            KernelOp::Vector {
-                kind: VectorKind::Add,
-                elements: cols as u64 * positions,
-                bits: 8,
-                count: 1,
-            },
-            KernelOp::Vector {
-                kind: VectorKind::Shift,
-                elements: cols as u64 * positions,
-                bits: 8,
-                count: 1,
-            },
-            KernelOp::Vector {
-                kind: VectorKind::Compare,
-                elements: cols as u64 * positions,
-                bits: 8,
-                count: 1,
-            },
-        ];
-        kernels.push(Kernel::new(layer.name.clone(), ops));
-    }
-    // Global average pool + classifier.
-    let feat = net.feature_dim() as u64;
-    kernels.push(Kernel::new(
-        "Seq-b4-Seq",
-        vec![
-            KernelOp::Vector {
-                kind: VectorKind::Add,
-                elements: feat * 64,
-                bits: 8,
-                count: 1,
-            },
-            KernelOp::Mvm {
-                rows: feat,
-                cols: net.classes() as u64,
-                input_bits: 8,
-                weight_bits: 8,
-                batch: 1,
-            },
-        ],
-    ));
-    Ok(Trace::new(format!("resnet-{}", net.depth()), kernels)
-        // one inference is one item; batching replicates the whole model
-        .with_pipelines_per_item(8)
-        .with_parallel_items(1 << 20))
+    let mut collector = TraceCollector::new();
+    emit_inference(net, &format!("resnet-{}", net.depth()), &mut collector);
+    Ok(collector.finish())
 }
 
 /// A CIFAR-style ResNet inference as a pluggable [`Workload`]: the depth
@@ -113,6 +108,15 @@ impl ResNetWorkload {
             .collect()
     }
 
+    /// The deep end of the CIFAR family: ResNet-110 (18 blocks per
+    /// stage), the large-CNN scenario of the `eval-large` registry.
+    pub fn resnet110() -> Self {
+        ResNetWorkload {
+            blocks_per_stage: 18,
+            ..ResNetWorkload::paper()
+        }
+    }
+
     fn depth(&self) -> usize {
         6 * self.blocks_per_stage + 2
     }
@@ -139,12 +143,10 @@ impl Workload for ResNetWorkload {
         ]
     }
 
-    fn build_trace(&self) -> Trace {
+    fn emit(&self, sink: &mut dyn TraceSink) {
         let net = ResNet::with_depth(32, self.base_width, 3, 10, self.blocks_per_stage, self.seed)
             .expect("CIFAR ResNet parameters are valid by construction");
-        let mut trace = inference_trace(&net).expect("trace builds for a valid network");
-        trace.name = self.name();
-        trace
+        emit_inference(&net, &self.name(), sink);
     }
 }
 

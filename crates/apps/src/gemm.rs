@@ -10,7 +10,7 @@
 //! per left-hand-side row.
 
 use darth_pum::eval::Workload;
-use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
+use darth_pum::trace::{KernelOp, Trace, TraceMeta, TraceSink, VectorKind};
 
 /// A dense GEMM scenario: `C[m×n] = A[m×k] · B[k×n]`, plus a bias-add and
 /// requantizing shift over the output.
@@ -45,45 +45,10 @@ impl GemmWorkload {
         [256, 1024, 4096].into_iter().map(Self::square).collect()
     }
 
-    /// Builds the trace (also available through the [`Workload`] impl).
+    /// Builds the materialized trace (the collected form of
+    /// [`Workload::emit`]).
     pub fn trace(&self) -> Trace {
-        let outputs = self.m * self.n;
-        Trace::new(
-            Workload::name(self),
-            vec![
-                Kernel::new(
-                    "GEMM",
-                    vec![KernelOp::Mvm {
-                        rows: self.k,
-                        cols: self.n,
-                        input_bits: self.input_bits,
-                        weight_bits: self.weight_bits,
-                        batch: self.m,
-                    }],
-                ),
-                Kernel::new(
-                    "Epilogue",
-                    vec![
-                        KernelOp::Vector {
-                            kind: VectorKind::Add,
-                            elements: outputs,
-                            bits: self.input_bits,
-                            count: 1,
-                        },
-                        KernelOp::Vector {
-                            kind: VectorKind::Shift,
-                            elements: outputs,
-                            bits: self.input_bits,
-                            count: 1,
-                        },
-                    ],
-                ),
-            ],
-        )
-        // One GEMM occupies a landing pipeline per weight slice plus the
-        // epilogue pipeline; items beyond the batch are independent.
-        .with_pipelines_per_item(4)
-        .with_parallel_items(1 << 20)
+        self.build_trace()
     }
 }
 
@@ -113,8 +78,33 @@ impl Workload for GemmWorkload {
         ]
     }
 
-    fn build_trace(&self) -> Trace {
-        self.trace()
+    fn emit(&self, sink: &mut dyn TraceSink) {
+        let outputs = self.m.saturating_mul(self.n);
+        sink.begin_trace(
+            // One GEMM occupies a landing pipeline per weight slice plus
+            // the epilogue pipeline; items beyond the batch are
+            // independent.
+            &TraceMeta::new(Workload::name(self))
+                .with_pipelines_per_item(4)
+                .with_parallel_items(1 << 20),
+        );
+        sink.begin_kernel("GEMM");
+        sink.op(&KernelOp::Mvm {
+            rows: self.k,
+            cols: self.n,
+            input_bits: self.input_bits,
+            weight_bits: self.weight_bits,
+            batch: self.m,
+        });
+        sink.begin_kernel("Epilogue");
+        for kind in [VectorKind::Add, VectorKind::Shift] {
+            sink.op(&KernelOp::Vector {
+                kind,
+                elements: outputs,
+                bits: self.input_bits,
+                count: 1,
+            });
+        }
     }
 }
 

@@ -49,6 +49,20 @@ impl EncoderConfig {
         }
     }
 
+    /// A GPT-2-XL-scale stack (1.5B-parameter class): 48 layers of
+    /// `d_model` 1600 at a 1024-token context. Decoder-only in the
+    /// original; modelled here as the same-shape encoder stack, which
+    /// exercises identical kernel classes at ~20× BERT-base compute.
+    pub fn gpt2_xl() -> Self {
+        EncoderConfig {
+            d_model: 1600,
+            heads: 25,
+            d_ff: 6400,
+            seq_len: 1024,
+            layers: 48,
+        }
+    }
+
     /// A DistilBERT-like configuration (half the layers of BERT-base).
     pub fn distilbert() -> Self {
         EncoderConfig {

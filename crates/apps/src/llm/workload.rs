@@ -7,7 +7,7 @@
 
 use super::encoder::EncoderConfig;
 use darth_pum::eval::Workload;
-use darth_pum::trace::{Kernel, KernelOp, Trace, VectorKind};
+use darth_pum::trace::{Kernel, KernelOp, Trace, TraceCollector, TraceMeta, TraceSink, VectorKind};
 
 /// Ops per scalar I-BERT softmax element (exp poly + normalize).
 const SOFTMAX_OPS_PER_ELEM: u64 = 8;
@@ -16,8 +16,9 @@ const GELU_OPS_PER_ELEM: u64 = 6;
 /// Ops per scalar layernorm element (mean/var/sqrt amortised).
 const LAYERNORM_OPS_PER_ELEM: u64 = 6;
 
-/// Builds the trace for one forward pass of the encoder stack.
-pub fn encoder_trace(cfg: &EncoderConfig) -> Trace {
+/// Streams one forward pass of the encoder stack into `sink`, kernel by
+/// kernel, under the given work-item name.
+pub fn emit_encoder(cfg: &EncoderConfig, name: &str, sink: &mut dyn TraceSink) {
     let d = cfg.d_model as u64;
     let dff = cfg.d_ff as u64;
     let seq = cfg.seq_len as u64;
@@ -25,96 +26,83 @@ pub fn encoder_trace(cfg: &EncoderConfig) -> Trace {
     let d_head = cfg.d_head() as u64;
     let layers = cfg.layers as u64;
 
-    let kernels = vec![
-        // --- ACE side: the weight-static projections.
-        Kernel::new(
-            "QKV-Proj",
-            vec![KernelOp::Mvm {
-                rows: d,
-                cols: 3 * d,
-                input_bits: 8,
-                weight_bits: 8,
-                batch: seq * layers,
-            }],
-        ),
-        // --- DCE side: the attention mechanism (dynamic matrices).
-        Kernel::new(
-            "Attention",
-            vec![
-                // QK^T: seq x seq dots of length d_head per head
-                KernelOp::Vector {
-                    kind: VectorKind::Mul,
-                    elements: heads * seq * seq * d_head,
-                    bits: 8,
-                    count: layers,
-                },
-                // attn . V
-                KernelOp::Vector {
-                    kind: VectorKind::Mul,
-                    elements: heads * seq * seq * d_head,
-                    bits: 8,
-                    count: layers,
-                },
-            ],
-        ),
-        Kernel::new(
-            "Softmax",
-            vec![KernelOp::Vector {
-                kind: VectorKind::Mul,
-                elements: heads * seq * seq * SOFTMAX_OPS_PER_ELEM,
-                bits: 16,
-                count: layers,
-            }],
-        ),
-        Kernel::new(
-            "Out-Proj",
-            vec![KernelOp::Mvm {
-                rows: d,
-                cols: d,
-                input_bits: 8,
-                weight_bits: 8,
-                batch: seq * layers,
-            }],
-        ),
-        Kernel::new(
-            "LayerNorm",
-            vec![KernelOp::Vector {
-                kind: VectorKind::Mul,
-                elements: 2 * seq * d * LAYERNORM_OPS_PER_ELEM,
-                bits: 16,
-                count: layers,
-            }],
-        ),
-        // --- ACE side: the FFN (the paper's headline placement).
-        Kernel::new(
-            "FFN",
-            vec![
-                KernelOp::Mvm {
-                    rows: d,
-                    cols: dff,
-                    input_bits: 8,
-                    weight_bits: 8,
-                    batch: seq * layers,
-                },
-                KernelOp::Vector {
-                    kind: VectorKind::Mul,
-                    elements: seq * dff * GELU_OPS_PER_ELEM,
-                    bits: 16,
-                    count: layers,
-                },
-                KernelOp::Mvm {
-                    rows: dff,
-                    cols: d,
-                    input_bits: 8,
-                    weight_bits: 8,
-                    batch: seq * layers,
-                },
-            ],
-        ),
-    ];
-    Trace::new("llm-encoder", kernels)
-        .with_pipelines_per_item(16)
-        .with_parallel_items(1 << 20)
+    sink.begin_trace(
+        &TraceMeta::new(name)
+            .with_pipelines_per_item(16)
+            .with_parallel_items(1 << 20),
+    );
+    // --- ACE side: the weight-static projections.
+    sink.begin_kernel("QKV-Proj");
+    sink.op(&KernelOp::Mvm {
+        rows: d,
+        cols: 3 * d,
+        input_bits: 8,
+        weight_bits: 8,
+        batch: seq * layers,
+    });
+    // --- DCE side: the attention mechanism (dynamic matrices).
+    sink.begin_kernel("Attention");
+    // QK^T: seq x seq dots of length d_head per head, then attn . V
+    let attention_mul = KernelOp::Vector {
+        kind: VectorKind::Mul,
+        elements: heads * seq * seq * d_head,
+        bits: 8,
+        count: layers,
+    };
+    sink.op(&attention_mul);
+    sink.op(&attention_mul);
+    sink.begin_kernel("Softmax");
+    sink.op(&KernelOp::Vector {
+        kind: VectorKind::Mul,
+        elements: heads * seq * seq * SOFTMAX_OPS_PER_ELEM,
+        bits: 16,
+        count: layers,
+    });
+    sink.begin_kernel("Out-Proj");
+    sink.op(&KernelOp::Mvm {
+        rows: d,
+        cols: d,
+        input_bits: 8,
+        weight_bits: 8,
+        batch: seq * layers,
+    });
+    sink.begin_kernel("LayerNorm");
+    sink.op(&KernelOp::Vector {
+        kind: VectorKind::Mul,
+        elements: 2 * seq * d * LAYERNORM_OPS_PER_ELEM,
+        bits: 16,
+        count: layers,
+    });
+    // --- ACE side: the FFN (the paper's headline placement).
+    sink.begin_kernel("FFN");
+    sink.op(&KernelOp::Mvm {
+        rows: d,
+        cols: dff,
+        input_bits: 8,
+        weight_bits: 8,
+        batch: seq * layers,
+    });
+    sink.op(&KernelOp::Vector {
+        kind: VectorKind::Mul,
+        elements: seq * dff * GELU_OPS_PER_ELEM,
+        bits: 16,
+        count: layers,
+    });
+    sink.op(&KernelOp::Mvm {
+        rows: dff,
+        cols: d,
+        input_bits: 8,
+        weight_bits: 8,
+        batch: seq * layers,
+    });
+}
+
+/// Builds the materialized trace for one forward pass of the encoder
+/// stack by collecting [`emit_encoder`].
+pub fn encoder_trace(cfg: &EncoderConfig) -> Trace {
+    let mut collector = TraceCollector::new();
+    emit_encoder(cfg, "llm-encoder", &mut collector);
+    collector.finish()
 }
 
 /// A variant trace that *does* run attention on the ACE, paying the §5.2
@@ -214,6 +202,20 @@ impl EncoderWorkload {
             EncoderWorkload::named("llm-seq512", "LLMEnc-s512", long),
         ]
     }
+
+    /// The large-scale scenarios behind `make eval-large`: a BERT-large
+    /// stack at a 4096-token context (the `seq²` attention blow-up) and
+    /// a GPT-2-XL-scale 48-layer stack.
+    pub fn large_scale() -> Vec<EncoderWorkload> {
+        let bert_large_long = EncoderConfig {
+            seq_len: 4096,
+            ..EncoderConfig::bert_large()
+        };
+        vec![
+            EncoderWorkload::named("llm-large-seq4096", "LLMEnc-L-s4096", bert_large_long),
+            EncoderWorkload::named("llm-gpt2-xl", "GPT2-XL", EncoderConfig::gpt2_xl()),
+        ]
+    }
 }
 
 impl Workload for EncoderWorkload {
@@ -235,10 +237,8 @@ impl Workload for EncoderWorkload {
         ]
     }
 
-    fn build_trace(&self) -> Trace {
-        let mut trace = encoder_trace(&self.config);
-        trace.name = self.name.clone();
-        trace
+    fn emit(&self, sink: &mut dyn TraceSink) {
+        emit_encoder(&self.config, &self.name, sink);
     }
 }
 

@@ -8,7 +8,8 @@
 
 use crate::cpu::CpuModel;
 use darth_analog::adc::{Adc, AdcKind};
-use darth_pum::trace::{CostReport, KernelOp, Trace};
+use darth_pum::eval::CostAccumulator;
+use darth_pum::trace::{CostReport, KernelOp, Trace, TraceMeta, TraceSink};
 
 /// CPU + analog accelerator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,48 +108,103 @@ impl BaselineModel {
         )
     }
 
-    /// Prices a trace: MVMs on the accelerator, the rest on the CPU.
+    /// Prices a trace — MVMs on the accelerator, the rest on the CPU —
+    /// streamed through a [`BaselineAccumulator`].
     pub fn price(&self, trace: &Trace) -> CostReport {
-        let mut latency = 0.0;
-        let mut energy = 0.0;
-        let mut breakdown = Vec::new();
-        let mut movement_time = 0.0;
-        for kernel in &trace.kernels {
-            let mut kernel_time = 0.0;
-            for op in &kernel.ops {
-                let (t, e) = if op.is_mvm() {
-                    let (t, link, e) = self.price_mvm(op);
-                    // link time shows up as DataMovement, the paper's bar;
-                    // the host core blocks on the offload, burning package
-                    // power the whole time (synchronous library calls)
-                    movement_time += link;
-                    let blocked = self.cpu.package_watts / self.cpu.cores * (t + link);
-                    (t, e + blocked)
-                } else {
-                    self.cpu.price_op(op)
-                };
-                kernel_time += t;
-                energy += e;
-            }
-            breakdown.push((kernel.name.clone(), kernel_time));
-            latency += kernel_time;
+        let mut acc = BaselineAccumulator::new(*self);
+        trace.emit_to(&mut acc);
+        acc.finish()
+    }
+}
+
+/// The streaming accumulator behind [`BaselineModel::price`].
+#[derive(Debug, Clone)]
+pub struct BaselineAccumulator {
+    model: BaselineModel,
+    workload: String,
+    parallel_items: u64,
+    latency: f64,
+    energy: f64,
+    movement_time: f64,
+    breakdown: Vec<(String, f64)>,
+    current: Option<(String, f64)>,
+}
+
+impl BaselineAccumulator {
+    /// A fresh accumulator for one work item on `model`.
+    pub fn new(model: BaselineModel) -> Self {
+        BaselineAccumulator {
+            model,
+            workload: String::new(),
+            parallel_items: u64::MAX,
+            latency: 0.0,
+            energy: 0.0,
+            movement_time: 0.0,
+            breakdown: Vec::new(),
+            current: None,
         }
+    }
+
+    fn flush_kernel(&mut self) {
+        if let Some((name, kernel_time)) = self.current.take() {
+            self.breakdown.push((name, kernel_time));
+            self.latency += kernel_time;
+        }
+    }
+}
+
+impl TraceSink for BaselineAccumulator {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
+        self.workload = meta.name.clone();
+        self.parallel_items = meta.parallel_items;
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        self.flush_kernel();
+        self.current = Some((name.to_owned(), 0.0));
+    }
+
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        let (t, link, e) = if op.is_mvm() {
+            let (t, link, e) = self.model.price_mvm(op);
+            // link time shows up as DataMovement, the paper's bar; the
+            // host core blocks on the offload, burning package power the
+            // whole time (synchronous library calls)
+            let blocked = self.model.cpu.package_watts / self.model.cpu.cores * (t + link);
+            (t, link, e + blocked)
+        } else {
+            let (t, e) = self.model.cpu.price_op(op);
+            (t, 0.0, e)
+        };
+        let kernel = self.current.as_mut().expect("begin_kernel precedes ops");
+        for _ in 0..repeat {
+            self.movement_time += link;
+            kernel.1 += t;
+            self.energy += e;
+        }
+    }
+}
+
+impl CostAccumulator for BaselineAccumulator {
+    fn finish(&mut self) -> CostReport {
+        self.flush_kernel();
+        let mut breakdown = std::mem::take(&mut self.breakdown);
         // Attribute host-link crossings to the DataMovement bucket.
-        latency += movement_time;
+        let latency = self.latency + self.movement_time;
         if let Some(entry) = breakdown.iter_mut().find(|(n, _)| n == "DataMovement") {
-            entry.1 += movement_time;
-        } else if movement_time > 0.0 {
-            breakdown.insert(0, ("DataMovement".to_owned(), movement_time));
+            entry.1 += self.movement_time;
+        } else if self.movement_time > 0.0 {
+            breakdown.insert(0, ("DataMovement".to_owned(), self.movement_time));
         }
         // Parallelism: the accelerator has many arrays, but the CPU side
         // caps concurrent items at its core count (§3's bottleneck).
-        let parallel = (trace.parallel_items as f64).min(self.cpu.cores);
+        let parallel = (self.parallel_items as f64).min(self.model.cpu.cores);
         CostReport {
-            architecture: format!("Baseline (CPU + analog, {:?})", self.adc_kind),
-            workload: trace.name.clone(),
+            architecture: format!("Baseline (CPU + analog, {:?})", self.model.adc_kind),
+            workload: std::mem::take(&mut self.workload),
             latency_s: latency,
             throughput_items_per_s: parallel / latency.max(1e-15),
-            energy_per_item_j: energy,
+            energy_per_item_j: self.energy,
             kernel_latency_s: breakdown,
         }
     }
@@ -164,8 +220,8 @@ impl darth_pum::eval::ArchModel for BaselineModel {
         "Baseline".into()
     }
 
-    fn price(&self, trace: &Trace) -> CostReport {
-        BaselineModel::price(self, trace)
+    fn accumulator(&self) -> Box<dyn CostAccumulator + '_> {
+        Box::new(BaselineAccumulator::new(*self))
     }
 }
 

@@ -10,8 +10,9 @@
 //!   transformer SFU (shift, add, sqrt, ReLU, layernorm).
 
 use darth_analog::adc::{Adc, AdcKind};
+use darth_pum::eval::CostAccumulator;
 use darth_pum::params::{area, ISO_AREA_CM2};
-use darth_pum::trace::{CostReport, KernelOp, Trace};
+use darth_pum::trace::{CostReport, KernelOp, Trace, TraceMeta, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Which accelerator to model.
@@ -139,23 +140,71 @@ impl AppAccelModel {
         }
     }
 
-    /// Prices one trace.
+    /// Prices one trace (streamed through an [`AppAccelAccumulator`]).
     pub fn price(&self, trace: &Trace) -> CostReport {
-        match self.kind {
-            AppAccelKind::AesNi => self.price_aes_ni(trace),
-            _ => self.price_analog(trace),
+        let mut acc = AppAccelAccumulator::new(*self);
+        trace.emit_to(&mut acc);
+        acc.finish()
+    }
+}
+
+/// The streaming accumulator behind [`AppAccelModel::price`].
+///
+/// The AES-NI flavour prices from the workload name alone (one
+/// instruction per round, §6), so its op events are ignored; the analog
+/// flavours fold per-op costs and track the peak MVM array footprint for
+/// the iso-area parallelism cap.
+#[derive(Debug, Clone)]
+pub struct AppAccelAccumulator {
+    model: AppAccelModel,
+    workload: String,
+    parallel_items: u64,
+    latency: f64,
+    energy: f64,
+    peak_arrays: f64,
+    // AES-NI prices per block; host moves count the blocks in the
+    // stream (one 32-byte in/out move per block), so bulk scenarios
+    // scale instead of being priced as a single block.
+    host_moves: u64,
+    breakdown: Vec<(String, f64)>,
+    current: Option<(String, f64)>,
+}
+
+impl AppAccelAccumulator {
+    /// A fresh accumulator for one work item on `model`.
+    pub fn new(model: AppAccelModel) -> Self {
+        AppAccelAccumulator {
+            model,
+            workload: String::new(),
+            parallel_items: u64::MAX,
+            latency: 0.0,
+            energy: 0.0,
+            peak_arrays: 1.0,
+            host_moves: 0,
+            breakdown: Vec::new(),
+            current: None,
         }
     }
 
-    fn price_aes_ni(&self, trace: &Trace) -> CostReport {
+    fn flush_kernel(&mut self) {
+        if let Some((name, t_k)) = self.current.take() {
+            self.breakdown.push((name, t_k));
+            self.latency += t_k;
+        }
+    }
+
+    fn finish_aes_ni(&mut self) -> CostReport {
         // Single-stream AES-NI through a library interface (the paper
         // measures OpenSSL): AESENC has a 4-cycle latency with
         // round-to-round dependence, plus per-call overhead (load, key
         // whitening, store, EVP dispatch). Modelled as one accelerator
         // unit, matching the paper's AppAccel framing.
-        let rounds = if trace.name.contains("256") {
+        // Key size by name *prefix* — a substring match would collide
+        // with the block counts bulk scenarios embed in their names
+        // (`aes-128-bulk256` is 10-round AES, not AES-256).
+        let rounds = if self.workload.starts_with("aes-256") {
             14.0
-        } else if trace.name.contains("192") {
+        } else if self.workload.starts_with("aes-192") {
             12.0
         } else {
             10.0
@@ -163,12 +212,16 @@ impl AppAccelModel {
         let freq = 4.0e9;
         let units = 1.0;
         let overhead_cycles = 236.0;
-        let latency = (rounds * 4.0 + overhead_cycles) / freq;
+        // One block per host move; the paper scenarios stream exactly
+        // one block per item (`blocks == 1.0`, leaving their pricing
+        // untouched), bulk scenarios scale linearly.
+        let blocks = self.host_moves.max(1) as f64;
+        let latency = (rounds * 4.0 + overhead_cycles) / freq * blocks;
         let throughput = units / latency;
-        let energy = 2.0e-9; // ~2 nJ/block at ~15 W across the AES units
+        let energy = 2.0e-9 * blocks; // ~2 nJ/block at ~15 W across the AES units
         CostReport {
             architecture: "AppAccel (AES-NI)".to_owned(),
-            workload: trace.name.clone(),
+            workload: std::mem::take(&mut self.workload),
             latency_s: latency,
             throughput_items_per_s: throughput,
             energy_per_item_j: energy,
@@ -176,49 +229,76 @@ impl AppAccelModel {
         }
     }
 
-    fn price_analog(&self, trace: &Trace) -> CostReport {
-        let mut latency = 0.0;
-        let mut energy = 0.0;
-        let mut breakdown = Vec::new();
-        let mut peak_arrays: f64 = 1.0;
-        for kernel in &trace.kernels {
-            let mut t_k = 0.0;
-            for op in &kernel.ops {
-                let (t, e) = self.price_op(op);
-                t_k += t;
-                energy += e;
-                if let KernelOp::Mvm {
-                    rows,
-                    cols,
-                    weight_bits,
-                    ..
-                } = *op
-                {
-                    let slices = f64::from(weight_bits.div_ceil(2).max(1));
-                    peak_arrays =
-                        peak_arrays.max((rows.div_ceil(64) * cols.div_ceil(64)) as f64 * slices);
-                }
-            }
-            breakdown.push((kernel.name.clone(), t_k));
-            latency += t_k;
-        }
+    fn finish_analog(&mut self) -> CostReport {
+        self.flush_kernel();
         // Iso-area parallelism: tiles hold 64 arrays each, like an ACE.
-        let tiles_per_item = (peak_arrays / 64.0).ceil().max(1.0);
-        let parallel = ((self.tile_count() as f64) / tiles_per_item)
+        let tiles_per_item = (self.peak_arrays / 64.0).ceil().max(1.0);
+        let parallel = ((self.model.tile_count() as f64) / tiles_per_item)
             .max(1.0)
-            .min(trace.parallel_items as f64);
-        let label = match self.kind {
+            .min(self.parallel_items as f64);
+        let label = match self.model.kind {
             AppAccelKind::CnnAccelerator => "AppAccel (CNN)",
             AppAccelKind::LlmAccelerator => "AppAccel (LLM)",
             AppAccelKind::AesNi => unreachable!(),
         };
         CostReport {
             architecture: label.to_owned(),
-            workload: trace.name.clone(),
-            latency_s: latency,
-            throughput_items_per_s: parallel / latency.max(1e-15),
-            energy_per_item_j: energy,
-            kernel_latency_s: breakdown,
+            workload: std::mem::take(&mut self.workload),
+            latency_s: self.latency,
+            throughput_items_per_s: parallel / self.latency.max(1e-15),
+            energy_per_item_j: self.energy,
+            kernel_latency_s: std::mem::take(&mut self.breakdown),
+        }
+    }
+}
+
+impl TraceSink for AppAccelAccumulator {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
+        self.workload = meta.name.clone();
+        self.parallel_items = meta.parallel_items;
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        if self.model.kind == AppAccelKind::AesNi {
+            return;
+        }
+        self.flush_kernel();
+        self.current = Some((name.to_owned(), 0.0));
+    }
+
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        if self.model.kind == AppAccelKind::AesNi {
+            if matches!(op, KernelOp::HostMove { .. }) {
+                self.host_moves = self.host_moves.saturating_add(repeat);
+            }
+            return;
+        }
+        let (t, e) = self.model.price_op(op);
+        let kernel = self.current.as_mut().expect("begin_kernel precedes ops");
+        for _ in 0..repeat {
+            kernel.1 += t;
+            self.energy += e;
+        }
+        if let KernelOp::Mvm {
+            rows,
+            cols,
+            weight_bits,
+            ..
+        } = *op
+        {
+            let slices = f64::from(weight_bits.div_ceil(2).max(1));
+            self.peak_arrays = self
+                .peak_arrays
+                .max((rows.div_ceil(64) * cols.div_ceil(64)) as f64 * slices);
+        }
+    }
+}
+
+impl CostAccumulator for AppAccelAccumulator {
+    fn finish(&mut self) -> CostReport {
+        match self.model.kind {
+            AppAccelKind::AesNi => self.finish_aes_ni(),
+            _ => self.finish_analog(),
         }
     }
 }
@@ -238,8 +318,8 @@ impl darth_pum::eval::ArchModel for AppAccelModel {
         "AppAccel".into()
     }
 
-    fn price(&self, trace: &Trace) -> CostReport {
-        AppAccelModel::price(self, trace)
+    fn accumulator(&self) -> Box<dyn CostAccumulator + '_> {
+        Box::new(AppAccelAccumulator::new(*self))
     }
 }
 
@@ -257,6 +337,37 @@ mod tests {
         let report = accel.price(&block_trace(AesVariant::Aes128));
         assert!(report.latency_s < 100e-9);
         assert!(report.throughput_items_per_s > 1e7);
+    }
+
+    fn price_bulk(accel: &AppAccelModel, variant: AesVariant, blocks: u64) -> CostReport {
+        use darth_apps::aes::workload::BulkAesWorkload;
+        use darth_pum::eval::{ArchModel, Workload};
+        let mut acc = ArchModel::accumulator(accel);
+        BulkAesWorkload { variant, blocks }.emit(&mut *acc);
+        acc.finish()
+    }
+
+    #[test]
+    fn aes_ni_round_count_ignores_block_count_suffixes() {
+        // "aes-128-bulk256" must price as 10-round AES-128 — the block
+        // count in the name is not a key size.
+        let accel = AppAccelModel::aes_ni();
+        let one = accel.price(&block_trace(AesVariant::Aes128));
+        let bulk256 = price_bulk(&accel, AesVariant::Aes128, 256);
+        assert!((bulk256.latency_s / one.latency_s - 256.0).abs() < 1e-9);
+        // And a real AES-256 bulk stream still prices at 14 rounds.
+        let one_256 = accel.price(&block_trace(AesVariant::Aes256));
+        let bulk_aes256 = price_bulk(&accel, AesVariant::Aes256, 192);
+        assert!((bulk_aes256.latency_s / one_256.latency_s - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aes_ni_scales_with_streamed_block_count() {
+        let accel = AppAccelModel::aes_ni();
+        let one = accel.price(&block_trace(AesVariant::Aes128));
+        let bulk_report = price_bulk(&accel, AesVariant::Aes128, 1000);
+        assert!((bulk_report.latency_s / one.latency_s - 1000.0).abs() < 1e-9);
+        assert!((bulk_report.energy_per_item_j / one.energy_per_item_j - 1000.0).abs() < 1e-9);
     }
 
     #[test]

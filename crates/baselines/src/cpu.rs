@@ -7,7 +7,8 @@
 //! gathers and byte shuffles with little vector parallelism — dominate CPU
 //! execution even before data-movement overheads.
 
-use darth_pum::trace::{CostReport, Kernel, KernelOp, Trace, VectorKind};
+use darth_pum::eval::CostAccumulator;
+use darth_pum::trace::{CostReport, KernelOp, Trace, TraceMeta, TraceSink, VectorKind};
 
 /// CPU parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,35 +153,86 @@ impl CpuModel {
         }
     }
 
-    /// Seconds and joules for a kernel.
-    pub fn price_kernel(&self, kernel: &Kernel) -> (f64, f64) {
-        kernel
-            .ops
-            .iter()
-            .map(|op| self.price_op(op))
-            .fold((0.0, 0.0), |(t, e), (dt, de)| (t + dt, e + de))
+    /// Prices a whole trace with every op on the CPU (streamed through a
+    /// [`CpuAccumulator`]).
+    pub fn price(&self, trace: &Trace) -> CostReport {
+        let mut acc = CpuAccumulator::new(*self);
+        trace.emit_to(&mut acc);
+        acc.finish()
+    }
+}
+
+/// The streaming accumulator behind [`CpuModel::price`].
+#[derive(Debug, Clone)]
+pub struct CpuAccumulator {
+    model: CpuModel,
+    workload: String,
+    parallel_items: u64,
+    latency: f64,
+    energy: f64,
+    breakdown: Vec<(String, f64)>,
+    // (name, seconds, joules): per-kernel subtotals, folded into the
+    // trace totals only at kernel end so a kernel's rounding does not
+    // depend on what preceded it.
+    current: Option<(String, f64, f64)>,
+}
+
+impl CpuAccumulator {
+    /// A fresh accumulator for one work item on `model`.
+    pub fn new(model: CpuModel) -> Self {
+        CpuAccumulator {
+            model,
+            workload: String::new(),
+            parallel_items: u64::MAX,
+            latency: 0.0,
+            energy: 0.0,
+            breakdown: Vec::new(),
+            current: None,
+        }
     }
 
-    /// Prices a whole trace with every op on the CPU.
-    pub fn price(&self, trace: &Trace) -> CostReport {
-        let mut latency = 0.0;
-        let mut energy = 0.0;
-        let mut breakdown = Vec::new();
-        for kernel in &trace.kernels {
-            let (t, e) = self.price_kernel(kernel);
-            breakdown.push((kernel.name.clone(), t));
-            latency += t;
-            energy += e;
+    fn flush_kernel(&mut self) {
+        if let Some((name, t, e)) = self.current.take() {
+            self.breakdown.push((name, t));
+            self.latency += t;
+            self.energy += e;
         }
+    }
+}
+
+impl TraceSink for CpuAccumulator {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
+        self.workload = meta.name.clone();
+        self.parallel_items = meta.parallel_items;
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        self.flush_kernel();
+        self.current = Some((name.to_owned(), 0.0, 0.0));
+    }
+
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        let (dt, de) = self.model.price_op(op);
+        let kernel = self.current.as_mut().expect("begin_kernel precedes ops");
+        for _ in 0..repeat {
+            kernel.1 += dt;
+            kernel.2 += de;
+        }
+    }
+}
+
+impl CostAccumulator for CpuAccumulator {
+    fn finish(&mut self) -> CostReport {
+        self.flush_kernel();
         // the CPU batches items up to its core count
-        let parallel = (trace.parallel_items as f64).min(self.cores);
+        let parallel = (self.parallel_items as f64).min(self.model.cores);
         CostReport {
-            architecture: format!("CPU ({})", self.name),
-            workload: trace.name.clone(),
-            latency_s: latency,
-            throughput_items_per_s: parallel / latency.max(1e-15),
-            energy_per_item_j: energy,
-            kernel_latency_s: breakdown,
+            architecture: format!("CPU ({})", self.model.name),
+            workload: std::mem::take(&mut self.workload),
+            latency_s: self.latency,
+            throughput_items_per_s: parallel / self.latency.max(1e-15),
+            energy_per_item_j: self.energy,
+            kernel_latency_s: std::mem::take(&mut self.breakdown),
         }
     }
 }
@@ -195,8 +247,8 @@ impl darth_pum::eval::ArchModel for CpuModel {
         format!("CPU ({})", self.name)
     }
 
-    fn price(&self, trace: &Trace) -> CostReport {
-        CpuModel::price(self, trace)
+    fn accumulator(&self) -> Box<dyn CostAccumulator + '_> {
+        Box::new(CpuAccumulator::new(*self))
     }
 }
 

@@ -9,8 +9,9 @@
 use darth_digital::logic::LogicFamily;
 use darth_digital::macros::MacroOp;
 use darth_digital::BoolOp;
+use darth_pum::eval::CostAccumulator;
 use darth_pum::params::{area, power, HCTS_PER_FRONT_END, ISO_AREA_CM2};
-use darth_pum::trace::{CostReport, KernelOp, Trace, VectorKind};
+use darth_pum::trace::{CostReport, KernelOp, Trace, TraceMeta, TraceSink, VectorKind};
 use darth_reram::units::CLOCK_HZ;
 use serde::{Deserialize, Serialize};
 
@@ -122,37 +123,97 @@ impl DigitalPumModel {
         }
     }
 
-    /// Prices a trace.
+    /// Prices a trace (streamed through a [`DigitalPumAccumulator`]).
     pub fn price(&self, trace: &Trace) -> CostReport {
-        let mut latency = 0.0;
-        let mut energy = 0.0;
-        let mut breakdown = Vec::new();
+        let mut acc = DigitalPumAccumulator::new(*self);
+        trace.emit_to(&mut acc);
+        acc.finish()
+    }
+}
+
+/// The streaming accumulator behind [`DigitalPumModel::price`].
+#[derive(Debug, Clone)]
+pub struct DigitalPumAccumulator {
+    model: DigitalPumModel,
+    workload: String,
+    parallel_items: u64,
+    pipelines_per_item: u64,
+    spread: f64,
+    latency: f64,
+    energy: f64,
+    breakdown: Vec<(String, f64)>,
+    // (name, seconds, joules): per-kernel subtotals; the thermal spread
+    // divides the kernel total once, as the materialized loop did.
+    current: Option<(String, f64, f64)>,
+}
+
+impl DigitalPumAccumulator {
+    /// A fresh accumulator for one work item on `model`.
+    pub fn new(model: DigitalPumModel) -> Self {
+        DigitalPumAccumulator {
+            model,
+            workload: String::new(),
+            parallel_items: u64::MAX,
+            pipelines_per_item: 1,
+            spread: 1.0,
+            latency: 0.0,
+            energy: 0.0,
+            breakdown: Vec::new(),
+            current: None,
+        }
+    }
+
+    fn flush_kernel(&mut self) {
+        if let Some((name, t, e)) = self.current.take() {
+            let t = t / self.spread;
+            self.breakdown.push((name, t));
+            self.latency += t;
+            self.energy += e;
+        }
+    }
+}
+
+impl TraceSink for DigitalPumAccumulator {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
+        self.workload = meta.name.clone();
+        self.parallel_items = meta.parallel_items;
+        self.pipelines_per_item = meta.pipelines_per_item;
         // an item's work spreads across the pipelines it occupies, up to
         // the thermal active limit
-        let spread =
-            (trace.pipelines_per_item.max(1) as f64).min(self.active_pipelines_per_cluster as f64);
-        for kernel in &trace.kernels {
-            let (t, e) = kernel
-                .ops
-                .iter()
-                .map(|op| self.price_op(op))
-                .fold((0.0, 0.0), |(t, e), (dt, de)| (t + dt, e + de));
-            let t = t / spread;
-            breakdown.push((kernel.name.clone(), t));
-            latency += t;
-            energy += e;
+        self.spread = (meta.pipelines_per_item.max(1) as f64)
+            .min(self.model.active_pipelines_per_cluster as f64);
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        self.flush_kernel();
+        self.current = Some((name.to_owned(), 0.0, 0.0));
+    }
+
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        let (dt, de) = self.model.price_op(op);
+        let kernel = self.current.as_mut().expect("begin_kernel precedes ops");
+        for _ in 0..repeat {
+            kernel.1 += dt;
+            kernel.2 += de;
         }
-        let active = (self.cluster_count() * self.active_pipelines_per_cluster) as f64;
-        let parallel = (active / trace.pipelines_per_item as f64)
+    }
+}
+
+impl CostAccumulator for DigitalPumAccumulator {
+    fn finish(&mut self) -> CostReport {
+        self.flush_kernel();
+        let model = &self.model;
+        let active = (model.cluster_count() * model.active_pipelines_per_cluster) as f64;
+        let parallel = (active / self.pipelines_per_item as f64)
             .max(1.0)
-            .min(trace.parallel_items as f64);
+            .min(self.parallel_items as f64);
         CostReport {
-            architecture: format!("DigitalPUM ({})", self.family),
-            workload: trace.name.clone(),
-            latency_s: latency,
-            throughput_items_per_s: parallel / latency.max(1e-15),
-            energy_per_item_j: energy,
-            kernel_latency_s: breakdown,
+            architecture: format!("DigitalPUM ({})", model.family),
+            workload: std::mem::take(&mut self.workload),
+            latency_s: self.latency,
+            throughput_items_per_s: parallel / self.latency.max(1e-15),
+            energy_per_item_j: self.energy,
+            kernel_latency_s: std::mem::take(&mut self.breakdown),
         }
     }
 }
@@ -167,8 +228,8 @@ impl darth_pum::eval::ArchModel for DigitalPumModel {
         "DigitalPUM".into()
     }
 
-    fn price(&self, trace: &Trace) -> CostReport {
-        DigitalPumModel::price(self, trace)
+    fn accumulator(&self) -> Box<dyn CostAccumulator + '_> {
+        Box::new(DigitalPumAccumulator::new(*self))
     }
 }
 

@@ -5,7 +5,8 @@
 //! paper calls out ("the AES lookup tables are small enough to be
 //! cache-resident in the GPU, enabling it to achieve high throughput").
 
-use darth_pum::trace::{CostReport, KernelOp, Trace, VectorKind};
+use darth_pum::eval::CostAccumulator;
+use darth_pum::trace::{CostReport, KernelOp, Trace, TraceMeta, TraceSink, VectorKind};
 
 /// GPU parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,31 +105,81 @@ impl GpuModel {
         }
     }
 
-    /// Prices a trace. The GPU exploits parallelism across items natively
-    /// (its throughput numbers already assume full occupancy), so item
-    /// throughput is `1 / latency` with the latency computed at full
-    /// device utilisation.
+    /// Prices a trace (streamed through a [`GpuAccumulator`]). The GPU
+    /// exploits parallelism across items natively (its throughput numbers
+    /// already assume full occupancy), so item throughput is
+    /// `1 / latency` with the latency computed at full device
+    /// utilisation.
     pub fn price(&self, trace: &Trace) -> CostReport {
-        let mut latency = 0.0;
-        let mut energy = 0.0;
-        let mut breakdown = Vec::new();
-        for kernel in &trace.kernels {
-            let (t, e) = kernel
-                .ops
-                .iter()
-                .map(|op| self.price_op(op))
-                .fold((0.0, 0.0), |(t, e), (dt, de)| (t + dt, e + de));
-            breakdown.push((kernel.name.clone(), t));
-            latency += t;
-            energy += e;
+        let mut acc = GpuAccumulator::new(*self);
+        trace.emit_to(&mut acc);
+        acc.finish()
+    }
+}
+
+/// The streaming accumulator behind [`GpuModel::price`].
+#[derive(Debug, Clone)]
+pub struct GpuAccumulator {
+    model: GpuModel,
+    workload: String,
+    latency: f64,
+    energy: f64,
+    breakdown: Vec<(String, f64)>,
+    current: Option<(String, f64, f64)>,
+}
+
+impl GpuAccumulator {
+    /// A fresh accumulator for one work item on `model`.
+    pub fn new(model: GpuModel) -> Self {
+        GpuAccumulator {
+            model,
+            workload: String::new(),
+            latency: 0.0,
+            energy: 0.0,
+            breakdown: Vec::new(),
+            current: None,
         }
+    }
+
+    fn flush_kernel(&mut self) {
+        if let Some((name, t, e)) = self.current.take() {
+            self.breakdown.push((name, t));
+            self.latency += t;
+            self.energy += e;
+        }
+    }
+}
+
+impl TraceSink for GpuAccumulator {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
+        self.workload = meta.name.clone();
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        self.flush_kernel();
+        self.current = Some((name.to_owned(), 0.0, 0.0));
+    }
+
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        let (dt, de) = self.model.price_op(op);
+        let kernel = self.current.as_mut().expect("begin_kernel precedes ops");
+        for _ in 0..repeat {
+            kernel.1 += dt;
+            kernel.2 += de;
+        }
+    }
+}
+
+impl CostAccumulator for GpuAccumulator {
+    fn finish(&mut self) -> CostReport {
+        self.flush_kernel();
         CostReport {
-            architecture: format!("GPU ({})", self.name),
-            workload: trace.name.clone(),
-            latency_s: latency,
-            throughput_items_per_s: 1.0 / latency.max(1e-15),
-            energy_per_item_j: energy,
-            kernel_latency_s: breakdown,
+            architecture: format!("GPU ({})", self.model.name),
+            workload: std::mem::take(&mut self.workload),
+            latency_s: self.latency,
+            throughput_items_per_s: 1.0 / self.latency.max(1e-15),
+            energy_per_item_j: self.energy,
+            kernel_latency_s: std::mem::take(&mut self.breakdown),
         }
     }
 }
@@ -143,8 +194,8 @@ impl darth_pum::eval::ArchModel for GpuModel {
         format!("GPU ({})", self.name)
     }
 
-    fn price(&self, trace: &Trace) -> CostReport {
-        GpuModel::price(self, trace)
+    fn accumulator(&self) -> Box<dyn CostAccumulator + '_> {
+        Box::new(GpuAccumulator::new(*self))
     }
 }
 

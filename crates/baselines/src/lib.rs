@@ -1,8 +1,10 @@
 //! Comparison architecture models for the DARTH-PUM evaluation.
 //!
-//! Each model prices the same [`darth_pum::trace::Trace`]s the DARTH-PUM
-//! model prices, producing [`darth_pum::trace::CostReport`]s whose ratios
-//! are Figures 13–18:
+//! Each model prices the same op streams the DARTH-PUM model prices —
+//! every model is a streaming [`darth_pum::eval::CostAccumulator`]
+//! (materialized [`darth_pum::trace::Trace`]s replay through the same
+//! accumulators, bit-identically) — producing
+//! [`darth_pum::trace::CostReport`]s whose ratios are Figures 13–18:
 //!
 //! * [`cpu`] — an analytical out-of-order CPU (the i7-13700-class host and
 //!   the §3 Arm core), roofline-style over vector lanes and DRAM.

@@ -3,7 +3,7 @@
 //! results; the gap is the thread-scope win on multi-core hosts).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use darth_eval::registry::{all_models, paper_workloads};
+use darth_eval::registry::{all_models, extended_workloads, paper_workloads};
 use darth_eval::{Engine, Threading};
 use std::hint::black_box;
 
@@ -37,6 +37,23 @@ fn bench_engine(c: &mut Criterion) {
         let mut e = engine(Threading::Parallel);
         e.run();
         b.iter(|| black_box(e.run()))
+    });
+
+    // Serialization of the full 14-workload × 8-model extended matrix:
+    // the JSON tree build plus the text render behind `BENCH_eval.json`.
+    let mut e = Engine::new();
+    for workload in extended_workloads() {
+        e.register_workload(workload);
+    }
+    for model in all_models() {
+        e.register_model(model);
+    }
+    let matrix = e.run();
+    c.bench_function("extended_matrix_to_json", |b| {
+        b.iter(|| black_box(matrix.to_json()))
+    });
+    c.bench_function("extended_matrix_to_json_pretty", |b| {
+        b.iter(|| black_box(matrix.to_json().pretty()))
     });
 }
 

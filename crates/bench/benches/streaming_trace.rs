@@ -1,0 +1,110 @@
+//! Criterion bench: streaming versus materialized pricing of a bulk AES
+//! workload, plus the heap high-water mark of each path.
+//!
+//! The streaming path records/replays run-length op events and never
+//! stores the trace; the materialized path collects every op into a heap
+//! `Vec<KernelOp>` first (the pre-refactor pipeline). A counting global
+//! allocator reports the peak live allocation of one run of each path
+//! before the timed samples, making the O(1)-vs-O(ops) memory contrast
+//! a measured number rather than a claim.
+
+// The one place the workspace needs `unsafe`: a `GlobalAlloc` wrapper is
+// the only way to observe the heap high-water mark, and the trait is
+// itself unsafe to implement. The wrapper only counts and forwards.
+#![allow(unsafe_code)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darth_analog::adc::AdcKind;
+use darth_apps::aes::workload::{AesVariant, BulkAesWorkload};
+use darth_pum::eval::{ArchModel, Workload};
+use darth_pum::model::DarthModel;
+use darth_pum::trace::Trace;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `System`, instrumented with live/peak byte counters.
+struct CountingAllocator;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Peak live bytes observed while running `f`, measured from the
+/// current live level.
+fn peak_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = LIVE.load(Ordering::Relaxed);
+    PEAK.store(before, Ordering::Relaxed);
+    let out = f();
+    (out, PEAK.load(Ordering::Relaxed).saturating_sub(before))
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    // Large enough for the memory contrast to be unmistakable, small
+    // enough that the materialized path still fits a bench process:
+    // 2^15 blocks ≈ 2.3M ops ≈ 93 MB of KernelOps.
+    let bulk = BulkAesWorkload {
+        variant: AesVariant::Aes128,
+        blocks: 1 << 15,
+    };
+    let model = DarthModel::paper(AdcKind::Sar);
+
+    let (streamed, streaming_peak) = peak_during(|| {
+        let mut acc = ArchModel::accumulator(&model);
+        bulk.emit(&mut *acc);
+        acc.finish()
+    });
+    let (materialized, materialized_peak) = peak_during(|| {
+        let trace = Trace::from_workload(&bulk);
+        model.price(&trace)
+    });
+    assert_eq!(streamed, materialized, "the two paths must agree exactly");
+    println!(
+        "peak heap while pricing {} blocks on darth-sar: streaming {:.1} KB, materialized {:.1} MB",
+        bulk.blocks,
+        streaming_peak as f64 / 1e3,
+        materialized_peak as f64 / 1e6,
+    );
+
+    c.bench_function("bulk_aes_price_streaming", |b| {
+        b.iter(|| {
+            let mut acc = ArchModel::accumulator(&model);
+            black_box(&bulk).emit(&mut *acc);
+            black_box(acc.finish())
+        })
+    });
+    c.bench_function("bulk_aes_price_materialized", |b| {
+        b.iter(|| {
+            let trace = Trace::from_workload(black_box(&bulk));
+            black_box(model.price(&trace))
+        })
+    });
+    c.bench_function("bulk_aes_materialize_only", |b| {
+        b.iter(|| black_box(Trace::from_workload(black_box(&bulk))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_streaming
+}
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! `make eval-large`: the bulk scenarios the streaming trace pipeline
+//! exists for, priced under a memory ceiling.
+//!
+//! Prices the [`large_workloads`] registry — ≥1M-block bulk AES, a
+//! BERT-large encoder at a 4096-token context, a GPT-2-XL-scale stack,
+//! ResNet-110 — on every architecture column, twice over:
+//!
+//! * **streaming** (default): the engine records each emission as a
+//!   run-length summary and replays it into every model's accumulator,
+//!   plus a fused single-pass [`Engine::price_streamed`] cross-check.
+//!   Peak memory stays flat no matter how many blocks stream by, which
+//!   is why the `make eval-large` target runs this mode under
+//!   `ulimit -v`.
+//! * **`--materialized`**: the legacy path — `Workload::build_trace`
+//!   collects every op into a heap `Vec` before pricing. For the bulk
+//!   AES scenario that is ~3 GB of `KernelOp`s; under the same `ulimit`
+//!   the allocation fails, which is the point the Makefile demonstrates.
+//!
+//! Results land in `BENCH_eval_large.json` together with per-workload
+//! stream statistics (op events, estimated materialized bytes) and the
+//! process's peak resident set.
+
+use darth_bench::{emit_json, print_table, Engine, JsonValue, Threading};
+use darth_eval::registry::{all_models, large_workloads};
+use darth_pum::trace::{SummaryRecorder, Trace};
+use std::time::Instant;
+
+/// Peak resident set (`VmHWM`) in kilobytes, or 0 when `/proc` is
+/// unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn print_stream_stats(name: &str, summary: &darth_pum::trace::TraceSummary) {
+    println!(
+        "{:<22} {:>12} op events, {:>6} summary runs, ~{:.2} GB if materialized",
+        name,
+        summary.op_count(),
+        summary.kernels.iter().map(|k| k.runs.len()).sum::<usize>(),
+        summary.materialized_bytes_estimate() as f64 / 1e9,
+    );
+}
+
+fn main() {
+    let materialized_mode = std::env::args().any(|a| a == "--materialized");
+    let workloads = large_workloads();
+    let models = all_models();
+
+    let start = Instant::now();
+    let result = if materialized_mode {
+        // The legacy pipeline: collect every op on the heap, then price.
+        // Bulk scenarios are expected to exhaust a memory-capped process
+        // right there, in `Trace::from_workload`. (The stats pass first
+        // records each stream — run-length, so it stays tiny.)
+        for workload in &workloads {
+            let mut recorder = SummaryRecorder::new();
+            workload.emit(&mut recorder);
+            print_stream_stats(&workload.name(), &recorder.finish());
+        }
+        println!("\nmaterializing traces (legacy path)...");
+        let mut cells = Vec::new();
+        for workload in &workloads {
+            let trace = Trace::from_workload(workload.as_ref());
+            println!(
+                "materialized {}: {} kernels",
+                trace.name,
+                trace.kernels.len()
+            );
+            for model in &models {
+                cells.push(model.price(&trace));
+            }
+        }
+        println!("priced {} cells from materialized traces", cells.len());
+        None
+    } else {
+        // The streaming engine: each emission recorded once into the
+        // run-length summary cache, replayed per cell…
+        let mut engine = Engine::new();
+        engine.set_threading(Threading::Parallel);
+        for workload in large_workloads() {
+            engine.register_workload(workload);
+        }
+        for model in all_models() {
+            engine.register_model(model);
+        }
+        let matrix = engine.run();
+        // …with the stream statistics read back from that same cache
+        // (no re-emission)…
+        for workload in &workloads {
+            let summary = engine
+                .summary(&workload.name())
+                .expect("run() cached every registered stream");
+            print_stream_stats(&workload.name(), summary);
+        }
+        // …and cross-checked against the fused single-pass fanout.
+        for workload in &workloads {
+            let fused = engine.price_streamed(workload.as_ref());
+            for (report, model) in fused.iter().zip(&models) {
+                let cell = matrix
+                    .cell(&workload.name(), &model.name())
+                    .expect("cell priced");
+                assert_eq!(
+                    report,
+                    cell,
+                    "fused pass diverged from summary replay ({}, {})",
+                    workload.name(),
+                    model.name()
+                );
+            }
+        }
+        Some((engine, matrix))
+    };
+    let priced_s = start.elapsed().as_secs_f64();
+    let mode = if materialized_mode {
+        "materialized"
+    } else {
+        "streaming"
+    };
+    println!(
+        "\npriced {} workloads x {} models in {priced_s:.3} s ({mode}); peak RSS {:.1} MB",
+        workloads.len(),
+        models.len(),
+        peak_rss_kb() as f64 / 1024.0
+    );
+
+    let Some((engine, matrix)) = result else {
+        // Materialized mode is a memory demonstration; no report file.
+        return;
+    };
+
+    // Summary view: throughput and energy vs the SAR Baseline.
+    let columns = ["digitalpum-oscar", "darth-sar", "appaccel", "gpu-rtx-4090"];
+    let mut thr_rows: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut eng_rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for (w, workload) in matrix.workloads.iter().enumerate() {
+        let baseline = matrix
+            .cell(&workload.name, "baseline-sar")
+            .expect("baseline column present");
+        let mut thr = Vec::new();
+        let mut eng = Vec::new();
+        for column in columns {
+            let m = matrix.model_index(column).expect("column present");
+            thr.push(matrix.cell_at(w, m).speedup_over(baseline));
+            eng.push(matrix.cell_at(w, m).energy_savings_over(baseline));
+        }
+        thr_rows.push((workload.name.clone(), thr));
+        eng_rows.push((workload.name.clone(), eng));
+    }
+    let header = ["DigitalPUM", "DARTH-PUM", "AppAccel", "GPU"];
+    print_table(
+        "Bulk scenarios: throughput vs Baseline(SAR)",
+        &header,
+        &thr_rows,
+    );
+    print_table(
+        "Bulk scenarios: energy savings vs Baseline(SAR)",
+        &header,
+        &eng_rows,
+    );
+
+    let streams = workloads
+        .iter()
+        .map(|workload| {
+            let name = workload.name();
+            let summary = engine
+                .summary(&name)
+                .expect("run() cached every registered stream");
+            JsonValue::object(vec![
+                ("workload", JsonValue::from(name)),
+                ("op_events", JsonValue::from(summary.op_count())),
+                ("kernel_events", JsonValue::from(summary.kernel_count())),
+                (
+                    "summary_runs",
+                    JsonValue::from(summary.kernels.iter().map(|k| k.runs.len()).sum::<usize>()),
+                ),
+                (
+                    "materialized_bytes_estimate",
+                    JsonValue::from(summary.materialized_bytes_estimate()),
+                ),
+            ])
+        })
+        .collect();
+    emit_json(
+        "eval_large",
+        &JsonValue::object(vec![
+            ("schema", JsonValue::from("darth-bench-figure/v1")),
+            ("figure", JsonValue::from("eval_large")),
+            ("mode", JsonValue::from(mode)),
+            ("priced_seconds", JsonValue::from(priced_s)),
+            ("peak_rss_kb", JsonValue::from(peak_rss_kb())),
+            ("streams", JsonValue::Array(streams)),
+            ("matrix", matrix.to_json()),
+        ]),
+    );
+}

@@ -68,11 +68,11 @@ fn main() {
         ]));
     }
 
-    let pairs = |items: &[(&str, f64)]| {
+    let pairs = |items: &[(&'static str, f64)]| {
         JsonValue::Object(
             items
                 .iter()
-                .map(|&(k, v)| (k.to_owned(), JsonValue::from(v)))
+                .map(|&(k, v)| (k.into(), JsonValue::from(v)))
                 .collect(),
         )
     };

@@ -3,14 +3,17 @@
 //!
 //! Since the trait-based evaluation engine landed, this crate is a *view*
 //! layer: every `fig*`/`tables` binary in `src/bin/` asks `darth_eval`
-//! for a priced workload × architecture [`EvalMatrix`] (traces built
-//! once, cells priced in parallel) and renders one paper figure from its
-//! cells, next to the paper's reference numbers. Each binary also drops a
+//! for a priced workload × architecture [`EvalMatrix`] (op streams
+//! recorded once, cells priced in parallel through streaming
+//! accumulators) and renders one paper figure from its cells, next to
+//! the paper's reference numbers. Each binary also drops a
 //! machine-readable `BENCH_<figure>.json` via [`emit_json`]; the `eval`
-//! binary prices the full extended matrix (`BENCH_eval.json`). The
-//! Criterion benches in `benches/` exercise the functional simulators
-//! (AES on the tile, pipeline macros, crossbar MVMs) and the engine
-//! itself.
+//! binary prices the full extended matrix (`BENCH_eval.json`), and the
+//! `eval_large` binary prices the bulk scenarios under a memory cap
+//! (`BENCH_eval_large.json`). The Criterion benches in `benches/`
+//! exercise the functional simulators (AES on the tile, pipeline
+//! macros, crossbar MVMs), the engine, and streaming vs materialized
+//! pricing.
 
 use darth_analog::adc::AdcKind;
 use darth_eval::registry::{paper_models, paper_workloads};
@@ -153,7 +156,12 @@ pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
 }
 
 /// A printed table as JSON: `{title, columns, rows: [{label, values}]}`.
-pub fn table_json(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) -> JsonValue {
+/// Labels and headers are borrowed into the tree, not cloned.
+pub fn table_json<'a>(
+    title: &'a str,
+    header: &[&'a str],
+    rows: &'a [(String, Vec<f64>)],
+) -> JsonValue<'a> {
     JsonValue::object(vec![
         ("title", JsonValue::from(title)),
         (
@@ -166,7 +174,7 @@ pub fn table_json(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) -> 
                 rows.iter()
                     .map(|(label, values)| {
                         JsonValue::object(vec![
-                            ("label", JsonValue::from(label.clone())),
+                            ("label", JsonValue::from(label)),
                             (
                                 "values",
                                 JsonValue::array(
@@ -182,7 +190,7 @@ pub fn table_json(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) -> 
 }
 
 /// Wraps a figure's tables in the `darth-bench-figure/v1` envelope.
-pub fn figure_json(figure: &str, tables: Vec<JsonValue>) -> JsonValue {
+pub fn figure_json<'a>(figure: &'a str, tables: Vec<JsonValue<'a>>) -> JsonValue<'a> {
     JsonValue::object(vec![
         ("schema", JsonValue::from("darth-bench-figure/v1")),
         ("figure", JsonValue::from(figure)),

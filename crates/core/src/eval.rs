@@ -1,35 +1,50 @@
-//! The open evaluation contract: pluggable workloads × architecture models.
+//! The open evaluation contract: pluggable workloads × architecture
+//! models, wired together as a *streaming* pipeline.
 //!
 //! The paper's evaluation is a matrix — every workload priced on every
 //! architecture — and this module defines the two axes as object-safe
-//! traits so the matrix is *open* on both sides:
+//! traits so the matrix is *open* on both sides and *streamed* in the
+//! middle:
 //!
-//! * a [`Workload`] lowers one work item into an architecture-neutral
-//!   [`Trace`] (the AES/ResNet/LLM scenarios in `darth_apps`, plus any
-//!   user-defined scenario);
-//! * an [`ArchModel`] prices a trace into a [`CostReport`] (the DARTH-PUM
-//!   model in [`crate::model`] and every comparison model in
-//!   `darth_baselines`).
+//! * a [`Workload`] emits one work item as an op stream into any
+//!   [`TraceSink`] (the AES/ResNet/LLM scenarios in `darth_apps`, plus
+//!   any user-defined scenario). Materialization is just one sink:
+//!   [`Workload::build_trace`] collects the stream into a legacy
+//!   [`Trace`] via [`Trace::from_workload`];
+//! * an [`ArchModel`] prices the stream through a [`CostAccumulator`] —
+//!   a sink that folds op events into latency/energy state and finishes
+//!   into a [`CostReport`] (the DARTH-PUM model in [`crate::model`] and
+//!   every comparison model in `darth_baselines`). Pricing a
+//!   materialized `&Trace` is the provided [`ArchModel::price`], which
+//!   simply replays the trace through a fresh accumulator — so streamed
+//!   and materialized pricing are bit-identical by construction.
 //!
-//! The `darth_eval` crate provides the engine that crosses registries of
-//! `Box<dyn Workload>` and `Box<dyn ArchModel>` in parallel; the traits
-//! live here, next to [`Trace`] and [`CostReport`], so each crate can
-//! implement them for its own types.
+//! Because accumulators are independent sinks, one emission can feed
+//! many of them at once: [`Fanout`] (and the [`price_on_all`]
+//! convenience) prices a single op stream on every registered
+//! architecture in one pass, never holding a trace. The `darth_eval`
+//! crate's engine builds on exactly these pieces, caching compressed
+//! [`crate::trace::TraceSummary`] recordings instead of traces.
 
-use crate::trace::{CostReport, Trace};
+use crate::trace::{CostReport, Trace, TraceCollector, TraceSink};
 
-/// A workload scenario: anything that can lower itself into a [`Trace`].
+/// A workload scenario: anything that can emit itself as an op stream.
 ///
 /// Implementations are registered with the `darth_eval` engine, which
-/// builds each trace once (memoized) and prices it on every registered
-/// [`ArchModel`]. Trace construction may be expensive (synthesizing
-/// network weights, walking layer plans), which is why the engine
-/// parallelizes it — implementations must therefore be `Send + Sync` and
-/// `build_trace` must be deterministic for a given configuration.
+/// records each emission once (as a compressed run-length summary) and
+/// replays it into every registered [`ArchModel`]'s accumulator.
+/// Emission may be expensive (synthesizing network weights, walking
+/// layer plans), which is why the engine parallelizes it —
+/// implementations must therefore be `Send + Sync`, and `emit` must be
+/// deterministic for a given configuration.
+///
+/// Emission protocol: exactly one [`TraceSink::begin_trace`] (carrying
+/// the name returned by [`Workload::name`]), then for each kernel one
+/// [`TraceSink::begin_kernel`] followed by its ops in execution order.
 pub trait Workload: Send + Sync {
     /// Stable identifier, unique within a registry (`"aes-128"`,
-    /// `"resnet-56"`, `"gemm-512x512x512"`); also the name of the trace
-    /// `build_trace` returns.
+    /// `"resnet-56"`, `"gemm-512x512x512"`); also the trace name the
+    /// emission carries in its [`crate::trace::TraceMeta`].
     fn name(&self) -> String;
 
     /// Human-readable figure label (`"AES"`, `"ResNet-20"`). Defaults to
@@ -44,14 +59,47 @@ pub trait Workload: Send + Sync {
         Vec::new()
     }
 
-    /// Lowers the work item into its kernel trace.
-    fn build_trace(&self) -> Trace;
+    /// Streams the work item into `sink`, op by op, without
+    /// materializing it.
+    fn emit(&self, sink: &mut dyn TraceSink);
+
+    /// Materializes the emission into a heap [`Trace`] through a
+    /// collecting sink. Prefer streaming ([`Workload::emit`]) — a bulk
+    /// scenario can be far too large to collect.
+    fn build_trace(&self) -> Trace {
+        Trace::from_workload(self)
+    }
 }
 
-/// An architecture model: anything that can price a [`Trace`].
+impl Trace {
+    /// Collects a workload's emission into a materialized trace (the
+    /// sink behind the default [`Workload::build_trace`]).
+    pub fn from_workload<W: Workload + ?Sized>(workload: &W) -> Trace {
+        let mut collector = TraceCollector::new();
+        workload.emit(&mut collector);
+        collector.finish()
+    }
+}
+
+/// A streaming cost model for one work item: a [`TraceSink`] that folds
+/// the op stream into accumulated latency/energy state and finishes into
+/// a [`CostReport`].
 ///
-/// `price` must be a pure function of `(self, trace)` — the engine calls
-/// it concurrently from multiple threads against the same shared trace.
+/// Accumulators are single-use: feed exactly one emission, then call
+/// [`CostAccumulator::finish`] once. Feeding events after `finish`, or
+/// finishing twice, is a logic error (implementations may return
+/// nonsense but must not panic unsafely).
+pub trait CostAccumulator: TraceSink {
+    /// Finalizes the accumulated stream into a report.
+    fn finish(&mut self) -> CostReport;
+}
+
+/// An architecture model: anything that can price an op stream.
+///
+/// The required method is [`ArchModel::accumulator`]: a fresh
+/// per-work-item [`CostAccumulator`]. `accumulator` must be cheap and
+/// pure — the engine calls it concurrently from multiple threads, once
+/// per matrix cell.
 pub trait ArchModel: Send + Sync {
     /// Stable identifier, unique within a registry (`"darth-sar"`,
     /// `"baseline-sar"`, `"gpu-rtx-4090"`).
@@ -63,14 +111,78 @@ pub trait ArchModel: Send + Sync {
         self.name()
     }
 
-    /// Prices one work item on this architecture.
-    fn price(&self, trace: &Trace) -> CostReport;
+    /// A fresh streaming accumulator for one work item.
+    fn accumulator(&self) -> Box<dyn CostAccumulator + '_>;
+
+    /// Prices one materialized work item on this architecture, by
+    /// replaying the trace through a fresh accumulator. Bit-identical to
+    /// streaming the same op sequence directly.
+    fn price(&self, trace: &Trace) -> CostReport {
+        let mut acc = self.accumulator();
+        trace.emit_to(&mut *acc);
+        acc.finish()
+    }
+}
+
+/// Fans one emitted op stream into many cost accumulators at once, so a
+/// single pass over a workload prices it on every architecture without
+/// the stream ever being stored.
+pub struct Fanout<'m> {
+    accumulators: Vec<Box<dyn CostAccumulator + 'm>>,
+}
+
+impl<'m> Fanout<'m> {
+    /// A fanout over fresh accumulators from `models`, in order.
+    pub fn new(models: impl IntoIterator<Item = &'m dyn ArchModel>) -> Self {
+        Fanout {
+            accumulators: models.into_iter().map(ArchModel::accumulator).collect(),
+        }
+    }
+
+    /// Finalizes every accumulator, in model order.
+    pub fn finish(mut self) -> Vec<CostReport> {
+        self.accumulators
+            .iter_mut()
+            .map(|acc| acc.finish())
+            .collect()
+    }
+}
+
+impl TraceSink for Fanout<'_> {
+    fn begin_trace(&mut self, meta: &crate::trace::TraceMeta) {
+        for acc in &mut self.accumulators {
+            acc.begin_trace(meta);
+        }
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        for acc in &mut self.accumulators {
+            acc.begin_kernel(name);
+        }
+    }
+
+    fn op_run(&mut self, op: &crate::trace::KernelOp, repeat: u64) {
+        for acc in &mut self.accumulators {
+            acc.op_run(op, repeat);
+        }
+    }
+}
+
+/// Prices one workload on every model in a single streaming pass —
+/// one emission, `models.len()` reports, no materialized trace.
+pub fn price_on_all<'m>(
+    workload: &dyn Workload,
+    models: impl IntoIterator<Item = &'m dyn ArchModel>,
+) -> Vec<CostReport> {
+    let mut fanout = Fanout::new(models);
+    workload.emit(&mut fanout);
+    fanout.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{Kernel, KernelOp};
+    use crate::trace::{Kernel, KernelOp, TraceMeta};
 
     struct OneMove;
 
@@ -78,29 +190,47 @@ mod tests {
         fn name(&self) -> String {
             "one-move".into()
         }
-        fn build_trace(&self) -> Trace {
-            Trace::new(
-                self.name(),
-                vec![Kernel::new("mv", vec![KernelOp::HostMove { bytes: 64 }])],
-            )
+        fn emit(&self, sink: &mut dyn TraceSink) {
+            sink.begin_trace(&TraceMeta::new(self.name()));
+            sink.begin_kernel("mv");
+            sink.op(&KernelOp::HostMove { bytes: 64 });
         }
     }
 
     struct FreeLunch;
 
-    impl ArchModel for FreeLunch {
-        fn name(&self) -> String {
-            "free-lunch".into()
+    #[derive(Default)]
+    struct FreeLunchAccumulator {
+        workload: String,
+    }
+
+    impl TraceSink for FreeLunchAccumulator {
+        fn begin_trace(&mut self, meta: &TraceMeta) {
+            self.workload = meta.name.clone();
         }
-        fn price(&self, trace: &Trace) -> CostReport {
+        fn begin_kernel(&mut self, _name: &str) {}
+        fn op_run(&mut self, _op: &KernelOp, _repeat: u64) {}
+    }
+
+    impl CostAccumulator for FreeLunchAccumulator {
+        fn finish(&mut self) -> CostReport {
             CostReport {
-                architecture: self.name(),
-                workload: trace.name.clone(),
+                architecture: "free-lunch".into(),
+                workload: std::mem::take(&mut self.workload),
                 latency_s: 1.0,
                 throughput_items_per_s: 1.0,
                 energy_per_item_j: 1.0,
                 kernel_latency_s: vec![],
             }
+        }
+    }
+
+    impl ArchModel for FreeLunch {
+        fn name(&self) -> String {
+            "free-lunch".into()
+        }
+        fn accumulator(&self) -> Box<dyn CostAccumulator + '_> {
+            Box::new(FreeLunchAccumulator::default())
         }
     }
 
@@ -113,5 +243,36 @@ mod tests {
         let report = m.price(&w.build_trace());
         assert_eq!(report.workload, "one-move");
         assert_eq!(m.label(), "free-lunch");
+    }
+
+    #[test]
+    fn build_trace_collects_the_emission() {
+        let trace = OneMove.build_trace();
+        assert_eq!(trace.name, "one-move");
+        assert_eq!(
+            trace.kernels,
+            vec![Kernel::new("mv", vec![KernelOp::HostMove { bytes: 64 }])]
+        );
+    }
+
+    #[test]
+    fn streamed_and_materialized_pricing_agree() {
+        let model = FreeLunch;
+        let materialized = model.price(&OneMove.build_trace());
+        let mut acc = model.accumulator();
+        OneMove.emit(&mut *acc);
+        let streamed = acc.finish();
+        assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    fn fanout_prices_one_stream_on_many_models() {
+        let a = FreeLunch;
+        let b = FreeLunch;
+        let models: Vec<&dyn ArchModel> = vec![&a, &b];
+        let reports = price_on_all(&OneMove, models);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0].workload, "one-move");
     }
 }

@@ -32,13 +32,18 @@
 //! * [`front_end`] — fetch/decode/issue with and without IIU assistance.
 //! * [`chip`] — whole-chip assembly, ISA interpretation and accounting.
 //! * [`runtime`] — the application-agnostic half of Table 1's library.
-//! * [`trace`] — architecture-neutral kernel traces that every
-//!   architecture model (this chip and all baselines) consumes.
-//! * [`model`] — the analytical DARTH-PUM cost model used for the
-//!   throughput/energy sweeps of Figures 13–18.
-//! * [`eval`] — the open evaluation contract: the [`eval::Workload`] and
-//!   [`eval::ArchModel`] traits that the `darth_eval` engine crosses into
-//!   a workload × architecture matrix.
+//! * [`trace`] — architecture-neutral kernel op streams: the
+//!   [`trace::TraceSink`] pipeline every architecture model consumes,
+//!   plus the materialized [`trace::Trace`] and the run-length
+//!   [`trace::TraceSummary`] forms of a recorded stream.
+//! * [`model`] — the analytical DARTH-PUM cost model (a streaming
+//!   [`eval::CostAccumulator`]) used for the throughput/energy sweeps of
+//!   Figures 13–18.
+//! * [`eval`] — the open evaluation contract: the [`eval::Workload`]
+//!   (op-stream emitter) and [`eval::ArchModel`] (accumulator factory)
+//!   traits that the `darth_eval` engine crosses into a workload ×
+//!   architecture matrix, and [`eval::Fanout`] to price one emission on
+//!   many architectures in a single pass.
 //!
 //! # Example: hybrid MVM through the runtime
 //!
@@ -70,11 +75,11 @@ pub mod transpose;
 pub mod vacore;
 
 pub use chip::DarthPumChip;
-pub use eval::{ArchModel, Workload};
+pub use eval::{ArchModel, CostAccumulator, Workload};
 pub use hct::HybridComputeTile;
 pub use params::{ChipParams, HctParams};
 pub use runtime::Runtime;
-pub use trace::{Kernel, KernelOp, Trace};
+pub use trace::{Kernel, KernelOp, Trace, TraceMeta, TraceSink, TraceSummary};
 
 use std::fmt;
 

@@ -16,8 +16,9 @@
 //! * Batched MVMs double-buffer across landing pipelines, so consecutive
 //!   inputs overlap at `max(analog, reduce)` (§4.1's rate matching).
 
+use crate::eval::CostAccumulator;
 use crate::params::{power, ChipParams, HCTS_PER_FRONT_END};
-use crate::trace::{CostReport, KernelOp, Trace, VectorKind};
+use crate::trace::{CostReport, KernelOp, Trace, TraceMeta, TraceSink, VectorKind};
 use darth_analog::adc::{Adc, AdcKind};
 use darth_digital::logic::LogicFamily;
 use darth_digital::macros::MacroOp;
@@ -221,72 +222,150 @@ impl DarthModel {
         }
     }
 
-    /// Prices a whole trace into a [`CostReport`].
+    /// Prices a whole materialized trace into a [`CostReport`] by
+    /// streaming it through a [`DarthAccumulator`].
     ///
     /// An item's digital (non-MVM) work spreads across the
     /// `pipelines_per_item` pipelines its mapping occupies; MVM chains are
     /// serial per vACore.
     pub fn price(&self, trace: &Trace) -> CostReport {
-        let mut item_cycles = 0.0;
-        let mut item_energy_pj = 0.0;
-        let mut max_arrays: f64 = 0.0;
-        let mut kernel_latency = Vec::with_capacity(trace.kernels.len());
-        let spread = trace.pipelines_per_item.max(1) as f64;
-        let mut ace_serial_cycles = 0.0;
-        for kernel in &trace.kernels {
-            let mut l = 0.0;
-            let mut e = 0.0;
-            let mut a: f64 = 0.0;
-            for op in &kernel.ops {
-                let (ol, oe, oa, oace) = self.price_op(op);
-                let ol = if matches!(op, KernelOp::Vector { .. } | KernelOp::TableLookup { .. }) {
-                    ol / spread
-                } else {
-                    ol
-                };
-                l += ol;
-                e += oe;
-                a = a.max(oa);
-                ace_serial_cycles += oace;
-            }
-            kernel_latency.push((kernel.name.clone(), l / CLOCK_HZ));
-            item_cycles += l;
-            item_energy_pj += e;
-            max_arrays = max_arrays.max(a);
+        let mut acc = DarthAccumulator::new(*self);
+        trace.emit_to(&mut acc);
+        acc.finish()
+    }
+}
+
+/// The streaming accumulator behind [`DarthModel::price`]: folds an op
+/// stream into per-kernel latency/energy state and finalizes with the
+/// iso-area placement maths.
+#[derive(Debug, Clone)]
+pub struct DarthAccumulator {
+    model: DarthModel,
+    workload: String,
+    parallel_items: u64,
+    pipelines_per_item: u64,
+    spread: f64,
+    item_cycles: f64,
+    item_energy_pj: f64,
+    max_arrays: f64,
+    ace_serial_cycles: f64,
+    kernel_latency: Vec<(String, f64)>,
+    current: Option<DarthKernel>,
+}
+
+#[derive(Debug, Clone)]
+struct DarthKernel {
+    name: String,
+    cycles: f64,
+    energy_pj: f64,
+    arrays: f64,
+}
+
+impl DarthAccumulator {
+    /// A fresh accumulator for one work item on `model`.
+    pub fn new(model: DarthModel) -> Self {
+        DarthAccumulator {
+            model,
+            workload: String::new(),
+            parallel_items: u64::MAX,
+            pipelines_per_item: 1,
+            spread: 1.0,
+            item_cycles: 0.0,
+            item_energy_pj: 0.0,
+            max_arrays: 0.0,
+            ace_serial_cycles: 0.0,
+            kernel_latency: Vec::new(),
+            current: None,
         }
+    }
+
+    fn flush_kernel(&mut self) {
+        if let Some(kernel) = self.current.take() {
+            self.kernel_latency
+                .push((kernel.name, kernel.cycles / CLOCK_HZ));
+            self.item_cycles += kernel.cycles;
+            self.item_energy_pj += kernel.energy_pj;
+            self.max_arrays = self.max_arrays.max(kernel.arrays);
+        }
+    }
+}
+
+impl TraceSink for DarthAccumulator {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
+        self.workload = meta.name.clone();
+        self.parallel_items = meta.parallel_items;
+        self.pipelines_per_item = meta.pipelines_per_item;
+        self.spread = meta.pipelines_per_item.max(1) as f64;
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        self.flush_kernel();
+        self.current = Some(DarthKernel {
+            name: name.to_owned(),
+            cycles: 0.0,
+            energy_pj: 0.0,
+            arrays: 0.0,
+        });
+    }
+
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        let (ol, oe, oa, oace) = self.model.price_op(op);
+        let ol = if matches!(op, KernelOp::Vector { .. } | KernelOp::TableLookup { .. }) {
+            ol / self.spread
+        } else {
+            ol
+        };
+        let kernel = self.current.as_mut().expect("begin_kernel precedes ops");
+        // Fold the run one repetition at a time: pricing the op once and
+        // re-adding the same addends keeps a run of `n` bit-identical to
+        // `n` single-op events while skipping `n - 1` model evaluations.
+        for _ in 0..repeat {
+            kernel.cycles += ol;
+            kernel.energy_pj += oe;
+            self.ace_serial_cycles += oace;
+        }
+        kernel.arrays = kernel.arrays.max(oa);
+    }
+}
+
+impl CostAccumulator for DarthAccumulator {
+    fn finish(&mut self) -> CostReport {
+        self.flush_kernel();
+        let model = &self.model;
         // Front-end share: one front end per 8 HCTs, amortised per item.
-        item_energy_pj += power::FRONT_END * item_cycles / HCTS_PER_FRONT_END as f64;
+        let item_energy_pj =
+            self.item_energy_pj + power::FRONT_END * self.item_cycles / HCTS_PER_FRONT_END as f64;
 
         // Placement: arrays bound the analog footprint; DCE pipelines
         // bound digital batching.
-        let arrays_per_hct = self.chip.hct.ace_arrays as f64;
-        let hcts_for_arrays = (max_arrays / arrays_per_hct).ceil().max(1.0);
-        let pipes_per_hct = self.chip.hct.dce_pipelines as f64;
+        let arrays_per_hct = model.chip.hct.ace_arrays as f64;
+        let hcts_for_arrays = (self.max_arrays / arrays_per_hct).ceil().max(1.0);
+        let pipes_per_hct = model.chip.hct.dce_pipelines as f64;
         let items_per_hct_group =
-            (pipes_per_hct * hcts_for_arrays / trace.pipelines_per_item as f64).max(1.0);
-        let hct_count = self.chip.hct_count() as f64;
+            (pipes_per_hct * hcts_for_arrays / self.pipelines_per_item as f64).max(1.0);
+        let hct_count = model.chip.hct_count() as f64;
         let groups = (hct_count / hcts_for_arrays).max(1.0);
         let chip_parallel = (groups * items_per_hct_group)
-            .min(trace.parallel_items as f64)
+            .min(self.parallel_items as f64)
             .max(1.0);
 
-        let latency_s = item_cycles / CLOCK_HZ;
+        let latency_s = self.item_cycles / CLOCK_HZ;
         let pipeline_bound = chip_parallel / latency_s.max(1e-12);
         // Items sharing a tile group also share its ACEs: the group's
         // analog throughput caps the item rate regardless of how many
         // pipeline contexts are free.
-        let ace_bound = if ace_serial_cycles > 0.0 {
-            groups * CLOCK_HZ / ace_serial_cycles
+        let ace_bound = if self.ace_serial_cycles > 0.0 {
+            groups * CLOCK_HZ / self.ace_serial_cycles
         } else {
             f64::INFINITY
         };
         CostReport {
-            architecture: format!("DARTH-PUM ({:?} ADC)", self.chip.hct.adc_kind),
-            workload: trace.name.clone(),
+            architecture: format!("DARTH-PUM ({:?} ADC)", model.chip.hct.adc_kind),
+            workload: std::mem::take(&mut self.workload),
             latency_s,
             throughput_items_per_s: pipeline_bound.min(ace_bound),
             energy_per_item_j: item_energy_pj * 1e-12,
-            kernel_latency_s: kernel_latency,
+            kernel_latency_s: std::mem::take(&mut self.kernel_latency),
         }
     }
 }
@@ -309,8 +388,8 @@ impl crate::eval::ArchModel for DarthModel {
         "DARTH-PUM".into()
     }
 
-    fn price(&self, trace: &Trace) -> CostReport {
-        DarthModel::price(self, trace)
+    fn accumulator(&self) -> Box<dyn crate::eval::CostAccumulator + '_> {
+        Box::new(DarthAccumulator::new(*self))
     }
 }
 

@@ -1,12 +1,27 @@
-//! Architecture-neutral kernel traces.
+//! Architecture-neutral kernel traces — streamed or materialized.
 //!
 //! Each application (`darth-apps`) lowers one *work item* — an AES block
 //! encryption, a ResNet-20 inference, an LLM encoder pass — into a
-//! [`Trace`]: a sequence of named [`Kernel`]s made of coarse-grained
-//! [`KernelOp`]s. Every architecture model prices the *same* trace: the
-//! DARTH-PUM model in [`crate::model`], and the CPU / GPU / analog-only /
-//! RACER / AppAccel models in `darth-baselines`. Figures 13–18 are all
-//! ratios of these priced traces.
+//! sequence of named kernels made of coarse-grained [`KernelOp`]s. The
+//! canonical form of that sequence is a *stream*: the workload pushes op
+//! events into a [`TraceSink`] and never materializes anything, so a
+//! million-block bulk scenario prices in O(1) memory. Two sinks matter
+//! most:
+//!
+//! * every architecture model is a streaming cost accumulator (the
+//!   DARTH-PUM model in [`crate::model`], the CPU / GPU / analog-only /
+//!   RACER / AppAccel models in `darth-baselines`) — see
+//!   [`crate::eval::CostAccumulator`];
+//! * [`TraceCollector`] materializes the stream into a [`Trace`], the
+//!   legacy heap form the figure tests still inspect, and
+//!   [`SummaryRecorder`] compresses it into a run-length [`TraceSummary`]
+//!   the evaluation engine caches and replays.
+//!
+//! Figures 13–18 are all ratios of the resulting [`CostReport`]s, and
+//! streaming and materialized pricing are bit-identical by construction:
+//! replaying a collected [`Trace`] or a recorded [`TraceSummary`]
+//! reproduces the exact op sequence (and therefore the exact `f64`
+//! accumulation order) of the original emission.
 
 use serde::{Deserialize, Serialize};
 
@@ -95,21 +110,26 @@ impl KernelOp {
 
     /// Total multiply–accumulate count represented by this op (zero for
     /// non-MVM ops) — used for roofline-style CPU/GPU pricing.
+    ///
+    /// Saturating: bulk streamed scenarios legitimately reach op shapes
+    /// whose `rows × cols × batch` product would overflow `u64`, and a
+    /// saturated count is a better answer than a wrapped one.
     pub fn macs(&self) -> u64 {
         match *self {
             KernelOp::Mvm {
                 rows, cols, batch, ..
-            } => rows * cols * batch,
+            } => rows.saturating_mul(cols).saturating_mul(batch),
             _ => 0,
         }
     }
 
-    /// Total element-operations (lanes × count) for vector work.
+    /// Total element-operations (lanes × count) for vector work
+    /// (saturating, like [`KernelOp::macs`]).
     pub fn element_ops(&self) -> u64 {
         match *self {
             KernelOp::Vector {
                 elements, count, ..
-            } => elements * count,
+            } => elements.saturating_mul(count),
             KernelOp::TableLookup { elements, .. } => elements,
             _ => 0,
         }
@@ -134,25 +154,26 @@ impl Kernel {
         }
     }
 
-    /// Total MACs in this kernel.
+    /// Total MACs in this kernel (saturating).
     pub fn macs(&self) -> u64 {
-        self.ops.iter().map(KernelOp::macs).sum()
-    }
-
-    /// Total element-ops in this kernel.
-    pub fn element_ops(&self) -> u64 {
-        self.ops.iter().map(KernelOp::element_ops).sum()
-    }
-
-    /// Total host-move bytes in this kernel.
-    pub fn host_bytes(&self) -> u64 {
         self.ops
             .iter()
-            .map(|op| match *op {
-                KernelOp::HostMove { bytes } => bytes,
-                _ => 0,
-            })
-            .sum()
+            .fold(0u64, |acc, op| acc.saturating_add(op.macs()))
+    }
+
+    /// Total element-ops in this kernel (saturating).
+    pub fn element_ops(&self) -> u64 {
+        self.ops
+            .iter()
+            .fold(0u64, |acc, op| acc.saturating_add(op.element_ops()))
+    }
+
+    /// Total host-move bytes in this kernel (saturating).
+    pub fn host_bytes(&self) -> u64 {
+        self.ops.iter().fold(0u64, |acc, op| match *op {
+            KernelOp::HostMove { bytes } => acc.saturating_add(bytes),
+            _ => acc,
+        })
     }
 }
 
@@ -195,14 +216,18 @@ impl Trace {
         self
     }
 
-    /// Total MACs across kernels.
+    /// Total MACs across kernels (saturating).
     pub fn macs(&self) -> u64 {
-        self.kernels.iter().map(Kernel::macs).sum()
+        self.kernels
+            .iter()
+            .fold(0u64, |acc, k| acc.saturating_add(k.macs()))
     }
 
-    /// Total element-ops across kernels.
+    /// Total element-ops across kernels (saturating).
     pub fn element_ops(&self) -> u64 {
-        self.kernels.iter().map(Kernel::element_ops).sum()
+        self.kernels
+            .iter()
+            .fold(0u64, |acc, k| acc.saturating_add(k.element_ops()))
     }
 
     /// Fraction of MACs among (MACs + element ops) — a rough measure of
@@ -219,6 +244,362 @@ impl Trace {
     /// Looks up a kernel by name.
     pub fn kernel(&self, name: &str) -> Option<&Kernel> {
         self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Streams this materialized trace into a sink, op by op, in the
+    /// exact stored order. This is how the default
+    /// [`crate::eval::ArchModel::price`] prices a `&Trace` through a
+    /// streaming accumulator.
+    pub fn emit_to(&self, sink: &mut dyn TraceSink) {
+        let meta = TraceMeta {
+            name: self.name.clone(),
+            parallel_items: self.parallel_items,
+            pipelines_per_item: self.pipelines_per_item,
+        };
+        sink.begin_trace(&meta);
+        for kernel in &self.kernels {
+            sink.begin_kernel(&kernel.name);
+            for op in &kernel.ops {
+                sink.op(op);
+            }
+        }
+    }
+}
+
+/// Trace-level metadata, delivered to a [`TraceSink`] before any kernel:
+/// the work-item name plus the placement hints [`Trace`] carries as
+/// fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Work item name (`"aes-128"`, `"resnet-110"`, …).
+    pub name: String,
+    /// Independent-copy cap (see [`Trace::parallel_items`]).
+    pub parallel_items: u64,
+    /// DCE pipelines one in-flight item occupies (see
+    /// [`Trace::pipelines_per_item`]).
+    pub pipelines_per_item: u64,
+}
+
+impl TraceMeta {
+    /// Metadata with the same defaults as [`Trace::new`]: unlimited
+    /// parallel items, one pipeline per item.
+    pub fn new(name: impl Into<String>) -> Self {
+        TraceMeta {
+            name: name.into(),
+            parallel_items: u64::MAX,
+            pipelines_per_item: 1,
+        }
+    }
+
+    /// Sets the per-item pipeline footprint (builder style, clamped to
+    /// ≥ 1 like [`Trace::with_pipelines_per_item`]).
+    #[must_use]
+    pub fn with_pipelines_per_item(mut self, pipelines: u64) -> Self {
+        self.pipelines_per_item = pipelines.max(1);
+        self
+    }
+
+    /// Caps the exploitable parallelism (builder style, clamped to ≥ 1
+    /// like [`Trace::with_parallel_items`]).
+    #[must_use]
+    pub fn with_parallel_items(mut self, items: u64) -> Self {
+        self.parallel_items = items.max(1);
+        self
+    }
+}
+
+/// An op-stream consumer: the other half of the streaming trace pipeline.
+///
+/// A workload emits one work item as a flat event stream — one
+/// [`TraceSink::begin_trace`], then for each kernel a
+/// [`TraceSink::begin_kernel`] followed by its ops in execution order —
+/// and the sink prices, records, or materializes the events as they
+/// arrive. Nothing is ever buffered by the protocol itself, so emission
+/// is O(1) memory regardless of workload scale.
+///
+/// `op_run` is the primitive: `op_run(op, n)` means *the same op, `n`
+/// times in a row*, and MUST be observationally identical to calling
+/// [`TraceSink::op`] `n` times. Cost accumulators exploit the
+/// equivalence by pricing the op once and folding the repeat in a tight
+/// loop (bit-identical to op-by-op accumulation, since each repetition
+/// adds the same addend in the same order); materializing sinks expand
+/// the run.
+pub trait TraceSink {
+    /// Starts the work item. Emitters call this exactly once, before any
+    /// kernel event.
+    fn begin_trace(&mut self, meta: &TraceMeta);
+
+    /// Starts the next kernel; subsequent ops belong to it until the next
+    /// `begin_kernel`.
+    fn begin_kernel(&mut self, name: &str);
+
+    /// `repeat` consecutive occurrences of `op` inside the current
+    /// kernel.
+    fn op_run(&mut self, op: &KernelOp, repeat: u64);
+
+    /// One occurrence of `op` (convenience over [`TraceSink::op_run`]).
+    fn op(&mut self, op: &KernelOp) {
+        self.op_run(op, 1);
+    }
+}
+
+/// A sink that materializes the stream into a heap [`Trace`] — the
+/// bridge that keeps the legacy materialized pipeline (figure tests, op
+/// inspection, golden comparisons) alive on top of streaming emitters.
+///
+/// Note the asymmetry this makes explicit: collecting expands every
+/// [`TraceSink::op_run`] into `repeat` stored ops, so a bulk scenario
+/// that streams in O(1) memory can cost gigabytes to collect (that is
+/// exactly what `make eval-large` demonstrates under its memory cap).
+#[derive(Debug)]
+pub struct TraceCollector {
+    trace: Trace,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        TraceCollector::new()
+    }
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        TraceCollector {
+            trace: Trace::new("", Vec::new()),
+        }
+    }
+
+    /// The collected trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+impl TraceSink for TraceCollector {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
+        self.trace.name = meta.name.clone();
+        self.trace.parallel_items = meta.parallel_items;
+        self.trace.pipelines_per_item = meta.pipelines_per_item;
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        self.trace.kernels.push(Kernel::new(name, Vec::new()));
+    }
+
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        let kernel = self
+            .trace
+            .kernels
+            .last_mut()
+            .expect("begin_kernel precedes ops");
+        // usize::MAX ops cannot be materialized anyway; saturate rather
+        // than wrap on 32-bit targets.
+        let repeat = usize::try_from(repeat).unwrap_or(usize::MAX);
+        kernel.ops.reserve(repeat);
+        for _ in 0..repeat {
+            kernel.ops.push(*op);
+        }
+    }
+}
+
+/// One run-length entry of a [`TraceSummary`]: `repeat` consecutive
+/// occurrences of `op`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpRun {
+    /// The repeated op.
+    pub op: KernelOp,
+    /// Consecutive occurrences.
+    pub repeat: u64,
+}
+
+/// One kernel of a [`TraceSummary`]: a name plus run-length-encoded ops,
+/// itself repeated `repeat` times when identical kernels arrive
+/// back-to-back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSummary {
+    /// Kernel display name.
+    pub name: String,
+    /// Run-length-encoded ops, in emission order.
+    pub runs: Vec<OpRun>,
+    /// Back-to-back repetitions of this whole kernel.
+    pub repeat: u64,
+}
+
+impl KernelSummary {
+    /// Total ops in one repetition of this kernel (saturating).
+    fn ops_per_repeat(&self) -> u64 {
+        self.runs
+            .iter()
+            .fold(0u64, |acc, run| acc.saturating_add(run.repeat))
+    }
+}
+
+/// A run-length-compressed recording of one emitted op stream.
+///
+/// This is what the evaluation engine caches instead of a materialized
+/// [`Trace`]: consecutive identical ops collapse into one [`OpRun`] and
+/// consecutive identical kernels collapse into one [`KernelSummary`]
+/// with a repeat count, so the regular bulk scenarios (a million
+/// identical AES blocks) compress to a handful of entries while
+/// [`TraceSummary::replay_into`] still reproduces the *exact* original
+/// event sequence — same ops, same order, same `op_run` batching — into
+/// any sink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Trace-level metadata as emitted.
+    pub meta: TraceMeta,
+    /// Compressed kernels, in emission order.
+    pub kernels: Vec<KernelSummary>,
+}
+
+impl TraceSummary {
+    /// Records a full emission through a [`SummaryRecorder`].
+    pub fn record(emit: impl FnOnce(&mut SummaryRecorder)) -> Self {
+        let mut recorder = SummaryRecorder::new();
+        emit(&mut recorder);
+        recorder.finish()
+    }
+
+    /// Replays the recorded stream into `sink`, preserving the original
+    /// event order (kernel repeats replay as separate kernels; op runs
+    /// replay as the [`TraceSink::op_run`] batches that were recorded).
+    pub fn replay_into(&self, sink: &mut dyn TraceSink) {
+        sink.begin_trace(&self.meta);
+        for kernel in &self.kernels {
+            for _ in 0..kernel.repeat {
+                sink.begin_kernel(&kernel.name);
+                for run in &kernel.runs {
+                    sink.op_run(&run.op, run.repeat);
+                }
+            }
+        }
+    }
+
+    /// Total op events across all kernels and repeats (saturating).
+    pub fn op_count(&self) -> u64 {
+        self.kernels.iter().fold(0u64, |acc, k| {
+            acc.saturating_add(k.ops_per_repeat().saturating_mul(k.repeat))
+        })
+    }
+
+    /// Total kernel events across repeats (saturating).
+    pub fn kernel_count(&self) -> u64 {
+        self.kernels
+            .iter()
+            .fold(0u64, |acc, k| acc.saturating_add(k.repeat))
+    }
+
+    /// Total MACs across the stream (saturating).
+    pub fn macs(&self) -> u64 {
+        self.fold_ops(0u64, |acc, op, n| {
+            acc.saturating_add(op.macs().saturating_mul(n))
+        })
+    }
+
+    /// Total element-ops across the stream (saturating).
+    pub fn element_ops(&self) -> u64 {
+        self.fold_ops(0u64, |acc, op, n| {
+            acc.saturating_add(op.element_ops().saturating_mul(n))
+        })
+    }
+
+    /// MVM share of the work, as [`Trace::mvm_fraction`].
+    pub fn mvm_fraction(&self) -> f64 {
+        let macs = self.macs() as f64;
+        let eops = self.element_ops() as f64;
+        if macs + eops == 0.0 {
+            return 0.0;
+        }
+        macs / (macs + eops)
+    }
+
+    /// Estimated heap footprint of materializing this stream into a
+    /// [`Trace`]: the op storage plus per-kernel overhead. A lower bound
+    /// (Vec growth slack is not modelled) used by `eval_large` to show
+    /// what the streaming pipeline avoids allocating.
+    pub fn materialized_bytes_estimate(&self) -> u64 {
+        let op_bytes = self
+            .op_count()
+            .saturating_mul(std::mem::size_of::<KernelOp>() as u64);
+        let kernel_bytes = self.kernels.iter().fold(0u64, |acc, k| {
+            let per = (std::mem::size_of::<Kernel>() + k.name.len()) as u64;
+            acc.saturating_add(per.saturating_mul(k.repeat))
+        });
+        op_bytes.saturating_add(kernel_bytes)
+    }
+
+    fn fold_ops<T>(&self, init: T, mut f: impl FnMut(T, &KernelOp, u64) -> T) -> T {
+        let mut acc = init;
+        for kernel in &self.kernels {
+            for run in &kernel.runs {
+                acc = f(acc, &run.op, run.repeat.saturating_mul(kernel.repeat));
+            }
+        }
+        acc
+    }
+}
+
+/// The sink behind [`TraceSummary`]: run-length-compresses an op stream
+/// as it arrives (O(distinct consecutive events) memory).
+#[derive(Debug, Default)]
+pub struct SummaryRecorder {
+    meta: Option<TraceMeta>,
+    kernels: Vec<KernelSummary>,
+    current: Option<KernelSummary>,
+}
+
+impl SummaryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        SummaryRecorder::default()
+    }
+
+    fn flush_kernel(&mut self) {
+        if let Some(done) = self.current.take() {
+            match self.kernels.last_mut() {
+                // Identical back-to-back kernels fold into a repeat.
+                Some(prev) if prev.name == done.name && prev.runs == done.runs => {
+                    prev.repeat = prev.repeat.saturating_add(done.repeat);
+                }
+                _ => self.kernels.push(done),
+            }
+        }
+    }
+
+    /// The compressed summary.
+    pub fn finish(mut self) -> TraceSummary {
+        self.flush_kernel();
+        TraceSummary {
+            meta: self.meta.unwrap_or_else(|| TraceMeta::new("")),
+            kernels: self.kernels,
+        }
+    }
+}
+
+impl TraceSink for SummaryRecorder {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
+        self.meta = Some(meta.clone());
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        self.flush_kernel();
+        self.current = Some(KernelSummary {
+            name: name.to_owned(),
+            runs: Vec::new(),
+            repeat: 1,
+        });
+    }
+
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        if repeat == 0 {
+            return;
+        }
+        let kernel = self.current.as_mut().expect("begin_kernel precedes ops");
+        match kernel.runs.last_mut() {
+            Some(run) if run.op == *op => run.repeat = run.repeat.saturating_add(repeat),
+            _ => kernel.runs.push(OpRun { op: *op, repeat }),
+        }
     }
 }
 
@@ -370,5 +751,112 @@ mod tests {
     fn mvm_fraction_empty_trace() {
         let t = Trace::new("empty", vec![]);
         assert_eq!(t.mvm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn op_counts_saturate_instead_of_wrapping() {
+        let huge_mvm = KernelOp::Mvm {
+            rows: u64::MAX / 2,
+            cols: 3,
+            input_bits: 8,
+            weight_bits: 8,
+            batch: 5,
+        };
+        assert_eq!(huge_mvm.macs(), u64::MAX);
+        let huge_vec = KernelOp::Vector {
+            kind: VectorKind::Add,
+            elements: u64::MAX,
+            bits: 8,
+            count: 2,
+        };
+        assert_eq!(huge_vec.element_ops(), u64::MAX);
+        let k = Kernel::new("big", vec![huge_mvm, huge_mvm]);
+        assert_eq!(k.macs(), u64::MAX);
+        let t = Trace::new("big", vec![k.clone(), k]);
+        assert_eq!(t.macs(), u64::MAX);
+        let moves = Kernel::new(
+            "mv",
+            vec![
+                KernelOp::HostMove { bytes: u64::MAX },
+                KernelOp::HostMove { bytes: 7 },
+            ],
+        );
+        assert_eq!(moves.host_bytes(), u64::MAX);
+    }
+
+    #[test]
+    fn collect_round_trips_a_materialized_trace() {
+        let original = sample_trace()
+            .with_pipelines_per_item(3)
+            .with_parallel_items(128);
+        let mut collector = TraceCollector::new();
+        original.emit_to(&mut collector);
+        assert_eq!(collector.finish(), original);
+    }
+
+    #[test]
+    fn summary_compresses_runs_and_replays_exactly() {
+        let op = KernelOp::TableLookup {
+            elements: 16,
+            table_size: 256,
+            bits: 8,
+        };
+        let move_op = KernelOp::HostMove { bytes: 32 };
+        let mut recorder = SummaryRecorder::new();
+        recorder.begin_trace(&TraceMeta::new("rle").with_pipelines_per_item(3));
+        // Three identical kernels back to back, each 4 identical ops.
+        for _ in 0..3 {
+            recorder.begin_kernel("gather");
+            for _ in 0..4 {
+                recorder.op(&op);
+            }
+        }
+        // A different kernel breaks the kernel run.
+        recorder.begin_kernel("move");
+        recorder.op_run(&move_op, 5);
+        let summary = recorder.finish();
+
+        // Compression: 2 kernel summaries, 1 op run each.
+        assert_eq!(summary.kernels.len(), 2);
+        assert_eq!(summary.kernels[0].repeat, 3);
+        assert_eq!(summary.kernels[0].runs.len(), 1);
+        assert_eq!(summary.kernels[0].runs[0].repeat, 4);
+        assert_eq!(summary.op_count(), 3 * 4 + 5);
+        assert_eq!(summary.kernel_count(), 4);
+        assert_eq!(summary.element_ops(), 3 * 4 * 16);
+        assert!(summary.materialized_bytes_estimate() > 0);
+
+        // Replay expands back to the exact materialized form.
+        let mut collector = TraceCollector::new();
+        summary.replay_into(&mut collector);
+        let trace = collector.finish();
+        assert_eq!(trace.name, "rle");
+        assert_eq!(trace.pipelines_per_item, 3);
+        assert_eq!(trace.kernels.len(), 4);
+        assert_eq!(trace.kernels[0].ops.len(), 4);
+        assert_eq!(trace.kernels[3].ops.len(), 5);
+    }
+
+    #[test]
+    fn summary_stats_match_materialized_totals() {
+        let trace = sample_trace();
+        let mut recorder = SummaryRecorder::new();
+        trace.emit_to(&mut recorder);
+        let summary = recorder.finish();
+        assert_eq!(summary.macs(), trace.macs());
+        assert_eq!(summary.element_ops(), trace.element_ops());
+        assert_eq!(summary.mvm_fraction(), trace.mvm_fraction());
+        assert_eq!(summary.meta.name, trace.name);
+    }
+
+    #[test]
+    fn zero_repeat_runs_are_dropped() {
+        let mut recorder = SummaryRecorder::new();
+        recorder.begin_trace(&TraceMeta::new("z"));
+        recorder.begin_kernel("k");
+        recorder.op_run(&KernelOp::HostMove { bytes: 8 }, 0);
+        let summary = recorder.finish();
+        assert_eq!(summary.op_count(), 0);
+        assert_eq!(summary.kernel_count(), 1);
     }
 }

@@ -1,21 +1,33 @@
-//! The evaluation engine: registries crossed into a priced matrix.
+//! The evaluation engine: registries crossed into a priced matrix,
+//! streamed end to end.
 //!
 //! An [`Engine`] owns two registries — `Box<dyn Workload>` scenarios and
 //! `Box<dyn ArchModel>` architectures — and prices the full cross product
-//! into an [`EvalMatrix`]. Work is split in two phases, both parallelized
-//! with `std::thread::scope` over disjoint output slices (no locks, no
-//! shared mutable state, and therefore bit-identical results in serial
-//! and parallel mode):
+//! into an [`EvalMatrix`] without ever materializing a trace. Work is
+//! split in two phases, both parallelized with `std::thread::scope` over
+//! disjoint output slices (no locks, no shared mutable state, and
+//! therefore bit-identical results in serial and parallel mode):
 //!
-//! 1. **Trace construction**, once per workload. Traces are memoized in
-//!    the engine, so repeated `run()` calls (e.g. after registering more
-//!    models) only build the scenarios they have not seen.
-//! 2. **Pricing**, once per `(workload, model)` cell against the shared
+//! 1. **Stream recording**, once per workload: each emission is
+//!    compressed into a run-length [`TraceSummary`] and memoized, so
+//!    repeated `run()` calls (e.g. after registering more models) only
+//!    record the scenarios they have not seen. The summary is compact —
+//!    a million-block bulk scenario collapses to a handful of op runs —
+//!    where the old `Trace` cache held every op on the heap.
+//! 2. **Pricing**, once per `(workload, model)` cell: the cached summary
+//!    replays into a fresh streaming accumulator
+//!    ([`ArchModel::accumulator`]), reproducing the exact original op
+//!    sequence, so cells are bit-identical to pricing the materialized
 //!    trace.
+//!
+//! For one-off scenarios there is also [`Engine::price_streamed`]: a
+//! single emission fanned into every registered model's accumulator at
+//! once — one pass over the op stream, no cache entry, no materialized
+//! anything.
 
 use crate::json::JsonValue;
-use darth_pum::eval::{ArchModel, Workload};
-use darth_pum::trace::{geomean, CostReport, Trace};
+use darth_pum::eval::{ArchModel, Fanout, Workload};
+use darth_pum::trace::{geomean, CostReport, SummaryRecorder, TraceSummary};
 use std::collections::HashMap;
 use std::thread;
 
@@ -56,7 +68,8 @@ pub struct WorkloadSummary {
     pub macs: u64,
     /// Total element-ops in the trace.
     pub element_ops: u64,
-    /// MVM share of the work (see [`Trace::mvm_fraction`]).
+    /// MVM share of the work (see
+    /// [`darth_pum::trace::Trace::mvm_fraction`]).
     pub mvm_fraction: f64,
 }
 
@@ -147,20 +160,25 @@ impl EvalMatrix {
     }
 
     /// The whole matrix as a JSON document (`darth-eval-matrix/v1`).
-    pub fn to_json(&self) -> JsonValue {
+    ///
+    /// Every workload, model, architecture and kernel name is *borrowed*
+    /// into the tree (`JsonValue<'_>`), so serializing even a large
+    /// matrix allocates no string copies — only the tree nodes
+    /// themselves.
+    pub fn to_json(&self) -> JsonValue<'_> {
         let workloads = self
             .workloads
             .iter()
             .map(|w| {
                 JsonValue::object(vec![
-                    ("name", JsonValue::from(w.name.clone())),
-                    ("label", JsonValue::from(w.label.clone())),
+                    ("name", JsonValue::from(&w.name)),
+                    ("label", JsonValue::from(&w.label)),
                     (
                         "params",
                         JsonValue::Object(
                             w.params
                                 .iter()
-                                .map(|(k, v)| (k.clone(), JsonValue::from(v.clone())))
+                                .map(|(k, v)| (k.as_str().into(), JsonValue::from(v)))
                                 .collect(),
                         ),
                     ),
@@ -175,8 +193,8 @@ impl EvalMatrix {
             .iter()
             .map(|m| {
                 JsonValue::object(vec![
-                    ("name", JsonValue::from(m.name.clone())),
-                    ("label", JsonValue::from(m.label.clone())),
+                    ("name", JsonValue::from(&m.name)),
+                    ("label", JsonValue::from(&m.label)),
                 ])
             })
             .collect();
@@ -188,9 +206,9 @@ impl EvalMatrix {
                 self.models.iter().enumerate().map(move |(m, model)| {
                     let report = self.cell_at(w, m);
                     JsonValue::object(vec![
-                        ("workload", JsonValue::from(workload.name.clone())),
-                        ("model", JsonValue::from(model.name.clone())),
-                        ("architecture", JsonValue::from(report.architecture.clone())),
+                        ("workload", JsonValue::from(&workload.name)),
+                        ("model", JsonValue::from(&model.name)),
+                        ("architecture", JsonValue::from(&report.architecture)),
                         ("latency_s", JsonValue::from(report.latency_s)),
                         (
                             "throughput_items_per_s",
@@ -208,7 +226,7 @@ impl EvalMatrix {
                                     .iter()
                                     .map(|(name, latency)| {
                                         JsonValue::object(vec![
-                                            ("name", JsonValue::from(name.clone())),
+                                            ("name", JsonValue::from(name)),
                                             ("latency_s", JsonValue::from(*latency)),
                                         ])
                                     })
@@ -234,7 +252,7 @@ pub struct Engine {
     workloads: Vec<Box<dyn Workload>>,
     models: Vec<Box<dyn ArchModel>>,
     threading: Threading,
-    trace_cache: HashMap<String, Trace>,
+    summary_cache: HashMap<String, TraceSummary>,
 }
 
 impl Engine {
@@ -292,29 +310,29 @@ impl Engine {
 
     /// Prices the full workload × model matrix.
     ///
-    /// Traces built by earlier runs are reused (memoized by workload
+    /// Streams recorded by earlier runs are reused (memoized by workload
     /// name); rows and columns appear in registration order.
     pub fn run(&mut self) -> EvalMatrix {
         let threads = self.threading.worker_count();
-        self.build_missing_traces(threads);
-        let traces: Vec<&Trace> = self
+        self.record_missing_summaries(threads);
+        let summaries: Vec<&TraceSummary> = self
             .workloads
             .iter()
-            .map(|w| &self.trace_cache[&w.name()])
+            .map(|w| &self.summary_cache[&w.name()])
             .collect();
 
-        let cells = price_cells(&self.models, &traces, threads);
+        let cells = price_cells(&self.models, &summaries, threads);
         let workloads = self
             .workloads
             .iter()
-            .zip(&traces)
-            .map(|(w, trace)| WorkloadSummary {
+            .zip(&summaries)
+            .map(|(w, summary)| WorkloadSummary {
                 name: w.name(),
                 label: w.label(),
                 params: w.params(),
-                macs: trace.macs(),
-                element_ops: trace.element_ops(),
-                mvm_fraction: trace.mvm_fraction(),
+                macs: summary.macs(),
+                element_ops: summary.element_ops(),
+                mvm_fraction: summary.mvm_fraction(),
             })
             .collect();
         let models = self
@@ -332,43 +350,67 @@ impl Engine {
         }
     }
 
-    /// Builds (in parallel) every registered trace not yet in the cache.
-    fn build_missing_traces(&mut self, threads: usize) {
+    /// The cached run-length summary of a workload's recorded stream —
+    /// present after an [`Engine::run`] that included the workload.
+    /// Useful for stream statistics (op counts, materialization
+    /// estimates) without re-emitting.
+    pub fn summary(&self, workload: &str) -> Option<&TraceSummary> {
+        self.summary_cache.get(workload)
+    }
+
+    /// Prices one workload on every registered model in a single
+    /// streaming pass: the emission is fanned into all accumulators at
+    /// once and never stored — not even as a run-length summary. Reports
+    /// come back in model registration order and are bit-identical to
+    /// the corresponding [`Engine::run`] cells.
+    pub fn price_streamed(&self, workload: &dyn Workload) -> Vec<CostReport> {
+        let mut fanout = Fanout::new(self.models.iter().map(AsRef::as_ref));
+        workload.emit(&mut fanout);
+        fanout.finish()
+    }
+
+    /// Records (in parallel) every registered workload's op stream not
+    /// yet in the summary cache.
+    fn record_missing_summaries(&mut self, threads: usize) {
         let missing: Vec<&dyn Workload> = self
             .workloads
             .iter()
             .map(AsRef::as_ref)
-            .filter(|w| !self.trace_cache.contains_key(&w.name()))
+            .filter(|w| !self.summary_cache.contains_key(&w.name()))
             .collect();
         if missing.is_empty() {
             return;
         }
-        let mut built: Vec<Option<Trace>> = missing.iter().map(|_| None).collect();
+        let mut recorded: Vec<Option<TraceSummary>> = missing.iter().map(|_| None).collect();
         let chunk = missing.len().div_ceil(threads.max(1));
         thread::scope(|scope| {
-            for (out_chunk, work_chunk) in built.chunks_mut(chunk).zip(missing.chunks(chunk)) {
+            for (out_chunk, work_chunk) in recorded.chunks_mut(chunk).zip(missing.chunks(chunk)) {
                 scope.spawn(move || {
                     for (slot, workload) in out_chunk.iter_mut().zip(work_chunk) {
-                        *slot = Some(workload.build_trace());
+                        let mut recorder = SummaryRecorder::new();
+                        workload.emit(&mut recorder);
+                        *slot = Some(recorder.finish());
                     }
                 });
             }
         });
-        for (workload, trace) in missing.iter().zip(built) {
-            let trace = trace.expect("every spawned chunk fills its slots");
-            self.trace_cache.insert(workload.name(), trace);
+        for (workload, summary) in missing.iter().zip(recorded) {
+            let summary = summary.expect("every spawned chunk fills its slots");
+            self.summary_cache.insert(workload.name(), summary);
         }
     }
 }
 
 /// Prices every `(workload, model)` cell, row-major, splitting the cell
 /// range across `threads` scoped workers over disjoint output chunks.
+/// Each cell replays the workload's recorded stream into a fresh
+/// accumulator from its model.
 fn price_cells(
     models: &[Box<dyn ArchModel>],
-    traces: &[&Trace],
+    summaries: &[&TraceSummary],
     threads: usize,
 ) -> Vec<CostReport> {
-    let total = traces.len() * models.len();
+    let total = summaries.len() * models.len();
     let mut cells: Vec<Option<CostReport>> = (0..total).map(|_| None).collect();
     if total == 0 {
         return Vec::new();
@@ -381,7 +423,9 @@ fn price_cells(
                 for (offset, slot) in out_chunk.iter_mut().enumerate() {
                     let index = start + offset;
                     let (w, m) = (index / models.len(), index % models.len());
-                    *slot = Some(models[m].price(traces[w]));
+                    let mut acc = models[m].accumulator();
+                    summaries[w].replay_into(&mut *acc);
+                    *slot = Some(acc.finish());
                 }
             });
         }
@@ -395,7 +439,8 @@ fn price_cells(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use darth_pum::trace::{Kernel, KernelOp};
+    use darth_pum::eval::CostAccumulator;
+    use darth_pum::trace::{KernelOp, TraceMeta, TraceSink};
 
     struct Moves(u64);
 
@@ -403,34 +448,59 @@ mod tests {
         fn name(&self) -> String {
             format!("moves-{}", self.0)
         }
-        fn build_trace(&self) -> Trace {
-            Trace::new(
-                self.name(),
-                vec![Kernel::new(
-                    "mv",
-                    vec![KernelOp::HostMove { bytes: self.0 }],
-                )],
-            )
+        fn emit(&self, sink: &mut dyn TraceSink) {
+            sink.begin_trace(&TraceMeta::new(self.name()));
+            sink.begin_kernel("mv");
+            sink.op(&KernelOp::HostMove { bytes: self.0 });
         }
     }
 
     struct PerByte(f64);
 
-    impl ArchModel for PerByte {
-        fn name(&self) -> String {
-            format!("per-byte-{}", self.0)
+    struct PerByteAccumulator {
+        architecture: String,
+        rate: f64,
+        workload: String,
+        bytes: u64,
+    }
+
+    impl TraceSink for PerByteAccumulator {
+        fn begin_trace(&mut self, meta: &TraceMeta) {
+            self.workload = meta.name.clone();
         }
-        fn price(&self, trace: &Trace) -> CostReport {
-            let bytes: u64 = trace.kernels.iter().map(Kernel::host_bytes).sum();
-            let latency_s = self.0 * bytes as f64;
+        fn begin_kernel(&mut self, _name: &str) {}
+        fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+            if let KernelOp::HostMove { bytes } = *op {
+                self.bytes += bytes * repeat;
+            }
+        }
+    }
+
+    impl CostAccumulator for PerByteAccumulator {
+        fn finish(&mut self) -> CostReport {
+            let latency_s = self.rate * self.bytes as f64;
             CostReport {
-                architecture: self.name(),
-                workload: trace.name.clone(),
+                architecture: self.architecture.clone(),
+                workload: std::mem::take(&mut self.workload),
                 latency_s,
                 throughput_items_per_s: 1.0 / latency_s,
                 energy_per_item_j: latency_s,
                 kernel_latency_s: vec![("mv".into(), latency_s)],
             }
+        }
+    }
+
+    impl ArchModel for PerByte {
+        fn name(&self) -> String {
+            format!("per-byte-{}", self.0)
+        }
+        fn accumulator(&self) -> Box<dyn CostAccumulator + '_> {
+            Box::new(PerByteAccumulator {
+                architecture: self.name(),
+                rate: self.0,
+                workload: String::new(),
+                bytes: 0,
+            })
         }
     }
 
@@ -468,7 +538,7 @@ mod tests {
     }
 
     #[test]
-    fn trace_cache_survives_reruns() {
+    fn summary_cache_survives_reruns() {
         let mut e = engine();
         let first = e.run();
         e.register_model(Box::new(PerByte(2.0)));
@@ -478,6 +548,19 @@ mod tests {
         for w in ["moves-8", "moves-64"] {
             for m in ["per-byte-1", "per-byte-4"] {
                 assert_eq!(first.cell(w, m), second.cell(w, m));
+            }
+        }
+    }
+
+    #[test]
+    fn price_streamed_matches_matrix_cells() {
+        let mut e = engine();
+        let matrix = e.run();
+        for workload in [Moves(8), Moves(64)] {
+            let streamed = e.price_streamed(&workload);
+            assert_eq!(streamed.len(), 2);
+            for (report, model) in streamed.iter().zip(["per-byte-1", "per-byte-4"]) {
+                assert_eq!(Some(report), matrix.cell(&workload.name(), model));
             }
         }
     }

@@ -6,12 +6,21 @@
 //! exactly what the evaluation reports need: objects with ordered keys,
 //! arrays, strings with escaping, and numbers (non-finite floats become
 //! `null`, which keeps the output valid JSON).
+//!
+//! Strings and keys are [`Cow`]s over a lifetime parameter, so builders
+//! can *borrow* into the tree instead of cloning: every `&'static str`
+//! key is free, and `EvalMatrix::to_json` borrows all of its workload,
+//! model and kernel names from the matrix (`JsonValue<'_>`). Owned
+//! `String`s still convert when a value genuinely has to be built on the
+//! fly.
 
+use std::borrow::Cow;
 use std::fmt;
 
-/// A JSON document fragment.
+/// A JSON document fragment, borrowing strings with lifetime `'a` where
+/// possible (`JsonValue<'static>` for fully owned trees).
 #[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
+pub enum JsonValue<'a> {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -19,21 +28,21 @@ pub enum JsonValue {
     /// A number; non-finite values render as `null`.
     Num(f64),
     /// A string (escaped on output).
-    Str(String),
+    Str(Cow<'a, str>),
     /// An ordered array.
-    Array(Vec<JsonValue>),
+    Array(Vec<JsonValue<'a>>),
     /// An object with insertion-ordered keys.
-    Object(Vec<(String, JsonValue)>),
+    Object(Vec<(Cow<'a, str>, JsonValue<'a>)>),
 }
 
-impl JsonValue {
+impl<'a> JsonValue<'a> {
     /// Builds an object from `(key, value)` pairs.
-    pub fn object<K: Into<String>>(pairs: Vec<(K, JsonValue)>) -> JsonValue {
+    pub fn object<K: Into<Cow<'a, str>>>(pairs: Vec<(K, JsonValue<'a>)>) -> JsonValue<'a> {
         JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
     /// Builds an array.
-    pub fn array(items: Vec<JsonValue>) -> JsonValue {
+    pub fn array(items: Vec<JsonValue<'a>>) -> JsonValue<'a> {
         JsonValue::Array(items)
     }
 
@@ -120,43 +129,49 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-impl From<f64> for JsonValue {
+impl From<f64> for JsonValue<'_> {
     fn from(n: f64) -> Self {
         JsonValue::Num(n)
     }
 }
 
-impl From<u64> for JsonValue {
+impl From<u64> for JsonValue<'_> {
     fn from(n: u64) -> Self {
         JsonValue::Num(n as f64)
     }
 }
 
-impl From<usize> for JsonValue {
+impl From<usize> for JsonValue<'_> {
     fn from(n: usize) -> Self {
         JsonValue::Num(n as f64)
     }
 }
 
-impl From<bool> for JsonValue {
+impl From<bool> for JsonValue<'_> {
     fn from(b: bool) -> Self {
         JsonValue::Bool(b)
     }
 }
 
-impl From<&str> for JsonValue {
-    fn from(s: &str) -> Self {
-        JsonValue::Str(s.to_owned())
+impl<'a> From<&'a str> for JsonValue<'a> {
+    fn from(s: &'a str) -> Self {
+        JsonValue::Str(Cow::Borrowed(s))
     }
 }
 
-impl From<String> for JsonValue {
+impl<'a> From<&'a String> for JsonValue<'a> {
+    fn from(s: &'a String) -> Self {
+        JsonValue::Str(Cow::Borrowed(s.as_str()))
+    }
+}
+
+impl From<String> for JsonValue<'_> {
     fn from(s: String) -> Self {
-        JsonValue::Str(s)
+        JsonValue::Str(Cow::Owned(s))
     }
 }
 
-impl fmt::Display for JsonValue {
+impl fmt::Display for JsonValue<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.pretty())
     }
@@ -198,5 +213,19 @@ mod tests {
     fn numbers_round_trip_shortest() {
         assert_eq!(JsonValue::Num(0.1).pretty(), "0.1\n");
         assert_eq!(JsonValue::from(42u64).pretty(), "42\n");
+    }
+
+    #[test]
+    fn borrowed_and_owned_strings_render_identically() {
+        let owned = JsonValue::from("label".to_owned());
+        let borrowed = JsonValue::from("label");
+        assert_eq!(owned, borrowed);
+        assert_eq!(owned.pretty(), borrowed.pretty());
+        // Borrowing really borrows: no allocation behind the Cow.
+        let s = String::from("hello");
+        match JsonValue::from(&s) {
+            JsonValue::Str(Cow::Borrowed(b)) => assert_eq!(b, "hello"),
+            other => panic!("expected a borrowed string, got {other:?}"),
+        }
     }
 }

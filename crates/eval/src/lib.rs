@@ -1,44 +1,54 @@
 //! The DARTH-PUM evaluation engine: pluggable workloads × architecture
-//! models, priced in parallel.
+//! models, priced as op streams in parallel.
 //!
 //! The paper's evaluation (Figures 13–18) is a cross product: every
 //! workload priced on every architecture. This crate makes that matrix
-//! *open* and *fast*:
+//! *open*, *fast*, and *O(1)-memory per cell*:
 //!
 //! * [`engine::Engine`] holds registries of `Box<dyn Workload>` and
 //!   `Box<dyn ArchModel>` (the traits live in [`darth_pum::eval`], next
-//!   to [`darth_pum::trace::Trace`]), memoizes trace construction, and
-//!   prices the full matrix with `std::thread::scope` workers over
-//!   disjoint output slices — serial and parallel runs are bit-identical.
+//!   to [`darth_pum::trace::Trace`]), memoizes each workload's emission
+//!   as a compressed run-length [`darth_pum::trace::TraceSummary`], and
+//!   prices the full matrix by replaying summaries into streaming
+//!   accumulators, with `std::thread::scope` workers over disjoint
+//!   output slices — serial and parallel runs are bit-identical, and no
+//!   trace is ever materialized. [`engine::Engine::price_streamed`] fans
+//!   one emission into *all* registered models in a single pass.
 //! * [`engine::EvalMatrix`] is the structured result: addressable cells,
 //!   ratio/geomean helpers for the figure summaries, and a JSON report
 //!   ([`engine::EvalMatrix::to_json`]) so every run can drop a
 //!   machine-readable `BENCH_*.json`.
 //! * [`registry`] provides the standard registries — the paper's three
 //!   workloads and five architecture columns, the extended scenario
-//!   sweeps (AES key sizes, ResNet depths, encoder shapes, GEMM sizes) —
-//!   plus the two paper-policy wrappers ([`registry::PaperDarthModel`],
-//!   [`registry::PaperAppAccel`]).
-//! * [`json`] is the tiny offline JSON writer behind the reports.
+//!   sweeps (AES key sizes, ResNet depths, encoder shapes, GEMM sizes),
+//!   and the `eval-large` bulk scenarios
+//!   ([`registry::large_workloads`]: ≥1M-block AES, seq-4096 and
+//!   GPT-2-XL encoders, ResNet-110) — plus the two paper-policy wrappers
+//!   ([`registry::PaperDarthModel`], [`registry::PaperAppAccel`]).
+//! * [`json`] is the tiny offline JSON writer behind the reports
+//!   (borrowing: `JsonValue<'a>` keys and names are `Cow`s, so report
+//!   trees reference the matrix instead of cloning it).
 //!
-//! # Example: price a custom workload on the paper's architectures
+//! # Example: price a custom streaming workload on the paper's
+//! architectures
 //!
 //! ```
 //! use darth_eval::{Engine, registry};
 //! use darth_pum::eval::Workload;
-//! use darth_pum::trace::{Kernel, KernelOp, Trace};
+//! use darth_pum::trace::{KernelOp, TraceMeta, TraceSink};
 //!
+//! /// A gigabyte-scale on-chip copy, streamed in 4 KiB chunks — note
+//! /// there is no `Vec` of ops anywhere, just run-length op events.
 //! struct MemCopy;
 //!
 //! impl Workload for MemCopy {
 //!     fn name(&self) -> String {
-//!         "memcopy-1k".into()
+//!         "memcopy-1g".into()
 //!     }
-//!     fn build_trace(&self) -> Trace {
-//!         Trace::new(
-//!             self.name(),
-//!             vec![Kernel::new("copy", vec![KernelOp::OnChipMove { bytes: 1024 }])],
-//!         )
+//!     fn emit(&self, sink: &mut dyn TraceSink) {
+//!         sink.begin_trace(&TraceMeta::new(self.name()));
+//!         sink.begin_kernel("copy");
+//!         sink.op_run(&KernelOp::OnChipMove { bytes: 4096 }, 1 << 18);
 //!     }
 //! }
 //!
@@ -48,7 +58,7 @@
 //!     engine.register_model(model);
 //! }
 //! let matrix = engine.run();
-//! let cell = matrix.cell("memcopy-1k", "darth-sar").expect("priced");
+//! let cell = matrix.cell("memcopy-1g", "darth-sar").expect("priced");
 //! assert!(cell.latency_s > 0.0);
 //! ```
 

@@ -14,15 +14,16 @@
 //!   family, so the matrix gets one honest AppAccel column.
 
 use darth_analog::adc::AdcKind;
-use darth_apps::aes::workload::AesWorkload;
+use darth_apps::aes::workload::{AesWorkload, BulkAesWorkload};
 use darth_apps::cnn::workload::ResNetWorkload;
 use darth_apps::gemm::GemmWorkload;
 use darth_apps::llm::workload::EncoderWorkload;
+use darth_baselines::app_accel::AppAccelAccumulator;
 use darth_baselines::{AppAccelModel, BaselineModel, CpuModel, DigitalPumModel, GpuModel};
 use darth_digital::logic::LogicFamily;
-use darth_pum::eval::{ArchModel, Workload};
-use darth_pum::model::DarthModel;
-use darth_pum::trace::{CostReport, Trace};
+use darth_pum::eval::{ArchModel, CostAccumulator, Workload};
+use darth_pum::model::{DarthAccumulator, DarthModel};
+use darth_pum::trace::{CostReport, KernelOp, TraceMeta, TraceSink};
 
 /// DARTH-PUM under the paper's evaluation policy: with a ramp ADC, AES
 /// traces terminate the sweep after 4 levels (§7.3). Other traces and the
@@ -51,12 +52,51 @@ impl ArchModel for PaperDarthModel {
         "DARTH-PUM".into()
     }
 
-    fn price(&self, trace: &Trace) -> CostReport {
+    fn accumulator(&self) -> Box<dyn CostAccumulator + '_> {
+        Box::new(PaperDarthAccumulator {
+            model: self.model,
+            inner: None,
+        })
+    }
+}
+
+/// The streaming accumulator behind [`PaperDarthModel`]: the workload
+/// name arrives with [`TraceSink::begin_trace`], so that is where the
+/// §7.3 early-termination policy configures the wrapped model.
+struct PaperDarthAccumulator {
+    model: DarthModel,
+    inner: Option<DarthAccumulator>,
+}
+
+impl PaperDarthAccumulator {
+    fn inner(&mut self) -> &mut DarthAccumulator {
+        self.inner.as_mut().expect("begin_trace precedes events")
+    }
+}
+
+impl TraceSink for PaperDarthAccumulator {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
         let mut model = self.model;
-        if model.chip.hct.adc_kind == AdcKind::Ramp && trace.name.starts_with("aes") {
+        if model.chip.hct.adc_kind == AdcKind::Ramp && meta.name.starts_with("aes") {
             model.early_levels = Some(4);
         }
-        DarthModel::price(&model, trace)
+        let mut inner = DarthAccumulator::new(model);
+        inner.begin_trace(meta);
+        self.inner = Some(inner);
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        self.inner().begin_kernel(name);
+    }
+
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        self.inner().op_run(op, repeat);
+    }
+}
+
+impl CostAccumulator for PaperDarthAccumulator {
+    fn finish(&mut self) -> CostReport {
+        self.inner().finish()
     }
 }
 
@@ -94,8 +134,42 @@ impl ArchModel for PaperAppAccel {
         "AppAccel".into()
     }
 
-    fn price(&self, trace: &Trace) -> CostReport {
-        Self::dispatch(&trace.name).price(trace)
+    fn accumulator(&self) -> Box<dyn CostAccumulator + '_> {
+        Box::new(PaperAppAccelAccumulator { inner: None })
+    }
+}
+
+/// The streaming accumulator behind [`PaperAppAccel`]: dispatches to the
+/// per-family accelerator once the workload name arrives.
+struct PaperAppAccelAccumulator {
+    inner: Option<AppAccelAccumulator>,
+}
+
+impl PaperAppAccelAccumulator {
+    fn inner(&mut self) -> &mut AppAccelAccumulator {
+        self.inner.as_mut().expect("begin_trace precedes events")
+    }
+}
+
+impl TraceSink for PaperAppAccelAccumulator {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
+        let mut inner = AppAccelAccumulator::new(PaperAppAccel::dispatch(&meta.name));
+        inner.begin_trace(meta);
+        self.inner = Some(inner);
+    }
+
+    fn begin_kernel(&mut self, name: &str) {
+        self.inner().begin_kernel(name);
+    }
+
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        self.inner().op_run(op, repeat);
+    }
+}
+
+impl CostAccumulator for PaperAppAccelAccumulator {
+    fn finish(&mut self) -> CostReport {
+        self.inner().finish()
     }
 }
 
@@ -125,6 +199,23 @@ pub fn extended_workloads() -> Vec<Box<dyn Workload>> {
     for gemm in GemmWorkload::sweep() {
         workloads.push(Box::new(gemm));
     }
+    workloads
+}
+
+/// The `make eval-large` registry: scenarios whose op streams are far
+/// too large to materialize — the streaming pipeline's headroom proof.
+///
+/// * [`BulkAesWorkload::million_blocks`] — 2²⁰ AES-128 blocks as one
+///   work item (a ~71M-op stream; materialized, ~3 GB of `KernelOp`s);
+/// * a BERT-large encoder at a 4096-token context and a GPT-2-XL-scale
+///   48-layer stack ([`EncoderWorkload::large_scale`]);
+/// * ResNet-110 ([`ResNetWorkload::resnet110`]).
+pub fn large_workloads() -> Vec<Box<dyn Workload>> {
+    let mut workloads: Vec<Box<dyn Workload>> = vec![Box::new(BulkAesWorkload::million_blocks())];
+    for encoder in EncoderWorkload::large_scale() {
+        workloads.push(Box::new(encoder));
+    }
+    workloads.push(Box::new(ResNetWorkload::resnet110()));
     workloads
 }
 

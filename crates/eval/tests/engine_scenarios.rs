@@ -4,8 +4,8 @@
 
 use darth_eval::registry::{all_models, paper_models, paper_workloads};
 use darth_eval::{Engine, Threading};
-use darth_pum::eval::{ArchModel, Workload};
-use darth_pum::trace::{CostReport, KernelOp, Trace};
+use darth_pum::eval::{ArchModel, CostAccumulator, Workload};
+use darth_pum::trace::{CostReport, KernelOp, TraceMeta, TraceSink};
 
 fn paper_engine() -> Engine {
     let mut engine = Engine::new();
@@ -45,46 +45,78 @@ impl Workload for DoubledAes {
     fn name(&self) -> String {
         "aes-128-x2".into()
     }
-    fn build_trace(&self) -> Trace {
-        // Two back-to-back block encryptions as one work item.
-        let one =
-            darth_apps::aes::workload::block_trace(darth_apps::aes::workload::AesVariant::Aes128);
-        let mut kernels = one.kernels.clone();
-        kernels.extend(one.kernels.clone());
-        Trace::new(self.name(), kernels).with_pipelines_per_item(3)
+    fn emit(&self, sink: &mut dyn TraceSink) {
+        // Two back-to-back block encryptions as one work item, composed
+        // from the app's kernel-level emitter.
+        sink.begin_trace(&TraceMeta::new(self.name()).with_pipelines_per_item(3));
+        for _ in 0..2 {
+            darth_apps::aes::workload::emit_block_kernels(
+                darth_apps::aes::workload::AesVariant::Aes128,
+                sink,
+            );
+        }
     }
 }
 
 struct FlatRate;
 
+#[derive(Default)]
+struct FlatRateAccumulator {
+    workload: String,
+    cycles: u64,
+    breakdown: Vec<(String, f64)>,
+    current: Option<(String, u64)>,
+}
+
+impl FlatRateAccumulator {
+    fn flush_kernel(&mut self) {
+        if let Some((name, ops)) = self.current.take() {
+            self.breakdown.push((name, ops as f64 * 1e-9));
+        }
+    }
+}
+
+impl TraceSink for FlatRateAccumulator {
+    fn begin_trace(&mut self, meta: &TraceMeta) {
+        self.workload = meta.name.clone();
+    }
+    fn begin_kernel(&mut self, name: &str) {
+        self.flush_kernel();
+        self.current = Some((name.to_owned(), 0));
+    }
+    fn op_run(&mut self, op: &KernelOp, repeat: u64) {
+        let cycles = match *op {
+            KernelOp::HostMove { bytes } | KernelOp::OnChipMove { bytes } => bytes,
+            _ => op.macs() + op.element_ops(),
+        };
+        self.cycles += cycles * repeat;
+        let kernel = self.current.as_mut().expect("begin_kernel precedes ops");
+        kernel.1 += (op.macs() + op.element_ops()) * repeat;
+    }
+}
+
+impl CostAccumulator for FlatRateAccumulator {
+    fn finish(&mut self) -> CostReport {
+        self.flush_kernel();
+        let cycles = self.cycles.max(1);
+        let latency_s = cycles as f64 * 1e-9;
+        CostReport {
+            architecture: "flat rate (1 op/ns)".into(),
+            workload: std::mem::take(&mut self.workload),
+            latency_s,
+            throughput_items_per_s: 1.0 / latency_s,
+            energy_per_item_j: cycles as f64 * 1e-12,
+            kernel_latency_s: std::mem::take(&mut self.breakdown),
+        }
+    }
+}
+
 impl ArchModel for FlatRate {
     fn name(&self) -> String {
         "flat-rate".into()
     }
-    fn price(&self, trace: &Trace) -> CostReport {
-        let cycles: u64 = trace
-            .kernels
-            .iter()
-            .flat_map(|k| &k.ops)
-            .map(|op| match *op {
-                KernelOp::HostMove { bytes } | KernelOp::OnChipMove { bytes } => bytes,
-                _ => op.macs() + op.element_ops(),
-            })
-            .sum::<u64>()
-            .max(1);
-        let latency_s = cycles as f64 * 1e-9;
-        CostReport {
-            architecture: "flat rate (1 op/ns)".into(),
-            workload: trace.name.clone(),
-            latency_s,
-            throughput_items_per_s: 1.0 / latency_s,
-            energy_per_item_j: cycles as f64 * 1e-12,
-            kernel_latency_s: trace
-                .kernels
-                .iter()
-                .map(|k| (k.name.clone(), (k.macs() + k.element_ops()) as f64 * 1e-9))
-                .collect(),
-        }
+    fn accumulator(&self) -> Box<dyn CostAccumulator + '_> {
+        Box::new(FlatRateAccumulator::default())
     }
 }
 

@@ -1,0 +1,151 @@
+//! The streaming/materialized equivalence regression: for every
+//! `(workload, model)` cell of the extended registry (plus small bulk
+//! scenarios), pricing the live op stream, pricing the materialized
+//! `Trace`, replaying the engine's run-length summary, and the engine's
+//! own serial and parallel runs must all be **bit-identical**.
+//!
+//! This is the guarantee the whole streaming refactor rests on: the
+//! figure pipeline materializes nothing anymore, so any divergence
+//! between the paths would silently change published numbers.
+
+use darth_apps::aes::workload::{AesVariant, BulkAesWorkload};
+use darth_eval::registry::{all_models, extended_workloads, large_workloads};
+use darth_eval::{Engine, Threading};
+use darth_pum::eval::{price_on_all, ArchModel, Workload};
+use darth_pum::trace::{SummaryRecorder, Trace};
+
+/// The equivalence corpus: every extended-registry scenario plus bulk
+/// AES at sizes small enough to materialize in a test.
+fn workloads() -> Vec<Box<dyn Workload>> {
+    let mut workloads = extended_workloads();
+    workloads.push(Box::new(BulkAesWorkload {
+        variant: AesVariant::Aes128,
+        blocks: 64,
+    }));
+    workloads.push(Box::new(BulkAesWorkload {
+        variant: AesVariant::Aes256,
+        blocks: 1000,
+    }));
+    workloads
+}
+
+/// `price(stream)` == `price(&Trace)` == summary replay, for every cell.
+#[test]
+fn streamed_materialized_and_replayed_pricing_are_bit_identical() {
+    let models = all_models();
+    for workload in workloads() {
+        let trace = Trace::from_workload(workload.as_ref());
+        let mut recorder = SummaryRecorder::new();
+        workload.emit(&mut recorder);
+        let summary = recorder.finish();
+        for model in &models {
+            // Live stream into a fresh accumulator.
+            let mut acc = model.accumulator();
+            workload.emit(&mut *acc);
+            let streamed = acc.finish();
+            // The materialized path (op-by-op, no run-length batching).
+            let materialized = model.price(&trace);
+            // The engine's cached form: run-length summary replay.
+            let mut acc = model.accumulator();
+            summary.replay_into(&mut *acc);
+            let replayed = acc.finish();
+            let cell = format!("({}, {})", workload.name(), model.name());
+            assert_eq!(streamed, materialized, "stream vs materialized {cell}");
+            assert_eq!(streamed, replayed, "stream vs summary replay {cell}");
+        }
+    }
+}
+
+/// The fused fanout (one emission, all models at once) matches
+/// per-model streaming, and the engine's serial and parallel matrices
+/// agree with both.
+#[test]
+fn engine_cells_match_direct_streaming_serial_and_parallel() {
+    let mut serial = Engine::new();
+    let mut parallel = Engine::new();
+    for engine in [&mut serial, &mut parallel] {
+        for workload in workloads() {
+            engine.register_workload(workload);
+        }
+        for model in all_models() {
+            engine.register_model(model);
+        }
+    }
+    serial.set_threading(Threading::Serial);
+    parallel.set_threading(Threading::Workers(5));
+    let serial_matrix = serial.run();
+    assert_eq!(serial_matrix, parallel.run(), "serial vs parallel run");
+
+    let models = all_models();
+    let model_refs: Vec<&dyn ArchModel> = models.iter().map(AsRef::as_ref).collect();
+    for workload in workloads() {
+        let fused = price_on_all(workload.as_ref(), model_refs.iter().copied());
+        assert_eq!(fused.len(), models.len());
+        for (report, model) in fused.iter().zip(&models) {
+            let cell = serial_matrix
+                .cell(&workload.name(), &model.name())
+                .expect("cell priced");
+            assert_eq!(report, cell, "fanout vs engine ({})", workload.name());
+        }
+        // Engine::price_streamed is the same fused pass.
+        assert_eq!(serial.price_streamed(workload.as_ref()), fused);
+    }
+}
+
+/// The large registry streams and prices without materializing; its
+/// scenarios are the documented ones and their recorded summaries stay
+/// compact even at million-op scale.
+#[test]
+fn large_registry_prices_by_replay_without_materializing() {
+    let workloads = large_workloads();
+    let names: Vec<String> = workloads.iter().map(|w| w.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "aes-128-bulk1048576",
+            "llm-large-seq4096",
+            "llm-gpt2-xl",
+            "resnet-110",
+        ]
+    );
+    let models = all_models();
+    for workload in &workloads {
+        let mut recorder = SummaryRecorder::new();
+        workload.emit(&mut recorder);
+        let summary = recorder.finish();
+        // Compact: far fewer stored runs than streamed events.
+        let stored_runs: usize = summary.kernels.iter().map(|k| k.runs.len()).sum();
+        assert!(
+            stored_runs as u64 <= summary.op_count(),
+            "{}: {} runs for {} ops",
+            workload.name(),
+            stored_runs,
+            summary.op_count()
+        );
+        assert!(
+            stored_runs < 1000,
+            "{}: summary not compact",
+            workload.name()
+        );
+        for model in &models {
+            let mut acc = model.accumulator();
+            summary.replay_into(&mut *acc);
+            let report = acc.finish();
+            assert!(
+                report.latency_s > 0.0 && report.latency_s.is_finite(),
+                "({}, {}) latency {}",
+                workload.name(),
+                model.name(),
+                report.latency_s
+            );
+            assert!(report.energy_per_item_j > 0.0);
+            assert!(report.throughput_items_per_s > 0.0);
+        }
+    }
+    // The headline scenario really is ≥ 1M blocks / ≥ 70M op events.
+    let mut recorder = SummaryRecorder::new();
+    workloads[0].emit(&mut recorder);
+    let bulk = recorder.finish();
+    assert!(bulk.op_count() > 70_000_000);
+    assert!(bulk.materialized_bytes_estimate() > 2_000_000_000);
+}
