@@ -8,14 +8,15 @@ CARGO ?= cargo
 ## materialized path needs ~3 GB of KernelOps and dies, by design.
 EVAL_LARGE_CAP_KB ?= 2097152
 
-.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence clean
+.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence dse dse-smoke clean
 
 all: verify
 
 ## Tier-1 gate (release build + full test suite) plus the PR-1 lint
-## gates: clippy and rustfmt, both warnings-as-errors — and the
-## streaming/materialized equivalence regression, explicitly.
-verify: build test lint fmt-check equivalence
+## gates: clippy and rustfmt, both warnings-as-errors — the
+## streaming/materialized equivalence regression, and the DSE smoke
+## sweep, explicitly.
+verify: build test lint fmt-check equivalence dse-smoke
 
 ## The registry-wide bit-identity regression: price(stream) ==
 ## price(&Trace) == engine replay for every (workload, model) cell,
@@ -23,6 +24,13 @@ verify: build test lint fmt-check equivalence
 ## the guarantee is auditable on its own.
 equivalence:
 	$(CARGO) test -q -p darth_eval --test streaming_equivalence
+
+## The DSE smoke sweep: a small config grid over the paper workloads,
+## serial == parallel bit-identical, with the paper's SAR/ramp design
+## points asserted byte-identical to the BENCH_fig13.json pricing. Also
+## part of `make test`; kept addressable so `make verify` names it.
+dse-smoke:
+	$(CARGO) test -q -p darth_eval --test dse
 
 build:
 	$(CARGO) build --release
@@ -65,6 +73,13 @@ figures:
 ## evaluation engine (serial vs parallel timing) and write BENCH_eval.json.
 eval:
 	$(CARGO) run -q --release -p darth_bench --bin eval
+
+## The design-space sweep: the default 48-config grid (ADC kind x
+## resolution x crossbar geometry x slicing x clock) priced on the full
+## extended workload registry, with Pareto frontiers and best-config
+## tables; writes BENCH_dse.json.
+dse:
+	$(CARGO) run -q --release -p darth_bench --bin dse
 
 ## Price the bulk scenarios (>=1M-block AES, seq-4096 + GPT-2-XL
 ## encoders, ResNet-110) under a hard memory ceiling, writing

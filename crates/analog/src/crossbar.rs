@@ -224,7 +224,9 @@ impl Crossbar {
         let max = self.config.max_magnitude();
         for row in matrix {
             for &w in row {
-                if w.abs() > max {
+                // `unsigned_abs`, not `abs`: `abs(i64::MIN)` overflows
+                // (debug panic / release wrap) instead of rejecting.
+                if w.unsigned_abs() > max as u64 {
                     return Err(Error::WeightOutOfRange {
                         weight: w,
                         max_magnitude: max,
@@ -234,33 +236,61 @@ impl Crossbar {
         }
         for (r, row) in matrix.iter().enumerate() {
             for (c, &w) in row.iter().enumerate() {
-                match self.config.representation {
-                    Representation::DifferentialPair => {
-                        let (pos, neg) = if w >= 0 {
-                            (w as u16, 0)
-                        } else {
-                            (0, (-w) as u16)
-                        };
-                        self.positive
-                            .program_level(r, c, pos, rng)
-                            .map_err(Error::Reram)?;
-                        self.negative
-                            .as_mut()
-                            .expect("differential pairs have a negative plane")
-                            .program_level(r, c, neg, rng)
-                            .map_err(Error::Reram)?;
-                    }
-                    Representation::OffsetSubtraction => {
-                        let level = (w + self.config.offset()) as u16;
-                        self.positive
-                            .program_level(r, c, level, rng)
-                            .map_err(Error::Reram)?;
-                    }
-                }
+                self.program_cell(r, c, w, rng)?;
             }
         }
         self.weights = matrix.to_vec();
         self.programmed = true;
+        Ok(())
+    }
+
+    /// The checked device level(s) for one signed weight: `(positive
+    /// plane, negative plane)` under differential pairs, the single
+    /// offset-shifted plane level otherwise.
+    ///
+    /// The conversions are `try_from`, not `as`: a weight whose level
+    /// leaves `u16` — in particular a negative post-offset level under
+    /// offset subtraction — returns [`Error::WeightOutOfRange`] instead
+    /// of wrapping into a huge device level. The public entry points'
+    /// magnitude checks make such weights unreachable today; this keeps
+    /// them errors rather than silent corruption if those checks drift.
+    fn weight_levels(&self, w: i64) -> Result<(u16, Option<u16>)> {
+        let out_of_range = || Error::WeightOutOfRange {
+            weight: w,
+            max_magnitude: self.config.max_magnitude(),
+        };
+        match self.config.representation {
+            Representation::DifferentialPair => {
+                let magnitude = u16::try_from(w.unsigned_abs()).map_err(|_| out_of_range())?;
+                Ok(if w >= 0 {
+                    (magnitude, Some(0))
+                } else {
+                    (0, Some(magnitude))
+                })
+            }
+            Representation::OffsetSubtraction => {
+                let level = w
+                    .checked_add(self.config.offset())
+                    .and_then(|level| u16::try_from(level).ok())
+                    .ok_or_else(out_of_range)?;
+                Ok((level, None))
+            }
+        }
+    }
+
+    /// Programs one logical weight into the device plane(s).
+    fn program_cell(&mut self, row: usize, col: usize, w: i64, rng: &mut NoiseRng) -> Result<()> {
+        let (positive_level, negative_level) = self.weight_levels(w)?;
+        self.positive
+            .program_level(row, col, positive_level, rng)
+            .map_err(Error::Reram)?;
+        if let Some(level) = negative_level {
+            self.negative
+                .as_mut()
+                .expect("differential pairs have a negative plane")
+                .program_level(row, col, level, rng)
+                .map_err(Error::Reram)?;
+        }
         Ok(())
     }
 
@@ -287,35 +317,14 @@ impl Crossbar {
         // Reprogram only the affected row's devices.
         let max = self.config.max_magnitude();
         for (c, &w) in values.iter().enumerate() {
-            if w.abs() > max {
+            // `unsigned_abs`, not `abs`: see `Crossbar::program`.
+            if w.unsigned_abs() > max as u64 {
                 return Err(Error::WeightOutOfRange {
                     weight: w,
                     max_magnitude: max,
                 });
             }
-            match self.config.representation {
-                Representation::DifferentialPair => {
-                    let (pos, neg) = if w >= 0 {
-                        (w as u16, 0)
-                    } else {
-                        (0, (-w) as u16)
-                    };
-                    self.positive
-                        .program_level(row, c, pos, rng)
-                        .map_err(Error::Reram)?;
-                    self.negative
-                        .as_mut()
-                        .expect("differential pairs have a negative plane")
-                        .program_level(row, c, neg, rng)
-                        .map_err(Error::Reram)?;
-                }
-                Representation::OffsetSubtraction => {
-                    let level = (w + self.config.offset()) as u16;
-                    self.positive
-                        .program_level(row, c, level, rng)
-                        .map_err(Error::Reram)?;
-                }
-            }
+            self.program_cell(row, c, w, rng)?;
         }
         self.weights = matrix;
         Ok(())
@@ -561,6 +570,63 @@ mod tests {
         let units0 = currents[0] / xbar.unit_current();
         // raw = (0) + (7)  [levels] = weights + 2*offset = -7+0 + 14
         assert!((units0 - 7.0).abs() < 1e-9, "units0 = {units0}");
+    }
+
+    #[test]
+    fn extreme_weights_error_through_the_public_api() {
+        // i64::MIN has no i64 absolute value; the magnitude pre-checks
+        // must reject it as out-of-range, not overflow-panic (debug) or
+        // wrap past the check (release).
+        let mut xbar = ideal_xbar(1, 1, 4);
+        assert!(matches!(
+            xbar.program(&[vec![i64::MIN]], &mut rng()),
+            Err(Error::WeightOutOfRange { .. })
+        ));
+        xbar.program(&[vec![1]], &mut rng()).expect("programs");
+        assert!(matches!(
+            xbar.update_row(0, &[i64::MIN], &mut rng()),
+            Err(Error::WeightOutOfRange { .. })
+        ));
+        assert_eq!(xbar.weights(), &[vec![1]], "failed update left state");
+    }
+
+    #[test]
+    fn weight_levels_boundary_values() {
+        // Differential pairs: ±max map to (max, 0) / (0, max); levels
+        // past u16 (unreachable through the range-checked public API)
+        // error instead of wrapping.
+        let xbar = ideal_xbar(2, 2, 4);
+        assert_eq!(xbar.weight_levels(15).unwrap(), (15, Some(0)));
+        assert_eq!(xbar.weight_levels(-15).unwrap(), (0, Some(15)));
+        assert_eq!(xbar.weight_levels(0).unwrap(), (0, Some(0)));
+        assert!(matches!(
+            xbar.weight_levels(i64::from(u16::MAX) + 1),
+            Err(Error::WeightOutOfRange { .. })
+        ));
+        assert!(matches!(
+            xbar.weight_levels(i64::MIN),
+            Err(Error::WeightOutOfRange { .. })
+        ));
+
+        // Offset subtraction (4-bit: offset 7): the boundary weights
+        // map to levels 0 and 14; a weight below -offset would be a
+        // negative post-offset level and errors instead of wrapping to
+        // a huge u16.
+        let config = CrossbarConfig {
+            representation: Representation::OffsetSubtraction,
+            ..CrossbarConfig::ideal(2, 2)
+        };
+        let xbar = Crossbar::new(config).expect("valid");
+        assert_eq!(xbar.weight_levels(-7).unwrap(), (0, None));
+        assert_eq!(xbar.weight_levels(7).unwrap(), (14, None));
+        assert!(matches!(
+            xbar.weight_levels(-8),
+            Err(Error::WeightOutOfRange { .. })
+        ));
+        assert!(matches!(
+            xbar.weight_levels(i64::MIN),
+            Err(Error::WeightOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Analog-side design points for design-space exploration.
+//!
+//! The functional simulators in this crate are built from fine-grained
+//! configurations ([`crate::crossbar::CrossbarConfig`], [`crate::Adc`],
+//! [`crate::WeightSlicer`]). Design-space sweeps need one coarser object:
+//! a validated *design point* naming the analog knobs the DARTH-PUM cost
+//! model exposes — ADC kind and resolution, crossbar geometry, weight
+//! slicing, and the ACE's array count. [`AceDesign`] is that object; the
+//! `darth_pum::config::DarthConfig` builder composes it with the
+//! digital-side `darth_digital::design::DceDesign` into a full chip
+//! configuration.
+
+use crate::adc::{Adc, AdcKind};
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Largest crossbar dimension and ACE array count a design may request.
+/// Sized well past anything physical so sweeps are unconstrained, while
+/// still catching nonsense (and keeping downstream `u64` tile math far
+/// from overflow).
+pub const MAX_DESIGN_DIM: usize = 4096;
+
+/// One analog compute element design point: the knobs of §2.2.1/Table 2
+/// that the analytical cost model prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AceDesign {
+    /// Converter architecture (Table 2: SAR or ramp).
+    pub adc_kind: AdcKind,
+    /// ADC resolution in bits (the paper evaluates 8).
+    pub adc_bits: u8,
+    /// Crossbar wordlines (matrix rows per array).
+    pub crossbar_rows: usize,
+    /// Crossbar bitlines (matrix columns per array).
+    pub crossbar_cols: usize,
+    /// Weight bits stored per device (slicing policy; paper: 4-bit MLC).
+    pub bits_per_cell: u8,
+    /// Analog arrays per ACE (Table 2: 64).
+    pub ace_arrays: usize,
+}
+
+impl AceDesign {
+    /// The paper's Table 2 analog configuration with the chosen ADC:
+    /// 8-bit conversion, 64×64 crossbars, 4-bit cells, 64 arrays.
+    pub fn paper(adc_kind: AdcKind) -> Self {
+        AceDesign {
+            adc_kind,
+            adc_bits: 8,
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            bits_per_cell: 4,
+            ace_arrays: 64,
+        }
+    }
+
+    /// Validates the design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the ADC resolution is outside
+    /// [`Adc::new`]'s 1..=16 range, a crossbar dimension or the array
+    /// count is zero or exceeds [`MAX_DESIGN_DIM`], or the cell stores
+    /// zero or more than 8 bits (the crossbar's MLC ceiling).
+    pub fn validate(&self) -> Result<()> {
+        // Reuse the ADC constructor as the resolution validator.
+        Adc::new(self.adc_kind, self.adc_bits, 1.0)?;
+        if self.crossbar_rows == 0 || self.crossbar_rows > MAX_DESIGN_DIM {
+            return Err(Error::InvalidConfig("crossbar rows must be in 1..=4096"));
+        }
+        if self.crossbar_cols == 0 || self.crossbar_cols > MAX_DESIGN_DIM {
+            return Err(Error::InvalidConfig("crossbar cols must be in 1..=4096"));
+        }
+        if self.bits_per_cell == 0 || self.bits_per_cell > 8 {
+            return Err(Error::InvalidConfig("bits per cell must be in 1..=8"));
+        }
+        if self.ace_arrays == 0 || self.ace_arrays > MAX_DESIGN_DIM {
+            return Err(Error::InvalidConfig("ACE array count must be in 1..=4096"));
+        }
+        Ok(())
+    }
+
+    /// The design point as `(key, value)` pairs for JSON reports.
+    /// (Design-point *names* come from the sweep layer's axis slugs —
+    /// `darth_eval::dse` — so there is exactly one naming scheme.)
+    pub fn params(&self) -> Vec<(String, String)> {
+        vec![
+            ("adc_kind".to_owned(), self.adc_kind.slug().to_owned()),
+            ("adc_bits".to_owned(), self.adc_bits.to_string()),
+            ("crossbar_rows".to_owned(), self.crossbar_rows.to_string()),
+            ("crossbar_cols".to_owned(), self.crossbar_cols.to_string()),
+            ("bits_per_cell".to_owned(), self.bits_per_cell.to_string()),
+            ("ace_arrays".to_owned(), self.ace_arrays.to_string()),
+        ]
+    }
+}
+
+impl Default for AceDesign {
+    fn default() -> Self {
+        AceDesign::paper(AdcKind::Sar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_designs_validate() {
+        for kind in [AdcKind::Sar, AdcKind::Ramp] {
+            let d = AceDesign::paper(kind);
+            assert!(d.validate().is_ok());
+            assert_eq!(d.adc_bits, 8);
+            assert_eq!((d.crossbar_rows, d.crossbar_cols), (64, 64));
+        }
+    }
+
+    #[test]
+    fn invalid_designs_are_rejected() {
+        let paper = AceDesign::paper(AdcKind::Sar);
+        for bad in [
+            AceDesign {
+                adc_bits: 0,
+                ..paper
+            },
+            AceDesign {
+                adc_bits: 17,
+                ..paper
+            },
+            AceDesign {
+                crossbar_rows: 0,
+                ..paper
+            },
+            AceDesign {
+                crossbar_cols: MAX_DESIGN_DIM + 1,
+                ..paper
+            },
+            AceDesign {
+                bits_per_cell: 0,
+                ..paper
+            },
+            AceDesign {
+                bits_per_cell: 9,
+                ..paper
+            },
+            AceDesign {
+                ace_arrays: 0,
+                ..paper
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn params_name_every_axis() {
+        let d = AceDesign {
+            adc_kind: AdcKind::Ramp,
+            adc_bits: 6,
+            crossbar_rows: 128,
+            crossbar_cols: 64,
+            bits_per_cell: 2,
+            ace_arrays: 32,
+        };
+        let params = d.params();
+        assert_eq!(params.len(), 6);
+        assert!(params.contains(&("adc_kind".to_owned(), "ramp".to_owned())));
+        assert!(params.contains(&("crossbar_rows".to_owned(), "128".to_owned())));
+    }
+}

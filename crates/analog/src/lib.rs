@@ -22,6 +22,9 @@
 //! * [`ace`] — the analog compute element: a bank of crossbars plus input
 //!   buffers, sample-and-hold and an ADC group, producing the per-input-bit
 //!   partial-product vectors that the digital side reduces.
+//! * [`design`] — validated coarse design points ([`AceDesign`]) for the
+//!   design-space sweeps: ADC kind × resolution, crossbar geometry,
+//!   slicing policy and array count in one object.
 //!
 //! # Example: a noisy 2×2 MVM
 //!
@@ -53,6 +56,7 @@ pub mod adc;
 pub mod compensation;
 pub mod crossbar;
 pub mod dac;
+pub mod design;
 pub mod slicing;
 
 pub use ace::{AnalogComputeElement, MvmOutput};
@@ -60,6 +64,7 @@ pub use adc::{Adc, AdcKind};
 pub use compensation::CompensationScheme;
 pub use crossbar::{Crossbar, CrossbarConfig, Representation};
 pub use dac::InputDriver;
+pub use design::AceDesign;
 pub use slicing::{RecombinationPlan, WeightSlicer};
 
 use std::fmt;

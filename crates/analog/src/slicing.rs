@@ -57,8 +57,22 @@ impl WeightSlicer {
     }
 
     /// Bit shift applied to slice `s` during recombination.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slice` is not below [`WeightSlicer::slice_count`] —
+    /// an out-of-range slice index is a caller bug whose shift would
+    /// otherwise silently wrap through the old `as u32` cast.
     pub fn slice_shift(&self, slice: usize) -> u32 {
-        (slice * usize::from(self.bits_per_cell)) as u32
+        assert!(
+            slice < self.slice_count(),
+            "slice {slice} out of range (have {})",
+            self.slice_count()
+        );
+        let shift = slice
+            .checked_mul(usize::from(self.bits_per_cell))
+            .expect("slice shift fits: slice < slice_count <= 32");
+        u32::try_from(shift).expect("slice shift fits u32: bounded by total_bits <= 32")
     }
 
     /// Slices a signed matrix into [`WeightSlicer::slice_count`] signed
@@ -73,7 +87,9 @@ impl WeightSlicer {
         let max = self.max_magnitude();
         for row in matrix {
             for &w in row {
-                if w.abs() > max {
+                // `unsigned_abs`, not `abs`: `abs(i64::MIN)` overflows
+                // (debug panic / release wrap) instead of rejecting.
+                if w.unsigned_abs() > max as u64 {
                     return Err(Error::WeightOutOfRange {
                         weight: w,
                         max_magnitude: max,
@@ -148,8 +164,20 @@ impl RecombinationPlan {
     }
 
     /// Shift for weight slice `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slice` is not below
+    /// [`RecombinationPlan::weight_slices`] — the old `as u32` cast
+    /// would silently truncate a (nonsensical) 2³²-slice index instead.
     pub fn weight_shift(&self, slice: usize) -> u32 {
-        slice as u32 * u32::from(self.bits_per_cell)
+        assert!(
+            slice < usize::from(self.weight_slices),
+            "weight slice {slice} out of range (have {})",
+            self.weight_slices
+        );
+        u32::try_from(slice).expect("slice fits u32: bounded by weight_slices (u8)")
+            * u32::from(self.bits_per_cell)
     }
 
     /// Total number of partial-product terms (`slices × input_bits`).
@@ -239,6 +267,12 @@ mod tests {
             Err(Error::WeightOutOfRange { .. })
         ));
         assert!(slicer.slice(&[vec![15], vec![-15]]).is_ok());
+        // i64::MIN has no i64 absolute value; it must reject, not
+        // overflow in the magnitude check.
+        assert!(matches!(
+            slicer.slice(&[vec![i64::MIN]]),
+            Err(Error::WeightOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -298,6 +332,70 @@ mod tests {
                 assert_eq!(recombined, expected, "input {input:?}");
             }
         }
+    }
+
+    #[test]
+    fn slice_shift_boundary_values() {
+        // 32-bit weights in 1-bit cells: 32 slices, the largest legal
+        // configuration. The last slice shifts by 31; one past panics
+        // instead of wrapping.
+        let slicer = WeightSlicer::new(32, 1).expect("valid");
+        assert_eq!(slicer.slice_count(), 32);
+        assert_eq!(slicer.slice_shift(31), 31);
+        assert_eq!(slicer.slice_shift(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice 32 out of range")]
+    fn slice_shift_rejects_oversized_slice_index() {
+        WeightSlicer::new(32, 1).expect("valid").slice_shift(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice 3 out of range")]
+    fn slice_shift_rejects_index_just_past_count() {
+        // 8-bit weights in 3-bit cells: ceil(8/3) = 3 slices (0..=2).
+        WeightSlicer::new(8, 3).expect("valid").slice_shift(3);
+    }
+
+    #[test]
+    fn weight_shift_boundary_values() {
+        let plan = RecombinationPlan {
+            input_bits: 8,
+            input_signed: false,
+            weight_slices: u8::MAX,
+            bits_per_cell: 8,
+        };
+        // The largest representable plan still recombines without
+        // overflow: 254 * 8 = 2032 fits comfortably in u32.
+        assert_eq!(plan.weight_shift(254), 2032);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight slice 2 out of range")]
+    fn weight_shift_rejects_oversized_slice_index() {
+        let plan = RecombinationPlan {
+            input_bits: 3,
+            input_signed: true,
+            weight_slices: 2,
+            bits_per_cell: 2,
+        };
+        plan.weight_shift(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn weight_shift_rejects_would_be_truncating_index() {
+        // Before the checked conversion, an index past u32::MAX would
+        // silently truncate (`slice as u32`); now it panics like any
+        // other out-of-range index.
+        let plan = RecombinationPlan {
+            input_bits: 1,
+            input_signed: false,
+            weight_slices: 1,
+            bits_per_cell: 1,
+        };
+        plan.weight_shift(u32::MAX as usize + 1);
     }
 
     #[test]

@@ -31,12 +31,9 @@ fn main() {
 
     // `DARTH_EVAL_THREADS` forces a worker count (e.g. to exercise the
     // multi-threaded path on a single-core CI box); the default is one
-    // worker per available core.
-    let forced_threads = std::env::var("DARTH_EVAL_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        // `Workers(0)` saturates to one worker; report what actually runs.
-        .map(|n| n.max(1));
+    // worker per available core. Empty, zero or non-numeric values fall
+    // back to the default with a warning (`engine::forced_workers`).
+    let forced_threads = darth_eval::engine::forced_workers("DARTH_EVAL_THREADS");
     let mut parallel_engine = build_engine();
     if let Some(n) = forced_threads {
         parallel_engine.set_threading(Threading::Workers(n));

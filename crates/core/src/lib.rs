@@ -39,6 +39,9 @@
 //! * [`model`] — the analytical DARTH-PUM cost model (a streaming
 //!   [`eval::CostAccumulator`]) used for the throughput/energy sweeps of
 //!   Figures 13–18.
+//! * [`config`] — the [`config::DarthConfig`] design space: validated
+//!   ADC/crossbar/slicing/clock parameter points that build cost models,
+//!   the substrate of the `darth_eval::dse` sweeps.
 //! * [`eval`] — the open evaluation contract: the [`eval::Workload`]
 //!   (op-stream emitter) and [`eval::ArchModel`] (accumulator factory)
 //!   traits that the `darth_eval` engine crosses into a workload ×
@@ -62,6 +65,7 @@
 
 pub mod arbiter;
 pub mod chip;
+pub mod config;
 pub mod eval;
 pub mod front_end;
 pub mod hct;
@@ -75,6 +79,7 @@ pub mod transpose;
 pub mod vacore;
 
 pub use chip::DarthPumChip;
+pub use config::DarthConfig;
 pub use eval::{ArchModel, CostAccumulator, Workload};
 pub use hct::HybridComputeTile;
 pub use params::{ChipParams, HctParams};

@@ -28,6 +28,13 @@ use serde::{Deserialize, Serialize};
 /// Analog-array programming cost per matrix row (write–verify dominated).
 const PROGRAM_CYCLES_PER_ROW: u64 = 1000;
 
+/// The converter resolution the §4.3 compensation scheme is sized
+/// against: an 8-bit ADC digitizes a full 64-row bitline in one pass.
+/// Designs below this reference split the line into `2^(8 - bits)`
+/// row-group passes (each dropped bit halves the representable range);
+/// extra bits above it buy headroom, not speed.
+const ADC_REFERENCE_BITS: u8 = 8;
+
 /// The analytical chip model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DarthModel {
@@ -46,6 +53,11 @@ pub struct DarthModel {
     /// Device bits per cell for multi-bit weights (1 forced for 1-bit
     /// matrices).
     pub bits_per_cell: u8,
+    /// Tile clock in Hz (paper: [`CLOCK_HZ`], 1 GHz). Latency scales
+    /// inversely; dynamic energy scales *quadratically* (constant-field
+    /// supply-voltage scaling around the paper's 1 GHz reference), so
+    /// clocking is a real latency↔energy trade in the DSE sweeps.
+    pub clock_hz: f64,
 }
 
 impl DarthModel {
@@ -60,11 +72,17 @@ impl DarthModel {
             // vACores flex operand width (§4.2); 4-bit cells halve the
             // slice count for the 8-bit evaluation workloads.
             bits_per_cell: 4,
+            clock_hz: CLOCK_HZ,
         }
     }
 
     fn adc(&self) -> Adc {
-        Adc::new(self.chip.hct.adc_kind, 8, 1.0).expect("paper ADC parameters are valid")
+        // `DarthModel` is plain public data, so nothing forces it
+        // through the validated `DarthConfig::build` path; clamp a
+        // hand-set or deserialized resolution into `Adc::new`'s 1..=16
+        // range rather than panicking mid-pricing.
+        let bits = self.chip.hct.adc_bits.clamp(1, 16);
+        Adc::new(self.chip.hct.adc_kind, bits, 1.0).expect("clamped resolution is valid")
     }
 
     /// Latency (cycles), energy (pJ), HCT-arrays occupied, and serial ACE
@@ -87,20 +105,28 @@ impl DarthModel {
                     self.bits_per_cell.min(weight_bits)
                 };
                 let slices = u64::from(weight_bits.div_ceil(bpc));
-                let row_tiles = rows.div_ceil(dim);
-                let col_tiles = cols.div_ceil(dim);
+                let ace_rows = self.chip.hct.ace_rows as u64;
+                let ace_cols = self.chip.hct.ace_cols as u64;
+                let row_tiles = rows.div_ceil(ace_rows);
+                let col_tiles = cols.div_ceil(ace_cols);
                 let arrays = row_tiles * col_tiles * slices;
 
                 // Analog phase per input bit on one (row, col) tile group:
-                // the ADC group digitizes the tile's 64×slices bitlines.
-                let bitlines = (dim * slices) as usize;
+                // the ADC group digitizes the tile's bitlines × slices.
+                let bitlines = (ace_cols * slices) as usize;
                 let readout = adc.readout_cycles(bitlines, self.early_levels).get();
-                let per_bit_ace = 1 + readout;
+                // Below-reference resolutions pay range splitting: one
+                // sample+readout pass per row group (see
+                // [`ADC_REFERENCE_BITS`]); exactly one pass at the
+                // paper's 8-bit point.
+                let range_groups =
+                    1u64 << u32::from(ADC_REFERENCE_BITS.saturating_sub(self.chip.hct.adc_bits));
+                let per_bit_ace = range_groups * (1 + readout);
                 // Transfer: one row of data per cycle per landing
                 // pipeline; each weight slice lands in its own pipeline,
                 // so the transfer is one array's columns wide (the 8 B/cyc
                 // network moves 8 codes per cycle, which is faster still).
-                let per_bit_transfer = dim;
+                let per_bit_transfer = ace_cols;
                 let bits = u64::from(input_bits.max(1));
                 let analog_phase = if self.optimized_schedule {
                     per_bit_ace
@@ -135,11 +161,19 @@ impl DarthModel {
                     per_input + (batch.saturating_sub(1)) * per_input.max(analog_phase.max(reduce));
 
                 // Energy.
-                let conversions = (bitlines as u64) * bits * row_tiles * col_tiles * batch;
+                let conversions =
+                    (bitlines as u64) * bits * row_tiles * col_tiles * batch * range_groups;
+                // Per-conversion SAR energy scales with resolution (one
+                // comparator decision + DAC settle per bit; Table 3's
+                // 1.5 mW is the 8-bit point, so the paper's factor is
+                // exactly 1). Ramp energy scales with the total sweep
+                // length (`2^bits` cycles per range-group pass).
+                let sar_resolution = f64::from(self.chip.hct.adc_bits) / 8.0;
                 let adc_energy = match self.chip.hct.adc_kind {
-                    AdcKind::Sar => power::SAR_ADC * conversions as f64,
+                    AdcKind::Sar => power::SAR_ADC * conversions as f64 * sar_resolution,
                     AdcKind::Ramp => {
-                        power::RAMP_ADC * (readout * bits * row_tiles * col_tiles * batch) as f64
+                        power::RAMP_ADC
+                            * (readout * range_groups * bits * row_tiles * col_tiles * batch) as f64
                     }
                 };
                 let row_periphery =
@@ -282,7 +316,7 @@ impl DarthAccumulator {
     fn flush_kernel(&mut self) {
         if let Some(kernel) = self.current.take() {
             self.kernel_latency
-                .push((kernel.name, kernel.cycles / CLOCK_HZ));
+                .push((kernel.name, kernel.cycles / self.model.clock_hz));
             self.item_cycles += kernel.cycles;
             self.item_energy_pj += kernel.energy_pj;
             self.max_arrays = self.max_arrays.max(kernel.arrays);
@@ -333,8 +367,13 @@ impl CostAccumulator for DarthAccumulator {
         self.flush_kernel();
         let model = &self.model;
         // Front-end share: one front end per 8 HCTs, amortised per item.
-        let item_energy_pj =
-            self.item_energy_pj + power::FRONT_END * self.item_cycles / HCTS_PER_FRONT_END as f64;
+        // Dynamic energy scales quadratically with the clock around the
+        // paper's 1 GHz reference (constant-field voltage scaling) —
+        // exactly 1.0 at the paper point, a real trade-off in sweeps.
+        let clock_scale = (model.clock_hz / CLOCK_HZ).powi(2);
+        let item_energy_pj = (self.item_energy_pj
+            + power::FRONT_END * self.item_cycles / HCTS_PER_FRONT_END as f64)
+            * clock_scale;
 
         // Placement: arrays bound the analog footprint; DCE pipelines
         // bound digital batching.
@@ -349,13 +388,13 @@ impl CostAccumulator for DarthAccumulator {
             .min(self.parallel_items as f64)
             .max(1.0);
 
-        let latency_s = self.item_cycles / CLOCK_HZ;
+        let latency_s = self.item_cycles / model.clock_hz;
         let pipeline_bound = chip_parallel / latency_s.max(1e-12);
         // Items sharing a tile group also share its ACEs: the group's
         // analog throughput caps the item rate regardless of how many
         // pipeline contexts are free.
         let ace_bound = if self.ace_serial_cycles > 0.0 {
-            groups * CLOCK_HZ / self.ace_serial_cycles
+            groups * model.clock_hz / self.ace_serial_cycles
         } else {
             f64::INFINITY
         };
@@ -458,6 +497,53 @@ mod tests {
         ramp.early_levels = Some(4);
         let early = ramp.price(&mvm_trace(1, 1));
         assert!(early.latency_s < full.latency_s);
+    }
+
+    #[test]
+    fn low_adc_resolution_trades_area_for_conversion_passes() {
+        // A 6-bit design's converter is smaller, but the lost range
+        // costs 2^(8-6) = 4 row-group passes per conversion — worse
+        // latency and energy at lower area, so neither resolution
+        // dominates the other in a sweep and the axis never produces
+        // duplicate columns.
+        let b8 = DarthModel::paper(AdcKind::Sar);
+        let mut b6 = b8;
+        b6.chip.hct.adc_bits = 6;
+        let t = mvm_trace(8, 8);
+        let full = b8.price(&t);
+        let coarse = b6.price(&t);
+        assert!(coarse.latency_s > full.latency_s);
+        assert!(coarse.energy_per_item_j > full.energy_per_item_j);
+        assert!(b6.chip.hct.ace_area() < b8.chip.hct.ace_area());
+        // Above the reference, extra bits buy headroom (area), never
+        // extra passes.
+        let mut b12 = b8;
+        b12.chip.hct.adc_bits = 12;
+        assert_eq!(b12.price(&t).latency_s, full.latency_s);
+        assert!(b12.chip.hct.ace_area() > b8.chip.hct.ace_area());
+        // Hand-set out-of-range resolutions clamp rather than panic:
+        // the model is plain data, not forced through DarthConfig.
+        let mut raw = b8;
+        raw.chip.hct.adc_bits = 0;
+        assert!(raw.price(&t).latency_s.is_finite());
+        raw.chip.hct.adc_bits = 200;
+        assert!(raw.price(&t).latency_s.is_finite());
+    }
+
+    #[test]
+    fn clock_trades_latency_for_energy() {
+        // Faster clocks shorten items but pay quadratic dynamic energy
+        // (voltage scaling), so no clock strictly dominates in a sweep.
+        let base = DarthModel::paper(AdcKind::Sar);
+        let mut fast = base;
+        fast.clock_hz = 1.5e9;
+        let t = mvm_trace(8, 8);
+        let slow_report = base.price(&t);
+        let fast_report = fast.price(&t);
+        assert!(fast_report.latency_s < slow_report.latency_s);
+        assert!(fast_report.energy_per_item_j > slow_report.energy_per_item_j);
+        let ratio = fast_report.energy_per_item_j / slow_report.energy_per_item_j;
+        assert!((ratio - 2.25).abs() < 1e-9, "expected (1.5)^2, got {ratio}");
     }
 
     #[test]

@@ -86,12 +86,23 @@ pub struct HctParams {
     pub dce_pipelines: usize,
     /// DCE: arrays per pipeline (pipeline depth = bit width).
     pub dce_pipeline_depth: usize,
-    /// DCE/ACE: ReRAM array dimension (64×64).
+    /// DCE: ReRAM array dimension (64×64) — the lanes per pipeline
+    /// operation.
     pub array_dim: usize,
     /// ACE: number of analog arrays.
     pub ace_arrays: usize,
+    /// ACE: crossbar wordlines per analog array (matrix rows). The paper
+    /// uses square 64×64 arrays; the DSE sweeps vary rows and columns
+    /// independently.
+    pub ace_rows: usize,
+    /// ACE: crossbar bitlines per analog array (matrix columns).
+    pub ace_cols: usize,
     /// ADC architecture.
     pub adc_kind: AdcKind,
+    /// ADC resolution in bits (Table 2: 8). Scales converter area and
+    /// per-conversion energy; ramp sweeps additionally scale as
+    /// `2^bits`.
+    pub adc_bits: u8,
 }
 
 impl HctParams {
@@ -102,7 +113,10 @@ impl HctParams {
             dce_pipeline_depth: 64,
             array_dim: 64,
             ace_arrays: 64,
+            ace_rows: 64,
+            ace_cols: 64,
             adc_kind,
+            adc_bits: 8,
         }
     }
 
@@ -127,16 +141,31 @@ impl HctParams {
     }
 
     /// ACE die area (periphery only; arrays stack above, see [`area`]).
+    ///
+    /// Every term scales from the paper's Table 3 entries, which were
+    /// measured at the 64-array, 64×64, 8-bit design point: input
+    /// buffers and row periphery scale with the array count *and* the
+    /// wordline count per array, sample-and-hold with the bitline
+    /// count, and converter area with the resolution (an extra SAR
+    /// capacitor/register stage — or ramp counter bit — per bit). At
+    /// the paper point every fraction is exactly 1.0, so the §6 tile
+    /// counts are unchanged; off the paper point these are what make
+    /// the DSE area axis respond to crossbar geometry and ADC
+    /// resolution.
     pub fn ace_area(&self) -> SquareMicrons {
         let array_fraction = self.ace_arrays as f64 / 64.0;
+        let row_fraction = self.ace_rows as f64 / 64.0;
+        let col_fraction = self.ace_cols as f64 / 64.0;
+        let resolution_fraction = f64::from(self.adc_bits) / 8.0;
         let adc_area = match self.adc_kind {
             AdcKind::Sar => area::SAR_ADC,
             AdcKind::Ramp => area::RAMP_ADC,
-        } * self.adc_units() as f64;
+        } * self.adc_units() as f64
+            * resolution_fraction;
         SquareMicrons::new(
-            array_fraction * (area::ACE_INPUT_BUFFERS + area::ACE_ROW_PERIPHERY)
+            array_fraction * row_fraction * (area::ACE_INPUT_BUFFERS + area::ACE_ROW_PERIPHERY)
                 + adc_area
-                + area::SAMPLE_HOLD,
+                + col_fraction * area::SAMPLE_HOLD,
         )
     }
 
@@ -160,7 +189,7 @@ impl HctParams {
     pub fn capacity_bytes(&self) -> u64 {
         let dce_bits =
             (self.dce_pipelines * self.dce_pipeline_depth * self.array_dim * self.array_dim) as u64;
-        let ace_bits = (self.ace_arrays * self.array_dim * self.array_dim) as u64;
+        let ace_bits = (self.ace_arrays * self.ace_rows * self.ace_cols) as u64;
         (dce_bits + ace_bits) / 8
     }
 }
@@ -223,6 +252,7 @@ mod tests {
         assert_eq!(p.dce_pipeline_depth, 64);
         assert_eq!(p.array_dim, 64);
         assert_eq!(p.ace_arrays, 64);
+        assert_eq!((p.ace_rows, p.ace_cols), (64, 64));
         assert_eq!(p.adc_units(), 2);
         assert_eq!(HctParams::paper(AdcKind::Ramp).adc_units(), 1);
     }
@@ -261,6 +291,36 @@ mod tests {
         let p = HctParams::paper(AdcKind::Sar);
         assert!(p.dce_area().get() > 2.0 * p.ace_area().get());
         assert!(p.auxiliary_area().get() < p.ace_area().get());
+    }
+
+    #[test]
+    fn ace_area_responds_to_geometry_and_resolution() {
+        let paper = HctParams::paper(AdcKind::Sar);
+        // Bigger crossbars cost wordline-side periphery…
+        let tall = HctParams {
+            ace_rows: 128,
+            ..paper
+        };
+        assert!(tall.ace_area() > paper.ace_area());
+        // …wider ones cost bitline-side sample-and-hold…
+        let wide = HctParams {
+            ace_cols: 128,
+            ..paper
+        };
+        assert!(wide.ace_area() > paper.ace_area());
+        // …and lower-resolution converters are smaller.
+        let coarse = HctParams {
+            adc_bits: 6,
+            ..paper
+        };
+        assert!(coarse.ace_area() < paper.ace_area());
+        // The paper point reproduces Table 3 exactly: 64 arrays' input
+        // buffers + row periphery, two 8-bit SAR units, one S&H.
+        let expected = area::ACE_INPUT_BUFFERS
+            + area::ACE_ROW_PERIPHERY
+            + 2.0 * area::SAR_ADC
+            + area::SAMPLE_HOLD;
+        assert_eq!(paper.ace_area(), SquareMicrons::new(expected));
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Digital-side design points for design-space exploration.
+//!
+//! The counterpart of `darth_analog::design::AceDesign`: a validated
+//! coarse description of the digital compute element — pipeline count and
+//! depth, array dimension, logic family — plus the tile clock, which the
+//! DCE's bit-pipelining sets the critical path for. The
+//! `darth_pum::config::DarthConfig` builder composes one of these with an
+//! analog design point into a full chip configuration.
+
+use crate::logic::LogicFamily;
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Largest pipeline count / depth / array dimension a design may request.
+pub const MAX_DESIGN_DIM: usize = 4096;
+
+/// Fastest clock a design may request, in GHz. The OSCAR primitive's
+/// ReRAM switching time bounds realistic clocks well below this; the
+/// ceiling only rejects nonsense.
+pub const MAX_CLOCK_GHZ: f64 = 10.0;
+
+/// One digital compute element design point (Table 2's DCE rows plus the
+/// tile clock).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DceDesign {
+    /// RACER pipelines per tile (Table 2: 64).
+    pub pipelines: usize,
+    /// Arrays per pipeline — the pipeline depth, which is the native
+    /// operand bit width (Table 2: 64).
+    pub pipeline_depth: usize,
+    /// ReRAM array dimension: lanes per pipeline operation (Table 2:
+    /// 64×64).
+    pub array_dim: usize,
+    /// Logic family the macro library expands to.
+    pub family: LogicFamily,
+    /// Tile clock in GHz (the paper models 1 GHz).
+    pub clock_ghz: f64,
+}
+
+impl DceDesign {
+    /// The paper's Table 2 digital configuration: 64 pipelines of depth
+    /// 64 over 64×64 arrays, OSCAR logic, 1 GHz.
+    pub fn paper() -> Self {
+        DceDesign {
+            pipelines: 64,
+            pipeline_depth: 64,
+            array_dim: 64,
+            family: LogicFamily::Oscar,
+            clock_ghz: 1.0,
+        }
+    }
+
+    /// Validates the design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the pipeline count, depth or
+    /// array dimension is zero or exceeds [`MAX_DESIGN_DIM`], or the
+    /// clock is not in `(0, MAX_CLOCK_GHZ]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.pipelines == 0 || self.pipelines > MAX_DESIGN_DIM {
+            return Err(Error::InvalidConfig("DCE pipelines must be in 1..=4096"));
+        }
+        if self.pipeline_depth == 0 || self.pipeline_depth > MAX_DESIGN_DIM {
+            return Err(Error::InvalidConfig(
+                "DCE pipeline depth must be in 1..=4096",
+            ));
+        }
+        if self.array_dim == 0 || self.array_dim > MAX_DESIGN_DIM {
+            return Err(Error::InvalidConfig("DCE array dim must be in 1..=4096"));
+        }
+        if !(self.clock_ghz.is_finite() && self.clock_ghz > 0.0 && self.clock_ghz <= MAX_CLOCK_GHZ)
+        {
+            return Err(Error::InvalidConfig("clock must be in (0, 10] GHz"));
+        }
+        Ok(())
+    }
+
+    /// The clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_ghz * 1e9
+    }
+
+    /// The design point as `(key, value)` pairs for JSON reports.
+    /// (Design-point *names* come from the sweep layer's axis slugs —
+    /// `darth_eval::dse` — so there is exactly one naming scheme.)
+    pub fn params(&self) -> Vec<(String, String)> {
+        vec![
+            ("dce_pipelines".to_owned(), self.pipelines.to_string()),
+            (
+                "dce_pipeline_depth".to_owned(),
+                self.pipeline_depth.to_string(),
+            ),
+            ("dce_array_dim".to_owned(), self.array_dim.to_string()),
+            ("logic_family".to_owned(), format!("{:?}", self.family)),
+            ("clock_ghz".to_owned(), format!("{}", self.clock_ghz)),
+        ]
+    }
+}
+
+impl Default for DceDesign {
+    fn default() -> Self {
+        DceDesign::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_validates() {
+        let d = DceDesign::paper();
+        assert!(d.validate().is_ok());
+        assert_eq!(d.clock_hz(), 1.0e9);
+    }
+
+    #[test]
+    fn invalid_designs_are_rejected() {
+        let paper = DceDesign::paper();
+        for bad in [
+            DceDesign {
+                pipelines: 0,
+                ..paper
+            },
+            DceDesign {
+                pipeline_depth: MAX_DESIGN_DIM + 1,
+                ..paper
+            },
+            DceDesign {
+                array_dim: 0,
+                ..paper
+            },
+            DceDesign {
+                clock_ghz: 0.0,
+                ..paper
+            },
+            DceDesign {
+                clock_ghz: -1.0,
+                ..paper
+            },
+            DceDesign {
+                clock_ghz: f64::NAN,
+                ..paper
+            },
+            DceDesign {
+                clock_ghz: MAX_CLOCK_GHZ + 0.1,
+                ..paper
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn params_name_pipelines_and_clock() {
+        let mut d = DceDesign::paper();
+        d.clock_ghz = 1.25;
+        let params = d.params();
+        assert_eq!(params.len(), 5);
+        assert!(params.contains(&("clock_ghz".to_owned(), "1.25".to_owned())));
+        assert!(params.contains(&("dce_pipelines".to_owned(), "64".to_owned())));
+    }
+}

@@ -25,6 +25,9 @@
 //!   the functional simulation and the analytical timing model.
 //! * [`timing`] — the bit-pipelining cost model (stage cycles, warm-up,
 //!   drain) shared with the chip-level simulator.
+//! * [`design`] — validated coarse design points ([`DceDesign`]) for the
+//!   design-space sweeps: pipeline count/depth, array dimension, logic
+//!   family and tile clock in one object.
 //!
 //! # Example: 8-bit vector add on a RACER pipeline
 //!
@@ -47,12 +50,14 @@
 //! ```
 
 pub mod array;
+pub mod design;
 pub mod logic;
 pub mod macros;
 pub mod pipeline;
 pub mod timing;
 
 pub use array::DigitalArray;
+pub use design::DceDesign;
 pub use logic::{BoolOp, LogicFamily};
 pub use macros::MacroOp;
 pub use pipeline::{Pipeline, PipelineConfig};

@@ -113,6 +113,21 @@ fn newline(out: &mut String, indent: usize) {
     }
 }
 
+/// Writes `s` as an RFC 8259 string literal.
+///
+/// Audit notes against §7 of the RFC:
+///
+/// * `"` and `\` are matched *before* the generic control-character arm,
+///   so a quote is always `\"` (never a spurious `"`) and a
+///   backslash is never double-processed.
+/// * All controls below U+0020 are escaped — the two-character forms
+///   (`\n`, `\r`, `\t`, `\b`, `\f`) where they exist, `\u00XX`
+///   otherwise. The RFC requires nothing else, but DEL (U+007F) is also
+///   `\u`-escaped: it is invisible in most terminals and some parsers
+///   reject it raw.
+/// * Everything else — including astral (non-BMP) characters — is
+///   emitted as raw UTF-8, which the RFC explicitly permits; no
+///   surrogate-pair `\uD8xx\uDCxx` encoding is needed.
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -122,7 +137,11 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
             c => out.push(c),
         }
     }
@@ -207,6 +226,88 @@ mod tests {
         assert!(text.contains("\"say \\\"hi\\\"\\n\\\\end\\u0001\""));
         assert!(text.contains("\"nan\": null"));
         assert!(text.contains("\"inf\": null"));
+    }
+
+    /// A strict RFC 8259 string-literal parser (test oracle for the
+    /// writer): rejects raw controls, bad escapes and truncated input.
+    fn unescape(literal: &str) -> Result<String, String> {
+        let inner = literal
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or("not quoted")?;
+        let mut out = String::new();
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if (c as u32) < 0x20 {
+                return Err(format!("raw control U+{:04X}", c as u32));
+            }
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next().ok_or("truncated escape")? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{08}'),
+                'f' => out.push('\u{0c}'),
+                'u' => {
+                    let hex: String = (0..4)
+                        .map(|_| chars.next().ok_or("truncated \\u"))
+                        .collect::<Result<_, _>>()?;
+                    let code = u32::from_str_radix(&hex, 16).map_err(|e| e.to_string())?;
+                    out.push(char::from_u32(code).ok_or("surrogate half")?);
+                }
+                other => return Err(format!("bad escape \\{other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn adversarial_scenario_names_round_trip() {
+        // Names a hostile workload registry could carry: every escape
+        // class of RFC 8259, DEL, raw astral (non-BMP) characters, CJK,
+        // and backslash/quote pile-ups in both orders.
+        let adversarial = [
+            "plain-ascii",
+            "quote\"inside",
+            "back\\slash",
+            "\\\"both-orders\"\\",
+            "\\\\\\", // odd backslash run
+            "newline\nand\rreturn\tand tab",
+            "bell\u{07}-backspace\u{08}-formfeed\u{0c}-esc\u{1b}",
+            "nul\u{0}start",
+            "\u{1f}edge-of-controls",
+            "del\u{7f}char",
+            "emoji-😀-astral-𝕊-flag-🇦🇺",
+            "漢字とカナ",
+            "mixed \"q\" \\ \n \u{1} 😀 end",
+            "", // empty name
+        ];
+        for name in adversarial {
+            let mut escaped = String::new();
+            write_escaped(&mut escaped, name);
+            let parsed = unescape(&escaped)
+                .unwrap_or_else(|e| panic!("{name:?} escaped to unparseable {escaped:?}: {e}"));
+            assert_eq!(parsed, name, "round trip failed via {escaped:?}");
+            // The literal itself contains no raw controls and no raw
+            // DEL — what the escaping exists to guarantee.
+            assert!(
+                escaped.chars().all(|c| (c as u32) >= 0x20 && c != '\u{7f}'),
+                "raw control leaked into {escaped:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_character_escapes_are_used_where_defined() {
+        let mut out = String::new();
+        write_escaped(&mut out, "\u{08}\u{0c}\u{07}\u{7f}");
+        assert_eq!(out, "\"\\b\\f\\u0007\\u007f\"");
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //!   ([`registry::large_workloads`]: ≥1M-block AES, seq-4096 and
 //!   GPT-2-XL encoders, ResNet-110) — plus the two paper-policy wrappers
 //!   ([`registry::PaperDarthModel`], [`registry::PaperAppAccel`]).
+//! * [`dse`] is the design-space exploration layer: [`dse::ConfigSweep`]
+//!   grids over `darth_pum::config::DarthConfig` (named axes: ADC kind ×
+//!   resolution, crossbar geometry, slicing, array count, clock, plus
+//!   custom axes), priced into a [`dse::SweepMatrix`] with
+//!   Pareto-frontier extraction and best-config tables — one `Fanout`
+//!   replay pass per workload prices every design point
+//!   ([`engine::Engine::run_fanout`]).
 //! * [`json`] is the tiny offline JSON writer behind the reports
 //!   (borrowing: `JsonValue<'a>` keys and names are `Cow`s, so report
 //!   trees reference the matrix instead of cloning it).
@@ -62,10 +69,12 @@
 //! assert!(cell.latency_s > 0.0);
 //! ```
 
+pub mod dse;
 pub mod engine;
 pub mod json;
 pub mod registry;
 
+pub use dse::{ConfigSweep, DesignPoint, SweepAxis, SweepMatrix};
 pub use engine::{Engine, EvalMatrix, ModelSummary, Threading, WorkloadSummary};
 pub use json::JsonValue;
 pub use registry::{PaperAppAccel, PaperDarthModel};

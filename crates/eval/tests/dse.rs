@@ -1,0 +1,131 @@
+//! The DSE smoke sweep (`make dse-smoke`, part of `make verify`): a
+//! small grid over the paper's workloads, asserting
+//!
+//! 1. serial and parallel sweep execution are bit-identical;
+//! 2. the paper's SAR and ramp design points appear in the sweep and
+//!    reproduce the paper-registry engine pricing — the pricing behind
+//!    `BENCH_fig13.json` — byte-for-byte, including the rendered
+//!    Figure 13 throughput-vs-Baseline numbers;
+//! 3. Pareto-frontier extraction and best-config selection are sane on
+//!    a real sweep.
+
+use darth_analog::adc::AdcKind;
+use darth_eval::dse::{price_sweep, smoke_sweep, Metric, SweepMatrix};
+use darth_eval::registry::{paper_models, paper_workloads};
+use darth_eval::{Engine, Threading};
+use darth_pum::config::DarthConfig;
+
+fn smoke_matrix(threading: Threading) -> SweepMatrix {
+    let points = smoke_sweep().generate().expect("smoke grid is valid");
+    price_sweep(&points, paper_workloads(), threading).expect("smoke grid builds")
+}
+
+#[test]
+fn serial_and_parallel_sweeps_are_bit_identical() {
+    let serial = smoke_matrix(Threading::Serial);
+    for threading in [Threading::Parallel, Threading::Workers(3)] {
+        assert_eq!(smoke_matrix(threading), serial, "{threading:?}");
+    }
+}
+
+#[test]
+fn paper_design_points_reproduce_figure_pricing_byte_identically() {
+    let sweep = smoke_matrix(Threading::Serial);
+    for adc in [AdcKind::Sar, AdcKind::Ramp] {
+        // The engine configuration behind the paper figures
+        // (BENCH_fig13.json renders these cells as ratios vs Baseline).
+        let mut engine = Engine::new();
+        for workload in paper_workloads() {
+            engine.register_workload(workload);
+        }
+        for model in paper_models(adc) {
+            engine.register_model(model);
+        }
+        let figures = engine.run();
+        let darth_column = format!("darth-{}", adc.slug());
+        let baseline_column = format!("baseline-{}", adc.slug());
+
+        let paper = DarthConfig::paper(adc);
+        let point = sweep
+            .points
+            .iter()
+            .find(|p| p.config_params == paper.params())
+            .unwrap_or_else(|| panic!("paper {adc:?} point missing from the smoke sweep"));
+
+        for workload in &figures.workloads {
+            let figure_cell = figures
+                .cell(&workload.name, &darth_column)
+                .expect("paper column");
+            let sweep_cell = sweep
+                .cell(&workload.name, &point.name)
+                .expect("sweep cell exists");
+            assert_eq!(
+                sweep_cell, figure_cell,
+                "{}: {adc:?} sweep cell diverged from the figure pricing",
+                workload.name
+            );
+            // Rendered figure numbers, byte for byte: the same `{}`
+            // formatting the JSON reports use.
+            let baseline = figures
+                .cell(&workload.name, &baseline_column)
+                .expect("baseline column");
+            assert_eq!(
+                format!("{}", figure_cell.speedup_over(baseline)),
+                format!("{}", sweep_cell.speedup_over(baseline)),
+                "{}",
+                workload.name
+            );
+        }
+    }
+}
+
+#[test]
+fn frontier_and_best_configs_are_sane() {
+    let sweep = smoke_matrix(Threading::Serial);
+    assert_eq!(sweep.points.len(), 4);
+    assert_eq!(sweep.matrix.workloads.len(), 3);
+
+    let frontier = sweep.pareto_frontier_aggregate();
+    assert!(!frontier.is_empty(), "a priced sweep has a frontier");
+    assert!(frontier.iter().all(|&p| p < sweep.points.len()));
+
+    for workload in &sweep.matrix.workloads {
+        let per_workload = sweep.pareto_frontier(&workload.name);
+        assert!(!per_workload.is_empty(), "{}", workload.name);
+        for metric in [Metric::Latency, Metric::Energy, Metric::Throughput] {
+            let best = sweep
+                .best_for(&workload.name, metric)
+                .unwrap_or_else(|| panic!("{}: no winner under {metric:?}", workload.name));
+            assert!(best < sweep.points.len());
+        }
+        // The latency winner is at least as fast as every frontier
+        // point (it may tie off the frontier, but never lose).
+        let best_latency = sweep.best_for(&workload.name, Metric::Latency).unwrap();
+        let winner_latency = sweep
+            .cell(&workload.name, &sweep.points[best_latency].name)
+            .unwrap()
+            .latency_s;
+        for &p in &per_workload {
+            let frontier_latency = sweep
+                .cell(&workload.name, &sweep.points[p].name)
+                .unwrap()
+                .latency_s;
+            assert!(
+                winner_latency <= frontier_latency,
+                "{}: latency winner slower than a frontier point",
+                workload.name
+            );
+        }
+    }
+
+    // Unknown names degrade to empty/None, not panics.
+    assert!(sweep.pareto_frontier("nope").is_empty());
+    assert!(sweep.best_for("nope", Metric::Latency).is_none());
+
+    // The JSON report names every design point and carries the schema.
+    let json = sweep.to_json().pretty();
+    assert!(json.contains("darth-dse-sweep/v1"));
+    for point in &sweep.points {
+        assert!(json.contains(&point.name), "missing {}", point.name);
+    }
+}

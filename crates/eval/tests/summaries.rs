@@ -1,0 +1,154 @@
+//! Degenerate-input coverage for `geomean` and the sweep summaries:
+//! empty cell sets, single-cell sets and all-skipped (non-finite /
+//! non-positive) sets must produce *defined* values — never NaN, never
+//! a panic.
+
+use darth_eval::dse::{DesignSummary, Metric, SweepMatrix};
+use darth_eval::{EvalMatrix, ModelSummary, WorkloadSummary};
+use darth_pum::trace::{geomean, CostReport};
+
+#[test]
+fn geomean_is_defined_on_every_degenerate_input() {
+    // (case, input, expected)
+    let nan = f64::NAN;
+    let inf = f64::INFINITY;
+    let cases: Vec<(&str, Vec<f64>, f64)> = vec![
+        ("empty", vec![], 0.0),
+        ("single", vec![8.0], 8.0),
+        ("single sub-unit", vec![0.25], 0.25),
+        ("pair", vec![4.0, 1.0], 2.0),
+        ("all zero", vec![0.0, 0.0], 0.0),
+        ("all negative", vec![-1.0, -2.0], 0.0),
+        ("all nan", vec![nan, nan, nan], 0.0),
+        ("all infinite", vec![inf, -inf], 0.0),
+        ("all skipped, mixed kinds", vec![0.0, -3.0, nan, inf], 0.0),
+        ("valid among skipped", vec![0.0, 4.0, nan, 1.0, inf], 2.0),
+        ("huge without overflow", vec![1e300, 1e300], 1e300),
+        ("tiny without underflow", vec![1e-300, 1e-300], 1e-300),
+    ];
+    for (case, input, expected) in cases {
+        let got = geomean(&input);
+        assert!(got.is_finite(), "{case}: geomean returned {got}");
+        let tolerance = expected.abs() * 1e-12 + 1e-300;
+        assert!(
+            (got - expected).abs() <= tolerance,
+            "{case}: geomean({input:?}) = {got}, expected {expected}"
+        );
+    }
+}
+
+/// A synthetic one-point sweep whose single column holds the given
+/// per-workload (latency, energy) cells.
+fn sweep_of(cells: &[(f64, f64)]) -> SweepMatrix {
+    let workloads = (0..cells.len())
+        .map(|w| WorkloadSummary {
+            name: format!("w{w}"),
+            label: format!("w{w}"),
+            params: Vec::new(),
+            macs: 1,
+            element_ops: 1,
+            mvm_fraction: 0.5,
+        })
+        .collect();
+    let reports = cells
+        .iter()
+        .enumerate()
+        .map(|(w, &(latency_s, energy_per_item_j))| CostReport {
+            architecture: "synthetic".into(),
+            workload: format!("w{w}"),
+            latency_s,
+            throughput_items_per_s: 1.0 / latency_s,
+            energy_per_item_j,
+            kernel_latency_s: Vec::new(),
+        })
+        .collect();
+    SweepMatrix {
+        points: vec![DesignSummary {
+            name: "p0".into(),
+            axis_values: Vec::new(),
+            config_params: Vec::new(),
+            tile_area_um2: 100.0,
+            hct_count: 10,
+        }],
+        matrix: EvalMatrix {
+            workloads,
+            models: vec![ModelSummary {
+                name: "p0".into(),
+                label: "p0".into(),
+            }],
+            cells: reports,
+        },
+    }
+}
+
+#[test]
+fn sweep_aggregates_are_defined_on_every_degenerate_column() {
+    let nan = f64::NAN;
+    let inf = f64::INFINITY;
+    /// One row of the table: case name, the column's per-workload
+    /// `(latency, energy)` cells, and the expected aggregate.
+    type Case = (&'static str, Vec<(f64, f64)>, (f64, f64));
+    let cases: Vec<Case> = vec![
+        ("empty workload set", vec![], (0.0, 0.0)),
+        ("single cell", vec![(2.0, 8.0)], (2.0, 8.0)),
+        ("two cells", vec![(1.0, 2.0), (4.0, 8.0)], (2.0, 4.0)),
+        ("all skipped: nan", vec![(nan, nan), (nan, nan)], (0.0, 0.0)),
+        ("all skipped: infinite", vec![(inf, inf)], (0.0, 0.0)),
+        ("all skipped: zero", vec![(0.0, 0.0)], (0.0, 0.0)),
+        (
+            "skipped cells do not poison the rest",
+            vec![(1.0, 2.0), (nan, inf), (4.0, 8.0)],
+            (2.0, 4.0),
+        ),
+    ];
+    for (case, cells, (latency, energy)) in cases {
+        let sweep = sweep_of(&cells);
+        let (got_latency, got_energy) = sweep.aggregate(0);
+        assert!(
+            got_latency.is_finite() && got_energy.is_finite(),
+            "{case}: aggregate returned ({got_latency}, {got_energy})"
+        );
+        assert!(
+            (got_latency - latency).abs() < 1e-12 && (got_energy - energy).abs() < 1e-12,
+            "{case}: aggregate = ({got_latency}, {got_energy}), expected ({latency}, {energy})"
+        );
+    }
+}
+
+#[test]
+fn frontier_and_best_handle_unpriceable_sweeps() {
+    // All-skipped column: no Pareto point, no best config — and no NaN
+    // anywhere.
+    let broken = sweep_of(&[(f64::NAN, f64::NAN), (f64::INFINITY, f64::NAN)]);
+    assert!(broken.pareto_frontier_aggregate().is_empty());
+    for workload in ["w0", "w1"] {
+        assert!(broken.pareto_frontier(workload).is_empty());
+        for metric in [Metric::Latency, Metric::Energy] {
+            assert_eq!(broken.best_for(workload, metric), None, "{metric:?}");
+        }
+    }
+    // w0's throughput (1/NaN) is NaN → no winner; w1's (1/∞ = 0) is a
+    // finite, defined value, so it *is* selectable — skipping only what
+    // is genuinely unpriceable.
+    assert_eq!(broken.best_for("w0", Metric::Throughput), None);
+    assert_eq!(broken.best_for("w1", Metric::Throughput), Some(0));
+    // The JSON report of a degenerate sweep still renders (nulls for
+    // non-finite numbers, not NaN tokens).
+    let json = broken.to_json().pretty();
+    assert!(!json.contains("NaN") && !json.contains("inf"));
+
+    // Empty workload set: every summary degrades to empty/None.
+    let empty = sweep_of(&[]);
+    assert!(empty.pareto_frontier_aggregate().is_empty());
+    assert!(empty.best_table().is_empty());
+    assert_eq!(empty.aggregate(0), (0.0, 0.0));
+
+    // Single finite cell: the lone config is the frontier and the
+    // winner under every metric.
+    let single = sweep_of(&[(2.0, 8.0)]);
+    assert_eq!(single.pareto_frontier_aggregate(), vec![0]);
+    assert_eq!(single.pareto_frontier("w0"), vec![0]);
+    for metric in [Metric::Latency, Metric::Energy, Metric::Throughput] {
+        assert_eq!(single.best_for("w0", metric), Some(0), "{metric:?}");
+    }
+}
