@@ -8,15 +8,30 @@ CARGO ?= cargo
 ## materialized path needs ~3 GB of KernelOps and dies, by design.
 EVAL_LARGE_CAP_KB ?= 2097152
 
-.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence dse dse-smoke clean
+.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence dse dse-smoke sim-verify clean
 
 all: verify
 
 ## Tier-1 gate (release build + full test suite) plus the PR-1 lint
 ## gates: clippy and rustfmt, both warnings-as-errors — the
-## streaming/materialized equivalence regression, and the DSE smoke
-## sweep, explicitly.
-verify: build test lint fmt-check equivalence dse-smoke
+## streaming/materialized equivalence regression, the DSE smoke sweep,
+## and the functional-simulator differential gate, explicitly.
+verify: build test lint fmt-check equivalence dse-smoke sim-verify
+
+## The golden-model differential gate: the standard registry
+## (AES-128/192/256 on FIPS-197 vectors, integer GEMM, a conv layer)
+## executes on the functional ISA simulator and must match its golden
+## software references bit-exactly, cell by cell, while the paired
+## priced twins flow through the analytical engine. Also refuses any
+## `#[ignore]`d test in the tier-1 tree — a silently skipped
+## differential case must fail the build, not hide.
+sim-verify:
+	@if grep -rn "\#\[ignore" --include='*.rs' crates src tests examples 2>/dev/null; then \
+		echo "ERROR: ignored tests are not allowed in the tier-1 tree"; \
+		exit 1; \
+	fi
+	$(CARGO) test -q -p darth_sim --test differential
+	$(CARGO) test -q -p darth_eval --test sim_differential
 
 ## The registry-wide bit-identity regression: price(stream) ==
 ## price(&Trace) == engine replay for every (workload, model) cell,

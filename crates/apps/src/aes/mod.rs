@@ -4,7 +4,9 @@
 pub mod gf2;
 pub mod golden;
 pub mod mapping;
+pub mod program;
 pub mod workload;
 
 pub use golden::Aes;
 pub use mapping::AesDarth;
+pub use program::AesExec;

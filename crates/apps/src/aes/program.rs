@@ -1,0 +1,536 @@
+//! AES compiled to a self-contained DARTH-PUM ISA program.
+//!
+//! [`AesDarth`](crate::aes::mapping::AesDarth) executes AES on the
+//! functional tile, but the host intervenes between kernels (it unpacks
+//! MixColumns columns, decodes parities, and repacks bytes in software).
+//! This module removes the host entirely: [`AesExec`] *compiles* an AES
+//! block encryption into one [`darth_isa`] instruction stream that a
+//! machine executes start-to-finish with no intervention — every round
+//! step, including the MixColumns bit unpack/parity/repack plumbing, is
+//! real `shr`/`and`/`eload`/`mvm`/`shl`/`or` instructions over pipeline
+//! registers.
+//!
+//! Placement differences from the host-assisted mapping:
+//!
+//! * the GF(2) MixColumns matrix is programmed **raw** (0/1 weights in
+//!   SLC cells) instead of ±1-remapped: the ideal verification tile reads
+//!   exact bitline counts, so parity is one `and` with an all-ones
+//!   register — no compensation arithmetic, and therefore no host;
+//! * bit unpacking is 8 `shr`+`and` pairs over the whole state register,
+//!   staged to the table pipeline and gathered per column through
+//!   constant address registers (the same element-wise load datapath as
+//!   SubBytes);
+//! * repacking gathers each output bit plane from the landed parity
+//!   registers and ORs the shifted planes back into state bytes.
+//!
+//! The compiled job is the flagship case of the `darth_sim` differential
+//! harness: FIPS-197 vectors run through decode → dispatch → ACE/DCE and
+//! must match [`Aes::encrypt_block`] byte-for-byte.
+
+use super::gf2;
+use super::golden::{Aes, KeySize, SBOX};
+use darth_isa::instruction::{Instruction, IsaBoolOp, PipelineId, Program, VaCoreId, Vr};
+use darth_pum::chip::SideChannel;
+use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback};
+use darth_pum::hct::HctConfig;
+
+/// Pipeline roles.
+const P_STATE: u16 = 0;
+const P_TABLE: u16 = 1;
+const P_IN: u16 = 2;
+const P_LAND: u16 = 3;
+
+/// State-pipeline register map.
+const SV_STATE: u8 = 0;
+const SV_KEYTMP: u8 = 1;
+const SV_ONES: u8 = 2;
+const SV_SHIFTADDR: u8 = 3;
+const SV_BIT0: u8 = 4; // ..=11: bit plane k of the state bytes
+const SV_PB0: u8 = 12; // ..=19: gathered output bit plane k
+const SV_PACKADDR0: u8 = 20; // ..=27: pack gather addresses for bit k
+const SV_PACKACC: u8 = 28;
+const SV_PACKTMP: u8 = 29;
+const SV_MASK8: u8 = 30;
+
+/// Table-pipeline register map.
+const TV_SBOX0: u8 = 0; // ..=3: the 256-entry S-box
+const TV_STAGE: u8 = 4; // ShiftRows staging copy
+const TV_RK0: u8 = 5; // ..=19: one register per round key
+const TV_BIT0: u8 = 20; // ..=27: staged state bit planes
+const TV_PAR0: u8 = 28; // ..=31: landed parity bits per column
+
+/// Input-pipeline register map.
+const IV_ADDR0: u8 = 0; // ..=3: per-column MVM input gather addresses
+const IV_BITS: u8 = 4; // gathered 32-bit MVM input vector
+
+/// Landing-pipeline register map: column `c` reduces into register `4c`
+/// (its partial product and IIU scratch sit directly above), parity into
+/// `4c + 3`.
+const LV_ONES32: u8 = 16;
+
+/// Elements per vector register in the compiled tile.
+const ELEMENTS: u64 = 64;
+
+/// One AES block encryption compiled to a self-contained ISA job.
+#[derive(Debug, Clone)]
+pub struct AesExec {
+    name: String,
+    golden: Aes,
+    plaintext: [u8; 16],
+}
+
+impl AesExec {
+    /// An AES-128 job.
+    pub fn aes128(name: impl Into<String>, key: &[u8; 16], plaintext: [u8; 16]) -> Self {
+        AesExec {
+            name: name.into(),
+            golden: Aes::new_128(key),
+            plaintext,
+        }
+    }
+
+    /// An AES-192 job.
+    pub fn aes192(name: impl Into<String>, key: &[u8; 24], plaintext: [u8; 16]) -> Self {
+        AesExec {
+            name: name.into(),
+            golden: Aes::new_192(key),
+            plaintext,
+        }
+    }
+
+    /// An AES-256 job.
+    pub fn aes256(name: impl Into<String>, key: &[u8; 32], plaintext: [u8; 16]) -> Self {
+        AesExec {
+            name: name.into(),
+            golden: Aes::new_256(key),
+            plaintext,
+        }
+    }
+
+    /// The FIPS-197 Appendix B worked example (AES-128).
+    pub fn fips197_appendix_b() -> Self {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plaintext = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        AesExec::aes128("aes-128/fips197-b", &key, plaintext)
+    }
+
+    /// The FIPS-197 Appendix C vector for the given key size (key bytes
+    /// `00 01 02 …`, plaintext `00 11 22 … ff`).
+    pub fn fips197_appendix_c(size: KeySize) -> Self {
+        let plaintext: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        match size {
+            KeySize::Aes128 => {
+                let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+                AesExec::aes128("aes-128/fips197-c", &key, plaintext)
+            }
+            KeySize::Aes192 => {
+                let key: [u8; 24] = core::array::from_fn(|i| i as u8);
+                AesExec::aes192("aes-192/fips197-c", &key, plaintext)
+            }
+            KeySize::Aes256 => {
+                let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+                AesExec::aes256("aes-256/fips197-c", &key, plaintext)
+            }
+        }
+    }
+
+    /// The golden context backing this job.
+    pub fn golden_model(&self) -> &Aes {
+        &self.golden
+    }
+
+    /// The tile geometry the compiled program targets: four pipelines
+    /// (state, table, MVM input, landing), 16-bit depth, SLC MixColumns.
+    pub fn tile_config() -> HctConfig {
+        HctConfig {
+            functional_pipelines: 4,
+            functional_depth: 16,
+            functional_elements: ELEMENTS as usize,
+            functional_vrs: 40,
+            functional_ace_arrays: 2,
+            ..HctConfig::small_test()
+        }
+    }
+
+    /// Compiles the block encryption into a program plus its staged data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates side-channel staging errors.
+    pub fn compile(&self) -> darth_pum::Result<(Program, SideChannel)> {
+        let mut data = SideChannel::new();
+        // The raw 0/1 GF(2) matrix: rows are input bits (wordlines),
+        // columns output bits (bitlines); the exact bitline count's LSB
+        // is the output parity.
+        let matrix_handle = data.stage_matrix(gf2::mixcolumns_matrix())?;
+
+        let mut p = Program::new();
+        p.push(Instruction::AllocVaCore {
+            vacore: VaCoreId(0),
+            element_bits: 1,
+            bits_per_cell: 1,
+            input_bits: 1,
+            input_signed: false,
+        });
+        p.push(Instruction::ProgMatrix {
+            vacore: VaCoreId(0),
+            matrix_handle,
+        });
+        self.emit_constants(&mut p);
+        self.emit_plaintext(&mut p);
+        let rounds = self.golden.rounds();
+        emit_add_round_key(&mut p, 0);
+        for round in 1..rounds {
+            emit_sub_bytes(&mut p);
+            emit_shift_rows(&mut p);
+            emit_mix_columns(&mut p);
+            emit_add_round_key(&mut p, round);
+        }
+        emit_sub_bytes(&mut p);
+        emit_shift_rows(&mut p);
+        emit_add_round_key(&mut p, rounds);
+        p.push(Instruction::Halt);
+        Ok((p, data))
+    }
+
+    /// Stages the S-box, round keys, masks and gather-address constants.
+    fn emit_constants(&self, p: &mut Program) {
+        // S-box: 256 entries across four table registers; entry `b` sits
+        // at address `b`, so a state byte is its own lookup address.
+        for (i, &s) in SBOX.iter().enumerate() {
+            wimm(
+                p,
+                P_TABLE,
+                TV_SBOX0 + (i as u8 / 64),
+                (i % 64) as u8,
+                s.into(),
+            );
+        }
+        // Round keys, one register each.
+        for (r, rk) in self.golden.round_keys().iter().enumerate() {
+            for (e, &b) in rk.iter().enumerate() {
+                wimm(p, P_TABLE, TV_RK0 + r as u8, e as u8, b.into());
+            }
+        }
+        // Bit-extraction mask (1 in every state element).
+        for e in 0..16 {
+            wimm(p, P_STATE, SV_ONES, e, 1);
+        }
+        // Byte mask over the whole register: keeps the unused tail
+        // elements inside the table's address space after packing.
+        for e in 0..ELEMENTS as u8 {
+            wimm(p, P_STATE, SV_MASK8, e, 0xFF);
+        }
+        // ShiftRows gather addresses: shifted[r + 4c] reads the staging
+        // copy at byte r + 4·((c + r) mod 4).
+        for r in 0..4u64 {
+            for c in 0..4u64 {
+                let dst = (r + 4 * c) as u8;
+                let src = r + 4 * ((c + r) % 4);
+                wimm(
+                    p,
+                    P_STATE,
+                    SV_SHIFTADDR,
+                    dst,
+                    u64::from(TV_STAGE) * ELEMENTS + src,
+                );
+            }
+        }
+        // Pack gather addresses: state byte `e`, bit `k` reads output bit
+        // `8·(e mod 4) + k` of column `e / 4`'s landed parity register.
+        for k in 0..8u64 {
+            for e in 0..16u64 {
+                let address = (u64::from(TV_PAR0) + e / 4) * ELEMENTS + (8 * (e % 4) + k);
+                wimm(p, P_STATE, SV_PACKADDR0 + k as u8, e as u8, address);
+            }
+        }
+        // MVM input gather addresses: input bit `j` of column `c` is bit
+        // `j mod 8` of state byte `4c + j/8` (the gf2 wordline order).
+        for c in 0..4u64 {
+            for j in 0..32u64 {
+                let address = (u64::from(TV_BIT0) + j % 8) * ELEMENTS + (4 * c + j / 8);
+                wimm(p, P_IN, IV_ADDR0 + c as u8, j as u8, address);
+            }
+        }
+        // Parity mask in the landing pipeline (1 across the 32 bitlines).
+        for e in 0..32 {
+            wimm(p, P_LAND, LV_ONES32, e, 1);
+        }
+    }
+
+    /// Loads the plaintext into the state register.
+    fn emit_plaintext(&self, p: &mut Program) {
+        for (e, &b) in self.plaintext.iter().enumerate() {
+            wimm(p, P_STATE, SV_STATE, e as u8, b.into());
+        }
+    }
+}
+
+/// `wimm` shorthand.
+fn wimm(p: &mut Program, pipe: u16, vr: u8, element: u8, value: u64) {
+    p.push(Instruction::WriteImm {
+        pipe: PipelineId(pipe),
+        vr: Vr(vr),
+        element,
+        value,
+    });
+}
+
+/// SubBytes: each state byte is its own S-box gather address.
+fn emit_sub_bytes(p: &mut Program) {
+    p.push(Instruction::ElementLoad {
+        pipe: PipelineId(P_STATE),
+        addr: Vr(SV_STATE),
+        table_pipe: PipelineId(P_TABLE),
+        dst: Vr(SV_STATE),
+    });
+}
+
+/// ShiftRows: stage the state into the table pipeline, gather it back
+/// through the constant permutation addresses.
+fn emit_shift_rows(p: &mut Program) {
+    p.push(Instruction::CopyAcross {
+        src_pipe: PipelineId(P_STATE),
+        src: Vr(SV_STATE),
+        dst_pipe: PipelineId(P_TABLE),
+        dst: Vr(TV_STAGE),
+    });
+    p.push(Instruction::ElementLoad {
+        pipe: PipelineId(P_STATE),
+        addr: Vr(SV_SHIFTADDR),
+        table_pipe: PipelineId(P_TABLE),
+        dst: Vr(SV_STATE),
+    });
+}
+
+/// AddRoundKey: copy the resident key across, XOR into the state.
+fn emit_add_round_key(p: &mut Program, round: usize) {
+    p.push(Instruction::CopyAcross {
+        src_pipe: PipelineId(P_TABLE),
+        src: Vr(TV_RK0 + round as u8),
+        dst_pipe: PipelineId(P_STATE),
+        dst: Vr(SV_KEYTMP),
+    });
+    p.push(Instruction::Bool {
+        op: IsaBoolOp::Xor,
+        pipe: PipelineId(P_STATE),
+        dst: Vr(SV_STATE),
+        a: Vr(SV_STATE),
+        b: Vr(SV_KEYTMP),
+    });
+}
+
+/// MixColumns, entirely in instructions: unpack the state into bit
+/// planes, gather each column's 32 wordline bits, run the analog MVM,
+/// mask the bitline counts down to parities, and gather/OR the output
+/// bit planes back into state bytes.
+fn emit_mix_columns(p: &mut Program) {
+    // Bit planes: b_k[e] = bit k of state byte e, staged to the table.
+    for k in 0..8u8 {
+        p.push(Instruction::ShiftRight {
+            pipe: PipelineId(P_STATE),
+            dst: Vr(SV_BIT0 + k),
+            src: Vr(SV_STATE),
+            amount: k,
+        });
+        p.push(Instruction::Bool {
+            op: IsaBoolOp::And,
+            pipe: PipelineId(P_STATE),
+            dst: Vr(SV_BIT0 + k),
+            a: Vr(SV_BIT0 + k),
+            b: Vr(SV_ONES),
+        });
+        p.push(Instruction::CopyAcross {
+            src_pipe: PipelineId(P_STATE),
+            src: Vr(SV_BIT0 + k),
+            dst_pipe: PipelineId(P_TABLE),
+            dst: Vr(TV_BIT0 + k),
+        });
+    }
+    // Per column: gather the 32 input bits, MVM, parity, stage parities.
+    for c in 0..4u8 {
+        p.push(Instruction::ElementLoad {
+            pipe: PipelineId(P_IN),
+            addr: Vr(IV_ADDR0 + c),
+            table_pipe: PipelineId(P_TABLE),
+            dst: Vr(IV_BITS),
+        });
+        p.push(Instruction::Mvm {
+            vacore: VaCoreId(0),
+            input_pipe: PipelineId(P_IN),
+            input_vr: Vr(IV_BITS),
+            dst_pipe: PipelineId(P_LAND),
+            dst_vr: Vr(4 * c),
+            early_levels: 0,
+        });
+        p.push(Instruction::Bool {
+            op: IsaBoolOp::And,
+            pipe: PipelineId(P_LAND),
+            dst: Vr(4 * c + 3),
+            a: Vr(4 * c),
+            b: Vr(LV_ONES32),
+        });
+        p.push(Instruction::CopyAcross {
+            src_pipe: PipelineId(P_LAND),
+            src: Vr(4 * c + 3),
+            dst_pipe: PipelineId(P_TABLE),
+            dst: Vr(TV_PAR0 + c),
+        });
+    }
+    // Repack: gather output bit plane k, shift it to position, OR it in.
+    for k in 0..8u8 {
+        p.push(Instruction::ElementLoad {
+            pipe: PipelineId(P_STATE),
+            addr: Vr(SV_PACKADDR0 + k),
+            table_pipe: PipelineId(P_TABLE),
+            dst: Vr(SV_PB0 + k),
+        });
+    }
+    p.push(Instruction::CopyVr {
+        pipe: PipelineId(P_STATE),
+        dst: Vr(SV_PACKACC),
+        src: Vr(SV_PB0),
+    });
+    for k in 1..8u8 {
+        p.push(Instruction::ShiftLeft {
+            pipe: PipelineId(P_STATE),
+            dst: Vr(SV_PACKTMP),
+            src: Vr(SV_PB0 + k),
+            amount: k,
+        });
+        p.push(Instruction::Bool {
+            op: IsaBoolOp::Or,
+            pipe: PipelineId(P_STATE),
+            dst: Vr(SV_PACKACC),
+            a: Vr(SV_PACKACC),
+            b: Vr(SV_PACKTMP),
+        });
+    }
+    // Mask the whole register to bytes so every element (including the
+    // unused tail) stays a valid S-box gather address next round.
+    p.push(Instruction::Bool {
+        op: IsaBoolOp::And,
+        pipe: PipelineId(P_STATE),
+        dst: Vr(SV_STATE),
+        a: Vr(SV_PACKACC),
+        b: Vr(SV_MASK8),
+    });
+}
+
+impl Executable for AesExec {
+    fn exec_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn job(&self) -> darth_pum::Result<ExecJob> {
+        let (program, data) = self.compile()?;
+        Ok(ExecJob {
+            name: self.name.clone(),
+            tile: AesExec::tile_config(),
+            program: darth_isa::encode::encode_program(&program),
+            data,
+            readbacks: vec![Readback {
+                label: "ciphertext".into(),
+                pipe: P_STATE,
+                vr: SV_STATE,
+                elements: 16,
+                signed: false,
+            }],
+        })
+    }
+
+    fn golden(&self) -> darth_pum::Result<Vec<ExecOutput>> {
+        let ct = self.golden.encrypt_block(&self.plaintext);
+        Ok(vec![ExecOutput {
+            label: "ciphertext".into(),
+            cells: ct.iter().map(|&b| i64::from(b)).collect(),
+        }])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darth_pum::chip::DarthPumChip;
+    use darth_pum::params::ChipParams;
+
+    /// Executes a compiled job on a fresh chip and reads the ciphertext.
+    fn run(exec: &AesExec) -> [u8; 16] {
+        let job = exec.job().expect("compiles");
+        let program = job.decoded_program().expect("decodes");
+        let mut chip = DarthPumChip::new(ChipParams::default(), job.tile.clone()).expect("builds");
+        chip.execute(&program, &job.data).expect("executes");
+        let pipe = chip
+            .tile_mut()
+            .pipeline_mut(P_STATE as usize)
+            .expect("exists");
+        core::array::from_fn(|i| pipe.read_value(SV_STATE as usize, i).expect("reads") as u8)
+    }
+
+    #[test]
+    fn appendix_b_vector_matches() {
+        let exec = AesExec::fips197_appendix_b();
+        assert_eq!(
+            run(&exec),
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+                0x0b, 0x32
+            ]
+        );
+    }
+
+    #[test]
+    fn appendix_c_all_key_sizes_match_golden() {
+        for size in [KeySize::Aes128, KeySize::Aes192, KeySize::Aes256] {
+            let exec = AesExec::fips197_appendix_c(size);
+            let golden = exec.golden().expect("golden");
+            let got = run(&exec);
+            let cells: Vec<i64> = got.iter().map(|&b| i64::from(b)).collect();
+            assert_eq!(cells, golden[0].cells, "{:?}", size);
+        }
+    }
+
+    #[test]
+    fn arbitrary_key_and_block_match_golden() {
+        let key = *b"isa-compiled-key";
+        let block: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(73).wrapping_add(9));
+        let exec = AesExec::aes128("aes-128/custom", &key, block);
+        assert_eq!(run(&exec), Aes::new_128(&key).encrypt_block(&block));
+    }
+
+    #[test]
+    fn program_is_fully_self_contained() {
+        // No instruction needs host data beyond the one staged matrix.
+        let exec = AesExec::fips197_appendix_b();
+        let (program, data) = exec.compile().expect("compiles");
+        assert_eq!(data.matrices.len(), 1);
+        assert!(data.vectors.is_empty());
+        assert!(matches!(
+            program.instructions.last(),
+            Some(Instruction::Halt)
+        ));
+        // 128-bit job: setup + 10 rounds land in the ~1.5k range.
+        assert!(program.len() > 1000, "len {}", program.len());
+    }
+
+    #[test]
+    fn key_sizes_scale_the_program() {
+        let p128 = AesExec::fips197_appendix_c(KeySize::Aes128)
+            .compile()
+            .expect("compiles")
+            .0
+            .len();
+        let p256 = AesExec::fips197_appendix_c(KeySize::Aes256)
+            .compile()
+            .expect("compiles")
+            .0
+            .len();
+        assert!(p256 > p128);
+    }
+}

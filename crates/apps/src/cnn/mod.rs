@@ -3,8 +3,10 @@
 //! data/training, and the workload trace.
 
 pub mod data;
+pub mod program;
 pub mod resnet;
 pub mod tensor;
 pub mod workload;
 
+pub use program::ConvExec;
 pub use resnet::{AnalogNoise, ResNet};

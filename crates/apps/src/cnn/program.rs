@@ -1,0 +1,336 @@
+//! A convolution layer compiled to a self-contained ISA job.
+//!
+//! The §5.1 lowering made executable: the layer's weights become one
+//! Toeplitz (im2col) matrix programmed into a vACore, each output pixel's
+//! receptive field is staged as an input vector, and one analog MVM per
+//! pixel produces all output channels at once, with the bias folded in by
+//! a DCE `add`. The differential harness checks every output cell
+//! against the plain-Rust [`conv2d`] reference.
+
+use super::tensor::{conv2d, ConvWeights, Tensor3};
+use crate::gemm::GemmWorkload;
+use darth_digital::pipeline::twos_complement_field;
+use darth_isa::instruction::{Instruction, PipelineId, Program, VaCoreId, Vr};
+use darth_pum::chip::SideChannel;
+use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback};
+use darth_pum::hct::HctConfig;
+
+/// Pipeline/register layout of the compiled convolution job.
+const P_CONV_IN: u16 = 0;
+const P_CONV_LAND: u16 = 1;
+const CV_PATCH: u8 = 0;
+const CV_ACC: u8 = 0;
+const CV_RESULT0: u8 = 20;
+const CV_BIAS: u8 = 30;
+const CONV_DEPTH: usize = 16;
+/// Result registers available above the MVM landing area.
+const CONV_MAX_PIXELS: usize = 8;
+
+/// A quantized convolution layer compiled to an ISA job: deterministic
+/// small-integer weights/activations sized so the raw accumulator (plus
+/// bias) stays inside the 8-bit activation range — the golden
+/// [`conv2d`] output is then bit-identical to the analog MVM path with
+/// no requantization step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvExec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height and width (square).
+    pub size: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel size (square, stride 1, no padding).
+    pub kernel: usize,
+    /// Data-synthesis seed.
+    pub seed: u64,
+}
+
+impl ConvExec {
+    /// The standard differential case: a 2-channel 4×4 input through a
+    /// 3-output-channel 3×3 layer (2×2 output pixels).
+    pub fn standard() -> Self {
+        ConvExec {
+            in_channels: 2,
+            size: 4,
+            out_channels: 3,
+            kernel: 3,
+            seed: 9,
+        }
+    }
+
+    /// Output rows/cols (stride 1, no padding); `0` when the kernel
+    /// does not fit the input (such configs are rejected by
+    /// [`ConvExec::compile`], but accessors must not underflow first).
+    pub fn out_size(&self) -> usize {
+        (self.size + 1).saturating_sub(self.kernel)
+    }
+
+    /// Rows of the Toeplitz matrix (`in_channels · kernel²`).
+    pub fn toeplitz_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// The priced twin: the layer's im2col GEMM shape.
+    pub fn workload(&self) -> GemmWorkload {
+        GemmWorkload {
+            m: (self.out_size() * self.out_size()) as u64,
+            k: self.toeplitz_rows() as u64,
+            n: self.out_channels as u64,
+            input_bits: 4,
+            weight_bits: 4,
+        }
+    }
+
+    /// Deterministic layer weights (magnitudes ≤ 2) and biases.
+    pub fn conv_weights(&self) -> ConvWeights {
+        let n = self.out_channels * self.in_channels * self.kernel * self.kernel;
+        let weights: Vec<i32> = (0..n)
+            .map(|i| (((i as i64 * 3 + self.seed as i64) % 5) - 2) as i32)
+            .collect();
+        let bias: Vec<i32> = (0..self.out_channels)
+            .map(|co| (((co as i64 * 7 + self.seed as i64) % 5) - 2) as i32)
+            .collect();
+        ConvWeights::new(
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            weights,
+            bias,
+        )
+        .expect("shape is consistent by construction")
+    }
+
+    /// Deterministic input activations (magnitudes ≤ 3).
+    pub fn input(&self) -> Tensor3 {
+        let n = self.in_channels * self.size * self.size;
+        Tensor3::from_data(
+            self.in_channels,
+            self.size,
+            self.size,
+            (0..n)
+                .map(|i| (((i as i64 * 5 + self.seed as i64) % 7) - 3) as i32)
+                .collect(),
+        )
+        .expect("shape is consistent by construction")
+    }
+
+    /// The Toeplitz weight matrix: row = im2col position, column =
+    /// output channel.
+    fn toeplitz_matrix(&self, w: &ConvWeights) -> Vec<Vec<i64>> {
+        (0..self.in_channels)
+            .flat_map(|ci| {
+                (0..self.kernel).flat_map(move |ky| (0..self.kernel).map(move |kx| (ci, ky, kx)))
+            })
+            .map(|(ci, ky, kx)| {
+                (0..self.out_channels)
+                    .map(|co| i64::from(w.weight(co, ci, ky, kx)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The tile geometry the compiled program targets.
+    pub fn tile_config() -> HctConfig {
+        HctConfig {
+            functional_pipelines: 2,
+            functional_depth: CONV_DEPTH,
+            functional_elements: 64,
+            functional_vrs: 40,
+            functional_ace_arrays: 2,
+            ..HctConfig::small_test()
+        }
+    }
+
+    fn validate(&self) -> darth_pum::Result<()> {
+        if self.kernel == 0 || self.kernel > self.size {
+            return Err(darth_pum::Error::Shape(
+                "kernel must be nonzero and fit the input".into(),
+            ));
+        }
+        let pixels = self.out_size() * self.out_size();
+        if pixels > CONV_MAX_PIXELS || self.toeplitz_rows() > 64 || self.out_channels > 64 {
+            return Err(darth_pum::Error::Shape(format!(
+                "conv {}x{}x{} k{} exceeds the single-array job shape",
+                self.in_channels, self.size, self.out_channels, self.kernel
+            )));
+        }
+        Ok(())
+    }
+
+    /// Compiles the layer into a program plus staged data.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for oversized layers and staging errors.
+    pub fn compile(&self) -> darth_pum::Result<(Program, SideChannel)> {
+        self.validate()?;
+        let w = self.conv_weights();
+        let input = self.input();
+        let mut data = SideChannel::new();
+        let matrix_handle = data.stage_matrix(self.toeplitz_matrix(&w))?;
+        let mut p = Program::new();
+        p.push(Instruction::AllocVaCore {
+            vacore: VaCoreId(0),
+            element_bits: 4,
+            bits_per_cell: 2,
+            input_bits: 4,
+            input_signed: true,
+        });
+        p.push(Instruction::ProgMatrix {
+            vacore: VaCoreId(0),
+            matrix_handle,
+        });
+        for co in 0..self.out_channels {
+            p.push(Instruction::WriteImm {
+                pipe: PipelineId(P_CONV_LAND),
+                vr: Vr(CV_BIAS),
+                element: co as u8,
+                value: twos_complement_field(i64::from(w.bias(co)), CONV_DEPTH)?,
+            });
+        }
+        let out = self.out_size();
+        for oy in 0..out {
+            for ox in 0..out {
+                let patch = super::tensor::im2col_row(&input, self.kernel, 1, 0, oy, ox);
+                for (e, &x) in patch.iter().enumerate() {
+                    p.push(Instruction::WriteImm {
+                        pipe: PipelineId(P_CONV_IN),
+                        vr: Vr(CV_PATCH),
+                        element: e as u8,
+                        value: twos_complement_field(i64::from(x), CONV_DEPTH)?,
+                    });
+                }
+                p.push(Instruction::Mvm {
+                    vacore: VaCoreId(0),
+                    input_pipe: PipelineId(P_CONV_IN),
+                    input_vr: Vr(CV_PATCH),
+                    dst_pipe: PipelineId(P_CONV_LAND),
+                    dst_vr: Vr(CV_ACC),
+                    early_levels: 0,
+                });
+                p.push(Instruction::Add {
+                    pipe: PipelineId(P_CONV_LAND),
+                    dst: Vr(CV_RESULT0 + (oy * out + ox) as u8),
+                    a: Vr(CV_ACC),
+                    b: Vr(CV_BIAS),
+                });
+            }
+        }
+        p.push(Instruction::Halt);
+        Ok((p, data))
+    }
+}
+
+impl Executable for ConvExec {
+    fn exec_name(&self) -> String {
+        format!(
+            "conv-{}x{}x{}-k{}",
+            self.in_channels, self.size, self.out_channels, self.kernel
+        )
+    }
+
+    fn job(&self) -> darth_pum::Result<ExecJob> {
+        let (program, data) = self.compile()?;
+        let out = self.out_size();
+        Ok(ExecJob {
+            name: self.exec_name(),
+            tile: ConvExec::tile_config(),
+            program: darth_isa::encode::encode_program(&program),
+            data,
+            readbacks: (0..out)
+                .flat_map(|oy| {
+                    (0..out).map(move |ox| Readback {
+                        label: format!("pixel-{oy}-{ox}"),
+                        pipe: P_CONV_LAND,
+                        vr: CV_RESULT0 + (oy * out + ox) as u8,
+                        elements: self.out_channels,
+                        signed: true,
+                    })
+                })
+                .collect(),
+        })
+    }
+
+    fn golden(&self) -> darth_pum::Result<Vec<ExecOutput>> {
+        let reference = conv2d(&self.input(), &self.conv_weights(), 1, 0, 0)
+            .map_err(|e| darth_pum::Error::Shape(e.to_string()))?;
+        let out = self.out_size();
+        Ok((0..out)
+            .flat_map(|oy| {
+                (0..out)
+                    .map(|ox| ExecOutput {
+                        label: format!("pixel-{oy}-{ox}"),
+                        cells: (0..self.out_channels)
+                            .map(|co| i64::from(reference.get(co, oy, ox)))
+                            .collect(),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darth_pum::chip::DarthPumChip;
+    use darth_pum::params::ChipParams;
+
+    #[test]
+    fn compiled_conv_matches_conv2d_reference() {
+        let exec = ConvExec::standard();
+        let job = exec.job().expect("compiles");
+        let program = job.decoded_program().expect("decodes");
+        let mut chip = DarthPumChip::new(ChipParams::default(), job.tile.clone()).expect("builds");
+        chip.execute(&program, &job.data).expect("executes");
+        let golden = exec.golden().expect("golden");
+        assert_eq!(golden.len(), job.readbacks.len());
+        let pipe = chip
+            .tile_mut()
+            .pipeline_mut(P_CONV_LAND as usize)
+            .expect("exists");
+        for (rb, reference) in job.readbacks.iter().zip(&golden) {
+            let got: Vec<i64> = (0..rb.elements)
+                .map(|e| {
+                    pipe.read_value_signed(usize::from(rb.vr), e)
+                        .expect("reads")
+                })
+                .collect();
+            assert_eq!(got, reference.cells, "{}", rb.label);
+        }
+    }
+
+    #[test]
+    fn accumulators_stay_inside_the_activation_range() {
+        // The golden comparison is only exact when conv2d's clamp is a
+        // no-op; the synthesized data must guarantee that.
+        let exec = ConvExec::standard();
+        for out in exec.golden().expect("golden") {
+            for &cell in &out.cells {
+                assert!((-128..=127).contains(&cell), "cell {cell} would clamp");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_conv_exec_is_rejected() {
+        let mut exec = ConvExec::standard();
+        exec.size = 7; // 5x5 = 25 output pixels
+        assert!(exec.job().is_err());
+        let mut exec = ConvExec::standard();
+        exec.kernel = 5;
+        assert!(exec.job().is_err());
+        // Accessors on the invalid point must not underflow either.
+        assert_eq!(exec.out_size(), 0);
+        assert_eq!(exec.workload().m, 0);
+    }
+
+    #[test]
+    fn priced_twin_matches_the_toeplitz_shape() {
+        let exec = ConvExec::standard();
+        let w = exec.workload();
+        assert_eq!(w.k, 18);
+        assert_eq!(w.n, 3);
+        assert_eq!(w.m, 4);
+    }
+}

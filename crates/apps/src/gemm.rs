@@ -9,7 +9,11 @@
 //! `rows = k` (input length), `cols = n` (output length), one batch entry
 //! per left-hand-side row.
 
-use darth_pum::eval::Workload;
+use darth_digital::pipeline::twos_complement_field;
+use darth_isa::instruction::{Instruction, PipelineId, Program, VaCoreId, Vr};
+use darth_pum::chip::SideChannel;
+use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback, Workload};
+use darth_pum::hct::HctConfig;
 use darth_pum::trace::{KernelOp, Trace, TraceMeta, TraceSink, VectorKind};
 
 /// A dense GEMM scenario: `C[m×n] = A[m×k] · B[k×n]`, plus a bias-add and
@@ -108,9 +112,215 @@ impl Workload for GemmWorkload {
     }
 }
 
+/// Pipeline/register layout of the compiled GEMM job.
+const P_GEMM_IN: u16 = 0;
+const P_GEMM_LAND: u16 = 1;
+const GV_INPUT: u8 = 0;
+const GV_ACC: u8 = 0;
+const GV_RESULT0: u8 = 20;
+const GV_BIAS: u8 = 30;
+const GEMM_DEPTH: usize = 16;
+/// Result registers available above the MVM landing area.
+const GEMM_MAX_M: usize = 8;
+
+/// A concrete integer GEMM compiled to an ISA job: deterministic 4-bit
+/// weights and 8-bit activations, `C = A·B + bias`, one analog MVM per
+/// left-hand-side row with the bias added by a DCE `add` — the
+/// differential twin of [`GemmWorkload`]'s analytical pricing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmExec {
+    /// Left-hand-side rows (MVM batch; at most 8).
+    pub m: usize,
+    /// Contraction dimension (at most one array, 64).
+    pub k: usize,
+    /// Output columns (at most one array, 64).
+    pub n: usize,
+    /// Data-synthesis seed.
+    pub seed: u64,
+}
+
+impl GemmExec {
+    /// The standard differential case: a 4×12×10 GEMM.
+    pub fn standard() -> Self {
+        GemmExec {
+            m: 4,
+            k: 12,
+            n: 10,
+            seed: 5,
+        }
+    }
+
+    /// The priced twin of this job.
+    pub fn workload(&self) -> GemmWorkload {
+        GemmWorkload {
+            m: self.m as u64,
+            k: self.k as u64,
+            n: self.n as u64,
+            input_bits: 8,
+            weight_bits: 4,
+        }
+    }
+
+    /// Deterministic 4-bit weight matrix (`k × n`, magnitudes ≤ 7).
+    pub fn weights(&self) -> Vec<Vec<i64>> {
+        (0..self.k)
+            .map(|r| {
+                (0..self.n)
+                    .map(|c| ((r as i64 * 31 + c as i64 * 7 + self.seed as i64) % 15) - 7)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Deterministic activations (`m × k`, 8-bit signed range).
+    pub fn activations(&self) -> Vec<Vec<i64>> {
+        (0..self.m)
+            .map(|i| {
+                (0..self.k)
+                    .map(|r| ((i as i64 * 13 + r as i64 * 5 + self.seed as i64) % 21) - 10)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Deterministic per-column bias.
+    pub fn bias(&self) -> Vec<i64> {
+        (0..self.n)
+            .map(|c| ((c as i64 * 11 + self.seed as i64) % 9) - 4)
+            .collect()
+    }
+
+    /// The tile geometry the compiled program targets.
+    pub fn tile_config() -> HctConfig {
+        HctConfig {
+            functional_pipelines: 2,
+            functional_depth: GEMM_DEPTH,
+            functional_elements: 64,
+            functional_vrs: 40,
+            functional_ace_arrays: 2,
+            ..HctConfig::small_test()
+        }
+    }
+
+    fn validate(&self) -> darth_pum::Result<()> {
+        if self.m == 0 || self.k == 0 || self.n == 0 {
+            return Err(darth_pum::Error::Shape("GEMM dims must be nonzero".into()));
+        }
+        if self.m > GEMM_MAX_M || self.k > 64 || self.n > 64 {
+            return Err(darth_pum::Error::Shape(format!(
+                "GEMM {}x{}x{} exceeds the single-array job shape (m ≤ {GEMM_MAX_M}, k/n ≤ 64)",
+                self.m, self.k, self.n
+            )));
+        }
+        Ok(())
+    }
+
+    /// Compiles the GEMM into a program plus staged data.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for oversized dims and staging errors.
+    pub fn compile(&self) -> darth_pum::Result<(Program, SideChannel)> {
+        self.validate()?;
+        let mut data = SideChannel::new();
+        let matrix_handle = data.stage_matrix(self.weights())?;
+        let mut p = Program::new();
+        p.push(Instruction::AllocVaCore {
+            vacore: VaCoreId(0),
+            element_bits: 4,
+            bits_per_cell: 2,
+            input_bits: 8,
+            input_signed: true,
+        });
+        p.push(Instruction::ProgMatrix {
+            vacore: VaCoreId(0),
+            matrix_handle,
+        });
+        for (e, &b) in self.bias().iter().enumerate() {
+            p.push(Instruction::WriteImm {
+                pipe: PipelineId(P_GEMM_LAND),
+                vr: Vr(GV_BIAS),
+                element: e as u8,
+                value: twos_complement_field(b, GEMM_DEPTH)?,
+            });
+        }
+        for (i, row) in self.activations().iter().enumerate() {
+            for (e, &x) in row.iter().enumerate() {
+                p.push(Instruction::WriteImm {
+                    pipe: PipelineId(P_GEMM_IN),
+                    vr: Vr(GV_INPUT),
+                    element: e as u8,
+                    value: twos_complement_field(x, GEMM_DEPTH)?,
+                });
+            }
+            p.push(Instruction::Mvm {
+                vacore: VaCoreId(0),
+                input_pipe: PipelineId(P_GEMM_IN),
+                input_vr: Vr(GV_INPUT),
+                dst_pipe: PipelineId(P_GEMM_LAND),
+                dst_vr: Vr(GV_ACC),
+                early_levels: 0,
+            });
+            // Fold the bias in and park the row so the landing registers
+            // are free for the next batch row.
+            p.push(Instruction::Add {
+                pipe: PipelineId(P_GEMM_LAND),
+                dst: Vr(GV_RESULT0 + i as u8),
+                a: Vr(GV_ACC),
+                b: Vr(GV_BIAS),
+            });
+        }
+        p.push(Instruction::Halt);
+        Ok((p, data))
+    }
+}
+
+impl Executable for GemmExec {
+    fn exec_name(&self) -> String {
+        Workload::name(&self.workload())
+    }
+
+    fn job(&self) -> darth_pum::Result<ExecJob> {
+        let (program, data) = self.compile()?;
+        Ok(ExecJob {
+            name: self.exec_name(),
+            tile: GemmExec::tile_config(),
+            program: darth_isa::encode::encode_program(&program),
+            data,
+            readbacks: (0..self.m)
+                .map(|i| Readback {
+                    label: format!("row-{i}"),
+                    pipe: P_GEMM_LAND,
+                    vr: GV_RESULT0 + i as u8,
+                    elements: self.n,
+                    signed: true,
+                })
+                .collect(),
+        })
+    }
+
+    fn golden(&self) -> darth_pum::Result<Vec<ExecOutput>> {
+        let w = self.weights();
+        let bias = self.bias();
+        Ok(self
+            .activations()
+            .iter()
+            .enumerate()
+            .map(|(i, row)| ExecOutput {
+                label: format!("row-{i}"),
+                cells: (0..self.n)
+                    .map(|c| (0..self.k).map(|r| row[r] * w[r][c]).sum::<i64>() + bias[c])
+                    .collect(),
+            })
+            .collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use darth_pum::chip::DarthPumChip;
+    use darth_pum::params::ChipParams;
 
     #[test]
     fn gemm_trace_counts_macs() {
@@ -136,5 +346,48 @@ mod tests {
         assert_eq!(sweep.len(), 3);
         let macs: Vec<u64> = sweep.iter().map(|g| g.trace().macs()).collect();
         assert!(macs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn compiled_gemm_matches_golden_on_the_chip() {
+        let exec = GemmExec::standard();
+        let job = exec.job().expect("compiles");
+        let program = job.decoded_program().expect("decodes");
+        let mut chip = DarthPumChip::new(ChipParams::default(), job.tile.clone()).expect("builds");
+        chip.execute(&program, &job.data).expect("executes");
+        let golden = exec.golden().expect("golden");
+        let pipe = chip
+            .tile_mut()
+            .pipeline_mut(P_GEMM_LAND as usize)
+            .expect("exists");
+        for (i, reference) in golden.iter().enumerate() {
+            let got: Vec<i64> = (0..exec.n)
+                .map(|e| {
+                    pipe.read_value_signed(usize::from(GV_RESULT0) + i, e)
+                        .expect("reads")
+                })
+                .collect();
+            assert_eq!(got, reference.cells, "row {i}");
+        }
+    }
+
+    #[test]
+    fn gemm_exec_pairs_with_its_priced_workload() {
+        let exec = GemmExec::standard();
+        assert_eq!(exec.exec_name(), Workload::name(&exec.workload()));
+        assert_eq!(exec.workload().m, exec.m as u64);
+    }
+
+    #[test]
+    fn oversized_gemm_exec_is_rejected() {
+        let mut exec = GemmExec::standard();
+        exec.m = 9;
+        assert!(exec.job().is_err());
+        let mut exec = GemmExec::standard();
+        exec.k = 65;
+        assert!(exec.job().is_err());
+        let mut exec = GemmExec::standard();
+        exec.n = 0;
+        assert!(exec.job().is_err());
     }
 }

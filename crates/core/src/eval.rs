@@ -26,7 +26,10 @@
 //! crate's engine builds on exactly these pieces, caching compressed
 //! [`crate::trace::TraceSummary`] recordings instead of traces.
 
+use crate::chip::SideChannel;
+use crate::hct::HctConfig;
 use crate::trace::{CostReport, Trace, TraceCollector, TraceSink};
+use serde::{Deserialize, Serialize};
 
 /// A workload scenario: anything that can emit itself as an op stream.
 ///
@@ -122,6 +125,136 @@ pub trait ArchModel: Send + Sync {
         trace.emit_to(&mut *acc);
         acc.finish()
     }
+}
+
+/// A readback location inside a finished job: which pipeline register to
+/// read, how many elements, and whether the stored field decodes as
+/// two's complement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Readback {
+    /// Output name (`"ciphertext"`, `"row-2"`, `"pixel-0x1"`).
+    pub label: String,
+    /// Pipeline holding the output register.
+    pub pipe: u16,
+    /// The output vector register.
+    pub vr: u8,
+    /// Leading elements to read.
+    pub elements: usize,
+    /// Decode elements as signed two's complement.
+    pub signed: bool,
+}
+
+/// One named output vector read back from an executed job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecOutput {
+    /// Output name, matching the job's [`Readback::label`].
+    pub label: String,
+    /// The output cells, in element order.
+    pub cells: Vec<i64>,
+}
+
+/// A functionally executable work item: an *encoded* `darth_isa`
+/// instruction stream plus everything a machine needs to run it — the
+/// tile geometry, the host-staged bulk data the program references by
+/// handle, and the registers to read outputs from afterwards.
+///
+/// Jobs carry encoded bytes rather than decoded instructions on purpose:
+/// every execution exercises the fixed-width binary decode path, so the
+/// encode layer is under differential test too.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecJob {
+    /// Work item name (matches the paired priced workload where one
+    /// exists).
+    pub name: String,
+    /// Functional tile geometry the program was compiled for.
+    pub tile: HctConfig,
+    /// The encoded instruction stream ([`darth_isa::encode`] records).
+    pub program: Vec<u8>,
+    /// Host-staged matrices and vectors referenced by handle.
+    pub data: SideChannel,
+    /// Output locations to read after the program halts.
+    pub readbacks: Vec<Readback>,
+}
+
+impl ExecJob {
+    /// Decodes the job's instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns ISA decode errors for malformed records.
+    pub fn decoded_program(&self) -> crate::Result<darth_isa::instruction::Program> {
+        darth_isa::encode::decode_program(&self.program).map_err(crate::Error::Isa)
+    }
+
+    /// Number of encoded instruction records.
+    pub fn instruction_count(&self) -> usize {
+        self.program.len() / darth_isa::encode::RECORD_SIZE
+    }
+}
+
+/// The result of executing one [`ExecJob`]: its output cells plus basic
+/// run statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecRun {
+    /// The job's outputs, in readback order.
+    pub outputs: Vec<ExecOutput>,
+    /// Instructions executed (including the halting instruction).
+    pub instructions: u64,
+    /// Analog instructions among them.
+    pub analog_instructions: u64,
+}
+
+/// The functional side of a workload: anything that can lower one work
+/// item to an [`ExecJob`] and state its golden (software-reference)
+/// outputs.
+///
+/// This is the execution counterpart of [`Workload`]: a scenario that
+/// implements both can be *priced* (op-stream accumulators) and
+/// *executed* (bit-accurate simulation) from the same registry entry,
+/// which is exactly what the `darth_sim` differential harness does.
+pub trait Executable: Send + Sync {
+    /// Stable identifier, unique within a differential registry.
+    fn exec_name(&self) -> String;
+
+    /// Lowers the work item to an encoded program + data + readbacks.
+    ///
+    /// # Errors
+    ///
+    /// Returns mapping errors when the item does not fit the tile.
+    fn job(&self) -> crate::Result<ExecJob>;
+
+    /// The golden software-reference outputs, in the same order and
+    /// shape as the job's readbacks.
+    ///
+    /// # Errors
+    ///
+    /// Returns reference-model errors.
+    fn golden(&self) -> crate::Result<Vec<ExecOutput>>;
+}
+
+/// An execution backend: the functional counterpart of [`ArchModel`].
+///
+/// Where an [`ArchModel`] folds an op stream into latency/energy, an
+/// `Executor` actually *runs* an encoded instruction stream over
+/// bit-accurate machine state and returns the computed cells. The
+/// `darth_sim` crate provides the reference implementation
+/// (`SimExecutor`); the differential harness compares any executor's
+/// outputs against [`Executable::golden`] cell by cell.
+pub trait Executor: Send + Sync {
+    /// Stable identifier (`"darth-sim"`).
+    fn name(&self) -> String;
+
+    /// Human-readable label. Defaults to [`Executor::name`].
+    fn label(&self) -> String {
+        self.name()
+    }
+
+    /// Executes one job to completion and reads its outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode or machine execution errors.
+    fn execute(&self, job: &ExecJob) -> crate::Result<ExecRun>;
 }
 
 /// Fans one emitted op stream into many cost accumulators at once, so a
@@ -263,6 +396,68 @@ mod tests {
         OneMove.emit(&mut *acc);
         let streamed = acc.finish();
         assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    fn exec_job_round_trips_through_the_encode_layer() {
+        use darth_isa::instruction::{Instruction, PipelineId, Vr};
+        let program: darth_isa::instruction::Program = [
+            Instruction::WriteImm {
+                pipe: PipelineId(0),
+                vr: Vr(0),
+                element: 0,
+                value: 7,
+            },
+            Instruction::Halt,
+        ]
+        .into_iter()
+        .collect();
+        let job = ExecJob {
+            name: "tiny".into(),
+            tile: HctConfig::small_test(),
+            program: darth_isa::encode::encode_program(&program),
+            data: SideChannel::new(),
+            readbacks: vec![Readback {
+                label: "out".into(),
+                pipe: 0,
+                vr: 0,
+                elements: 1,
+                signed: false,
+            }],
+        };
+        assert_eq!(job.instruction_count(), 2);
+        assert_eq!(job.decoded_program().expect("decodes"), program);
+    }
+
+    #[test]
+    fn exec_job_rejects_malformed_records() {
+        let job = ExecJob {
+            name: "bad".into(),
+            tile: HctConfig::small_test(),
+            program: vec![0xFF; darth_isa::encode::RECORD_SIZE],
+            data: SideChannel::new(),
+            readbacks: vec![],
+        };
+        assert!(job.decoded_program().is_err());
+    }
+
+    #[test]
+    fn executor_trait_is_object_safe() {
+        struct NullExecutor;
+        impl Executor for NullExecutor {
+            fn name(&self) -> String {
+                "null".into()
+            }
+            fn execute(&self, _job: &ExecJob) -> crate::Result<ExecRun> {
+                Ok(ExecRun {
+                    outputs: vec![],
+                    instructions: 0,
+                    analog_instructions: 0,
+                })
+            }
+        }
+        let e: Box<dyn Executor> = Box::new(NullExecutor);
+        assert_eq!(e.label(), "null");
     }
 
     #[test]

@@ -45,8 +45,12 @@
 //! * [`eval`] — the open evaluation contract: the [`eval::Workload`]
 //!   (op-stream emitter) and [`eval::ArchModel`] (accumulator factory)
 //!   traits that the `darth_eval` engine crosses into a workload ×
-//!   architecture matrix, and [`eval::Fanout`] to price one emission on
-//!   many architectures in a single pass.
+//!   architecture matrix, [`eval::Fanout`] to price one emission on
+//!   many architectures in a single pass, and the functional-execution
+//!   side of the contract — [`eval::Executable`] (lowers a work item to
+//!   an encoded-ISA [`eval::ExecJob`]) and [`eval::Executor`] (runs the
+//!   job over bit-accurate machine state) — that the `darth_sim`
+//!   differential harness checks against golden references.
 //!
 //! # Example: hybrid MVM through the runtime
 //!
@@ -80,7 +84,10 @@ pub mod vacore;
 
 pub use chip::DarthPumChip;
 pub use config::DarthConfig;
-pub use eval::{ArchModel, CostAccumulator, Workload};
+pub use eval::{
+    ArchModel, CostAccumulator, ExecJob, ExecOutput, ExecRun, Executable, Executor, Readback,
+    Workload,
+};
 pub use hct::HybridComputeTile;
 pub use params::{ChipParams, HctParams};
 pub use runtime::Runtime;

@@ -80,6 +80,34 @@ impl PipelineConfig {
     }
 }
 
+/// Encodes a signed value as the `depth`-bit two's-complement field a
+/// pipeline stores — the host-side inverse of
+/// [`Pipeline::read_value_signed`], used when staging signed operands
+/// through `WriteImm` instructions.
+///
+/// # Errors
+///
+/// Returns [`Error::ValueTooWide`] when `value` is outside the signed
+/// range of `depth` bits, and [`Error::InvalidConfig`] for a depth
+/// outside `1..=64`.
+pub fn twos_complement_field(value: i64, depth: usize) -> Result<u64> {
+    if depth == 0 || depth > 64 {
+        return Err(Error::InvalidConfig("depth must be in 1..=64"));
+    }
+    if depth == 64 {
+        return Ok(value as u64);
+    }
+    let min = -(1i64 << (depth - 1));
+    let max = (1i64 << (depth - 1)) - 1;
+    if value < min || value > max {
+        return Err(Error::ValueTooWide {
+            value: value.unsigned_abs(),
+            depth,
+        });
+    }
+    Ok((value as u64) & ((1u64 << depth) - 1))
+}
+
 // Scratch column roles, offset from `vr_count`.
 const SC_CARRY: usize = 0;
 const SC_X1: usize = 1;
@@ -753,6 +781,39 @@ mod tests {
             family: LogicFamily::Oscar,
         })
         .expect("valid config")
+    }
+
+    #[test]
+    fn twos_complement_field_round_trips_through_signed_read() {
+        let mut p = pipe(8);
+        for v in [-128i64, -1, 0, 1, 127] {
+            let field = twos_complement_field(v, 8).expect("fits");
+            p.write_value(0, 0, field).expect("writes");
+            assert_eq!(p.read_value_signed(0, 0).expect("reads"), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn twos_complement_field_rejects_out_of_range() {
+        assert!(matches!(
+            twos_complement_field(128, 8),
+            Err(Error::ValueTooWide { .. })
+        ));
+        assert!(matches!(
+            twos_complement_field(-129, 8),
+            Err(Error::ValueTooWide { .. })
+        ));
+        assert!(matches!(
+            twos_complement_field(0, 0),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            twos_complement_field(0, 65),
+            Err(Error::InvalidConfig(_))
+        ));
+        // Full width passes any value through unchanged.
+        assert_eq!(twos_complement_field(-1, 64).expect("fits"), u64::MAX);
+        assert_eq!(twos_complement_field(i64::MIN, 64).expect("fits"), 1 << 63);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Eval-stack ↔ simulator integration: the differential registry's
+//! priced twins flow through the *engine* (registered workloads ×
+//! models, summary-cached, replayed into accumulators) while the exact
+//! same registry rows execute functionally on the simulator — one
+//! scenario list, two backends, both checked.
+
+use darth_analog::adc::AdcKind;
+use darth_eval::Engine;
+use darth_pum::model::DarthModel;
+use darth_sim::DiffHarness;
+
+#[test]
+fn differential_twins_price_identically_through_the_engine() {
+    let model = DarthModel::paper(AdcKind::Sar);
+    let harness = DiffHarness::standard();
+
+    // Register every priced twin on a fresh engine next to the paper
+    // DARTH model.
+    let mut engine = Engine::new();
+    let mut twin_names = std::collections::BTreeSet::new();
+    for case in harness.cases() {
+        let twin = case.priced.as_ref().expect("standard cases are paired");
+        // The AES twins repeat across FIPS vectors; the engine needs each
+        // workload once.
+        if twin_names.insert(twin.name()) {
+            engine.register_workload(dyn_clone_twin(&twin.name()));
+        }
+    }
+    engine.register_model(Box::new(DarthModel::paper(AdcKind::Sar)));
+    let matrix = engine.run();
+
+    // Execute the registry on the simulator, pricing the twins directly.
+    let report = harness.verify_priced(&model).expect("harness runs");
+    assert!(report.all_exact(), "{}", report.summary());
+
+    // Engine-cached pricing and the harness's direct accumulator pricing
+    // must agree cell-for-cell on every twin.
+    for case in &report.cases {
+        let direct = case.cost.as_ref().expect("harness priced the twin");
+        let twin = direct.workload.clone();
+        let engine_cell = matrix
+            .cell(&twin, "darth-sar")
+            .unwrap_or_else(|| panic!("engine lost twin {twin}"));
+        assert_eq!(engine_cell.latency_s.to_bits(), direct.latency_s.to_bits());
+        assert_eq!(
+            engine_cell.energy_per_item_j.to_bits(),
+            direct.energy_per_item_j.to_bits()
+        );
+    }
+    assert!(twin_names.len() >= 5, "twins: {twin_names:?}");
+}
+
+/// Rebuilds a boxed twin workload from its registry name (the standard
+/// cases only use AES variants and GEMM shapes).
+fn dyn_clone_twin(name: &str) -> Box<dyn darth_pum::eval::Workload> {
+    use darth_apps::aes::workload::{AesVariant, AesWorkload};
+    use darth_apps::cnn::program::ConvExec;
+    use darth_apps::gemm::GemmExec;
+    match name {
+        "aes-128" => Box::new(AesWorkload {
+            variant: AesVariant::Aes128,
+        }),
+        "aes-192" => Box::new(AesWorkload {
+            variant: AesVariant::Aes192,
+        }),
+        "aes-256" => Box::new(AesWorkload {
+            variant: AesVariant::Aes256,
+        }),
+        n if n == darth_pum::eval::Workload::name(&GemmExec::standard().workload()) => {
+            Box::new(GemmExec::standard().workload())
+        }
+        n if n == darth_pum::eval::Workload::name(&ConvExec::standard().workload()) => {
+            Box::new(ConvExec::standard().workload())
+        }
+        other => panic!("unknown twin {other}"),
+    }
+}

@@ -43,6 +43,13 @@ mod opcode {
     pub const HALT: u8 = 0x1B;
 }
 
+/// Whether `op` is an assigned opcode byte. Decoding a record whose
+/// first byte fails this check returns [`Error::UnknownOpcode`]; fuzzers
+/// and the property suite use it to partition the byte space.
+pub fn is_valid_opcode(op: u8) -> bool {
+    op <= opcode::HALT
+}
+
 /// Encodes one instruction into a 16-byte record.
 pub fn encode(inst: &Instruction) -> [u8; RECORD_SIZE] {
     let mut record = [0u8; RECORD_SIZE];
@@ -754,6 +761,32 @@ mod tests {
         let mut rec = [0u8; RECORD_SIZE];
         rec[0] = 0xFF;
         assert_eq!(decode(&rec), Err(Error::UnknownOpcode(0xFF)));
+    }
+
+    #[test]
+    fn opcode_validity_partitions_the_byte_space() {
+        for op in 0u8..=255 {
+            let mut rec = [0u8; RECORD_SIZE];
+            rec[0] = op;
+            let decoded = decode(&rec);
+            if is_valid_opcode(op) {
+                // Valid opcodes never report UnknownOpcode (payload
+                // errors like a bad Bool code are still possible).
+                assert!(
+                    !matches!(decoded, Err(Error::UnknownOpcode(_))),
+                    "opcode {op:#x}"
+                );
+            } else {
+                assert_eq!(decoded, Err(Error::UnknownOpcode(op)));
+            }
+        }
+    }
+
+    #[test]
+    fn every_exemplar_opcode_is_valid() {
+        for inst in exemplars() {
+            assert!(is_valid_opcode(encode(&inst)[0]), "{}", inst.mnemonic());
+        }
     }
 
     #[test]

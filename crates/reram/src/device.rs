@@ -316,6 +316,43 @@ mod tests {
     }
 
     #[test]
+    fn extreme_levels_program_to_the_window_endpoints_when_ideal() {
+        // The lowest and highest conductance levels are the window edges
+        // exactly under zero-variance parameters — the anchor the noise
+        // model perturbs around.
+        for bits in [1u8, 2, 4] {
+            let p = DeviceParams::ideal(bits).expect("valid");
+            let mut r = rng();
+            let mut cell = Cell::erased(&p);
+            cell.program(0, &p, &mut r).expect("programs");
+            assert_eq!(cell.conductance().to_bits(), p.g_off.to_bits());
+            cell.program(p.levels() - 1, &p, &mut r).expect("programs");
+            assert_eq!(cell.conductance().to_bits(), p.g_on.to_bits());
+            assert!(matches!(
+                cell.program(p.levels(), &p, &mut r),
+                Err(Error::LevelOutOfRange { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn noisy_programming_is_deterministic_under_a_fixed_seed() {
+        let p = DeviceParams::mlc(2).expect("valid");
+        let run = |seed: u64| -> Vec<u64> {
+            let mut r = NoiseRng::seed_from(seed);
+            let mut cell = Cell::erased(&p);
+            (0..p.levels())
+                .map(|level| {
+                    cell.program(level, &p, &mut r).expect("programs");
+                    cell.conductance().to_bits()
+                })
+                .collect()
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+
+    #[test]
     fn slc_has_two_levels() {
         let p = DeviceParams::slc();
         assert_eq!(p.levels(), 2);

@@ -266,6 +266,97 @@ mod tests {
     }
 
     #[test]
+    fn zero_variance_draws_consume_no_randomness() {
+        // Disabling a noise source by zeroing its sigma must not perturb
+        // any other consumer's stream: the degenerate draws return the
+        // mean without advancing the generator.
+        let mut with_draws = NoiseRng::seed_from(21);
+        let mut without = NoiseRng::seed_from(21);
+        for _ in 0..8 {
+            assert_eq!(with_draws.gaussian(2.5, 0.0), 2.5);
+            assert_eq!(with_draws.gaussian(-1.0, -3.0), -1.0);
+            assert_eq!(with_draws.lognormal(0.0, 0.0), 1.0);
+        }
+        for _ in 0..16 {
+            assert_eq!(with_draws.next_u64(), without.next_u64());
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_the_cached_gaussian_spare() {
+        // Snapshotting array state clones embedded noise sources; the
+        // copy must continue bit-identically *including* the cached
+        // Box–Muller spare, or a restored simulation would diverge on
+        // its first post-snapshot Gaussian draw.
+        let mut rng = NoiseRng::seed_from(123);
+        rng.gaussian(0.0, 1.0); // populate the cached spare
+        let mut restored = rng.clone();
+        for _ in 0..32 {
+            assert_eq!(
+                rng.gaussian(1.0, 2.0).to_bits(),
+                restored.gaussian(1.0, 2.0).to_bits()
+            );
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn extreme_sigmas_stay_finite_and_positive_where_required() {
+        let mut rng = NoiseRng::seed_from(31);
+        for _ in 0..200 {
+            let g = rng.gaussian(0.0, 1e12);
+            assert!(g.is_finite(), "gaussian produced {g}");
+            let l = rng.lognormal(0.0, 50.0);
+            // A huge-sigma lognormal may overflow to +inf but can never
+            // be negative, zero, or NaN — conductance factors stay sane.
+            assert!(l > 0.0 && !l.is_nan(), "lognormal produced {l}");
+        }
+    }
+
+    #[test]
+    fn uniform_range_extreme_bounds_stay_in_range() {
+        let mut rng = NoiseRng::seed_from(41);
+        for _ in 0..1000 {
+            let tiny = rng.uniform_range(f64::MIN_POSITIVE, 2.0 * f64::MIN_POSITIVE);
+            assert!((f64::MIN_POSITIVE..2.0 * f64::MIN_POSITIVE).contains(&tiny));
+            let huge = rng.uniform_range(1e300, 2e300);
+            assert!((1e300..2e300).contains(&huge));
+        }
+    }
+
+    #[test]
+    fn nan_probability_is_a_deterministic_no() {
+        let mut rng = NoiseRng::seed_from(51);
+        assert!(!rng.chance(f64::NAN));
+    }
+
+    #[test]
+    fn index_of_one_is_always_zero() {
+        let mut rng = NoiseRng::seed_from(61);
+        for _ in 0..100 {
+            assert_eq!(rng.index(1), 0);
+        }
+    }
+
+    #[test]
+    fn fork_trees_reproduce_under_a_fixed_seed() {
+        // Component-per-stream splitting must be reproducible: the same
+        // parent seed yields the same whole tree of child streams.
+        let mut parent_a = NoiseRng::seed_from(0xDA27);
+        let mut parent_b = NoiseRng::seed_from(0xDA27);
+        for _ in 0..4 {
+            let mut child_a = parent_a.fork();
+            let mut grandchild_a = child_a.fork();
+            let mut child_b = parent_b.fork();
+            let mut grandchild_b = child_b.fork();
+            for _ in 0..8 {
+                assert_eq!(child_a.next_u64(), child_b.next_u64());
+                assert_eq!(grandchild_a.next_u64(), grandchild_b.next_u64());
+            }
+        }
+    }
+
+    #[test]
     fn index_within_bounds_and_covers_range() {
         let mut rng = NoiseRng::seed_from(13);
         let mut seen = [false; 7];

@@ -1,0 +1,350 @@
+//! The golden-model differential harness.
+//!
+//! Real PIM evaluation stacks pair cost models with functional
+//! simulation and host-reference cross-checks; this module is that
+//! cross-check for the whole repro. A [`DiffCase`] bundles an
+//! [`Executable`] (the encoded-ISA job plus its golden outputs) with the
+//! *priced twin* — the [`Workload`] the analytical models already price —
+//! so one registry entry is simultaneously executed on an [`Executor`]
+//! and priced on an [`ArchModel`]. [`DiffHarness::verify`] compares
+//! executor outputs against the golden reference **cell by cell** and
+//! reports every mismatch; [`DiffHarness::verify_priced`] additionally
+//! prices each twin, proving the two backends stay wired to the same
+//! scenarios.
+//!
+//! [`standard_cases`] is the registry the tier-1 gate runs: AES-128/192/
+//! 256 on FIPS-197 vectors (Appendix B and C), a deterministic integer
+//! GEMM, and a convolution layer against the im2col `conv2d` reference.
+
+use crate::machine::SimExecutor;
+use darth_apps::aes::golden::KeySize;
+use darth_apps::aes::program::AesExec;
+use darth_apps::cnn::program::ConvExec;
+use darth_apps::gemm::GemmExec;
+use darth_pum::eval::{ArchModel, Executable, Executor, Workload};
+use darth_pum::trace::CostReport;
+
+/// One differential registry entry: the executable job and, where one
+/// exists, the priced twin scenario.
+pub struct DiffCase {
+    /// The functionally executable side.
+    pub executable: Box<dyn Executable>,
+    /// The analytically priced side (op-stream emitter), if paired.
+    pub priced: Option<Box<dyn Workload>>,
+}
+
+impl DiffCase {
+    /// A case with both sides.
+    pub fn paired(executable: impl Executable + 'static, priced: impl Workload + 'static) -> Self {
+        DiffCase {
+            executable: Box::new(executable),
+            priced: Some(Box::new(priced)),
+        }
+    }
+
+    /// An execution-only case.
+    pub fn exec_only(executable: impl Executable + 'static) -> Self {
+        DiffCase {
+            executable: Box::new(executable),
+            priced: None,
+        }
+    }
+}
+
+/// One cell that differed between the executor and the golden model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellMismatch {
+    /// The output the cell belongs to.
+    pub output: String,
+    /// Element index within the output.
+    pub index: usize,
+    /// Golden reference value.
+    pub expected: i64,
+    /// Executor value.
+    pub got: i64,
+}
+
+/// The verdict for one case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseReport {
+    /// Case name.
+    pub name: String,
+    /// Total cells compared.
+    pub cells: usize,
+    /// Every differing cell (empty = bit-exact).
+    pub mismatches: Vec<CellMismatch>,
+    /// Instructions the executor ran.
+    pub instructions: u64,
+    /// Analog instructions among them.
+    pub analog_instructions: u64,
+    /// The priced twin's cost report, when the case is paired and a
+    /// model was supplied.
+    pub cost: Option<CostReport>,
+}
+
+impl CaseReport {
+    /// Whether every cell matched.
+    pub fn is_exact(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// The harness verdict across all cases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Executor label the cases ran on.
+    pub executor: String,
+    /// Per-case verdicts, in registry order.
+    pub cases: Vec<CaseReport>,
+}
+
+impl DiffReport {
+    /// Whether every case matched its golden model bit-exactly.
+    pub fn all_exact(&self) -> bool {
+        self.cases.iter().all(CaseReport::is_exact)
+    }
+
+    /// Total cells compared across all cases.
+    pub fn total_cells(&self) -> usize {
+        self.cases.iter().map(|c| c.cells).sum()
+    }
+
+    /// Total mismatching cells across all cases.
+    pub fn total_mismatches(&self) -> usize {
+        self.cases.iter().map(|c| c.mismatches.len()).sum()
+    }
+
+    /// A one-line-per-case summary for logs and panic messages.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for case in &self.cases {
+            let verdict = if case.is_exact() {
+                "exact".to_owned()
+            } else {
+                format!("{} MISMATCHED CELLS", case.mismatches.len())
+            };
+            out.push_str(&format!(
+                "{}: {} cells, {} ({} instructions, {} analog)\n",
+                case.name, case.cells, verdict, case.instructions, case.analog_instructions
+            ));
+        }
+        out
+    }
+}
+
+/// The differential harness: a registry of cases plus the executor to
+/// run them on.
+pub struct DiffHarness {
+    cases: Vec<DiffCase>,
+    executor: Box<dyn Executor>,
+}
+
+impl DiffHarness {
+    /// An empty harness over the reference simulator.
+    pub fn new() -> Self {
+        DiffHarness {
+            cases: Vec::new(),
+            executor: Box::new(SimExecutor),
+        }
+    }
+
+    /// The standard registry ([`standard_cases`]) over the reference
+    /// simulator.
+    pub fn standard() -> Self {
+        DiffHarness {
+            cases: standard_cases(),
+            executor: Box::new(SimExecutor),
+        }
+    }
+
+    /// Replaces the executor backend.
+    #[must_use]
+    pub fn with_executor(mut self, executor: impl Executor + 'static) -> Self {
+        self.executor = Box::new(executor);
+        self
+    }
+
+    /// Adds a case (builder style).
+    #[must_use]
+    pub fn with_case(mut self, case: DiffCase) -> Self {
+        self.cases.push(case);
+        self
+    }
+
+    /// Registered cases.
+    pub fn cases(&self) -> &[DiffCase] {
+        &self.cases
+    }
+
+    /// Executes every case and compares outputs cell by cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job-compilation or execution error; comparison
+    /// differences are *not* errors — they land in the report.
+    pub fn verify(&self) -> darth_pum::Result<DiffReport> {
+        self.run(None)
+    }
+
+    /// Executes every case and prices each paired twin on `model`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DiffHarness::verify`].
+    pub fn verify_priced(&self, model: &dyn ArchModel) -> darth_pum::Result<DiffReport> {
+        self.run(Some(model))
+    }
+
+    fn run(&self, model: Option<&dyn ArchModel>) -> darth_pum::Result<DiffReport> {
+        let mut cases = Vec::with_capacity(self.cases.len());
+        for case in &self.cases {
+            let name = case.executable.exec_name();
+            let job = case.executable.job()?;
+            let golden = case.executable.golden()?;
+            let run = self.executor.execute(&job)?;
+            let mut mismatches = Vec::new();
+            let mut cells = 0usize;
+            for (reference, got) in golden.iter().zip(&run.outputs) {
+                // Shape differences surface as mismatches at the missing
+                // indices rather than silently truncating the check.
+                let len = reference.cells.len().max(got.cells.len());
+                cells += len;
+                for i in 0..len {
+                    let expected = reference.cells.get(i).copied();
+                    let actual = got.cells.get(i).copied();
+                    if expected != actual {
+                        mismatches.push(CellMismatch {
+                            output: reference.label.clone(),
+                            index: i,
+                            expected: expected.unwrap_or(i64::MIN),
+                            got: actual.unwrap_or(i64::MIN),
+                        });
+                    }
+                }
+            }
+            if golden.len() != run.outputs.len() {
+                mismatches.push(CellMismatch {
+                    output: format!(
+                        "output-count (golden {}, executor {})",
+                        golden.len(),
+                        run.outputs.len()
+                    ),
+                    index: 0,
+                    expected: golden.len() as i64,
+                    got: run.outputs.len() as i64,
+                });
+            }
+            let cost = match (model, &case.priced) {
+                (Some(m), Some(w)) => {
+                    // The priced twin streams through the model's
+                    // accumulator while the same scenario just executed
+                    // functionally — both backends from one registry row.
+                    let mut acc = m.accumulator();
+                    w.emit(&mut *acc);
+                    Some(acc.finish())
+                }
+                _ => None,
+            };
+            cases.push(CaseReport {
+                name,
+                cells,
+                mismatches,
+                instructions: run.instructions,
+                analog_instructions: run.analog_instructions,
+                cost,
+            });
+        }
+        Ok(DiffReport {
+            executor: self.executor.name(),
+            cases,
+        })
+    }
+}
+
+impl Default for DiffHarness {
+    fn default() -> Self {
+        DiffHarness::new()
+    }
+}
+
+/// The standard differential registry: AES-128 (FIPS-197 Appendix B),
+/// AES-128/192/256 (Appendix C), the standard integer GEMM, and the
+/// standard convolution layer — each paired with its priced twin.
+pub fn standard_cases() -> Vec<DiffCase> {
+    use darth_apps::aes::workload::{AesVariant, AesWorkload};
+    let aes_twin = |variant| AesWorkload { variant };
+    let gemm = GemmExec::standard();
+    let conv = ConvExec::standard();
+    vec![
+        DiffCase::paired(AesExec::fips197_appendix_b(), aes_twin(AesVariant::Aes128)),
+        DiffCase::paired(
+            AesExec::fips197_appendix_c(KeySize::Aes128),
+            aes_twin(AesVariant::Aes128),
+        ),
+        DiffCase::paired(
+            AesExec::fips197_appendix_c(KeySize::Aes192),
+            aes_twin(AesVariant::Aes192),
+        ),
+        DiffCase::paired(
+            AesExec::fips197_appendix_c(KeySize::Aes256),
+            aes_twin(AesVariant::Aes256),
+        ),
+        DiffCase::paired(gemm, gemm.workload()),
+        DiffCase::paired(conv, conv.workload()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darth_pum::eval::{ExecJob, ExecOutput};
+
+    #[test]
+    fn standard_registry_covers_the_acceptance_surface() {
+        let names: Vec<String> = standard_cases()
+            .iter()
+            .map(|c| c.executable.exec_name())
+            .collect();
+        assert!(names.iter().any(|n| n.contains("aes-128")));
+        assert!(names.iter().any(|n| n.contains("aes-192")));
+        assert!(names.iter().any(|n| n.contains("aes-256")));
+        assert!(names.iter().any(|n| n.starts_with("gemm-")));
+        assert!(names.iter().any(|n| n.starts_with("conv-")));
+        assert!(standard_cases().iter().all(|c| c.priced.is_some()));
+    }
+
+    /// An executable whose golden deliberately disagrees with the job.
+    struct Corrupt;
+
+    impl Executable for Corrupt {
+        fn exec_name(&self) -> String {
+            "corrupt".into()
+        }
+        fn job(&self) -> darth_pum::Result<ExecJob> {
+            GemmExec::standard().job()
+        }
+        fn golden(&self) -> darth_pum::Result<Vec<ExecOutput>> {
+            let mut golden = GemmExec::standard().golden()?;
+            golden[0].cells[2] += 1;
+            golden[1].cells.pop();
+            Ok(golden)
+        }
+    }
+
+    #[test]
+    fn mismatches_are_reported_cell_by_cell() {
+        let report = DiffHarness::new()
+            .with_case(DiffCase::exec_only(Corrupt))
+            .verify()
+            .expect("runs");
+        assert!(!report.all_exact());
+        let case = &report.cases[0];
+        // One corrupted value plus one missing trailing cell.
+        assert_eq!(case.mismatches.len(), 2);
+        assert_eq!(case.mismatches[0].output, "row-0");
+        assert_eq!(case.mismatches[0].index, 2);
+        assert_eq!(case.mismatches[0].expected, case.mismatches[0].got + 1);
+        assert!(report.summary().contains("MISMATCHED"));
+        assert_eq!(report.total_mismatches(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! `darth_sim`: the functional DARTH-PUM ISA simulator and its
+//! golden-model differential harness.
+//!
+//! The evaluation stack built in earlier layers *prices* DARTH-PUM
+//! programs analytically (`darth_pum::eval::ArchModel` accumulators, the
+//! `darth_eval` engine) but never executes them. This crate is the
+//! second backend: it **runs** encoded [`darth_isa`] instruction streams
+//! over bit-accurate machine state — decode, IIU-assisted dispatch,
+//! ACE/DCE array ops, shift/transpose/arbiter data movement — and proves
+//! the results correct against golden software references.
+//!
+//! * [`machine::SimMachine`] — the simulator: encoded bytes in, output
+//!   cells out, with per-mnemonic execution histograms and energy/cycle
+//!   accounting. [`machine::SimExecutor`] exposes it as the reference
+//!   [`darth_pum::eval::Executor`] backend.
+//! * [`diff`] — the differential harness: a registry of
+//!   [`darth_pum::eval::Executable`] jobs (each paired with the priced
+//!   [`darth_pum::eval::Workload`] twin the analytical models already
+//!   consume), compared **cell by cell** against golden references. The
+//!   standard registry covers AES-128/192/256 on FIPS-197 vectors, a
+//!   deterministic integer GEMM, and a convolution layer.
+//!
+//! # Example: FIPS-197 through the simulator
+//!
+//! ```
+//! use darth_apps::aes::program::AesExec;
+//! use darth_pum::eval::{Executable, Executor};
+//! use darth_sim::SimExecutor;
+//!
+//! # fn main() -> Result<(), darth_pum::Error> {
+//! // The Appendix B worked example, compiled to one ISA stream.
+//! let case = AesExec::fips197_appendix_b();
+//! let run = SimExecutor.execute(&case.job()?)?;
+//! assert_eq!(run.outputs, case.golden()?);
+//! assert_eq!(
+//!     run.outputs[0].cells[..4],
+//!     [0x39, 0x25, 0x84, 0x1d]
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod diff;
+pub mod machine;
+
+pub use diff::{standard_cases, DiffCase, DiffHarness, DiffReport};
+pub use machine::{SimExecutor, SimMachine, SimStats};

@@ -1,0 +1,284 @@
+//! The functional simulator: encoded ISA streams in, output cells out.
+//!
+//! [`SimMachine`] owns one [`DarthPumChip`] and drives the full §4.2
+//! execution flow from *encoded bytes*: every run decodes the 16-byte
+//! records ([`darth_isa::encode`]), dispatches digital ops to the DCE
+//! pipelines, routes analog ops through vACores, the shift units and the
+//! A/D arbiter, and lets the IIU replay each MVM's reduction — all over
+//! bit-accurate memory state. On top of the chip's own accounting the
+//! machine keeps a per-mnemonic histogram of executed instructions, so a
+//! differential run reports *what* it executed, not just how much.
+
+use darth_isa::instruction::Program;
+use darth_pum::chip::{DarthPumChip, RunStats, SideChannel};
+use darth_pum::eval::{ExecJob, ExecOutput, ExecRun, Executor, Readback};
+use darth_pum::hct::HctConfig;
+use darth_pum::params::ChipParams;
+use darth_reram::{Cycles, PicoJoules};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Statistics of **one** simulator run: every field covers exactly that
+/// run, so `histogram` values sum to `run.instructions` and
+/// `busy_cycles`/`energy` are the run's own deltas even when several
+/// programs execute on the same machine. Lifetime aggregates stay
+/// available through [`SimMachine::histogram`] and the chip's meters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Chip-level run statistics (instructions, analog share, issue).
+    pub run: RunStats,
+    /// Instructions this run executed, by mnemonic.
+    pub histogram: BTreeMap<String, u64>,
+    /// Tile busy cycles this run added.
+    pub busy_cycles: Cycles,
+    /// Tile energy this run added.
+    pub energy: PicoJoules,
+}
+
+/// A functional DARTH-PUM machine executing encoded instruction streams.
+#[derive(Debug)]
+pub struct SimMachine {
+    chip: DarthPumChip,
+    histogram: BTreeMap<String, u64>,
+}
+
+impl SimMachine {
+    /// Builds a machine around one functional tile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tile construction errors.
+    pub fn new(tile: HctConfig) -> darth_pum::Result<Self> {
+        Ok(SimMachine {
+            chip: DarthPumChip::new(ChipParams::default(), tile)?,
+            histogram: BTreeMap::new(),
+        })
+    }
+
+    /// The underlying chip (state inspection).
+    pub fn chip(&self) -> &DarthPumChip {
+        &self.chip
+    }
+
+    /// Mutable chip access (host staging between runs).
+    pub fn chip_mut(&mut self) -> &mut DarthPumChip {
+        &mut self.chip
+    }
+
+    /// Decodes and executes an encoded instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode errors for malformed records and the first
+    /// execution error (bad operands, arbiter conflicts, missing
+    /// side-channel data).
+    pub fn run_encoded(&mut self, bytes: &[u8], data: &SideChannel) -> darth_pum::Result<SimStats> {
+        let program = darth_isa::encode::decode_program(bytes).map_err(darth_pum::Error::Isa)?;
+        self.run(&program, data)
+    }
+
+    /// Executes a decoded program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first execution error.
+    pub fn run(&mut self, program: &Program, data: &SideChannel) -> darth_pum::Result<SimStats> {
+        let busy_before = self.chip.tile().busy_cycles();
+        let energy_before = self.chip.energy_meter().total();
+        let run = self.chip.execute(program, data)?;
+        // `execute` stops at the first Halt; count exactly the executed
+        // prefix into the mnemonic histogram.
+        let mut histogram = BTreeMap::new();
+        for inst in program.iter().take(run.instructions as usize) {
+            *histogram.entry(inst.mnemonic().to_owned()).or_insert(0) += 1;
+        }
+        for (mnemonic, count) in &histogram {
+            *self.histogram.entry(mnemonic.clone()).or_insert(0) += count;
+        }
+        Ok(SimStats {
+            run,
+            histogram,
+            busy_cycles: self.chip.tile().busy_cycles().saturating_sub(busy_before),
+            energy: self.chip.energy_meter().total() - energy_before,
+        })
+    }
+
+    /// Executed instructions by mnemonic, across all runs so far.
+    pub fn histogram(&self) -> &BTreeMap<String, u64> {
+        &self.histogram
+    }
+
+    /// Reads one output location from the finished machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns pipeline/register range errors.
+    pub fn read_output(&mut self, readback: &Readback) -> darth_pum::Result<ExecOutput> {
+        let pipe = self.chip.tile_mut().pipeline_mut(readback.pipe as usize)?;
+        let cells = (0..readback.elements)
+            .map(|e| {
+                if readback.signed {
+                    pipe.read_value_signed(readback.vr as usize, e)
+                } else {
+                    pipe.read_value(readback.vr as usize, e).map(|v| v as i64)
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(ExecOutput {
+            label: readback.label.clone(),
+            cells,
+        })
+    }
+}
+
+/// The reference [`Executor`]: one fresh [`SimMachine`] per job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimExecutor;
+
+impl Executor for SimExecutor {
+    fn name(&self) -> String {
+        "darth-sim".into()
+    }
+
+    fn label(&self) -> String {
+        "DARTH-PUM functional simulator".into()
+    }
+
+    fn execute(&self, job: &ExecJob) -> darth_pum::Result<ExecRun> {
+        let mut machine = SimMachine::new(job.tile.clone())?;
+        let stats = machine.run_encoded(&job.program, &job.data)?;
+        let outputs = job
+            .readbacks
+            .iter()
+            .map(|rb| machine.read_output(rb))
+            .collect::<darth_pum::Result<_>>()?;
+        Ok(ExecRun {
+            outputs,
+            instructions: stats.run.instructions,
+            analog_instructions: stats.run.analog_instructions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darth_isa::asm::assemble;
+    use darth_isa::encode::encode_program;
+
+    fn machine() -> SimMachine {
+        SimMachine::new(HctConfig::small_test()).expect("builds")
+    }
+
+    #[test]
+    fn runs_an_encoded_digital_program() {
+        let program = assemble(
+            "wimm p0 v0 0 25\n\
+             wimm p0 v1 0 17\n\
+             add p0 v2 v0 v1\n\
+             halt\n",
+        )
+        .expect("assembles");
+        let mut m = machine();
+        let stats = m
+            .run_encoded(&encode_program(&program), &SideChannel::new())
+            .expect("runs");
+        assert_eq!(stats.run.instructions, 4);
+        assert_eq!(stats.histogram.get("wimm"), Some(&2));
+        assert_eq!(stats.histogram.get("add"), Some(&1));
+        assert_eq!(stats.histogram.get("halt"), Some(&1));
+        assert!(stats.energy > PicoJoules::ZERO);
+        let out = m
+            .read_output(&Readback {
+                label: "sum".into(),
+                pipe: 0,
+                vr: 2,
+                elements: 1,
+                signed: false,
+            })
+            .expect("reads");
+        assert_eq!(out.cells, vec![42]);
+    }
+
+    #[test]
+    fn stats_are_per_run_while_the_machine_aggregates() {
+        let first =
+            assemble("wimm p0 v0 0 1\nwimm p0 v1 0 2\nadd p0 v2 v0 v1\nhalt\n").expect("assembles");
+        let second = assemble("xor p0 v3 v0 v1\nhalt\n").expect("assembles");
+        let mut m = machine();
+        let s1 = m
+            .run_encoded(&encode_program(&first), &SideChannel::new())
+            .expect("runs");
+        let s2 = m
+            .run_encoded(&encode_program(&second), &SideChannel::new())
+            .expect("runs");
+        // Each report covers exactly its own run…
+        assert_eq!(s2.run.instructions, 2);
+        assert_eq!(s2.histogram.values().sum::<u64>(), s2.run.instructions);
+        assert!(!s2.histogram.contains_key("wimm"));
+        assert!(s2.energy > PicoJoules::ZERO);
+        assert!(s1.energy > PicoJoules::ZERO);
+        // …while the machine keeps the lifetime aggregate.
+        assert_eq!(
+            m.histogram().values().sum::<u64>(),
+            s1.run.instructions + s2.run.instructions
+        );
+    }
+
+    #[test]
+    fn histogram_counts_only_the_executed_prefix() {
+        let program = assemble("nop\nhalt\nwimm p0 v0 0 9\n").expect("assembles");
+        let mut m = machine();
+        let stats = m
+            .run_encoded(&encode_program(&program), &SideChannel::new())
+            .expect("runs");
+        assert_eq!(stats.run.instructions, 2);
+        assert!(!stats.histogram.contains_key("wimm"));
+    }
+
+    #[test]
+    fn malformed_records_are_decode_errors() {
+        let mut m = machine();
+        let err = m
+            .run_encoded(&[0xEEu8; 16], &SideChannel::new())
+            .unwrap_err();
+        assert!(matches!(err, darth_pum::Error::Isa(_)));
+        // Trailing partial record is rejected too.
+        let err = m.run_encoded(&[0u8; 17], &SideChannel::new()).unwrap_err();
+        assert!(matches!(err, darth_pum::Error::Isa(_)));
+    }
+
+    #[test]
+    fn executor_runs_a_hybrid_job_end_to_end() {
+        let mut data = SideChannel::new();
+        let handle = data
+            .stage_matrix(vec![vec![5, 9], vec![8, 7]])
+            .expect("stages");
+        let program = assemble(&format!(
+            "valloc ac0 4 4 3 0\n\
+             progm ac0 {handle}\n\
+             wimm p0 v0 0 2\n\
+             wimm p0 v0 1 7\n\
+             mvm ac0 p0 v0 p1 v4 0\n\
+             halt\n"
+        ))
+        .expect("assembles");
+        let job = ExecJob {
+            name: "figure9".into(),
+            tile: HctConfig::small_test(),
+            program: encode_program(&program),
+            data,
+            readbacks: vec![Readback {
+                label: "result".into(),
+                pipe: 1,
+                vr: 4,
+                elements: 2,
+                signed: true,
+            }],
+        };
+        let run = SimExecutor.execute(&job).expect("executes");
+        assert_eq!(run.outputs[0].cells, vec![66, 67]);
+        assert_eq!(run.analog_instructions, 2);
+        assert_eq!(run.instructions, 6);
+    }
+}

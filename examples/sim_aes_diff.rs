@@ -1,0 +1,54 @@
+//! Run one AES-128 block through the functional ISA simulator and check
+//! it against the FIPS-197 Appendix B vector — the README's differential
+//! quickstart.
+//!
+//! ```text
+//! cargo run --example sim_aes_diff
+//! ```
+
+use darth_apps::aes::program::AesExec;
+use darth_pum::eval::{Executable, Executor};
+use darth_sim::{DiffHarness, SimExecutor};
+
+fn main() -> Result<(), darth_pum::Error> {
+    // One block: compile FIPS-197 Appendix B to an encoded ISA stream,
+    // execute it, compare against the golden AES implementation.
+    let case = AesExec::fips197_appendix_b();
+    let job = case.job()?;
+    println!(
+        "compiled {} to {} instructions ({} bytes)",
+        case.exec_name(),
+        job.instruction_count(),
+        job.program.len()
+    );
+    let run = SimExecutor.execute(&job)?;
+    let golden = case.golden()?;
+    println!(
+        "simulator:  {:02x?}",
+        run.outputs[0]
+            .cells
+            .iter()
+            .map(|&c| c as u8)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "FIPS-197:   {:02x?}",
+        golden[0].cells.iter().map(|&c| c as u8).collect::<Vec<_>>()
+    );
+    assert_eq!(run.outputs, golden, "ciphertext mismatch");
+    println!(
+        "bit-exact ({} instructions executed, {} analog)\n",
+        run.instructions, run.analog_instructions
+    );
+
+    // The whole standard registry, cell by cell.
+    let report = DiffHarness::standard().verify()?;
+    print!("{}", report.summary());
+    assert!(report.all_exact(), "differential mismatch");
+    println!(
+        "all {} cells across {} cases match their golden references",
+        report.total_cells(),
+        report.cases.len()
+    );
+    Ok(())
+}

@@ -11,6 +11,7 @@
 //! * [`darth_pum`] — the DARTH-PUM chip: hybrid compute tiles, runtime
 //! * [`darth_apps`] — AES, ResNet-20 and LLM-encoder workloads
 //! * [`darth_baselines`] — CPU/GPU/accelerator comparison models
+//! * [`darth_sim`] — the functional ISA simulator + differential harness
 //! * [`darth_eval`] — the workload × architecture evaluation engine
 
 pub use darth_analog as analog;
@@ -21,3 +22,4 @@ pub use darth_eval as eval;
 pub use darth_isa as isa;
 pub use darth_pum as pum;
 pub use darth_reram as reram;
+pub use darth_sim as sim;

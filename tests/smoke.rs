@@ -6,7 +6,7 @@
 //! workspace — or a re-export that silently disappears from `src/lib.rs` —
 //! fails tier-1 loudly with the crate's name in the failing test.
 
-use darth_pum_repro::{analog, apps, baselines, digital, isa, pum, reram};
+use darth_pum_repro::{analog, apps, baselines, digital, isa, pum, reram, sim};
 
 #[test]
 fn reram_substrate_is_reachable() {
@@ -70,6 +70,16 @@ fn apps_workloads_are_reachable() {
     let golden = apps::aes::golden::Aes::new_128(&key).encrypt_block(&block);
     let mut hybrid = apps::aes::mapping::AesDarth::new_128(&key).expect("tile builds");
     assert_eq!(hybrid.encrypt_block(&block).expect("encrypts"), golden);
+}
+
+#[test]
+fn functional_simulator_is_reachable() {
+    use pum::eval::{Executable, Executor};
+    let case = apps::gemm::GemmExec::standard();
+    let run = sim::SimExecutor
+        .execute(&case.job().expect("compiles"))
+        .expect("executes");
+    assert_eq!(run.outputs, case.golden().expect("golden"));
 }
 
 #[test]
