@@ -8,6 +8,13 @@ CARGO ?= cargo
 ## materialized path needs ~3 GB of KernelOps and dies, by design.
 EVAL_LARGE_CAP_KB ?= 2097152
 
+## Wall-clock budget (seconds) for the scaled fast-vs-reference gate in
+## `make sim-verify`: the 1000-block bulk-AES executor-pair run takes a
+## few seconds on the fast path; the budget exists so a fast-path
+## performance regression fails the gate instead of quietly crawling.
+## Generous because a cold tree pays the release build inside it.
+SIM_VERIFY_BUDGET_S ?= 600
+
 .PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence dse dse-smoke sim-verify clean
 
 all: verify
@@ -22,9 +29,13 @@ verify: build test lint fmt-check equivalence dse-smoke sim-verify
 ## (AES-128/192/256 on FIPS-197 vectors, integer GEMM, a conv layer)
 ## executes on the functional ISA simulator and must match its golden
 ## software references bit-exactly, cell by cell, while the paired
-## priced twins flow through the analytical engine. Also refuses any
-## `#[ignore]`d test in the tier-1 tree — a silently skipped
-## differential case must fail the build, not hide.
+## priced twins flow through the analytical engine. The fast path
+## (packed bit-planes + precompiled dispatch + sharded tiles) then
+## replays the executor-pair suite in release at bulk scale — 1000 AES
+## blocks — and must match the reference interpreter result-, energy-
+## and cycle-exactly. Also refuses any `#[ignore]`d test in the tier-1
+## tree — a silently skipped differential case must fail the build,
+## not hide.
 sim-verify:
 	@if grep -rn "\#\[ignore" --include='*.rs' crates src tests examples 2>/dev/null; then \
 		echo "ERROR: ignored tests are not allowed in the tier-1 tree"; \
@@ -32,6 +43,9 @@ sim-verify:
 	fi
 	$(CARGO) test -q -p darth_sim --test differential
 	$(CARGO) test -q -p darth_eval --test sim_differential
+	DARTH_SIM_BULK_BLOCKS=1000 timeout $(SIM_VERIFY_BUDGET_S) \
+		$(CARGO) test -q --release -p darth_sim --test fast_vs_reference
+	$(CARGO) test -q --release -p darth_sim --test shard_determinism
 
 ## The registry-wide bit-identity regression: price(stream) ==
 ## price(&Trace) == engine replay for every (workload, model) cell,

@@ -350,6 +350,32 @@ impl Crossbar {
         let params = self.positive.params().clone();
         let g_off = params.g_off;
         let scale = self.config.range_scale;
+        // Deterministic fast path: with zero read noise the per-device
+        // noise model is an identity that consumes no RNG, so one
+        // row-major pass per plane produces bit-identical line currents
+        // without the per-column conductance gathers.
+        if params.read_sigma == 0.0 {
+            let pos = self
+                .positive
+                .masked_col_signals(input, g_off, scale)
+                .map_err(Error::Reram)?;
+            let neg = match &self.negative {
+                Some(plane) => Some(
+                    plane
+                        .masked_col_signals(input, g_off, scale)
+                        .map_err(Error::Reram)?,
+                ),
+                None => None,
+            };
+            return Ok(pos
+                .iter()
+                .enumerate()
+                .map(|(c, &p)| {
+                    let n = neg.as_ref().map_or(0.0, |v| v[c]);
+                    self.apply_ir_drop(p) - self.apply_ir_drop(n)
+                })
+                .collect());
+        }
         let mut currents = Vec::with_capacity(self.config.cols);
         for c in 0..self.config.cols {
             let pos_line = self.line_current(&self.positive, c, input, g_off, scale, rng)?;
@@ -360,6 +386,21 @@ impl Crossbar {
             currents.push(pos_line - neg_line);
         }
         Ok(currents)
+    }
+
+    /// Attenuates one accumulated line current by the distributed-wire
+    /// IR-drop model (quadratic loss in line units); shared by the noisy
+    /// and deterministic bitline paths so they cannot diverge.
+    fn apply_ir_drop(&self, line: f64) -> f64 {
+        if self.config.ir_drop_alpha > 0.0 {
+            let unit = self.unit_current();
+            if unit > 0.0 {
+                let line_units = line / unit;
+                let loss = self.config.ir_drop_alpha * line_units * line_units * unit;
+                return (line - loss).max(0.0);
+            }
+        }
+        line
     }
 
     /// Accumulates one physical bitline, applying read noise per device and
@@ -384,14 +425,7 @@ impl Crossbar {
         }
         // IR drop: distributed wire resistance attenuates in proportion to
         // the accumulated current itself (quadratic loss in line units).
-        if self.config.ir_drop_alpha > 0.0 {
-            let unit = self.unit_current();
-            if unit > 0.0 {
-                let line_units = line / unit;
-                let loss = self.config.ir_drop_alpha * line_units * line_units * unit;
-                line = (line - loss).max(0.0);
-            }
-        }
+        line = self.apply_ir_drop(line);
         Ok(line)
     }
 

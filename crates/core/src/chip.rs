@@ -10,10 +10,10 @@
 //! memory before launching a kernel.
 
 use crate::front_end::FrontEnd;
-use crate::hct::{HctConfig, HybridComputeTile};
+use crate::hct::{GenericTile, HctConfig};
 use crate::params::ChipParams;
 use crate::{Error, Result};
-use darth_digital::BoolOp;
+use darth_digital::{BoolOp, DcePipeline, PackedPipeline, Pipeline};
 use darth_isa::iiu::ReductionRegs;
 use darth_isa::instruction::{Instruction, IsaBoolOp, Program};
 use darth_isa::VaCoreId;
@@ -82,17 +82,74 @@ pub struct RunStats {
     pub issue_cycles: u64,
 }
 
-/// The DARTH-PUM chip.
+/// The DARTH-PUM chip, generic over its DCE pipeline implementation.
+///
+/// [`DarthPumChip`] is the reference chip over cell-accurate
+/// [`Pipeline`]s; [`FastChip`] swaps in [`PackedPipeline`]s. All ISA
+/// interpretation, accounting and side-channel handling is shared.
 #[derive(Debug, Clone)]
-pub struct DarthPumChip {
+pub struct GenericChip<P: DcePipeline> {
     params: ChipParams,
-    tile: HybridComputeTile,
+    tile: GenericTile<P>,
     front_end: FrontEnd,
     analog_enabled: bool,
     digital_enabled: bool,
 }
 
-impl DarthPumChip {
+/// The reference chip: cell-accurate pipelines.
+pub type DarthPumChip = GenericChip<Pipeline>;
+
+/// The fast-path chip: packed bit-plane pipelines.
+pub type FastChip = GenericChip<PackedPipeline>;
+
+/// The per-instruction dispatch closure of a [`CompiledProgram`].
+type OpThunk<P> = Box<dyn Fn(&mut GenericChip<P>, &SideChannel) -> Result<()> + Send + Sync>;
+
+/// A decoded instruction stream precompiled into a jump table of
+/// monomorphic op closures.
+///
+/// Operand casts, the Boolean-op mapping and the instruction `match` are
+/// all paid once at [`GenericChip::compile`] time; repeated
+/// [`GenericChip::run_compiled`] runs dispatch straight through the boxed
+/// thunks. Run statistics (executed-prefix length, analog count,
+/// per-mnemonic histogram) are precomputed too, so a run only pays for
+/// the work the instructions actually do.
+pub struct CompiledProgram<P: DcePipeline> {
+    thunks: Vec<OpThunk<P>>,
+    instructions: u64,
+    analog_instructions: u64,
+    histogram: BTreeMap<String, u64>,
+}
+
+impl<P: DcePipeline> CompiledProgram<P> {
+    /// Instructions executed per run: the prefix through the first `halt`
+    /// (inclusive), or the whole program when there is none.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Analog instructions among [`CompiledProgram::instructions`].
+    pub fn analog_instructions(&self) -> u64 {
+        self.analog_instructions
+    }
+
+    /// Per-mnemonic instruction counts over the executed prefix.
+    pub fn histogram(&self) -> &BTreeMap<String, u64> {
+        &self.histogram
+    }
+}
+
+impl<P: DcePipeline> std::fmt::Debug for CompiledProgram<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledProgram")
+            .field("thunks", &self.thunks.len())
+            .field("instructions", &self.instructions)
+            .field("analog_instructions", &self.analog_instructions)
+            .finish()
+    }
+}
+
+impl<P: DcePipeline> GenericChip<P> {
     /// Builds a chip with one functional tile (the architecture replicates
     /// it; throughput scaling is the model layer's job).
     ///
@@ -100,8 +157,8 @@ impl DarthPumChip {
     ///
     /// Propagates tile construction errors.
     pub fn new(params: ChipParams, tile_config: HctConfig) -> Result<Self> {
-        let tile = HybridComputeTile::new(tile_config)?;
-        Ok(DarthPumChip {
+        let tile = GenericTile::new(tile_config)?;
+        Ok(GenericChip {
             params,
             tile,
             front_end: FrontEnd::new(),
@@ -116,13 +173,13 @@ impl DarthPumChip {
     }
 
     /// The functional tile.
-    pub fn tile(&self) -> &HybridComputeTile {
+    pub fn tile(&self) -> &GenericTile<P> {
         &self.tile
     }
 
     /// Mutable access to the functional tile (application mappings drive
     /// pipelines directly for digital-only kernels).
-    pub fn tile_mut(&mut self) -> &mut HybridComputeTile {
+    pub fn tile_mut(&mut self) -> &mut GenericTile<P> {
         &mut self.tile
     }
 
@@ -144,7 +201,7 @@ impl DarthPumChip {
     /// Executes a program against the functional tile.
     ///
     /// Returns statistics; results live in the tile's pipelines and can be
-    /// read back through [`DarthPumChip::tile`].
+    /// read back through [`GenericChip::tile`].
     ///
     /// # Errors
     ///
@@ -164,6 +221,423 @@ impl DarthPumChip {
             }
         }
         Ok(stats)
+    }
+
+    /// Precompiles `program` into a [`CompiledProgram`] jump table.
+    ///
+    /// Only the executed prefix (through the first `halt`, inclusive) is
+    /// compiled; instructions after a `halt` never run in the interpreter
+    /// either. Unknown opcodes compile into thunks that fail exactly as
+    /// [`GenericChip::execute`] would.
+    pub fn compile(program: &Program) -> CompiledProgram<P> {
+        let mut thunks = Vec::with_capacity(program.len());
+        let mut instructions = 0u64;
+        let mut analog_instructions = 0u64;
+        // Count per static mnemonic first (a handful of distinct entries)
+        // so the per-instruction loop never allocates key strings.
+        let mut counts: Vec<(&'static str, u64)> = Vec::new();
+        for inst in program.iter() {
+            instructions += 1;
+            if inst.is_analog() {
+                analog_instructions += 1;
+            }
+            let mnemonic = inst.mnemonic();
+            match counts.iter_mut().find(|(m, _)| *m == mnemonic) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((mnemonic, 1)),
+            }
+            if matches!(inst, Instruction::Halt) {
+                break;
+            }
+            thunks.push(Self::compile_one(inst));
+        }
+        let histogram = counts
+            .into_iter()
+            .map(|(m, n)| (m.to_string(), n))
+            .collect();
+        CompiledProgram {
+            thunks,
+            instructions,
+            analog_instructions,
+            histogram,
+        }
+    }
+
+    /// Runs a [`CompiledProgram`] against the chip.
+    ///
+    /// Bit-identical to interpreting the same program with
+    /// [`GenericChip::execute`]: the thunks call the same tile methods in
+    /// the same order, and the front end issues one cycle per executed
+    /// instruction either way ([`FrontEnd::issue`] is linear in its
+    /// count).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first execution error, exactly as the interpreter
+    /// would.
+    pub fn run_compiled(
+        &mut self,
+        program: &CompiledProgram<P>,
+        data: &SideChannel,
+    ) -> Result<RunStats> {
+        let issue_cycles = self.front_end.issue(program.instructions).get();
+        for thunk in &program.thunks {
+            thunk(self, data)?;
+        }
+        Ok(RunStats {
+            instructions: program.instructions,
+            analog_instructions: program.analog_instructions,
+            issue_cycles,
+        })
+    }
+
+    /// Compiles one instruction into its dispatch thunk, hoisting operand
+    /// casts and opcode mapping out of the run loop. Mirrors
+    /// [`GenericChip::execute_one`] arm for arm.
+    fn compile_one(inst: &Instruction) -> OpThunk<P> {
+        match *inst {
+            Instruction::Nop | Instruction::FenceAd | Instruction::Halt => Box::new(|_, _| Ok(())),
+            Instruction::Bool {
+                op,
+                pipe,
+                dst,
+                a,
+                b,
+            } => {
+                let bool_op = match op {
+                    IsaBoolOp::Nor => BoolOp::Nor,
+                    IsaBoolOp::Or => BoolOp::Or,
+                    IsaBoolOp::And => BoolOp::And,
+                    IsaBoolOp::Nand => BoolOp::Nand,
+                    IsaBoolOp::Xor => BoolOp::Xor,
+                    IsaBoolOp::Xnor => BoolOp::Xnor,
+                };
+                let (pipe, dst, a, b) =
+                    (pipe.0 as usize, dst.0 as usize, a.0 as usize, b.0 as usize);
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.bool_op(bool_op, dst, a, b)?;
+                    Ok(())
+                })
+            }
+            Instruction::Not { pipe, dst, a } => {
+                let (pipe, dst, a) = (pipe.0 as usize, dst.0 as usize, a.0 as usize);
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.not(dst, a)?;
+                    Ok(())
+                })
+            }
+            Instruction::Add { pipe, dst, a, b } => {
+                let (pipe, dst, a, b) =
+                    (pipe.0 as usize, dst.0 as usize, a.0 as usize, b.0 as usize);
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.add(dst, a, b)?;
+                    Ok(())
+                })
+            }
+            Instruction::Sub { pipe, dst, a, b } => {
+                let (pipe, dst, a, b) =
+                    (pipe.0 as usize, dst.0 as usize, a.0 as usize, b.0 as usize);
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.sub(dst, a, b)?;
+                    Ok(())
+                })
+            }
+            Instruction::Mul {
+                pipe,
+                dst,
+                a,
+                b,
+                width,
+            } => {
+                let (pipe, dst, a, b) =
+                    (pipe.0 as usize, dst.0 as usize, a.0 as usize, b.0 as usize);
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.mul(dst, a, b, width)?;
+                    Ok(())
+                })
+            }
+            Instruction::CmpLt { pipe, dst, a, b } => {
+                let (pipe, dst, a, b) =
+                    (pipe.0 as usize, dst.0 as usize, a.0 as usize, b.0 as usize);
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.cmp_lt(dst, a, b)?;
+                    Ok(())
+                })
+            }
+            Instruction::Select {
+                pipe,
+                dst,
+                cond,
+                a,
+                b,
+            } => {
+                let (pipe, dst, cond, a, b) = (
+                    pipe.0 as usize,
+                    dst.0 as usize,
+                    cond.0 as usize,
+                    a.0 as usize,
+                    b.0 as usize,
+                );
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.select(dst, cond, a, b)?;
+                    Ok(())
+                })
+            }
+            Instruction::Relu { pipe, dst, a } => {
+                let (pipe, dst, a) = (pipe.0 as usize, dst.0 as usize, a.0 as usize);
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.relu(dst, a)?;
+                    Ok(())
+                })
+            }
+            Instruction::ShiftLeft {
+                pipe,
+                dst,
+                src,
+                amount,
+            } => {
+                let (pipe, dst, src, amount) = (
+                    pipe.0 as usize,
+                    dst.0 as usize,
+                    src.0 as usize,
+                    amount as usize,
+                );
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.shl(dst, src, amount)?;
+                    Ok(())
+                })
+            }
+            Instruction::ShiftRight {
+                pipe,
+                dst,
+                src,
+                amount,
+            } => {
+                let (pipe, dst, src, amount) = (
+                    pipe.0 as usize,
+                    dst.0 as usize,
+                    src.0 as usize,
+                    amount as usize,
+                );
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.shr(dst, src, amount)?;
+                    Ok(())
+                })
+            }
+            Instruction::RotateLeft {
+                pipe,
+                dst,
+                src,
+                tmp,
+                amount,
+                width,
+            } => {
+                let (pipe, dst, src, tmp, amount, width) = (
+                    pipe.0 as usize,
+                    dst.0 as usize,
+                    src.0 as usize,
+                    tmp.0 as usize,
+                    amount as usize,
+                    width as usize,
+                );
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile
+                        .pipeline_mut(pipe)?
+                        .rotate_left(dst, src, tmp, amount, width)?;
+                    Ok(())
+                })
+            }
+            Instruction::CopyVr { pipe, dst, src } => {
+                let (pipe, dst, src) = (pipe.0 as usize, dst.0 as usize, src.0 as usize);
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.copy_vr(dst, src)?;
+                    Ok(())
+                })
+            }
+            Instruction::CopyAcross {
+                src_pipe,
+                src,
+                dst_pipe,
+                dst,
+            } => {
+                let (src_pipe, src, dst_pipe, dst) = (
+                    src_pipe.0 as usize,
+                    src.0 as usize,
+                    dst_pipe.0 as usize,
+                    dst.0 as usize,
+                );
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    let (dst_p, src_p) = chip.tile.pipeline_pair(dst_pipe, src_pipe)?;
+                    dst_p.copy_from(src_p, src, dst)?;
+                    Ok(())
+                })
+            }
+            Instruction::ElementLoad {
+                pipe,
+                addr,
+                table_pipe,
+                dst,
+            } => {
+                let (pipe, addr, table_pipe, dst) = (
+                    pipe.0 as usize,
+                    addr.0 as usize,
+                    table_pipe.0 as usize,
+                    dst.0 as usize,
+                );
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    let (p, table) = chip.tile.pipeline_pair(pipe, table_pipe)?;
+                    p.elementwise_load(addr, table, dst)?;
+                    Ok(())
+                })
+            }
+            Instruction::PipeReverse { pipe } => {
+                let pipe = pipe.0 as usize;
+                Box::new(move |chip, _| {
+                    chip.require_digital()?;
+                    chip.tile.pipeline_mut(pipe)?.reverse();
+                    Ok(())
+                })
+            }
+            Instruction::WriteImm {
+                pipe,
+                vr,
+                element,
+                value,
+            } => {
+                let (pipe, vr, element) = (pipe.0 as usize, vr.0 as usize, element as usize);
+                Box::new(move |chip, _| {
+                    chip.tile
+                        .pipeline_mut(pipe)?
+                        .write_value(vr, element, value)?;
+                    Ok(())
+                })
+            }
+            Instruction::PipeReserve { pipe } => {
+                let _ = pipe;
+                Box::new(|_, _| Ok(()))
+            }
+            Instruction::AllocVaCore {
+                vacore,
+                element_bits,
+                bits_per_cell,
+                input_bits,
+                input_signed,
+            } => Box::new(move |chip, _| {
+                if !chip.analog_enabled {
+                    return Err(Error::DomainDisabled("analog"));
+                }
+                let allocated = chip.tile.alloc_vacore(
+                    element_bits,
+                    bits_per_cell,
+                    input_bits,
+                    input_signed,
+                )?;
+                if allocated != vacore {
+                    return Err(Error::VaCore(format!(
+                        "program expected vACore {vacore}, firmware allocated {allocated}"
+                    )));
+                }
+                Ok(())
+            }),
+            Instruction::FreeVaCore { vacore } => {
+                Box::new(move |chip, _| chip.tile.free_vacore(vacore))
+            }
+            Instruction::ProgMatrix {
+                vacore,
+                matrix_handle,
+            } => Box::new(move |chip, data| {
+                if !chip.analog_enabled {
+                    return Err(Error::DomainDisabled("analog"));
+                }
+                let matrix = data
+                    .matrices
+                    .get(&matrix_handle)
+                    .ok_or(Error::UnknownMatrix(matrix_handle as usize))?;
+                chip.tile.set_matrix(vacore, matrix)?;
+                Ok(())
+            }),
+            Instruction::UpdateRow {
+                vacore,
+                row,
+                data_handle,
+            } => Box::new(move |chip, data| {
+                let values = data
+                    .vectors
+                    .get(&data_handle)
+                    .ok_or(Error::UnknownMatrix(data_handle as usize))?;
+                chip.tile.update_row(vacore, row as usize, values)?;
+                Ok(())
+            }),
+            Instruction::UpdateCol {
+                vacore,
+                col,
+                data_handle,
+            } => Box::new(move |chip, data| {
+                let values = data
+                    .vectors
+                    .get(&data_handle)
+                    .ok_or(Error::UnknownMatrix(data_handle as usize))?;
+                chip.update_col(vacore, col as usize, values)
+            }),
+            Instruction::Mvm {
+                vacore,
+                input_pipe,
+                input_vr,
+                dst_pipe,
+                dst_vr,
+                early_levels,
+            } => {
+                let (input_pipe, input_vr, dst_pipe, dst_vr) = (
+                    input_pipe.0 as usize,
+                    input_vr.0 as usize,
+                    dst_pipe.0 as usize,
+                    dst_vr.0 as usize,
+                );
+                Box::new(move |chip, _| {
+                    if !chip.analog_enabled {
+                        return Err(Error::DomainDisabled("analog"));
+                    }
+                    chip.exec_mvm_instruction(
+                        vacore,
+                        input_pipe,
+                        input_vr,
+                        dst_pipe,
+                        dst_vr,
+                        early_levels,
+                    )
+                })
+            }
+            Instruction::SetAnalogMode { enabled } => Box::new(move |chip, _| {
+                chip.analog_enabled = enabled;
+                Ok(())
+            }),
+            Instruction::SetDigitalMode { enabled } => Box::new(move |chip, _| {
+                chip.digital_enabled = enabled;
+                Ok(())
+            }),
+            other => {
+                let mnemonic = other.mnemonic();
+                Box::new(move |_, _| {
+                    Err(Error::InvalidConfig(format!(
+                        "instruction `{mnemonic}` is not implemented by this chip model"
+                    )))
+                })
+            }
+        }
     }
 
     fn require_digital(&self) -> Result<()> {
@@ -528,9 +1002,7 @@ impl DarthPumChip {
         // Read the input vector out of the DCE.
         let input: Vec<i64> = {
             let pipe = self.tile.pipeline_mut(input_pipe)?;
-            (0..rows)
-                .map(|e| pipe.read_value_signed(input_vr, e))
-                .collect::<std::result::Result<_, _>>()?
+            pipe.read_signed_prefix(input_vr, rows)?
         };
         // Landing convention: parts occupy dst_vr+1.., tmp above them, the
         // accumulator is dst_vr itself.
@@ -665,6 +1137,108 @@ mod tests {
         let pipe = c.tile_mut().pipeline_mut(1).expect("exists");
         assert_eq!(pipe.read_value(4, 0).expect("in range"), 4); // 1 + 3
         assert_eq!(pipe.read_value(4, 1).expect("in range"), 18); // 9 + 9
+    }
+
+    #[test]
+    fn compiled_program_matches_interpreter() {
+        let mut data = SideChannel::new();
+        let handle = data
+            .stage_matrix(vec![vec![5, 9], vec![8, 7]])
+            .expect("stages");
+        let program = assemble(&format!(
+            "valloc ac0 4 4 3 0\n\
+             progm ac0 {handle}\n\
+             wimm p0 v0 0 2\n\
+             wimm p0 v0 1 7\n\
+             mvm ac0 p0 v0 p1 v4 0\n\
+             add p1 v5 v4 v4\n\
+             halt\n\
+             wimm p0 v9 0 1\n"
+        ))
+        .expect("parses");
+        let mut interpreted = chip();
+        let interp_stats = interpreted.execute(&program, &data).expect("runs");
+        let mut compiled_chip = chip();
+        let compiled = DarthPumChip::compile(&program);
+        assert_eq!(compiled.instructions(), 7, "prefix stops at halt");
+        assert_eq!(compiled.histogram()["halt"], 1);
+        let compiled_stats = compiled_chip.run_compiled(&compiled, &data).expect("runs");
+        assert_eq!(interp_stats, compiled_stats);
+        for (vr, e) in [(4usize, 0usize), (4, 1), (5, 0), (5, 1), (9, 0)] {
+            let a = interpreted
+                .tile_mut()
+                .pipeline_mut(1)
+                .expect("exists")
+                .read_value(vr, e)
+                .expect("in range");
+            let b = compiled_chip
+                .tile_mut()
+                .pipeline_mut(1)
+                .expect("exists")
+                .read_value(vr, e)
+                .expect("in range");
+            assert_eq!(a, b, "v{vr}[{e}]");
+        }
+        assert_eq!(
+            interpreted.front_end().issued(),
+            compiled_chip.front_end().issued(),
+            "issue accounting must match for identical energy"
+        );
+    }
+
+    #[test]
+    fn fast_chip_matches_reference_on_hybrid_program() {
+        let mut data = SideChannel::new();
+        let handle = data
+            .stage_matrix(vec![vec![5, 9], vec![8, 7]])
+            .expect("stages");
+        let program = assemble(&format!(
+            "valloc ac0 4 4 3 0\n\
+             progm ac0 {handle}\n\
+             wimm p0 v0 0 2\n\
+             wimm p0 v0 1 7\n\
+             mvm ac0 p0 v0 p1 v4 0\n\
+             xor p1 v5 v4 v4\n\
+             add p1 v6 v4 v4\n\
+             halt\n"
+        ))
+        .expect("parses");
+        let mut reference = chip();
+        let ref_stats = reference.execute(&program, &data).expect("runs");
+        let mut fast =
+            FastChip::new(ChipParams::default(), HctConfig::small_test()).expect("valid");
+        let compiled = FastChip::compile(&program);
+        let fast_stats = fast.run_compiled(&compiled, &data).expect("runs");
+        assert_eq!(ref_stats, fast_stats);
+        for vr in [4usize, 5, 6] {
+            for e in 0..2 {
+                let a = reference
+                    .tile_mut()
+                    .pipeline_mut(1)
+                    .expect("exists")
+                    .read_value(vr, e)
+                    .expect("in range");
+                let b = fast
+                    .tile_mut()
+                    .pipeline_mut(1)
+                    .expect("exists")
+                    .read_value(vr, e)
+                    .expect("in range");
+                assert_eq!(a, b, "v{vr}[{e}]");
+            }
+        }
+        // Primitive accounting (and therefore energy) matches too.
+        assert_eq!(
+            reference
+                .tile()
+                .pipeline(1)
+                .expect("exists")
+                .primitives_executed(),
+            fast.tile()
+                .pipeline(1)
+                .expect("exists")
+                .primitives_executed()
+        );
     }
 
     #[test]

@@ -25,8 +25,10 @@ use crate::{Error, Result};
 use darth_analog::ace::{AceConfig, AnalogComputeElement};
 use darth_analog::adc::AdcKind;
 use darth_analog::dac::InputDriver;
+use darth_digital::dce::DcePipeline;
 use darth_digital::logic::LogicFamily;
 use darth_digital::macros::MacroOp;
+use darth_digital::packed::PackedPipeline;
 use darth_digital::pipeline::{Pipeline, PipelineConfig};
 use darth_isa::iiu::ReductionRegs;
 use darth_isa::VaCoreId;
@@ -135,11 +137,17 @@ pub struct MvmReport {
     pub energy: PicoJoules,
 }
 
-/// One hybrid compute tile.
+/// One hybrid compute tile, generic over its DCE pipeline implementation.
+///
+/// The reference tile ([`HybridComputeTile`]) instantiates cell-accurate
+/// [`Pipeline`] state; the fast-path tile ([`FastTile`]) swaps in the
+/// packed [`PackedPipeline`] (64 cells per `u64` word). Both share this
+/// single implementation — MVM, timing and energy logic exist once —
+/// which is what makes the fast path bit-identical by construction.
 #[derive(Debug, Clone)]
-pub struct HybridComputeTile {
+pub struct GenericTile<P: DcePipeline> {
     config: HctConfig,
-    pipelines: Vec<Pipeline>,
+    pipelines: Vec<P>,
     ace: AnalogComputeElement,
     vacores: VaCoreTable,
     arbiter: AdArbiter,
@@ -151,7 +159,13 @@ pub struct HybridComputeTile {
     front_end_ops: u64,
 }
 
-impl HybridComputeTile {
+/// The reference tile: cell-accurate [`Pipeline`] state.
+pub type HybridComputeTile = GenericTile<Pipeline>;
+
+/// The fast-path tile: packed bit-plane [`PackedPipeline`] state.
+pub type FastTile = GenericTile<PackedPipeline>;
+
+impl<P: DcePipeline> GenericTile<P> {
     /// Builds a tile.
     ///
     /// # Errors
@@ -167,7 +181,7 @@ impl HybridComputeTile {
             family: config.family,
         };
         let pipelines = (0..config.functional_pipelines)
-            .map(|_| Pipeline::new(pipe_config))
+            .map(|_| P::new(pipe_config))
             .collect::<std::result::Result<Vec<_>, _>>()?;
         let ace_config = if config.noisy {
             let mut c = AceConfig::evaluation(config.params.adc_kind, 1)?;
@@ -187,7 +201,7 @@ impl HybridComputeTile {
         let ace = AnalogComputeElement::new(ace_config, config.seed)?;
         let vacores = VaCoreTable::new(config.functional_ace_arrays);
         let arbiter = AdArbiter::new(config.functional_pipelines);
-        Ok(HybridComputeTile {
+        Ok(GenericTile {
             config,
             pipelines,
             ace,
@@ -212,7 +226,7 @@ impl HybridComputeTile {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] for a bad index.
-    pub fn pipeline(&self, index: usize) -> Result<&Pipeline> {
+    pub fn pipeline(&self, index: usize) -> Result<&P> {
         self.pipelines
             .get(index)
             .ok_or_else(|| Error::InvalidConfig(format!("pipeline {index} not instantiated")))
@@ -223,7 +237,7 @@ impl HybridComputeTile {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] for a bad index.
-    pub fn pipeline_mut(&mut self, index: usize) -> Result<&mut Pipeline> {
+    pub fn pipeline_mut(&mut self, index: usize) -> Result<&mut P> {
         self.pipelines
             .get_mut(index)
             .ok_or_else(|| Error::InvalidConfig(format!("pipeline {index} not instantiated")))
@@ -235,7 +249,7 @@ impl HybridComputeTile {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] for bad or identical indices.
-    pub fn pipeline_pair(&mut self, a: usize, b: usize) -> Result<(&mut Pipeline, &Pipeline)> {
+    pub fn pipeline_pair(&mut self, a: usize, b: usize) -> Result<(&mut P, &P)> {
         if a == b {
             return Err(Error::InvalidConfig(
                 "pipeline pair must be distinct".into(),
@@ -479,10 +493,8 @@ impl HybridComputeTile {
             } else {
                 codes
             };
-            for (e, &v) in landing.iter().enumerate() {
-                let field = (v as u64) & field_mask;
-                pipe.write_value(regs.parts[t].0 as usize, e, field)?;
-            }
+            let fields: Vec<u64> = landing.iter().map(|&v| (v as u64) & field_mask).collect();
+            pipe.write_vector(regs.parts[t].0 as usize, &fields)?;
             transfer_total += self.shift_unit.transfer_cycles(core.cols as u64, 8)
                 + self.transpose.vector_retime_cycles();
         }
@@ -498,9 +510,7 @@ impl HybridComputeTile {
             let mut iiu = HardwareIiu::new();
             iiu.replay(&program, pipe, zero_vr)?;
         }
-        let result: Vec<i64> = (0..core.cols)
-            .map(|e| pipe.read_value_signed(regs.acc.0 as usize, e))
-            .collect::<std::result::Result<_, _>>()?;
+        let result: Vec<i64> = pipe.read_signed_prefix(regs.acc.0 as usize, core.cols)?;
 
         // --- Timing (documented schedule model).
         let family = self.config.family;
@@ -559,14 +569,14 @@ impl HybridComputeTile {
     pub fn energy_meter(&self) -> EnergyMeter {
         let mut meter = self.meter.clone();
         meter.merge(self.ace.energy_meter());
-        let dce: PicoJoules = self.pipelines.iter().map(Pipeline::energy).sum();
+        let dce: PicoJoules = self.pipelines.iter().map(P::energy).sum();
         meter.add("dce.array", dce);
         meter
     }
 }
 
-impl HybridComputeTile {
-    /// Exact software oracle for [`HybridComputeTile::exec_mvm`].
+impl<P: DcePipeline> GenericTile<P> {
+    /// Exact software oracle for [`GenericTile::exec_mvm`].
     ///
     /// # Errors
     ///

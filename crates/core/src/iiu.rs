@@ -3,11 +3,13 @@
 //! A small table plus counter that replays the shift-and-add reduction
 //! directly into the digital µop queues, freeing the front end to serve
 //! other HCTs. This module executes an [`darth_isa::iiu::InjectionProgram`]
-//! against a real [`darth_digital::Pipeline`], tracking how many macro
-//! operations were injected (versus front-end issued) for the IIU ablation.
+//! against any [`darth_digital::DcePipeline`] implementation (the
+//! cell-accurate reference or the packed fast path), tracking how many
+//! macro operations were injected (versus front-end issued) for the IIU
+//! ablation.
 
 use crate::{Error, Result};
-use darth_digital::Pipeline;
+use darth_digital::DcePipeline;
 use darth_isa::iiu::{InjectionProgram, InjectionStep};
 use serde::{Deserialize, Serialize};
 
@@ -42,10 +44,10 @@ impl HardwareIiu {
     /// # Errors
     ///
     /// Propagates pipeline execution errors (bad registers, shift range).
-    pub fn replay(
+    pub fn replay<P: DcePipeline>(
         &mut self,
         program: &InjectionProgram,
-        pipeline: &mut Pipeline,
+        pipeline: &mut P,
         zero_vr: usize,
     ) -> Result<()> {
         for step in program.steps() {
@@ -86,7 +88,7 @@ impl HardwareIiu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use darth_digital::pipeline::PipelineConfig;
+    use darth_digital::pipeline::{Pipeline, PipelineConfig};
     use darth_isa::iiu::ReductionRegs;
 
     fn pipeline() -> Pipeline {

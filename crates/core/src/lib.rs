@@ -51,6 +51,9 @@
 //!   an encoded-ISA [`eval::ExecJob`]) and [`eval::Executor`] (runs the
 //!   job over bit-accurate machine state) — that the `darth_sim`
 //!   differential harness checks against golden references.
+//! * [`workers`] — the shared worker-count convention
+//!   (`DARTH_EVAL_THREADS`) used by every `std::thread::scope` phase in
+//!   the stack.
 //!
 //! # Example: hybrid MVM through the runtime
 //!
@@ -81,14 +84,15 @@ pub mod shift_unit;
 pub mod trace;
 pub mod transpose;
 pub mod vacore;
+pub mod workers;
 
-pub use chip::DarthPumChip;
+pub use chip::{CompiledProgram, DarthPumChip, FastChip, GenericChip};
 pub use config::DarthConfig;
 pub use eval::{
     ArchModel, CostAccumulator, ExecJob, ExecOutput, ExecRun, Executable, Executor, Readback,
     Workload,
 };
-pub use hct::HybridComputeTile;
+pub use hct::{FastTile, GenericTile, HybridComputeTile};
 pub use params::{ChipParams, HctParams};
 pub use runtime::Runtime;
 pub use trace::{Kernel, KernelOp, Trace, TraceMeta, TraceSink, TraceSummary};

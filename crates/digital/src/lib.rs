@@ -50,16 +50,20 @@
 //! ```
 
 pub mod array;
+pub mod dce;
 pub mod design;
 pub mod logic;
 pub mod macros;
+pub mod packed;
 pub mod pipeline;
 pub mod timing;
 
 pub use array::DigitalArray;
+pub use dce::DcePipeline;
 pub use design::DceDesign;
 pub use logic::{BoolOp, LogicFamily};
 pub use macros::MacroOp;
+pub use packed::{PackedBits, PackedPipeline};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use timing::MacroCost;
 

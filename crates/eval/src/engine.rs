@@ -55,39 +55,9 @@ impl Threading {
     }
 }
 
-/// Reads a forced worker count from the environment variable `var`
-/// (conventionally `DARTH_EVAL_THREADS`).
-///
-/// Returns `None` — *fall back to the default worker count* — when the
-/// variable is unset, and also, with a warning on stderr, when it is
-/// empty, zero, or not a number. A forced count of zero workers can
-/// price nothing, and silently saturating garbage to a count would hide
-/// typos like `DARTH_EVAL_THREADS=4x`, so every unusable value is
-/// reported and ignored instead of panicking or spawning zero workers.
-pub fn forced_workers(var: &str) -> Option<usize> {
-    let raw = std::env::var(var).ok()?;
-    match parse_worker_count(&raw) {
-        Ok(n) => Some(n),
-        Err(why) => {
-            eprintln!("warning: ignoring {var}={raw:?} ({why}); using the default worker count");
-            None
-        }
-    }
-}
-
-/// The strict parser behind [`forced_workers`]: a positive integer,
-/// surrounding whitespace tolerated.
-fn parse_worker_count(raw: &str) -> Result<usize, &'static str> {
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Err("empty value");
-    }
-    match trimmed.parse::<usize>() {
-        Ok(0) => Err("zero workers cannot price anything"),
-        Ok(n) => Ok(n),
-        Err(_) => Err("not a positive integer"),
-    }
-}
+// The worker-count convention moved into the core crate so the fast
+// functional executor can share it; re-exported here for existing users.
+pub use darth_pum::workers::{forced_workers, parse_worker_count};
 
 /// One workload row of the matrix: identity plus trace statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -720,25 +690,11 @@ mod tests {
     }
 
     #[test]
-    fn worker_count_parsing_accepts_positive_integers_only() {
+    fn worker_count_helpers_are_reexported() {
+        // The implementations (and their unit tests) live in
+        // `darth_pum::workers`; this pins the re-export path downstream
+        // binaries compile against.
         assert_eq!(parse_worker_count("4"), Ok(4));
-        assert_eq!(parse_worker_count(" 16 "), Ok(16));
-        assert_eq!(parse_worker_count("1"), Ok(1));
-        assert!(parse_worker_count("0").is_err());
-        assert!(parse_worker_count("").is_err());
-        assert!(parse_worker_count("   ").is_err());
-        assert!(parse_worker_count("four").is_err());
-        assert!(parse_worker_count("4x").is_err());
-        assert!(parse_worker_count("-2").is_err());
-        assert!(parse_worker_count("1e3").is_err());
-    }
-
-    #[test]
-    fn forced_workers_falls_back_on_unusable_values() {
-        // Unset: quietly no override. (Set/garbage cases go through
-        // `parse_worker_count`, covered above; the env read itself is
-        // exercised with a uniquely-named variable to avoid races with
-        // other tests' environments.)
         assert_eq!(forced_workers("DARTH_EVAL_THREADS_UNSET_FOR_TEST"), None);
     }
 }

@@ -236,6 +236,45 @@ impl ReramArray {
             .collect())
     }
 
+    /// Noise-free bitline accumulation for every column at once: for each
+    /// column `c`, the sum over active rows (ascending, so floating-point
+    /// results are bit-identical to a per-column walk) of
+    /// `(g.max(0) - g_off).max(0) * scale`, where `g` is the cell's
+    /// realised conductance.
+    ///
+    /// This is the deterministic fast path of the analog MVM: when the
+    /// device population's `read_sigma` is zero,
+    /// [`ReramArray::col_conductances`] degenerates to the stored
+    /// conductances and consumes no RNG, so this single row-major pass
+    /// computes exactly what per-column gathers would — without the
+    /// per-column `Vec` allocations and per-device noise-model calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDimensions`] if `input` does not cover
+    /// every row.
+    pub fn masked_col_signals(&self, input: &[bool], g_off: f64, scale: f64) -> Result<Vec<f64>> {
+        if input.len() != self.rows {
+            return Err(Error::InvalidDimensions {
+                rows: input.len(),
+                cols: self.cols,
+            });
+        }
+        let mut sums = vec![0.0f64; self.cols];
+        for (r, &active) in input.iter().enumerate() {
+            if !active {
+                continue;
+            }
+            let row = &self.cells[r * self.cols..r * self.cols + self.cols];
+            for (sum, cell) in sums.iter_mut().zip(row) {
+                // Mirror read_conductance(sigma=0) + the bitline term
+                // exactly: (g + 0).max(0), then zero-floored signal.
+                *sum += (cell.conductance().max(0.0) - g_off).max(0.0) * scale;
+            }
+        }
+        Ok(sums)
+    }
+
     /// Injects stuck-at faults with the population's `stuck_at_rate`.
     ///
     /// Returns the number of cells that became stuck. Each faulty cell is

@@ -16,7 +16,7 @@
 //! 256 on FIPS-197 vectors (Appendix B and C), a deterministic integer
 //! GEMM, and a convolution layer against the im2col `conv2d` reference.
 
-use crate::machine::SimExecutor;
+use crate::machine::{SimExecutor, SimStats, StatExecutor};
 use darth_apps::aes::golden::KeySize;
 use darth_apps::aes::program::AesExec;
 use darth_apps::cnn::program::ConvExec;
@@ -132,6 +132,73 @@ impl DiffReport {
     }
 }
 
+/// The verdict for one case run through an executor *pair*
+/// ([`DiffHarness::verify_pair`]): cell-by-cell output comparison plus
+/// full statistics equality — mnemonic histograms, cycle counts and
+/// energy must all agree, not just the readbacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairCaseReport {
+    /// Case name.
+    pub name: String,
+    /// Total cells compared.
+    pub cells: usize,
+    /// Every differing cell — `expected` is the reference executor,
+    /// `got` the candidate (empty = bit-exact outputs).
+    pub mismatches: Vec<CellMismatch>,
+    /// Whether the two executors reported identical statistics.
+    pub stats_match: bool,
+    /// Statistics from the reference executor.
+    pub reference_stats: SimStats,
+    /// Statistics from the candidate executor.
+    pub candidate_stats: SimStats,
+}
+
+impl PairCaseReport {
+    /// Whether outputs *and* statistics matched exactly.
+    pub fn is_exact(&self) -> bool {
+        self.mismatches.is_empty() && self.stats_match
+    }
+}
+
+/// The verdict across all cases of an executor-pair run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairReport {
+    /// Reference executor name.
+    pub reference: String,
+    /// Candidate executor name.
+    pub candidate: String,
+    /// Per-case verdicts, in registry order.
+    pub cases: Vec<PairCaseReport>,
+}
+
+impl PairReport {
+    /// Whether every case matched outputs and statistics exactly.
+    pub fn all_exact(&self) -> bool {
+        self.cases.iter().all(PairCaseReport::is_exact)
+    }
+
+    /// Total cells compared across all cases.
+    pub fn total_cells(&self) -> usize {
+        self.cases.iter().map(|c| c.cells).sum()
+    }
+
+    /// A one-line-per-case summary for logs and panic messages.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for case in &self.cases {
+            let verdict = if case.is_exact() {
+                "exact".to_owned()
+            } else if case.mismatches.is_empty() {
+                "STATS DIVERGED".to_owned()
+            } else {
+                format!("{} MISMATCHED CELLS", case.mismatches.len())
+            };
+            out.push_str(&format!("{}: {} cells, {verdict}\n", case.name, case.cells));
+        }
+        out
+    }
+}
+
 /// The differential harness: a registry of cases plus the executor to
 /// run them on.
 pub struct DiffHarness {
@@ -144,7 +211,7 @@ impl DiffHarness {
     pub fn new() -> Self {
         DiffHarness {
             cases: Vec::new(),
-            executor: Box::new(SimExecutor),
+            executor: Box::new(SimExecutor::new()),
         }
     }
 
@@ -153,7 +220,7 @@ impl DiffHarness {
     pub fn standard() -> Self {
         DiffHarness {
             cases: standard_cases(),
-            executor: Box::new(SimExecutor),
+            executor: Box::new(SimExecutor::new()),
         }
     }
 
@@ -193,6 +260,75 @@ impl DiffHarness {
     /// As [`DiffHarness::verify`].
     pub fn verify_priced(&self, model: &dyn ArchModel) -> darth_pum::Result<DiffReport> {
         self.run(Some(model))
+    }
+
+    /// Runs every case on *both* executors and demands equivalence:
+    /// bit-identical outputs cell by cell, plus identical statistics
+    /// (instruction counts, per-mnemonic histograms, busy cycles,
+    /// energy). This is the fast-path acceptance gate — a candidate
+    /// backend that is merely *numerically* right but executes a
+    /// different instruction mix fails here.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job-compilation or execution error from either
+    /// executor; divergences are *not* errors — they land in the report.
+    pub fn verify_pair(
+        &self,
+        reference: &dyn StatExecutor,
+        candidate: &dyn StatExecutor,
+    ) -> darth_pum::Result<PairReport> {
+        let mut cases = Vec::with_capacity(self.cases.len());
+        for case in &self.cases {
+            let name = case.executable.exec_name();
+            let job = case.executable.job()?;
+            let (ref_run, reference_stats) = reference.execute_with_stats(&job)?;
+            let (cand_run, candidate_stats) = candidate.execute_with_stats(&job)?;
+            let mut mismatches = Vec::new();
+            let mut cells = 0usize;
+            for (expected, got) in ref_run.outputs.iter().zip(&cand_run.outputs) {
+                let len = expected.cells.len().max(got.cells.len());
+                cells += len;
+                for i in 0..len {
+                    let want = expected.cells.get(i).copied();
+                    let have = got.cells.get(i).copied();
+                    if want != have {
+                        mismatches.push(CellMismatch {
+                            output: expected.label.clone(),
+                            index: i,
+                            expected: want.unwrap_or(i64::MIN),
+                            got: have.unwrap_or(i64::MIN),
+                        });
+                    }
+                }
+            }
+            if ref_run.outputs.len() != cand_run.outputs.len() {
+                mismatches.push(CellMismatch {
+                    output: format!(
+                        "output-count (reference {}, candidate {})",
+                        ref_run.outputs.len(),
+                        cand_run.outputs.len()
+                    ),
+                    index: 0,
+                    expected: ref_run.outputs.len() as i64,
+                    got: cand_run.outputs.len() as i64,
+                });
+            }
+            let stats_match = reference_stats == candidate_stats;
+            cases.push(PairCaseReport {
+                name,
+                cells,
+                mismatches,
+                stats_match,
+                reference_stats,
+                candidate_stats,
+            });
+        }
+        Ok(PairReport {
+            reference: reference.name(),
+            candidate: candidate.name(),
+            cases,
+        })
     }
 
     fn run(&self, model: Option<&dyn ArchModel>) -> darth_pum::Result<DiffReport> {
@@ -292,6 +428,25 @@ pub fn standard_cases() -> Vec<DiffCase> {
         DiffCase::paired(gemm, gemm.workload()),
         DiffCase::paired(conv, conv.workload()),
     ]
+}
+
+/// A scaled bulk-encryption registry: `blocks` AES-128 cases under one
+/// fixed key, block `i` encrypting a counter plaintext (big-endian
+/// counter in bytes 8..16). Deterministic by construction, so any block
+/// count produces a reproducible workload for throughput and
+/// equivalence runs at scale (`make sim-verify` uses 1000+).
+pub fn bulk_aes_cases(blocks: usize) -> Vec<DiffCase> {
+    let key: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+    (0..blocks)
+        .map(|i| {
+            let mut plaintext = [0u8; 16];
+            plaintext[8..16].copy_from_slice(&(i as u64).to_be_bytes());
+            DiffCase::exec_only(AesExec::aes128(format!("bulk-aes-{i}"), &key, plaintext))
+        })
+        .collect()
 }
 
 #[cfg(test)]

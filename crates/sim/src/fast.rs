@@ -1,0 +1,401 @@
+//! The fast execution path: packed bit-planes, precompiled dispatch,
+//! sharded tiles.
+//!
+//! Three independent speedups compose here, every one pinned to the
+//! reference interpreter by the differential suite:
+//!
+//! 1. **Packed bit-planes** — [`FastMachine`] instantiates a
+//!    [`darth_pum::chip::FastChip`], whose DCE pipelines store each
+//!    bit-plane column as `u64` words
+//!    ([`darth_digital::PackedPipeline`]), so a gate program evaluates 64
+//!    cells per bitwise op instead of one.
+//! 2. **Precompiled dispatch** — jobs compile once into a
+//!    [`CompiledProgram`] jump table
+//!    ([`darth_pum::chip::GenericChip::compile`]); decode, operand casts
+//!    and the instruction `match` are paid per program, not per dynamic
+//!    instruction.
+//! 3. **Sharded tiles** — [`FastExecutor::execute_batch`] spreads
+//!    independent tile jobs across `std::thread::scope` workers over
+//!    disjoint output slices (no locks, no shared mutable state), reusing
+//!    the eval engine's worker convention: an explicit
+//!    [`FastExecutor::with_workers`] override, else `DARTH_EVAL_THREADS`
+//!    ([`darth_pum::workers::forced_workers`]), else one worker per
+//!    available core. Results are bit-identical at any worker count.
+
+use crate::machine::{read_chip_output, SimStats, StatExecutor};
+use darth_digital::PackedPipeline;
+use darth_isa::instruction::Program;
+use darth_pum::chip::{CompiledProgram, FastChip, SideChannel};
+use darth_pum::eval::{ExecJob, ExecOutput, ExecRun, Executor, Readback};
+use darth_pum::hct::HctConfig;
+use darth_pum::params::ChipParams;
+use darth_pum::workers::forced_workers;
+use std::collections::BTreeMap;
+use std::thread;
+
+/// A fast functional machine: the packed-pipeline twin of
+/// [`crate::SimMachine`], executing precompiled programs.
+///
+/// `Clone` copies the full machine state; a clone of a freshly built
+/// machine is indistinguishable from calling [`FastMachine::new`] again
+/// with the same config (construction is deterministic, RNG seed
+/// included), which is what lets the batch executor stamp out per-job
+/// machines from a prototype instead of rebuilding the tile each time.
+#[derive(Debug, Clone)]
+pub struct FastMachine {
+    chip: FastChip,
+    histogram: BTreeMap<String, u64>,
+}
+
+impl FastMachine {
+    /// Builds a machine around one functional tile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tile construction errors.
+    pub fn new(tile: HctConfig) -> darth_pum::Result<Self> {
+        Ok(FastMachine {
+            chip: FastChip::new(ChipParams::default(), tile)?,
+            histogram: BTreeMap::new(),
+        })
+    }
+
+    /// The underlying chip (state inspection).
+    pub fn chip(&self) -> &FastChip {
+        &self.chip
+    }
+
+    /// Mutable chip access (host staging between runs).
+    pub fn chip_mut(&mut self) -> &mut FastChip {
+        &mut self.chip
+    }
+
+    /// Precompiles a decoded program into the fast chip's jump table.
+    pub fn compile(program: &Program) -> CompiledProgram<PackedPipeline> {
+        FastChip::compile(program)
+    }
+
+    /// Executes a precompiled program, reporting the same per-run
+    /// statistics as [`crate::SimMachine::run`] — the executed prefix's
+    /// mnemonic histogram is precomputed by the compiler, so a run only
+    /// clones it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first execution error.
+    pub fn run_compiled(
+        &mut self,
+        program: &CompiledProgram<PackedPipeline>,
+        data: &SideChannel,
+    ) -> darth_pum::Result<SimStats> {
+        let busy_before = self.chip.tile().busy_cycles();
+        let energy_before = self.chip.energy_meter().total();
+        let run = self.chip.run_compiled(program, data)?;
+        let histogram = program.histogram().clone();
+        for (mnemonic, count) in &histogram {
+            *self.histogram.entry(mnemonic.clone()).or_insert(0) += count;
+        }
+        Ok(SimStats {
+            run,
+            histogram,
+            busy_cycles: self.chip.tile().busy_cycles().saturating_sub(busy_before),
+            energy: self.chip.energy_meter().total() - energy_before,
+        })
+    }
+
+    /// Executed instructions by mnemonic, across all runs so far.
+    pub fn histogram(&self) -> &BTreeMap<String, u64> {
+        &self.histogram
+    }
+
+    /// Reads one output location from the finished machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns pipeline/register range errors.
+    pub fn read_output(&mut self, readback: &Readback) -> darth_pum::Result<ExecOutput> {
+        read_chip_output(&mut self.chip, readback)
+    }
+}
+
+/// An [`ExecJob`] decoded **and** precompiled exactly once by
+/// [`FastExecutor::prepare`]; reusable across runs.
+#[derive(Debug)]
+pub struct PreparedFastJob<'j> {
+    job: &'j ExecJob,
+    compiled: CompiledProgram<PackedPipeline>,
+}
+
+impl PreparedFastJob<'_> {
+    /// The compiled jump table.
+    pub fn compiled(&self) -> &CompiledProgram<PackedPipeline> {
+        &self.compiled
+    }
+}
+
+/// The fast-path [`Executor`]: packed pipelines, precompiled dispatch,
+/// and batch sharding — bit-identical to [`crate::SimExecutor`] (the
+/// differential suite enforces it).
+#[derive(Debug, Clone, Default)]
+pub struct FastExecutor {
+    workers: Option<usize>,
+}
+
+impl FastExecutor {
+    /// An executor using the default worker selection
+    /// (`DARTH_EVAL_THREADS`, else available parallelism).
+    pub fn new() -> Self {
+        FastExecutor::default()
+    }
+
+    /// Forces a fixed worker count for [`FastExecutor::execute_batch`],
+    /// overriding the environment (determinism tests pin {1, 2, …} this
+    /// way without racing on the process environment).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// The worker count a batch of `jobs` runs on: the explicit override,
+    /// else `DARTH_EVAL_THREADS`, else one per available core — never
+    /// more than there are jobs.
+    fn worker_count(&self, jobs: usize) -> usize {
+        self.workers
+            .or_else(|| forced_workers("DARTH_EVAL_THREADS"))
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, usize::from))
+            .max(1)
+            .min(jobs.max(1))
+    }
+
+    /// Decodes and precompiles `job` once into a reusable handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode errors for malformed records.
+    pub fn prepare<'j>(&self, job: &'j ExecJob) -> darth_pum::Result<PreparedFastJob<'j>> {
+        let program = job.decoded_program()?;
+        Ok(PreparedFastJob {
+            job,
+            compiled: FastChip::compile(&program),
+        })
+    }
+
+    /// Runs a prepared job on a fresh fast machine — no re-decode, no
+    /// re-compile — returning outputs and the run's statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first execution or readback error.
+    pub fn run_prepared(
+        &self,
+        prepared: &PreparedFastJob<'_>,
+    ) -> darth_pum::Result<(ExecRun, SimStats)> {
+        let machine = FastMachine::new(prepared.job.tile.clone())?;
+        Self::run_on(machine, prepared)
+    }
+
+    /// Runs `prepared` on a fresh machine supplied by the caller (built
+    /// or cloned from a prototype — both yield identical state).
+    fn run_on(
+        mut machine: FastMachine,
+        prepared: &PreparedFastJob<'_>,
+    ) -> darth_pum::Result<(ExecRun, SimStats)> {
+        let stats = machine.run_compiled(&prepared.compiled, &prepared.job.data)?;
+        let outputs = prepared
+            .job
+            .readbacks
+            .iter()
+            .map(|rb| machine.read_output(rb))
+            .collect::<darth_pum::Result<_>>()?;
+        Ok((
+            ExecRun {
+                outputs,
+                instructions: stats.run.instructions,
+                analog_instructions: stats.run.analog_instructions,
+            },
+            stats,
+        ))
+    }
+
+    fn run_one(&self, job: &ExecJob) -> darth_pum::Result<(ExecRun, SimStats)> {
+        let prepared = self.prepare(job)?;
+        self.run_prepared(&prepared)
+    }
+
+    /// [`FastExecutor::run_one`] with a per-worker prototype machine:
+    /// when consecutive jobs share a tile config (the bulk-sweep common
+    /// case), the fresh machine is cloned from the prototype instead of
+    /// rebuilt, skipping tile construction. A clone of a never-run
+    /// machine is identical to a newly built one, so results don't
+    /// change.
+    fn run_one_cached(
+        &self,
+        job: &ExecJob,
+        proto: &mut Option<(HctConfig, FastMachine)>,
+    ) -> darth_pum::Result<(ExecRun, SimStats)> {
+        let prepared = self.prepare(job)?;
+        if !proto.as_ref().is_some_and(|(cfg, _)| *cfg == job.tile) {
+            *proto = Some((job.tile.clone(), FastMachine::new(job.tile.clone())?));
+        }
+        let machine = proto.as_ref().expect("prototype was just set").1.clone();
+        Self::run_on(machine, &prepared)
+    }
+
+    /// Executes a batch of independent tile jobs, sharded across
+    /// `std::thread::scope` workers over disjoint output chunks. Every
+    /// job gets its own fresh machine, so there is no shared mutable
+    /// state and results (outputs *and* statistics) are byte-identical
+    /// at any worker count. Results come back in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing job's error, in job order.
+    pub fn execute_batch_with_stats(
+        &self,
+        jobs: &[ExecJob],
+    ) -> darth_pum::Result<Vec<(ExecRun, SimStats)>> {
+        let workers = self.worker_count(jobs.len());
+        let mut results: Vec<Option<darth_pum::Result<(ExecRun, SimStats)>>> =
+            jobs.iter().map(|_| None).collect();
+        let chunk = jobs.len().div_ceil(workers).max(1);
+        thread::scope(|scope| {
+            for (job_chunk, out_chunk) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    let mut proto = None;
+                    for (slot, job) in out_chunk.iter_mut().zip(job_chunk) {
+                        *slot = Some(self.run_one_cached(job, &mut proto));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every job chunk was executed"))
+            .collect()
+    }
+
+    /// [`FastExecutor::execute_batch_with_stats`] without the statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`FastExecutor::execute_batch_with_stats`].
+    pub fn execute_batch(&self, jobs: &[ExecJob]) -> darth_pum::Result<Vec<ExecRun>> {
+        Ok(self
+            .execute_batch_with_stats(jobs)?
+            .into_iter()
+            .map(|(run, _)| run)
+            .collect())
+    }
+}
+
+impl Executor for FastExecutor {
+    fn name(&self) -> String {
+        "darth-sim-fast".into()
+    }
+
+    fn label(&self) -> String {
+        "DARTH-PUM fast-path simulator (packed bit-planes)".into()
+    }
+
+    fn execute(&self, job: &ExecJob) -> darth_pum::Result<ExecRun> {
+        self.run_one(job).map(|(run, _)| run)
+    }
+}
+
+impl StatExecutor for FastExecutor {
+    fn execute_with_stats(&self, job: &ExecJob) -> darth_pum::Result<(ExecRun, SimStats)> {
+        self.run_one(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SimExecutor;
+    use darth_isa::asm::assemble;
+    use darth_isa::encode::encode_program;
+
+    fn digital_job(value: u64) -> ExecJob {
+        let program = assemble(&format!(
+            "wimm p0 v0 0 {value}\n\
+             wimm p0 v1 0 17\n\
+             add p0 v2 v0 v1\n\
+             xor p0 v3 v0 v1\n\
+             halt\n"
+        ))
+        .expect("parses");
+        ExecJob {
+            name: format!("digital-{value}"),
+            tile: HctConfig::small_test(),
+            program: encode_program(&program),
+            data: SideChannel::new(),
+            readbacks: vec![
+                Readback {
+                    label: "sum".into(),
+                    pipe: 0,
+                    vr: 2,
+                    elements: 1,
+                    signed: false,
+                },
+                Readback {
+                    label: "xor".into(),
+                    pipe: 0,
+                    vr: 3,
+                    elements: 1,
+                    signed: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fast_executor_matches_reference_outputs_and_stats() {
+        let job = digital_job(25);
+        let (ref_run, ref_stats) = SimExecutor::new()
+            .execute_with_stats(&job)
+            .expect("reference runs");
+        let (fast_run, fast_stats) = FastExecutor::new()
+            .execute_with_stats(&job)
+            .expect("fast runs");
+        assert_eq!(ref_run, fast_run);
+        assert_eq!(ref_stats, fast_stats);
+        assert_eq!(fast_run.outputs[0].cells, vec![42]);
+        assert_eq!(fast_run.outputs[1].cells, vec![25 ^ 17]);
+    }
+
+    #[test]
+    fn prepared_fast_jobs_rerun_identically() {
+        let job = digital_job(9);
+        let executor = FastExecutor::new();
+        let prepared = executor.prepare(&job).expect("compiles");
+        let (first_run, first_stats) = executor.run_prepared(&prepared).expect("runs");
+        let (second_run, second_stats) = executor.run_prepared(&prepared).expect("runs");
+        assert_eq!(first_run, second_run);
+        assert_eq!(first_stats, second_stats);
+    }
+
+    #[test]
+    fn batch_results_preserve_job_order() {
+        let jobs: Vec<ExecJob> = (0..5).map(|i| digital_job(i + 1)).collect();
+        let runs = FastExecutor::new()
+            .with_workers(2)
+            .execute_batch(&jobs)
+            .expect("runs");
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(run.outputs[0].cells, vec![i as i64 + 1 + 17], "job {i}");
+        }
+    }
+
+    #[test]
+    fn batch_surfaces_the_first_error() {
+        let mut bad = digital_job(1);
+        bad.program = vec![0xEE; 16];
+        let jobs = vec![digital_job(2), bad];
+        let err = FastExecutor::new()
+            .with_workers(2)
+            .execute_batch(&jobs)
+            .unwrap_err();
+        assert!(matches!(err, darth_pum::Error::Isa(_)));
+    }
+}

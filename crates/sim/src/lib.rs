@@ -19,6 +19,16 @@
 //!   consume), compared **cell by cell** against golden references. The
 //!   standard registry covers AES-128/192/256 on FIPS-197 vectors, a
 //!   deterministic integer GEMM, and a convolution layer.
+//!   [`DiffHarness::verify_pair`] runs the registry through *two*
+//!   executors and demands bit-identical outputs **and** identical
+//!   statistics; [`diff::bulk_aes_cases`] scales the registry to
+//!   thousands of AES blocks.
+//! * [`fast`] — the fast execution path: packed `u64` bit-planes
+//!   ([`darth_digital::PackedPipeline`]), programs precompiled into
+//!   jump tables ([`darth_pum::chip::CompiledProgram`]), and batches
+//!   sharded across `std::thread::scope` workers.
+//!   [`fast::FastExecutor`] is proven bit-exact against
+//!   [`machine::SimExecutor`] by the pair harness.
 //!
 //! # Example: FIPS-197 through the simulator
 //!
@@ -30,7 +40,7 @@
 //! # fn main() -> Result<(), darth_pum::Error> {
 //! // The Appendix B worked example, compiled to one ISA stream.
 //! let case = AesExec::fips197_appendix_b();
-//! let run = SimExecutor.execute(&case.job()?)?;
+//! let run = SimExecutor::new().execute(&case.job()?)?;
 //! assert_eq!(run.outputs, case.golden()?);
 //! assert_eq!(
 //!     run.outputs[0].cells[..4],
@@ -41,7 +51,11 @@
 //! ```
 
 pub mod diff;
+pub mod fast;
 pub mod machine;
 
-pub use diff::{standard_cases, DiffCase, DiffHarness, DiffReport};
-pub use machine::{SimExecutor, SimMachine, SimStats};
+pub use diff::{
+    bulk_aes_cases, standard_cases, DiffCase, DiffHarness, DiffReport, PairCaseReport, PairReport,
+};
+pub use fast::{FastExecutor, FastMachine, PreparedFastJob};
+pub use machine::{PreparedJob, SimExecutor, SimMachine, SimStats, StatExecutor};

@@ -9,14 +9,16 @@
 //! machine keeps a per-mnemonic histogram of executed instructions, so a
 //! differential run reports *what* it executed, not just how much.
 
+use darth_digital::DcePipeline;
 use darth_isa::instruction::Program;
-use darth_pum::chip::{DarthPumChip, RunStats, SideChannel};
+use darth_pum::chip::{DarthPumChip, GenericChip, RunStats, SideChannel};
 use darth_pum::eval::{ExecJob, ExecOutput, ExecRun, Executor, Readback};
 use darth_pum::hct::HctConfig;
 use darth_pum::params::ChipParams;
 use darth_reram::{Cycles, PicoJoules};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Statistics of **one** simulator run: every field covers exactly that
 /// run, so `histogram` values sum to `run.instructions` and
@@ -114,26 +116,126 @@ impl SimMachine {
     ///
     /// Returns pipeline/register range errors.
     pub fn read_output(&mut self, readback: &Readback) -> darth_pum::Result<ExecOutput> {
-        let pipe = self.chip.tile_mut().pipeline_mut(readback.pipe as usize)?;
-        let cells = (0..readback.elements)
-            .map(|e| {
-                if readback.signed {
-                    pipe.read_value_signed(readback.vr as usize, e)
-                } else {
-                    pipe.read_value(readback.vr as usize, e).map(|v| v as i64)
-                }
-            })
-            .collect::<Result<_, _>>()?;
-        Ok(ExecOutput {
-            label: readback.label.clone(),
-            cells,
-        })
+        read_chip_output(&mut self.chip, readback)
     }
 }
 
+/// Reads one output location from a finished chip — shared by the
+/// reference [`SimMachine`] and the fast [`crate::fast::FastMachine`], so
+/// both decode readbacks identically.
+pub(crate) fn read_chip_output<P: DcePipeline>(
+    chip: &mut GenericChip<P>,
+    readback: &Readback,
+) -> darth_pum::Result<ExecOutput> {
+    let pipe = chip.tile_mut().pipeline_mut(readback.pipe as usize)?;
+    let cells = (0..readback.elements)
+        .map(|e| {
+            if readback.signed {
+                pipe.read_value_signed(readback.vr as usize, e)
+            } else {
+                pipe.read_value(readback.vr as usize, e).map(|v| v as i64)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(ExecOutput {
+        label: readback.label.clone(),
+        cells,
+    })
+}
+
+/// An [`ExecJob`] whose instruction stream was decoded exactly once by
+/// [`SimExecutor::prepare`]; reusable across runs.
+#[derive(Debug)]
+pub struct PreparedJob<'j> {
+    job: &'j ExecJob,
+    program: Program,
+}
+
+impl PreparedJob<'_> {
+    /// The decoded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// An [`Executor`] that also reports full simulator statistics — the
+/// contract the executor-pair differential mode
+/// ([`crate::diff::DiffHarness::verify_pair`]) compares on: outputs plus
+/// instructions, analog share, issue cycles, per-mnemonic histogram,
+/// busy cycles and energy.
+pub trait StatExecutor: Executor {
+    /// Executes `job`, returning outputs and the run's [`SimStats`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::execute`].
+    fn execute_with_stats(&self, job: &ExecJob) -> darth_pum::Result<(ExecRun, SimStats)>;
+}
+
 /// The reference [`Executor`]: one fresh [`SimMachine`] per job.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SimExecutor;
+///
+/// Decode is hoisted out of the run path: [`SimExecutor::prepare`] turns
+/// a job into a reusable [`PreparedJob`] handle, and repeated
+/// [`SimExecutor::run_prepared`] calls re-execute it without touching the
+/// encoded bytes again. [`SimExecutor::decodes`] counts stream decodes so
+/// tests can pin that invariant.
+#[derive(Debug, Default)]
+pub struct SimExecutor {
+    decodes: AtomicU64,
+}
+
+impl SimExecutor {
+    /// A fresh executor.
+    pub fn new() -> Self {
+        SimExecutor::default()
+    }
+
+    /// Instruction-stream decodes this executor has performed. Repeated
+    /// [`SimExecutor::run_prepared`] calls on one handle must not move
+    /// this counter.
+    pub fn decodes(&self) -> u64 {
+        self.decodes.load(Ordering::Relaxed)
+    }
+
+    /// Decodes `job`'s instruction stream once into a reusable handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode errors for malformed records.
+    pub fn prepare<'j>(&self, job: &'j ExecJob) -> darth_pum::Result<PreparedJob<'j>> {
+        self.decodes.fetch_add(1, Ordering::Relaxed);
+        let program = job.decoded_program()?;
+        Ok(PreparedJob { job, program })
+    }
+
+    /// Runs a prepared job on a fresh machine — no re-decode — returning
+    /// outputs and the run's statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first execution or readback error.
+    pub fn run_prepared(
+        &self,
+        prepared: &PreparedJob<'_>,
+    ) -> darth_pum::Result<(ExecRun, SimStats)> {
+        let mut machine = SimMachine::new(prepared.job.tile.clone())?;
+        let stats = machine.run(&prepared.program, &prepared.job.data)?;
+        let outputs = prepared
+            .job
+            .readbacks
+            .iter()
+            .map(|rb| machine.read_output(rb))
+            .collect::<darth_pum::Result<_>>()?;
+        Ok((
+            ExecRun {
+                outputs,
+                instructions: stats.run.instructions,
+                analog_instructions: stats.run.analog_instructions,
+            },
+            stats,
+        ))
+    }
+}
 
 impl Executor for SimExecutor {
     fn name(&self) -> String {
@@ -145,18 +247,15 @@ impl Executor for SimExecutor {
     }
 
     fn execute(&self, job: &ExecJob) -> darth_pum::Result<ExecRun> {
-        let mut machine = SimMachine::new(job.tile.clone())?;
-        let stats = machine.run_encoded(&job.program, &job.data)?;
-        let outputs = job
-            .readbacks
-            .iter()
-            .map(|rb| machine.read_output(rb))
-            .collect::<darth_pum::Result<_>>()?;
-        Ok(ExecRun {
-            outputs,
-            instructions: stats.run.instructions,
-            analog_instructions: stats.run.analog_instructions,
-        })
+        let prepared = self.prepare(job)?;
+        self.run_prepared(&prepared).map(|(run, _)| run)
+    }
+}
+
+impl StatExecutor for SimExecutor {
+    fn execute_with_stats(&self, job: &ExecJob) -> darth_pum::Result<(ExecRun, SimStats)> {
+        let prepared = self.prepare(job)?;
+        self.run_prepared(&prepared)
     }
 }
 
@@ -276,9 +375,45 @@ mod tests {
                 signed: true,
             }],
         };
-        let run = SimExecutor.execute(&job).expect("executes");
+        let run = SimExecutor::new().execute(&job).expect("executes");
         assert_eq!(run.outputs[0].cells, vec![66, 67]);
         assert_eq!(run.analog_instructions, 2);
         assert_eq!(run.instructions, 6);
+    }
+
+    #[test]
+    fn prepared_jobs_decode_once_and_rerun_identically() {
+        let program =
+            assemble("wimm p0 v0 0 25\nwimm p0 v1 0 17\nadd p0 v2 v0 v1\nhalt\n").expect("parses");
+        let job = ExecJob {
+            name: "repeat".into(),
+            tile: HctConfig::small_test(),
+            program: encode_program(&program),
+            data: SideChannel::new(),
+            readbacks: vec![Readback {
+                label: "sum".into(),
+                pipe: 0,
+                vr: 2,
+                elements: 1,
+                signed: false,
+            }],
+        };
+        let executor = SimExecutor::new();
+        let prepared = executor.prepare(&job).expect("decodes");
+        assert_eq!(executor.decodes(), 1);
+        let (first_run, first_stats) = executor.run_prepared(&prepared).expect("runs");
+        let (second_run, second_stats) = executor.run_prepared(&prepared).expect("runs");
+        let (third_run, third_stats) = executor.run_prepared(&prepared).expect("runs");
+        // Repeated runs of one prepared job: identical outputs and stats…
+        assert_eq!(first_run, second_run);
+        assert_eq!(first_run, third_run);
+        assert_eq!(first_stats, second_stats);
+        assert_eq!(first_stats, third_stats);
+        assert_eq!(first_run.outputs[0].cells, vec![42]);
+        // …and not one further decode of the instruction stream.
+        assert_eq!(executor.decodes(), 1);
+        // The convenience path still decodes (once per call).
+        executor.execute(&job).expect("runs");
+        assert_eq!(executor.decodes(), 2);
     }
 }

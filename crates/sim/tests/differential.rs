@@ -79,7 +79,7 @@ fn aes_fips197_appendix_c_ciphertexts_are_the_published_ones() {
         (KeySize::Aes256, [0x8e, 0xa2, 0xb7, 0xca]),
     ];
     for (size, head) in expected {
-        let run = SimExecutor
+        let run = SimExecutor::new()
             .execute(&AesExec::fips197_appendix_c(size).job().expect("compiles"))
             .expect("executes");
         let got: Vec<i64> = run.outputs[0].cells[..4].to_vec();

@@ -1,0 +1,59 @@
+//! Sharding determinism: a batch run on the fast executor must produce
+//! byte-identical readbacks **and statistics** at every worker count —
+//! serial, multi-threaded, environment-selected, and the garbage-value
+//! fallback path.
+//!
+//! Everything lives in ONE `#[test]` on purpose: the
+//! `DARTH_EVAL_THREADS` probes mutate the process environment, and a
+//! single test body is the only way to keep those mutations strictly
+//! sequential without cross-test races (the explicit worker counts use
+//! the `with_workers` override precisely so they *don't* need the
+//! environment).
+
+use darth_sim::{bulk_aes_cases, FastExecutor};
+
+#[test]
+fn batch_results_are_identical_at_every_worker_count() {
+    let jobs: Vec<_> = bulk_aes_cases(6)
+        .iter()
+        .map(|case| case.executable.job().expect("compiles"))
+        .collect();
+
+    // Serial baseline: one worker, no environment involved.
+    let baseline = FastExecutor::new()
+        .with_workers(1)
+        .execute_batch_with_stats(&jobs)
+        .expect("serial batch runs");
+    assert_eq!(baseline.len(), jobs.len());
+
+    // Two workers: jobs split across threads, same bytes and stats.
+    let two = FastExecutor::new()
+        .with_workers(2)
+        .execute_batch_with_stats(&jobs)
+        .expect("two-worker batch runs");
+    assert_eq!(baseline, two, "two workers diverged from serial");
+
+    // More workers than jobs: the executor clamps, results unchanged.
+    let many = FastExecutor::new()
+        .with_workers(64)
+        .execute_batch_with_stats(&jobs)
+        .expect("64-worker batch runs");
+    assert_eq!(baseline, many, "worker clamp diverged from serial");
+
+    // Environment-selected count (the production path).
+    std::env::set_var("DARTH_EVAL_THREADS", "2");
+    let from_env = FastExecutor::new()
+        .execute_batch_with_stats(&jobs)
+        .expect("env-selected batch runs");
+    assert_eq!(baseline, from_env, "DARTH_EVAL_THREADS=2 diverged");
+
+    // Garbage value: the executor warns, falls back to automatic worker
+    // selection, and still produces identical results.
+    std::env::set_var("DARTH_EVAL_THREADS", "4x");
+    let fallback = FastExecutor::new()
+        .execute_batch_with_stats(&jobs)
+        .expect("fallback batch runs");
+    assert_eq!(baseline, fallback, "garbage-env fallback diverged");
+
+    std::env::remove_var("DARTH_EVAL_THREADS");
+}

@@ -21,7 +21,7 @@ fn main() -> Result<(), darth_pum::Error> {
         job.instruction_count(),
         job.program.len()
     );
-    let run = SimExecutor.execute(&job)?;
+    let run = SimExecutor::new().execute(&job)?;
     let golden = case.golden()?;
     println!(
         "simulator:  {:02x?}",

@@ -76,7 +76,7 @@ fn apps_workloads_are_reachable() {
 fn functional_simulator_is_reachable() {
     use pum::eval::{Executable, Executor};
     let case = apps::gemm::GemmExec::standard();
-    let run = sim::SimExecutor
+    let run = sim::SimExecutor::new()
         .execute(&case.job().expect("compiles"))
         .expect("executes");
     assert_eq!(run.outputs, case.golden().expect("golden"));
