@@ -15,15 +15,16 @@ EVAL_LARGE_CAP_KB ?= 2097152
 ## Generous because a cold tree pays the release build inside it.
 SIM_VERIFY_BUDGET_S ?= 600
 
-.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence dse dse-smoke sim-verify clean
+.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence dse dse-smoke sim-verify serve serve-smoke clean
 
 all: verify
 
 ## Tier-1 gate (release build + full test suite) plus the PR-1 lint
 ## gates: clippy and rustfmt, both warnings-as-errors — the
 ## streaming/materialized equivalence regression, the DSE smoke sweep,
-## and the functional-simulator differential gate, explicitly.
-verify: build test lint fmt-check equivalence dse-smoke sim-verify
+## the functional-simulator differential gate, and the serving smoke
+## suite, explicitly.
+verify: build test lint fmt-check equivalence dse-smoke sim-verify serve-smoke
 
 ## The golden-model differential gate: the standard registry
 ## (AES-128/192/256 on FIPS-197 vectors, integer GEMM, a conv layer)
@@ -60,6 +61,28 @@ equivalence:
 ## part of `make test`; kept addressable so `make verify` names it.
 dse-smoke:
 	$(CARGO) test -q -p darth_eval --test dse
+
+## The serving smoke suite: a small bursty trace on a fleet from the
+## real DSE smoke-sweep frontier — resident-program cache hits,
+## sustained >= offered at low load with zero rejections, served
+## outputs bit-exact against the reference executor and software
+## goldens, batch coalescing + bounded-queue rejection under overload,
+## and serving determinism at worker counts {1, 2, 64} plus the
+## DARTH_EVAL_THREADS paths. Also part of `make test`; kept
+## addressable so `make verify` names it.
+serve-smoke:
+	$(CARGO) test -q -p darth_serve --test smoke
+	$(CARGO) test -q -p darth_serve --test determinism
+
+## The serving benchmark: a >=1M-request deterministic bursty trace,
+## mixed over the standard class registry, served on an 8-chip fleet
+## from the default DSE sweep's Pareto frontier; writes
+## BENCH_serve.json (offered vs sustained throughput, p50/p99/p999
+## latency, batch histogram, cache hit rates, per-chip utilization,
+## warm-vs-cold resident-program comparison). Tune with
+## DARTH_SERVE_REQUESTS / DARTH_SERVE_SEED / DARTH_SERVE_LOAD.
+serve:
+	$(CARGO) run -q --release -p darth_bench --bin serve
 
 build:
 	$(CARGO) build --release

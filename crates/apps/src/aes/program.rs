@@ -31,7 +31,7 @@ use super::gf2;
 use super::golden::{Aes, KeySize, SBOX};
 use darth_isa::instruction::{Instruction, IsaBoolOp, PipelineId, Program, VaCoreId, Vr};
 use darth_pum::chip::SideChannel;
-use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback};
+use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback, SplitJob};
 use darth_pum::hct::HctConfig;
 
 /// Pipeline roles.
@@ -197,6 +197,87 @@ impl AesExec {
         emit_add_round_key(&mut p, rounds);
         p.push(Instruction::Halt);
         Ok((p, data))
+    }
+
+    /// Compiles the block encryption factored for serving: the
+    /// request-invariant setup (vACore allocation, GF(2) matrix, S-box,
+    /// round keys, masks, gather addresses) and compute body (the
+    /// rounds, ending in `halt`) as separate sections, with the
+    /// per-request plaintext load left to
+    /// [`AesExec::input_program`]. `setup` ‖ `input` ‖ `body` is exactly
+    /// the monolithic [`AesExec::compile`] stream — `compile` already
+    /// emits in that order, and the concatenation test pins it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates side-channel staging errors.
+    pub fn split_job(&self) -> darth_pum::Result<SplitJob> {
+        let mut data = SideChannel::new();
+        let matrix_handle = data.stage_matrix(gf2::mixcolumns_matrix())?;
+
+        let mut setup = Program::new();
+        setup.push(Instruction::AllocVaCore {
+            vacore: VaCoreId(0),
+            element_bits: 1,
+            bits_per_cell: 1,
+            input_bits: 1,
+            input_signed: false,
+        });
+        setup.push(Instruction::ProgMatrix {
+            vacore: VaCoreId(0),
+            matrix_handle,
+        });
+        self.emit_constants(&mut setup);
+
+        let mut body = Program::new();
+        let rounds = self.golden.rounds();
+        emit_add_round_key(&mut body, 0);
+        for round in 1..rounds {
+            emit_sub_bytes(&mut body);
+            emit_shift_rows(&mut body);
+            emit_mix_columns(&mut body);
+            emit_add_round_key(&mut body, round);
+        }
+        emit_sub_bytes(&mut body);
+        emit_shift_rows(&mut body);
+        emit_add_round_key(&mut body, rounds);
+        body.push(Instruction::Halt);
+
+        Ok(SplitJob {
+            name: self.name.clone(),
+            tile: AesExec::tile_config(),
+            setup: darth_isa::encode::encode_program(&setup),
+            body: darth_isa::encode::encode_program(&body),
+            data,
+            readbacks: vec![Readback {
+                label: "ciphertext".into(),
+                pipe: P_STATE,
+                vr: SV_STATE,
+                elements: 16,
+                signed: false,
+            }],
+        })
+    }
+
+    /// The encoded per-request input section for `plaintext`: 16 `wimm`s
+    /// into the state register, halt-free (execution falls through into
+    /// the resident body).
+    pub fn input_program(plaintext: &[u8; 16]) -> Vec<u8> {
+        let mut p = Program::new();
+        for (e, &b) in plaintext.iter().enumerate() {
+            wimm(&mut p, P_STATE, SV_STATE, e as u8, b.into());
+        }
+        darth_isa::encode::encode_program(&p)
+    }
+
+    /// Golden ciphertext for an arbitrary per-request plaintext under
+    /// this job's key (shape-matched to the job's readbacks).
+    pub fn golden_for(&self, plaintext: &[u8; 16]) -> Vec<ExecOutput> {
+        let ct = self.golden.encrypt_block(plaintext);
+        vec![ExecOutput {
+            label: "ciphertext".into(),
+            cells: ct.iter().map(|&b| i64::from(b)).collect(),
+        }]
     }
 
     /// Stages the S-box, round keys, masks and gather-address constants.
@@ -517,6 +598,35 @@ mod tests {
         ));
         // 128-bit job: setup + 10 rounds land in the ~1.5k range.
         assert!(program.len() > 1000, "len {}", program.len());
+    }
+
+    #[test]
+    fn split_concatenation_is_exactly_the_monolithic_program() {
+        for size in [KeySize::Aes128, KeySize::Aes192, KeySize::Aes256] {
+            let exec = AesExec::fips197_appendix_c(size);
+            let job = exec.job().expect("compiles");
+            let split = exec.split_job().expect("splits");
+            let full = split.full_job(&AesExec::input_program(&exec.plaintext));
+            assert_eq!(full.program, job.program, "{size:?}");
+            assert_eq!(full.tile, job.tile, "{size:?}");
+            assert_eq!(full.data, job.data, "{size:?}");
+            assert_eq!(full.readbacks, job.readbacks, "{size:?}");
+            // Sections keep the serving invariants: halt-free setup and
+            // input, body ends with halt.
+            let no_halt = |bytes: &[u8]| {
+                darth_isa::encode::decode_program(bytes)
+                    .expect("decodes")
+                    .iter()
+                    .all(|inst| !matches!(inst, Instruction::Halt))
+            };
+            assert!(no_halt(&split.setup), "{size:?}");
+            assert!(
+                no_halt(&AesExec::input_program(&exec.plaintext)),
+                "{size:?}"
+            );
+            let body = darth_isa::encode::decode_program(&split.body).expect("decodes");
+            assert!(matches!(body.instructions.last(), Some(Instruction::Halt)));
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::gemm::GemmWorkload;
 use darth_digital::pipeline::twos_complement_field;
 use darth_isa::instruction::{Instruction, PipelineId, Program, VaCoreId, Vr};
 use darth_pum::chip::SideChannel;
-use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback};
+use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback, SplitJob};
 use darth_pum::hct::HctConfig;
 
 /// Pipeline/register layout of the compiled convolution job.
@@ -219,40 +219,136 @@ impl ConvExec {
         p.push(Instruction::Halt);
         Ok((p, data))
     }
-}
 
-impl Executable for ConvExec {
-    fn exec_name(&self) -> String {
-        format!(
-            "conv-{}x{}x{}-k{}",
-            self.in_channels, self.size, self.out_channels, self.kernel
-        )
-    }
+    /// Compiles the layer factored for serving. The monolithic
+    /// [`ConvExec::compile`] interleaves each pixel's patch loads with
+    /// its MVM, reusing one patch register; the split form parks pixel
+    /// `p`'s receptive field in input register `CV_PATCH + p` so all
+    /// per-request loads live in the input section
+    /// ([`ConvExec::input_program`]) and the resident body is pure
+    /// compute (one MVM+bias pair per pixel, then `halt`).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for oversized layers and staging errors.
+    pub fn split_job(&self) -> darth_pum::Result<SplitJob> {
+        self.validate()?;
+        let w = self.conv_weights();
+        let mut data = SideChannel::new();
+        let matrix_handle = data.stage_matrix(self.toeplitz_matrix(&w))?;
 
-    fn job(&self) -> darth_pum::Result<ExecJob> {
-        let (program, data) = self.compile()?;
+        let mut setup = Program::new();
+        setup.push(Instruction::AllocVaCore {
+            vacore: VaCoreId(0),
+            element_bits: 4,
+            bits_per_cell: 2,
+            input_bits: 4,
+            input_signed: true,
+        });
+        setup.push(Instruction::ProgMatrix {
+            vacore: VaCoreId(0),
+            matrix_handle,
+        });
+        for co in 0..self.out_channels {
+            setup.push(Instruction::WriteImm {
+                pipe: PipelineId(P_CONV_LAND),
+                vr: Vr(CV_BIAS),
+                element: co as u8,
+                value: twos_complement_field(i64::from(w.bias(co)), CONV_DEPTH)?,
+            });
+        }
+
+        let mut body = Program::new();
         let out = self.out_size();
-        Ok(ExecJob {
+        for pixel in 0..out * out {
+            body.push(Instruction::Mvm {
+                vacore: VaCoreId(0),
+                input_pipe: PipelineId(P_CONV_IN),
+                input_vr: Vr(CV_PATCH + pixel as u8),
+                dst_pipe: PipelineId(P_CONV_LAND),
+                dst_vr: Vr(CV_ACC),
+                early_levels: 0,
+            });
+            body.push(Instruction::Add {
+                pipe: PipelineId(P_CONV_LAND),
+                dst: Vr(CV_RESULT0 + pixel as u8),
+                a: Vr(CV_ACC),
+                b: Vr(CV_BIAS),
+            });
+        }
+        body.push(Instruction::Halt);
+
+        Ok(SplitJob {
             name: self.exec_name(),
             tile: ConvExec::tile_config(),
-            program: darth_isa::encode::encode_program(&program),
+            setup: darth_isa::encode::encode_program(&setup),
+            body: darth_isa::encode::encode_program(&body),
             data,
-            readbacks: (0..out)
-                .flat_map(|oy| {
-                    (0..out).map(move |ox| Readback {
-                        label: format!("pixel-{oy}-{ox}"),
-                        pipe: P_CONV_LAND,
-                        vr: CV_RESULT0 + (oy * out + ox) as u8,
-                        elements: self.out_channels,
-                        signed: true,
-                    })
-                })
-                .collect(),
+            readbacks: self.readbacks(),
         })
     }
 
-    fn golden(&self) -> darth_pum::Result<Vec<ExecOutput>> {
-        let reference = conv2d(&self.input(), &self.conv_weights(), 1, 0, 0)
+    /// The encoded per-request input section: each output pixel's im2col
+    /// patch as `wimm`s into register `CV_PATCH + pixel`. Halt-free. The
+    /// input tensor must match the layer's `in_channels × size × size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors on an input shape mismatch and range errors
+    /// for values outside the 16-bit two's-complement field.
+    pub fn input_program(&self, input: &Tensor3) -> darth_pum::Result<Vec<u8>> {
+        if input.channels() != self.in_channels
+            || input.height() != self.size
+            || input.width() != self.size
+        {
+            return Err(darth_pum::Error::Shape(format!(
+                "input must be {}x{}x{}",
+                self.in_channels, self.size, self.size
+            )));
+        }
+        let mut p = Program::new();
+        let out = self.out_size();
+        for oy in 0..out {
+            for ox in 0..out {
+                let patch = super::tensor::im2col_row(input, self.kernel, 1, 0, oy, ox);
+                for (e, &x) in patch.iter().enumerate() {
+                    p.push(Instruction::WriteImm {
+                        pipe: PipelineId(P_CONV_IN),
+                        vr: Vr(CV_PATCH + (oy * out + ox) as u8),
+                        element: e as u8,
+                        value: twos_complement_field(i64::from(x), CONV_DEPTH)?,
+                    });
+                }
+            }
+        }
+        Ok(darth_isa::encode::encode_program(&p))
+    }
+
+    /// Deterministic per-request input activations (magnitudes ≤ 2 —
+    /// tighter than [`ConvExec::input`] so accumulators stay clamp-free
+    /// even for the larger serving shapes).
+    pub fn synth_input(&self, request_seed: u64) -> Tensor3 {
+        let n = self.in_channels * self.size * self.size;
+        let s = request_seed as i64;
+        Tensor3::from_data(
+            self.in_channels,
+            self.size,
+            self.size,
+            (0..n)
+                .map(|i| (((i as i64 * 5 + s) % 5) - 2) as i32)
+                .collect(),
+        )
+        .expect("shape is consistent by construction")
+    }
+
+    /// Golden outputs for an arbitrary input tensor under this layer's
+    /// weights (shape-matched to the job's readbacks).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the reference convolution.
+    pub fn golden_for(&self, input: &Tensor3) -> darth_pum::Result<Vec<ExecOutput>> {
+        let reference = conv2d(input, &self.conv_weights(), 1, 0, 0)
             .map_err(|e| darth_pum::Error::Shape(e.to_string()))?;
         let out = self.out_size();
         Ok((0..out)
@@ -267,6 +363,46 @@ impl Executable for ConvExec {
                     .collect::<Vec<_>>()
             })
             .collect())
+    }
+
+    /// The job's readbacks: one signed channel vector per output pixel.
+    fn readbacks(&self) -> Vec<Readback> {
+        let out = self.out_size();
+        (0..out)
+            .flat_map(|oy| {
+                (0..out).map(move |ox| Readback {
+                    label: format!("pixel-{oy}-{ox}"),
+                    pipe: P_CONV_LAND,
+                    vr: CV_RESULT0 + (oy * out + ox) as u8,
+                    elements: self.out_channels,
+                    signed: true,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Executable for ConvExec {
+    fn exec_name(&self) -> String {
+        format!(
+            "conv-{}x{}x{}-k{}",
+            self.in_channels, self.size, self.out_channels, self.kernel
+        )
+    }
+
+    fn job(&self) -> darth_pum::Result<ExecJob> {
+        let (program, data) = self.compile()?;
+        Ok(ExecJob {
+            name: self.exec_name(),
+            tile: ConvExec::tile_config(),
+            program: darth_isa::encode::encode_program(&program),
+            data,
+            readbacks: self.readbacks(),
+        })
+    }
+
+    fn golden(&self) -> darth_pum::Result<Vec<ExecOutput>> {
+        self.golden_for(&self.input())
     }
 }
 
@@ -310,6 +446,38 @@ mod tests {
                 assert!((-128..=127).contains(&cell), "cell {cell} would clamp");
             }
         }
+    }
+
+    #[test]
+    fn split_conv_serves_arbitrary_inputs_bit_exact() {
+        let exec = ConvExec::standard();
+        let split = exec.split_job().expect("splits");
+        for request_seed in [0u64, 7, 23] {
+            let input = exec.synth_input(request_seed);
+            let stub = exec.input_program(&input).expect("encodes");
+            let full = split.full_job(&stub);
+            let program = full.decoded_program().expect("decodes");
+            let mut chip =
+                DarthPumChip::new(ChipParams::default(), full.tile.clone()).expect("builds");
+            chip.execute(&program, &full.data).expect("executes");
+            let golden = exec.golden_for(&input).expect("golden");
+            let pipe = chip
+                .tile_mut()
+                .pipeline_mut(P_CONV_LAND as usize)
+                .expect("exists");
+            for (rb, reference) in full.readbacks.iter().zip(&golden) {
+                let got: Vec<i64> = (0..rb.elements)
+                    .map(|e| {
+                        pipe.read_value_signed(usize::from(rb.vr), e)
+                            .expect("reads")
+                    })
+                    .collect();
+                assert_eq!(got, reference.cells, "seed {request_seed} {}", rb.label);
+            }
+        }
+        // Shape mismatches are rejected at encode time.
+        let wrong = Tensor3::zeros(1, exec.size, exec.size).expect("builds");
+        assert!(exec.input_program(&wrong).is_err());
     }
 
     #[test]

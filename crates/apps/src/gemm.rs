@@ -12,7 +12,7 @@
 use darth_digital::pipeline::twos_complement_field;
 use darth_isa::instruction::{Instruction, PipelineId, Program, VaCoreId, Vr};
 use darth_pum::chip::SideChannel;
-use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback, Workload};
+use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback, SplitJob, Workload};
 use darth_pum::hct::HctConfig;
 use darth_pum::trace::{KernelOp, Trace, TraceMeta, TraceSink, VectorKind};
 
@@ -273,6 +273,148 @@ impl GemmExec {
         p.push(Instruction::Halt);
         Ok((p, data))
     }
+
+    /// Compiles the GEMM factored for serving. The monolithic
+    /// [`GemmExec::compile`] interleaves each row's activation loads with
+    /// its MVM, reusing one input register; the split form instead parks
+    /// row `i`'s activations in input register `GV_INPUT + i` so that
+    /// **all** per-request loads live in the input section
+    /// ([`GemmExec::input_program`]) and the resident body is pure
+    /// compute (`m` MVM+bias pairs, then `halt`). Bit-exactness against
+    /// the golden model is pinned by the serving differential tests
+    /// rather than byte-equality with `compile` — the instruction
+    /// schedules differ by design.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for oversized dims and staging errors.
+    pub fn split_job(&self) -> darth_pum::Result<SplitJob> {
+        self.validate()?;
+        let mut data = SideChannel::new();
+        let matrix_handle = data.stage_matrix(self.weights())?;
+
+        let mut setup = Program::new();
+        setup.push(Instruction::AllocVaCore {
+            vacore: VaCoreId(0),
+            element_bits: 4,
+            bits_per_cell: 2,
+            input_bits: 8,
+            input_signed: true,
+        });
+        setup.push(Instruction::ProgMatrix {
+            vacore: VaCoreId(0),
+            matrix_handle,
+        });
+        for (e, &b) in self.bias().iter().enumerate() {
+            setup.push(Instruction::WriteImm {
+                pipe: PipelineId(P_GEMM_LAND),
+                vr: Vr(GV_BIAS),
+                element: e as u8,
+                value: twos_complement_field(b, GEMM_DEPTH)?,
+            });
+        }
+
+        let mut body = Program::new();
+        for i in 0..self.m {
+            body.push(Instruction::Mvm {
+                vacore: VaCoreId(0),
+                input_pipe: PipelineId(P_GEMM_IN),
+                input_vr: Vr(GV_INPUT + i as u8),
+                dst_pipe: PipelineId(P_GEMM_LAND),
+                dst_vr: Vr(GV_ACC),
+                early_levels: 0,
+            });
+            body.push(Instruction::Add {
+                pipe: PipelineId(P_GEMM_LAND),
+                dst: Vr(GV_RESULT0 + i as u8),
+                a: Vr(GV_ACC),
+                b: Vr(GV_BIAS),
+            });
+        }
+        body.push(Instruction::Halt);
+
+        Ok(SplitJob {
+            name: self.exec_name(),
+            tile: GemmExec::tile_config(),
+            setup: darth_isa::encode::encode_program(&setup),
+            body: darth_isa::encode::encode_program(&body),
+            data,
+            readbacks: self.readbacks(),
+        })
+    }
+
+    /// The encoded per-request input section: row `i`'s activations as
+    /// `wimm`s into input register `GV_INPUT + i`. Halt-free. The shape
+    /// must be `m × k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors on an activation shape mismatch and range
+    /// errors for values outside the 16-bit two's-complement field.
+    pub fn input_program(&self, activations: &[Vec<i64>]) -> darth_pum::Result<Vec<u8>> {
+        if activations.len() != self.m || activations.iter().any(|row| row.len() != self.k) {
+            return Err(darth_pum::Error::Shape(format!(
+                "activations must be {}x{}",
+                self.m, self.k
+            )));
+        }
+        let mut p = Program::new();
+        for (i, row) in activations.iter().enumerate() {
+            for (e, &x) in row.iter().enumerate() {
+                p.push(Instruction::WriteImm {
+                    pipe: PipelineId(P_GEMM_IN),
+                    vr: Vr(GV_INPUT + i as u8),
+                    element: e as u8,
+                    value: twos_complement_field(x, GEMM_DEPTH)?,
+                });
+            }
+        }
+        Ok(darth_isa::encode::encode_program(&p))
+    }
+
+    /// Deterministic per-request activations (`m × k`, small signed
+    /// range so outputs stay well inside the 16-bit field for any legal
+    /// shape).
+    pub fn synth_activations(&self, request_seed: u64) -> Vec<Vec<i64>> {
+        let s = request_seed as i64;
+        (0..self.m)
+            .map(|i| {
+                (0..self.k)
+                    .map(|r| ((i as i64 * 13 + r as i64 * 5 + s) % 21) - 10)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Golden outputs for arbitrary activations under this job's weights
+    /// and bias (shape-matched to the job's readbacks).
+    pub fn golden_for(&self, activations: &[Vec<i64>]) -> Vec<ExecOutput> {
+        let w = self.weights();
+        let bias = self.bias();
+        activations
+            .iter()
+            .enumerate()
+            .map(|(i, row)| ExecOutput {
+                label: format!("row-{i}"),
+                cells: (0..self.n)
+                    .map(|c| (0..self.k).map(|r| row[r] * w[r][c]).sum::<i64>() + bias[c])
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// The job's readbacks: one signed row vector per batch row.
+    fn readbacks(&self) -> Vec<Readback> {
+        (0..self.m)
+            .map(|i| Readback {
+                label: format!("row-{i}"),
+                pipe: P_GEMM_LAND,
+                vr: GV_RESULT0 + i as u8,
+                elements: self.n,
+                signed: true,
+            })
+            .collect()
+    }
 }
 
 impl Executable for GemmExec {
@@ -287,32 +429,12 @@ impl Executable for GemmExec {
             tile: GemmExec::tile_config(),
             program: darth_isa::encode::encode_program(&program),
             data,
-            readbacks: (0..self.m)
-                .map(|i| Readback {
-                    label: format!("row-{i}"),
-                    pipe: P_GEMM_LAND,
-                    vr: GV_RESULT0 + i as u8,
-                    elements: self.n,
-                    signed: true,
-                })
-                .collect(),
+            readbacks: self.readbacks(),
         })
     }
 
     fn golden(&self) -> darth_pum::Result<Vec<ExecOutput>> {
-        let w = self.weights();
-        let bias = self.bias();
-        Ok(self
-            .activations()
-            .iter()
-            .enumerate()
-            .map(|(i, row)| ExecOutput {
-                label: format!("row-{i}"),
-                cells: (0..self.n)
-                    .map(|c| (0..self.k).map(|r| row[r] * w[r][c]).sum::<i64>() + bias[c])
-                    .collect(),
-            })
-            .collect())
+        Ok(self.golden_for(&self.activations()))
     }
 }
 
@@ -369,6 +491,37 @@ mod tests {
                 .collect();
             assert_eq!(got, reference.cells, "row {i}");
         }
+    }
+
+    #[test]
+    fn split_gemm_serves_arbitrary_activations_bit_exact() {
+        let exec = GemmExec::standard();
+        let split = exec.split_job().expect("splits");
+        for request_seed in [0u64, 3, 19] {
+            let activations = exec.synth_activations(request_seed);
+            let input = exec.input_program(&activations).expect("encodes");
+            let full = split.full_job(&input);
+            let program = full.decoded_program().expect("decodes");
+            let mut chip =
+                DarthPumChip::new(ChipParams::default(), full.tile.clone()).expect("builds");
+            chip.execute(&program, &full.data).expect("executes");
+            let golden = exec.golden_for(&activations);
+            let pipe = chip
+                .tile_mut()
+                .pipeline_mut(P_GEMM_LAND as usize)
+                .expect("exists");
+            for (i, reference) in golden.iter().enumerate() {
+                let got: Vec<i64> = (0..exec.n)
+                    .map(|e| {
+                        pipe.read_value_signed(usize::from(GV_RESULT0) + i, e)
+                            .expect("reads")
+                    })
+                    .collect();
+                assert_eq!(got, reference.cells, "seed {request_seed} row {i}");
+            }
+        }
+        // Shape mismatches are rejected at encode time.
+        assert!(exec.input_program(&[vec![0; exec.k]]).is_err());
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Criterion bench + machine-readable report for the serving fast
+//! path: per-request cost of **warm** serving (clone a resident
+//! program's prototype, run the input stub + compiled body) vs. a
+//! **cold** per-request preparation (decode + compile + tile build +
+//! setup, then run), plus a self-timed requests-per-second comparison
+//! written to `BENCH_serve_throughput.json`
+//! (schema `darth-bench-serve-throughput/v1`). Request count:
+//! `DARTH_SERVE_BENCH_REQUESTS` (default 200).
+
+use criterion::{criterion_group, Criterion};
+use darth_bench::{emit_json, JsonValue};
+use darth_serve::{measure_warm_vs_cold, standard_classes, ServeClass};
+use darth_sim::{FastExecutor, ResidentProgram};
+use std::hint::black_box;
+
+fn aes_class() -> ServeClass {
+    standard_classes()
+        .expect("classes compile")
+        .into_iter()
+        .find(|class| class.name() == "aes256")
+        .expect("standard classes include aes256")
+}
+
+fn bench_request_latency(c: &mut Criterion) {
+    let class = aes_class();
+
+    let resident =
+        ResidentProgram::for_split(class.split().clone()).expect("resident program builds");
+    let input = class.input_program(1).expect("input lowers");
+    c.bench_function("serve_warm_aes256_request", |b| {
+        b.iter(|| black_box(resident.serve(black_box(&input)).expect("serves")))
+    });
+
+    let executor = FastExecutor::new();
+    let job = class.full_job(1).expect("job lowers");
+    c.bench_function("serve_cold_aes256_request", |b| {
+        b.iter(|| {
+            let prepared = executor.prepare(black_box(&job)).expect("prepares");
+            black_box(executor.run_prepared(&prepared).expect("runs"))
+        })
+    });
+}
+
+fn throughput_report() {
+    let requests: usize = std::env::var("DARTH_SERVE_BENCH_REQUESTS")
+        .ok()
+        .and_then(|raw| raw.trim().parse().ok())
+        .unwrap_or(200);
+    let class = aes_class();
+    let report = measure_warm_vs_cold(&class, requests).expect("warm/cold arms agree");
+
+    let cold_rps = report.requests as f64 / report.cold_s.max(1e-12);
+    let warm_rps = report.requests as f64 / report.warm_s.max(1e-12);
+    println!(
+        "\n=== serve_throughput ({} {} requests) ===",
+        requests,
+        class.name()
+    );
+    println!(
+        "cold (per-request prepare): {:>8.3}s = {:>10.0} req/s",
+        report.cold_s, cold_rps
+    );
+    println!(
+        "warm (resident program):    {:>8.3}s = {:>10.0} req/s",
+        report.warm_s, warm_rps
+    );
+    println!("resident-program speedup:   {:>8.1}x", report.speedup);
+
+    emit_json(
+        "serve_throughput",
+        &JsonValue::object(vec![
+            ("schema", JsonValue::from("darth-bench-serve-throughput/v1")),
+            ("class", JsonValue::from(class.name().to_owned())),
+            ("requests", JsonValue::from(report.requests)),
+            ("cold_seconds", JsonValue::from(report.cold_s)),
+            ("warm_seconds", JsonValue::from(report.warm_s)),
+            ("cold_requests_per_sec", JsonValue::from(cold_rps)),
+            ("warm_requests_per_sec", JsonValue::from(warm_rps)),
+            ("warm_speedup", JsonValue::from(report.speedup)),
+        ]),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_request_latency
+}
+
+fn main() {
+    benches();
+    throughput_report();
+}

@@ -118,7 +118,7 @@ pub struct CompiledProgram<P: DcePipeline> {
     thunks: Vec<OpThunk<P>>,
     instructions: u64,
     analog_instructions: u64,
-    histogram: BTreeMap<String, u64>,
+    histogram: BTreeMap<&'static str, u64>,
 }
 
 impl<P: DcePipeline> CompiledProgram<P> {
@@ -133,8 +133,11 @@ impl<P: DcePipeline> CompiledProgram<P> {
         self.analog_instructions
     }
 
-    /// Per-mnemonic instruction counts over the executed prefix.
-    pub fn histogram(&self) -> &BTreeMap<String, u64> {
+    /// Per-mnemonic instruction counts over the executed prefix. Keys are
+    /// the interned `&'static str` mnemonics from
+    /// [`Instruction::mnemonic`], so merging a run's histogram into a
+    /// machine's lifetime histogram never clones a key.
+    pub fn histogram(&self) -> &BTreeMap<&'static str, u64> {
         &self.histogram
     }
 }
@@ -251,10 +254,7 @@ impl<P: DcePipeline> GenericChip<P> {
             }
             thunks.push(Self::compile_one(inst));
         }
-        let histogram = counts
-            .into_iter()
-            .map(|(m, n)| (m.to_string(), n))
-            .collect();
+        let histogram = counts.into_iter().collect();
         CompiledProgram {
             thunks,
             instructions,

@@ -190,6 +190,172 @@ impl ExecJob {
     pub fn instruction_count(&self) -> usize {
         self.program.len() / darth_isa::encode::RECORD_SIZE
     }
+
+    /// The job's stable [`JobSignature`]: two jobs share a signature
+    /// exactly when they run the same encoded program on the same tile
+    /// geometry over the same staged side-channel data with the same
+    /// readbacks. The job *name* is deliberately excluded — per-request
+    /// names must not defeat signature-keyed program caches.
+    pub fn signature(&self) -> JobSignature {
+        let mut h = Fnv1a::new();
+        hash_shape(&mut h, &self.tile, &self.data, &self.readbacks);
+        h.write(&self.program);
+        JobSignature(h.finish())
+    }
+}
+
+/// A stable 64-bit identity for "same resident program" work: the FNV-1a
+/// hash of a job's tile geometry, encoded instruction stream(s), staged
+/// side-channel data and readbacks — everything that determines the
+/// compiled program and warmed machine state, and nothing that varies
+/// per request.
+///
+/// The hash is computed with a fixed, explicitly coded FNV-1a so it is
+/// deterministic across processes and worker threads (unlike
+/// `DefaultHasher`, whose keys are randomized). Serving-layer program
+/// caches key on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobSignature(pub u64);
+
+impl std::fmt::Display for JobSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The explicit FNV-1a folder behind [`JobSignature`] — fixed constants,
+/// no per-process randomization.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Folds the program-independent parts of a job's identity — tile
+/// geometry, staged data, readbacks — into `h`. The tile enters through
+/// its `Debug` rendering: every field participates automatically, and
+/// the rendering is deterministic for a given build.
+fn hash_shape(h: &mut Fnv1a, tile: &HctConfig, data: &SideChannel, readbacks: &[Readback]) {
+    h.write(format!("{tile:?}").as_bytes());
+    h.write_u64(data.matrices.len() as u64);
+    for (&handle, matrix) in &data.matrices {
+        h.write_u64(u64::from(handle));
+        h.write_u64(matrix.len() as u64);
+        for row in matrix {
+            h.write_u64(row.len() as u64);
+            for &cell in row {
+                h.write_i64(cell);
+            }
+        }
+    }
+    h.write_u64(data.vectors.len() as u64);
+    for (&handle, vector) in &data.vectors {
+        h.write_u64(u64::from(handle));
+        h.write_u64(vector.len() as u64);
+        for &cell in vector {
+            h.write_i64(cell);
+        }
+    }
+    h.write_u64(readbacks.len() as u64);
+    for rb in readbacks {
+        h.write(rb.label.as_bytes());
+        h.write_u64(u64::from(rb.pipe));
+        h.write_u64(u64::from(rb.vr));
+        h.write_u64(rb.elements as u64);
+        h.write_u64(u64::from(rb.signed));
+    }
+}
+
+/// An [`ExecJob`] factored for serving: the request-invariant parts
+/// (setup + compute body) separated from the per-request input program.
+///
+/// A serving layer runs `setup` **once** per resident cache entry (it
+/// stages weights/constants/round keys onto a prototype machine),
+/// compiles `body` **once**, and per request only interprets the tiny
+/// per-request input program before re-running the compiled body —
+/// that is the ACE-style "keep the circuit resident, swap the inputs"
+/// optimization.
+///
+/// Invariants the producer must uphold (pinned by the app-layer
+/// concatenation tests):
+///
+/// * `setup` and every per-request input program are **halt-free** —
+///   execution must fall through into the next section;
+/// * `body` ends with `halt`;
+/// * `setup` ‖ `input` ‖ `body` byte-concatenated is exactly the
+///   monolithic program an [`ExecJob`] for the same request would carry
+///   ([`SplitJob::full_job`] builds it, and the differential spot check
+///   runs it on the reference executor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitJob {
+    /// Work item name (class-level, not per-request).
+    pub name: String,
+    /// Functional tile geometry all three program sections target.
+    pub tile: HctConfig,
+    /// Encoded request-invariant prologue: allocations, weight
+    /// programming, constants. Halt-free.
+    pub setup: Vec<u8>,
+    /// Encoded request-invariant compute body; ends with `halt`.
+    pub body: Vec<u8>,
+    /// Host-staged data referenced by `setup` (weights, tables).
+    pub data: SideChannel,
+    /// Output locations to read after the body halts.
+    pub readbacks: Vec<Readback>,
+}
+
+impl SplitJob {
+    /// The split job's stable [`JobSignature`] — the program-cache key.
+    /// Covers tile, both invariant program sections, staged data and
+    /// readbacks; excludes the name and (by construction) anything
+    /// per-request.
+    pub fn signature(&self) -> JobSignature {
+        let mut h = Fnv1a::new();
+        hash_shape(&mut h, &self.tile, &self.data, &self.readbacks);
+        h.write_u64(self.setup.len() as u64);
+        h.write(&self.setup);
+        h.write(&self.body);
+        JobSignature(h.finish())
+    }
+
+    /// Reassembles the monolithic [`ExecJob`] for one request: `setup` ‖
+    /// `input` ‖ `body`, byte-concatenated (the encode layer is
+    /// fixed-width records, so concatenation is itself a valid encoded
+    /// program). This is what differential spot checks run on the
+    /// reference executor to prove the resident serving path bit-exact.
+    pub fn full_job(&self, input: &[u8]) -> ExecJob {
+        let mut program = Vec::with_capacity(self.setup.len() + input.len() + self.body.len());
+        program.extend_from_slice(&self.setup);
+        program.extend_from_slice(input);
+        program.extend_from_slice(&self.body);
+        ExecJob {
+            name: self.name.clone(),
+            tile: self.tile.clone(),
+            program,
+            data: self.data.clone(),
+            readbacks: self.readbacks.clone(),
+        }
+    }
 }
 
 /// The result of executing one [`ExecJob`]: its output cells plus basic
@@ -427,6 +593,91 @@ mod tests {
         };
         assert_eq!(job.instruction_count(), 2);
         assert_eq!(job.decoded_program().expect("decodes"), program);
+    }
+
+    #[test]
+    fn signatures_are_stable_and_shape_sensitive() {
+        use darth_isa::instruction::{Instruction, PipelineId, Vr};
+        let program: darth_isa::instruction::Program = [
+            Instruction::WriteImm {
+                pipe: PipelineId(0),
+                vr: Vr(0),
+                element: 0,
+                value: 7,
+            },
+            Instruction::Halt,
+        ]
+        .into_iter()
+        .collect();
+        let job = ExecJob {
+            name: "tiny".into(),
+            tile: HctConfig::small_test(),
+            program: darth_isa::encode::encode_program(&program),
+            data: SideChannel::new(),
+            readbacks: vec![],
+        };
+        // Deterministic and name-independent…
+        assert_eq!(job.signature(), job.signature());
+        let mut renamed = job.clone();
+        renamed.name = "request-194838".into();
+        assert_eq!(job.signature(), renamed.signature());
+        // …but sensitive to the program bytes, the tile and the data.
+        let mut other_program = job.clone();
+        other_program.program[8] ^= 1;
+        assert_ne!(job.signature(), other_program.signature());
+        let mut other_tile = job.clone();
+        other_tile.tile.seed ^= 1;
+        assert_ne!(job.signature(), other_tile.signature());
+        let mut other_data = job.clone();
+        other_data
+            .data
+            .stage_matrix(vec![vec![1, 2], vec![3, 4]])
+            .expect("stages");
+        assert_ne!(job.signature(), other_data.signature());
+    }
+
+    #[test]
+    fn split_jobs_reassemble_and_sign_consistently() {
+        use darth_isa::encode::encode_program;
+        use darth_isa::instruction::{Instruction, PipelineId, Program, Vr};
+        let wimm = |value: u64| -> Program {
+            [Instruction::WriteImm {
+                pipe: PipelineId(0),
+                vr: Vr(0),
+                element: 0,
+                value,
+            }]
+            .into_iter()
+            .collect()
+        };
+        let body: Program = [Instruction::Halt].into_iter().collect();
+        let split = SplitJob {
+            name: "split".into(),
+            tile: HctConfig::small_test(),
+            setup: encode_program(&wimm(1)),
+            body: encode_program(&body),
+            data: SideChannel::new(),
+            readbacks: vec![],
+        };
+        let input = encode_program(&wimm(9));
+        let full = split.full_job(&input);
+        // Concatenation is a valid encoded program: setup ‖ input ‖ body.
+        assert_eq!(full.instruction_count(), 3);
+        let decoded = full.decoded_program().expect("decodes");
+        assert_eq!(decoded.iter().count(), 3);
+        // The split signature ignores the per-request input…
+        let other_input = encode_program(&wimm(42));
+        assert_eq!(split.signature(), split.signature());
+        assert_ne!(
+            split.full_job(&input).signature(),
+            split.full_job(&other_input).signature()
+        );
+        // …and the section lengths are domain-separated: moving bytes
+        // between setup and body changes the signature.
+        let mut shifted = split.clone();
+        shifted.body = [split.setup.clone(), split.body.clone()].concat();
+        shifted.setup = Vec::new();
+        assert_ne!(split.signature(), shifted.signature());
     }
 
     #[test]

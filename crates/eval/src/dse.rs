@@ -655,6 +655,45 @@ pub fn price_sweep(
     })
 }
 
+/// One serving chip drawn from the DSE frontier: the design point's
+/// name, its clock (the serving timeline's cycle→seconds conversion),
+/// and the full validated config. The serving layer (`darth_serve`)
+/// replicates these into a heterogeneous fleet.
+#[derive(Debug, Clone)]
+pub struct FleetPoint {
+    /// Design-point name (`"darth-sar-b8-xb64x64-bpc4-clk1"`).
+    pub name: String,
+    /// DCE clock in GHz.
+    pub clock_ghz: f64,
+    /// The validated configuration.
+    pub config: DarthConfig,
+}
+
+/// Extracts a priced sweep's aggregate-Pareto-frontier design points as
+/// serving-fleet configs, matching the matrix columns back to the
+/// generator's [`DesignPoint`]s by name. Frontier order is registration
+/// order ([`SweepMatrix::pareto_frontier_aggregate`] returns ascending
+/// indices), so the fleet is deterministic for a given sweep. Frontier
+/// entries whose name is missing from `points` are skipped — passing the
+/// same grid that was priced never drops any.
+pub fn frontier_fleet(points: &[DesignPoint], matrix: &SweepMatrix) -> Vec<FleetPoint> {
+    matrix
+        .pareto_frontier_aggregate()
+        .into_iter()
+        .filter_map(|i| {
+            let summary = &matrix.points[i];
+            points
+                .iter()
+                .find(|p| p.name == summary.name)
+                .map(|p| FleetPoint {
+                    name: p.name.clone(),
+                    clock_ghz: p.config.dce.clock_ghz,
+                    config: p.config,
+                })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

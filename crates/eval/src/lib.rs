@@ -74,7 +74,7 @@ pub mod engine;
 pub mod json;
 pub mod registry;
 
-pub use dse::{ConfigSweep, DesignPoint, SweepAxis, SweepMatrix};
+pub use dse::{frontier_fleet, ConfigSweep, DesignPoint, FleetPoint, SweepAxis, SweepMatrix};
 pub use engine::{Engine, EvalMatrix, ModelSummary, Threading, WorkloadSummary};
 pub use json::JsonValue;
 pub use registry::{PaperAppAccel, PaperDarthModel};

@@ -10,7 +10,7 @@
 //!    a real sweep.
 
 use darth_analog::adc::AdcKind;
-use darth_eval::dse::{price_sweep, smoke_sweep, Metric, SweepMatrix};
+use darth_eval::dse::{frontier_fleet, price_sweep, smoke_sweep, Metric, SweepMatrix};
 use darth_eval::registry::{paper_models, paper_workloads};
 use darth_eval::{Engine, Threading};
 use darth_pum::config::DarthConfig;
@@ -117,6 +117,25 @@ fn frontier_and_best_configs_are_sane() {
             );
         }
     }
+
+    // The serving layer draws its chip fleet from the aggregate
+    // frontier: every fleet point matches a frontier entry by name, in
+    // frontier order, with a live clock and the point's own config.
+    let points = smoke_sweep().generate().expect("smoke grid is valid");
+    let fleet = frontier_fleet(&points, &sweep);
+    assert_eq!(fleet.len(), frontier.len());
+    for (fleet_point, &idx) in fleet.iter().zip(&frontier) {
+        assert_eq!(fleet_point.name, sweep.points[idx].name);
+        let source = points
+            .iter()
+            .find(|p| p.name == fleet_point.name)
+            .expect("fleet names come from the generated grid");
+        assert_eq!(fleet_point.config, source.config);
+        assert!(fleet_point.clock_ghz > 0.0);
+        assert_eq!(fleet_point.clock_ghz, source.config.dce.clock_ghz);
+    }
+    // Points the generator never produced are skipped, not fabricated.
+    assert!(frontier_fleet(&[], &sweep).is_empty());
 
     // Unknown names degrade to empty/None, not panics.
     assert!(sweep.pareto_frontier("nope").is_empty());

@@ -1,0 +1,572 @@
+//! The serving engine: admission + scheduling over a heterogeneous
+//! chip fleet, same-signature batch formation, and per-chip execution
+//! against resident compiled programs.
+//!
+//! A serving run is three deterministic passes:
+//!
+//! 1. **Admission** (sequential): requests are walked in arrival order
+//!    through a discrete-event model of every chip's backlog. Each
+//!    request goes to the chip with the earliest *estimated* finish
+//!    (per-class cycle estimates calibrated once on a scratch resident
+//!    program, scaled by each chip's clock); chips whose bounded
+//!    admission queue is full drop out, and a request rejected by every
+//!    chip is dropped.
+//! 2. **Execution** (parallel over whole chips): each chip replays its
+//!    assignment list on a virtual timeline. At each dispatch the head
+//!    request is coalesced with every already-arrived pending request
+//!    sharing its program signature (up to the batch limit), the
+//!    resident program is fetched from the chip's LRU
+//!    [`ProgramCache`] — a miss charges the one-time setup cycles — and
+//!    each batch member runs as one input stub + compiled body on a
+//!    clone of the warmed prototype. Worker threads shard *whole
+//!    chips*, so every chip's timeline, outputs and counters are
+//!    byte-identical at any worker count.
+//! 3. **Merge** (sequential): per-chip records fold into fleet-wide
+//!    percentiles, throughput, batch histograms, cache totals,
+//!    utilization and an order-independent output digest.
+//!
+//! Time is *virtual* — cycle counts from the functional simulation
+//! divided by each chip's frontier clock — so latency percentiles are
+//! exactly reproducible, never a function of host scheduling.
+
+use std::collections::VecDeque;
+use std::thread;
+use std::time::Instant;
+
+use darth_pum::eval::{ExecOutput, Executor};
+use darth_pum::workers::forced_workers;
+use darth_pum::Error;
+use darth_sim::{FastExecutor, ProgramCache, ResidentProgram, SimExecutor};
+
+use crate::class::ServeClass;
+use crate::fleet::FleetChip;
+use crate::report::{ChipReport, LatencyStats, ServeReport, SpotChecks, WarmColdReport};
+use crate::trace::Request;
+
+/// FNV-1a over a byte stream (fixed offset/prime, so digests are
+/// stable across runs and platforms).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+}
+
+/// Hashes a served request's outputs (labels + cells, in order).
+fn hash_outputs(outputs: &[ExecOutput]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(outputs.len() as u64);
+    for out in outputs {
+        h.write(out.label.as_bytes());
+        h.write_u64(out.cells.len() as u64);
+        for &cell in &out.cells {
+            h.write(&cell.to_le_bytes());
+        }
+    }
+    h.0
+}
+
+/// Converts a cycle count on a chip's clock to nanoseconds of virtual
+/// time.
+fn cycles_to_ns(cycles: u64, clock_hz: f64) -> u64 {
+    (cycles as f64 * 1e9 / clock_hz) as u64
+}
+
+/// One served request's record, produced by its chip's timeline.
+#[derive(Debug, Clone, Copy)]
+struct RequestRecord {
+    id: u64,
+    arrival_ns: u64,
+    completion_ns: u64,
+    output_hash: u64,
+}
+
+/// Everything one chip produced in the execution pass.
+#[derive(Debug, Clone)]
+struct ChipOutcome {
+    records: Vec<RequestRecord>,
+    busy_cycles: u64,
+    batch_histogram: Vec<(usize, u64)>,
+    cache: darth_sim::CacheStats,
+    spot: SpotChecks,
+}
+
+/// The batched multi-chip serving engine.
+///
+/// Construction takes the class registry (resident programs) and the
+/// fleet; builder methods tune batching, spot-check sampling and the
+/// execution worker count. [`ServeEngine::serve`] runs a trace.
+#[derive(Debug, Clone)]
+pub struct ServeEngine {
+    classes: Vec<ServeClass>,
+    chips: Vec<FleetChip>,
+    workers: Option<usize>,
+    batch_limit: usize,
+    dispatch_overhead_cycles: u64,
+    spot_interval: u64,
+}
+
+impl ServeEngine {
+    /// Creates an engine over the given classes and fleet.
+    ///
+    /// Defaults: batch limit 32, dispatch overhead 2000 cycles per
+    /// batch (host dispatch + DMA setup), spot-check every 8192nd
+    /// request, workers from `DARTH_EVAL_THREADS` else available
+    /// parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for an empty class registry, an
+    /// empty fleet, or a chip without a positive clock.
+    pub fn new(classes: Vec<ServeClass>, chips: Vec<FleetChip>) -> darth_pum::Result<Self> {
+        if classes.is_empty() {
+            return Err(Error::InvalidConfig(
+                "serving needs at least one class".into(),
+            ));
+        }
+        if chips.is_empty() {
+            return Err(Error::InvalidConfig(
+                "serving needs at least one chip".into(),
+            ));
+        }
+        for chip in &chips {
+            let clock_valid = chip.clock_hz.is_finite() && chip.clock_hz > 0.0;
+            if !clock_valid {
+                return Err(Error::InvalidConfig(format!(
+                    "chip {} has non-positive clock {}",
+                    chip.name, chip.clock_hz
+                )));
+            }
+        }
+        Ok(ServeEngine {
+            classes,
+            chips,
+            workers: None,
+            batch_limit: 32,
+            dispatch_overhead_cycles: 2000,
+            spot_interval: 8192,
+        })
+    }
+
+    /// Forces a fixed execution worker count, overriding the
+    /// environment (determinism tests pin {1, 2, 64} this way).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the maximum requests coalesced into one batch (min 1).
+    #[must_use]
+    pub fn with_batch_limit(mut self, limit: usize) -> Self {
+        self.batch_limit = limit.max(1);
+        self
+    }
+
+    /// Sets the per-batch dispatch overhead in cycles.
+    #[must_use]
+    pub fn with_dispatch_overhead(mut self, cycles: u64) -> Self {
+        self.dispatch_overhead_cycles = cycles;
+        self
+    }
+
+    /// Sets the spot-check sampling interval: every `interval`-th
+    /// request id is re-executed monolithically on the reference
+    /// executor and compared against the software golden. `0` disables
+    /// spot checks.
+    #[must_use]
+    pub fn with_spot_interval(mut self, interval: u64) -> Self {
+        self.spot_interval = interval;
+        self
+    }
+
+    /// The registered classes.
+    pub fn classes(&self) -> &[ServeClass] {
+        &self.classes
+    }
+
+    /// The fleet.
+    pub fn chips(&self) -> &[FleetChip] {
+        &self.chips
+    }
+
+    /// The worker count the execution pass runs on.
+    fn worker_count(&self) -> usize {
+        self.workers
+            .or_else(|| forced_workers("DARTH_EVAL_THREADS"))
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, usize::from))
+            .max(1)
+            .min(self.chips.len())
+    }
+
+    /// Calibrates per-class service-cycle estimates for the admission
+    /// model: one scratch resident program per class, one probe serve.
+    fn calibrate(&self) -> darth_pum::Result<Vec<u64>> {
+        self.classes
+            .iter()
+            .map(|class| {
+                let resident = ResidentProgram::for_split(class.split().clone())?;
+                let probe = resident.serve(&class.input_program(0)?)?;
+                Ok(probe.busy_cycles.get() + self.dispatch_overhead_cycles)
+            })
+            .collect()
+    }
+
+    /// Pass 1: walks the trace in arrival order, assigning each request
+    /// to the chip with the earliest estimated finish (ties go to the
+    /// lowest fleet index). Returns per-chip assignment lists and the
+    /// rejected-request count.
+    fn assign(&self, trace: &[Request], est_cycles: &[u64]) -> (Vec<Vec<Request>>, u64) {
+        struct ChipQueue {
+            // Estimated completion times of admitted, unfinished work.
+            inflight: VecDeque<u64>,
+            // Estimated time the chip drains everything admitted so far.
+            free_ns: u64,
+        }
+        let mut queues: Vec<ChipQueue> = self
+            .chips
+            .iter()
+            .map(|_| ChipQueue {
+                inflight: VecDeque::new(),
+                free_ns: 0,
+            })
+            .collect();
+        let mut assigned: Vec<Vec<Request>> = self.chips.iter().map(|_| Vec::new()).collect();
+        let mut rejected = 0u64;
+
+        for request in trace {
+            let mut best: Option<(u64, usize)> = None;
+            for (i, (chip, queue)) in self.chips.iter().zip(&mut queues).enumerate() {
+                while queue
+                    .inflight
+                    .front()
+                    .is_some_and(|&done| done <= request.arrival_ns)
+                {
+                    queue.inflight.pop_front();
+                }
+                if queue.inflight.len() >= chip.queue_capacity {
+                    continue;
+                }
+                let finish = queue.free_ns.max(request.arrival_ns)
+                    + cycles_to_ns(est_cycles[request.class], chip.clock_hz);
+                if best.is_none_or(|(t, _)| finish < t) {
+                    best = Some((finish, i));
+                }
+            }
+            match best {
+                None => rejected += 1,
+                Some((finish, i)) => {
+                    queues[i].free_ns = finish;
+                    queues[i].inflight.push_back(finish);
+                    assigned[i].push(*request);
+                }
+            }
+        }
+        (assigned, rejected)
+    }
+
+    /// Pass 2 (one chip): replays the chip's assignment list on its
+    /// virtual timeline with batch coalescing and the resident-program
+    /// cache.
+    fn run_chip(&self, chip: &FleetChip, assigned: &[Request]) -> darth_pum::Result<ChipOutcome> {
+        let mut cache = ProgramCache::new(chip.cache_capacity);
+        let reference = SimExecutor::new();
+        let mut served = vec![false; assigned.len()];
+        let mut records = Vec::with_capacity(assigned.len());
+        let mut histogram = std::collections::BTreeMap::<usize, u64>::new();
+        let mut busy_cycles = 0u64;
+        let mut spot = SpotChecks::default();
+        let mut now_ns = 0u64;
+        let mut head = 0usize;
+
+        while head < assigned.len() {
+            if served[head] {
+                head += 1;
+                continue;
+            }
+            let lead = &assigned[head];
+            let class = &self.classes[lead.class];
+            let signature = class.signature();
+            let batch_start_ns = now_ns.max(lead.arrival_ns);
+
+            // Coalesce every pending same-signature request that has
+            // already arrived (the list is arrival-sorted, so the scan
+            // stops at the first future arrival).
+            let mut batch = vec![head];
+            let mut next = head + 1;
+            while next < assigned.len() && batch.len() < self.batch_limit {
+                let candidate = &assigned[next];
+                if candidate.arrival_ns > batch_start_ns {
+                    break;
+                }
+                if !served[next] && self.classes[candidate.class].signature() == signature {
+                    batch.push(next);
+                }
+                next += 1;
+            }
+
+            let misses_before = cache.stats().misses;
+            let mut batch_runs = Vec::with_capacity(batch.len());
+            let setup_cycles;
+            {
+                let resident = cache.get_or_build_split(class.split())?;
+                setup_cycles = resident.setup_cycles().get();
+                for &idx in &batch {
+                    let input = class.input_program(assigned[idx].input_seed)?;
+                    batch_runs.push(resident.serve(&input)?);
+                }
+            }
+            let missed = cache.stats().misses > misses_before;
+
+            // Timeline: dispatch overhead (plus setup on a cache miss)
+            // lands before the first member; members then complete in
+            // batch order as their cycles accumulate.
+            let mut elapsed = self.dispatch_overhead_cycles + if missed { setup_cycles } else { 0 };
+            for (&idx, run) in batch.iter().zip(&batch_runs) {
+                elapsed += run.busy_cycles.get();
+                let request = &assigned[idx];
+                let record = RequestRecord {
+                    id: request.id,
+                    arrival_ns: request.arrival_ns,
+                    completion_ns: batch_start_ns + cycles_to_ns(elapsed, chip.clock_hz),
+                    output_hash: hash_outputs(&run.run.outputs),
+                };
+                records.push(record);
+                served[idx] = true;
+
+                if self.spot_interval > 0 && request.id.is_multiple_of(self.spot_interval) {
+                    spot.checked += 1;
+                    let monolithic = reference.execute(&class.full_job(request.input_seed)?)?;
+                    let golden = class.golden(request.input_seed)?;
+                    if monolithic.outputs != run.run.outputs || golden != run.run.outputs {
+                        spot.mismatches += 1;
+                    }
+                }
+            }
+            busy_cycles += elapsed;
+            now_ns = batch_start_ns + cycles_to_ns(elapsed, chip.clock_hz);
+            *histogram.entry(batch.len()).or_insert(0) += 1;
+        }
+
+        Ok(ChipOutcome {
+            records,
+            busy_cycles,
+            batch_histogram: histogram.into_iter().collect(),
+            cache: cache.stats(),
+            spot,
+        })
+    }
+
+    /// Serves a trace end to end.
+    ///
+    /// Deterministic: the same engine configuration and trace produce a
+    /// byte-identical [`ServeReport`] (per-request outputs, counters,
+    /// and percentiles) at **any** worker count, because worker threads
+    /// shard whole chips and every chip's timeline is virtual.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compile/execution error; an empty trace is an
+    /// [`Error::InvalidConfig`].
+    pub fn serve(&self, trace: &[Request]) -> darth_pum::Result<ServeReport> {
+        if trace.is_empty() {
+            return Err(Error::InvalidConfig("cannot serve an empty trace".into()));
+        }
+        for request in trace {
+            if request.class >= self.classes.len() {
+                return Err(Error::InvalidConfig(format!(
+                    "request {} names class {} but only {} are registered",
+                    request.id,
+                    request.class,
+                    self.classes.len()
+                )));
+            }
+        }
+
+        let est_cycles = self.calibrate()?;
+        let (assigned, rejected) = self.assign(trace, &est_cycles);
+
+        // Execution: shard whole chips across workers.
+        let workers = self.worker_count();
+        let mut outcomes: Vec<Option<darth_pum::Result<ChipOutcome>>> = Vec::new();
+        outcomes.resize_with(self.chips.len(), || None);
+        let chunk = self.chips.len().div_ceil(workers);
+        thread::scope(|scope| {
+            let chip_chunks = self.chips.chunks(chunk);
+            let assign_chunks = assigned.chunks(chunk);
+            let out_chunks = outcomes.chunks_mut(chunk);
+            for ((chips, lists), outs) in chip_chunks.zip(assign_chunks).zip(out_chunks) {
+                scope.spawn(move || {
+                    for ((chip, list), out) in chips.iter().zip(lists).zip(outs.iter_mut()) {
+                        *out = Some(self.run_chip(chip, list));
+                    }
+                });
+            }
+        });
+        let outcomes = outcomes
+            .into_iter()
+            .map(|slot| slot.expect("every chip slot is filled"))
+            .collect::<darth_pum::Result<Vec<ChipOutcome>>>()?;
+
+        Ok(self.merge(trace, rejected, outcomes))
+    }
+
+    /// Pass 3: folds per-chip outcomes into the fleet-wide report.
+    fn merge(&self, trace: &[Request], rejected: u64, outcomes: Vec<ChipOutcome>) -> ServeReport {
+        let served: u64 = outcomes.iter().map(|o| o.records.len() as u64).sum();
+        let first_arrival = trace.first().map_or(0, |r| r.arrival_ns);
+        let last_arrival = trace.last().map_or(0, |r| r.arrival_ns);
+        let arrival_span_s = ((last_arrival - first_arrival).max(1)) as f64 / 1e9;
+        let offered_rps = (trace.len().saturating_sub(1)) as f64 / arrival_span_s;
+
+        let last_completion = outcomes
+            .iter()
+            .flat_map(|o| o.records.iter().map(|r| r.completion_ns))
+            .max()
+            .unwrap_or(first_arrival);
+        let serve_span_s = ((last_completion - first_arrival).max(1)) as f64 / 1e9;
+        let sustained_rps = served as f64 / serve_span_s;
+
+        // Latency percentiles over every served request.
+        let mut latencies: Vec<u64> = outcomes
+            .iter()
+            .flat_map(|o| o.records.iter().map(|r| r.completion_ns - r.arrival_ns))
+            .collect();
+        latencies.sort_unstable();
+        let percentile = |q: f64| -> u64 {
+            if latencies.is_empty() {
+                return 0;
+            }
+            latencies[((latencies.len() - 1) as f64 * q).round() as usize]
+        };
+        let latency = LatencyStats {
+            p50_ns: percentile(0.50),
+            p99_ns: percentile(0.99),
+            p999_ns: percentile(0.999),
+            max_ns: latencies.last().copied().unwrap_or(0),
+            mean_ns: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().map(|&l| l as f64).sum::<f64>() / latencies.len() as f64
+            },
+        };
+
+        // Order-independent digest: (id, output hash) in id order.
+        let mut hashes: Vec<(u64, u64)> = outcomes
+            .iter()
+            .flat_map(|o| o.records.iter().map(|r| (r.id, r.output_hash)))
+            .collect();
+        hashes.sort_unstable();
+        let mut digest = Fnv1a::new();
+        for (id, hash) in &hashes {
+            digest.write_u64(*id);
+            digest.write_u64(*hash);
+        }
+
+        let mut batch_histogram = std::collections::BTreeMap::new();
+        let mut cache = darth_sim::CacheStats::default();
+        let mut spot = SpotChecks::default();
+        let mut chips = Vec::with_capacity(self.chips.len());
+        for (chip, outcome) in self.chips.iter().zip(&outcomes) {
+            for &(size, count) in &outcome.batch_histogram {
+                *batch_histogram.entry(size).or_insert(0) += count;
+            }
+            cache.hits += outcome.cache.hits;
+            cache.misses += outcome.cache.misses;
+            cache.evictions += outcome.cache.evictions;
+            spot.checked += outcome.spot.checked;
+            spot.mismatches += outcome.spot.mismatches;
+            chips.push(ChipReport {
+                name: chip.name.clone(),
+                clock_hz: chip.clock_hz,
+                served: outcome.records.len() as u64,
+                batches: outcome.batch_histogram.iter().map(|&(_, n)| n).sum(),
+                busy_cycles: outcome.busy_cycles,
+                utilization: (outcome.busy_cycles as f64 / chip.clock_hz) / serve_span_s,
+                cache: outcome.cache,
+            });
+        }
+
+        ServeReport {
+            requests: trace.len() as u64,
+            served,
+            rejected,
+            offered_rps,
+            sustained_rps,
+            latency,
+            batch_histogram,
+            cache,
+            chips,
+            spot_checks: spot,
+            output_digest: digest.0,
+            warm_vs_cold: None,
+        }
+    }
+}
+
+/// Measures what the resident-program cache buys: the same `requests`
+/// synthetic requests of one class run **cold** (a fresh
+/// [`FastExecutor::prepare`] per request — decode, compile, tile
+/// build, then run) and **warm** (one [`ResidentProgram`], then a
+/// clone + input stub + compiled body per request), wall-clock timed.
+///
+/// Both arms must produce bit-identical outputs per request; a
+/// divergence is an error, not a report.
+///
+/// # Errors
+///
+/// Returns compile/execution errors, and [`Error::InvalidConfig`] if
+/// `requests` is zero or the arms diverge.
+pub fn measure_warm_vs_cold(
+    class: &ServeClass,
+    requests: usize,
+) -> darth_pum::Result<WarmColdReport> {
+    if requests == 0 {
+        return Err(Error::InvalidConfig(
+            "warm/cold comparison needs at least one request".into(),
+        ));
+    }
+    let executor = FastExecutor::new();
+
+    let cold_start = Instant::now();
+    let mut cold_hashes = Vec::with_capacity(requests);
+    for seed in 0..requests as u64 {
+        let job = class.full_job(seed)?;
+        let prepared = executor.prepare(&job)?;
+        let (run, _) = executor.run_prepared(&prepared)?;
+        cold_hashes.push(hash_outputs(&run.outputs));
+    }
+    let cold_s = cold_start.elapsed().as_secs_f64();
+
+    let resident = ResidentProgram::for_split(class.split().clone())?;
+    let warm_start = Instant::now();
+    for seed in 0..requests as u64 {
+        let served = resident.serve(&class.input_program(seed)?)?;
+        if hash_outputs(&served.run.outputs) != cold_hashes[seed as usize] {
+            return Err(Error::InvalidConfig(format!(
+                "warm/cold outputs diverged for {} request seed {seed}",
+                class.name()
+            )));
+        }
+    }
+    let warm_s = warm_start.elapsed().as_secs_f64();
+
+    Ok(WarmColdReport {
+        requests: requests as u64,
+        cold_s,
+        warm_s,
+        speedup: cold_s / warm_s.max(1e-12),
+    })
+}

@@ -1,0 +1,101 @@
+//! Serving fleets: chips drawn from the design-space exploration's
+//! Pareto frontier ([`darth_eval::dse::frontier_fleet`]), each with a
+//! bounded admission queue and a resident-program cache budget.
+//!
+//! The functional simulation behind serving is clock-exact but
+//! config-agnostic (every class carries its own tile geometry), so a
+//! fleet chip contributes exactly two things to the model: its **clock**
+//! (the cycle → wall-time conversion for its virtual timeline) and its
+//! **capacities** (admission queue depth, resident-program slots). A
+//! frontier of heterogeneous design points therefore yields chips with
+//! genuinely different service rates, which is what makes scheduling
+//! across them non-trivial.
+
+use darth_eval::dse::FleetPoint;
+
+/// One chip in the serving fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetChip {
+    /// Chip name (`"<design-point>/<replica>"` for frontier fleets).
+    pub name: String,
+    /// DCE clock in Hz: converts busy cycles to virtual time.
+    pub clock_hz: f64,
+    /// Admission-queue bound: requests assigned but not yet estimated
+    /// complete; arrivals beyond this are rejected.
+    pub queue_capacity: usize,
+    /// Resident-program cache slots ([`darth_sim::ProgramCache`]).
+    pub cache_capacity: usize,
+}
+
+impl FleetChip {
+    /// A single chip with the given name and clock, default capacities
+    /// (queue 256, cache 4).
+    pub fn new(name: impl Into<String>, clock_hz: f64) -> Self {
+        FleetChip {
+            name: name.into(),
+            clock_hz,
+            queue_capacity: 256,
+            cache_capacity: 4,
+        }
+    }
+
+    /// Sets the admission-queue bound.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the resident-program cache budget.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// Builds a `size`-chip fleet by cycling through the frontier points in
+/// frontier order (`point/0`, `point/1`, … replicas once the frontier
+/// is exhausted). Deterministic; returns an empty fleet only for an
+/// empty frontier or `size == 0`.
+pub fn fleet_from_frontier(frontier: &[FleetPoint], size: usize) -> Vec<FleetChip> {
+    if frontier.is_empty() {
+        return Vec::new();
+    }
+    (0..size)
+        .map(|i| {
+            let point = &frontier[i % frontier.len()];
+            FleetChip::new(
+                format!("{}/{}", point.name, i / frontier.len()),
+                point.clock_ghz * 1e9,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darth_eval::dse::{frontier_fleet, price_sweep, smoke_sweep};
+    use darth_eval::Threading;
+
+    #[test]
+    fn frontier_fleets_replicate_points_in_order() {
+        let points = smoke_sweep().generate().expect("smoke grid is valid");
+        let workloads = darth_eval::registry::paper_workloads();
+        let matrix = price_sweep(&points, workloads, Threading::Serial).expect("sweep prices");
+        let frontier = frontier_fleet(&points, &matrix);
+        assert!(!frontier.is_empty());
+
+        let fleet = fleet_from_frontier(&frontier, frontier.len() + 2);
+        assert_eq!(fleet.len(), frontier.len() + 2);
+        for (i, chip) in fleet.iter().enumerate() {
+            let point = &frontier[i % frontier.len()];
+            assert_eq!(chip.name, format!("{}/{}", point.name, i / frontier.len()));
+            assert!((chip.clock_hz - point.clock_ghz * 1e9).abs() < 1.0);
+            assert!(chip.queue_capacity > 0 && chip.cache_capacity > 0);
+        }
+        assert!(fleet_from_frontier(&[], 4).is_empty());
+        assert!(fleet_from_frontier(&frontier, 0).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! `darth_serve`: a batched request-serving engine over a fleet of
+//! DARTH-PUM chips, built on resident compiled programs.
+//!
+//! The simulator stack can already *execute* jobs fast
+//! ([`darth_sim::FastExecutor`]) and *keep them resident*
+//! ([`darth_sim::ProgramCache`]: setup run once onto a warmed prototype
+//! machine, body compiled once). This crate turns that into a serving
+//! system — the regime where PUM's amortization story actually plays
+//! out, because thousands of requests share a handful of programs:
+//!
+//! * [`class::ServeClass`] — the request classes: AES / GEMM / conv
+//!   split programs ([`darth_pum::eval::SplitJob`]) paired with
+//!   deterministic per-request input synthesis and software goldens,
+//!   keyed by stable [`darth_pum::eval::JobSignature`]s.
+//! * [`trace`] — deterministic synthetic traces: bursty two-state
+//!   modulated Poisson arrivals over a weighted class mix, generated
+//!   from the seeded fork-tree RNG.
+//! * [`fleet::FleetChip`] — serving chips drawn from the design-space
+//!   exploration's Pareto frontier
+//!   ([`darth_eval::dse::frontier_fleet`]), each with a clock, a
+//!   bounded admission queue and a resident-program cache budget.
+//! * [`engine::ServeEngine`] — the three-pass engine: estimated-finish
+//!   admission over the fleet, per-chip virtual-timeline execution
+//!   with same-signature batch coalescing and LRU program caches
+//!   (worker threads shard whole chips, so results are byte-identical
+//!   at any worker count), and the fleet-wide merge.
+//! * [`report::ServeReport`] — offered vs. sustained throughput,
+//!   p50/p99/p999 latency, batch-size histograms, cache hit rates,
+//!   per-chip utilization, spot-check totals and an output digest,
+//!   rendered as the `darth-serve/v1` JSON behind `BENCH_serve.json`.
+//!
+//! # Example: serve a small bursty trace on a two-chip fleet
+//!
+//! ```
+//! use darth_serve::{
+//!     fleet::FleetChip, standard_classes, trace, ServeEngine, TraceSpec,
+//! };
+//!
+//! # fn main() -> Result<(), darth_pum::Error> {
+//! let classes = standard_classes()?;
+//! let requests = trace::generate(&TraceSpec::bursty(1, 400, 100_000.0), classes.len());
+//! let fleet = vec![
+//!     FleetChip::new("fast/0", 1.5e9),
+//!     FleetChip::new("slow/0", 1.0e9),
+//! ];
+//! let report = ServeEngine::new(classes, fleet)?
+//!     .with_workers(2)
+//!     .serve(&requests)?;
+//! assert_eq!(report.served + report.rejected, 400);
+//! assert_eq!(report.spot_checks.mismatches, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod class;
+pub mod engine;
+pub mod fleet;
+pub mod report;
+pub mod trace;
+
+pub use class::{standard_classes, ServeClass};
+pub use engine::{measure_warm_vs_cold, ServeEngine};
+pub use fleet::{fleet_from_frontier, FleetChip};
+pub use report::{ChipReport, LatencyStats, ServeReport, SpotChecks, WarmColdReport};
+pub use trace::{Request, TraceSpec};

@@ -1,0 +1,78 @@
+//! Serving determinism: the same trace served at every worker count —
+//! explicit {1, 2, 64}, environment-selected, and the garbage-value
+//! fallback path — must produce a byte-identical [`ServeReport`]:
+//! per-request outputs (via the id-ordered output digest), aggregate
+//! counters, **and** latency percentiles. Percentiles are included
+//! deliberately: serving time is virtual (cycle counts over each chip's
+//! clock), so even the tail of the latency distribution is independent
+//! of host scheduling.
+//!
+//! Everything lives in ONE `#[test]` on purpose: the
+//! `DARTH_EVAL_THREADS` probes mutate the process environment, and a
+//! single test body is the only way to keep those mutations strictly
+//! sequential without cross-test races (the explicit worker counts use
+//! the `with_workers` override precisely so they *don't* need the
+//! environment).
+
+use darth_serve::{standard_classes, trace, FleetChip, ServeEngine, TraceSpec};
+
+/// A small heterogeneous fleet: two clock tiers, two chips each.
+fn fleet() -> Vec<FleetChip> {
+    vec![
+        FleetChip::new("fast/0", 1.5e9).with_cache_capacity(8),
+        FleetChip::new("fast/1", 1.5e9).with_cache_capacity(8),
+        FleetChip::new("slow/0", 1.0e9).with_cache_capacity(8),
+        FleetChip::new("slow/1", 1.0e9).with_cache_capacity(8),
+    ]
+}
+
+fn engine() -> ServeEngine {
+    ServeEngine::new(standard_classes().expect("classes compile"), fleet())
+        .expect("engine builds")
+        .with_spot_interval(251)
+}
+
+#[test]
+fn serving_is_identical_at_every_worker_count() {
+    let classes = standard_classes().expect("classes compile");
+    let requests = trace::generate(&TraceSpec::bursty(42, 1200, 200_000.0), classes.len());
+
+    // Serial baseline: one worker, no environment involved.
+    let baseline = engine()
+        .with_workers(1)
+        .serve(&requests)
+        .expect("serial serve runs");
+    assert_eq!(baseline.served + baseline.rejected, 1200);
+    assert!(baseline.spot_checks.checked > 0, "spot checks sampled");
+    assert_eq!(
+        baseline.spot_checks.mismatches, 0,
+        "served outputs diverged"
+    );
+
+    // Two workers: chips split across threads, same bytes everywhere.
+    let two = engine()
+        .with_workers(2)
+        .serve(&requests)
+        .expect("two-worker serve runs");
+    assert_eq!(baseline, two, "two workers diverged from serial");
+
+    // More workers than chips: the engine clamps, results unchanged.
+    let many = engine()
+        .with_workers(64)
+        .serve(&requests)
+        .expect("64-worker serve runs");
+    assert_eq!(baseline, many, "worker clamp diverged from serial");
+
+    // Environment-selected count (the production path).
+    std::env::set_var("DARTH_EVAL_THREADS", "2");
+    let from_env = engine().serve(&requests).expect("env-selected serve runs");
+    assert_eq!(baseline, from_env, "DARTH_EVAL_THREADS=2 diverged");
+
+    // Garbage value: the worker resolver warns, falls back to automatic
+    // selection, and serving still produces identical results.
+    std::env::set_var("DARTH_EVAL_THREADS", "4x");
+    let fallback = engine().serve(&requests).expect("fallback serve runs");
+    assert_eq!(baseline, fallback, "garbage-env fallback diverged");
+
+    std::env::remove_var("DARTH_EVAL_THREADS");
+}

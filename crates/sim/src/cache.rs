@@ -1,0 +1,459 @@
+//! Resident compiled programs and the signature-keyed LRU program cache
+//! — the serving layer's core optimization.
+//!
+//! The fast path already amortizes *decode* and *compile* across reruns
+//! of one job ([`crate::FastExecutor::prepare`]); this module amortizes
+//! them across a **request stream**. A [`ResidentProgram`] is built once
+//! per distinct [`JobSignature`]: its setup section (weight programming,
+//! constants, round keys) is executed once onto a prototype
+//! [`FastMachine`] and the compute body is precompiled once. Serving a
+//! request then costs one machine clone, the interpretation of a tiny
+//! per-request input program, and one precompiled body run — the
+//! ACE-style "keep the circuit resident, swap the inputs" trick.
+//!
+//! [`ProgramCache`] bounds how many residents stay warm, with LRU
+//! eviction and hit/miss/eviction counters ([`CacheStats`]) that the
+//! serving layer reports per chip.
+
+use crate::fast::{FastExecutor, FastMachine};
+use darth_digital::PackedPipeline;
+use darth_pum::chip::CompiledProgram;
+use darth_pum::eval::{ExecJob, ExecRun, JobSignature, SplitJob};
+use darth_reram::{Cycles, PicoJoules};
+use std::collections::BTreeMap;
+
+/// Decodes an encoded section, mapping ISA errors into the crate error.
+fn decode(bytes: &[u8]) -> darth_pum::Result<darth_isa::instruction::Program> {
+    darth_isa::encode::decode_program(bytes).map_err(darth_pum::Error::Isa)
+}
+
+/// One served request's result: outputs plus the request's own cost
+/// deltas (input interpretation **and** compiled body, but never the
+/// resident setup — that was paid once at [`ResidentProgram`] build
+/// time and is reported separately as [`ResidentProgram::setup_cycles`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedRun {
+    /// Outputs and instruction counts (input stub + body).
+    pub run: ExecRun,
+    /// Tile busy cycles this request added.
+    pub busy_cycles: Cycles,
+    /// Tile energy this request added.
+    pub energy: PicoJoules,
+}
+
+/// A compiled program kept resident for a request stream: the warmed
+/// prototype machine (setup already executed), the precompiled compute
+/// body, and the one-time setup cost.
+#[derive(Debug)]
+pub struct ResidentProgram {
+    split: SplitJob,
+    signature: JobSignature,
+    compiled: CompiledProgram<PackedPipeline>,
+    warmed: FastMachine,
+    setup_cycles: Cycles,
+    setup_instructions: u64,
+}
+
+impl ResidentProgram {
+    /// Builds the resident form of `split`: one tile construction, one
+    /// interpreted setup run, one body compile.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode errors for malformed sections, tile construction
+    /// errors, and the first setup execution error.
+    pub fn for_split(split: SplitJob) -> darth_pum::Result<Self> {
+        let signature = split.signature();
+        let mut warmed = FastMachine::new(split.tile.clone())?;
+        let setup_program = decode(&split.setup)?;
+        let setup_stats = warmed.chip_mut().execute(&setup_program, &split.data)?;
+        let setup_cycles = warmed.chip().tile().busy_cycles();
+        let compiled = FastMachine::compile(&decode(&split.body)?);
+        Ok(ResidentProgram {
+            split,
+            signature,
+            compiled,
+            warmed,
+            setup_cycles,
+            setup_instructions: setup_stats.instructions,
+        })
+    }
+
+    /// Builds the resident form of a monolithic job: an empty setup and
+    /// the whole program as the body. Serving it with an empty input
+    /// replays the job exactly — the degenerate case the cache-aware
+    /// [`FastExecutor::run_cached`] entry point uses for identical
+    /// repeated jobs.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResidentProgram::for_split`].
+    pub fn for_job(job: &ExecJob) -> darth_pum::Result<Self> {
+        ResidentProgram::for_split(SplitJob {
+            name: job.name.clone(),
+            tile: job.tile.clone(),
+            setup: Vec::new(),
+            body: job.program.clone(),
+            data: job.data.clone(),
+            readbacks: job.readbacks.clone(),
+        })
+    }
+
+    /// The signature this resident was built from (the cache key).
+    pub fn signature(&self) -> JobSignature {
+        self.signature
+    }
+
+    /// The split job this resident serves.
+    pub fn split(&self) -> &SplitJob {
+        &self.split
+    }
+
+    /// Busy cycles the one-time setup run consumed — what a cache miss
+    /// charges to the serving timeline on top of the first request.
+    pub fn setup_cycles(&self) -> Cycles {
+        self.setup_cycles
+    }
+
+    /// Instructions the one-time setup run executed.
+    pub fn setup_instructions(&self) -> u64 {
+        self.setup_instructions
+    }
+
+    /// The precompiled compute body.
+    pub fn compiled(&self) -> &CompiledProgram<PackedPipeline> {
+        &self.compiled
+    }
+
+    /// Serves one request: clones the warmed prototype, interprets the
+    /// per-request `input` section (halt-free, usually a handful of
+    /// `wimm`s), runs the precompiled body, and reads the outputs back.
+    /// Deterministic: identical inputs produce byte-identical
+    /// [`ServedRun`]s at any point in the stream, because every serve
+    /// starts from the same warmed clone.
+    ///
+    /// # Errors
+    ///
+    /// Returns input decode errors and the first execution or readback
+    /// error.
+    pub fn serve(&self, input: &[u8]) -> darth_pum::Result<ServedRun> {
+        let mut machine = self.warmed.clone();
+        let busy_before = machine.chip().tile().busy_cycles();
+        let energy_before = machine.chip().energy_meter().total();
+        let input_program = decode(input)?;
+        let input_stats = machine
+            .chip_mut()
+            .execute(&input_program, &self.split.data)?;
+        let body_stats = machine.run_compiled(&self.compiled, &self.split.data)?;
+        let outputs = self
+            .split
+            .readbacks
+            .iter()
+            .map(|rb| machine.read_output(rb))
+            .collect::<darth_pum::Result<_>>()?;
+        Ok(ServedRun {
+            run: ExecRun {
+                outputs,
+                instructions: input_stats.instructions + body_stats.run.instructions,
+                analog_instructions: input_stats.analog_instructions
+                    + body_stats.run.analog_instructions,
+            },
+            busy_cycles: machine
+                .chip()
+                .tile()
+                .busy_cycles()
+                .saturating_sub(busy_before),
+            energy: machine.chip().energy_meter().total() - energy_before,
+        })
+    }
+}
+
+/// Hit/miss/eviction counters of one [`ProgramCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered by a resident entry.
+    pub hits: u64,
+    /// Lookups that had to build a resident entry.
+    pub misses: u64,
+    /// Resident entries evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over all lookups, in `[0, 1]`; `0` before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded LRU cache of [`ResidentProgram`]s keyed by
+/// [`JobSignature`].
+///
+/// Recency is a logical tick bumped on every lookup; eviction removes
+/// the least-recently-used entry (ties impossible — ticks are unique).
+/// All state is plain data behind `&mut self`, so a per-chip cache in a
+/// serving worker is deterministic by construction.
+#[derive(Debug)]
+pub struct ProgramCache {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<JobSignature, (u64, ResidentProgram)>,
+    stats: CacheStats,
+}
+
+impl ProgramCache {
+    /// A cache holding at most `capacity` resident programs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ProgramCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Lookup/insert counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resident entries currently warm.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no residents yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The resident for `split`, building (and possibly evicting) on
+    /// miss. The returned reference stays valid until the next `&mut`
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResidentProgram::for_split`] build errors; the cache is
+    /// unchanged on error.
+    pub fn get_or_build_split(&mut self, split: &SplitJob) -> darth_pum::Result<&ResidentProgram> {
+        let signature = split.signature();
+        if !self.entries.contains_key(&signature) {
+            let resident = ResidentProgram::for_split(split.clone())?;
+            self.stats.misses += 1;
+            self.evict_to(self.capacity - 1);
+            self.entries.insert(signature, (self.tick, resident));
+        } else {
+            self.stats.hits += 1;
+        }
+        self.tick += 1;
+        let (last_used, resident) = self
+            .entries
+            .get_mut(&signature)
+            .expect("entry was just inserted or found");
+        *last_used = self.tick;
+        Ok(resident)
+    }
+
+    /// The resident for a monolithic `job` (degenerate split — see
+    /// [`ResidentProgram::for_job`]), building on miss.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProgramCache::get_or_build_split`].
+    pub fn get_or_build_job(&mut self, job: &ExecJob) -> darth_pum::Result<&ResidentProgram> {
+        let signature = job.signature();
+        if !self.entries.contains_key(&signature) {
+            let resident = ResidentProgram::for_job(job)?;
+            // A monolithic resident is keyed by the *job* signature (the
+            // degenerate split signs differently — it domain-separates
+            // sections), so insert under the lookup key explicitly.
+            self.stats.misses += 1;
+            self.evict_to(self.capacity - 1);
+            self.entries.insert(signature, (self.tick, resident));
+        } else {
+            self.stats.hits += 1;
+        }
+        self.tick += 1;
+        let (last_used, resident) = self
+            .entries
+            .get_mut(&signature)
+            .expect("entry was just inserted or found");
+        *last_used = self.tick;
+        Ok(resident)
+    }
+
+    /// Evicts least-recently-used entries until at most `target` remain.
+    fn evict_to(&mut self, target: usize) {
+        while self.entries.len() > target {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(sig, _)| *sig)
+                .expect("non-empty while above target");
+            self.entries.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl FastExecutor {
+    /// Cache-aware execution: identical repeated jobs (same
+    /// [`ExecJob::signature`]) reuse one resident compiled program and
+    /// warmed prototype machine from `cache` instead of re-decoding,
+    /// re-compiling and re-constructing per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns resident build errors and the first execution or readback
+    /// error.
+    pub fn run_cached(
+        &self,
+        job: &ExecJob,
+        cache: &mut ProgramCache,
+    ) -> darth_pum::Result<ServedRun> {
+        cache.get_or_build_job(job)?.serve(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SimExecutor;
+    use crate::machine::StatExecutor;
+    use darth_isa::asm::assemble;
+    use darth_isa::encode::encode_program;
+    use darth_pum::chip::SideChannel;
+    use darth_pum::eval::Readback;
+    use darth_pum::hct::HctConfig;
+
+    fn digital_job(value: u64) -> ExecJob {
+        let program = assemble(&format!(
+            "wimm p0 v0 0 {value}\n\
+             wimm p0 v1 0 17\n\
+             add p0 v2 v0 v1\n\
+             halt\n"
+        ))
+        .expect("parses");
+        ExecJob {
+            name: format!("digital-{value}"),
+            tile: HctConfig::small_test(),
+            program: encode_program(&program),
+            data: SideChannel::new(),
+            readbacks: vec![Readback {
+                label: "sum".into(),
+                pipe: 0,
+                vr: 2,
+                elements: 1,
+                signed: false,
+            }],
+        }
+    }
+
+    /// A hand-built split: constant 17 staged in setup, per-request
+    /// value via the input section, sum computed by the resident body.
+    fn digital_split() -> SplitJob {
+        let setup = assemble("wimm p0 v1 0 17\n").expect("parses");
+        let body = assemble("add p0 v2 v0 v1\nhalt\n").expect("parses");
+        SplitJob {
+            name: "digital-split".into(),
+            tile: HctConfig::small_test(),
+            setup: encode_program(&setup),
+            body: encode_program(&body),
+            data: SideChannel::new(),
+            readbacks: vec![Readback {
+                label: "sum".into(),
+                pipe: 0,
+                vr: 2,
+                elements: 1,
+                signed: false,
+            }],
+        }
+    }
+
+    fn input_for(value: u64) -> Vec<u8> {
+        encode_program(&assemble(&format!("wimm p0 v0 0 {value}\n")).expect("parses"))
+    }
+
+    #[test]
+    fn resident_split_serves_bit_exact_against_the_reference() {
+        let split = digital_split();
+        let resident = ResidentProgram::for_split(split.clone()).expect("builds");
+        let reference = SimExecutor::new();
+        for value in [0u64, 1, 9, 25, 63] {
+            let input = input_for(value);
+            let served = resident.serve(&input).expect("serves");
+            // The reference runs the reassembled monolithic program.
+            let (ref_run, _) = reference
+                .execute_with_stats(&split.full_job(&input))
+                .expect("reference runs");
+            assert_eq!(served.run.outputs, ref_run.outputs, "value {value}");
+            assert_eq!(served.run.outputs[0].cells, vec![value as i64 + 17]);
+            // Served instruction counts exclude exactly the setup.
+            assert_eq!(
+                served.run.instructions + resident.setup_instructions(),
+                ref_run.instructions
+            );
+        }
+        // Serving is order-independent: a re-serve of the first input
+        // after others is byte-identical (each serve clones the warmed
+        // prototype).
+        let first = resident.serve(&input_for(9)).expect("serves");
+        let again = resident.serve(&input_for(9)).expect("serves");
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn run_cached_matches_uncached_and_counts_hits() {
+        let executor = FastExecutor::new();
+        let mut cache = ProgramCache::new(4);
+        let job = digital_job(25);
+        let (plain, _) = executor.execute_with_stats(&job).expect("runs");
+        let first = executor.run_cached(&job, &mut cache).expect("serves");
+        let second = executor.run_cached(&job, &mut cache).expect("serves");
+        assert_eq!(first.run, plain);
+        assert_eq!(first, second);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_resident() {
+        let executor = FastExecutor::new();
+        let mut cache = ProgramCache::new(2);
+        let a = digital_job(1);
+        let b = digital_job(2);
+        let c = digital_job(3);
+        executor.run_cached(&a, &mut cache).expect("serves");
+        executor.run_cached(&b, &mut cache).expect("serves");
+        // Touch `a` so `b` is the LRU, then overflow with `c`.
+        executor.run_cached(&a, &mut cache).expect("serves");
+        executor.run_cached(&c, &mut cache).expect("serves");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        // `a` and `c` are warm; `b` was evicted and must rebuild.
+        executor.run_cached(&a, &mut cache).expect("serves");
+        executor.run_cached(&c, &mut cache).expect("serves");
+        assert_eq!(cache.stats().misses, 3);
+        executor.run_cached(&b, &mut cache).expect("serves");
+        assert_eq!(cache.stats().misses, 4);
+        assert!(cache.stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn cache_capacity_has_a_floor_of_one() {
+        let mut cache = ProgramCache::new(0);
+        let split = digital_split();
+        cache.get_or_build_split(&split).expect("builds");
+        assert_eq!(cache.len(), 1);
+        // A second lookup of the same split hits.
+        cache.get_or_build_split(&split).expect("hits");
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

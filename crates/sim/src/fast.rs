@@ -31,7 +31,16 @@ use darth_pum::hct::HctConfig;
 use darth_pum::params::ChipParams;
 use darth_pum::workers::forced_workers;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
+
+/// Process-wide count of [`FastMachine::new`] tile constructions.
+///
+/// Clones are deliberately *not* counted: the whole point of the
+/// prototype caches is that stamping a machine out of a warm prototype
+/// skips tile construction, and tests pin that by watching this counter
+/// stand still.
+static CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// A fast functional machine: the packed-pipeline twin of
 /// [`crate::SimMachine`], executing precompiled programs.
@@ -44,7 +53,7 @@ use std::thread;
 #[derive(Debug, Clone)]
 pub struct FastMachine {
     chip: FastChip,
-    histogram: BTreeMap<String, u64>,
+    histogram: BTreeMap<&'static str, u64>,
 }
 
 impl FastMachine {
@@ -54,10 +63,19 @@ impl FastMachine {
     ///
     /// Propagates tile construction errors.
     pub fn new(tile: HctConfig) -> darth_pum::Result<Self> {
+        CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         Ok(FastMachine {
             chip: FastChip::new(ChipParams::default(), tile)?,
             histogram: BTreeMap::new(),
         })
+    }
+
+    /// Process-wide count of tile constructions via [`FastMachine::new`].
+    /// Clones of an existing machine do **not** count — that is the
+    /// invariant the prototype caches exist to exploit, and what
+    /// construction-count regression tests pin.
+    pub fn constructions() -> u64 {
+        CONSTRUCTIONS.load(Ordering::Relaxed)
     }
 
     /// The underlying chip (state inspection).
@@ -91,9 +109,11 @@ impl FastMachine {
         let busy_before = self.chip.tile().busy_cycles();
         let energy_before = self.chip.energy_meter().total();
         let run = self.chip.run_compiled(program, data)?;
+        // Interned `&'static str` keys: merging into the lifetime
+        // histogram is entry-API on `Copy` keys — no per-run key clones.
         let histogram = program.histogram().clone();
-        for (mnemonic, count) in &histogram {
-            *self.histogram.entry(mnemonic.clone()).or_insert(0) += count;
+        for (&mnemonic, count) in &histogram {
+            *self.histogram.entry(mnemonic).or_insert(0) += count;
         }
         Ok(SimStats {
             run,
@@ -104,7 +124,7 @@ impl FastMachine {
     }
 
     /// Executed instructions by mnemonic, across all runs so far.
-    pub fn histogram(&self) -> &BTreeMap<String, u64> {
+    pub fn histogram(&self) -> &BTreeMap<&'static str, u64> {
         &self.histogram
     }
 
@@ -118,18 +138,30 @@ impl FastMachine {
     }
 }
 
-/// An [`ExecJob`] decoded **and** precompiled exactly once by
-/// [`FastExecutor::prepare`]; reusable across runs.
+/// An [`ExecJob`] decoded, precompiled **and** tile-constructed exactly
+/// once by [`FastExecutor::prepare`]; reusable across runs.
+///
+/// Besides the compiled jump table, the handle carries a never-run
+/// prototype [`FastMachine`] for the job's tile config:
+/// [`FastExecutor::run_prepared`] clones it instead of rebuilding the
+/// tile per call, the same trick the batch path's per-worker prototype
+/// cache uses ([`FastMachine::constructions`] pins it).
 #[derive(Debug)]
 pub struct PreparedFastJob<'j> {
     job: &'j ExecJob,
     compiled: CompiledProgram<PackedPipeline>,
+    prototype: FastMachine,
 }
 
 impl PreparedFastJob<'_> {
     /// The compiled jump table.
     pub fn compiled(&self) -> &CompiledProgram<PackedPipeline> {
         &self.compiled
+    }
+
+    /// The never-run prototype machine runs are cloned from.
+    pub fn prototype(&self) -> &FastMachine {
+        &self.prototype
     }
 }
 
@@ -168,21 +200,40 @@ impl FastExecutor {
             .min(jobs.max(1))
     }
 
-    /// Decodes and precompiles `job` once into a reusable handle.
+    /// Decodes and precompiles `job`'s instruction stream — the
+    /// compile-only half of [`FastExecutor::prepare`], shared with the
+    /// batch path so batch jobs never build a per-job prototype machine.
     ///
     /// # Errors
     ///
     /// Returns decode errors for malformed records.
-    pub fn prepare<'j>(&self, job: &'j ExecJob) -> darth_pum::Result<PreparedFastJob<'j>> {
+    fn compile_job(job: &ExecJob) -> darth_pum::Result<CompiledProgram<PackedPipeline>> {
         let program = job.decoded_program()?;
+        Ok(FastChip::compile(&program))
+    }
+
+    /// Decodes, precompiles and tile-constructs `job` once into a
+    /// reusable handle; repeated [`FastExecutor::run_prepared`] calls
+    /// clone the handle's prototype machine instead of rebuilding the
+    /// tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode errors for malformed records and tile construction
+    /// errors.
+    pub fn prepare<'j>(&self, job: &'j ExecJob) -> darth_pum::Result<PreparedFastJob<'j>> {
         Ok(PreparedFastJob {
             job,
-            compiled: FastChip::compile(&program),
+            compiled: Self::compile_job(job)?,
+            prototype: FastMachine::new(job.tile.clone())?,
         })
     }
 
-    /// Runs a prepared job on a fresh fast machine — no re-decode, no
-    /// re-compile — returning outputs and the run's statistics.
+    /// Runs a prepared job on a machine cloned from the handle's
+    /// prototype — no re-decode, no re-compile, no tile re-construction —
+    /// returning outputs and the run's statistics. A clone of a never-run
+    /// machine is identical to a newly built one, so results match a
+    /// fresh-machine run bit for bit.
     ///
     /// # Errors
     ///
@@ -191,19 +242,28 @@ impl FastExecutor {
         &self,
         prepared: &PreparedFastJob<'_>,
     ) -> darth_pum::Result<(ExecRun, SimStats)> {
-        let machine = FastMachine::new(prepared.job.tile.clone())?;
-        Self::run_on(machine, prepared)
+        Self::run_on(prepared.prototype.clone(), prepared)
     }
 
-    /// Runs `prepared` on a fresh machine supplied by the caller (built
-    /// or cloned from a prototype — both yield identical state).
+    /// Runs `compiled` for `job` on a fresh machine supplied by the
+    /// caller (built or cloned from a prototype — both yield identical
+    /// state).
     fn run_on(
         mut machine: FastMachine,
         prepared: &PreparedFastJob<'_>,
     ) -> darth_pum::Result<(ExecRun, SimStats)> {
-        let stats = machine.run_compiled(&prepared.compiled, &prepared.job.data)?;
-        let outputs = prepared
-            .job
+        Self::run_machine(&mut machine, prepared.job, &prepared.compiled)
+    }
+
+    /// The shared run core: executes a compiled program for `job` on
+    /// `machine` and reads the job's outputs back.
+    fn run_machine(
+        machine: &mut FastMachine,
+        job: &ExecJob,
+        compiled: &CompiledProgram<PackedPipeline>,
+    ) -> darth_pum::Result<(ExecRun, SimStats)> {
+        let stats = machine.run_compiled(compiled, &job.data)?;
+        let outputs = job
             .readbacks
             .iter()
             .map(|rb| machine.read_output(rb))
@@ -234,12 +294,12 @@ impl FastExecutor {
         job: &ExecJob,
         proto: &mut Option<(HctConfig, FastMachine)>,
     ) -> darth_pum::Result<(ExecRun, SimStats)> {
-        let prepared = self.prepare(job)?;
+        let compiled = Self::compile_job(job)?;
         if !proto.as_ref().is_some_and(|(cfg, _)| *cfg == job.tile) {
             *proto = Some((job.tile.clone(), FastMachine::new(job.tile.clone())?));
         }
-        let machine = proto.as_ref().expect("prototype was just set").1.clone();
-        Self::run_on(machine, &prepared)
+        let mut machine = proto.as_ref().expect("prototype was just set").1.clone();
+        Self::run_machine(&mut machine, job, &compiled)
     }
 
     /// Executes a batch of independent tile jobs, sharded across

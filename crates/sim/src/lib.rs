@@ -29,6 +29,12 @@
 //!   sharded across `std::thread::scope` workers.
 //!   [`fast::FastExecutor`] is proven bit-exact against
 //!   [`machine::SimExecutor`] by the pair harness.
+//! * [`cache`] — resident compiled programs for request serving:
+//!   [`cache::ResidentProgram`] runs a split job's setup once onto a
+//!   warmed prototype machine and precompiles its body, so serving a
+//!   request costs one clone + a tiny input stub + one compiled run;
+//!   [`cache::ProgramCache`] bounds the warm set with LRU eviction,
+//!   keyed by [`darth_pum::eval::JobSignature`].
 //!
 //! # Example: FIPS-197 through the simulator
 //!
@@ -50,10 +56,12 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod diff;
 pub mod fast;
 pub mod machine;
 
+pub use cache::{CacheStats, ProgramCache, ResidentProgram, ServedRun};
 pub use diff::{
     bulk_aes_cases, standard_cases, DiffCase, DiffHarness, DiffReport, PairCaseReport, PairReport,
 };

@@ -29,8 +29,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct SimStats {
     /// Chip-level run statistics (instructions, analog share, issue).
     pub run: RunStats,
-    /// Instructions this run executed, by mnemonic.
-    pub histogram: BTreeMap<String, u64>,
+    /// Instructions this run executed, by mnemonic. Keys are the interned
+    /// `&'static str` mnemonics from
+    /// [`darth_isa::instruction::Instruction::mnemonic`], so merging and
+    /// comparing histograms never clones key strings.
+    pub histogram: BTreeMap<&'static str, u64>,
     /// Tile busy cycles this run added.
     pub busy_cycles: Cycles,
     /// Tile energy this run added.
@@ -41,7 +44,7 @@ pub struct SimStats {
 #[derive(Debug)]
 pub struct SimMachine {
     chip: DarthPumChip,
-    histogram: BTreeMap<String, u64>,
+    histogram: BTreeMap<&'static str, u64>,
 }
 
 impl SimMachine {
@@ -92,10 +95,10 @@ impl SimMachine {
         // prefix into the mnemonic histogram.
         let mut histogram = BTreeMap::new();
         for inst in program.iter().take(run.instructions as usize) {
-            *histogram.entry(inst.mnemonic().to_owned()).or_insert(0) += 1;
+            *histogram.entry(inst.mnemonic()).or_insert(0) += 1;
         }
-        for (mnemonic, count) in &histogram {
-            *self.histogram.entry(mnemonic.clone()).or_insert(0) += count;
+        for (&mnemonic, count) in &histogram {
+            *self.histogram.entry(mnemonic).or_insert(0) += count;
         }
         Ok(SimStats {
             run,
@@ -106,7 +109,7 @@ impl SimMachine {
     }
 
     /// Executed instructions by mnemonic, across all runs so far.
-    pub fn histogram(&self) -> &BTreeMap<String, u64> {
+    pub fn histogram(&self) -> &BTreeMap<&'static str, u64> {
         &self.histogram
     }
 

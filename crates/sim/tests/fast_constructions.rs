@@ -1,0 +1,78 @@
+//! Pins the fast path's tile-construction amortization:
+//! [`FastMachine::constructions`] counts `FastMachine::new` calls
+//! process-wide (clones don't count), and this file is its own test
+//! binary with exactly one `#[test]` so nothing else moves the counter
+//! between the deltas asserted here.
+
+use darth_sim::{FastExecutor, FastMachine};
+
+mod common {
+    use darth_isa::asm::assemble;
+    use darth_isa::encode::encode_program;
+    use darth_pum::chip::SideChannel;
+    use darth_pum::eval::{ExecJob, Readback};
+    use darth_pum::hct::HctConfig;
+
+    pub fn digital_job(value: u64) -> ExecJob {
+        let program = assemble(&format!(
+            "wimm p0 v0 0 {value}\n\
+             wimm p0 v1 0 17\n\
+             add p0 v2 v0 v1\n\
+             halt\n"
+        ))
+        .expect("parses");
+        ExecJob {
+            name: format!("digital-{value}"),
+            tile: HctConfig::small_test(),
+            program: encode_program(&program),
+            data: SideChannel::new(),
+            readbacks: vec![Readback {
+                label: "sum".into(),
+                pipe: 0,
+                vr: 2,
+                elements: 1,
+                signed: false,
+            }],
+        }
+    }
+}
+
+#[test]
+fn prototype_caches_amortize_tile_construction() {
+    let executor = FastExecutor::new().with_workers(1);
+
+    // prepare() constructs the prototype once; N runs clone it.
+    let job = common::digital_job(25);
+    let before = FastMachine::constructions();
+    let prepared = executor.prepare(&job).expect("compiles");
+    assert_eq!(
+        FastMachine::constructions() - before,
+        1,
+        "prepare builds exactly the prototype"
+    );
+    let (first, _) = executor.run_prepared(&prepared).expect("runs");
+    for _ in 0..9 {
+        let (run, _) = executor.run_prepared(&prepared).expect("runs");
+        assert_eq!(run, first);
+    }
+    assert_eq!(
+        FastMachine::constructions() - before,
+        1,
+        "10 run_prepared calls clone the prototype; none rebuild the tile"
+    );
+    assert_eq!(first.outputs[0].cells, vec![42]);
+
+    // The batch path's per-worker prototype cache: N same-tile jobs on
+    // one worker construct one machine total.
+    let jobs: Vec<_> = (0..16).map(|i| common::digital_job(i + 1)).collect();
+    let before = FastMachine::constructions();
+    let runs = executor.execute_batch(&jobs).expect("runs");
+    assert_eq!(
+        FastMachine::constructions() - before,
+        1,
+        "a single-worker batch over one tile config builds one prototype"
+    );
+    for (i, run) in runs.iter().enumerate() {
+        assert_eq!(run.outputs[0].cells, vec![i as i64 + 1 + 17], "job {i}");
+    }
+}

@@ -134,13 +134,12 @@ impl Executor for CorruptedStats {
 impl StatExecutor for CorruptedStats {
     fn execute_with_stats(&self, job: &ExecJob) -> darth_pum::Result<(ExecRun, SimStats)> {
         let (run, mut stats) = self.0.execute_with_stats(job)?;
-        let key = stats
+        let key = *stats
             .histogram
             .keys()
             .next()
-            .expect("ran at least one instruction")
-            .clone();
-        stats.histogram.remove(&key);
+            .expect("ran at least one instruction");
+        stats.histogram.remove(key);
         Ok((run, stats))
     }
 }
