@@ -15,7 +15,7 @@ EVAL_LARGE_CAP_KB ?= 2097152
 ## Generous because a cold tree pays the release build inside it.
 SIM_VERIFY_BUDGET_S ?= 600
 
-.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence dse dse-smoke sim-verify serve serve-smoke clean
+.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence dse dse-smoke sim-verify kir-verify serve serve-smoke clean
 
 all: verify
 
@@ -24,7 +24,7 @@ all: verify
 ## streaming/materialized equivalence regression, the DSE smoke sweep,
 ## the functional-simulator differential gate, and the serving smoke
 ## suite, explicitly.
-verify: build test lint fmt-check equivalence dse-smoke sim-verify serve-smoke
+verify: build test lint fmt-check equivalence dse-smoke sim-verify kir-verify serve-smoke
 
 ## The golden-model differential gate: the standard registry
 ## (AES-128/192/256 on FIPS-197 vectors, integer GEMM, a conv layer)
@@ -47,6 +47,16 @@ sim-verify:
 	DARTH_SIM_BULK_BLOCKS=1000 timeout $(SIM_VERIFY_BUDGET_S) \
 		$(CARGO) test -q --release -p darth_sim --test fast_vs_reference
 	$(CARGO) test -q --release -p darth_sim --test shard_determinism
+
+## The kernel-IR compiler gate: the darth_kir unit + property suites
+## (verifier diagnostics, allocator reuse/pressure, encode → decode →
+## re-encode round trips, the split-concatenation invariant) and the
+## hand-lowering parity regression (per-mnemonic histograms, analog-op
+## counts, cycles and energy pinned against the pre-compiler baselines).
+## Also part of `make test`; kept addressable so `make verify` names it.
+kir-verify:
+	$(CARGO) test -q -p darth_kir
+	$(CARGO) test -q -p darth_sim --test kir_parity
 
 ## The registry-wide bit-identity regression: price(stream) ==
 ## price(&Trace) == engine replay for every (workload, model) cell,

@@ -1,27 +1,30 @@
-//! AES compiled to a self-contained DARTH-PUM ISA program.
+//! AES compiled to a self-contained DARTH-PUM ISA program — via the
+//! `darth_kir` kernel-IR compiler.
 //!
 //! [`AesDarth`](crate::aes::mapping::AesDarth) executes AES on the
 //! functional tile, but the host intervenes between kernels (it unpacks
 //! MixColumns columns, decodes parities, and repacks bytes in software).
-//! This module removes the host entirely: [`AesExec`] *compiles* an AES
-//! block encryption into one [`darth_isa`] instruction stream that a
-//! machine executes start-to-finish with no intervention — every round
-//! step, including the MixColumns bit unpack/parity/repack plumbing, is
-//! real `shr`/`and`/`eload`/`mvm`/`shl`/`or` instructions over pipeline
-//! registers.
+//! This module removes the host entirely: [`AesExec`] builds an AES
+//! block encryption as a kernel IR — every round step, including the
+//! MixColumns bit unpack/parity/repack plumbing, is an IR op lowering to
+//! one real `shr`/`and`/`eload`/`mvm`/`shl`/`or` instruction — and the
+//! compiler pipeline (verify → allocate → lower) emits the encoded
+//! program. The ~500 lines of hand-scheduled emission this file used to
+//! carry are retired; the kernel is now ~80 lines of IR building.
 //!
-//! Placement differences from the host-assisted mapping:
+//! Placement notes that survive the compiler:
 //!
 //! * the GF(2) MixColumns matrix is programmed **raw** (0/1 weights in
-//!   SLC cells) instead of ±1-remapped: the ideal verification tile reads
-//!   exact bitline counts, so parity is one `and` with an all-ones
-//!   register — no compensation arithmetic, and therefore no host;
-//! * bit unpacking is 8 `shr`+`and` pairs over the whole state register,
-//!   staged to the table pipeline and gathered per column through
-//!   constant address registers (the same element-wise load datapath as
-//!   SubBytes);
-//! * repacking gathers each output bit plane from the landed parity
-//!   registers and ORs the shifted planes back into state bytes.
+//!   SLC cells): the ideal verification tile reads exact bitline counts,
+//!   so parity is one `and` with an all-ones register — no host;
+//! * the S-box is *self-addressing* (a state byte is its own lookup
+//!   address), so its four registers are pinned at table registers 0–3
+//!   with [`KirBuilder::const_u_at`] — the one placement the allocator
+//!   must not choose;
+//! * all other gather tables (`ShiftRows` permutation, MVM input
+//!   addresses, repack addresses) are IR address tables: they reference
+//!   *slots*, and the compiler resolves the global
+//!   `register × elements + element` addresses after allocation.
 //!
 //! The compiled job is the flagship case of the `darth_sim` differential
 //! harness: FIPS-197 vectors run through decode → dispatch → ACE/DCE and
@@ -29,9 +32,9 @@
 
 use super::gf2;
 use super::golden::{Aes, KeySize, SBOX};
-use darth_isa::instruction::{Instruction, IsaBoolOp, PipelineId, Program, VaCoreId, Vr};
-use darth_pum::chip::SideChannel;
-use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback, SplitJob};
+use darth_isa::instruction::IsaBoolOp;
+use darth_kir::{pack_bit_planes, unpack_bit_planes, CompiledKernel, KernelIr, KirBuilder, Value};
+use darth_pum::eval::{ExecJob, ExecOutput, Executable, SplitJob};
 use darth_pum::hct::HctConfig;
 
 /// Pipeline roles.
@@ -40,36 +43,8 @@ const P_TABLE: u16 = 1;
 const P_IN: u16 = 2;
 const P_LAND: u16 = 3;
 
-/// State-pipeline register map.
-const SV_STATE: u8 = 0;
-const SV_KEYTMP: u8 = 1;
-const SV_ONES: u8 = 2;
-const SV_SHIFTADDR: u8 = 3;
-const SV_BIT0: u8 = 4; // ..=11: bit plane k of the state bytes
-const SV_PB0: u8 = 12; // ..=19: gathered output bit plane k
-const SV_PACKADDR0: u8 = 20; // ..=27: pack gather addresses for bit k
-const SV_PACKACC: u8 = 28;
-const SV_PACKTMP: u8 = 29;
-const SV_MASK8: u8 = 30;
-
-/// Table-pipeline register map.
-const TV_SBOX0: u8 = 0; // ..=3: the 256-entry S-box
-const TV_STAGE: u8 = 4; // ShiftRows staging copy
-const TV_RK0: u8 = 5; // ..=19: one register per round key
-const TV_BIT0: u8 = 20; // ..=27: staged state bit planes
-const TV_PAR0: u8 = 28; // ..=31: landed parity bits per column
-
-/// Input-pipeline register map.
-const IV_ADDR0: u8 = 0; // ..=3: per-column MVM input gather addresses
-const IV_BITS: u8 = 4; // gathered 32-bit MVM input vector
-
-/// Landing-pipeline register map: column `c` reduces into register `4c`
-/// (its partial product and IIU scratch sit directly above), parity into
-/// `4c + 3`.
-const LV_ONES32: u8 = 16;
-
 /// Elements per vector register in the compiled tile.
-const ELEMENTS: u64 = 64;
+const ELEMENTS: usize = 64;
 
 /// One AES block encryption compiled to a self-contained ISA job.
 #[derive(Debug, Clone)]
@@ -151,123 +126,181 @@ impl AesExec {
         HctConfig {
             functional_pipelines: 4,
             functional_depth: 16,
-            functional_elements: ELEMENTS as usize,
+            functional_elements: ELEMENTS,
             functional_vrs: 40,
             functional_ace_arrays: 2,
             ..HctConfig::small_test()
         }
     }
 
-    /// Compiles the block encryption into a program plus its staged data.
-    ///
-    /// # Errors
-    ///
-    /// Propagates side-channel staging errors.
-    pub fn compile(&self) -> darth_pum::Result<(Program, SideChannel)> {
-        let mut data = SideChannel::new();
+    /// Builds the block encryption as a kernel IR: one vACore for the
+    /// GF(2) MixColumns matrix, the S-box/round-key/mask constants and
+    /// gather-address tables as setup, the plaintext as the per-request
+    /// input, and the rounds as the body.
+    pub fn build_ir(&self) -> KernelIr {
+        let mut b = KirBuilder::new(&self.name, AesExec::tile_config());
         // The raw 0/1 GF(2) matrix: rows are input bits (wordlines),
         // columns output bits (bitlines); the exact bitline count's LSB
         // is the output parity.
-        let matrix_handle = data.stage_matrix(gf2::mixcolumns_matrix())?;
+        let mc = b.vacore(gf2::mixcolumns_matrix(), 1, 1, 1, false);
 
-        let mut p = Program::new();
-        p.push(Instruction::AllocVaCore {
-            vacore: VaCoreId(0),
-            element_bits: 1,
-            bits_per_cell: 1,
-            input_bits: 1,
-            input_signed: false,
-        });
-        p.push(Instruction::ProgMatrix {
-            vacore: VaCoreId(0),
-            matrix_handle,
-        });
-        self.emit_constants(&mut p);
-        self.emit_plaintext(&mut p);
-        let rounds = self.golden.rounds();
-        emit_add_round_key(&mut p, 0);
-        for round in 1..rounds {
-            emit_sub_bytes(&mut p);
-            emit_shift_rows(&mut p);
-            emit_mix_columns(&mut p);
-            emit_add_round_key(&mut p, round);
+        // S-box: 256 entries across four *pinned* table registers so
+        // entry `v` sits at global address `v` — a state byte is its own
+        // lookup address.
+        for chunk in 0..4u8 {
+            let cells: Vec<(u8, u64)> = SBOX[usize::from(chunk) * 64..][..64]
+                .iter()
+                .enumerate()
+                .map(|(e, &s)| (e as u8, u64::from(s)))
+                .collect();
+            b.const_u_at(P_TABLE, chunk, format!("sbox{chunk}"), &cells);
         }
-        emit_sub_bytes(&mut p);
-        emit_shift_rows(&mut p);
-        emit_add_round_key(&mut p, rounds);
-        p.push(Instruction::Halt);
-        Ok((p, data))
+        // Round keys, one register each.
+        let rks: Vec<Value> = self
+            .golden
+            .round_keys()
+            .iter()
+            .enumerate()
+            .map(|(r, rk)| {
+                let cells: Vec<(u8, u64)> = rk
+                    .iter()
+                    .enumerate()
+                    .map(|(e, &v)| (e as u8, u64::from(v)))
+                    .collect();
+                b.const_u(P_TABLE, format!("rk{r}"), &cells)
+            })
+            .collect();
+
+        // The state register doubles as the request input: requests
+        // write the plaintext, the body transforms it in place, and the
+        // readback below reports it as the ciphertext.
+        let state = b.input(P_STATE, "state", false, &self.plaintext.map(i64::from));
+        // Bit-extraction mask (1 in every state element).
+        let one_cells: Vec<(u8, u64)> = (0..16).map(|e| (e, 1)).collect();
+        let ones = b.const_u(P_STATE, "ones", &one_cells);
+        // Byte mask over the whole register: keeps the unused tail
+        // elements inside the table's address space after packing.
+        let mask_cells: Vec<(u8, u64)> = (0..ELEMENTS as u8).map(|e| (e, 0xFF)).collect();
+        let mask8 = b.const_u(P_STATE, "mask8", &mask_cells);
+
+        // ShiftRows staging slot and permutation addresses:
+        // shifted[r + 4c] reads the staging copy at byte r + 4·((c+r) mod 4).
+        let stage = b.slot(P_TABLE, "stage");
+        let shift_entries: Vec<(u8, Value, u64)> = (0..4u64)
+            .flat_map(|r| (0..4u64).map(move |c| ((r + 4 * c) as u8, r + 4 * ((c + r) % 4))))
+            .map(|(dst, src)| (dst, stage, src))
+            .collect();
+        let shiftaddr = b.addr_table(P_STATE, "shiftaddr", &shift_entries);
+
+        // Staged state bit planes and landed column parities.
+        let bits: Vec<Value> = (0..8).map(|k| b.slot(P_TABLE, format!("bit{k}"))).collect();
+        let par: Vec<Value> = (0..4).map(|c| b.slot(P_TABLE, format!("par{c}"))).collect();
+        // Pack gather addresses: state byte `e`, bit `k` reads output
+        // bit `8·(e mod 4) + k` of column `e / 4`'s landed parity.
+        let packaddr: Vec<Value> = (0..8u64)
+            .map(|k| {
+                let entries: Vec<(u8, Value, u64)> = (0..16u64)
+                    .map(|e| (e as u8, par[(e / 4) as usize], 8 * (e % 4) + k))
+                    .collect();
+                b.addr_table(P_STATE, format!("packaddr{k}"), &entries)
+            })
+            .collect();
+        // MVM input gather addresses: input bit `j` of column `c` is
+        // bit `j mod 8` of state byte `4c + j/8` (the gf2 wordline
+        // order).
+        let mvmaddr: Vec<Value> = (0..4u64)
+            .map(|c| {
+                let entries: Vec<(u8, Value, u64)> = (0..32u64)
+                    .map(|j| (j as u8, bits[(j % 8) as usize], 4 * c + j / 8))
+                    .collect();
+                b.addr_table(P_IN, format!("mvmaddr{c}"), &entries)
+            })
+            .collect();
+        // Parity mask in the landing pipeline (1 across the 32 bitlines).
+        let ones32_cells: Vec<(u8, u64)> = (0..32).map(|e| (e, 1)).collect();
+        let ones32 = b.const_u(P_LAND, "ones32", &ones32_cells);
+
+        let add_round_key = |b: &mut KirBuilder, rk: Value| {
+            let key = b.copy_to(P_STATE, rk);
+            b.bool_into(state, IsaBoolOp::Xor, state, key);
+        };
+        // SubBytes: each state byte is its own S-box gather address.
+        let sub_bytes = |b: &mut KirBuilder| b.gather_into(state, state, P_TABLE);
+        // ShiftRows: stage the state into the table pipeline, gather it
+        // back through the constant permutation addresses.
+        let shift_rows = |b: &mut KirBuilder| {
+            b.mov(stage, state);
+            b.gather_into(state, shiftaddr, P_TABLE);
+        };
+        // MixColumns: unpack the state into bit planes, gather each
+        // column's 32 wordline bits, run the analog MVM, mask the
+        // bitline counts down to parities, and pack the output planes
+        // back into state bytes.
+        let mix_columns = |b: &mut KirBuilder| {
+            unpack_bit_planes(b, state, ones, &bits);
+            for c in 0..4 {
+                let input = b.gather(mvmaddr[c], P_TABLE);
+                let acc = b.mvm(mc, input, P_LAND);
+                let parity = b.bool_op(IsaBoolOp::And, acc, ones32);
+                b.mov(par[c], parity);
+            }
+            pack_bit_planes(b, &packaddr, P_TABLE, mask8, state);
+        };
+
+        let rounds = self.golden.rounds();
+        add_round_key(&mut b, rks[0]);
+        for &rk in &rks[1..rounds] {
+            sub_bytes(&mut b);
+            shift_rows(&mut b);
+            mix_columns(&mut b);
+            add_round_key(&mut b, rk);
+        }
+        sub_bytes(&mut b);
+        shift_rows(&mut b);
+        add_round_key(&mut b, rks[rounds]);
+
+        b.readback("ciphertext", state, 16, false);
+        b.finish()
     }
 
-    /// Compiles the block encryption factored for serving: the
-    /// request-invariant setup (vACore allocation, GF(2) matrix, S-box,
-    /// round keys, masks, gather addresses) and compute body (the
-    /// rounds, ending in `halt`) as separate sections, with the
-    /// per-request plaintext load left to
-    /// [`AesExec::input_program`]. `setup` ‖ `input` ‖ `body` is exactly
-    /// the monolithic [`AesExec::compile`] stream — `compile` already
-    /// emits in that order, and the concatenation test pins it.
+    /// Compiles the kernel through the `darth_kir` pipeline.
     ///
     /// # Errors
     ///
-    /// Propagates side-channel staging errors.
-    pub fn split_job(&self) -> darth_pum::Result<SplitJob> {
-        let mut data = SideChannel::new();
-        let matrix_handle = data.stage_matrix(gf2::mixcolumns_matrix())?;
-
-        let mut setup = Program::new();
-        setup.push(Instruction::AllocVaCore {
-            vacore: VaCoreId(0),
-            element_bits: 1,
-            bits_per_cell: 1,
-            input_bits: 1,
-            input_signed: false,
-        });
-        setup.push(Instruction::ProgMatrix {
-            vacore: VaCoreId(0),
-            matrix_handle,
-        });
-        self.emit_constants(&mut setup);
-
-        let mut body = Program::new();
-        let rounds = self.golden.rounds();
-        emit_add_round_key(&mut body, 0);
-        for round in 1..rounds {
-            emit_sub_bytes(&mut body);
-            emit_shift_rows(&mut body);
-            emit_mix_columns(&mut body);
-            emit_add_round_key(&mut body, round);
-        }
-        emit_sub_bytes(&mut body);
-        emit_shift_rows(&mut body);
-        emit_add_round_key(&mut body, rounds);
-        body.push(Instruction::Halt);
-
-        Ok(SplitJob {
-            name: self.name.clone(),
-            tile: AesExec::tile_config(),
-            setup: darth_isa::encode::encode_program(&setup),
-            body: darth_isa::encode::encode_program(&body),
-            data,
-            readbacks: vec![Readback {
-                label: "ciphertext".into(),
-                pipe: P_STATE,
-                vr: SV_STATE,
-                elements: 16,
-                signed: false,
-            }],
-        })
+    /// Propagates compiler diagnostics (none occur for this fixed
+    /// kernel; the channel keeps the API honest).
+    pub fn compiled(&self) -> darth_pum::Result<CompiledKernel> {
+        Ok(self.build_ir().compile()?)
     }
 
-    /// The encoded per-request input section for `plaintext`: 16 `wimm`s
-    /// into the state register, halt-free (execution falls through into
-    /// the resident body).
-    pub fn input_program(plaintext: &[u8; 16]) -> Vec<u8> {
-        let mut p = Program::new();
-        for (e, &b) in plaintext.iter().enumerate() {
-            wimm(&mut p, P_STATE, SV_STATE, e as u8, b.into());
-        }
-        darth_isa::encode::encode_program(&p)
+    /// The split form for serving: halt-free setup, per-request
+    /// plaintext stub, resident body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler diagnostics.
+    pub fn split_job(&self) -> darth_pum::Result<SplitJob> {
+        Ok(self.compiled()?.into_split_job())
+    }
+
+    /// The input payload for a plaintext, shaped for
+    /// [`CompiledKernel::input_program`] (one payload per input slot).
+    pub fn input_cells(plaintext: &[u8; 16]) -> Vec<Vec<i64>> {
+        vec![plaintext.iter().map(|&v| i64::from(v)).collect()]
+    }
+
+    /// The encoded per-request input section for `plaintext`: 16
+    /// `wimm`s into the state register, halt-free. Serving paths hold
+    /// the [`CompiledKernel`] and restage without recompiling; this
+    /// convenience recompiles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler diagnostics.
+    pub fn input_program(&self, plaintext: &[u8; 16]) -> darth_pum::Result<Vec<u8>> {
+        self.compiled()?
+            .input_program(&AesExec::input_cells(plaintext))
+            .map_err(darth_pum::Error::from)
     }
 
     /// Golden ciphertext for an arbitrary per-request plaintext under
@@ -276,232 +309,9 @@ impl AesExec {
         let ct = self.golden.encrypt_block(plaintext);
         vec![ExecOutput {
             label: "ciphertext".into(),
-            cells: ct.iter().map(|&b| i64::from(b)).collect(),
+            cells: ct.iter().map(|&v| i64::from(v)).collect(),
         }]
     }
-
-    /// Stages the S-box, round keys, masks and gather-address constants.
-    fn emit_constants(&self, p: &mut Program) {
-        // S-box: 256 entries across four table registers; entry `b` sits
-        // at address `b`, so a state byte is its own lookup address.
-        for (i, &s) in SBOX.iter().enumerate() {
-            wimm(
-                p,
-                P_TABLE,
-                TV_SBOX0 + (i as u8 / 64),
-                (i % 64) as u8,
-                s.into(),
-            );
-        }
-        // Round keys, one register each.
-        for (r, rk) in self.golden.round_keys().iter().enumerate() {
-            for (e, &b) in rk.iter().enumerate() {
-                wimm(p, P_TABLE, TV_RK0 + r as u8, e as u8, b.into());
-            }
-        }
-        // Bit-extraction mask (1 in every state element).
-        for e in 0..16 {
-            wimm(p, P_STATE, SV_ONES, e, 1);
-        }
-        // Byte mask over the whole register: keeps the unused tail
-        // elements inside the table's address space after packing.
-        for e in 0..ELEMENTS as u8 {
-            wimm(p, P_STATE, SV_MASK8, e, 0xFF);
-        }
-        // ShiftRows gather addresses: shifted[r + 4c] reads the staging
-        // copy at byte r + 4·((c + r) mod 4).
-        for r in 0..4u64 {
-            for c in 0..4u64 {
-                let dst = (r + 4 * c) as u8;
-                let src = r + 4 * ((c + r) % 4);
-                wimm(
-                    p,
-                    P_STATE,
-                    SV_SHIFTADDR,
-                    dst,
-                    u64::from(TV_STAGE) * ELEMENTS + src,
-                );
-            }
-        }
-        // Pack gather addresses: state byte `e`, bit `k` reads output bit
-        // `8·(e mod 4) + k` of column `e / 4`'s landed parity register.
-        for k in 0..8u64 {
-            for e in 0..16u64 {
-                let address = (u64::from(TV_PAR0) + e / 4) * ELEMENTS + (8 * (e % 4) + k);
-                wimm(p, P_STATE, SV_PACKADDR0 + k as u8, e as u8, address);
-            }
-        }
-        // MVM input gather addresses: input bit `j` of column `c` is bit
-        // `j mod 8` of state byte `4c + j/8` (the gf2 wordline order).
-        for c in 0..4u64 {
-            for j in 0..32u64 {
-                let address = (u64::from(TV_BIT0) + j % 8) * ELEMENTS + (4 * c + j / 8);
-                wimm(p, P_IN, IV_ADDR0 + c as u8, j as u8, address);
-            }
-        }
-        // Parity mask in the landing pipeline (1 across the 32 bitlines).
-        for e in 0..32 {
-            wimm(p, P_LAND, LV_ONES32, e, 1);
-        }
-    }
-
-    /// Loads the plaintext into the state register.
-    fn emit_plaintext(&self, p: &mut Program) {
-        for (e, &b) in self.plaintext.iter().enumerate() {
-            wimm(p, P_STATE, SV_STATE, e as u8, b.into());
-        }
-    }
-}
-
-/// `wimm` shorthand.
-fn wimm(p: &mut Program, pipe: u16, vr: u8, element: u8, value: u64) {
-    p.push(Instruction::WriteImm {
-        pipe: PipelineId(pipe),
-        vr: Vr(vr),
-        element,
-        value,
-    });
-}
-
-/// SubBytes: each state byte is its own S-box gather address.
-fn emit_sub_bytes(p: &mut Program) {
-    p.push(Instruction::ElementLoad {
-        pipe: PipelineId(P_STATE),
-        addr: Vr(SV_STATE),
-        table_pipe: PipelineId(P_TABLE),
-        dst: Vr(SV_STATE),
-    });
-}
-
-/// ShiftRows: stage the state into the table pipeline, gather it back
-/// through the constant permutation addresses.
-fn emit_shift_rows(p: &mut Program) {
-    p.push(Instruction::CopyAcross {
-        src_pipe: PipelineId(P_STATE),
-        src: Vr(SV_STATE),
-        dst_pipe: PipelineId(P_TABLE),
-        dst: Vr(TV_STAGE),
-    });
-    p.push(Instruction::ElementLoad {
-        pipe: PipelineId(P_STATE),
-        addr: Vr(SV_SHIFTADDR),
-        table_pipe: PipelineId(P_TABLE),
-        dst: Vr(SV_STATE),
-    });
-}
-
-/// AddRoundKey: copy the resident key across, XOR into the state.
-fn emit_add_round_key(p: &mut Program, round: usize) {
-    p.push(Instruction::CopyAcross {
-        src_pipe: PipelineId(P_TABLE),
-        src: Vr(TV_RK0 + round as u8),
-        dst_pipe: PipelineId(P_STATE),
-        dst: Vr(SV_KEYTMP),
-    });
-    p.push(Instruction::Bool {
-        op: IsaBoolOp::Xor,
-        pipe: PipelineId(P_STATE),
-        dst: Vr(SV_STATE),
-        a: Vr(SV_STATE),
-        b: Vr(SV_KEYTMP),
-    });
-}
-
-/// MixColumns, entirely in instructions: unpack the state into bit
-/// planes, gather each column's 32 wordline bits, run the analog MVM,
-/// mask the bitline counts down to parities, and gather/OR the output
-/// bit planes back into state bytes.
-fn emit_mix_columns(p: &mut Program) {
-    // Bit planes: b_k[e] = bit k of state byte e, staged to the table.
-    for k in 0..8u8 {
-        p.push(Instruction::ShiftRight {
-            pipe: PipelineId(P_STATE),
-            dst: Vr(SV_BIT0 + k),
-            src: Vr(SV_STATE),
-            amount: k,
-        });
-        p.push(Instruction::Bool {
-            op: IsaBoolOp::And,
-            pipe: PipelineId(P_STATE),
-            dst: Vr(SV_BIT0 + k),
-            a: Vr(SV_BIT0 + k),
-            b: Vr(SV_ONES),
-        });
-        p.push(Instruction::CopyAcross {
-            src_pipe: PipelineId(P_STATE),
-            src: Vr(SV_BIT0 + k),
-            dst_pipe: PipelineId(P_TABLE),
-            dst: Vr(TV_BIT0 + k),
-        });
-    }
-    // Per column: gather the 32 input bits, MVM, parity, stage parities.
-    for c in 0..4u8 {
-        p.push(Instruction::ElementLoad {
-            pipe: PipelineId(P_IN),
-            addr: Vr(IV_ADDR0 + c),
-            table_pipe: PipelineId(P_TABLE),
-            dst: Vr(IV_BITS),
-        });
-        p.push(Instruction::Mvm {
-            vacore: VaCoreId(0),
-            input_pipe: PipelineId(P_IN),
-            input_vr: Vr(IV_BITS),
-            dst_pipe: PipelineId(P_LAND),
-            dst_vr: Vr(4 * c),
-            early_levels: 0,
-        });
-        p.push(Instruction::Bool {
-            op: IsaBoolOp::And,
-            pipe: PipelineId(P_LAND),
-            dst: Vr(4 * c + 3),
-            a: Vr(4 * c),
-            b: Vr(LV_ONES32),
-        });
-        p.push(Instruction::CopyAcross {
-            src_pipe: PipelineId(P_LAND),
-            src: Vr(4 * c + 3),
-            dst_pipe: PipelineId(P_TABLE),
-            dst: Vr(TV_PAR0 + c),
-        });
-    }
-    // Repack: gather output bit plane k, shift it to position, OR it in.
-    for k in 0..8u8 {
-        p.push(Instruction::ElementLoad {
-            pipe: PipelineId(P_STATE),
-            addr: Vr(SV_PACKADDR0 + k),
-            table_pipe: PipelineId(P_TABLE),
-            dst: Vr(SV_PB0 + k),
-        });
-    }
-    p.push(Instruction::CopyVr {
-        pipe: PipelineId(P_STATE),
-        dst: Vr(SV_PACKACC),
-        src: Vr(SV_PB0),
-    });
-    for k in 1..8u8 {
-        p.push(Instruction::ShiftLeft {
-            pipe: PipelineId(P_STATE),
-            dst: Vr(SV_PACKTMP),
-            src: Vr(SV_PB0 + k),
-            amount: k,
-        });
-        p.push(Instruction::Bool {
-            op: IsaBoolOp::Or,
-            pipe: PipelineId(P_STATE),
-            dst: Vr(SV_PACKACC),
-            a: Vr(SV_PACKACC),
-            b: Vr(SV_PACKTMP),
-        });
-    }
-    // Mask the whole register to bytes so every element (including the
-    // unused tail) stays a valid S-box gather address next round.
-    p.push(Instruction::Bool {
-        op: IsaBoolOp::And,
-        pipe: PipelineId(P_STATE),
-        dst: Vr(SV_STATE),
-        a: Vr(SV_PACKACC),
-        b: Vr(SV_MASK8),
-    });
 }
 
 impl Executable for AesExec {
@@ -510,48 +320,28 @@ impl Executable for AesExec {
     }
 
     fn job(&self) -> darth_pum::Result<ExecJob> {
-        let (program, data) = self.compile()?;
-        Ok(ExecJob {
-            name: self.name.clone(),
-            tile: AesExec::tile_config(),
-            program: darth_isa::encode::encode_program(&program),
-            data,
-            readbacks: vec![Readback {
-                label: "ciphertext".into(),
-                pipe: P_STATE,
-                vr: SV_STATE,
-                elements: 16,
-                signed: false,
-            }],
-        })
+        Ok(self.compiled()?.exec_job())
     }
 
     fn golden(&self) -> darth_pum::Result<Vec<ExecOutput>> {
-        let ct = self.golden.encrypt_block(&self.plaintext);
-        Ok(vec![ExecOutput {
-            label: "ciphertext".into(),
-            cells: ct.iter().map(|&b| i64::from(b)).collect(),
-        }])
+        Ok(self.golden_for(&self.plaintext))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use darth_pum::chip::DarthPumChip;
-    use darth_pum::params::ChipParams;
+    use crate::testutil::execute_job;
+    use darth_isa::instruction::Instruction;
 
-    /// Executes a compiled job on a fresh chip and reads the ciphertext.
+    /// Executes a compiled job on a fresh chip and reads the ciphertext
+    /// through the job's own readbacks.
     fn run(exec: &AesExec) -> [u8; 16] {
         let job = exec.job().expect("compiles");
-        let program = job.decoded_program().expect("decodes");
-        let mut chip = DarthPumChip::new(ChipParams::default(), job.tile.clone()).expect("builds");
-        chip.execute(&program, &job.data).expect("executes");
-        let pipe = chip
-            .tile_mut()
-            .pipeline_mut(P_STATE as usize)
-            .expect("exists");
-        core::array::from_fn(|i| pipe.read_value(SV_STATE as usize, i).expect("reads") as u8)
+        let outputs = execute_job(&job);
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].label, "ciphertext");
+        core::array::from_fn(|i| outputs[0].cells[i] as u8)
     }
 
     #[test]
@@ -572,7 +362,7 @@ mod tests {
             let exec = AesExec::fips197_appendix_c(size);
             let golden = exec.golden().expect("golden");
             let got = run(&exec);
-            let cells: Vec<i64> = got.iter().map(|&b| i64::from(b)).collect();
+            let cells: Vec<i64> = got.iter().map(|&v| i64::from(v)).collect();
             assert_eq!(cells, golden[0].cells, "{:?}", size);
         }
     }
@@ -589,13 +379,11 @@ mod tests {
     fn program_is_fully_self_contained() {
         // No instruction needs host data beyond the one staged matrix.
         let exec = AesExec::fips197_appendix_b();
-        let (program, data) = exec.compile().expect("compiles");
-        assert_eq!(data.matrices.len(), 1);
-        assert!(data.vectors.is_empty());
-        assert!(matches!(
-            program.instructions.last(),
-            Some(Instruction::Halt)
-        ));
+        let job = exec.job().expect("compiles");
+        let program = job.decoded_program().expect("decodes");
+        assert_eq!(job.data.matrices.len(), 1);
+        assert!(job.data.vectors.is_empty());
+        assert!(program.ends_with_halt());
         // 128-bit job: setup + 10 rounds land in the ~1.5k range.
         assert!(program.len() > 1000, "len {}", program.len());
     }
@@ -605,42 +393,39 @@ mod tests {
         for size in [KeySize::Aes128, KeySize::Aes192, KeySize::Aes256] {
             let exec = AesExec::fips197_appendix_c(size);
             let job = exec.job().expect("compiles");
-            let split = exec.split_job().expect("splits");
-            let full = split.full_job(&AesExec::input_program(&exec.plaintext));
+            let kernel = exec.compiled().expect("compiles");
+            let input = kernel.default_input_program().to_vec();
+            assert_eq!(
+                input,
+                exec.input_program(&exec.plaintext).expect("encodes"),
+                "{size:?}"
+            );
+            let full = kernel.split().full_job(&input);
             assert_eq!(full.program, job.program, "{size:?}");
             assert_eq!(full.tile, job.tile, "{size:?}");
             assert_eq!(full.data, job.data, "{size:?}");
             assert_eq!(full.readbacks, job.readbacks, "{size:?}");
             // Sections keep the serving invariants: halt-free setup and
             // input, body ends with halt.
-            let no_halt = |bytes: &[u8]| {
-                darth_isa::encode::decode_program(bytes)
-                    .expect("decodes")
-                    .iter()
-                    .all(|inst| !matches!(inst, Instruction::Halt))
-            };
-            assert!(no_halt(&split.setup), "{size:?}");
-            assert!(
-                no_halt(&AesExec::input_program(&exec.plaintext)),
-                "{size:?}"
-            );
-            let body = darth_isa::encode::decode_program(&split.body).expect("decodes");
-            assert!(matches!(body.instructions.last(), Some(Instruction::Halt)));
+            kernel.split().check_invariants().expect("invariants hold");
+            let stub = darth_isa::encode::decode_program(&input).expect("decodes");
+            assert!(stub.is_halt_free(), "{size:?}");
+            assert!(stub
+                .iter()
+                .all(|inst| matches!(inst, Instruction::WriteImm { .. })));
         }
     }
 
     #[test]
     fn key_sizes_scale_the_program() {
         let p128 = AesExec::fips197_appendix_c(KeySize::Aes128)
-            .compile()
+            .job()
             .expect("compiles")
-            .0
-            .len();
+            .instruction_count();
         let p256 = AesExec::fips197_appendix_c(KeySize::Aes256)
-            .compile()
+            .job()
             .expect("compiles")
-            .0
-            .len();
+            .instruction_count();
         assert!(p256 > p128);
     }
 }

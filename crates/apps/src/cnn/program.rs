@@ -4,26 +4,23 @@
 //! Toeplitz (im2col) matrix programmed into a vACore, each output pixel's
 //! receptive field is staged as an input vector, and one analog MVM per
 //! pixel produces all output channels at once, with the bias folded in by
-//! a DCE `add`. The differential harness checks every output cell
-//! against the plain-Rust [`conv2d`] reference.
+//! a DCE `add`. The program is built as a `darth_kir` kernel IR and
+//! compiled by its verify → allocate → lower pipeline. The differential
+//! harness checks every output cell against the plain-Rust [`conv2d`]
+//! reference.
 
-use super::tensor::{conv2d, ConvWeights, Tensor3};
+use super::tensor::{conv2d, im2col_row, ConvWeights, Tensor3};
 use crate::gemm::GemmWorkload;
-use darth_digital::pipeline::twos_complement_field;
-use darth_isa::instruction::{Instruction, PipelineId, Program, VaCoreId, Vr};
-use darth_pum::chip::SideChannel;
-use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback, SplitJob};
+use darth_kir::{CompiledKernel, KernelIr, KirBuilder};
+use darth_pum::eval::{ExecJob, ExecOutput, Executable, SplitJob};
 use darth_pum::hct::HctConfig;
 
-/// Pipeline/register layout of the compiled convolution job.
+/// Pipeline roles of the compiled convolution job.
 const P_CONV_IN: u16 = 0;
 const P_CONV_LAND: u16 = 1;
-const CV_PATCH: u8 = 0;
-const CV_ACC: u8 = 0;
-const CV_RESULT0: u8 = 20;
-const CV_BIAS: u8 = 30;
 const CONV_DEPTH: usize = 16;
-/// Result registers available above the MVM landing area.
+/// Output pixels the job shape supports (one parked patch register and
+/// one result register per pixel, clear of the MVM landing cluster).
 const CONV_MAX_PIXELS: usize = 8;
 
 /// A quantized convolution layer compiled to an ISA job: deterministic
@@ -60,7 +57,7 @@ impl ConvExec {
 
     /// Output rows/cols (stride 1, no padding); `0` when the kernel
     /// does not fit the input (such configs are rejected by
-    /// [`ConvExec::compile`], but accessors must not underflow first).
+    /// [`ConvExec::compiled`], but accessors must not underflow first).
     pub fn out_size(&self) -> usize {
         (self.size + 1).saturating_sub(self.kernel)
     }
@@ -129,6 +126,29 @@ impl ConvExec {
             .collect()
     }
 
+    /// Each output pixel's im2col patch, in readback (row-major pixel)
+    /// order — the per-request payloads for
+    /// [`CompiledKernel::input_program`].
+    pub fn input_cells(&self, input: &Tensor3) -> Vec<Vec<i64>> {
+        self.patches(input)
+    }
+
+    fn patches(&self, input: &Tensor3) -> Vec<Vec<i64>> {
+        let out = self.out_size();
+        (0..out)
+            .flat_map(|oy| {
+                (0..out)
+                    .map(|ox| {
+                        im2col_row(input, self.kernel, 1, 0, oy, ox)
+                            .iter()
+                            .map(|&x| i64::from(x))
+                            .collect()
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     /// The tile geometry the compiled program targets.
     pub fn tile_config() -> HctConfig {
         HctConfig {
@@ -157,139 +177,64 @@ impl ConvExec {
         Ok(())
     }
 
-    /// Compiles the layer into a program plus staged data.
-    ///
-    /// # Errors
-    ///
-    /// Returns shape errors for oversized layers and staging errors.
-    pub fn compile(&self) -> darth_pum::Result<(Program, SideChannel)> {
-        self.validate()?;
+    /// Builds the layer as a kernel IR: the Toeplitz matrix as one
+    /// vACore, the bias as a landing-pipe constant, pixel `p`'s
+    /// receptive field as input slot `patch-{p}`, and per pixel an
+    /// analog MVM folded into a parked result register by a bias `add`.
+    pub fn build_ir(&self) -> KernelIr {
         let w = self.conv_weights();
-        let input = self.input();
-        let mut data = SideChannel::new();
-        let matrix_handle = data.stage_matrix(self.toeplitz_matrix(&w))?;
-        let mut p = Program::new();
-        p.push(Instruction::AllocVaCore {
-            vacore: VaCoreId(0),
-            element_bits: 4,
-            bits_per_cell: 2,
-            input_bits: 4,
-            input_signed: true,
-        });
-        p.push(Instruction::ProgMatrix {
-            vacore: VaCoreId(0),
-            matrix_handle,
-        });
-        for co in 0..self.out_channels {
-            p.push(Instruction::WriteImm {
-                pipe: PipelineId(P_CONV_LAND),
-                vr: Vr(CV_BIAS),
-                element: co as u8,
-                value: twos_complement_field(i64::from(w.bias(co)), CONV_DEPTH)?,
-            });
-        }
+        let mut b = KirBuilder::new(self.exec_name(), ConvExec::tile_config());
+        let toeplitz = b.vacore(self.toeplitz_matrix(&w), 4, 2, 4, true);
+        let bias_cells: Vec<(u8, i64)> = (0..self.out_channels)
+            .map(|co| (co as u8, i64::from(w.bias(co))))
+            .collect();
+        let bias = b.const_s(P_CONV_LAND, "bias", &bias_cells);
+        let patches: Vec<darth_kir::Value> = self
+            .patches(&self.input())
+            .iter()
+            .enumerate()
+            .map(|(p, patch)| b.input(P_CONV_IN, format!("patch-{p}"), true, patch))
+            .collect();
         let out = self.out_size();
-        for oy in 0..out {
-            for ox in 0..out {
-                let patch = super::tensor::im2col_row(&input, self.kernel, 1, 0, oy, ox);
-                for (e, &x) in patch.iter().enumerate() {
-                    p.push(Instruction::WriteImm {
-                        pipe: PipelineId(P_CONV_IN),
-                        vr: Vr(CV_PATCH),
-                        element: e as u8,
-                        value: twos_complement_field(i64::from(x), CONV_DEPTH)?,
-                    });
-                }
-                p.push(Instruction::Mvm {
-                    vacore: VaCoreId(0),
-                    input_pipe: PipelineId(P_CONV_IN),
-                    input_vr: Vr(CV_PATCH),
-                    dst_pipe: PipelineId(P_CONV_LAND),
-                    dst_vr: Vr(CV_ACC),
-                    early_levels: 0,
-                });
-                p.push(Instruction::Add {
-                    pipe: PipelineId(P_CONV_LAND),
-                    dst: Vr(CV_RESULT0 + (oy * out + ox) as u8),
-                    a: Vr(CV_ACC),
-                    b: Vr(CV_BIAS),
-                });
-            }
+        for (p, &patch) in patches.iter().enumerate() {
+            let dst = b.slot(P_CONV_LAND, format!("out-{p}"));
+            let acc = b.mvm(toeplitz, patch, P_CONV_LAND);
+            b.add_into(dst, acc, bias);
+            b.readback(
+                format!("pixel-{}-{}", p / out.max(1), p % out.max(1)),
+                dst,
+                self.out_channels,
+                true,
+            );
         }
-        p.push(Instruction::Halt);
-        Ok((p, data))
+        b.finish()
     }
 
-    /// Compiles the layer factored for serving. The monolithic
-    /// [`ConvExec::compile`] interleaves each pixel's patch loads with
-    /// its MVM, reusing one patch register; the split form parks pixel
-    /// `p`'s receptive field in input register `CV_PATCH + p` so all
-    /// per-request loads live in the input section
-    /// ([`ConvExec::input_program`]) and the resident body is pure
-    /// compute (one MVM+bias pair per pixel, then `halt`).
+    /// Compiles the kernel through the `darth_kir` pipeline.
     ///
     /// # Errors
     ///
-    /// Returns shape errors for oversized layers and staging errors.
-    pub fn split_job(&self) -> darth_pum::Result<SplitJob> {
+    /// Returns shape errors for oversized layers and compiler
+    /// diagnostics.
+    pub fn compiled(&self) -> darth_pum::Result<CompiledKernel> {
         self.validate()?;
-        let w = self.conv_weights();
-        let mut data = SideChannel::new();
-        let matrix_handle = data.stage_matrix(self.toeplitz_matrix(&w))?;
+        Ok(self.build_ir().compile()?)
+    }
 
-        let mut setup = Program::new();
-        setup.push(Instruction::AllocVaCore {
-            vacore: VaCoreId(0),
-            element_bits: 4,
-            bits_per_cell: 2,
-            input_bits: 4,
-            input_signed: true,
-        });
-        setup.push(Instruction::ProgMatrix {
-            vacore: VaCoreId(0),
-            matrix_handle,
-        });
-        for co in 0..self.out_channels {
-            setup.push(Instruction::WriteImm {
-                pipe: PipelineId(P_CONV_LAND),
-                vr: Vr(CV_BIAS),
-                element: co as u8,
-                value: twos_complement_field(i64::from(w.bias(co)), CONV_DEPTH)?,
-            });
-        }
-
-        let mut body = Program::new();
-        let out = self.out_size();
-        for pixel in 0..out * out {
-            body.push(Instruction::Mvm {
-                vacore: VaCoreId(0),
-                input_pipe: PipelineId(P_CONV_IN),
-                input_vr: Vr(CV_PATCH + pixel as u8),
-                dst_pipe: PipelineId(P_CONV_LAND),
-                dst_vr: Vr(CV_ACC),
-                early_levels: 0,
-            });
-            body.push(Instruction::Add {
-                pipe: PipelineId(P_CONV_LAND),
-                dst: Vr(CV_RESULT0 + pixel as u8),
-                a: Vr(CV_ACC),
-                b: Vr(CV_BIAS),
-            });
-        }
-        body.push(Instruction::Halt);
-
-        Ok(SplitJob {
-            name: self.exec_name(),
-            tile: ConvExec::tile_config(),
-            setup: darth_isa::encode::encode_program(&setup),
-            body: darth_isa::encode::encode_program(&body),
-            data,
-            readbacks: self.readbacks(),
-        })
+    /// The split form for serving: the weight/bias setup is resident,
+    /// every per-request patch load lives in the input section, and the
+    /// body is pure compute (one MVM+bias pair per pixel, then `halt`).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for oversized layers and compiler
+    /// diagnostics.
+    pub fn split_job(&self) -> darth_pum::Result<SplitJob> {
+        Ok(self.compiled()?.into_split_job())
     }
 
     /// The encoded per-request input section: each output pixel's im2col
-    /// patch as `wimm`s into register `CV_PATCH + pixel`. Halt-free. The
+    /// patch as `wimm`s into its parked input register. Halt-free. The
     /// input tensor must match the layer's `in_channels × size × size`.
     ///
     /// # Errors
@@ -306,22 +251,9 @@ impl ConvExec {
                 self.in_channels, self.size, self.size
             )));
         }
-        let mut p = Program::new();
-        let out = self.out_size();
-        for oy in 0..out {
-            for ox in 0..out {
-                let patch = super::tensor::im2col_row(input, self.kernel, 1, 0, oy, ox);
-                for (e, &x) in patch.iter().enumerate() {
-                    p.push(Instruction::WriteImm {
-                        pipe: PipelineId(P_CONV_IN),
-                        vr: Vr(CV_PATCH + (oy * out + ox) as u8),
-                        element: e as u8,
-                        value: twos_complement_field(i64::from(x), CONV_DEPTH)?,
-                    });
-                }
-            }
-        }
-        Ok(darth_isa::encode::encode_program(&p))
+        self.compiled()?
+            .input_program(&self.patches(input))
+            .map_err(darth_pum::Error::from)
     }
 
     /// Deterministic per-request input activations (magnitudes ≤ 2 —
@@ -364,22 +296,6 @@ impl ConvExec {
             })
             .collect())
     }
-
-    /// The job's readbacks: one signed channel vector per output pixel.
-    fn readbacks(&self) -> Vec<Readback> {
-        let out = self.out_size();
-        (0..out)
-            .flat_map(|oy| {
-                (0..out).map(move |ox| Readback {
-                    label: format!("pixel-{oy}-{ox}"),
-                    pipe: P_CONV_LAND,
-                    vr: CV_RESULT0 + (oy * out + ox) as u8,
-                    elements: self.out_channels,
-                    signed: true,
-                })
-            })
-            .collect()
-    }
 }
 
 impl Executable for ConvExec {
@@ -391,14 +307,7 @@ impl Executable for ConvExec {
     }
 
     fn job(&self) -> darth_pum::Result<ExecJob> {
-        let (program, data) = self.compile()?;
-        Ok(ExecJob {
-            name: self.exec_name(),
-            tile: ConvExec::tile_config(),
-            program: darth_isa::encode::encode_program(&program),
-            data,
-            readbacks: self.readbacks(),
-        })
+        Ok(self.compiled()?.exec_job())
     }
 
     fn golden(&self) -> darth_pum::Result<Vec<ExecOutput>> {
@@ -409,31 +318,14 @@ impl Executable for ConvExec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use darth_pum::chip::DarthPumChip;
-    use darth_pum::params::ChipParams;
+    use crate::testutil::execute_job;
 
     #[test]
     fn compiled_conv_matches_conv2d_reference() {
         let exec = ConvExec::standard();
         let job = exec.job().expect("compiles");
-        let program = job.decoded_program().expect("decodes");
-        let mut chip = DarthPumChip::new(ChipParams::default(), job.tile.clone()).expect("builds");
-        chip.execute(&program, &job.data).expect("executes");
         let golden = exec.golden().expect("golden");
-        assert_eq!(golden.len(), job.readbacks.len());
-        let pipe = chip
-            .tile_mut()
-            .pipeline_mut(P_CONV_LAND as usize)
-            .expect("exists");
-        for (rb, reference) in job.readbacks.iter().zip(&golden) {
-            let got: Vec<i64> = (0..rb.elements)
-                .map(|e| {
-                    pipe.read_value_signed(usize::from(rb.vr), e)
-                        .expect("reads")
-                })
-                .collect();
-            assert_eq!(got, reference.cells, "{}", rb.label);
-        }
+        assert_eq!(execute_job(&job), golden);
     }
 
     #[test]
@@ -452,28 +344,13 @@ mod tests {
     fn split_conv_serves_arbitrary_inputs_bit_exact() {
         let exec = ConvExec::standard();
         let split = exec.split_job().expect("splits");
+        split.check_invariants().expect("invariants hold");
         for request_seed in [0u64, 7, 23] {
             let input = exec.synth_input(request_seed);
             let stub = exec.input_program(&input).expect("encodes");
             let full = split.full_job(&stub);
-            let program = full.decoded_program().expect("decodes");
-            let mut chip =
-                DarthPumChip::new(ChipParams::default(), full.tile.clone()).expect("builds");
-            chip.execute(&program, &full.data).expect("executes");
             let golden = exec.golden_for(&input).expect("golden");
-            let pipe = chip
-                .tile_mut()
-                .pipeline_mut(P_CONV_LAND as usize)
-                .expect("exists");
-            for (rb, reference) in full.readbacks.iter().zip(&golden) {
-                let got: Vec<i64> = (0..rb.elements)
-                    .map(|e| {
-                        pipe.read_value_signed(usize::from(rb.vr), e)
-                            .expect("reads")
-                    })
-                    .collect();
-                assert_eq!(got, reference.cells, "seed {request_seed} {}", rb.label);
-            }
+            assert_eq!(execute_job(&full), golden, "seed {request_seed}");
         }
         // Shape mismatches are rejected at encode time.
         let wrong = Tensor3::zeros(1, exec.size, exec.size).expect("builds");

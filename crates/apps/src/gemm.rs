@@ -9,10 +9,8 @@
 //! `rows = k` (input length), `cols = n` (output length), one batch entry
 //! per left-hand-side row.
 
-use darth_digital::pipeline::twos_complement_field;
-use darth_isa::instruction::{Instruction, PipelineId, Program, VaCoreId, Vr};
-use darth_pum::chip::SideChannel;
-use darth_pum::eval::{ExecJob, ExecOutput, Executable, Readback, SplitJob, Workload};
+use darth_kir::{CompiledKernel, KernelIr, KirBuilder};
+use darth_pum::eval::{ExecJob, ExecOutput, Executable, SplitJob, Workload};
 use darth_pum::hct::HctConfig;
 use darth_pum::trace::{KernelOp, Trace, TraceMeta, TraceSink, VectorKind};
 
@@ -112,21 +110,20 @@ impl Workload for GemmWorkload {
     }
 }
 
-/// Pipeline/register layout of the compiled GEMM job.
+/// Pipeline roles of the compiled GEMM job.
 const P_GEMM_IN: u16 = 0;
 const P_GEMM_LAND: u16 = 1;
-const GV_INPUT: u8 = 0;
-const GV_ACC: u8 = 0;
-const GV_RESULT0: u8 = 20;
-const GV_BIAS: u8 = 30;
 const GEMM_DEPTH: usize = 16;
-/// Result registers available above the MVM landing area.
+/// Batch rows the job shape supports (one parked input register and one
+/// result register per row, clear of the MVM landing cluster).
 const GEMM_MAX_M: usize = 8;
 
 /// A concrete integer GEMM compiled to an ISA job: deterministic 4-bit
 /// weights and 8-bit activations, `C = A·B + bias`, one analog MVM per
 /// left-hand-side row with the bias added by a DCE `add` — the
-/// differential twin of [`GemmWorkload`]'s analytical pricing.
+/// differential twin of [`GemmWorkload`]'s analytical pricing. The
+/// program is built as a `darth_kir` kernel IR; register placement is the
+/// compiler's problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GemmExec {
     /// Left-hand-side rows (MVM batch; at most 8).
@@ -174,13 +171,7 @@ impl GemmExec {
 
     /// Deterministic activations (`m × k`, 8-bit signed range).
     pub fn activations(&self) -> Vec<Vec<i64>> {
-        (0..self.m)
-            .map(|i| {
-                (0..self.k)
-                    .map(|r| ((i as i64 * 13 + r as i64 * 5 + self.seed as i64) % 21) - 10)
-                    .collect()
-            })
-            .collect()
+        self.synth_activations(self.seed)
     }
 
     /// Deterministic per-column bias.
@@ -215,161 +206,70 @@ impl GemmExec {
         Ok(())
     }
 
-    /// Compiles the GEMM into a program plus staged data.
-    ///
-    /// # Errors
-    ///
-    /// Returns shape errors for oversized dims and staging errors.
-    pub fn compile(&self) -> darth_pum::Result<(Program, SideChannel)> {
-        self.validate()?;
-        let mut data = SideChannel::new();
-        let matrix_handle = data.stage_matrix(self.weights())?;
-        let mut p = Program::new();
-        p.push(Instruction::AllocVaCore {
-            vacore: VaCoreId(0),
-            element_bits: 4,
-            bits_per_cell: 2,
-            input_bits: 8,
-            input_signed: true,
-        });
-        p.push(Instruction::ProgMatrix {
-            vacore: VaCoreId(0),
-            matrix_handle,
-        });
-        for (e, &b) in self.bias().iter().enumerate() {
-            p.push(Instruction::WriteImm {
-                pipe: PipelineId(P_GEMM_LAND),
-                vr: Vr(GV_BIAS),
-                element: e as u8,
-                value: twos_complement_field(b, GEMM_DEPTH)?,
-            });
+    /// Builds the GEMM as a kernel IR: the weight matrix as one vACore,
+    /// the bias as a landing-pipe constant, row `i`'s activations as
+    /// input slot `row-{i}`, and per row an analog MVM folded into a
+    /// parked result register by a bias `add`.
+    pub fn build_ir(&self) -> KernelIr {
+        let mut b = KirBuilder::new(self.exec_name(), GemmExec::tile_config());
+        let weights = b.vacore(self.weights(), 4, 2, 8, true);
+        let bias_cells: Vec<(u8, i64)> = self
+            .bias()
+            .iter()
+            .enumerate()
+            .map(|(e, &v)| (e as u8, v))
+            .collect();
+        let bias = b.const_s(P_GEMM_LAND, "bias", &bias_cells);
+        let rows: Vec<darth_kir::Value> = self
+            .activations()
+            .iter()
+            .enumerate()
+            .map(|(i, row)| b.input(P_GEMM_IN, format!("row-{i}"), true, row))
+            .collect();
+        for (i, &row) in rows.iter().enumerate() {
+            let out = b.slot(P_GEMM_LAND, format!("out-{i}"));
+            let acc = b.mvm(weights, row, P_GEMM_LAND);
+            // Fold the bias in and park the row so the landing cluster is
+            // free for the next batch row.
+            b.add_into(out, acc, bias);
+            b.readback(format!("row-{i}"), out, self.n, true);
         }
-        for (i, row) in self.activations().iter().enumerate() {
-            for (e, &x) in row.iter().enumerate() {
-                p.push(Instruction::WriteImm {
-                    pipe: PipelineId(P_GEMM_IN),
-                    vr: Vr(GV_INPUT),
-                    element: e as u8,
-                    value: twos_complement_field(x, GEMM_DEPTH)?,
-                });
-            }
-            p.push(Instruction::Mvm {
-                vacore: VaCoreId(0),
-                input_pipe: PipelineId(P_GEMM_IN),
-                input_vr: Vr(GV_INPUT),
-                dst_pipe: PipelineId(P_GEMM_LAND),
-                dst_vr: Vr(GV_ACC),
-                early_levels: 0,
-            });
-            // Fold the bias in and park the row so the landing registers
-            // are free for the next batch row.
-            p.push(Instruction::Add {
-                pipe: PipelineId(P_GEMM_LAND),
-                dst: Vr(GV_RESULT0 + i as u8),
-                a: Vr(GV_ACC),
-                b: Vr(GV_BIAS),
-            });
-        }
-        p.push(Instruction::Halt);
-        Ok((p, data))
+        b.finish()
     }
 
-    /// Compiles the GEMM factored for serving. The monolithic
-    /// [`GemmExec::compile`] interleaves each row's activation loads with
-    /// its MVM, reusing one input register; the split form instead parks
-    /// row `i`'s activations in input register `GV_INPUT + i` so that
-    /// **all** per-request loads live in the input section
-    /// ([`GemmExec::input_program`]) and the resident body is pure
-    /// compute (`m` MVM+bias pairs, then `halt`). Bit-exactness against
-    /// the golden model is pinned by the serving differential tests
-    /// rather than byte-equality with `compile` — the instruction
-    /// schedules differ by design.
+    /// Compiles the kernel through the `darth_kir` pipeline.
     ///
     /// # Errors
     ///
-    /// Returns shape errors for oversized dims and staging errors.
-    pub fn split_job(&self) -> darth_pum::Result<SplitJob> {
+    /// Returns shape errors for oversized dims and compiler diagnostics.
+    pub fn compiled(&self) -> darth_pum::Result<CompiledKernel> {
         self.validate()?;
-        let mut data = SideChannel::new();
-        let matrix_handle = data.stage_matrix(self.weights())?;
+        Ok(self.build_ir().compile()?)
+    }
 
-        let mut setup = Program::new();
-        setup.push(Instruction::AllocVaCore {
-            vacore: VaCoreId(0),
-            element_bits: 4,
-            bits_per_cell: 2,
-            input_bits: 8,
-            input_signed: true,
-        });
-        setup.push(Instruction::ProgMatrix {
-            vacore: VaCoreId(0),
-            matrix_handle,
-        });
-        for (e, &b) in self.bias().iter().enumerate() {
-            setup.push(Instruction::WriteImm {
-                pipe: PipelineId(P_GEMM_LAND),
-                vr: Vr(GV_BIAS),
-                element: e as u8,
-                value: twos_complement_field(b, GEMM_DEPTH)?,
-            });
-        }
-
-        let mut body = Program::new();
-        for i in 0..self.m {
-            body.push(Instruction::Mvm {
-                vacore: VaCoreId(0),
-                input_pipe: PipelineId(P_GEMM_IN),
-                input_vr: Vr(GV_INPUT + i as u8),
-                dst_pipe: PipelineId(P_GEMM_LAND),
-                dst_vr: Vr(GV_ACC),
-                early_levels: 0,
-            });
-            body.push(Instruction::Add {
-                pipe: PipelineId(P_GEMM_LAND),
-                dst: Vr(GV_RESULT0 + i as u8),
-                a: Vr(GV_ACC),
-                b: Vr(GV_BIAS),
-            });
-        }
-        body.push(Instruction::Halt);
-
-        Ok(SplitJob {
-            name: self.exec_name(),
-            tile: GemmExec::tile_config(),
-            setup: darth_isa::encode::encode_program(&setup),
-            body: darth_isa::encode::encode_program(&body),
-            data,
-            readbacks: self.readbacks(),
-        })
+    /// The split form for serving: the weight/bias setup is resident,
+    /// every per-request activation load lives in the input section, and
+    /// the body is pure compute (`m` MVM+bias pairs, then `halt`).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for oversized dims and compiler diagnostics.
+    pub fn split_job(&self) -> darth_pum::Result<SplitJob> {
+        Ok(self.compiled()?.into_split_job())
     }
 
     /// The encoded per-request input section: row `i`'s activations as
-    /// `wimm`s into input register `GV_INPUT + i`. Halt-free. The shape
-    /// must be `m × k`.
+    /// `wimm`s into its parked input register. Halt-free. The shape must
+    /// be `m × k`.
     ///
     /// # Errors
     ///
     /// Returns shape errors on an activation shape mismatch and range
     /// errors for values outside the 16-bit two's-complement field.
     pub fn input_program(&self, activations: &[Vec<i64>]) -> darth_pum::Result<Vec<u8>> {
-        if activations.len() != self.m || activations.iter().any(|row| row.len() != self.k) {
-            return Err(darth_pum::Error::Shape(format!(
-                "activations must be {}x{}",
-                self.m, self.k
-            )));
-        }
-        let mut p = Program::new();
-        for (i, row) in activations.iter().enumerate() {
-            for (e, &x) in row.iter().enumerate() {
-                p.push(Instruction::WriteImm {
-                    pipe: PipelineId(P_GEMM_IN),
-                    vr: Vr(GV_INPUT + i as u8),
-                    element: e as u8,
-                    value: twos_complement_field(x, GEMM_DEPTH)?,
-                });
-            }
-        }
-        Ok(darth_isa::encode::encode_program(&p))
+        self.compiled()?
+            .input_program(activations)
+            .map_err(darth_pum::Error::from)
     }
 
     /// Deterministic per-request activations (`m × k`, small signed
@@ -402,19 +302,6 @@ impl GemmExec {
             })
             .collect()
     }
-
-    /// The job's readbacks: one signed row vector per batch row.
-    fn readbacks(&self) -> Vec<Readback> {
-        (0..self.m)
-            .map(|i| Readback {
-                label: format!("row-{i}"),
-                pipe: P_GEMM_LAND,
-                vr: GV_RESULT0 + i as u8,
-                elements: self.n,
-                signed: true,
-            })
-            .collect()
-    }
 }
 
 impl Executable for GemmExec {
@@ -423,14 +310,7 @@ impl Executable for GemmExec {
     }
 
     fn job(&self) -> darth_pum::Result<ExecJob> {
-        let (program, data) = self.compile()?;
-        Ok(ExecJob {
-            name: self.exec_name(),
-            tile: GemmExec::tile_config(),
-            program: darth_isa::encode::encode_program(&program),
-            data,
-            readbacks: self.readbacks(),
-        })
+        Ok(self.compiled()?.exec_job())
     }
 
     fn golden(&self) -> darth_pum::Result<Vec<ExecOutput>> {
@@ -441,8 +321,7 @@ impl Executable for GemmExec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use darth_pum::chip::DarthPumChip;
-    use darth_pum::params::ChipParams;
+    use crate::testutil::execute_job;
 
     #[test]
     fn gemm_trace_counts_macs() {
@@ -474,51 +353,21 @@ mod tests {
     fn compiled_gemm_matches_golden_on_the_chip() {
         let exec = GemmExec::standard();
         let job = exec.job().expect("compiles");
-        let program = job.decoded_program().expect("decodes");
-        let mut chip = DarthPumChip::new(ChipParams::default(), job.tile.clone()).expect("builds");
-        chip.execute(&program, &job.data).expect("executes");
         let golden = exec.golden().expect("golden");
-        let pipe = chip
-            .tile_mut()
-            .pipeline_mut(P_GEMM_LAND as usize)
-            .expect("exists");
-        for (i, reference) in golden.iter().enumerate() {
-            let got: Vec<i64> = (0..exec.n)
-                .map(|e| {
-                    pipe.read_value_signed(usize::from(GV_RESULT0) + i, e)
-                        .expect("reads")
-                })
-                .collect();
-            assert_eq!(got, reference.cells, "row {i}");
-        }
+        assert_eq!(execute_job(&job), golden);
     }
 
     #[test]
     fn split_gemm_serves_arbitrary_activations_bit_exact() {
         let exec = GemmExec::standard();
         let split = exec.split_job().expect("splits");
+        split.check_invariants().expect("invariants hold");
         for request_seed in [0u64, 3, 19] {
             let activations = exec.synth_activations(request_seed);
             let input = exec.input_program(&activations).expect("encodes");
             let full = split.full_job(&input);
-            let program = full.decoded_program().expect("decodes");
-            let mut chip =
-                DarthPumChip::new(ChipParams::default(), full.tile.clone()).expect("builds");
-            chip.execute(&program, &full.data).expect("executes");
             let golden = exec.golden_for(&activations);
-            let pipe = chip
-                .tile_mut()
-                .pipeline_mut(P_GEMM_LAND as usize)
-                .expect("exists");
-            for (i, reference) in golden.iter().enumerate() {
-                let got: Vec<i64> = (0..exec.n)
-                    .map(|e| {
-                        pipe.read_value_signed(usize::from(GV_RESULT0) + i, e)
-                            .expect("reads")
-                    })
-                    .collect();
-                assert_eq!(got, reference.cells, "seed {request_seed} row {i}");
-            }
+            assert_eq!(execute_job(&full), golden, "seed {request_seed}");
         }
         // Shape mismatches are rejected at encode time.
         assert!(exec.input_program(&[vec![0; exec.k]]).is_err());

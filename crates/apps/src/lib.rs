@@ -41,6 +41,47 @@ pub mod aes;
 pub mod cnn;
 pub mod gemm;
 pub mod llm;
+pub mod reduce;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helper for the compiled-program module tests: execute a job
+    //! on a fresh chip and harvest its outputs through the job's own
+    //! readback declarations (no hand-tracked register constants).
+
+    use darth_pum::chip::DarthPumChip;
+    use darth_pum::eval::{ExecJob, ExecOutput};
+    use darth_pum::params::ChipParams;
+
+    pub(crate) fn execute_job(job: &ExecJob) -> Vec<ExecOutput> {
+        let program = job.decoded_program().expect("decodes");
+        let mut chip = DarthPumChip::new(ChipParams::default(), job.tile.clone()).expect("builds");
+        chip.execute(&program, &job.data).expect("executes");
+        job.readbacks
+            .iter()
+            .map(|rb| {
+                let pipe = chip
+                    .tile_mut()
+                    .pipeline_mut(usize::from(rb.pipe))
+                    .expect("exists");
+                let cells: Vec<i64> = (0..rb.elements)
+                    .map(|e| {
+                        if rb.signed {
+                            pipe.read_value_signed(usize::from(rb.vr), e)
+                                .expect("reads")
+                        } else {
+                            pipe.read_value(usize::from(rb.vr), e).expect("reads") as i64
+                        }
+                    })
+                    .collect();
+                ExecOutput {
+                    label: rb.label.clone(),
+                    cells,
+                }
+            })
+            .collect()
+    }
+}
 
 use std::fmt;
 

@@ -1,0 +1,122 @@
+//! Criterion bench + machine-readable report for the `darth_kir`
+//! compiler pipeline: per-kernel cost of the full build → verify →
+//! allocate → lower path for every compiled application (AES-128, the
+//! standard GEMM, the standard convolution, the PrIM-style reduction),
+//! plus a self-timed summary with section instruction counts written to
+//! `BENCH_kir.json` (schema `darth-bench-kir-compile/v1`). The compile
+//! path is the serving engine's cold-start cost — resident classes pay
+//! it once — so this pins how expensive "once" is.
+
+use criterion::{criterion_group, Criterion};
+use darth_apps::aes::golden::KeySize;
+use darth_apps::aes::program::AesExec;
+use darth_apps::cnn::program::ConvExec;
+use darth_apps::gemm::GemmExec;
+use darth_apps::reduce::ReduceExec;
+use darth_bench::{emit_json, JsonValue};
+use darth_kir::CompiledKernel;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A thunk building and compiling one kernel's IR.
+type CompileThunk = Box<dyn Fn() -> CompiledKernel>;
+
+/// The benched kernels: name + a thunk building and compiling the IR.
+fn kernels() -> Vec<(&'static str, CompileThunk)> {
+    vec![
+        (
+            "aes-128",
+            Box::new(|| {
+                AesExec::fips197_appendix_c(KeySize::Aes128)
+                    .build_ir()
+                    .compile()
+                    .expect("compiles")
+            }) as CompileThunk,
+        ),
+        (
+            "gemm",
+            Box::new(|| GemmExec::standard().build_ir().compile().expect("compiles")),
+        ),
+        (
+            "conv",
+            Box::new(|| ConvExec::standard().build_ir().compile().expect("compiles")),
+        ),
+        (
+            "reduce",
+            Box::new(|| {
+                ReduceExec::standard()
+                    .build_ir()
+                    .compile()
+                    .expect("compiles")
+            }),
+        ),
+    ]
+}
+
+fn bench_compile(c: &mut Criterion) {
+    for (name, compile) in kernels() {
+        c.bench_function(&format!("kir_compile_{name}"), |b| {
+            b.iter(|| black_box(compile()))
+        });
+    }
+}
+
+fn compile_report() {
+    let iters: usize = std::env::var("DARTH_KIR_BENCH_ITERS")
+        .ok()
+        .and_then(|raw| raw.trim().parse().ok())
+        .unwrap_or(50);
+
+    println!("\n=== kir_compile ({iters} iterations per kernel) ===");
+    let mut rows = Vec::new();
+    for (name, compile) in kernels() {
+        let compiled = compile();
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(compile());
+        }
+        let micros = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        println!(
+            "{name:>8}: {micros:>9.1} µs/compile  (setup {} ‖ input {} ‖ body {} instructions)",
+            compiled.setup_instructions(),
+            compiled.input_instructions(),
+            compiled.body_instructions(),
+        );
+        rows.push(JsonValue::object(vec![
+            ("kernel", JsonValue::from(name)),
+            ("compile_micros", JsonValue::from(micros)),
+            (
+                "setup_instructions",
+                JsonValue::from(compiled.setup_instructions()),
+            ),
+            (
+                "input_instructions",
+                JsonValue::from(compiled.input_instructions()),
+            ),
+            (
+                "body_instructions",
+                JsonValue::from(compiled.body_instructions()),
+            ),
+        ]));
+    }
+
+    emit_json(
+        "kir",
+        &JsonValue::object(vec![
+            ("schema", JsonValue::from("darth-bench-kir-compile/v1")),
+            ("iterations", JsonValue::from(iters)),
+            ("kernels", JsonValue::array(rows)),
+        ]),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile
+}
+
+fn main() {
+    benches();
+    compile_report();
+}

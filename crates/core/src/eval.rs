@@ -338,6 +338,34 @@ impl SplitJob {
         JobSignature(h.finish())
     }
 
+    /// Decodes both invariant sections and checks the split-program
+    /// contract: `setup` halt-free, `body` non-empty and ending with
+    /// `halt`. Producers (the `darth_kir` lowering, hand-written split
+    /// jobs) uphold this by construction; the check makes the invariant
+    /// auditable on any serialized artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Shape`](crate::Error::Shape) error naming the
+    /// violated invariant, or the decode error for corrupt sections.
+    pub fn check_invariants(&self) -> crate::Result<()> {
+        let setup = darth_isa::encode::decode_program(&self.setup)?;
+        if !setup.is_halt_free() {
+            return Err(crate::Error::Shape(format!(
+                "split job `{}`: setup section contains a halt",
+                self.name
+            )));
+        }
+        let body = darth_isa::encode::decode_program(&self.body)?;
+        if !body.ends_with_halt() {
+            return Err(crate::Error::Shape(format!(
+                "split job `{}`: body does not end with halt",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
     /// Reassembles the monolithic [`ExecJob`] for one request: `setup` ‖
     /// `input` ‖ `body`, byte-concatenated (the encode layer is
     /// fixed-width records, so concatenation is itself a valid encoded

@@ -18,6 +18,7 @@ use darth_apps::aes::workload::{AesWorkload, BulkAesWorkload};
 use darth_apps::cnn::workload::ResNetWorkload;
 use darth_apps::gemm::GemmWorkload;
 use darth_apps::llm::workload::EncoderWorkload;
+use darth_apps::reduce::ReduceWorkload;
 use darth_baselines::app_accel::AppAccelAccumulator;
 use darth_baselines::{AppAccelModel, BaselineModel, CpuModel, DigitalPumModel, GpuModel};
 use darth_digital::logic::LogicFamily;
@@ -183,8 +184,9 @@ pub fn paper_workloads() -> Vec<Box<dyn Workload>> {
 }
 
 /// The extended scenario matrix: the AES key-size sweep, the CIFAR
-/// ResNet depth sweep, the encoder shape sweep and the standalone GEMM
-/// size sweep (the paper's three points are the respective sweep heads).
+/// ResNet depth sweep, the encoder shape sweep, the standalone GEMM
+/// size sweep and the PrIM-style reduction sweep (the paper's three
+/// points are the respective sweep heads).
 pub fn extended_workloads() -> Vec<Box<dyn Workload>> {
     let mut workloads: Vec<Box<dyn Workload>> = Vec::new();
     for aes in AesWorkload::sweep() {
@@ -198,6 +200,9 @@ pub fn extended_workloads() -> Vec<Box<dyn Workload>> {
     }
     for gemm in GemmWorkload::sweep() {
         workloads.push(Box::new(gemm));
+    }
+    for reduce in ReduceWorkload::sweep() {
+        workloads.push(Box::new(reduce));
     }
     workloads
 }

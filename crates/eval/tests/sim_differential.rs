@@ -51,11 +51,12 @@ fn differential_twins_price_identically_through_the_engine() {
 }
 
 /// Rebuilds a boxed twin workload from its registry name (the standard
-/// cases only use AES variants and GEMM shapes).
+/// cases only use AES variants, GEMM shapes and the reduction).
 fn dyn_clone_twin(name: &str) -> Box<dyn darth_pum::eval::Workload> {
     use darth_apps::aes::workload::{AesVariant, AesWorkload};
     use darth_apps::cnn::program::ConvExec;
     use darth_apps::gemm::GemmExec;
+    use darth_apps::reduce::ReduceExec;
     match name {
         "aes-128" => Box::new(AesWorkload {
             variant: AesVariant::Aes128,
@@ -71,6 +72,9 @@ fn dyn_clone_twin(name: &str) -> Box<dyn darth_pum::eval::Workload> {
         }
         n if n == darth_pum::eval::Workload::name(&ConvExec::standard().workload()) => {
             Box::new(ConvExec::standard().workload())
+        }
+        n if n == darth_pum::eval::Workload::name(&ReduceExec::standard().workload()) => {
+            Box::new(ReduceExec::standard().workload())
         }
         other => panic!("unknown twin {other}"),
     }

@@ -468,6 +468,22 @@ impl Program {
     pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
         self.instructions.iter()
     }
+
+    /// Whether the program contains no `halt` — the invariant for
+    /// split-program setup and per-request input sections, which must
+    /// fall through into the section concatenated after them.
+    pub fn is_halt_free(&self) -> bool {
+        !self
+            .instructions
+            .iter()
+            .any(|i| matches!(i, Instruction::Halt))
+    }
+
+    /// Whether the program's final instruction is `halt` — the
+    /// invariant for split-program bodies (and monolithic jobs).
+    pub fn ends_with_halt(&self) -> bool {
+        matches!(self.instructions.last(), Some(Instruction::Halt))
+    }
 }
 
 impl FromIterator<Instruction> for Program {

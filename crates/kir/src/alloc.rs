@@ -1,0 +1,129 @@
+//! Linear-scan register allocation: values onto DCE vector registers.
+//!
+//! Placement policy, per pipeline:
+//!
+//! * the top architectural register is the zero register and is never
+//!   assigned (the chip enforces the same ceiling on MVM clusters);
+//! * fixed slots claim their pinned registers first;
+//! * persistent values (slots, constants, inputs) are placed
+//!   first-fit in declaration order and live for the whole program;
+//! * SSA temps are placed first-fit at their defining op and freed
+//!   after their last use — MVM results claim `terms + 2` *contiguous*
+//!   registers (accumulator, partial products, IIU scratch), everything
+//!   else one.
+//!
+//! Exhaustion returns [`CompileError::RegisterPressure`] with the
+//! requested width and remaining free count — a diagnostic, not a
+//! panic, so oversized kernels fail with an actionable message.
+
+use crate::ir::{KernelIr, Storage};
+use crate::{verify, CompileError};
+
+/// The allocator's output: the first register of every value (clusters
+/// extend upward from it).
+#[derive(Debug, Clone)]
+pub(crate) struct Allocation {
+    /// Indexed by value id.
+    pub vr: Vec<u8>,
+}
+
+/// Per-pipeline occupancy map.
+struct PipeFile {
+    free: Vec<bool>,
+}
+
+impl PipeFile {
+    fn new(usable: usize) -> Self {
+        PipeFile {
+            free: vec![true; usable],
+        }
+    }
+
+    fn claim(&mut self, vr: usize, width: usize) -> bool {
+        if vr + width > self.free.len() || !self.free[vr..vr + width].iter().all(|&f| f) {
+            return false;
+        }
+        self.free[vr..vr + width]
+            .iter_mut()
+            .for_each(|f| *f = false);
+        true
+    }
+
+    fn first_fit(&mut self, pipe: u16, width: usize) -> crate::Result<u8> {
+        let slots = self.free.len().saturating_sub(width.saturating_sub(1));
+        for vr in 0..slots {
+            if self.claim(vr, width) {
+                return Ok(vr as u8);
+            }
+        }
+        Err(CompileError::RegisterPressure {
+            pipe,
+            needed: width,
+            available: self.free.iter().filter(|&&f| f).count(),
+        })
+    }
+
+    fn release(&mut self, vr: usize, width: usize) {
+        self.free[vr..vr + width].iter_mut().for_each(|f| *f = true);
+    }
+}
+
+pub(crate) fn allocate(ir: &KernelIr) -> crate::Result<Allocation> {
+    let usable = verify::usable_vrs(ir);
+    let mut files: Vec<PipeFile> = (0..ir.tile.functional_pipelines)
+        .map(|_| PipeFile::new(usable))
+        .collect();
+    let mut vr = vec![0u8; ir.values.len()];
+
+    // Fixed slots claim their pinned registers first (the verifier has
+    // already ruled out collisions and out-of-range pins).
+    for (id, info) in ir.values.iter().enumerate() {
+        if let Storage::Fixed(pin) = info.storage {
+            files[usize::from(info.pipe)].claim(usize::from(pin), info.width);
+            vr[id] = pin;
+        }
+    }
+
+    // Persistent values, first-fit in declaration order.
+    for (id, info) in ir.values.iter().enumerate() {
+        if matches!(info.storage, Storage::Slot | Storage::Input) {
+            vr[id] = files[usize::from(info.pipe)].first_fit(info.pipe, info.width)?;
+        }
+    }
+
+    // Temps: linear scan over the body. A temp's register(s) become
+    // free again after the op that reads it last.
+    let mut last_use = vec![usize::MAX; ir.values.len()];
+    for (i, op) in ir.body.iter().enumerate() {
+        for operand in op.operands() {
+            if ir.info(operand).storage == Storage::Temp {
+                last_use[operand.0 as usize] = i;
+            }
+        }
+    }
+    for (i, op) in ir.body.iter().enumerate() {
+        // Free operands dying here before placing the destination: the
+        // datapath reads operands before writing results, so the
+        // destination may legally reuse a dying operand's register.
+        for operand in op.operands() {
+            let id = operand.0 as usize;
+            let info = ir.info(operand);
+            if info.storage == Storage::Temp && last_use[id] == i {
+                files[usize::from(info.pipe)].release(usize::from(vr[id]), info.width);
+            }
+        }
+        let dst = op.dst();
+        let info = ir.info(dst);
+        if info.storage == Storage::Temp {
+            let id = dst.0 as usize;
+            vr[id] = files[usize::from(info.pipe)].first_fit(info.pipe, info.width)?;
+            if last_use[id] == usize::MAX {
+                // Defined but never read: the write still happens, the
+                // registers are immediately recyclable.
+                files[usize::from(info.pipe)].release(usize::from(vr[id]), info.width);
+            }
+        }
+    }
+
+    Ok(Allocation { vr })
+}

@@ -1,0 +1,353 @@
+//! The IR builder: the only way to construct a [`KernelIr`], plus the
+//! shared bit-plane emission primitives the app kernels used to
+//! copy-adapt by hand.
+//!
+//! The builder is deliberately permissive — it records what it is told
+//! and returns handles — and the verifier pass is the gatekeeper: a
+//! malformed kernel builds fine and then fails
+//! [`KernelIr::verify`]/[`KernelIr::compile`] with a structured
+//! diagnostic instead of panicking mid-emission.
+
+use darth_isa::instruction::IsaBoolOp;
+use darth_pum::hct::HctConfig;
+
+use crate::ir::{
+    AddrEntry, BodyOp, InputDecl, KernelIr, ReadbackDecl, SetupItem, Storage, VaCore, VaCoreSpec,
+    Value, ValueInfo,
+};
+
+/// Builds a [`KernelIr`] incrementally: declare vACores, constants,
+/// slots and inputs, append compute ops (each op method returns the SSA
+/// temp it defines), then [`finish`](KirBuilder::finish).
+#[derive(Debug, Clone)]
+pub struct KirBuilder {
+    ir: KernelIr,
+}
+
+impl KirBuilder {
+    /// Starts a kernel targeting `tile`.
+    pub fn new(name: impl Into<String>, tile: HctConfig) -> Self {
+        KirBuilder {
+            ir: KernelIr {
+                name: name.into(),
+                tile,
+                values: Vec::new(),
+                vacores: Vec::new(),
+                setup: Vec::new(),
+                inputs: Vec::new(),
+                body: Vec::new(),
+                readbacks: Vec::new(),
+            },
+        }
+    }
+
+    fn value(&mut self, name: String, pipe: u16, storage: Storage, width: usize) -> Value {
+        let id = self.ir.values.len() as u32;
+        self.ir.values.push(ValueInfo {
+            name,
+            pipe,
+            storage,
+            width,
+        });
+        Value(id)
+    }
+
+    /// The pipeline a value lives in.
+    pub fn value_pipe(&self, v: Value) -> u16 {
+        self.ir.info(v).pipe
+    }
+
+    /// Declares a vACore: stages `matrix` through the side channel and
+    /// programs it at setup time. `terms = ⌈element_bits /
+    /// bits_per_cell⌉ × input_bits` sizes every MVM landing cluster.
+    pub fn vacore(
+        &mut self,
+        matrix: Vec<Vec<i64>>,
+        element_bits: u8,
+        bits_per_cell: u8,
+        input_bits: u8,
+        input_signed: bool,
+    ) -> VaCore {
+        let id = self.ir.vacores.len() as u8;
+        self.ir.vacores.push(VaCoreSpec {
+            matrix,
+            element_bits,
+            bits_per_cell,
+            input_bits,
+            input_signed,
+        });
+        VaCore(id)
+    }
+
+    /// Declares a persistent slot: a named register placed by the
+    /// allocator, alive for the whole program, writable by body ops.
+    pub fn slot(&mut self, pipe: u16, name: impl Into<String>) -> Value {
+        self.value(name.into(), pipe, Storage::Slot, 1)
+    }
+
+    /// Declares a persistent slot pinned to architectural register
+    /// `vr` — for self-addressing tables whose global addresses
+    /// (`register × elements + element`) are program data.
+    pub fn fixed_slot(&mut self, pipe: u16, vr: u8, name: impl Into<String>) -> Value {
+        self.value(name.into(), pipe, Storage::Fixed(vr), 1)
+    }
+
+    /// Declares an unsigned constant register initialized at setup time
+    /// with `cells` of `(element, value)`.
+    pub fn const_u(&mut self, pipe: u16, name: impl Into<String>, cells: &[(u8, u64)]) -> Value {
+        let dst = self.slot(pipe, name);
+        self.ir.setup.push(SetupItem::ConstU {
+            dst,
+            cells: cells.to_vec(),
+        });
+        dst
+    }
+
+    /// [`const_u`](KirBuilder::const_u) pinned to register `vr`.
+    pub fn const_u_at(
+        &mut self,
+        pipe: u16,
+        vr: u8,
+        name: impl Into<String>,
+        cells: &[(u8, u64)],
+    ) -> Value {
+        let dst = self.fixed_slot(pipe, vr, name);
+        self.ir.setup.push(SetupItem::ConstU {
+            dst,
+            cells: cells.to_vec(),
+        });
+        dst
+    }
+
+    /// Declares a signed constant register; cells are staged as
+    /// two's-complement fields at the tile depth.
+    pub fn const_s(&mut self, pipe: u16, name: impl Into<String>, cells: &[(u8, i64)]) -> Value {
+        let dst = self.slot(pipe, name);
+        self.ir.setup.push(SetupItem::ConstS {
+            dst,
+            cells: cells.to_vec(),
+        });
+        dst
+    }
+
+    /// Declares a gather-address table: element `element` holds the
+    /// global address of `slot[slot_element]`, resolved against the
+    /// allocator's placement at lowering time.
+    pub fn addr_table(
+        &mut self,
+        pipe: u16,
+        name: impl Into<String>,
+        entries: &[(u8, Value, u64)],
+    ) -> Value {
+        let dst = self.slot(pipe, name);
+        self.ir.setup.push(SetupItem::AddrTable {
+            dst,
+            entries: entries
+                .iter()
+                .map(|&(element, slot, slot_element)| AddrEntry {
+                    element,
+                    slot,
+                    slot_element,
+                })
+                .collect(),
+        });
+        dst
+    }
+
+    /// Declares a per-request input register: requests write `default.len()`
+    /// values into it ([`CompiledKernel::input_program`]); the monolithic
+    /// job form carries `default`.
+    ///
+    /// [`CompiledKernel::input_program`]: crate::CompiledKernel::input_program
+    pub fn input(
+        &mut self,
+        pipe: u16,
+        name: impl Into<String>,
+        signed: bool,
+        default: &[i64],
+    ) -> Value {
+        let value = self.value(name.into(), pipe, Storage::Input, 1);
+        self.ir.inputs.push(InputDecl {
+            value,
+            elements: default.len(),
+            signed,
+            default: default.to_vec(),
+        });
+        value
+    }
+
+    fn temp(&mut self, pipe: u16, kind: &str) -> Value {
+        let n = self.ir.values.len();
+        self.value(format!("%{n}.{kind}"), pipe, Storage::Temp, 1)
+    }
+
+    /// Element-wise boolean gate into a fresh temp.
+    pub fn bool_op(&mut self, op: IsaBoolOp, a: Value, b: Value) -> Value {
+        let dst = self.temp(self.value_pipe(a), op.mnemonic());
+        self.ir.body.push(BodyOp::Bool { op, dst, a, b });
+        dst
+    }
+
+    /// Element-wise boolean gate into an existing persistent slot.
+    pub fn bool_into(&mut self, dst: Value, op: IsaBoolOp, a: Value, b: Value) {
+        self.ir.body.push(BodyOp::Bool { op, dst, a, b });
+    }
+
+    /// Element-wise add into a fresh temp.
+    pub fn add(&mut self, a: Value, b: Value) -> Value {
+        let dst = self.temp(self.value_pipe(a), "add");
+        self.ir.body.push(BodyOp::Add { dst, a, b });
+        dst
+    }
+
+    /// Element-wise add into an existing persistent slot.
+    pub fn add_into(&mut self, dst: Value, a: Value, b: Value) {
+        self.ir.body.push(BodyOp::Add { dst, a, b });
+    }
+
+    /// Element-wise subtract into a fresh temp.
+    pub fn sub(&mut self, a: Value, b: Value) -> Value {
+        let dst = self.temp(self.value_pipe(a), "sub");
+        self.ir.body.push(BodyOp::Sub { dst, a, b });
+        dst
+    }
+
+    /// Left shift by an immediate into a fresh temp.
+    pub fn shl(&mut self, src: Value, amount: u8) -> Value {
+        let dst = self.temp(self.value_pipe(src), "shl");
+        self.ir.body.push(BodyOp::Shift {
+            left: true,
+            dst,
+            src,
+            amount,
+        });
+        dst
+    }
+
+    /// Right shift by an immediate into a fresh temp.
+    pub fn shr(&mut self, src: Value, amount: u8) -> Value {
+        let dst = self.temp(self.value_pipe(src), "shr");
+        self.ir.body.push(BodyOp::Shift {
+            left: false,
+            dst,
+            src,
+            amount,
+        });
+        dst
+    }
+
+    /// Copies `src` into a fresh temp in `pipe` (`copy` within a
+    /// pipeline, `copyx` across).
+    pub fn copy_to(&mut self, pipe: u16, src: Value) -> Value {
+        let dst = self.temp(pipe, "copy");
+        self.ir.body.push(BodyOp::Mov { dst, src });
+        dst
+    }
+
+    /// Copies `src` into an existing persistent slot.
+    pub fn mov(&mut self, dst: Value, src: Value) {
+        self.ir.body.push(BodyOp::Mov { dst, src });
+    }
+
+    /// `eload` gather into a fresh temp alongside `addr`: `dst[e] =`
+    /// the table pipeline's register file at global address `addr[e]`.
+    pub fn gather(&mut self, addr: Value, table_pipe: u16) -> Value {
+        let dst = self.temp(self.value_pipe(addr), "eload");
+        self.ir.body.push(BodyOp::Gather {
+            dst,
+            addr,
+            table_pipe,
+        });
+        dst
+    }
+
+    /// `eload` gather into an existing persistent slot (the address
+    /// register may be the destination itself — the datapath reads
+    /// addresses before writing).
+    pub fn gather_into(&mut self, dst: Value, addr: Value, table_pipe: u16) {
+        self.ir.body.push(BodyOp::Gather {
+            dst,
+            addr,
+            table_pipe,
+        });
+    }
+
+    /// Analog MVM: reduces `input` through `vacore`, landing in a fresh
+    /// cluster temp in `land_pipe` (`terms + 2` contiguous registers;
+    /// reading the temp reads the accumulator).
+    pub fn mvm(&mut self, vacore: VaCore, input: Value, land_pipe: u16) -> Value {
+        let width = self
+            .ir
+            .vacores
+            .get(vacore.0 as usize)
+            .map_or(1, |vc| vc.terms() + 2);
+        let n = self.ir.values.len();
+        let dst = self.value(format!("%{n}.mvm"), land_pipe, Storage::Temp, width);
+        self.ir.body.push(BodyOp::Mvm {
+            vacore,
+            input,
+            dst,
+            early_levels: 0,
+        });
+        dst
+    }
+
+    /// Declares an output: read `elements` cells of persistent slot
+    /// `value` after the body halts.
+    pub fn readback(
+        &mut self,
+        label: impl Into<String>,
+        value: Value,
+        elements: usize,
+        signed: bool,
+    ) {
+        self.ir.readbacks.push(ReadbackDecl {
+            label: label.into(),
+            value,
+            elements,
+            signed,
+        });
+    }
+
+    /// Finishes the kernel. Run [`KernelIr::verify`] or
+    /// [`KernelIr::compile`] next.
+    pub fn finish(self) -> KernelIr {
+        self.ir
+    }
+}
+
+/// Unpacks the bit planes of `src`: for each plane `k`, shift right by
+/// `k`, mask with `ones` (a 1 in every live element), and store into
+/// `planes[k]` — the canonical DARTH-PUM staging pattern feeding
+/// bit-serial gathers. Three instructions per plane.
+pub fn unpack_bit_planes(b: &mut KirBuilder, src: Value, ones: Value, planes: &[Value]) {
+    for (k, &plane) in planes.iter().enumerate() {
+        let shifted = b.shr(src, k as u8);
+        let bit = b.bool_op(IsaBoolOp::And, shifted, ones);
+        b.mov(plane, bit);
+    }
+}
+
+/// Repacks gathered bit planes into packed words: gathers plane `k`
+/// through address table `addrs[k]`, shifts it to position, ORs the
+/// planes together, and masks the result with `mask` into `dst` (the
+/// mask keeps dead elements inside downstream address spaces). One
+/// gather per plane plus a copy/shift/or reduction and the final mask.
+pub fn pack_bit_planes(
+    b: &mut KirBuilder,
+    addrs: &[Value],
+    table_pipe: u16,
+    mask: Value,
+    dst: Value,
+) {
+    let planes: Vec<Value> = addrs.iter().map(|&a| b.gather(a, table_pipe)).collect();
+    let Some((&first, rest)) = planes.split_first() else {
+        return;
+    };
+    let mut acc = b.copy_to(b.value_pipe(first), first);
+    for (k, &plane) in rest.iter().enumerate() {
+        let shifted = b.shl(plane, (k + 1) as u8);
+        acc = b.bool_op(IsaBoolOp::Or, acc, shifted);
+    }
+    b.bool_into(dst, IsaBoolOp::And, acc, mask);
+}

@@ -1,0 +1,289 @@
+//! `darth_kir`: the kernel-IR compiler pipeline.
+//!
+//! The three DARTH-PUM applications used to carry ~1.7k lines of
+//! hand-scheduled `darth_isa` emission each; this crate replaces that
+//! with a small layered compiler, so a new workload costs an IR builder
+//! instead of a bespoke program:
+//!
+//! 1. **Build** ([`KirBuilder`], [`ir`]) — a kernel IR with SSA-ish
+//!    value handles covering the DARTH-PUM repertoire: tiled analog MVM,
+//!    bit-plane pack/unpack, DCE gate/macro programs, `eload` gathers,
+//!    side-channel staging, and readbacks. Values come in three storage
+//!    classes: SSA *temps* (defined once, recycled after last use),
+//!    named *slots* (persistent registers, placed by the allocator), and
+//!    *fixed slots* (pinned registers for self-addressing tables).
+//! 2. **Verify** — def-before-use, storage-class and register/handle
+//!    bounds, pipe agreement, address-table targets. Structural
+//!    invariants (halt-free setup, halting body) hold by construction
+//!    and are re-pinned on the encoded artifact.
+//! 3. **Allocate** — a linear-scan register allocator mapping values
+//!    onto DCE vector registers (first-fit, contiguous clusters for MVM
+//!    landing areas, the top register reserved as the architectural
+//!    zero). Exhaustion is a [`CompileError::RegisterPressure`]
+//!    *diagnostic*, never a panic.
+//! 4. **Lower** ([`CompiledKernel`]) — emit encoded [`darth_isa`]
+//!    streams honoring the split-program contract: halt-free setup ‖
+//!    per-request input stub ‖ halting body. Compiled kernels drop
+//!    straight into [`darth_pum::eval::SplitJob`], the resident program
+//!    cache, and the serving engine unchanged.
+//!
+//! The compiled path is pinned bit-exact against software goldens by the
+//! `darth_sim` differential registry, and against the retired
+//! hand-written lowerings by the `kir_parity` regression test.
+
+pub mod build;
+pub mod ir;
+
+mod alloc;
+mod lower;
+mod verify;
+
+#[cfg(test)]
+mod tests;
+
+pub use build::{pack_bit_planes, unpack_bit_planes, KirBuilder};
+pub use ir::{KernelIr, VaCore, Value};
+pub use lower::{stage_field, CompiledKernel, InputSlot};
+
+/// Structured compiler diagnostics: every failure mode names the value,
+/// pipe, or bound involved so the IR author can fix the kernel without
+/// spelunking through emitted programs. Spills surface here as
+/// [`CompileError::RegisterPressure`] — the compiler never panics on a
+/// kernel that does not fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// Register allocation ran out of vector registers in a pipeline:
+    /// `needed` contiguous registers were requested while only
+    /// `available` (possibly fragmented) registers remain free.
+    RegisterPressure {
+        /// Pipeline that spilled.
+        pipe: u16,
+        /// Contiguous registers the failing value needs.
+        needed: usize,
+        /// Free registers remaining in the pipeline.
+        available: usize,
+    },
+    /// A temp is used before the op that defines it.
+    UseBeforeDef {
+        /// Name of the offending value.
+        value: String,
+    },
+    /// A temp is defined more than once (temps are SSA).
+    Redefined {
+        /// Name of the offending value.
+        value: String,
+    },
+    /// An op mixes operands from different pipelines.
+    PipeMismatch {
+        /// The op kind.
+        op: &'static str,
+        /// Name of the offending value.
+        value: String,
+        /// Pipeline the op executes in.
+        expected: u16,
+        /// Pipeline the value lives in.
+        found: u16,
+    },
+    /// A value or op names a pipeline outside the tile.
+    BadPipe {
+        /// The out-of-range pipeline.
+        pipe: u16,
+        /// Pipelines the tile has.
+        pipelines: usize,
+    },
+    /// A constant, address-table, or readback element index is outside
+    /// the register.
+    BadElement {
+        /// Name of the offending value.
+        value: String,
+        /// The out-of-range element.
+        element: usize,
+        /// Elements per register.
+        elements: usize,
+    },
+    /// Two fixed slots (or a fixed slot and the zero register) collide.
+    FixedSlotOverlap {
+        /// Pipeline of the collision.
+        pipe: u16,
+        /// The doubly-claimed register.
+        vr: u8,
+    },
+    /// A fixed slot is pinned outside the allocatable register file.
+    FixedSlotOutOfRange {
+        /// Pipeline of the slot.
+        pipe: u16,
+        /// The pinned register.
+        vr: u8,
+        /// Architectural registers per pipeline (the top one is the
+        /// zero register).
+        vrs: usize,
+    },
+    /// An address table, readback, or input declaration references an
+    /// SSA temp; only persistent slots have stable addresses.
+    NotPersistent {
+        /// Name of the offending value.
+        value: String,
+    },
+    /// An address table points at a slot outside the pipeline a gather
+    /// reads it through.
+    TablePipeMismatch {
+        /// Name of the address table.
+        table: String,
+        /// Name of the referenced slot.
+        slot: String,
+        /// The gather's table pipeline.
+        expected: u16,
+        /// The slot's pipeline.
+        found: u16,
+    },
+    /// A vACore matrix is empty, ragged, or larger than a register.
+    BadMatrix {
+        /// The vACore index.
+        vacore: u8,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// An MVM names an undeclared vACore.
+    BadVaCore {
+        /// The undeclared index.
+        vacore: u8,
+    },
+    /// A constant or input value does not fit the pipeline depth.
+    ValueTooWide {
+        /// The offending value.
+        value: i64,
+        /// Whether it was staged as two's-complement.
+        signed: bool,
+        /// Pipeline depth in bits.
+        depth: usize,
+    },
+    /// An input payload's element count does not match its slot.
+    InputShape {
+        /// Name of the input slot.
+        slot: String,
+        /// Elements the slot was declared with.
+        expected: usize,
+        /// Elements the payload supplied.
+        found: usize,
+    },
+    /// A request supplied the wrong number of input payloads.
+    InputCount {
+        /// Declared input slots.
+        expected: usize,
+        /// Payloads supplied.
+        found: usize,
+    },
+    /// Side-channel staging failed (weight matrix rejected).
+    Staging(String),
+}
+
+impl core::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CompileError::RegisterPressure {
+                pipe,
+                needed,
+                available,
+            } => write!(
+                f,
+                "register pressure in pipeline {pipe}: need {needed} contiguous vector \
+                 register(s), {available} free"
+            ),
+            CompileError::UseBeforeDef { value } => {
+                write!(f, "value `{value}` is used before it is defined")
+            }
+            CompileError::Redefined { value } => {
+                write!(f, "SSA temp `{value}` is defined more than once")
+            }
+            CompileError::PipeMismatch {
+                op,
+                value,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{op}: value `{value}` lives in pipeline {found}, op executes in pipeline \
+                 {expected}"
+            ),
+            CompileError::BadPipe { pipe, pipelines } => {
+                write!(f, "pipeline {pipe} out of range (tile has {pipelines})")
+            }
+            CompileError::BadElement {
+                value,
+                element,
+                elements,
+            } => write!(
+                f,
+                "value `{value}`: element {element} out of range (registers hold {elements})"
+            ),
+            CompileError::FixedSlotOverlap { pipe, vr } => {
+                write!(f, "fixed slots collide at pipeline {pipe} register {vr}")
+            }
+            CompileError::FixedSlotOutOfRange { pipe, vr, vrs } => write!(
+                f,
+                "fixed slot at pipeline {pipe} register {vr} outside the allocatable file \
+                 (vrs {vrs}, top register is the zero register)"
+            ),
+            CompileError::NotPersistent { value } => write!(
+                f,
+                "value `{value}` is an SSA temp; only persistent slots can be addressed here"
+            ),
+            CompileError::TablePipeMismatch {
+                table,
+                slot,
+                expected,
+                found,
+            } => write!(
+                f,
+                "address table `{table}` points at `{slot}` in pipeline {found}, but the \
+                 gather reads through pipeline {expected}"
+            ),
+            CompileError::BadMatrix { vacore, reason } => {
+                write!(f, "vACore {vacore} matrix: {reason}")
+            }
+            CompileError::BadVaCore { vacore } => {
+                write!(f, "MVM names undeclared vACore {vacore}")
+            }
+            CompileError::ValueTooWide {
+                value,
+                signed,
+                depth,
+            } => write!(
+                f,
+                "value {value} does not fit a {depth}-bit {} field",
+                if *signed {
+                    "two's-complement"
+                } else {
+                    "unsigned"
+                }
+            ),
+            CompileError::InputShape {
+                slot,
+                expected,
+                found,
+            } => write!(
+                f,
+                "input slot `{slot}` takes {expected} element(s), payload has {found}"
+            ),
+            CompileError::InputCount { expected, found } => {
+                write!(
+                    f,
+                    "kernel has {expected} input slot(s), request supplied {found}"
+                )
+            }
+            CompileError::Staging(msg) => write!(f, "side-channel staging failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<CompileError> for darth_pum::Error {
+    fn from(e: CompileError) -> Self {
+        darth_pum::Error::Shape(format!("kir: {e}"))
+    }
+}
+
+/// Compiler result alias.
+pub type Result<T> = core::result::Result<T, CompileError>;

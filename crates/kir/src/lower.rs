@@ -1,0 +1,365 @@
+//! Lowering: a verified, allocated kernel → encoded split-program
+//! sections honoring the serving contract (halt-free setup ‖ halt-free
+//! per-request input stub ‖ body ending in `halt`).
+//!
+//! Every body op emits exactly one instruction, so compiled programs
+//! track the retired hand-written lowerings instruction-for-instruction
+//! (the `kir_parity` regression pins the histograms). Section order is
+//! the split contract itself: vACore allocation + weight programming,
+//! constants and address tables, then the input stub, then the body —
+//! byte-concatenation of the three sections is the monolithic program
+//! by construction.
+
+use darth_digital::pipeline::twos_complement_field;
+use darth_isa::encode::{encode_program, RECORD_SIZE};
+use darth_isa::instruction::{Instruction, PipelineId, Program, VaCoreId, Vr};
+use darth_pum::chip::SideChannel;
+use darth_pum::eval::{ExecJob, JobSignature, Readback, SplitJob};
+
+use crate::alloc::Allocation;
+use crate::ir::{BodyOp, KernelIr, SetupItem};
+use crate::CompileError;
+
+/// Stages one immediate for a `wimm`: signed values become
+/// two's-complement fields at the pipeline depth, unsigned values are
+/// bounds-checked against it. The single shared staging site the app
+/// kernels used to duplicate.
+///
+/// # Errors
+///
+/// Returns [`CompileError::ValueTooWide`] when the value does not fit.
+pub fn stage_field(value: i64, signed: bool, depth: usize) -> crate::Result<u64> {
+    if signed {
+        return twos_complement_field(value, depth).map_err(|_| CompileError::ValueTooWide {
+            value,
+            signed,
+            depth,
+        });
+    }
+    let fits = value >= 0 && (depth >= 64 || (value as u64) >> depth == 0);
+    if !fits {
+        return Err(CompileError::ValueTooWide {
+            value,
+            signed,
+            depth,
+        });
+    }
+    Ok(value as u64)
+}
+
+/// One per-request input register of a compiled kernel: where the
+/// payload lands and how it is staged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSlot {
+    /// The input's declared name.
+    pub name: String,
+    /// Pipeline the payload is written into.
+    pub pipe: u16,
+    /// Allocated register.
+    pub vr: u8,
+    /// Payload length in elements.
+    pub elements: usize,
+    /// Whether payload values are staged as two's-complement fields.
+    pub signed: bool,
+}
+
+/// A compiled kernel: the encoded split program plus everything needed
+/// to synthesize per-request input stubs without recompiling — drop-in
+/// for [`SplitJob`] consumers (resident program caches, the serving
+/// engine) and for monolithic [`ExecJob`] consumers alike.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    split: SplitJob,
+    input_slots: Vec<InputSlot>,
+    default_input: Vec<u8>,
+    depth: usize,
+}
+
+impl CompiledKernel {
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.split.name
+    }
+
+    /// The split program (setup ‖ body, with readbacks and staged data).
+    pub fn split(&self) -> &SplitJob {
+        &self.split
+    }
+
+    /// Consumes the kernel into its [`SplitJob`].
+    pub fn into_split_job(self) -> SplitJob {
+        self.split
+    }
+
+    /// The split program's stable signature (program-cache key).
+    pub fn signature(&self) -> JobSignature {
+        self.split.signature()
+    }
+
+    /// The per-request input registers, in declaration order.
+    pub fn input_slots(&self) -> &[InputSlot] {
+        &self.input_slots
+    }
+
+    /// The encoded input stub carrying the kernel's declared default
+    /// payloads (what the monolithic job form runs).
+    pub fn default_input_program(&self) -> &[u8] {
+        &self.default_input
+    }
+
+    /// Encodes a halt-free input stub for one request: one payload per
+    /// input slot, in declaration order. Cheap enough for per-request
+    /// serving use — no recompilation, just `wimm` staging.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape diagnostics on payload count/length mismatches and
+    /// range diagnostics for values that do not fit the tile depth.
+    pub fn input_program(&self, payloads: &[Vec<i64>]) -> crate::Result<Vec<u8>> {
+        if payloads.len() != self.input_slots.len() {
+            return Err(CompileError::InputCount {
+                expected: self.input_slots.len(),
+                found: payloads.len(),
+            });
+        }
+        let mut p = Program::new();
+        for (slot, payload) in self.input_slots.iter().zip(payloads) {
+            if payload.len() != slot.elements {
+                return Err(CompileError::InputShape {
+                    slot: slot.name.clone(),
+                    expected: slot.elements,
+                    found: payload.len(),
+                });
+            }
+            for (e, &v) in payload.iter().enumerate() {
+                p.push(Instruction::WriteImm {
+                    pipe: PipelineId(slot.pipe),
+                    vr: Vr(slot.vr),
+                    element: e as u8,
+                    value: stage_field(v, slot.signed, self.depth)?,
+                });
+            }
+        }
+        Ok(encode_program(&p))
+    }
+
+    /// The monolithic [`ExecJob`] for the default payloads: setup ‖
+    /// default input ‖ body, byte-concatenated.
+    pub fn exec_job(&self) -> ExecJob {
+        self.split.full_job(&self.default_input)
+    }
+
+    /// Instructions in the encoded setup section.
+    pub fn setup_instructions(&self) -> usize {
+        self.split.setup.len() / RECORD_SIZE
+    }
+
+    /// Instructions in the default input stub.
+    pub fn input_instructions(&self) -> usize {
+        self.default_input.len() / RECORD_SIZE
+    }
+
+    /// Instructions in the encoded body (including the `halt`).
+    pub fn body_instructions(&self) -> usize {
+        self.split.body.len() / RECORD_SIZE
+    }
+}
+
+pub(crate) fn lower(ir: &KernelIr, alloc: &Allocation) -> crate::Result<CompiledKernel> {
+    let depth = ir.tile.functional_depth;
+    let elements = ir.tile.functional_elements as u64;
+    let reg = |v: crate::ir::Value| Vr(alloc.vr[v.0 as usize]);
+    let pipe = |v: crate::ir::Value| PipelineId(ir.info(v).pipe);
+
+    // Setup: vACores (stage + allocate + program), then initializers in
+    // declaration order.
+    let mut data = SideChannel::new();
+    let mut setup = Program::new();
+    for (i, vc) in ir.vacores.iter().enumerate() {
+        let matrix_handle = data
+            .stage_matrix(vc.matrix.clone())
+            .map_err(|e| CompileError::Staging(e.to_string()))?;
+        setup.push(Instruction::AllocVaCore {
+            vacore: VaCoreId(i as u8),
+            element_bits: vc.element_bits,
+            bits_per_cell: vc.bits_per_cell,
+            input_bits: vc.input_bits,
+            input_signed: vc.input_signed,
+        });
+        setup.push(Instruction::ProgMatrix {
+            vacore: VaCoreId(i as u8),
+            matrix_handle,
+        });
+    }
+    for item in &ir.setup {
+        let dst = item.dst();
+        match item {
+            SetupItem::ConstU { cells, .. } => {
+                for &(element, value) in cells {
+                    setup.push(Instruction::WriteImm {
+                        pipe: pipe(dst),
+                        vr: reg(dst),
+                        element,
+                        value: stage_field(value as i64, false, depth)?,
+                    });
+                }
+            }
+            SetupItem::ConstS { cells, .. } => {
+                for &(element, value) in cells {
+                    setup.push(Instruction::WriteImm {
+                        pipe: pipe(dst),
+                        vr: reg(dst),
+                        element,
+                        value: stage_field(value, true, depth)?,
+                    });
+                }
+            }
+            SetupItem::AddrTable { entries, .. } => {
+                for entry in entries {
+                    let address =
+                        u64::from(alloc.vr[entry.slot.0 as usize]) * elements + entry.slot_element;
+                    setup.push(Instruction::WriteImm {
+                        pipe: pipe(dst),
+                        vr: reg(dst),
+                        element: entry.element,
+                        value: stage_field(address as i64, false, depth)?,
+                    });
+                }
+            }
+        }
+    }
+
+    // Input stub: the declared defaults, recorded per slot so requests
+    // can restage without recompiling.
+    let mut input_slots = Vec::with_capacity(ir.inputs.len());
+    let mut input = Program::new();
+    for decl in &ir.inputs {
+        let info = ir.info(decl.value);
+        input_slots.push(InputSlot {
+            name: info.name.clone(),
+            pipe: info.pipe,
+            vr: alloc.vr[decl.value.0 as usize],
+            elements: decl.elements,
+            signed: decl.signed,
+        });
+        for (e, &v) in decl.default.iter().enumerate() {
+            input.push(Instruction::WriteImm {
+                pipe: pipe(decl.value),
+                vr: reg(decl.value),
+                element: e as u8,
+                value: stage_field(v, decl.signed, depth)?,
+            });
+        }
+    }
+
+    // Body: one instruction per op, then the terminating halt.
+    let mut body = Program::new();
+    for op in &ir.body {
+        body.push(match *op {
+            BodyOp::Bool { op, dst, a, b } => Instruction::Bool {
+                op,
+                pipe: pipe(dst),
+                dst: reg(dst),
+                a: reg(a),
+                b: reg(b),
+            },
+            BodyOp::Add { dst, a, b } => Instruction::Add {
+                pipe: pipe(dst),
+                dst: reg(dst),
+                a: reg(a),
+                b: reg(b),
+            },
+            BodyOp::Sub { dst, a, b } => Instruction::Sub {
+                pipe: pipe(dst),
+                dst: reg(dst),
+                a: reg(a),
+                b: reg(b),
+            },
+            BodyOp::Shift {
+                left: true,
+                dst,
+                src,
+                amount,
+            } => Instruction::ShiftLeft {
+                pipe: pipe(dst),
+                dst: reg(dst),
+                src: reg(src),
+                amount,
+            },
+            BodyOp::Shift {
+                left: false,
+                dst,
+                src,
+                amount,
+            } => Instruction::ShiftRight {
+                pipe: pipe(dst),
+                dst: reg(dst),
+                src: reg(src),
+                amount,
+            },
+            BodyOp::Mov { dst, src } if ir.info(dst).pipe == ir.info(src).pipe => {
+                Instruction::CopyVr {
+                    pipe: pipe(dst),
+                    dst: reg(dst),
+                    src: reg(src),
+                }
+            }
+            BodyOp::Mov { dst, src } => Instruction::CopyAcross {
+                src_pipe: pipe(src),
+                src: reg(src),
+                dst_pipe: pipe(dst),
+                dst: reg(dst),
+            },
+            BodyOp::Gather {
+                dst,
+                addr,
+                table_pipe,
+            } => Instruction::ElementLoad {
+                pipe: pipe(dst),
+                addr: reg(addr),
+                table_pipe: PipelineId(table_pipe),
+                dst: reg(dst),
+            },
+            BodyOp::Mvm {
+                vacore,
+                input,
+                dst,
+                early_levels,
+            } => Instruction::Mvm {
+                vacore: VaCoreId(vacore.0),
+                input_pipe: pipe(input),
+                input_vr: reg(input),
+                dst_pipe: pipe(dst),
+                dst_vr: reg(dst),
+                early_levels,
+            },
+        });
+    }
+    body.push(Instruction::Halt);
+
+    let readbacks = ir
+        .readbacks
+        .iter()
+        .map(|rb| Readback {
+            label: rb.label.clone(),
+            pipe: ir.info(rb.value).pipe,
+            vr: alloc.vr[rb.value.0 as usize],
+            elements: rb.elements,
+            signed: rb.signed,
+        })
+        .collect();
+
+    Ok(CompiledKernel {
+        split: SplitJob {
+            name: ir.name.clone(),
+            tile: ir.tile.clone(),
+            setup: encode_program(&setup),
+            body: encode_program(&body),
+            data,
+            readbacks,
+        },
+        input_slots,
+        default_input: encode_program(&input),
+        depth,
+    })
+}

@@ -1,0 +1,270 @@
+//! The IR verifier: structural checks that make every later pass
+//! infallible-by-construction (the allocator can still spill, and
+//! staging can still reject values — both surface their own
+//! diagnostics).
+//!
+//! Checks, in order: value/pipe bounds, fixed-slot placement, vACore
+//! specs, setup-item element bounds and address-table targets, input
+//! declarations, SSA discipline over the body (def-before-use,
+//! single-definition temps, pipe agreement per op), gather/address-table
+//! pipe consistency, and readback targets. Halt-freedom of the setup and
+//! input sections and the halting body are structural (no `halt` op
+//! exists in the IR); the round-trip tests re-pin them on the encoded
+//! artifact.
+
+use std::collections::HashMap;
+
+use crate::ir::{BodyOp, KernelIr, SetupItem, Storage, Value};
+use crate::CompileError;
+
+/// The allocatable register file: the top architectural register is the
+/// zero register and is never assigned.
+pub(crate) fn usable_vrs(ir: &KernelIr) -> usize {
+    ir.tile.functional_vrs.saturating_sub(1)
+}
+
+pub(crate) fn verify(ir: &KernelIr) -> crate::Result<()> {
+    let pipelines = ir.tile.functional_pipelines;
+    let elements = ir.tile.functional_elements;
+    let depth = ir.tile.functional_depth;
+    let usable = usable_vrs(ir);
+
+    // Value-level bounds: pipes exist; fixed slots sit inside the
+    // allocatable file and never collide.
+    let mut fixed: HashMap<(u16, u8), ()> = HashMap::new();
+    for info in &ir.values {
+        if usize::from(info.pipe) >= pipelines {
+            return Err(CompileError::BadPipe {
+                pipe: info.pipe,
+                pipelines,
+            });
+        }
+        if let Storage::Fixed(vr) = info.storage {
+            if usize::from(vr) >= usable {
+                return Err(CompileError::FixedSlotOutOfRange {
+                    pipe: info.pipe,
+                    vr,
+                    vrs: ir.tile.functional_vrs,
+                });
+            }
+            if fixed.insert((info.pipe, vr), ()).is_some() {
+                return Err(CompileError::FixedSlotOverlap {
+                    pipe: info.pipe,
+                    vr,
+                });
+            }
+        }
+    }
+
+    // vACore specs: rectangular, register-sized matrices, sane widths.
+    for (i, vc) in ir.vacores.iter().enumerate() {
+        let vacore = i as u8;
+        let rows = vc.matrix.len();
+        if rows == 0 {
+            return Err(CompileError::BadMatrix {
+                vacore,
+                reason: "empty matrix",
+            });
+        }
+        let cols = vc.matrix[0].len();
+        if cols == 0 {
+            return Err(CompileError::BadMatrix {
+                vacore,
+                reason: "empty rows",
+            });
+        }
+        if vc.matrix.iter().any(|r| r.len() != cols) {
+            return Err(CompileError::BadMatrix {
+                vacore,
+                reason: "ragged rows",
+            });
+        }
+        if rows > elements || cols > elements {
+            return Err(CompileError::BadMatrix {
+                vacore,
+                reason: "matrix exceeds one register per dimension",
+            });
+        }
+        if vc.element_bits == 0 || vc.bits_per_cell == 0 || vc.input_bits == 0 {
+            return Err(CompileError::BadMatrix {
+                vacore,
+                reason: "operand widths must be nonzero",
+            });
+        }
+    }
+
+    // Setup items: element bounds, value widths, address-table targets.
+    let mut tables: HashMap<Value, &[crate::ir::AddrEntry]> = HashMap::new();
+    for item in &ir.setup {
+        let dst = ir.info(item.dst());
+        match item {
+            SetupItem::ConstU { cells, .. } => {
+                for &(element, value) in cells {
+                    check_element(&dst.name, element, elements)?;
+                    crate::lower::stage_field(value as i64, false, depth)?;
+                }
+            }
+            SetupItem::ConstS { cells, .. } => {
+                for &(element, value) in cells {
+                    check_element(&dst.name, element, elements)?;
+                    crate::lower::stage_field(value, true, depth)?;
+                }
+            }
+            SetupItem::AddrTable { dst, entries } => {
+                for entry in entries {
+                    check_element(&ir.info(*dst).name, entry.element, elements)?;
+                    let slot = ir.info(entry.slot);
+                    if !slot.storage.is_persistent() {
+                        return Err(CompileError::NotPersistent {
+                            value: slot.name.clone(),
+                        });
+                    }
+                    if entry.slot_element >= elements as u64 {
+                        return Err(CompileError::BadElement {
+                            value: slot.name.clone(),
+                            element: entry.slot_element as usize,
+                            elements,
+                        });
+                    }
+                }
+                tables.insert(*dst, entries);
+            }
+        }
+    }
+
+    // Input declarations: persistent targets, register-sized payloads
+    // that fit the pipeline depth.
+    for decl in &ir.inputs {
+        let info = ir.info(decl.value);
+        if decl.elements == 0 || decl.elements > elements {
+            return Err(CompileError::BadElement {
+                value: info.name.clone(),
+                element: decl.elements,
+                elements,
+            });
+        }
+        debug_assert_eq!(decl.default.len(), decl.elements);
+        for &v in &decl.default {
+            crate::lower::stage_field(v, decl.signed, depth)?;
+        }
+    }
+
+    // Body: SSA discipline and per-op pipe agreement.
+    let mut defined: Vec<bool> = ir
+        .values
+        .iter()
+        .map(|info| info.storage.is_persistent())
+        .collect();
+    for op in &ir.body {
+        for operand in op.operands() {
+            if !defined[operand.0 as usize] {
+                return Err(CompileError::UseBeforeDef {
+                    value: ir.info(operand).name.clone(),
+                });
+            }
+        }
+        let dst = op.dst();
+        let dst_info = ir.info(dst);
+        match op {
+            BodyOp::Bool { a, b, .. } | BodyOp::Add { a, b, .. } | BodyOp::Sub { a, b, .. } => {
+                same_pipe(ir, op.kind(), dst, *a)?;
+                same_pipe(ir, op.kind(), dst, *b)?;
+            }
+            BodyOp::Shift { src, .. } => same_pipe(ir, op.kind(), dst, *src)?,
+            BodyOp::Mov { .. } => {}
+            BodyOp::Gather {
+                addr, table_pipe, ..
+            } => {
+                same_pipe(ir, op.kind(), dst, *addr)?;
+                if usize::from(*table_pipe) >= pipelines {
+                    return Err(CompileError::BadPipe {
+                        pipe: *table_pipe,
+                        pipelines,
+                    });
+                }
+                // Every address table gathered through `table_pipe`
+                // must point at slots living there.
+                if let Some(entries) = tables.get(addr) {
+                    for entry in *entries {
+                        let slot = ir.info(entry.slot);
+                        if slot.pipe != *table_pipe {
+                            return Err(CompileError::TablePipeMismatch {
+                                table: ir.info(*addr).name.clone(),
+                                slot: slot.name.clone(),
+                                expected: *table_pipe,
+                                found: slot.pipe,
+                            });
+                        }
+                    }
+                }
+            }
+            BodyOp::Mvm { vacore, input, .. } => {
+                if usize::from(vacore.0) >= ir.vacores.len() {
+                    return Err(CompileError::BadVaCore { vacore: vacore.0 });
+                }
+                let vc = &ir.vacores[vacore.0 as usize];
+                let input_info = ir.info(*input);
+                if vc.rows() > elements {
+                    return Err(CompileError::BadElement {
+                        value: input_info.name.clone(),
+                        element: vc.rows(),
+                        elements,
+                    });
+                }
+            }
+        }
+        if dst_info.storage.is_persistent() {
+            continue;
+        }
+        if defined[dst.0 as usize] {
+            return Err(CompileError::Redefined {
+                value: dst_info.name.clone(),
+            });
+        }
+        defined[dst.0 as usize] = true;
+    }
+
+    // Readbacks: persistent, register-sized targets.
+    for rb in &ir.readbacks {
+        let info = ir.info(rb.value);
+        if !info.storage.is_persistent() {
+            return Err(CompileError::NotPersistent {
+                value: info.name.clone(),
+            });
+        }
+        if rb.elements == 0 || rb.elements > elements {
+            return Err(CompileError::BadElement {
+                value: info.name.clone(),
+                element: rb.elements,
+                elements,
+            });
+        }
+    }
+
+    Ok(())
+}
+
+fn check_element(value: &str, element: u8, elements: usize) -> crate::Result<()> {
+    if usize::from(element) >= elements {
+        return Err(CompileError::BadElement {
+            value: value.to_string(),
+            element: usize::from(element),
+            elements,
+        });
+    }
+    Ok(())
+}
+
+fn same_pipe(ir: &KernelIr, op: &'static str, dst: Value, operand: Value) -> crate::Result<()> {
+    let expected = ir.info(dst).pipe;
+    let found = ir.info(operand).pipe;
+    if expected != found {
+        return Err(CompileError::PipeMismatch {
+            op,
+            value: ir.info(operand).name.clone(),
+            expected,
+            found,
+        });
+    }
+    Ok(())
+}

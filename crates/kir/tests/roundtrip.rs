@@ -1,0 +1,136 @@
+//! Property suite for the compiler's structural guarantees: random
+//! well-formed kernels must compile to split programs whose encoded
+//! sections survive encode → decode → re-encode byte-identically, whose
+//! setup/input sections are halt-free with a halting body, and whose
+//! monolithic job is exactly the byte concatenation of the three
+//! sections ([`SplitJob::full_job`]'s contract). A second property pins
+//! the allocator's failure mode: kernels that cannot fit the register
+//! file return [`CompileError::RegisterPressure`], never a panic.
+//!
+//! [`SplitJob::full_job`]: darth_pum::eval::SplitJob::full_job
+//! [`CompileError::RegisterPressure`]: darth_kir::CompileError::RegisterPressure
+
+use darth_isa::encode::{decode_program, encode_program};
+use darth_isa::instruction::IsaBoolOp;
+use darth_kir::{CompileError, KernelIr, KirBuilder};
+use darth_pum::hct::HctConfig;
+use proptest::prelude::*;
+
+fn tile(pipes: usize, vrs: usize) -> HctConfig {
+    HctConfig {
+        functional_pipelines: pipes,
+        functional_depth: 16,
+        functional_elements: 8,
+        functional_vrs: vrs,
+        functional_ace_arrays: 1,
+        ..HctConfig::small_test()
+    }
+}
+
+/// Builds a random well-formed kernel: a deterministic chain of
+/// `n_ops` DCE ops (shifts, gates, adds/subs against per-pipe
+/// constants, cross-pipe copies) threaded from one input register into
+/// a readback slot. The builder API cannot express ill-formed chains
+/// here, so every sampled kernel must verify and compile.
+fn random_kernel(seed: u64, pipes: usize, n_ops: usize) -> KernelIr {
+    let mut rng = TestRng::seed_from(seed);
+    let mut b = KirBuilder::new(format!("prop-{seed:x}"), tile(pipes, 12));
+    let consts: Vec<_> = (0..pipes)
+        .map(|p| b.const_u(p as u16, format!("c{p}"), &[(0, 3), (1, 5), (2, 1)]))
+        .collect();
+    let mut cur = b.input(0, "x", true, &[1, -2, 3, 4]);
+    for _ in 0..n_ops {
+        let pipe = b.value_pipe(cur) as usize;
+        cur = match rng.next_u64() % 6 {
+            0 => b.shl(cur, (rng.next_u64() % 4) as u8),
+            1 => b.shr(cur, (rng.next_u64() % 4) as u8),
+            2 => b.bool_op(IsaBoolOp::Xor, cur, consts[pipe]),
+            3 => b.add(cur, consts[pipe]),
+            4 => b.sub(cur, consts[pipe]),
+            _ => b.copy_to(((pipe + 1) % pipes) as u16, cur),
+        };
+    }
+    let out = b.slot(b.value_pipe(cur), "out");
+    b.mov(out, cur);
+    b.readback("out", out, 4, false);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_kernels_compile_to_round_trip_clean_split_programs(
+        seed in 0u64..u64::MAX,
+        pipes in 1usize..4,
+        n_ops in 0usize..25,
+    ) {
+        let ir = random_kernel(seed, pipes, n_ops);
+        prop_assert!(ir.verify().is_ok());
+        let compiled = ir.compile().expect("well-formed kernels compile");
+        let split = compiled.split();
+        prop_assert!(split.check_invariants().is_ok());
+
+        // Section structure: halt-free setup and input stub, halting
+        // body — the serving engine's resident-program contract.
+        let setup = decode_program(&split.setup).expect("setup decodes");
+        let input = decode_program(compiled.default_input_program()).expect("input decodes");
+        let body = decode_program(&split.body).expect("body decodes");
+        prop_assert!(setup.is_halt_free());
+        prop_assert!(input.is_halt_free());
+        prop_assert!(body.ends_with_halt());
+        // One instruction per body op plus the halt.
+        prop_assert_eq!(body.len(), ir.body_ops() + 1);
+
+        // Encode → decode → re-encode is the identity on every section.
+        prop_assert_eq!(encode_program(&setup), split.setup.clone());
+        prop_assert_eq!(
+            encode_program(&input),
+            compiled.default_input_program().to_vec()
+        );
+        prop_assert_eq!(encode_program(&body), split.body.clone());
+
+        // The monolithic job is exactly setup ‖ input ‖ body, and the
+        // concatenation still decodes as one halting program.
+        let job = compiled.exec_job();
+        let mut concat = split.setup.clone();
+        concat.extend_from_slice(compiled.default_input_program());
+        concat.extend_from_slice(&split.body);
+        prop_assert_eq!(job.program.clone(), concat);
+        prop_assert!(job.decoded_program().expect("job decodes").ends_with_halt());
+
+        // Compilation is deterministic: an identical IR yields the same
+        // bytes and the same cache signature.
+        let again = random_kernel(seed, pipes, n_ops)
+            .compile()
+            .expect("recompiles");
+        prop_assert_eq!(again.split().setup.clone(), split.setup.clone());
+        prop_assert_eq!(again.split().body.clone(), split.body.clone());
+        prop_assert_eq!(again.signature(), compiled.signature());
+    }
+
+    #[test]
+    fn oversized_kernels_spill_gracefully(n_slots in 0usize..48) {
+        // 6 vrs → 5 allocatable; each kernel wants `n_slots` persistent
+        // slots plus the input register.
+        let mut b = KirBuilder::new("pressure", tile(1, 6));
+        let x = b.input(0, "x", false, &[1]);
+        let mut last = x;
+        for i in 0..n_slots {
+            let s = b.slot(0, format!("s{i}"));
+            b.mov(s, x);
+            last = s;
+        }
+        b.readback("last", last, 1, false);
+        match b.finish().compile() {
+            Ok(_) => prop_assert!(n_slots < 5, "{n_slots} slots cannot fit"),
+            Err(CompileError::RegisterPressure { pipe, needed, available }) => {
+                prop_assert!(n_slots >= 5, "{n_slots} slots should fit");
+                prop_assert_eq!(pipe, 0);
+                prop_assert_eq!(needed, 1);
+                prop_assert_eq!(available, 0);
+            }
+            Err(other) => prop_assert!(false, "unexpected diagnostic: {other}"),
+        }
+    }
+}

@@ -2,18 +2,21 @@
 //! resident, each paired with a per-request input synthesizer and a
 //! software golden reference.
 //!
-//! A class wraps one app's split program ([`SplitJob`]): the setup +
-//! body sections are compiled once per chip (and cached by signature),
-//! while each request contributes only a tiny halt-free input stub.
-//! Request inputs are synthesized deterministically from the request's
-//! `input_seed`, so every layer of the stack — served outputs,
-//! reference-executor spot checks, software goldens — can regenerate
-//! the exact same request independently.
+//! A class wraps one app's kernel compiled once through `darth_kir`
+//! ([`CompiledKernel`]): the setup + body sections are compiled once per
+//! chip (and cached by signature), while each request contributes only a
+//! tiny halt-free input stub restaged straight from the resident
+//! kernel's input slots — no per-request recompilation. Request inputs
+//! are synthesized deterministically from the request's `input_seed`, so
+//! every layer of the stack — served outputs, reference-executor spot
+//! checks, software goldens — can regenerate the exact same request
+//! independently.
 
 use darth_apps::aes::golden::KeySize;
 use darth_apps::aes::AesExec;
 use darth_apps::cnn::ConvExec;
 use darth_apps::gemm::GemmExec;
+use darth_kir::CompiledKernel;
 use darth_pum::eval::{ExecJob, ExecOutput, JobSignature, SplitJob};
 use darth_reram::noise::NoiseRng;
 
@@ -28,13 +31,13 @@ enum ClassKind {
     Conv(ConvExec),
 }
 
-/// One serving request class: a resident split program plus the
+/// One serving request class: a resident compiled kernel plus the
 /// per-request input synthesizer and golden reference for it.
 #[derive(Debug, Clone)]
 pub struct ServeClass {
     name: String,
     kind: ClassKind,
-    split: SplitJob,
+    kernel: CompiledKernel,
     signature: JobSignature,
 }
 
@@ -49,49 +52,43 @@ fn aes_plaintext(input_seed: u64) -> [u8; 16] {
 }
 
 impl ServeClass {
+    fn new(name: String, kind: ClassKind, kernel: CompiledKernel) -> Self {
+        ServeClass {
+            name,
+            signature: kernel.split().signature(),
+            kernel,
+            kind,
+        }
+    }
+
     /// Wraps an AES job as a serving class.
     ///
     /// # Errors
     ///
-    /// Returns compile errors from the split lowering.
+    /// Returns compile errors from the kernel-IR pipeline.
     pub fn aes(name: impl Into<String>, exec: AesExec) -> darth_pum::Result<Self> {
-        let split = exec.split_job()?;
-        Ok(ServeClass {
-            name: name.into(),
-            signature: split.signature(),
-            split,
-            kind: ClassKind::Aes(exec),
-        })
+        let kernel = exec.compiled()?;
+        Ok(ServeClass::new(name.into(), ClassKind::Aes(exec), kernel))
     }
 
     /// Wraps a GEMM job as a serving class.
     ///
     /// # Errors
     ///
-    /// Returns compile errors from the split lowering.
+    /// Returns compile errors from the kernel-IR pipeline.
     pub fn gemm(name: impl Into<String>, exec: GemmExec) -> darth_pum::Result<Self> {
-        let split = exec.split_job()?;
-        Ok(ServeClass {
-            name: name.into(),
-            signature: split.signature(),
-            split,
-            kind: ClassKind::Gemm(exec),
-        })
+        let kernel = exec.compiled()?;
+        Ok(ServeClass::new(name.into(), ClassKind::Gemm(exec), kernel))
     }
 
     /// Wraps a convolution job as a serving class.
     ///
     /// # Errors
     ///
-    /// Returns compile errors from the split lowering.
+    /// Returns compile errors from the kernel-IR pipeline.
     pub fn conv(name: impl Into<String>, exec: ConvExec) -> darth_pum::Result<Self> {
-        let split = exec.split_job()?;
-        Ok(ServeClass {
-            name: name.into(),
-            signature: split.signature(),
-            split,
-            kind: ClassKind::Conv(exec),
-        })
+        let kernel = exec.compiled()?;
+        Ok(ServeClass::new(name.into(), ClassKind::Conv(exec), kernel))
     }
 
     /// Class name (used in reports and request records).
@@ -101,7 +98,7 @@ impl ServeClass {
 
     /// The resident split program this class serves.
     pub fn split(&self) -> &SplitJob {
-        &self.split
+        self.kernel.split()
     }
 
     /// The split program's stable signature — the coalescing and
@@ -110,18 +107,20 @@ impl ServeClass {
         self.signature
     }
 
-    /// Synthesizes the encoded halt-free input stub for a request.
+    /// Synthesizes the encoded halt-free input stub for a request by
+    /// restaging the resident kernel's input slots — no recompilation.
     ///
     /// # Errors
     ///
-    /// Propagates shape errors from the app's input lowering (cannot
-    /// happen for inputs synthesized here, but the lowering validates).
+    /// Propagates shape errors from the kernel's input staging (cannot
+    /// happen for inputs synthesized here, but the staging validates).
     pub fn input_program(&self, input_seed: u64) -> darth_pum::Result<Vec<u8>> {
-        match &self.kind {
-            ClassKind::Aes(_) => Ok(AesExec::input_program(&aes_plaintext(input_seed))),
-            ClassKind::Gemm(exec) => exec.input_program(&exec.synth_activations(input_seed)),
-            ClassKind::Conv(exec) => exec.input_program(&exec.synth_input(input_seed)),
-        }
+        let payloads = match &self.kind {
+            ClassKind::Aes(_) => AesExec::input_cells(&aes_plaintext(input_seed)),
+            ClassKind::Gemm(exec) => exec.synth_activations(input_seed),
+            ClassKind::Conv(exec) => exec.input_cells(&exec.synth_input(input_seed)),
+        };
+        Ok(self.kernel.input_program(&payloads)?)
     }
 
     /// The software golden outputs for a request.
@@ -142,9 +141,9 @@ impl ServeClass {
     ///
     /// # Errors
     ///
-    /// Propagates input-lowering errors.
+    /// Propagates input-staging errors.
     pub fn full_job(&self, input_seed: u64) -> darth_pum::Result<ExecJob> {
-        Ok(self.split.full_job(&self.input_program(input_seed)?))
+        Ok(self.split().full_job(&self.input_program(input_seed)?))
     }
 }
 
@@ -155,7 +154,7 @@ impl ServeClass {
 ///
 /// # Errors
 ///
-/// Returns compile errors from the split lowerings (none occur for
+/// Returns compile errors from the kernel-IR pipeline (none occur for
 /// these fixed shapes; the error channel keeps callers honest).
 pub fn standard_classes() -> darth_pum::Result<Vec<ServeClass>> {
     Ok(vec![
@@ -205,6 +204,7 @@ mod tests {
         // and its own software golden, for two distinct request seeds.
         let executor = SimExecutor::new();
         for class in &classes {
+            class.split().check_invariants().expect("invariants hold");
             for seed in [1u64, 99] {
                 let run = executor
                     .execute(&class.full_job(seed).expect("input lowers"))

@@ -14,13 +14,15 @@
 //!
 //! [`standard_cases`] is the registry the tier-1 gate runs: AES-128/192/
 //! 256 on FIPS-197 vectors (Appendix B and C), a deterministic integer
-//! GEMM, and a convolution layer against the im2col `conv2d` reference.
+//! GEMM, a convolution layer against the im2col `conv2d` reference, and
+//! a PrIM-style vector reduction against a software sum.
 
 use crate::machine::{SimExecutor, SimStats, StatExecutor};
 use darth_apps::aes::golden::KeySize;
 use darth_apps::aes::program::AesExec;
 use darth_apps::cnn::program::ConvExec;
 use darth_apps::gemm::GemmExec;
+use darth_apps::reduce::ReduceExec;
 use darth_pum::eval::{ArchModel, Executable, Executor, Workload};
 use darth_pum::trace::CostReport;
 
@@ -404,13 +406,15 @@ impl Default for DiffHarness {
 }
 
 /// The standard differential registry: AES-128 (FIPS-197 Appendix B),
-/// AES-128/192/256 (Appendix C), the standard integer GEMM, and the
-/// standard convolution layer — each paired with its priced twin.
+/// AES-128/192/256 (Appendix C), the standard integer GEMM, the standard
+/// convolution layer, and the standard PrIM-style reduction — each
+/// paired with its priced twin.
 pub fn standard_cases() -> Vec<DiffCase> {
     use darth_apps::aes::workload::{AesVariant, AesWorkload};
     let aes_twin = |variant| AesWorkload { variant };
     let gemm = GemmExec::standard();
     let conv = ConvExec::standard();
+    let reduce = ReduceExec::standard();
     vec![
         DiffCase::paired(AesExec::fips197_appendix_b(), aes_twin(AesVariant::Aes128)),
         DiffCase::paired(
@@ -427,6 +431,7 @@ pub fn standard_cases() -> Vec<DiffCase> {
         ),
         DiffCase::paired(gemm, gemm.workload()),
         DiffCase::paired(conv, conv.workload()),
+        DiffCase::paired(reduce, reduce.workload()),
     ]
 }
 
@@ -465,6 +470,7 @@ mod tests {
         assert!(names.iter().any(|n| n.contains("aes-256")));
         assert!(names.iter().any(|n| n.starts_with("gemm-")));
         assert!(names.iter().any(|n| n.starts_with("conv-")));
+        assert!(names.iter().any(|n| n.starts_with("reduce-")));
         assert!(standard_cases().iter().all(|c| c.priced.is_some()));
     }
 

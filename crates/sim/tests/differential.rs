@@ -1,8 +1,9 @@
 //! The tier-1 differential gate: every standard case — AES-128/192/256
-//! on FIPS-197 vectors, the integer GEMM, the convolution layer — must
-//! execute on the functional simulator and match its golden software
-//! reference **bit-exactly, cell by cell**, while the paired priced twin
-//! flows through the analytical cost model from the same registry row.
+//! on FIPS-197 vectors, the integer GEMM, the convolution layer, the
+//! PrIM-style reduction — must execute on the functional simulator and
+//! match its golden software reference **bit-exactly, cell by cell**,
+//! while the paired priced twin flows through the analytical cost model
+//! from the same registry row.
 //!
 //! `make sim-verify` (part of `make verify`) runs exactly this file; a
 //! single differing cell fails the build with the full mismatch list.
@@ -20,7 +21,7 @@ fn standard_registry_is_bit_exact_on_the_simulator() {
     assert_eq!(report.executor, "darth-sim");
     assert_eq!(
         report.cases.len(),
-        6,
+        7,
         "registry shrank:\n{}",
         report.summary()
     );
@@ -35,10 +36,11 @@ fn standard_registry_is_bit_exact_on_the_simulator() {
             .collect::<Vec<_>>()
     );
     // The comparison must actually cover cells: 4 AES ciphertexts of 16
-    // bytes each, GEMM is 4×10, conv is 4 pixels × 3 channels.
-    assert_eq!(report.total_cells(), 4 * 16 + 40 + 12);
-    // Every case really executed instructions, and the AES/GEMM/conv
-    // jobs all crossed the analog domain.
+    // bytes each, GEMM is 4×10, conv is 4 pixels × 3 channels, reduce is
+    // one scalar sum.
+    assert_eq!(report.total_cells(), 4 * 16 + 40 + 12 + 1);
+    // Every case really executed instructions, and every job crossed the
+    // analog domain (`progm` + at least one `mvm`).
     for case in &report.cases {
         assert!(case.instructions > 0, "{} ran nothing", case.name);
         assert!(

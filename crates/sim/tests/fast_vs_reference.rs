@@ -39,7 +39,7 @@ fn fast_executor_is_equivalent_on_the_full_standard_registry() {
     assert_eq!(report.candidate, "darth-sim-fast");
     assert_eq!(
         report.cases.len(),
-        6,
+        7,
         "registry shrank:\n{}",
         report.summary()
     );

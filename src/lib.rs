@@ -9,6 +9,7 @@
 //! * [`darth_analog`] — analog crossbar PUM (MVM, ADC/DAC, noise)
 //! * [`darth_isa`] — the hybrid instruction set
 //! * [`darth_pum`] — the DARTH-PUM chip: hybrid compute tiles, runtime
+//! * [`darth_kir`] — the kernel-IR compiler (IR → verify → allocate → lower)
 //! * [`darth_apps`] — AES, ResNet-20 and LLM-encoder workloads
 //! * [`darth_baselines`] — CPU/GPU/accelerator comparison models
 //! * [`darth_sim`] — the functional ISA simulator + differential harness
@@ -20,6 +21,7 @@ pub use darth_baselines as baselines;
 pub use darth_digital as digital;
 pub use darth_eval as eval;
 pub use darth_isa as isa;
+pub use darth_kir as kir;
 pub use darth_pum as pum;
 pub use darth_reram as reram;
 pub use darth_sim as sim;
