@@ -15,7 +15,7 @@ EVAL_LARGE_CAP_KB ?= 2097152
 ## Generous because a cold tree pays the release build inside it.
 SIM_VERIFY_BUDGET_S ?= 600
 
-.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence dse dse-smoke sim-verify kir-verify serve serve-smoke clean
+.PHONY: all build test verify doc lint fmt fmt-check bench bench-check figures eval eval-large equivalence dse dse-smoke sim-verify kir-verify serve serve-smoke mc mc-smoke clean
 
 all: verify
 
@@ -24,7 +24,7 @@ all: verify
 ## streaming/materialized equivalence regression, the DSE smoke sweep,
 ## the functional-simulator differential gate, and the serving smoke
 ## suite, explicitly.
-verify: build test lint fmt-check equivalence dse-smoke sim-verify kir-verify serve-smoke
+verify: build test lint fmt-check equivalence dse-smoke sim-verify kir-verify serve-smoke mc-smoke
 
 ## The golden-model differential gate: the standard registry
 ## (AES-128/192/256 on FIPS-197 vectors, integer GEMM, a conv layer)
@@ -83,6 +83,24 @@ dse-smoke:
 serve-smoke:
 	$(CARGO) test -q -p darth_serve --test smoke
 	$(CARGO) test -q -p darth_serve --test determinism
+
+## The Monte-Carlo accuracy smoke suite: zero-sigma noise-injected
+## trials reproduce the golden registry bit-exactly across the DSE
+## smoke grid, a noisy campaign is bit-identical across worker counts
+## {1, 2, 64} and reruns (plus the property suite over random seeds),
+## noise-off executions consume zero RNG draws on the full path, and
+## accuracy attaches to the darth-dse-sweep/v2 JSON. Also part of
+## `make test`; kept addressable so `make verify` names it.
+mc-smoke:
+	$(CARGO) test -q -p darth_eval --test mc_smoke
+	$(CARGO) test -q -p darth_sim --test noise_determinism
+
+## The Monte-Carlo accuracy campaign at the paper's SAR and ramp design
+## points: noise-injected trials of the standard functional workloads
+## (zero-sigma gate first), per-workload error statistics and trial
+## throughput; writes BENCH_mc.json. Tune with DARTH_MC_TRIALS.
+mc:
+	$(CARGO) run -q --release -p darth_bench --bin mc
 
 ## The serving benchmark: a >=1M-request deterministic bursty trace,
 ## mixed over the standard class registry, served on an 8-chip fleet

@@ -151,6 +151,40 @@ impl AnalogComputeElement {
         &self.meter
     }
 
+    /// The ACE's noise RNG state. A noise-free ACE never forks it, so after
+    /// any amount of noise-off execution this still equals
+    /// `NoiseRng::seed_from(seed)` — the "zero draws" contract the
+    /// Monte-Carlo engine's tests pin.
+    pub fn rng(&self) -> &NoiseRng {
+        &self.rng
+    }
+
+    /// Total conductance writes across every array that railed outside the
+    /// device window and were clamped (see `Crossbar::saturated_writes`).
+    pub fn saturated_writes(&self) -> u64 {
+        self.crossbars.iter().map(Crossbar::saturated_writes).sum()
+    }
+
+    /// Whether the configured device population has any stochastic noise
+    /// source. When false, programming and MVM consume zero RNG draws —
+    /// they don't even fork the ACE stream — so noise-off execution is
+    /// bit-identical to the pre-noise-plumbing behaviour.
+    fn stochastic(&self) -> bool {
+        let d = &self.config.crossbar.device;
+        d.program_sigma > 0.0 || d.read_sigma > 0.0 || d.stuck_at_rate > 0.0
+    }
+
+    /// The per-operation RNG: a fork of the ACE stream when any noise
+    /// source is live, an inert fixed stream (never actually consumed by
+    /// the zero-sigma models) otherwise.
+    fn op_rng(&mut self) -> NoiseRng {
+        if self.stochastic() {
+            self.rng.fork()
+        } else {
+            NoiseRng::seed_from(0)
+        }
+    }
+
     /// Borrows one crossbar.
     ///
     /// # Errors
@@ -181,7 +215,7 @@ impl AnalogComputeElement {
     pub fn program_matrix(&mut self, array: usize, matrix: &[Vec<i64>]) -> Result<Cycles> {
         let rows = matrix.len() as u64;
         let cycles = Cycles::new(rows * self.config.program_cycles_per_row);
-        let mut rng = self.rng.fork();
+        let mut rng = self.op_rng();
         self.crossbar_mut(array)?.program(matrix, &mut rng)?;
         self.meter.add(
             "ace.program",
@@ -197,7 +231,7 @@ impl AnalogComputeElement {
     /// Propagates shape/range/programming errors.
     pub fn update_row(&mut self, array: usize, row: usize, values: &[i64]) -> Result<Cycles> {
         let cycles = Cycles::new(self.config.program_cycles_per_row);
-        let mut rng = self.rng.fork();
+        let mut rng = self.op_rng();
         self.crossbar_mut(array)?
             .update_row(row, values, &mut rng)?;
         self.meter.add(
@@ -248,7 +282,7 @@ impl AnalogComputeElement {
         let mut partial_products = Vec::with_capacity(bit_slices.len());
         let mut cycles = Cycles::ZERO;
         let mut energy = PicoJoules::ZERO;
-        let mut rng = self.rng.fork();
+        let mut rng = self.op_rng();
         let cols_per_array = self.config.crossbar.cols;
         let total_bitlines = cols_per_array * arrays.len();
         for bits in &bit_slices {
@@ -480,6 +514,36 @@ mod tests {
                 "col {c}: measured {measured}, exact {e}"
             );
         }
+    }
+
+    #[test]
+    fn noise_off_execution_consumes_zero_rng_draws() {
+        // The full noise-free path — programming, row update, grouped MVM —
+        // must never fork the ACE stream, leaving it exactly at its seeded
+        // state (the property the eval-layer Monte-Carlo tests extend to
+        // whole workload executions).
+        let mut ace = ideal_ace();
+        let m = vec![vec![1; 4]; 4];
+        ace.program_matrix(0, &m).expect("programs");
+        ace.update_row(0, 0, &[2, 2, 2, 2]).expect("updates");
+        let driver = InputDriver::new(2, false).expect("valid");
+        ace.mvm(0, &[1, 2, 3, 0], driver, None).expect("runs");
+        ace.mvm_group(&[0, 1], &[1, 0, 1, 0], driver, None)
+            .expect("runs");
+        assert_eq!(ace.rng(), &NoiseRng::seed_from(7));
+        assert_eq!(ace.saturated_writes(), 0);
+    }
+
+    #[test]
+    fn noisy_execution_advances_the_rng() {
+        let mut config = AceConfig::evaluation(AdcKind::Sar, 1).expect("valid");
+        config.arrays = 1;
+        config.crossbar.rows = 4;
+        config.crossbar.cols = 4;
+        let mut ace = AnalogComputeElement::new(config, 7).expect("valid");
+        ace.program_matrix(0, &vec![vec![1; 4]; 4])
+            .expect("programs");
+        assert_ne!(ace.rng(), &NoiseRng::seed_from(7));
     }
 
     #[test]

@@ -466,6 +466,17 @@ impl Crossbar {
         n
     }
 
+    /// Total writes across both device planes that railed outside the
+    /// conductance window and were clamped to an endpoint (the Monte-Carlo
+    /// saturation counter; see `darth_reram::device::Cell::program`).
+    pub fn saturated_writes(&self) -> u64 {
+        self.positive.saturated_writes()
+            + self
+                .negative
+                .as_ref()
+                .map_or(0, darth_reram::ReramArray::saturated_writes)
+    }
+
     /// Applies retention drift to both planes.
     pub fn drift(&mut self, decades: f64) {
         self.positive.drift_all(decades);
@@ -750,6 +761,29 @@ mod tests {
         for (c, &e) in exact.iter().enumerate() {
             let units = currents[c] / xbar.unit_current();
             assert!((units - e as f64).abs() < 1.5, "col {c}: {units} vs {e}");
+        }
+    }
+
+    #[test]
+    fn pathological_sigma_keeps_bitline_currents_finite() {
+        // A lognormal programming sigma large enough to overflow `exp`
+        // yields +inf draws; the write–verify loop must clamp them to the
+        // device window (counting the saturations) so MVM line currents
+        // stay finite instead of poisoning every downstream sum.
+        let mut cfg = CrossbarConfig::evaluation(4).expect("valid");
+        cfg.rows = 8;
+        cfg.cols = 4;
+        cfg.device.program_sigma = 1e6;
+        let mut xbar = Crossbar::new(cfg).expect("valid");
+        let matrix: Vec<Vec<i64>> = (0..8)
+            .map(|r| (0..4).map(|c| ((r * 4 + c) % 15) as i64 - 7).collect())
+            .collect();
+        xbar.program(&matrix, &mut rng()).expect("clamped writes");
+        assert!(xbar.saturated_writes() > 0, "sigma 1e6 must rail writes");
+        let input = vec![true; 8];
+        let currents = xbar.mvm_currents(&input, &mut rng()).expect("shape ok");
+        for (c, i) in currents.iter().enumerate() {
+            assert!(i.is_finite(), "col {c} current {i} is not finite");
         }
     }
 

@@ -101,6 +101,7 @@ impl AesDarth {
             functional_elements: 64,
             functional_vrs: 24,
             functional_ace_arrays: 2,
+            functional_bits_per_cell: 1,
             ..HctConfig::small_test()
         }
     }

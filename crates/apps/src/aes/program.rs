@@ -129,6 +129,7 @@ impl AesExec {
             functional_elements: ELEMENTS,
             functional_vrs: 40,
             functional_ace_arrays: 2,
+            functional_bits_per_cell: 1,
             ..HctConfig::small_test()
         }
     }

@@ -1,0 +1,105 @@
+//! Criterion bench + machine-readable report for the Monte-Carlo
+//! accuracy engine: per-trial latency of a noise-injected execution
+//! (criterion), then a self-timed campaign at the paper's SAR design
+//! point writing trial throughput and per-workload accuracy to
+//! `BENCH_mc.json` (schema `darth-mc/v1`, the same report `make mc`
+//! regenerates at full trial count). Campaign size:
+//! `DARTH_MC_TRIALS` (default 16 here; the bin defaults to 32).
+
+use criterion::{criterion_group, Criterion};
+use darth_analog::adc::AdcKind;
+use darth_bench::{emit_json, JsonValue};
+use darth_eval::dse::DesignPoint;
+use darth_eval::mc::{measure_accuracy, standard_workloads, McConfig};
+use darth_pum::config::DarthConfig;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn paper_sar_point() -> DesignPoint {
+    DesignPoint {
+        name: "paper-sar".to_owned(),
+        axis_values: vec![("adc".to_owned(), "sar".to_owned())],
+        config: DarthConfig::paper(AdcKind::Sar),
+    }
+}
+
+fn bench_trial_latency(c: &mut Criterion) {
+    let point = [paper_sar_point()];
+    let workloads = standard_workloads();
+    // One noisy trial per call: seed-tree derivation + tile build +
+    // noise-injected execution + error fold.
+    let mc = McConfig::evaluation().with_trials(1);
+    c.bench_function("mc_noisy_trial_all_workloads", |b| {
+        b.iter(|| {
+            black_box(measure_accuracy(black_box(&point), &workloads, &mc).expect("campaign runs"))
+        })
+    });
+}
+
+fn campaign_report() {
+    let trials = std::env::var("DARTH_MC_TRIALS")
+        .ok()
+        .and_then(|raw| raw.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(16);
+    let point = [paper_sar_point()];
+    let workloads = standard_workloads();
+    let mc = McConfig::evaluation().with_trials(trials);
+
+    let start = Instant::now();
+    let accuracies = measure_accuracy(&point, &workloads, &mc).expect("campaign runs");
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = workloads.len() * mc.trials;
+    let trials_per_second = total as f64 / elapsed.max(1e-12);
+
+    println!(
+        "\n=== mc campaign (paper-sar, {} trials/workload) ===",
+        mc.trials
+    );
+    for w in &accuracies[0].workloads {
+        println!(
+            "{:<24} mean {:>10.3e}  worst {:>10.3e}  exact {}/{}",
+            w.workload, w.mean_error, w.worst_error, w.exact_trials, w.trials
+        );
+    }
+    println!("{total} trials in {elapsed:.2} s = {trials_per_second:.1} trials/s");
+
+    emit_json(
+        "mc",
+        &JsonValue::object(vec![
+            ("schema", JsonValue::from("darth-mc/v1")),
+            ("trials_per_workload", JsonValue::from(mc.trials)),
+            ("root_seed", JsonValue::from(mc.root_seed)),
+            ("program_sigma", JsonValue::from(mc.program_sigma)),
+            ("read_sigma", JsonValue::from(mc.read_sigma)),
+            ("ir_drop_alpha", JsonValue::from(mc.ir_drop_alpha)),
+            ("trials_per_second", JsonValue::from(trials_per_second)),
+            (
+                "points",
+                JsonValue::array(
+                    point
+                        .iter()
+                        .zip(&accuracies)
+                        .map(|(p, a)| {
+                            JsonValue::object(vec![
+                                ("name", JsonValue::from(&p.name)),
+                                ("accuracy", a.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trial_latency
+}
+
+fn main() {
+    benches();
+    campaign_report();
+}

@@ -15,6 +15,7 @@ use darth_analog::adc::AdcKind;
 use darth_bench::{all_reports, emit_json, Threading};
 use darth_eval::dse::{default_sweep, price_sweep, Metric};
 use darth_eval::engine::forced_workers;
+use darth_eval::mc::{attach_accuracy, McConfig};
 use darth_eval::registry::extended_workloads;
 use darth_pum::config::DarthConfig;
 use std::time::Instant;
@@ -34,7 +35,8 @@ fn main() {
         None => Threading::Parallel,
     };
     let start = Instant::now();
-    let sweep = price_sweep(&points, extended_workloads(), threading).expect("default grid builds");
+    let mut sweep =
+        price_sweep(&points, extended_workloads(), threading).expect("default grid builds");
     let parallel_s = start.elapsed().as_secs_f64();
     assert_eq!(
         sweep, serial,
@@ -112,6 +114,29 @@ fn main() {
             );
         }
     }
+
+    // Monte-Carlo accuracy: executed noise-injected trials of the
+    // standard functional workloads at every design point attach the
+    // 4th (accuracy) Pareto axis to each row. Trial count per
+    // (point, workload): DARTH_MC_TRIALS (default 4).
+    let trials = std::env::var("DARTH_MC_TRIALS")
+        .ok()
+        .and_then(|raw| raw.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+    let mc = McConfig::evaluation().with_trials(trials);
+    let start = Instant::now();
+    attach_accuracy(&mut sweep, &points, &mc).expect("Monte-Carlo campaign runs");
+    assert!(
+        sweep.points.iter().all(|p| p.accuracy.is_some()),
+        "a sweep row is missing its Monte-Carlo accuracy"
+    );
+    println!(
+        "\nMonte-Carlo accuracy attached: {} points x {} trials/workload in {:.2} s",
+        sweep.points.len(),
+        trials,
+        start.elapsed().as_secs_f64()
+    );
 
     emit_json("dse", &sweep.to_json());
 }

@@ -49,8 +49,19 @@ pub struct HctConfig {
     pub use_iiu: bool,
     /// Inject device noise (evaluation mode) or run ideal (verification).
     pub noisy: bool,
+    /// Lognormal programming-noise sigma applied when `noisy` (MILO-style
+    /// write–verify residual, §6). Zero makes the noisy tile structurally
+    /// identical to the ideal one — bit-exact by construction.
+    pub program_sigma: f64,
+    /// Gaussian read-noise sigma (fraction of `g_on`) applied when `noisy`.
+    pub read_sigma: f64,
     /// Conductance range scale (§4.3 compensation sets 0.5).
     pub range_scale: f64,
+    /// ADC resolution of the functional tile in bits. The paper's design
+    /// space sweeps 6 and 8 bits; lower resolutions clip large bit-plane
+    /// sums at the converter rails, which is exactly the precision/accuracy
+    /// trade-off the Monte-Carlo engine measures.
+    pub functional_adc_bits: u8,
     /// Functional pipelines to instantiate (timing still assumes the full
     /// `params.dce_pipelines`).
     pub functional_pipelines: usize,
@@ -62,6 +73,13 @@ pub struct HctConfig {
     pub functional_vrs: usize,
     /// Functional ACE arrays to instantiate.
     pub functional_ace_arrays: usize,
+    /// Bits per cell of the functional ACE's devices. AES stores its
+    /// GF(2) MixColumns matrix in SLC cells (§4.3) so each ±1 weight owns
+    /// the full conductance window; MVM workloads default to 4-bit MLC.
+    pub functional_bits_per_cell: u8,
+    /// IR-drop coefficient applied to the functional ACE when `noisy`
+    /// (the ideal tile keeps parasitics off, as verification requires).
+    pub ir_drop_alpha: f64,
     /// RNG seed for device noise.
     pub seed: u64,
 }
@@ -76,12 +94,17 @@ impl HctConfig {
             optimized_schedule: true,
             use_iiu: true,
             noisy: false,
+            program_sigma: 0.02,
+            read_sigma: 0.005,
             range_scale: 1.0,
+            functional_adc_bits: 10,
             functional_pipelines: 4,
             functional_depth: 32,
             functional_elements: 64,
             functional_vrs: 40,
             functional_ace_arrays: 16,
+            functional_bits_per_cell: 4,
+            ir_drop_alpha: 0.0008,
             seed: 0xDA27_0001,
         }
     }
@@ -114,6 +137,26 @@ impl HctConfig {
         }
         if !(self.range_scale > 0.0 && self.range_scale <= 1.0) {
             return Err(Error::InvalidConfig("range_scale must be in (0, 1]".into()));
+        }
+        if self.program_sigma < 0.0 || self.read_sigma < 0.0 {
+            return Err(Error::InvalidConfig(
+                "noise sigmas must be non-negative".into(),
+            ));
+        }
+        if self.functional_adc_bits == 0 || self.functional_adc_bits > 16 {
+            return Err(Error::InvalidConfig(
+                "functional_adc_bits must be in 1..=16".into(),
+            ));
+        }
+        if self.functional_bits_per_cell == 0 || self.functional_bits_per_cell > 8 {
+            return Err(Error::InvalidConfig(
+                "functional_bits_per_cell must be in 1..=8".into(),
+            ));
+        }
+        if self.ir_drop_alpha < 0.0 {
+            return Err(Error::InvalidConfig(
+                "ir_drop_alpha must be non-negative".into(),
+            ));
         }
         Ok(())
     }
@@ -183,21 +226,29 @@ impl<P: DcePipeline> GenericTile<P> {
         let pipelines = (0..config.functional_pipelines)
             .map(|_| P::new(pipe_config))
             .collect::<std::result::Result<Vec<_>, _>>()?;
-        let ace_config = if config.noisy {
-            let mut c = AceConfig::evaluation(config.params.adc_kind, 1)?;
-            c.arrays = config.functional_ace_arrays;
-            c.crossbar.range_scale = config.range_scale;
-            c
-        } else {
-            let mut c = AceConfig::ideal(
-                config.functional_ace_arrays,
-                config.params.array_dim,
-                config.params.array_dim,
-            );
-            c.adc_kind = config.params.adc_kind;
-            c.crossbar.range_scale = config.range_scale;
-            c
-        };
+        // One construction path for both modes: start from the ideal
+        // functional geometry and overlay only the noise sigmas when the
+        // evaluation flag is set. (The old noisy branch rebuilt the ACE
+        // from `AceConfig::evaluation(_, 1)`, silently forcing SLC cells,
+        // a 64×64 geometry and an 8-bit ADC regardless of the tile's
+        // configuration — MLC workloads broke and zero-sigma runs still
+        // diverged from the ideal tile.) With zero sigmas the noisy config
+        // is structurally identical to the ideal one, so noise-off
+        // execution is bit-exact by construction.
+        let mut ace_config = AceConfig::ideal(
+            config.functional_ace_arrays,
+            config.params.array_dim,
+            config.params.array_dim,
+        );
+        ace_config.adc_kind = config.params.adc_kind;
+        ace_config.adc_bits = config.functional_adc_bits;
+        ace_config.crossbar.bits_per_cell = config.functional_bits_per_cell;
+        ace_config.crossbar.range_scale = config.range_scale;
+        if config.noisy {
+            ace_config.crossbar.device.program_sigma = config.program_sigma;
+            ace_config.crossbar.device.read_sigma = config.read_sigma;
+            ace_config.crossbar.ir_drop_alpha = config.ir_drop_alpha;
+        }
         let ace = AnalogComputeElement::new(ace_config, config.seed)?;
         let vacores = VaCoreTable::new(config.functional_ace_arrays);
         let arbiter = AdArbiter::new(config.functional_pipelines);

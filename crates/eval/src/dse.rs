@@ -26,6 +26,7 @@
 
 use crate::engine::{Engine, EvalMatrix, Threading};
 use crate::json::JsonValue;
+use crate::mc::PointAccuracy;
 use crate::registry::PaperDarthModel;
 use darth_analog::adc::AdcKind;
 use darth_pum::config::DarthConfig;
@@ -360,6 +361,12 @@ pub struct DesignSummary {
     pub tile_area_um2: f64,
     /// Iso-area tile count under the config's area budget.
     pub hct_count: usize,
+    /// Measured Monte-Carlo accuracy at this design point
+    /// ([`crate::mc::attach_accuracy`] fills it; `None` until trials
+    /// have run). Its aggregate mean error is the fourth Pareto
+    /// coordinate — an unattached point contributes `0.0` (perfect), so
+    /// pricing-only sweeps keep their pre-accuracy frontiers.
+    pub accuracy: Option<PointAccuracy>,
 }
 
 /// Selection metric for [`SweepMatrix::best_for`].
@@ -395,14 +402,25 @@ impl SweepMatrix {
         self.matrix.cell(workload, point)
     }
 
+    /// The measured-error Pareto coordinate of design point `p`: the
+    /// Monte-Carlo aggregate mean error, or `0.0` before trials attach.
+    fn error_coord(&self, point_index: usize) -> f64 {
+        self.points[point_index]
+            .accuracy
+            .as_ref()
+            .map_or(0.0, |a| a.mean_error)
+    }
+
     /// The per-workload cost coordinates of design point `p`, joined
-    /// with its area: `(latency_s, energy_per_item_j, tile_area_um2)`.
-    fn coords(&self, workload_index: usize, point_index: usize) -> (f64, f64, f64) {
+    /// with its area and measured error:
+    /// `(latency_s, energy_per_item_j, tile_area_um2, mean_error)`.
+    fn coords(&self, workload_index: usize, point_index: usize) -> (f64, f64, f64, f64) {
         let report = self.matrix.cell_at(workload_index, point_index);
         (
             report.latency_s,
             report.energy_per_item_j,
             self.points[point_index].tile_area_um2,
+            self.error_coord(point_index),
         )
     }
 
@@ -423,30 +441,31 @@ impl SweepMatrix {
     }
 
     /// Indices of the design points on one workload's Pareto frontier
-    /// over (latency, energy, tile area), all minimized. Points with a
-    /// non-finite coordinate are never on the frontier; ties survive
-    /// (two identical points both stay).
+    /// over (latency, energy, tile area, measured error), all minimized.
+    /// Points with a non-finite coordinate are never on the frontier;
+    /// ties survive (two identical points both stay).
     pub fn pareto_frontier(&self, workload: &str) -> Vec<usize> {
         let Some(w) = self.matrix.workload_index(workload) else {
             return Vec::new();
         };
-        let coords: Vec<(f64, f64, f64)> =
+        let coords: Vec<(f64, f64, f64, f64)> =
             (0..self.points.len()).map(|p| self.coords(w, p)).collect();
         pareto_indices(&coords)
     }
 
     /// Indices of the design points on the aggregate (geomean across
-    /// workloads) Pareto frontier. A degenerate aggregate (no priceable
-    /// cells, geomean 0.0) is excluded from the frontier.
+    /// workloads) Pareto frontier over (latency, energy, tile area,
+    /// measured error). A degenerate aggregate (no priceable cells,
+    /// geomean 0.0) is excluded from the frontier.
     pub fn pareto_frontier_aggregate(&self) -> Vec<usize> {
-        let coords: Vec<(f64, f64, f64)> = (0..self.points.len())
+        let coords: Vec<(f64, f64, f64, f64)> = (0..self.points.len())
             .map(|p| {
                 let (latency, energy) = self.aggregate(p);
                 let area = self.points[p].tile_area_um2;
                 if latency > 0.0 && energy > 0.0 {
-                    (latency, energy, area)
+                    (latency, energy, area, self.error_coord(p))
                 } else {
-                    (f64::INFINITY, f64::INFINITY, f64::INFINITY)
+                    (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY)
                 }
             })
             .collect();
@@ -502,15 +521,20 @@ impl SweepMatrix {
             .collect()
     }
 
-    /// The whole sweep as a JSON document (`darth-dse-sweep/v1`):
+    /// The whole sweep as a JSON document (`darth-dse-sweep/v2`):
     /// per-point sizing and axis coordinates, the full priced matrix,
-    /// per-workload and aggregate Pareto frontiers, and the best-config
-    /// table.
+    /// per-workload and aggregate Pareto frontiers, the best-config
+    /// table, and — v2 — each point's measured Monte-Carlo accuracy
+    /// (`null` until [`crate::mc::attach_accuracy`] runs trials).
     pub fn to_json(&self) -> JsonValue<'_> {
         let points = self
             .points
             .iter()
             .map(|p| {
+                let accuracy = match &p.accuracy {
+                    None => JsonValue::Null,
+                    Some(a) => a.to_json(),
+                };
                 JsonValue::object(vec![
                     ("name", JsonValue::from(&p.name)),
                     (
@@ -533,6 +557,7 @@ impl SweepMatrix {
                     ),
                     ("tile_area_um2", JsonValue::from(p.tile_area_um2)),
                     ("hct_count", JsonValue::from(p.hct_count)),
+                    ("accuracy", accuracy),
                 ])
             })
             .collect();
@@ -572,7 +597,7 @@ impl SweepMatrix {
             })
             .collect();
         JsonValue::object(vec![
-            ("schema", JsonValue::from("darth-dse-sweep/v1")),
+            ("schema", JsonValue::from("darth-dse-sweep/v2")),
             ("config_count", JsonValue::from(self.points.len())),
             (
                 "workload_count",
@@ -597,10 +622,16 @@ impl SweepMatrix {
 
 /// Indices not dominated by any other point (all coordinates minimized;
 /// non-finite coordinates exclude a point outright).
-fn pareto_indices(coords: &[(f64, f64, f64)]) -> Vec<usize> {
-    let finite = |&(l, e, a): &(f64, f64, f64)| l.is_finite() && e.is_finite() && a.is_finite();
-    let dominates = |a: &(f64, f64, f64), b: &(f64, f64, f64)| {
-        a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
+fn pareto_indices(coords: &[(f64, f64, f64, f64)]) -> Vec<usize> {
+    let finite = |&(l, e, a, x): &(f64, f64, f64, f64)| {
+        l.is_finite() && e.is_finite() && a.is_finite() && x.is_finite()
+    };
+    let dominates = |a: &(f64, f64, f64, f64), b: &(f64, f64, f64, f64)| {
+        a.0 <= b.0
+            && a.1 <= b.1
+            && a.2 <= b.2
+            && a.3 <= b.3
+            && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2 || a.3 < b.3)
     };
     (0..coords.len())
         .filter(|&i| {
@@ -642,6 +673,7 @@ pub fn price_sweep(
             config_params: point.config.params(),
             tile_area_um2: model.chip.hct.tile_area_with_front_end_share().get(),
             hct_count: model.chip.hct_count(),
+            accuracy: None,
         });
         engine.register_model(Box::new(SweepModel {
             name: point.name.clone(),
@@ -779,14 +811,28 @@ mod tests {
     #[test]
     fn pareto_indices_drop_dominated_and_nonfinite_points() {
         let coords = [
-            (1.0, 1.0, 1.0),           // frontier
-            (2.0, 2.0, 2.0),           // dominated by 0
-            (0.5, 3.0, 1.0),           // frontier (best latency)
-            (1.0, 1.0, 1.0),           // tie with 0: both stay
-            (f64::NAN, 0.1, 0.1),      // excluded
-            (0.1, f64::INFINITY, 0.1), // excluded
+            (1.0, 1.0, 1.0, 0.0),           // frontier
+            (2.0, 2.0, 2.0, 0.0),           // dominated by 0
+            (0.5, 3.0, 1.0, 0.0),           // frontier (best latency)
+            (1.0, 1.0, 1.0, 0.0),           // tie with 0: both stay
+            (f64::NAN, 0.1, 0.1, 0.0),      // excluded
+            (0.1, f64::INFINITY, 0.1, 0.0), // excluded
+            (2.0, 2.0, 2.0, f64::NAN),      // excluded (bad error coord)
         ];
         assert_eq!(pareto_indices(&coords), vec![0, 2, 3]);
         assert!(pareto_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn accuracy_coordinate_rescues_slower_but_exact_points() {
+        // A point dominated on (latency, energy, area) survives on the
+        // 4-D frontier when its measured error is strictly lower — the
+        // precision/accuracy trade-off the Monte-Carlo axis adds.
+        let coords = [
+            (1.0, 1.0, 1.0, 0.25), // fast but errorful: frontier
+            (2.0, 2.0, 2.0, 0.0),  // slower but exact: frontier too
+            (3.0, 3.0, 3.0, 0.25), // dominated by 0 on every axis
+        ];
+        assert_eq!(pareto_indices(&coords), vec![0, 1]);
     }
 }

@@ -72,9 +72,11 @@
 pub mod dse;
 pub mod engine;
 pub mod json;
+pub mod mc;
 pub mod registry;
 
 pub use dse::{frontier_fleet, ConfigSweep, DesignPoint, FleetPoint, SweepAxis, SweepMatrix};
 pub use engine::{Engine, EvalMatrix, ModelSummary, Threading, WorkloadSummary};
 pub use json::JsonValue;
+pub use mc::{attach_accuracy, measure_accuracy, McConfig, PointAccuracy, WorkloadAccuracy};
 pub use registry::{PaperAppAccel, PaperDarthModel};

@@ -143,7 +143,7 @@ fn frontier_and_best_configs_are_sane() {
 
     // The JSON report names every design point and carries the schema.
     let json = sweep.to_json().pretty();
-    assert!(json.contains("darth-dse-sweep/v1"));
+    assert!(json.contains("darth-dse-sweep/v2"));
     for point in &sweep.points {
         assert!(json.contains(&point.name), "missing {}", point.name);
     }

@@ -1,0 +1,97 @@
+//! The Monte-Carlo smoke campaign (`make mc-smoke`, part of
+//! `make verify`): a tiny trial grid over the standard functional
+//! workloads, asserting
+//!
+//! 1. zero-sigma noise-injected trials reproduce the golden (ideal)
+//!    outputs bit-exactly — noise-off and ideal are the same machine;
+//! 2. a noisy campaign is bit-identical across worker counts and
+//!    reruns — the fork-tree seeds depend only on trial indices;
+//! 3. accuracy results attach to the priced sweep matrix and surface
+//!    in the `darth-dse-sweep/v2` JSON report.
+
+use darth_eval::dse::{price_sweep, smoke_sweep};
+use darth_eval::mc::{attach_accuracy, measure_accuracy, standard_workloads, McConfig};
+use darth_eval::registry::paper_workloads;
+use darth_eval::Threading;
+
+#[test]
+fn zero_sigma_trials_reproduce_the_golden_registry_bit_exactly() {
+    let points = smoke_sweep().generate().expect("smoke grid is valid");
+    let workloads = standard_workloads();
+    let mc = McConfig::zero_sigma().with_trials(1);
+    let accuracies = measure_accuracy(&points, &workloads, &mc).expect("campaign runs");
+
+    assert_eq!(accuracies.len(), points.len());
+    for (point, accuracy) in points.iter().zip(&accuracies) {
+        assert_eq!(
+            accuracy.mean_error, 0.0,
+            "{}: zero-sigma must be exact",
+            point.name
+        );
+        for w in &accuracy.workloads {
+            assert_eq!(
+                w.exact_trials, w.trials,
+                "{}/{}: zero-sigma trial diverged from the golden output",
+                point.name, w.workload
+            );
+            assert_eq!(w.worst_error, 0.0, "{}/{}", point.name, w.workload);
+        }
+    }
+}
+
+#[test]
+fn noisy_campaign_is_bit_identical_across_worker_counts_and_reruns() {
+    let points = smoke_sweep().generate().expect("smoke grid is valid");
+    let point = &points[..1];
+    // AES + reduce keep the noisy smoke fast; full coverage runs in
+    // `make mc`.
+    let workloads: Vec<_> = standard_workloads()
+        .into_iter()
+        .filter(|w| {
+            let name = w.exec_name();
+            name.starts_with("aes") || name.starts_with("reduce")
+        })
+        .collect();
+    assert_eq!(
+        workloads.len(),
+        2,
+        "expected aes + reduce in the standard set"
+    );
+
+    let mc = McConfig::evaluation().with_trials(2);
+    let reference =
+        measure_accuracy(point, &workloads, &mc.clone().with_workers(1)).expect("campaign runs");
+    for workers in [1, 2, 64] {
+        let got = measure_accuracy(point, &workloads, &mc.clone().with_workers(workers))
+            .expect("campaign runs");
+        assert_eq!(got, reference, "workers = {workers}");
+    }
+    // Rerun with the executor's default worker count.
+    assert_eq!(
+        measure_accuracy(point, &workloads, &mc).expect("campaign runs"),
+        reference
+    );
+}
+
+#[test]
+fn accuracy_attaches_to_matching_sweep_rows_and_the_v2_json() {
+    let points = smoke_sweep().generate().expect("smoke grid is valid");
+    let mut matrix =
+        price_sweep(&points, paper_workloads(), Threading::Serial).expect("smoke grid builds");
+    attach_accuracy(&mut matrix, &points, &McConfig::zero_sigma().with_trials(1))
+        .expect("campaign runs");
+
+    for row in &matrix.points {
+        let accuracy = row.accuracy.as_ref().unwrap_or_else(|| {
+            panic!(
+                "{}: sweep row is missing its Monte-Carlo accuracy",
+                row.name
+            )
+        });
+        assert_eq!(accuracy.workloads.len(), 4);
+    }
+    let json = matrix.to_json().pretty();
+    assert!(json.contains("darth-dse-sweep/v2"));
+    assert!(json.contains("\"accuracy\""));
+    assert!(json.contains("\"exact_trials\""));
+}

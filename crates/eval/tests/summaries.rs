@@ -69,6 +69,7 @@ fn sweep_of(cells: &[(f64, f64)]) -> SweepMatrix {
             config_params: Vec::new(),
             tile_area_um2: 100.0,
             hct_count: 10,
+            accuracy: None,
         }],
         matrix: EvalMatrix {
             workloads,

@@ -35,6 +35,8 @@ pub struct ReramArray {
     cols: usize,
     params: DeviceParams,
     cells: Vec<Cell>,
+    /// Writes that railed outside the device window (see [`Cell::program`]).
+    saturated_writes: u64,
 }
 
 impl ReramArray {
@@ -55,6 +57,7 @@ impl ReramArray {
             cols,
             params,
             cells,
+            saturated_writes: 0,
         })
     }
 
@@ -116,6 +119,10 @@ impl ReramArray {
 
     /// Programs a multi-level value with write–verify (analog path).
     ///
+    /// Saturated writes (draws railed outside the device window, see
+    /// [`Cell::program`]) keep the clamped endpoint conductance and bump
+    /// [`ReramArray::saturated_writes`].
+    ///
     /// # Errors
     ///
     /// Propagates bounds and programming errors.
@@ -128,7 +135,16 @@ impl ReramArray {
     ) -> Result<()> {
         let params = self.params.clone();
         let cell = self.cell_mut(row, col)?;
-        cell.program(level, &params, rng)
+        if cell.program(level, &params, rng)? {
+            self.saturated_writes += 1;
+        }
+        Ok(())
+    }
+
+    /// How many writes so far railed outside the device window and were
+    /// clamped to an endpoint instead of converging in the verify loop.
+    pub fn saturated_writes(&self) -> u64 {
+        self.saturated_writes
     }
 
     /// Sets a cell's Boolean state exactly (digital path).
@@ -389,6 +405,28 @@ mod tests {
         let g = a.col_conductances(0, &mut r).expect("in range");
         assert!((g[0] - p.g_on).abs() < 1e-15);
         assert!((g[1] - p.g_off).abs() < 1e-15);
+    }
+
+    #[test]
+    fn saturated_writes_are_counted_and_stay_in_window() {
+        let mut p = DeviceParams::mlc(2).expect("valid");
+        p.program_sigma = 1e6;
+        let g_on = p.g_on;
+        let g_off = p.g_off;
+        let mut a = ReramArray::new(4, 4, p).expect("valid");
+        let mut r = rng();
+        for row in 0..4 {
+            for col in 0..4 {
+                a.program_level(row, col, 2, &mut r).expect("clamped write");
+                let g = a.cell(row, col).expect("in range").conductance();
+                assert!(g.is_finite() && g >= g_off && g <= g_on);
+            }
+        }
+        assert!(a.saturated_writes() > 0, "sigma 1e6 must rail some writes");
+        // The clean-sigma path leaves the counter untouched.
+        let mut clean = ReramArray::new(4, 4, DeviceParams::mlc(2).expect("valid")).expect("valid");
+        clean.program_level(0, 0, 1, &mut rng()).expect("programs");
+        assert_eq!(clean.saturated_writes(), 0);
     }
 
     #[test]

@@ -234,17 +234,30 @@ impl Cell {
     /// conductance is within `verify_tolerance` of one level spacing, which
     /// mirrors a verify read against the two adjacent references.
     ///
+    /// Returns `true` when the write **saturated**: the lognormal draw
+    /// landed outside the device window `[g_off, g_on]` (or was not even
+    /// finite — a huge `program_sigma` can overflow `exp`) and still missed
+    /// the verify tolerance after clamping. The cell then keeps the clamped
+    /// window-endpoint conductance instead of retrying forever, so a
+    /// pathological sigma degrades accuracy rather than propagating `inf`
+    /// or `NaN` into bitline sums. Returns `false` for a clean verify pass.
+    ///
     /// Stuck cells silently ignore programming (that *is* the fault model);
     /// the caller can detect the condition via [`Cell::stuck`].
     ///
     /// # Errors
     ///
     /// * [`Error::LevelOutOfRange`] if `level` exceeds the cell's levels.
-    /// * [`Error::WriteVerifyFailed`] if the loop does not converge. With
-    ///   default parameters this is vanishingly rare; it exists so callers
-    ///   can surface pathological parameter choices instead of looping
-    ///   forever.
-    pub fn program(&mut self, level: u16, params: &DeviceParams, rng: &mut NoiseRng) -> Result<()> {
+    /// * [`Error::WriteVerifyFailed`] if the loop does not converge on an
+    ///   in-window draw. With default parameters this is vanishingly rare;
+    ///   it exists so callers can surface pathological parameter choices
+    ///   instead of looping forever.
+    pub fn program(
+        &mut self,
+        level: u16,
+        params: &DeviceParams,
+        rng: &mut NoiseRng,
+    ) -> Result<bool> {
         if level >= params.levels() {
             return Err(Error::LevelOutOfRange {
                 level,
@@ -252,19 +265,30 @@ impl Cell {
             });
         }
         if self.stuck.is_some() {
-            return Ok(());
+            return Ok(false);
         }
         let target = params.level_conductance(level);
         let tolerance = params.verify_tolerance * params.level_spacing();
         let mut attempts = 0;
         loop {
             attempts += 1;
-            let realised = target * rng.lognormal(0.0, params.program_sigma);
-            let realised = realised.clamp(params.g_off, params.g_on);
+            let raw = target * rng.lognormal(0.0, params.program_sigma);
+            let saturated = !raw.is_finite() || raw < params.g_off || raw > params.g_on;
+            let realised = if raw.is_nan() {
+                // 0 × inf (level 0 with g_off == 0): fall back to the target.
+                target.clamp(params.g_off, params.g_on)
+            } else {
+                raw.clamp(params.g_off, params.g_on)
+            };
             if (realised - target).abs() <= tolerance || params.program_sigma == 0.0 {
                 self.level = level;
                 self.conductance = realised;
-                return Ok(());
+                return Ok(false);
+            }
+            if saturated {
+                self.level = level;
+                self.conductance = realised;
+                return Ok(true);
             }
             if attempts >= params.max_program_attempts {
                 return Err(Error::WriteVerifyFailed { level, attempts });
@@ -350,6 +374,37 @@ mod tests {
         };
         assert_eq!(run(77), run(77));
         assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn pathological_sigma_saturates_to_the_window_instead_of_erroring() {
+        // A huge lognormal sigma rails every draw far outside the device
+        // window (often to literal +inf). The write must clamp to a window
+        // endpoint, report saturation, and never leave a non-finite
+        // conductance behind.
+        let mut p = DeviceParams::mlc(4).expect("valid");
+        p.program_sigma = 1e6;
+        let mut r = rng();
+        let mut any_saturated = false;
+        for level in 0..p.levels() {
+            let mut cell = Cell::erased(&p);
+            let saturated = cell.program(level, &p, &mut r).expect("clamped write");
+            any_saturated |= saturated;
+            assert!(cell.conductance().is_finite());
+            assert!(cell.conductance() >= p.g_off && cell.conductance() <= p.g_on);
+            assert_eq!(cell.level(), level);
+        }
+        assert!(any_saturated, "sigma 1e6 must rail at least one write");
+    }
+
+    #[test]
+    fn in_window_writes_never_report_saturation() {
+        let p = DeviceParams::mlc(4).expect("valid");
+        let mut r = rng();
+        let mut cell = Cell::erased(&p);
+        for level in 0..p.levels() {
+            assert!(!cell.program(level, &p, &mut r).expect("programs"));
+        }
     }
 
     #[test]

@@ -445,12 +445,7 @@ impl ServeEngine {
             .flat_map(|o| o.records.iter().map(|r| r.completion_ns - r.arrival_ns))
             .collect();
         latencies.sort_unstable();
-        let percentile = |q: f64| -> u64 {
-            if latencies.is_empty() {
-                return 0;
-            }
-            latencies[((latencies.len() - 1) as f64 * q).round() as usize]
-        };
+        let percentile = |q: f64| nearest_rank(&latencies, q);
         let latency = LatencyStats {
             p50_ns: percentile(0.50),
             p99_ns: percentile(0.99),
@@ -495,6 +490,10 @@ impl ServeEngine {
                 batches: outcome.batch_histogram.iter().map(|&(_, n)| n).sum(),
                 busy_cycles: outcome.busy_cycles,
                 utilization: (outcome.busy_cycles as f64 / chip.clock_hz) / serve_span_s,
+                busy_fraction: busy_fraction(
+                    outcome.busy_cycles as f64 / chip.clock_hz,
+                    &outcome.records,
+                ),
                 cache: outcome.cache,
             });
         }
@@ -569,4 +568,89 @@ pub fn measure_warm_vs_cold(
         warm_s,
         speedup: cold_s / warm_s.max(1e-12),
     })
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample: the smallest
+/// sample with at least `ceil(q·n)` values at or below it (1-based rank
+/// `ceil(q·n)`, clamped into the sample). For `n = 100` and `q = 0.99`
+/// that is rank 99 exactly — no interpolation and no rounding toward a
+/// neighbouring rank.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Fraction of the chip's **own** serving window — first arrival it
+/// served to its last completion — spent executing. Unlike
+/// `ChipReport::utilization`, which divides by the fleet-wide span, a
+/// chip that burned through an early burst and then sat idle scores its
+/// burst density here, not the fleet's tail.
+fn busy_fraction(busy_s: f64, records: &[RequestRecord]) -> f64 {
+    let first = records.iter().map(|r| r.arrival_ns).min();
+    let last = records.iter().map(|r| r.completion_ns).max();
+    match (first, last) {
+        (Some(first), Some(last)) => busy_s / (((last.saturating_sub(first)).max(1)) as f64 / 1e9),
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_hand_computed_small_samples() {
+        // n = 100, values 1..=100: rank(q·n) picks the value equal to
+        // ceil(q·100).
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&hundred, 0.50), 50);
+        assert_eq!(nearest_rank(&hundred, 0.99), 99);
+        assert_eq!(nearest_rank(&hundred, 0.999), 100);
+        assert_eq!(nearest_rank(&hundred, 1.0), 100);
+
+        // n = 4: the median is the 2nd value (ceil(0.5·4) = 2), not the
+        // 3rd that index-rounding `round(3·0.5) = 2` used to pick.
+        let four = [10, 20, 30, 40];
+        assert_eq!(nearest_rank(&four, 0.25), 10);
+        assert_eq!(nearest_rank(&four, 0.50), 20);
+        assert_eq!(nearest_rank(&four, 0.75), 30);
+        assert_eq!(nearest_rank(&four, 0.99), 40);
+
+        // Degenerate samples.
+        assert_eq!(nearest_rank(&[], 0.99), 0);
+        assert_eq!(nearest_rank(&[7], 0.5), 7);
+        assert_eq!(nearest_rank(&[7], 0.999), 7);
+    }
+
+    #[test]
+    fn nearest_rank_clamps_out_of_range_quantiles() {
+        let sample = [1, 2, 3];
+        assert_eq!(nearest_rank(&sample, 0.0), 1);
+        assert_eq!(nearest_rank(&sample, 2.0), 3);
+    }
+
+    #[test]
+    fn busy_fraction_uses_the_chips_own_window_not_the_fleet_span() {
+        let record = |arrival_ns, completion_ns| RequestRecord {
+            id: 0,
+            arrival_ns,
+            completion_ns,
+            output_hash: 0,
+        };
+        // The chip worked 0.5 s solid inside its own 1 s window, then
+        // idled while the rest of a 10 s fleet span played out: its
+        // busy_fraction is 0.5 even though fleet-span utilization would
+        // report 0.05.
+        let records = vec![record(0, 400_000_000), record(500_000_000, 1_000_000_000)];
+        let busy_s = 0.5;
+        assert!((busy_fraction(busy_s, &records) - 0.5).abs() < 1e-12);
+        let fleet_span_utilization = busy_s / 10.0;
+        assert!(busy_fraction(busy_s, &records) > fleet_span_utilization);
+
+        // A chip that served nothing has no window.
+        assert_eq!(busy_fraction(0.0, &[]), 0.0);
+    }
 }

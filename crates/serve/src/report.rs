@@ -50,6 +50,12 @@ pub struct ChipReport {
     pub busy_cycles: u64,
     /// Busy time over the fleet-wide serving span, in `[0, 1]`.
     pub utilization: f64,
+    /// Busy time over the chip's **own** serving window (its first
+    /// served arrival to its last completion), in `[0, 1]`. A chip that
+    /// finished an early burst and then idled keeps a high
+    /// `busy_fraction` while its fleet-span `utilization` decays with
+    /// the fleet's tail; `0.0` for a chip that served nothing.
+    pub busy_fraction: f64,
     /// The chip's resident-program cache counters.
     pub cache: CacheStats,
 }
@@ -204,6 +210,7 @@ impl ServeReport {
                                 ("batches", JsonValue::Num(chip.batches as f64)),
                                 ("busy_cycles", JsonValue::Num(chip.busy_cycles as f64)),
                                 ("utilization", JsonValue::Num(chip.utilization)),
+                                ("busy_fraction", JsonValue::Num(chip.busy_fraction)),
                                 ("cache", cache_json(&chip.cache)),
                             ])
                         })

@@ -77,7 +77,9 @@ fn low_load_serving_on_the_frontier_fleet_meets_the_contracts() {
     assert!(report.latency.p99_ns <= report.latency.p999_ns);
     assert!(report.latency.p999_ns <= report.latency.max_ns);
 
-    // Utilization is a real fraction on every chip.
+    // Utilization is a real fraction on every chip, and busy_fraction —
+    // measured over the chip's own window, never a longer span than the
+    // fleet's — can only meet or exceed it.
     for chip in &report.chips {
         assert!(
             (0.0..=1.0).contains(&chip.utilization),
@@ -85,6 +87,21 @@ fn low_load_serving_on_the_frontier_fleet_meets_the_contracts() {
             chip.name,
             chip.utilization
         );
+        assert!(
+            (0.0..=1.0).contains(&chip.busy_fraction),
+            "{}: busy_fraction {}",
+            chip.name,
+            chip.busy_fraction
+        );
+        if chip.served > 0 {
+            assert!(
+                chip.busy_fraction >= chip.utilization - 1e-12,
+                "{}: busy_fraction {} fell below fleet-span utilization {}",
+                chip.name,
+                chip.busy_fraction,
+                chip.utilization
+            );
+        }
     }
 
     // The JSON report carries the schema and the headline sections.
@@ -96,6 +113,7 @@ fn low_load_serving_on_the_frontier_fleet_meets_the_contracts() {
         "histogram",
         "hit_rate",
         "utilization",
+        "busy_fraction",
         "output_digest",
     ] {
         assert!(json.contains(needle), "BENCH_serve.json missing {needle}");

@@ -1,0 +1,118 @@
+//! Noise-path determinism on the fast executor.
+//!
+//! Two contracts pin the Monte-Carlo accuracy engine's foundations:
+//!
+//! 1. **Reproducibility** — a noise-injected trial is a pure function of
+//!    its tile seed: running the same job twice, or inside batches
+//!    sharded across 1/2/64 workers, produces byte-identical outputs for
+//!    *any* seed (property-tested over random seeds).
+//! 2. **Inertness** — a `noisy = false` execution consumes zero RNG
+//!    draws on the full path (compile → run → readback): the tile's ACE
+//!    stream must still sit at its freshly-seeded state afterwards, so
+//!    ideal results can never depend on the seed.
+
+use darth_apps::aes::program::AesExec;
+use darth_apps::cnn::program::ConvExec;
+use darth_apps::gemm::GemmExec;
+use darth_apps::reduce::ReduceExec;
+use darth_pum::{ExecJob, Executable};
+use darth_reram::NoiseRng;
+use darth_sim::{FastExecutor, FastMachine};
+use proptest::prelude::*;
+
+/// The workload's job with evaluation-grade noise injected at `seed`.
+fn noisy_job(exec: &dyn Executable, seed: u64) -> ExecJob {
+    let mut job = exec.job().expect("job compiles");
+    job.tile.noisy = true;
+    job.tile.seed = seed;
+    job.tile.program_sigma = 0.02;
+    job.tile.read_sigma = 0.005;
+    job.tile.ir_drop_alpha = 0.0008;
+    job
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn noisy_trials_are_bit_identical_for_any_seed(seed in 0u64..u64::MAX) {
+        let gemm = GemmExec::standard();
+        let reduce = ReduceExec::standard();
+        // Two distinct programs plus a seed-sibling of the first: the
+        // batch shards unevenly at every tested worker count.
+        let jobs = vec![
+            noisy_job(&gemm, seed),
+            noisy_job(&reduce, seed ^ 0x9E37_79B9_7F4A_7C15),
+            noisy_job(&gemm, seed.wrapping_add(1)),
+        ];
+
+        let baseline = FastExecutor::new()
+            .with_workers(1)
+            .execute_batch(&jobs)
+            .expect("serial batch runs");
+        let again = FastExecutor::new()
+            .with_workers(1)
+            .execute_batch(&jobs)
+            .expect("serial rerun runs");
+        prop_assert_eq!(&again, &baseline);
+
+        for workers in [2_usize, 64] {
+            let sharded = FastExecutor::new()
+                .with_workers(workers)
+                .execute_batch(&jobs)
+                .expect("sharded batch runs");
+            prop_assert_eq!(&sharded, &baseline);
+        }
+    }
+}
+
+#[test]
+fn noise_off_executions_consume_zero_rng_draws() {
+    let execs: Vec<Box<dyn Executable>> = vec![
+        Box::new(AesExec::fips197_appendix_b()),
+        Box::new(GemmExec::standard()),
+        Box::new(ConvExec::standard()),
+        Box::new(ReduceExec::standard()),
+    ];
+    for exec in execs {
+        let job = exec.job().expect("job compiles");
+        assert!(
+            !job.tile.noisy,
+            "{}: standard jobs are ideal",
+            exec.exec_name()
+        );
+
+        let mut machine = FastMachine::new(job.tile.clone()).expect("tile is valid");
+        let program = job.decoded_program().expect("program decodes");
+        let compiled = FastMachine::compile(&program);
+        machine
+            .run_compiled(&compiled, &job.data)
+            .expect("program runs");
+        for readback in &job.readbacks {
+            machine.read_output(readback).expect("readback succeeds");
+        }
+
+        assert_eq!(
+            machine.chip().tile().ace().rng(),
+            &NoiseRng::seed_from(job.tile.seed),
+            "{}: ideal execution advanced the ACE noise stream",
+            exec.exec_name()
+        );
+    }
+}
+
+#[test]
+fn noisy_execution_advances_the_tile_rng() {
+    let job = noisy_job(&GemmExec::standard(), 41);
+    let mut machine = FastMachine::new(job.tile.clone()).expect("tile is valid");
+    let program = job.decoded_program().expect("program decodes");
+    let compiled = FastMachine::compile(&program);
+    machine
+        .run_compiled(&compiled, &job.data)
+        .expect("program runs");
+    assert_ne!(
+        machine.chip().tile().ace().rng(),
+        &NoiseRng::seed_from(job.tile.seed),
+        "noisy execution must draw from the ACE noise stream"
+    );
+}
